@@ -1,0 +1,236 @@
+package repro
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, plus ablation benches for the heuristic knobs called out in
+// DESIGN.md. Each benchmark regenerates its experiment from scratch per
+// iteration (the per-CPU traces are prepared once and shared), so -bench
+// output measures the cost of the reproduced pipeline stage itself:
+//
+//	BenchmarkFigure1a        — fault-cone + MATE search on the example circuit
+//	BenchmarkTable1_*        — heuristic MATE search per CPU × fault set
+//	BenchmarkTable2_AVR      — AVR fault-space reduction + top-N selection
+//	BenchmarkTable3_MSP430   — MSP430 fault-space reduction + top-N selection
+//	BenchmarkLUTCost         — Section 6.1 FPGA cost model
+//	BenchmarkCampaign        — HAFI campaign with online pruning
+//	BenchmarkAblation*       — search-depth / term-count ablations
+//
+// Run everything with:  go test -bench=. -benchmem
+import (
+	"bytes"
+	"strconv"
+	"testing"
+
+	"repro/internal/collapse"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/intercycle"
+	"repro/internal/netlist"
+	"repro/internal/prune"
+	"repro/internal/verilog"
+)
+
+// BenchmarkFigure1a regenerates the worked example of Figure 1: cone
+// analysis and MATE search for all inputs of the example circuit.
+func BenchmarkFigure1a(b *testing.B) {
+	nl, w := experiments.Figure1Circuit()
+	inputs := []netlist.WireID{w["a"], w["b"], w["c"], w["d"], w["e"], w["h"]}
+	params := core.DefaultSearchParams()
+	params.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.Search(nl, inputs, params)
+		if res.Set.Size() == 0 {
+			b.Fatal("no MATEs")
+		}
+	}
+}
+
+func benchTable1(b *testing.B, c *experiments.CPUCase, noRF bool) {
+	b.Helper()
+	wires := c.FaultAll
+	if noRF {
+		wires = c.FaultNoRF
+	}
+	params := core.DefaultSearchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.Search(c.NL, wires, params)
+		if res.Set.Size() == 0 {
+			b.Fatal("no MATEs")
+		}
+	}
+}
+
+// BenchmarkTable1_* regenerate the four columns of Table 1 (the heuristic
+// MATE search itself; the paper reports its run time in this table).
+func BenchmarkTable1_AVR_FF(b *testing.B)      { benchTable1(b, experiments.PrepareAVR(), false) }
+func BenchmarkTable1_AVR_NoRF(b *testing.B)    { benchTable1(b, experiments.PrepareAVR(), true) }
+func BenchmarkTable1_MSP430_FF(b *testing.B)   { benchTable1(b, experiments.PrepareMSP430(), false) }
+func BenchmarkTable1_MSP430_NoRF(b *testing.B) { benchTable1(b, experiments.PrepareMSP430(), true) }
+
+func benchPerf(b *testing.B, c *experiments.CPUCase) {
+	b.Helper()
+	params := core.DefaultSearchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.Perf(c, params)
+		if t.Cells["fib"]["FF"].MaskedComplete <= 0 {
+			b.Fatal("no reduction")
+		}
+	}
+}
+
+// BenchmarkTable2_AVR regenerates Table 2: complete-set evaluation, top-N
+// hit-counter selection on both traces and cross-validation for the AVR.
+func BenchmarkTable2_AVR(b *testing.B) { benchPerf(b, experiments.PrepareAVR()) }
+
+// BenchmarkTable3_MSP430 regenerates Table 3 for the MSP430.
+func BenchmarkTable3_MSP430(b *testing.B) { benchPerf(b, experiments.PrepareMSP430()) }
+
+// BenchmarkReplayEvaluate isolates the per-cycle MATE evaluation that an
+// online HAFI integration performs in hardware: one complete 8500-cycle
+// replay of the full AVR MATE set.
+func BenchmarkReplayEvaluate(b *testing.B) {
+	c := experiments.PrepareAVR()
+	set := core.Search(c.NL, c.FaultAll, core.DefaultSearchParams()).Set
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := prune.Evaluate(set, c.TraceFib, c.FaultAll)
+		if res.MaskedPoints == 0 {
+			b.Fatal("no masking")
+		}
+	}
+}
+
+// BenchmarkTopNSelection isolates the hit-counter selection step.
+func BenchmarkTopNSelection(b *testing.B) {
+	c := experiments.PrepareAVR()
+	set := core.Search(c.NL, c.FaultAll, core.DefaultSearchParams()).Set
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := prune.SelectTopN(set, c.TraceFib, c.FaultAll, 50)
+		if sel.Size() == 0 {
+			b.Fatal("empty selection")
+		}
+	}
+}
+
+// BenchmarkLUTCost regenerates the Section 6.1 cost table.
+func BenchmarkLUTCost(b *testing.B) {
+	c := experiments.PrepareAVR()
+	params := core.DefaultSearchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.LUTCosts(c, params)
+		if len(rows) == 0 || rows[0].LUTs == 0 {
+			b.Fatal("no cost")
+		}
+	}
+}
+
+// BenchmarkCampaign runs a sampled HAFI campaign with online MATE pruning
+// on the AVR (the abstract's headline use case: fewer FI experiments).
+func BenchmarkCampaign(b *testing.B) {
+	c := experiments.PrepareAVR()
+	params := core.DefaultSearchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.Campaign(c, "fib", 500, params, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row.Result.Total == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
+// --- ablation benches for the heuristic knobs (DESIGN.md §6) -------------
+
+// BenchmarkAblationDepth sweeps the path-enumeration depth.
+func BenchmarkAblationDepth(b *testing.B) {
+	c := experiments.PrepareAVR()
+	for _, depth := range []int{2, 4, 8, 12} {
+		b.Run(benchName("depth", depth), func(b *testing.B) {
+			params := core.DefaultSearchParams()
+			params.Depth = depth
+			for i := 0; i < b.N; i++ {
+				core.Search(c.NL, c.FaultAll, params)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTerms sweeps the maximum number of gate-masking terms.
+func BenchmarkAblationTerms(b *testing.B) {
+	c := experiments.PrepareAVR()
+	for _, terms := range []int{1, 2, 4, 6} {
+		b.Run(benchName("terms", terms), func(b *testing.B) {
+			params := core.DefaultSearchParams()
+			params.MaxTerms = terms
+			for i := 0; i < b.N; i++ {
+				core.Search(c.NL, c.FaultAll, params)
+			}
+		})
+	}
+}
+
+// BenchmarkInterCycle measures the offline inter-cycle analysis (DESIGN.md
+// extension; paper §6.3 complement) over the AVR register file.
+func BenchmarkInterCycle(b *testing.B) {
+	c := experiments.PrepareAVR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := intercycle.Analyze(c.NL, c.TraceFib, c.FaultNoRF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalPoints == 0 {
+			b.Fatal("empty analysis")
+		}
+	}
+}
+
+// BenchmarkFaultCollapse measures the structural stuck-at collapsing of
+// the related-work complement on the AVR netlist.
+func BenchmarkFaultCollapse(b *testing.B) {
+	c := experiments.PrepareAVR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := collapse.Collapse(c.NL)
+		if r.Classes == 0 {
+			b.Fatal("no classes")
+		}
+	}
+}
+
+// BenchmarkVerilogRoundTrip measures netlist export + re-import.
+func BenchmarkVerilogRoundTrip(b *testing.B) {
+	c := experiments.PrepareAVR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := verilog.Write(&buf, c.NL); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := verilog.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGateLevelSim measures the raw simulation substrate: cycles per
+// second of the AVR core under the fib workload (the cost HAFI platforms
+// avoid by emulating in hardware).
+func BenchmarkGateLevelSim(b *testing.B) {
+	c := experiments.PrepareAVR()
+	run := c.NewRun(c.FibProg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run.Step()
+	}
+}
+
+func benchName(key string, v int) string {
+	return key + "=" + strconv.Itoa(v)
+}

@@ -1,0 +1,133 @@
+// Command campaign runs a complete fault-injection campaign on the modelled
+// HAFI platform: golden run, (flip-flop × cycle) fault list, checkpointed
+// experiment execution with outcome classification, and optional online
+// MATE pruning.
+//
+//	campaign -cpu avr -prog fib -stride 25
+//	campaign -cpu msp430 -prog conv -stride 50 -noprune
+//	campaign -cpu avr -prog fib -validate     # verify every pruned point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpu/avr"
+	"repro/internal/cpu/msp430"
+	"repro/internal/hafi"
+	"repro/internal/netlist"
+	"repro/internal/progs"
+)
+
+func main() {
+	cpu := flag.String("cpu", "avr", "processor: avr or msp430")
+	prog := flag.String("prog", "fib", "built-in workload: fib, conv or sort")
+	stride := flag.Int("stride", 25, "inject every FF at every stride-th cycle")
+	noPrune := flag.Bool("noprune", false, "disable online MATE pruning")
+	validate := flag.Bool("validate", false, "re-execute pruned points and verify benignity")
+	noRF := flag.Bool("norf", false, "exclude the register file from the fault list")
+	sequential := flag.Bool("sequential", false, "use the sequential controller instead of the 64-lane batched engine")
+	flag.Parse()
+
+	var factory func() hafi.Run
+	var factory64 func() (hafi.Run64, error)
+	var nl *netlist.Netlist
+	var groups []string
+	switch *cpu {
+	case "avr":
+		c := avr.NewCore()
+		nl = c.NL
+		p := progs.AVRFib()
+		switch *prog {
+		case "conv":
+			p = progs.AVRConv()
+		case "sort":
+			p = progs.AVRSort()
+		}
+		factory = func() hafi.Run { return hafi.NewAVRRun(avr.NewCore(), p) }
+		factory64 = func() (hafi.Run64, error) { return hafi.NewAVRRun64(avr.NewCore(), p) }
+		groups = []string{avr.GroupRegFile}
+	case "msp430":
+		c := msp430.NewCore()
+		nl = c.NL
+		p := progs.MSP430Fib()
+		switch *prog {
+		case "conv":
+			p = progs.MSP430Conv()
+		case "sort":
+			p = progs.MSP430Sort()
+		}
+		factory = func() hafi.Run { return hafi.NewMSP430Run(msp430.NewCore(), p) }
+		factory64 = func() (hafi.Run64, error) { return hafi.NewMSP430Run64(msp430.NewCore(), p) }
+		groups = []string{msp430.GroupRegFile}
+	default:
+		fail(fmt.Errorf("unknown cpu %q", *cpu))
+	}
+	run := factory()
+	if !*noRF {
+		groups = nil
+	}
+
+	start := time.Now()
+	golden, err := hafi.RecordGolden(run, 1<<20)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("golden run: %d cycles, signature %016x (%v)\n",
+		golden.HaltCycle, golden.Signature, time.Since(start).Round(time.Millisecond))
+
+	var set *core.MATESet
+	if !*noPrune {
+		res := core.Search(nl, nl.FFQWires(groups...), core.DefaultSearchParams())
+		set = res.Set
+		fmt.Printf("MATE search: %d MATEs in %v\n", set.Size(), res.Elapsed.Round(time.Millisecond))
+	}
+
+	points := hafi.SampledFaultList(nl, golden.HaltCycle, *stride, groups...)
+	ctl := hafi.NewControllerPool(factory, golden)
+	start = time.Now()
+	var res *hafi.CampaignResult
+	if *sequential {
+		res, err = ctl.RunCampaign(hafi.CampaignConfig{
+			Points:          points,
+			Workers:         runtime.NumCPU(),
+			MATESet:         set,
+			ValidateSkipped: *validate,
+		})
+	} else {
+		var run64 hafi.Run64
+		run64, err = factory64()
+		if err != nil {
+			fail(err)
+		}
+		res, err = ctl.RunCampaignBatched(hafi.CampaignConfig{
+			Points:          points,
+			MATESet:         set,
+			ValidateSkipped: *validate,
+		}, run64)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("campaign:   %d injection points (stride %d)\n", res.Total, *stride)
+	fmt.Printf("pruned:     %d (%.2f%%) proven benign online by MATEs\n",
+		res.Skipped, 100*res.PrunedFraction())
+	fmt.Printf("executed:   %d experiments in %v\n", res.Executed, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("outcomes:   benign=%d sdc=%d hang=%d\n",
+		res.ByOutcome[hafi.OutcomeBenign], res.ByOutcome[hafi.OutcomeSDC], res.ByOutcome[hafi.OutcomeHang])
+	if *validate {
+		fmt.Printf("validation: %d pruned points re-executed, %d violations\n", res.Skipped, res.SkippedWrong)
+		if res.SkippedWrong > 0 {
+			fail(fmt.Errorf("MATE soundness violated"))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+	os.Exit(1)
+}

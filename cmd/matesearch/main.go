@@ -1,0 +1,133 @@
+// Command matesearch runs the heuristic MATE search on one of the built-in
+// processor netlists and reports the search statistics (the data behind
+// Table 1). The discovered MATE set can be dumped to a file for use with
+// the prune and campaign tools.
+//
+//	matesearch -cpu avr                  # all flip-flops
+//	matesearch -cpu msp430 -norf         # excluding the register file
+//	matesearch -cpu avr -o avr.mates     # dump the MATE set
+//	matesearch -cpu avr -print           # print every MATE
+//	matesearch -verilog design.v         # search an imported netlist
+//	matesearch -cpu avr -export avr.v    # export the core as structural Verilog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpu/avr"
+	"repro/internal/cpu/msp430"
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+func main() {
+	cpu := flag.String("cpu", "avr", "processor: avr or msp430")
+	noRF := flag.Bool("norf", false, "exclude the register file from the fault set")
+	depth := flag.Int("depth", 8, "fault-propagation path depth")
+	maxTerms := flag.Int("terms", 4, "max gate-masking terms per MATE")
+	maxCand := flag.Int("candidates", 100000, "candidate budget per faulty wire")
+	out := flag.String("o", "", "write the MATE set to this file")
+	print := flag.Bool("print", false, "print every discovered MATE")
+	verilogIn := flag.String("verilog", "", "search this structural-Verilog netlist instead of a built-in core")
+	export := flag.String("export", "", "write the selected netlist as structural Verilog and exit")
+	flag.Parse()
+
+	var nl *netlist.Netlist
+	var wires []netlist.WireID
+	if *verilogIn != "" {
+		f, err := os.Open(*verilogIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
+			os.Exit(1)
+		}
+		parsed, err := verilog.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
+			os.Exit(1)
+		}
+		nl = parsed
+		if *noRF {
+			wires = nl.FFQWires("regfile")
+		} else {
+			wires = nl.FFQWires()
+		}
+	} else {
+		switch *cpu {
+		case "avr":
+			c := avr.NewCore()
+			nl = c.NL
+			if *noRF {
+				wires = nl.FFQWires(avr.GroupRegFile)
+			} else {
+				wires = nl.FFQWires()
+			}
+		case "msp430":
+			c := msp430.NewCore()
+			nl = c.NL
+			if *noRF {
+				wires = nl.FFQWires(msp430.GroupRegFile)
+			} else {
+				wires = nl.FFQWires()
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "matesearch: unknown cpu %q\n", *cpu)
+			os.Exit(2)
+		}
+	}
+
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
+			os.Exit(1)
+		}
+		if err := verilog.Write(f, nl); err != nil {
+			fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("exported %s to %s\n", nl.Name, *export)
+		return
+	}
+
+	params := core.DefaultSearchParams()
+	params.Depth = *depth
+	params.MaxTerms = *maxTerms
+	params.MaxCandidates = *maxCand
+
+	st := nl.Stats()
+	fmt.Printf("netlist %s: %s\n", nl.Name, st)
+	res := core.Search(nl, wires, params)
+	fmt.Printf("faulty wires:    %d\n", len(wires))
+	fmt.Printf("avg cone:        %.0f gates\n", res.AvgConeGates())
+	fmt.Printf("median cone:     %d gates\n", res.MedianConeGates())
+	fmt.Printf("run time:        %v\n", res.Elapsed)
+	fmt.Printf("unmaskable:      %d\n", res.Unmaskable)
+	fmt.Printf("MATE candidates: %d\n", res.TotalCandidates)
+	fmt.Printf("MATEs:           %d\n", res.Set.Size())
+	mean, std := res.Set.AvgInputs()
+	fmt.Printf("avg inputs:      %.1f ± %.1f\n", mean, std)
+
+	if *print {
+		for _, m := range res.Set.MATEs {
+			fmt.Printf("  %s (masks %d wires)\n", m.String(nl), len(m.Masks))
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := core.WriteMATESet(f, nl, res.Set); err != nil {
+			fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,140 @@
+// Command prune replays a recorded execution trace against a MATE set and
+// reports the fault-space reduction — offline fault-space pruning as a
+// HAFI campaign planner would run it. It can consume VCD traces written by
+// tracesim (or recompute the trace itself) and MATE sets written by
+// matesearch (or search on the fly).
+//
+//	prune -cpu avr -prog fib                     # everything on the fly
+//	prune -cpu avr -prog fib -norf -top 50       # top-50 selection
+//	prune -cpu msp430 -vcd msp_conv.vcd -mates msp.mates
+//	prune -cpu avr -prog fib -intercycle         # offline inter-cycle analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpu/avr"
+	"repro/internal/cpu/msp430"
+	"repro/internal/intercycle"
+	"repro/internal/netlist"
+	"repro/internal/progs"
+	"repro/internal/prune"
+	"repro/internal/sim"
+	"repro/internal/vcd"
+)
+
+func main() {
+	cpu := flag.String("cpu", "avr", "processor: avr or msp430")
+	prog := flag.String("prog", "fib", "built-in workload: fib, conv or sort")
+	vcdFile := flag.String("vcd", "", "replay this VCD trace instead of simulating")
+	matesFile := flag.String("mates", "", "load this MATE set instead of searching")
+	noRF := flag.Bool("norf", false, "exclude the register file from the fault set")
+	top := flag.Int("top", 0, "evaluate only the top-N MATEs (0 = complete set)")
+	cycles := flag.Int("cycles", progs.TraceCycles, "trace length when simulating")
+	inter := flag.Bool("intercycle", false, "run the offline inter-cycle analysis instead of MATE replay")
+	flag.Parse()
+
+	var nl *netlist.Netlist
+	var wires []netlist.WireID
+	var tr *sim.Trace
+
+	switch *cpu {
+	case "avr":
+		c := avr.NewCore()
+		nl = c.NL
+		if *noRF {
+			wires = nl.FFQWires(avr.GroupRegFile)
+		} else {
+			wires = nl.FFQWires()
+		}
+		if *vcdFile == "" {
+			p := progs.AVRFib()
+			switch *prog {
+			case "conv":
+				p = progs.AVRConv()
+			case "sort":
+				p = progs.AVRSort()
+			}
+			tr = avr.NewSystem(c, p).Record(*cycles)
+		}
+	case "msp430":
+		c := msp430.NewCore()
+		nl = c.NL
+		if *noRF {
+			wires = nl.FFQWires(msp430.GroupRegFile)
+		} else {
+			wires = nl.FFQWires()
+		}
+		if *vcdFile == "" {
+			p := progs.MSP430Fib()
+			switch *prog {
+			case "conv":
+				p = progs.MSP430Conv()
+			case "sort":
+				p = progs.MSP430Sort()
+			}
+			tr = msp430.NewSystem(c, p).Record(*cycles)
+		}
+	default:
+		fail(fmt.Errorf("unknown cpu %q", *cpu))
+	}
+
+	if *vcdFile != "" {
+		f, err := os.Open(*vcdFile)
+		if err != nil {
+			fail(err)
+		}
+		tr, err = vcd.Read(f, nl)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	if *inter {
+		res, err := intercycle.Analyze(nl, tr, wires)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace:            %d cycles, %d fault wires\n", res.Cycles, res.FaultWires)
+		fmt.Printf("fault space:      %d points\n", res.TotalPoints)
+		fmt.Printf("provably benign:  %d points (%.2f%%)\n", res.Benign, 100*res.Reduction())
+		fmt.Printf("open-ended:       %d points (confined to trace end)\n", res.OpenEnd)
+		return
+	}
+
+	var set *core.MATESet
+	if *matesFile != "" {
+		f, err := os.Open(*matesFile)
+		if err != nil {
+			fail(err)
+		}
+		set, err = core.ReadMATESet(f, nl)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		set = core.Search(nl, wires, core.DefaultSearchParams()).Set
+	}
+
+	if *top > 0 {
+		set = prune.SelectTopN(set, tr, wires, *top)
+		fmt.Printf("selected top %d MATEs by trace hit count\n", set.Size())
+	}
+
+	res := prune.Evaluate(set, tr, wires)
+	fmt.Printf("trace:            %d cycles, %d fault wires\n", res.Cycles, res.FaultWires)
+	fmt.Printf("fault space:      %d points\n", res.TotalPoints)
+	fmt.Printf("pruned as benign: %d points (%.2f%%)\n", res.MaskedPoints, 100*res.Reduction())
+	fmt.Printf("effective MATEs:  %d (avg %.1f ± %.1f inputs)\n",
+		res.EffectiveMATEs, res.AvgInputs, res.StdInputs)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "prune: %v\n", err)
+	os.Exit(1)
+}

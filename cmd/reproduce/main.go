@@ -1,0 +1,114 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation on the rebuilt substrate:
+//
+//	reproduce                # everything
+//	reproduce -what table1   # just Table 1
+//	reproduce -what table2   # AVR MATE performance
+//	reproduce -what table3   # MSP430 MATE performance
+//	reproduce -what figure1  # the worked example
+//	reproduce -what lut      # Section 6.1 LUT costs
+//	reproduce -what campaign # HAFI campaign with online pruning
+//	reproduce -what intercycle # offline inter-cycle vs online MATEs
+//	reproduce -what crosslayer # ISA-level vs flip-flop-level injection
+//
+// Search parameters default to the paper's (depth 8, ≤4 terms, 100k
+// candidates per wire) and can be overridden with flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	what := flag.String("what", "all", "table1|table2|table3|figure1|lut|campaign|intercycle|crosslayer|all")
+	depth := flag.Int("depth", 8, "fault-propagation path depth")
+	maxTerms := flag.Int("terms", 4, "max gate-masking terms per MATE")
+	maxCand := flag.Int("candidates", 100000, "candidate budget per faulty wire")
+	stride := flag.Int("stride", 25, "campaign: injection-cycle stride")
+	validate := flag.Bool("validate", false, "campaign: re-execute pruned points to verify benignity")
+	flag.Parse()
+
+	params := core.DefaultSearchParams()
+	params.Depth = *depth
+	params.MaxTerms = *maxTerms
+	params.MaxCandidates = *maxCand
+
+	run := func(name string, fn func() error) {
+		if *what != "all" && *what != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("figure1", func() error {
+		fmt.Println(experiments.Figure1(8))
+		return nil
+	})
+	run("table1", func() error {
+		rows := experiments.Table1(experiments.PrepareAVR(), params)
+		rows = append(rows, experiments.Table1(experiments.PrepareMSP430(), params)...)
+		fmt.Println(experiments.FormatTable1(rows))
+		return nil
+	})
+	run("table2", func() error {
+		fmt.Println(experiments.FormatPerf(experiments.Perf(experiments.PrepareAVR(), params), 2))
+		return nil
+	})
+	run("table3", func() error {
+		fmt.Println(experiments.FormatPerf(experiments.Perf(experiments.PrepareMSP430(), params), 3))
+		return nil
+	})
+	run("lut", func() error {
+		rows := experiments.LUTCosts(experiments.PrepareAVR(), params)
+		rows = append(rows, experiments.LUTCosts(experiments.PrepareMSP430(), params)...)
+		fmt.Println(experiments.FormatLUT(rows))
+		return nil
+	})
+	run("intercycle", func() error {
+		var rows []experiments.InterCycleRow
+		for _, c := range []*experiments.CPUCase{experiments.PrepareAVR(), experiments.PrepareMSP430()} {
+			r, err := experiments.InterCycle(c, params)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r...)
+		}
+		fmt.Println(experiments.FormatInterCycle(rows))
+		return nil
+	})
+	run("crosslayer", func() error {
+		var rows []experiments.CrossLayerRow
+		for _, c := range []*experiments.CPUCase{experiments.PrepareAVR(), experiments.PrepareMSP430()} {
+			r, err := experiments.CrossLayer(c, *stride)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r...)
+		}
+		fmt.Println(experiments.FormatCrossLayer(rows))
+		return nil
+	})
+	run("campaign", func() error {
+		var rows []*experiments.CampaignRow
+		for _, c := range []*experiments.CPUCase{experiments.PrepareAVR(), experiments.PrepareMSP430()} {
+			row, err := experiments.Campaign(c, "fib", *stride, params, *validate)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		fmt.Println(experiments.FormatCampaign(rows))
+		return nil
+	})
+}

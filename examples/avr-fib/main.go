@@ -1,0 +1,86 @@
+// avr-fib: the full cross-layer flow on the AVR-class core.
+//
+// It assembles a Fibonacci workload, co-simulates the gate-level netlist
+// against the architectural ISS, records the paper's 8500-cycle wire
+// trace, runs the MATE search over all flip-flops and over the
+// "FF w/o RF" set, quantifies the fault-space reduction, and performs the
+// hit-counter top-50 selection with cross-validation against a second
+// workload.
+//
+//	go run ./examples/avr-fib
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cpu/avr"
+	"repro/internal/progs"
+	"repro/internal/prune"
+)
+
+func main() {
+	// --- build the core and assemble the workload ----------------------
+	c := avr.NewCore()
+	st := c.NL.Stats()
+	fmt.Printf("AVR-class core: %s\n", st)
+	prog, err := avr.Assemble(progs.AVRFibSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fib: %d instruction words\n\n", len(prog))
+
+	// --- golden-model cross-check ---------------------------------------
+	iss := avr.NewISS(prog)
+	iss.Run(1 << 20)
+	sys := avr.NewSystem(c, prog)
+	cycles := sys.Run(1 << 20)
+	if !iss.Halted || !sys.Halted() {
+		log.Fatal("workload did not halt")
+	}
+	for r := 0; r < avr.NumRegs; r++ {
+		if sys.Reg(r) != iss.Regs[r] {
+			log.Fatalf("co-simulation mismatch in r%d", r)
+		}
+	}
+	fmt.Printf("co-simulation: netlist matches ISS after %d cycles (%d instructions)\n",
+		cycles, iss.Instructions)
+	fmt.Printf("result checksum on port: %#02x\n\n", sys.PortValue())
+
+	// --- record the evaluation trace -------------------------------------
+	sys.M.Reset()
+	sys.DMem = [256]uint8{}
+	trace := sys.Record(progs.TraceCycles)
+	fmt.Printf("recorded %d-cycle wire-level trace (%d wires)\n\n",
+		trace.NumCycles(), trace.NumWires)
+
+	// --- MATE search ------------------------------------------------------
+	params := core.DefaultSearchParams()
+	all := c.NL.FFQWires()
+	noRF := c.NL.FFQWires(avr.GroupRegFile)
+	resAll := core.Search(c.NL, all, params)
+	resNoRF := core.Search(c.NL, noRF, params)
+	fmt.Printf("MATE search FF:        %d MATEs (%d unmaskable of %d wires) in %v\n",
+		resAll.Set.Size(), resAll.Unmaskable, len(all), resAll.Elapsed)
+	fmt.Printf("MATE search FF w/o RF: %d MATEs (%d unmaskable of %d wires) in %v\n\n",
+		resNoRF.Set.Size(), resNoRF.Unmaskable, len(noRF), resNoRF.Elapsed)
+
+	// --- fault-space reduction --------------------------------------------
+	evalAll := prune.Evaluate(resAll.Set, trace, all)
+	evalNoRF := prune.Evaluate(resNoRF.Set, trace, noRF)
+	fmt.Printf("fault space FF:        %s\n", evalAll)
+	fmt.Printf("fault space FF w/o RF: %s\n\n", evalNoRF)
+
+	// --- top-50 selection + cross-validation on conv ----------------------
+	top50 := prune.SelectTopN(resNoRF.Set, trace, noRF, 50)
+	self := prune.Evaluate(top50, trace, noRF)
+	fmt.Printf("top-50 MATEs on fib:   %.2f%% (complete set %.2f%%)\n",
+		100*self.Reduction(), 100*evalNoRF.Reduction())
+
+	convSys := avr.NewSystem(avr.NewCore(), progs.AVRConv())
+	convTrace := convSys.Record(progs.TraceCycles)
+	cross := prune.Evaluate(top50, convTrace, noRF)
+	fmt.Printf("same set on conv:      %.2f%% (transferability across workloads)\n",
+		100*cross.Reduction())
+}

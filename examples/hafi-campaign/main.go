@@ -1,0 +1,104 @@
+// hafi-campaign: fault-injection campaign on the modelled HAFI platform,
+// with and without online MATE pruning.
+//
+// The controller records a golden run, walks a sampled (flip-flop × cycle)
+// fault list, and classifies every experiment as benign, silent data
+// corruption or hang. With MATEs attached, injections proven benign are
+// skipped before execution; the example validates a sample of the skipped
+// points against actual execution to demonstrate soundness, and reports
+// the FPGA LUT budget of the MATE set (paper Section 6.1).
+//
+//	go run ./examples/hafi-campaign
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpu/avr"
+	"repro/internal/hafi"
+	"repro/internal/prune"
+)
+
+const workload = `
+    ldi r1, 12      ; iterations
+    ldi r2, 1
+    ldi r3, 0
+loop:
+    add r3, r2
+    add r2, r3
+    lsr r3
+    dec r1
+    brne loop
+    ldi r4, 32
+    st (r4), r2
+    st (r4), r3    ; overwrite — only the final store matters
+    out r2
+    halt
+`
+
+func main() {
+	c := avr.NewCore()
+	prog := avr.MustAssemble(workload)
+	factory := func() hafi.Run { return hafi.NewAVRRun(avr.NewCore(), prog) }
+	run := factory()
+
+	golden, err := hafi.RecordGolden(run, 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("golden run: %d cycles, result signature %016x\n", golden.HaltCycle, golden.Signature)
+
+	points := hafi.FullFaultList(c.NL, golden.HaltCycle)
+	fmt.Printf("fault space: %d flip-flops × %d cycles = %d points\n\n",
+		len(c.NL.FFs), golden.HaltCycle, len(points))
+
+	ctl := hafi.NewControllerPool(factory, golden)
+
+	// --- baseline: no pruning ---------------------------------------------
+	start := time.Now()
+	base, err := ctl.RunCampaign(hafi.CampaignConfig{Points: points, Workers: runtime.NumCPU()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseTime := time.Since(start)
+	fmt.Printf("baseline campaign: %d experiments in %v\n", base.Executed, baseTime.Round(time.Millisecond))
+	fmt.Printf("  benign=%d sdc=%d hang=%d\n\n",
+		base.ByOutcome[hafi.OutcomeBenign], base.ByOutcome[hafi.OutcomeSDC], base.ByOutcome[hafi.OutcomeHang])
+
+	// --- with online MATE pruning (validated) --------------------------------
+	res := core.Search(c.NL, c.NL.FFQWires(), core.DefaultSearchParams())
+	top := prune.SelectTopN(res.Set, golden.Trace, c.NL.FFQWires(), 100)
+	fmt.Printf("MATE set: %d found, top-100 selected, %d LUTs (%.2f%% of a 1.5k-LUT FI controller)\n",
+		res.Set.Size(), hafi.LUTCost(top), 100*hafi.OverheadVsController(top, hafi.FIControllerLUTsLow))
+
+	start = time.Now()
+	pruned, err := ctl.RunCampaign(hafi.CampaignConfig{
+		Points:          points,
+		Workers:         runtime.NumCPU(),
+		MATESet:         top,
+		ValidateSkipped: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pruned campaign: %d of %d points skipped (%.2f%%), %d executed in %v\n",
+		pruned.Skipped, pruned.Total, 100*pruned.PrunedFraction(), pruned.Executed,
+		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  benign=%d sdc=%d hang=%d\n",
+		pruned.ByOutcome[hafi.OutcomeBenign], pruned.ByOutcome[hafi.OutcomeSDC], pruned.ByOutcome[hafi.OutcomeHang])
+	fmt.Printf("  validation: every skipped point re-executed, %d violations\n", pruned.SkippedWrong)
+	if pruned.SkippedWrong != 0 {
+		log.Fatal("MATE soundness violated")
+	}
+
+	// --- consistency check ---------------------------------------------------
+	if pruned.ByOutcome[hafi.OutcomeSDC] != base.ByOutcome[hafi.OutcomeSDC] ||
+		pruned.ByOutcome[hafi.OutcomeHang] != base.ByOutcome[hafi.OutcomeHang] {
+		log.Fatal("pruning changed the set of effective faults")
+	}
+	fmt.Println("\npruning removed only benign experiments: SDC and hang counts unchanged")
+}

@@ -1,0 +1,201 @@
+// Package collapse implements classical structural fault collapsing for
+// stuck-at faults — the static pruning technique the paper contrasts MATEs
+// with in its related-work section ("fault collapsing is a technique to
+// statically analyze a netlist for possible faults that are equivalent in
+// their error behavior ... the combination of MATEs and fault collapsing
+// could be profitable when all wires are subject to injection").
+//
+// Two faults are *equivalent* when every test detecting one detects the
+// other; fault f *dominates* g when every test for g also detects f.
+// This package derives both relations structurally, per gate, from the
+// cell truth tables:
+//
+//   - Equivalence: if forcing input pin p of a gate to value c forces the
+//     output to a constant value f (p is "controlling" with value c), then
+//     the faults (pin-wire stuck-at-c) and (output stuck-at-f) are
+//     equivalent — e.g. any AND input s-a-0 ≡ output s-a-0, a NAND input
+//     s-a-0 ≡ output s-a-1, and an inverter's faults map one-to-one.
+//   - Dominance: the complementary output fault (output stuck-at-¬f)
+//     dominates the pin fault (pin stuck-at-¬c) for single-output
+//     controlling gates, so dominance collapsing may drop it from the
+//     target list when the gate's output has no other fanout
+//     observability requirement. We report dominance pairs but keep the
+//     equivalence classes as the collapsed fault list (the safe choice).
+//
+// Unlike MATEs, fault collapsing ignores the circuit's state: it shrinks
+// the *static* fault list, while MATEs prune *dynamically* per cycle. The
+// two compose: a campaign over all wires first collapses the stuck-at
+// list, then applies MATEs to the surviving (wire, cycle) points.
+package collapse
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Fault is a single stuck-at fault: Wire stuck at Value.
+type Fault struct {
+	Wire  netlist.WireID
+	Value bool
+}
+
+// id maps a fault to a dense index (wire*2 + value).
+func (f Fault) id() int {
+	v := 0
+	if f.Value {
+		v = 1
+	}
+	return int(f.Wire)*2 + v
+}
+
+func faultFromID(id int) Fault {
+	return Fault{Wire: netlist.WireID(id / 2), Value: id%2 == 1}
+}
+
+// Result of a collapsing run.
+type Result struct {
+	nl *netlist.Netlist
+	// parent is the union-find forest over fault ids.
+	parent []int
+	// Dominances lists (dominating, dominated) pairs found structurally.
+	Dominances [][2]Fault
+	// TotalFaults is 2 × wires; Classes the number of equivalence classes.
+	TotalFaults int
+	Classes     int
+}
+
+// Collapse computes the structural equivalence classes of all stuck-at
+// faults in the netlist.
+func Collapse(nl *netlist.Netlist) *Result {
+	r := &Result{nl: nl, TotalFaults: nl.NumWires() * 2}
+	r.parent = make([]int, r.TotalFaults)
+	for i := range r.parent {
+		r.parent[i] = i
+	}
+
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		c := g.Cell
+		n := c.NumInputs()
+		for p := 0; p < n; p++ {
+			// Faults live on wires, not gate pins, so the classical pin
+			// rules only transfer when the input wire is fanout-free (it
+			// feeds exactly this gate and no FF/output): a stem fault of a
+			// fanout wire also disturbs the sibling branches and is not
+			// equivalent to any single gate's output fault.
+			in := g.Inputs[p]
+			if len(nl.Fanout(in)) != 1 || len(nl.FFsOfD(in)) > 0 || nl.IsPrimaryOutput(in) {
+				continue
+			}
+			for _, val := range []bool{false, true} {
+				forced, constant := forcedOutput(c.TruthTable(), n, p, val)
+				if !constant {
+					continue
+				}
+				// wire stuck-at-val ≡ output stuck-at-forced
+				r.union(Fault{in, val}.id(), Fault{g.Output, forced}.id())
+				// output stuck-at-!forced dominates wire stuck-at-!val
+				r.Dominances = append(r.Dominances, [2]Fault{
+					{g.Output, !forced},
+					{in, !val},
+				})
+			}
+		}
+	}
+
+	seen := map[int]bool{}
+	for i := 0; i < r.TotalFaults; i++ {
+		seen[r.find(i)] = true
+	}
+	r.Classes = len(seen)
+	return r
+}
+
+// forcedOutput reports whether fixing pin p to val forces the gate output
+// to a constant, and which constant.
+func forcedOutput(tt uint32, n, p int, val bool) (forced, constant bool) {
+	first := true
+	var out bool
+	for v := uint32(0); v < 1<<n; v++ {
+		bit := v>>uint(p)&1 == 1
+		if bit != val {
+			continue
+		}
+		o := tt>>v&1 == 1
+		if first {
+			out, first = o, false
+		} else if o != out {
+			return false, false
+		}
+	}
+	if first {
+		return false, false // no inputs (TIE cells)
+	}
+	return out, true
+}
+
+func (r *Result) find(i int) int {
+	for r.parent[i] != i {
+		r.parent[i] = r.parent[r.parent[i]]
+		i = r.parent[i]
+	}
+	return i
+}
+
+func (r *Result) union(a, b int) {
+	ra, rb := r.find(a), r.find(b)
+	if ra != rb {
+		r.parent[ra] = rb
+	}
+}
+
+// Equivalent reports whether two faults are structurally equivalent.
+func (r *Result) Equivalent(a, b Fault) bool {
+	return r.find(a.id()) == r.find(b.id())
+}
+
+// Representatives returns one fault per equivalence class, in wire order —
+// the collapsed fault list a test-pattern campaign would target.
+func (r *Result) Representatives() []Fault {
+	repOf := map[int]int{}
+	for i := 0; i < r.TotalFaults; i++ {
+		root := r.find(i)
+		if cur, ok := repOf[root]; !ok || i < cur {
+			repOf[root] = i
+		}
+	}
+	out := make([]Fault, 0, len(repOf))
+	for i := 0; i < r.TotalFaults; i++ {
+		if repOf[r.find(i)] == i {
+			out = append(out, faultFromID(i))
+		}
+	}
+	return out
+}
+
+// ClassOf returns every fault in the same equivalence class as f.
+func (r *Result) ClassOf(f Fault) []Fault {
+	root := r.find(f.id())
+	var out []Fault
+	for i := 0; i < r.TotalFaults; i++ {
+		if r.find(i) == root {
+			out = append(out, faultFromID(i))
+		}
+	}
+	return out
+}
+
+// Ratio returns collapsed classes / total faults.
+func (r *Result) Ratio() float64 {
+	if r.TotalFaults == 0 {
+		return 0
+	}
+	return float64(r.Classes) / float64(r.TotalFaults)
+}
+
+// String summarises the collapse.
+func (r *Result) String() string {
+	return fmt.Sprintf("%d stuck-at faults -> %d classes (%.1f%%), %d dominance pairs",
+		r.TotalFaults, r.Classes, 100*r.Ratio(), len(r.Dominances))
+}

@@ -1,0 +1,193 @@
+package collapse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/cpu/avr"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// TestInverterChain: in a chain of inverters every fault collapses into
+// one of two classes (the classic textbook example).
+func TestInverterChain(t *testing.T) {
+	b := netlist.NewBuilder("invchain")
+	w := b.Input("a")
+	for i := 0; i < 6; i++ {
+		w = b.Gate(cell.INV, w)
+	}
+	b.MarkOutput(w)
+	nl := b.MustNetlist()
+
+	r := Collapse(nl)
+	if r.TotalFaults != nl.NumWires()*2 {
+		t.Fatalf("total = %d", r.TotalFaults)
+	}
+	if r.Classes != 2 {
+		t.Fatalf("classes = %d, want 2", r.Classes)
+	}
+	reps := r.Representatives()
+	if len(reps) != 2 {
+		t.Fatalf("representatives = %d", len(reps))
+	}
+	// a stuck-at-0 must be equivalent to output stuck-at-0 (even chain).
+	a, _ := nl.WireByName("a")
+	if !r.Equivalent(Fault{a, false}, Fault{nl.Outputs[0], false}) {
+		t.Error("a s-a-0 must collapse with the output fault (even inverter count)")
+	}
+	if r.Equivalent(Fault{a, false}, Fault{a, true}) {
+		t.Error("opposite polarities must stay distinct")
+	}
+}
+
+// TestAndGateRules: AND2 input s-a-0 ≡ output s-a-0; input s-a-1 is NOT
+// equivalent to anything (only dominated by output s-a-1).
+func TestAndGateRules(t *testing.T) {
+	b := netlist.NewBuilder("and")
+	a := b.Input("a")
+	c := b.Input("c")
+	y := b.GateNamed("y", cell.AND2, a, c)
+	b.MarkOutput(y)
+	nl := b.MustNetlist()
+	r := Collapse(nl)
+
+	if !r.Equivalent(Fault{a, false}, Fault{y, false}) || !r.Equivalent(Fault{c, false}, Fault{y, false}) {
+		t.Error("AND input s-a-0 must be equivalent to output s-a-0")
+	}
+	if r.Equivalent(Fault{a, true}, Fault{y, true}) {
+		t.Error("AND input s-a-1 must not be equivalent to output s-a-1")
+	}
+	// 2*3 wires = 6 faults; class {a0,c0,y0} + {a1} + {c1} + {y1} = 4.
+	if r.Classes != 4 {
+		t.Errorf("classes = %d, want 4", r.Classes)
+	}
+	// dominance: y s-a-1 dominates a s-a-1 and c s-a-1.
+	found := 0
+	for _, d := range r.Dominances {
+		if d[0] == (Fault{y, true}) && (d[1] == Fault{a, true} || d[1] == Fault{c, true}) {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("dominance pairs found = %d, want 2", found)
+	}
+}
+
+func TestNandPolarity(t *testing.T) {
+	b := netlist.NewBuilder("nand")
+	a := b.Input("a")
+	c := b.Input("c")
+	y := b.GateNamed("y", cell.NAND2, a, c)
+	b.MarkOutput(y)
+	nl := b.MustNetlist()
+	r := Collapse(nl)
+	if !r.Equivalent(Fault{a, false}, Fault{y, true}) {
+		t.Error("NAND input s-a-0 ≡ output s-a-1")
+	}
+}
+
+func TestXorCollapsesNothing(t *testing.T) {
+	b := netlist.NewBuilder("xor")
+	a := b.Input("a")
+	c := b.Input("c")
+	y := b.GateNamed("y", cell.XOR2, a, c)
+	b.MarkOutput(y)
+	nl := b.MustNetlist()
+	r := Collapse(nl)
+	if r.Classes != r.TotalFaults {
+		t.Errorf("XOR must not collapse: %d of %d classes", r.Classes, r.TotalFaults)
+	}
+	if len(r.Dominances) != 0 {
+		t.Errorf("XOR has no dominances, got %d", len(r.Dominances))
+	}
+}
+
+// TestEquivalenceIsSemantic: property test — structurally equivalent
+// faults must be truly indistinguishable: for every input vector, the
+// faulty circuits' primary outputs agree.
+func TestEquivalenceIsSemantic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		nl := randomComb(rng)
+		r := Collapse(nl)
+		m := sim.New(nl)
+		reps := r.Representatives()
+		// pick a handful of classes with > 1 member
+		checked := 0
+		for _, rep := range reps {
+			class := r.ClassOf(rep)
+			if len(class) < 2 || checked > 4 {
+				continue
+			}
+			checked++
+			for v := 0; v < 32; v++ {
+				for i, in := range nl.Inputs {
+					m.SetValue(in, (v>>uint(i%5))&1 == 1)
+				}
+				outA := evalWithStuckAt(m, nl, class[0])
+				outB := evalWithStuckAt(m, nl, class[1])
+				for i := range outA {
+					if outA[i] != outB[i] {
+						t.Fatalf("trial %d: equivalent faults %v and %v distinguishable",
+							trial, class[0], class[1])
+					}
+				}
+			}
+		}
+	}
+}
+
+// evalWithStuckAt evaluates the combinational circuit with one wire forced.
+func evalWithStuckAt(m *sim.Machine, nl *netlist.Netlist, f Fault) []bool {
+	m.EvalCombForced(f.Wire, f.Value)
+	out := make([]bool, len(nl.Outputs))
+	for i, w := range nl.Outputs {
+		out[i] = m.Value(w)
+	}
+	return out
+}
+
+func TestCollapseOnAVRCore(t *testing.T) {
+	c := avr.NewCore()
+	r := Collapse(c.NL)
+	if r.Classes >= r.TotalFaults {
+		t.Fatal("no collapsing on a real core?")
+	}
+	// Our wire-level fault model only transfers the classical pin rules
+	// across fanout-free connections, and the decode-heavy cores share
+	// most control wires, so the collapse is milder than the textbook
+	// 40-60 %: expect a measurable but single-digit-to-low-teens shrink.
+	if r.Ratio() < 0.5 || r.Ratio() >= 1.0 {
+		t.Errorf("suspicious collapse ratio %.2f", r.Ratio())
+	}
+	if len(r.Dominances) == 0 {
+		t.Error("expected dominance pairs on a real core")
+	}
+	t.Logf("AVR: %s", r)
+}
+
+// randomComb builds a random combinational circuit.
+func randomComb(rng *rand.Rand) *netlist.Netlist {
+	b := netlist.NewBuilder("randcomb")
+	var pool []netlist.WireID
+	for i := 0; i < 5; i++ {
+		pool = append(pool, b.Input(""))
+	}
+	kinds := []cell.Kind{cell.INV, cell.BUF, cell.AND2, cell.NAND2, cell.OR2,
+		cell.NOR2, cell.AND3, cell.NOR3, cell.AOI21, cell.OAI21}
+	for i := 0; i < 25; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		c := cell.Lookup(k)
+		ins := make([]netlist.WireID, c.NumInputs())
+		for p := range ins {
+			ins[p] = pool[rng.Intn(len(pool))]
+		}
+		pool = append(pool, b.Gate(k, ins...))
+	}
+	for i := 0; i < 3; i++ {
+		b.MarkOutput(pool[len(pool)-1-i])
+	}
+	return b.MustNetlist()
+}

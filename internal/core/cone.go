@@ -1,0 +1,109 @@
+package core
+
+import (
+	"repro/internal/netlist"
+)
+
+// Cone is the fault cone of a single possibly-faulty wire: every gate and
+// wire a fault on Source can reach before the next clock edge. Sinks are
+// the cone wires where a surviving fault becomes architecturally visible:
+// flip-flop D inputs and primary outputs (paper, Section 2: a fault is
+// possibly effective "if it could eventually propagate to externally
+// visible state").
+type Cone struct {
+	// Sources are the simultaneously-faulty wires this cone was built for
+	// (one for the classic SEU model; two for the Section 6.2 double-fault
+	// extension).
+	Sources []netlist.WireID
+	// InCone marks cone membership per wire id.
+	InCone []bool
+	// Gates lists the cone gate indices in global topological order, so
+	// the cone can be re-simulated standalone.
+	Gates []int32
+	// Sinks lists cone wires that feed an FF D pin or a primary output.
+	Sinks []netlist.WireID
+}
+
+// ComputeCone performs the reachability analysis for one source wire.
+func ComputeCone(nl *netlist.Netlist, source netlist.WireID) *Cone {
+	return ComputeConeMulti(nl, []netlist.WireID{source})
+}
+
+// ComputeConeMulti builds the joint fault cone of several simultaneously
+// faulty wires (the union of their single cones): every wire reachable
+// from any source is mistrusted.
+func ComputeConeMulti(nl *netlist.Netlist, sources []netlist.WireID) *Cone {
+	c := &Cone{Sources: append([]netlist.WireID(nil), sources...), InCone: make([]bool, nl.NumWires())}
+	inGate := make([]bool, len(nl.Gates))
+
+	var stack []netlist.WireID
+	for _, source := range sources {
+		if !c.InCone[source] {
+			c.InCone[source] = true
+			stack = append(stack, source)
+		}
+	}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fr := range nl.Fanout(w) {
+			inGate[fr.Gate] = true
+			out := nl.Gates[fr.Gate].Output
+			if !c.InCone[out] {
+				c.InCone[out] = true
+				stack = append(stack, out)
+			}
+		}
+	}
+
+	// Global topological order restricted to cone gates.
+	for _, gi := range nl.EvalOrder() {
+		if inGate[gi] {
+			c.Gates = append(c.Gates, gi)
+		}
+	}
+
+	// Sinks.
+	for w := netlist.WireID(0); int(w) < nl.NumWires(); w++ {
+		if !c.InCone[w] {
+			continue
+		}
+		if len(nl.FFsOfD(w)) > 0 || nl.IsPrimaryOutput(w) {
+			c.Sinks = append(c.Sinks, w)
+		}
+	}
+	return c
+}
+
+// NumGates returns the number of gates in the cone (the paper's cone-size
+// metric, Table 1).
+func (c *Cone) NumGates() int { return len(c.Gates) }
+
+// BorderWires returns all wires that feed cone gates from outside the cone
+// — the wires MATE literals may range over.
+func (c *Cone) BorderWires(nl *netlist.Netlist) []netlist.WireID {
+	seen := map[netlist.WireID]bool{}
+	var out []netlist.WireID
+	for _, gi := range c.Gates {
+		for _, in := range nl.Gates[gi].Inputs {
+			if !c.InCone[in] && !seen[in] {
+				seen[in] = true
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+// FaultyPins returns the bitmask of pins of gate gi whose input wire lies
+// inside the cone. During MATE construction every cone wire is mistrusted
+// (paper, Section 4), so this is the faulty-input set the gate must mask.
+func (c *Cone) FaultyPins(nl *netlist.Netlist, gi int32) uint32 {
+	var mask uint32
+	for p, in := range nl.Gates[gi].Inputs {
+		if c.InCone[in] {
+			mask |= 1 << p
+		}
+	}
+	return mask
+}

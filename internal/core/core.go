@@ -1,0 +1,20 @@
+// Package core implements the paper's primary contribution: fault-masking
+// terms (MATEs) for cross-layer fault-space pruning in hardware-assisted
+// fault-injection campaigns (Dietrich et al., DAC '18).
+//
+// A MATE for a possibly-faulty wire w is a conjunction of literals over
+// wires *outside* w's fault cone ("border wires"). Whenever the conjunction
+// holds in the current circuit state, a single-event upset on w in that
+// cycle is provably masked within one clock cycle: no flip-flop next-state
+// input and no primary output changes, so the fault is benign and its
+// injection can be pruned from the campaign.
+//
+// The package provides:
+//   - fault-cone analysis over internal/netlist circuits (cone.go),
+//   - the MATE data type and per-cycle evaluation (mate.go),
+//   - the heuristic search for high-impact MATEs with the paper's three
+//     knobs — path depth, maximum number of gate-masking terms, and a
+//     candidate budget per wire (search.go),
+//   - an exact single-cycle masking oracle by duplicated-cone simulation,
+//     used to validate MATE soundness (verify.go).
+package core

@@ -1,0 +1,531 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// buildFigure1a reconstructs the paper's running example (Figure 1a): the
+// fault cone of input d is {d, g, k, l} with gates {B, D, E}; the border
+// wires are {c, f, h}; the (border) MATE for d is (¬f ∧ h); for input e
+// there is no MATE because path [C] contains no masking-capable gate.
+func buildFigure1a(t testing.TB) (*netlist.Netlist, map[string]netlist.WireID) {
+	t.Helper()
+	b := netlist.NewBuilder("fig1a")
+	w := map[string]netlist.WireID{}
+	for _, n := range []string{"a", "b", "c", "d", "e", "h"} {
+		w[n] = b.Input(n)
+	}
+	w["j"] = b.GateNamed("j", cell.NAND2, w["a"], w["b"]) // gate A
+	w["f"] = b.GateNamed("f", cell.OR2, w["j"], w["e"])   // feeds border wire f
+	w["g"] = b.GateNamed("g", cell.XOR2, w["c"], w["d"])  // gate B: no masking
+	w["k"] = b.GateNamed("k", cell.AND2, w["g"], w["f"])  // gate D
+	w["l"] = b.GateNamed("l", cell.OR2, w["g"], w["h"])   // gate E
+	w["m"] = b.GateNamed("m", cell.XOR2, w["e"], w["c"])  // gate C: no masking
+	b.MarkOutput(w["k"])
+	b.MarkOutput(w["l"])
+	b.MarkOutput(w["m"])
+	nl, err := b.Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, w
+}
+
+func TestFigure1aCone(t *testing.T) {
+	nl, w := buildFigure1a(t)
+	cone := ComputeCone(nl, w["d"])
+	wantWires := map[string]bool{"d": true, "g": true, "k": true, "l": true}
+	for name, id := range w {
+		if cone.InCone[id] != wantWires[name] {
+			t.Errorf("wire %s: inCone=%v want %v", name, cone.InCone[id], wantWires[name])
+		}
+	}
+	if cone.NumGates() != 3 {
+		t.Errorf("cone gates = %d, want 3 (B, D, E)", cone.NumGates())
+	}
+	if len(cone.Sinks) != 2 {
+		t.Errorf("sinks = %d, want 2 (k, l)", len(cone.Sinks))
+	}
+	borders := cone.BorderWires(nl)
+	wantBorders := map[netlist.WireID]bool{w["c"]: true, w["f"]: true, w["h"]: true}
+	if len(borders) != 3 {
+		t.Fatalf("borders = %d, want 3", len(borders))
+	}
+	for _, bw := range borders {
+		if !wantBorders[bw] {
+			t.Errorf("unexpected border wire %s", nl.WireName(bw))
+		}
+	}
+}
+
+func TestFigure1aMATEForD(t *testing.T) {
+	nl, w := buildFigure1a(t)
+	p := DefaultSearchParams()
+	res := Search(nl, []netlist.WireID{w["d"]}, p)
+	if res.Unmaskable != 0 {
+		t.Fatal("d must be maskable")
+	}
+	if res.Set.Size() != 1 {
+		t.Fatalf("MATEs for d = %d, want exactly 1 (the border MATE ¬f∧h)", res.Set.Size())
+	}
+	m := res.Set.MATEs[0]
+	if len(m.Literals) != 2 {
+		t.Fatalf("MATE literals = %v", m.Literals)
+	}
+	lits := map[netlist.WireID]bool{}
+	for _, l := range m.Literals {
+		lits[l.Wire] = l.Value
+	}
+	if v, ok := lits[w["f"]]; !ok || v {
+		t.Errorf("expected literal ¬f, got %s", m.String(nl))
+	}
+	if v, ok := lits[w["h"]]; !ok || !v {
+		t.Errorf("expected literal h, got %s", m.String(nl))
+	}
+}
+
+func TestFigure1aNoMATEForE(t *testing.T) {
+	nl, w := buildFigure1a(t)
+	res := Search(nl, []netlist.WireID{w["e"]}, DefaultSearchParams())
+	if res.Unmaskable != 1 {
+		t.Fatalf("e must be unmaskable (path through XOR gate C), got %d MATEs", res.Set.Size())
+	}
+	if res.Set.Size() != 0 {
+		t.Fatalf("unexpected MATEs for e: %d", res.Set.Size())
+	}
+}
+
+func TestFigure1aMATESoundExhaustive(t *testing.T) {
+	// For every input combination where the MATE for d triggers, flipping d
+	// must leave k and l unchanged.
+	nl, w := buildFigure1a(t)
+	res := Search(nl, []netlist.WireID{w["d"]}, DefaultSearchParams())
+	m := res.Set.MATEs[0]
+	machine := sim.New(nl)
+	oracle := NewOracle(nl)
+	cone := ComputeCone(nl, w["d"])
+	inputs := []netlist.WireID{w["a"], w["b"], w["c"], w["d"], w["e"], w["h"]}
+	triggers := 0
+	for v := uint64(0); v < 64; v++ {
+		machine.WriteBus(inputs, v)
+		machine.EvalComb()
+		if !m.Eval(machine.Value) {
+			continue
+		}
+		triggers++
+		vals := append([]bool(nil), machine.Values()...)
+		if !oracle.MaskedExact(cone, vals) {
+			t.Fatalf("MATE triggered for inputs %06b but fault in d not masked", v)
+		}
+	}
+	if triggers == 0 {
+		t.Fatal("MATE never triggered in exhaustive input sweep")
+	}
+}
+
+func TestOracleDetectsUnmasked(t *testing.T) {
+	nl, w := buildFigure1a(t)
+	machine := sim.New(nl)
+	oracle := NewOracle(nl)
+	cone := ComputeCone(nl, w["d"])
+	// f=1, h=0: fault in d propagates through both D and E.
+	machine.SetValue(w["a"], false) // j = NAND(0,b)=1 -> f=1
+	machine.SetValue(w["h"], false)
+	machine.EvalComb()
+	if oracle.MaskedExact(cone, machine.Values()) {
+		t.Fatal("oracle claims masked, but fault must propagate")
+	}
+}
+
+// --- FF-level semantics ---
+
+// TestHoldRegisterNotMaskedWhenHolding captures design decision 2 of
+// DESIGN.md: an enable-muxed register holding its value (en=0) keeps the
+// fault alive (Q feeds D), so no MATE may trigger; when the register loads
+// new data (en=1) the hold path is masked at the mux.
+func TestHoldRegisterMaskingSemantics(t *testing.T) {
+	b := netlist.NewBuilder("holdreg")
+	d := b.Input("d")
+	en := b.Input("en")
+	q := b.FFPlaceholder("q", false, "state")
+	next := b.Gate(cell.MUX2, q, d, en)
+	b.SetFFD(q, next)
+	out := b.GateNamed("out", cell.AND2, q, en) // make Q observable
+	b.MarkOutput(out)
+	nl := b.MustNetlist()
+
+	// The two paths need contradictory border values (mux wants en=1, the
+	// AND wants en=0), so no consistent MATE may exist — and indeed no
+	// state masks the fault, which the oracle confirms.
+	res := Search(nl, []netlist.WireID{q}, DefaultSearchParams())
+	if res.Set.Size() != 0 {
+		t.Fatalf("expected no consistent MATE, got %d (%s)",
+			res.Set.Size(), res.Set.MATEs[0].String(nl))
+	}
+	if res.Unmaskable != 0 {
+		t.Fatal("wire has maskable gates on every path; it is not structurally unmaskable")
+	}
+	oracle := NewOracle(nl)
+	cone := ComputeCone(nl, q)
+	m := sim.New(nl)
+
+	// en=0: holding. Fault survives in the mux hold path.
+	m.SetValue(en, false)
+	m.SetValue(d, true)
+	m.EvalComb()
+	if oracle.MaskedExact(cone, m.Values()) {
+		t.Fatal("holding register cannot mask a Q fault")
+	}
+
+	// en=1: loading; Q fault dead at the mux but visible through `out`.
+	m.SetValue(en, true)
+	m.EvalComb()
+	if oracle.MaskedExact(cone, m.Values()) {
+		t.Fatal("Q visible through out while en=1")
+	}
+}
+
+// TestWriteEnableMaskedRegister: a register whose Q only feeds its own
+// hold mux is masked exactly when it is being overwritten — the paper's
+// mov/ld example in miniature.
+func TestWriteEnableMaskedRegister(t *testing.T) {
+	b := netlist.NewBuilder("wereg")
+	d := b.Input("d")
+	en := b.Input("en")
+	q := b.FFPlaceholder("q", false, "state")
+	next := b.Gate(cell.MUX2, q, d, en)
+	b.SetFFD(q, next)
+	probe := b.GateNamed("probe", cell.BUF, d) // keep d observable, q private
+	b.MarkOutput(probe)
+	nl := b.MustNetlist()
+
+	res := Search(nl, []netlist.WireID{q}, DefaultSearchParams())
+	if res.Set.Size() == 0 {
+		t.Fatal("expected MATE (en=1 masks the hold mux)")
+	}
+	found := false
+	for _, m := range res.Set.MATEs {
+		if len(m.Literals) == 1 && m.Literals[0].Wire == en && m.Literals[0].Value {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected the MATE 'en' alone; got %d MATEs", res.Set.Size())
+	}
+}
+
+func TestDanglingFFAlwaysBenign(t *testing.T) {
+	b := netlist.NewBuilder("dangling")
+	d := b.Input("d")
+	q := b.FF("q", d, false, "state") // Q drives nothing
+	probe := b.Gate(cell.BUF, d)
+	b.MarkOutput(probe)
+	nl := b.MustNetlist()
+	res := Search(nl, []netlist.WireID{q}, DefaultSearchParams())
+	if res.Set.Size() != 1 || len(res.Set.MATEs[0].Literals) != 0 {
+		t.Fatalf("expected single always-true MATE, got %d", res.Set.Size())
+	}
+	if !res.Set.MATEs[0].Eval(func(netlist.WireID) bool { return false }) {
+		t.Fatal("always-true MATE must trigger")
+	}
+}
+
+func TestDirectFFToFFUnmaskable(t *testing.T) {
+	// Q wired straight into another FF's D: the empty path cannot be
+	// covered by any gate, so the wire is unmaskable.
+	b := netlist.NewBuilder("direct")
+	d := b.Input("d")
+	q1 := b.FF("q1", d, false, "")
+	q2 := b.FF("q2", q1, false, "")
+	b.MarkOutput(q2)
+	nl := b.MustNetlist()
+	res := Search(nl, []netlist.WireID{q1}, DefaultSearchParams())
+	if res.Unmaskable != 1 {
+		t.Fatalf("expected unmaskable, got %d MATEs", res.Set.Size())
+	}
+}
+
+func TestDepthTruncationConservative(t *testing.T) {
+	// d -> chain of 10 XOR stages -> AND(z) -> output. The only masking
+	// gate sits at depth 11. With depth 8 the paths truncate before it:
+	// the wire must be reported unmaskable. With depth 12 the MATE z=0
+	// appears.
+	build := func() (*netlist.Netlist, netlist.WireID, netlist.WireID) {
+		b := netlist.NewBuilder("chain")
+		d := b.Input("d")
+		z := b.Input("z")
+		cur := d
+		for i := 0; i < 10; i++ {
+			stage := b.Input("")
+			cur = b.Gate(cell.XOR2, cur, stage)
+		}
+		out := b.Gate(cell.AND2, cur, z)
+		b.MarkOutput(out)
+		return b.MustNetlist(), d, z
+	}
+
+	nl, d, _ := build()
+	p := DefaultSearchParams()
+	p.Depth = 8
+	res := Search(nl, []netlist.WireID{d}, p)
+	if res.Unmaskable != 1 {
+		t.Fatalf("depth 8: expected unmaskable (conservative truncation), got %d MATEs", res.Set.Size())
+	}
+
+	nl2, d2, z2 := build()
+	p.Depth = 12
+	res = Search(nl2, []netlist.WireID{d2}, p)
+	if res.Set.Size() != 1 {
+		t.Fatalf("depth 12: got %d MATEs, want 1", res.Set.Size())
+	}
+	m := res.Set.MATEs[0]
+	if len(m.Literals) != 1 || m.Literals[0].Wire != z2 || m.Literals[0].Value {
+		t.Fatalf("depth 12: MATE = %s, want ¬z", m.String(nl2))
+	}
+}
+
+func TestMATEMergingAcrossWires(t *testing.T) {
+	// Two independent faulty wires masked by the same border condition:
+	// s=1 selects input `d` in two muxes, masking both q1 and q2.
+	b := netlist.NewBuilder("merge")
+	d := b.Input("d")
+	s := b.Input("s")
+	q1 := b.FFPlaceholder("q1", false, "")
+	q2 := b.FFPlaceholder("q2", false, "")
+	b.SetFFD(q1, b.Gate(cell.MUX2, q1, d, s))
+	b.SetFFD(q2, b.Gate(cell.MUX2, q2, d, s))
+	probe := b.Gate(cell.BUF, d)
+	b.MarkOutput(probe)
+	nl := b.MustNetlist()
+
+	res := Search(nl, []netlist.WireID{q1, q2}, DefaultSearchParams())
+	var merged *MATE
+	for _, m := range res.Set.MATEs {
+		if len(m.Literals) == 1 && m.Literals[0].Wire == s && m.Literals[0].Value {
+			merged = m
+		}
+	}
+	if merged == nil {
+		t.Fatal("expected MATE s")
+	}
+	if len(merged.Masks) != 2 {
+		t.Fatalf("MATE s should mask both wires, masks=%v", merged.Masks)
+	}
+}
+
+func TestCandidateBudgetRespected(t *testing.T) {
+	nl, w := buildFigure1a(t)
+	p := DefaultSearchParams()
+	p.MaxCandidates = 1
+	res := Search(nl, []netlist.WireID{w["d"]}, p)
+	if res.TotalCandidates > 1 {
+		t.Fatalf("candidates = %d, budget 1", res.TotalCandidates)
+	}
+}
+
+// --- randomized soundness property test ---
+
+// randomCircuit builds a random acyclic synchronous circuit with nFF
+// flip-flops, nIn inputs and nGates gates.
+func randomCircuit(rng *rand.Rand, nFF, nIn, nGates int) (*netlist.Netlist, []netlist.WireID) {
+	b := netlist.NewBuilder("rand")
+	var pool []netlist.WireID
+	var ins []netlist.WireID
+	for i := 0; i < nIn; i++ {
+		w := b.Input("")
+		pool = append(pool, w)
+		ins = append(ins, w)
+	}
+	var qs []netlist.WireID
+	for i := 0; i < nFF; i++ {
+		q := b.FFPlaceholder("", rng.Intn(2) == 0, "ff")
+		pool = append(pool, q)
+		qs = append(qs, q)
+	}
+	kinds := []cell.Kind{
+		cell.BUF, cell.INV, cell.AND2, cell.AND3, cell.NAND2, cell.OR2,
+		cell.OR3, cell.NOR2, cell.XOR2, cell.XNOR2, cell.MUX2, cell.AOI21,
+		cell.OAI21, cell.MAJ3, cell.AND4, cell.NOR3,
+	}
+	for i := 0; i < nGates; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		c := cell.Lookup(k)
+		inputs := make([]netlist.WireID, c.NumInputs())
+		for p := range inputs {
+			inputs[p] = pool[rng.Intn(len(pool))]
+		}
+		out := b.Gate(k, inputs...)
+		pool = append(pool, out)
+	}
+	for _, q := range qs {
+		b.SetFFD(q, pool[rng.Intn(len(pool))])
+	}
+	// a few primary outputs
+	for i := 0; i < 3; i++ {
+		b.MarkOutput(pool[len(pool)-1-i])
+	}
+	nl := b.MustNetlist()
+	_ = ins
+	return nl, qs
+}
+
+// TestSearchSoundnessRandomCircuits is the central property test: on
+// random circuits with random stimuli, every MATE the search returns must
+// be exactly sound — whenever it triggers, the exact cone-duplication
+// oracle confirms the fault is masked within one cycle.
+func TestSearchSoundnessRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		nl, qs := randomCircuit(rng, 8, 6, 60)
+		m := sim.New(nl)
+		env := sim.EnvFunc(func(m *sim.Machine) {
+			for _, in := range m.NL.Inputs {
+				m.SetValue(in, rng.Intn(2) == 0)
+			}
+		})
+		tr := sim.Record(m, env, 64)
+
+		p := DefaultSearchParams()
+		p.Workers = 2
+		res := Search(nl, qs, p)
+		oracle := NewOracle(nl)
+		for _, mate := range res.Set.MATEs {
+			checked, viol := oracle.ValidateMATE(mate, tr)
+			if viol != nil {
+				t.Fatalf("trial %d: MATE %s unsound at cycle %d wire %s (checked %d)",
+					trial, mate.String(nl), viol.Cycle, nl.WireName(viol.Wire), checked)
+			}
+		}
+	}
+}
+
+// TestSearchDeterminism: two runs with different worker counts must yield
+// the same MATE set in the same order.
+func TestSearchDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nl, qs := randomCircuit(rng, 10, 5, 80)
+	p1 := DefaultSearchParams()
+	p1.Workers = 1
+	p8 := DefaultSearchParams()
+	p8.Workers = 8
+	r1 := Search(nl, qs, p1)
+	r8 := Search(nl, qs, p8)
+	if r1.Set.Size() != r8.Set.Size() {
+		t.Fatalf("sizes differ: %d vs %d", r1.Set.Size(), r8.Set.Size())
+	}
+	for i := range r1.Set.MATEs {
+		if r1.Set.MATEs[i].Key() != r8.Set.MATEs[i].Key() {
+			t.Fatalf("MATE %d differs between runs", i)
+		}
+	}
+	if r1.TotalCandidates != r8.TotalCandidates {
+		t.Fatalf("candidate counts differ: %d vs %d", r1.TotalCandidates, r8.TotalCandidates)
+	}
+}
+
+func TestSearchResultStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nl, qs := randomCircuit(rng, 6, 4, 40)
+	res := Search(nl, qs, DefaultSearchParams())
+	if len(res.Reports) != len(qs) {
+		t.Fatalf("reports = %d", len(res.Reports))
+	}
+	if res.AvgConeGates() < 0 {
+		t.Fatal("avg cone negative")
+	}
+	if res.MedianConeGates() < 0 {
+		t.Fatal("median cone negative")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed not measured")
+	}
+}
+
+// --- MATE unit tests ---
+
+func TestNormalizeLiterals(t *testing.T) {
+	lits := []Literal{{3, true}, {1, false}, {3, true}}
+	norm, ok := normalizeLiterals(lits)
+	if !ok || len(norm) != 2 || norm[0].Wire != 1 || norm[1].Wire != 3 {
+		t.Fatalf("normalize = %v ok=%v", norm, ok)
+	}
+	_, ok = normalizeLiterals([]Literal{{2, true}, {2, false}})
+	if ok {
+		t.Fatal("conflicting literals must be rejected")
+	}
+}
+
+func TestMATEKeyAndString(t *testing.T) {
+	nl, w := buildFigure1a(t)
+	m := &MATE{Literals: []Literal{{w["f"], false}, {w["h"], true}}}
+	if m.Key() == "" || m.Key() != (&MATE{Literals: m.Literals}).Key() {
+		t.Fatal("key not canonical")
+	}
+	s := m.String(nl)
+	if s != "¬f ∧ h" {
+		t.Errorf("String = %q", s)
+	}
+	empty := &MATE{}
+	if empty.String(nl) != "TRUE" {
+		t.Errorf("empty MATE String = %q", empty.String(nl))
+	}
+}
+
+func TestMATESetAvgInputs(t *testing.T) {
+	s := &MATESet{MATEs: []*MATE{
+		{Literals: make([]Literal, 2)},
+		{Literals: make([]Literal, 4)},
+	}}
+	mean, std := s.AvgInputs()
+	if mean != 3 {
+		t.Errorf("mean = %v", mean)
+	}
+	if std != 1 {
+		t.Errorf("std = %v", std)
+	}
+	empty := &MATESet{}
+	if m, sd := empty.AvgInputs(); m != 0 || sd != 0 {
+		t.Error("empty set stats")
+	}
+}
+
+func TestSortByCoverage(t *testing.T) {
+	s := &MATESet{MATEs: []*MATE{
+		{Literals: make([]Literal, 1), Masks: []netlist.WireID{1}},
+		{Literals: make([]Literal, 2), Masks: []netlist.WireID{1, 2, 3}},
+		{Literals: make([]Literal, 1), Masks: []netlist.WireID{1, 2}},
+	}}
+	s.SortByCoverage()
+	if len(s.MATEs[0].Masks) != 3 || len(s.MATEs[1].Masks) != 2 || len(s.MATEs[2].Masks) != 1 {
+		t.Fatal("not sorted by coverage")
+	}
+}
+
+func TestExactMaskedCycles(t *testing.T) {
+	nl, w := buildFigure1a(t)
+	m := sim.New(nl)
+	rng := rand.New(rand.NewSource(9))
+	env := sim.EnvFunc(func(m *sim.Machine) {
+		for _, in := range m.NL.Inputs {
+			m.SetValue(in, rng.Intn(2) == 0)
+		}
+	})
+	tr := sim.Record(m, env, 32)
+	oracle := NewOracle(nl)
+	masked := oracle.ExactMaskedCycles(w["d"], tr)
+	if len(masked) != 32 {
+		t.Fatalf("len = %d", len(masked))
+	}
+	// cross-check a few cycles against direct oracle calls
+	cone := ComputeCone(nl, w["d"])
+	for c := 0; c < 32; c += 5 {
+		if masked[c] != oracle.MaskedExactTrace(cone, tr, c) {
+			t.Fatalf("cycle %d inconsistent", c)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Literal is one conjunct of a MATE: wire must carry Value.
+type Literal struct {
+	Wire  netlist.WireID
+	Value bool
+}
+
+// MATE is a fault-masking term: when every literal holds in the current
+// cycle, an SEU on any wire in Masks during this cycle is masked within one
+// clock cycle and therefore benign. Literals are sorted by wire id; Masks
+// is sorted and deduplicated.
+type MATE struct {
+	Literals []Literal
+	Masks    []netlist.WireID
+}
+
+// NumInputs returns the number of distinct input signals of the MATE — the
+// paper's hardware-cost metric ("Avg. #inputs", Tables 2 and 3).
+func (m *MATE) NumInputs() int { return len(m.Literals) }
+
+// Eval evaluates the conjunction against a wire-value lookup.
+func (m *MATE) Eval(value func(netlist.WireID) bool) bool {
+	for _, l := range m.Literals {
+		if value(l.Wire) != l.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalTrace evaluates the conjunction on one cycle of a recorded trace.
+func (m *MATE) EvalTrace(tr *sim.Trace, cycle int) bool {
+	for _, l := range m.Literals {
+		if tr.Get(cycle, l.Wire) != l.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical representation of the literal set, used to merge
+// identical terms discovered for different faulty wires (paper, Section 4:
+// "oftentimes, one active MATE indicates the masking of more than one
+// fault").
+func (m *MATE) Key() string {
+	var sb strings.Builder
+	for _, l := range m.Literals {
+		v := byte('0')
+		if l.Value {
+			v = '1'
+		}
+		fmt.Fprintf(&sb, "%d=%c;", l.Wire, v)
+	}
+	return sb.String()
+}
+
+// String renders the MATE with wire names.
+func (m *MATE) String(nl *netlist.Netlist) string {
+	if len(m.Literals) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(m.Literals))
+	for i, l := range m.Literals {
+		neg := "¬"
+		if l.Value {
+			neg = ""
+		}
+		parts[i] = neg + nl.WireName(l.Wire)
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// normalizeLiterals sorts literals by wire and reports a conflict when the
+// same wire is required to be both 0 and 1 (such a conjunction can never
+// trigger and is discarded by the search).
+func normalizeLiterals(lits []Literal) ([]Literal, bool) {
+	sort.Slice(lits, func(i, j int) bool { return lits[i].Wire < lits[j].Wire })
+	out := lits[:0]
+	for i := 0; i < len(lits); i++ {
+		if i > 0 && lits[i].Wire == lits[i-1].Wire {
+			if lits[i].Value != lits[i-1].Value {
+				return nil, false
+			}
+			continue
+		}
+		out = append(out, lits[i])
+	}
+	return out, true
+}
+
+// MATESet is a collection of MATEs for one circuit and fault set, with the
+// summarisation/merging of step 3 of the search applied.
+type MATESet struct {
+	MATEs []*MATE
+}
+
+// merge inserts a term for a faulty wire, merging with an existing MATE
+// that has the same literal set.
+type mateMerger struct {
+	byKey map[string]*MATE
+	order []*MATE
+}
+
+func newMateMerger() *mateMerger { return &mateMerger{byKey: map[string]*MATE{}} }
+
+func (mm *mateMerger) add(lits []Literal, faulty netlist.WireID) {
+	m := &MATE{Literals: lits}
+	key := m.Key()
+	if prev, ok := mm.byKey[key]; ok {
+		// merge masks
+		i := sort.Search(len(prev.Masks), func(i int) bool { return prev.Masks[i] >= faulty })
+		if i < len(prev.Masks) && prev.Masks[i] == faulty {
+			return
+		}
+		prev.Masks = append(prev.Masks, 0)
+		copy(prev.Masks[i+1:], prev.Masks[i:])
+		prev.Masks[i] = faulty
+		return
+	}
+	m.Masks = []netlist.WireID{faulty}
+	mm.byKey[key] = m
+	mm.order = append(mm.order, m)
+}
+
+func (mm *mateMerger) set() *MATESet { return &MATESet{MATEs: mm.order} }
+
+// Size returns the number of distinct MATEs.
+func (s *MATESet) Size() int { return len(s.MATEs) }
+
+// SortByCoverage orders MATEs by the number of faults they mask
+// (descending), the starting order for the hit-counter selection.
+func (s *MATESet) SortByCoverage() {
+	sort.SliceStable(s.MATEs, func(i, j int) bool {
+		if len(s.MATEs[i].Masks) != len(s.MATEs[j].Masks) {
+			return len(s.MATEs[i].Masks) > len(s.MATEs[j].Masks)
+		}
+		return len(s.MATEs[i].Literals) < len(s.MATEs[j].Literals)
+	})
+}
+
+// AvgInputs returns the mean and standard deviation of the MATE input
+// counts (paper metric "Avg. #inputs").
+func (s *MATESet) AvgInputs() (mean, std float64) {
+	if len(s.MATEs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, m := range s.MATEs {
+		sum += float64(m.NumInputs())
+	}
+	mean = sum / float64(len(s.MATEs))
+	var varsum float64
+	for _, m := range s.MATEs {
+		d := float64(m.NumInputs()) - mean
+		varsum += d * d
+	}
+	std = math.Sqrt(varsum / float64(len(s.MATEs)))
+	return mean, std
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// WriteMATESet serialises a MATE set as a line-oriented text format keyed
+// by wire names, so sets can be exchanged between the search tool and the
+// pruning/campaign tools:
+//
+//	# comment
+//	wireA=0 wireB=1 | maskedWire1 maskedWire2
+//
+// An always-true MATE has an empty literal list ("| maskedWire").
+func WriteMATESet(w io.Writer, nl *netlist.Netlist, set *MATESet) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# MATE set for netlist %q: %d MATEs\n", nl.Name, set.Size())
+	for _, m := range set.MATEs {
+		for i, l := range m.Literals {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			v := '0'
+			if l.Value {
+				v = '1'
+			}
+			fmt.Fprintf(bw, "%s=%c", nl.WireName(l.Wire), v)
+		}
+		bw.WriteString(" |")
+		for _, mask := range m.Masks {
+			fmt.Fprintf(bw, " %s", nl.WireName(mask))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadMATESet parses the format written by WriteMATESet, resolving wire
+// names against the given netlist.
+func ReadMATESet(r io.Reader, nl *netlist.Netlist) (*MATESet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	set := &MATESet{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "|", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("mate set line %d: missing '|'", lineNo)
+		}
+		m := &MATE{}
+		for _, tok := range strings.Fields(parts[0]) {
+			eq := strings.LastIndexByte(tok, '=')
+			if eq < 0 || eq == len(tok)-1 {
+				return nil, fmt.Errorf("mate set line %d: bad literal %q", lineNo, tok)
+			}
+			w, ok := nl.WireByName(tok[:eq])
+			if !ok {
+				return nil, fmt.Errorf("mate set line %d: unknown wire %q", lineNo, tok[:eq])
+			}
+			switch tok[eq+1] {
+			case '0':
+				m.Literals = append(m.Literals, Literal{Wire: w, Value: false})
+			case '1':
+				m.Literals = append(m.Literals, Literal{Wire: w, Value: true})
+			default:
+				return nil, fmt.Errorf("mate set line %d: bad value in %q", lineNo, tok)
+			}
+		}
+		var ok bool
+		if m.Literals, ok = normalizeLiterals(m.Literals); !ok {
+			return nil, fmt.Errorf("mate set line %d: conflicting literals", lineNo)
+		}
+		masks := strings.Fields(parts[1])
+		if len(masks) == 0 {
+			return nil, fmt.Errorf("mate set line %d: MATE masks nothing", lineNo)
+		}
+		for _, name := range masks {
+			w, ok := nl.WireByName(name)
+			if !ok {
+				return nil, fmt.Errorf("mate set line %d: unknown masked wire %q", lineNo, name)
+			}
+			m.Masks = append(m.Masks, w)
+		}
+		set.MATEs = append(set.MATEs, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

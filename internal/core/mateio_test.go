@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestMATESetRoundTrip(t *testing.T) {
+	nl, w := buildFigure1a(t)
+	inputs := []netlist.WireID{w["a"], w["b"], w["c"], w["d"], w["e"], w["h"]}
+	set := Search(nl, inputs, DefaultSearchParams()).Set
+	if set.Size() == 0 {
+		t.Fatal("empty set")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMATESet(&buf, nl, set); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadMATESet(bytes.NewReader(buf.Bytes()), nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Size() != set.Size() {
+		t.Fatalf("size: got %d want %d", parsed.Size(), set.Size())
+	}
+	for i := range set.MATEs {
+		if set.MATEs[i].Key() != parsed.MATEs[i].Key() {
+			t.Fatalf("MATE %d literals differ", i)
+		}
+		if len(set.MATEs[i].Masks) != len(parsed.MATEs[i].Masks) {
+			t.Fatalf("MATE %d masks differ", i)
+		}
+		for j := range set.MATEs[i].Masks {
+			if set.MATEs[i].Masks[j] != parsed.MATEs[i].Masks[j] {
+				t.Fatalf("MATE %d mask %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadMATESetErrors(t *testing.T) {
+	nl, _ := buildFigure1a(t)
+	cases := map[string]string{
+		"missing pipe":    "a=0 b=1\n",
+		"bad literal":     "a@1 | d\n",
+		"unknown wire":    "zzz=1 | d\n",
+		"bad value":       "a=x | d\n",
+		"no masks":        "a=0 |\n",
+		"unknown mask":    "a=0 | qqq\n",
+		"conflict":        "a=0 a=1 | d\n",
+		"trailing equals": "a= | d\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMATESet(strings.NewReader(src), nl); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}
+
+func TestReadMATESetSkipsComments(t *testing.T) {
+	nl, _ := buildFigure1a(t)
+	src := "# header\n\n  # another\na=0 b=1 | d e\n"
+	set, err := ReadMATESet(strings.NewReader(src), nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Size() != 1 || len(set.MATEs[0].Literals) != 2 || len(set.MATEs[0].Masks) != 2 {
+		t.Fatalf("parsed %+v", set.MATEs)
+	}
+}
+
+func TestWriteMATESetAlwaysTrue(t *testing.T) {
+	nl, w := buildFigure1a(t)
+	set := &MATESet{MATEs: []*MATE{{Masks: []netlist.WireID{w["d"]}}}}
+	var buf bytes.Buffer
+	if err := WriteMATESet(&buf, nl, set); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadMATESet(bytes.NewReader(buf.Bytes()), nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Size() != 1 || len(parsed.MATEs[0].Literals) != 0 {
+		t.Fatal("always-true MATE did not round trip")
+	}
+}

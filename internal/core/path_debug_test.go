@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/cpu/avr"
+	"repro/internal/netlist"
+)
+
+// findMasklessPath mirrors the search DFS and returns the first path that
+// contains no masking-capable gate (debug aid for core development).
+func findMasklessPath(nl *netlist.Netlist, w netlist.WireID, depth int) []string {
+	cone := ComputeCone(nl, w)
+	var path []string
+	var found []string
+	maskable := 0
+	var dfs func(wire netlist.WireID, d int) bool
+	dfs = func(wire netlist.WireID, d int) bool {
+		sink := len(nl.FFsOfD(wire)) > 0 || nl.IsPrimaryOutput(wire)
+		if sink && maskable == 0 {
+			found = append(append([]string(nil), path...), "-> sink "+nl.WireName(wire))
+			return false
+		}
+		fo := nl.Fanout(wire)
+		if len(fo) == 0 {
+			return true
+		}
+		if d == depth {
+			if maskable == 0 {
+				found = append(append([]string(nil), path...), "-> truncated at "+nl.WireName(wire))
+				return false
+			}
+			return true
+		}
+		for _, fr := range fo {
+			g := &nl.Gates[fr.Gate]
+			faulty := cone.FaultyPins(nl, fr.Gate)
+			m := len(cell.MaskingTerms(g.Cell, faulty)) > 0
+			path = append(path, g.Name+"/"+g.Cell.Name)
+			if m {
+				maskable++
+			}
+			ok := dfs(g.Output, d+1)
+			if m {
+				maskable--
+			}
+			path = path[:len(path)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if !dfs(w, 0) {
+		return found
+	}
+	return nil
+}
+
+func TestDebugAVRUnmaskablePaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug diagnostics")
+	}
+	c := avr.NewCore()
+	for _, name := range []string{"ir[4]", "ir[8]", "rf.r3[2]", "sreg.c[0]", "port[3]"} {
+		w, ok := c.NL.WireByName(name)
+		if !ok {
+			t.Fatalf("no wire %s", name)
+		}
+		p := findMasklessPath(c.NL, w, 8)
+		t.Logf("%s: maskless path = %v", name, p)
+	}
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// SearchParams are the heuristic knobs of the MATE search (paper,
+// Section 5.2): path-enumeration depth, the maximum number of gate-masking
+// terms per MATE, and the candidate budget per faulty wire. MaxPaths bounds
+// the path enumeration itself (implementation safety valve; generous enough
+// to be inactive on the evaluated cores), MaxMATEsPerWire bounds result
+// memory (0 = unlimited).
+type SearchParams struct {
+	Depth           int
+	MaxTerms        int
+	MaxCandidates   int
+	MaxPaths        int
+	MaxMATEsPerWire int
+	Workers         int
+}
+
+// DefaultSearchParams returns the parameters used in the paper's
+// evaluation: depth 8, at most 4 gate-masking terms, 100 000 candidates per
+// faulty wire.
+func DefaultSearchParams() SearchParams {
+	return SearchParams{
+		Depth:           8,
+		MaxTerms:        4,
+		MaxCandidates:   100000,
+		MaxPaths:        50000,
+		MaxMATEsPerWire: 512,
+		Workers:         runtime.NumCPU(),
+	}
+}
+
+// WireReport describes the search outcome for one faulty wire.
+type WireReport struct {
+	Wire               netlist.WireID
+	ConeGates          int
+	Paths              int
+	TruncatedPaths     int
+	UniqueConstraints  int
+	Unmaskable         bool
+	PathBudgetExceeded bool
+	Candidates         int64
+	NumMATEs           int
+}
+
+// SearchResult aggregates the whole search run. Its fields feed Table 1 of
+// the paper directly.
+type SearchResult struct {
+	Params          SearchParams
+	Reports         []WireReport
+	Set             *MATESet
+	Elapsed         time.Duration
+	TotalCandidates int64
+	Unmaskable      int
+}
+
+// AvgConeGates returns the mean fault-cone size in gates.
+func (r *SearchResult) AvgConeGates() float64 {
+	if len(r.Reports) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, rep := range r.Reports {
+		sum += float64(rep.ConeGates)
+	}
+	return sum / float64(len(r.Reports))
+}
+
+// MedianConeGates returns the median fault-cone size in gates.
+func (r *SearchResult) MedianConeGates() int {
+	if len(r.Reports) == 0 {
+		return 0
+	}
+	sizes := make([]int, len(r.Reports))
+	for i, rep := range r.Reports {
+		sizes[i] = rep.ConeGates
+	}
+	sort.Ints(sizes)
+	return sizes[len(sizes)/2]
+}
+
+// Search runs the heuristic MATE search for every wire in wires, in
+// parallel across Workers goroutines (the paper parallelised over faulty
+// flip-flops with PyPy processes). The result is deterministic: MATEs are
+// merged in input wire order.
+func Search(nl *netlist.Netlist, wires []netlist.WireID, p SearchParams) *SearchResult {
+	start := time.Now()
+	if p.Workers <= 0 {
+		p.Workers = 1
+	}
+	type job struct {
+		idx  int
+		wire netlist.WireID
+	}
+	type done struct {
+		idx    int
+		report WireReport
+		mates  [][]Literal
+	}
+	jobs := make(chan job)
+	results := make([]done, len(wires))
+	sem := make(chan struct{}, p.Workers)
+	doneCh := make(chan done)
+
+	go func() {
+		for i, w := range wires {
+			jobs <- job{i, w}
+		}
+		close(jobs)
+	}()
+	go func() {
+		for j := range jobs {
+			sem <- struct{}{}
+			go func(j job) {
+				defer func() { <-sem }()
+				rep, mates := searchWire(nl, j.wire, p)
+				doneCh <- done{j.idx, rep, mates}
+			}(j)
+		}
+	}()
+
+	for range wires {
+		d := <-doneCh
+		results[d.idx] = d
+	}
+
+	res := &SearchResult{Params: p, Set: nil}
+	merger := newMateMerger()
+	for _, d := range results {
+		res.Reports = append(res.Reports, d.report)
+		res.TotalCandidates += d.report.Candidates
+		if d.report.Unmaskable {
+			res.Unmaskable++
+		}
+		for _, lits := range d.mates {
+			merger.add(lits, d.report.Wire)
+		}
+	}
+	res.Set = merger.set()
+	res.Set.SortByCoverage()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// maskableGate is a cone gate with fault-masking capability: the GM terms
+// for its cone-internal (mistrusted) input pins, already translated to
+// wire-level literals over border wires.
+type maskableGate struct {
+	gate  int32
+	terms [][]Literal
+}
+
+// searchWire runs step 2 of the heuristic for one faulty wire.
+func searchWire(nl *netlist.Netlist, w netlist.WireID, p SearchParams) (WireReport, [][]Literal) {
+	return searchSources(nl, []netlist.WireID{w}, p)
+}
+
+// searchSources is the generalised search engine: enumerate propagation
+// paths through the (joint) fault cone up to the configured depth, derive
+// the per-gate masking options, and enumerate consistent term-combinations
+// whose gates cover every path. With one source this is the paper's SEU
+// search; with two it constructs the multi-bit MATEs of Section 6.2.
+func searchSources(nl *netlist.Netlist, sources []netlist.WireID, p SearchParams) (WireReport, [][]Literal) {
+	rep := WireReport{Wire: sources[0]}
+	cone := ComputeConeMulti(nl, sources)
+	rep.ConeGates = cone.NumGates()
+
+	// Per-gate masking options.
+	maskIdx := make(map[int32]int) // gate -> index into maskables
+	var maskables []maskableGate
+	gateOptions := func(gi int32) (int, bool) {
+		if idx, ok := maskIdx[gi]; ok {
+			if idx < 0 {
+				return 0, false
+			}
+			return idx, true
+		}
+		g := &nl.Gates[gi]
+		faulty := cone.FaultyPins(nl, gi)
+		gmTerms := cell.MaskingTerms(g.Cell, faulty)
+		if len(gmTerms) == 0 {
+			maskIdx[gi] = -1
+			return 0, false
+		}
+		var terms [][]Literal
+		for _, t := range gmTerms {
+			var lits []Literal
+			for _, pl := range t.Pins() {
+				lits = append(lits, Literal{Wire: g.Inputs[pl.Pin], Value: pl.Value})
+			}
+			terms = append(terms, lits)
+		}
+		idx := len(maskables)
+		maskables = append(maskables, maskableGate{gate: gi, terms: terms})
+		maskIdx[gi] = idx
+		return idx, true
+	}
+
+	// Path enumeration: DFS from the faulty wire. Each recorded path is
+	// reduced to the set of maskable gates on it — the cover constraint it
+	// imposes. A path without any maskable gate makes the wire unmaskable
+	// (early abort, paper Section 4). Truncated paths (still live at depth
+	// p.Depth) must be masked within their enumerated prefix.
+	type constraintKey string
+	constraints := map[constraintKey][]int{}
+	var pathGates []int32 // current DFS path (gate indices)
+	var maskableOnPath []int
+	sinkness := func(wire netlist.WireID) bool {
+		return len(nl.FFsOfD(wire)) > 0 || nl.IsPrimaryOutput(wire)
+	}
+	record := func() bool {
+		if len(maskableOnPath) == 0 {
+			rep.Unmaskable = true
+			return false
+		}
+		rep.Paths++
+		if rep.Paths > p.MaxPaths {
+			rep.PathBudgetExceeded = true
+			return false
+		}
+		ids := append([]int(nil), maskableOnPath...)
+		sort.Ints(ids)
+		ids = dedupInts(ids)
+		var key []byte
+		for _, id := range ids {
+			key = append(key, byte(id), byte(id>>8), byte(id>>16))
+		}
+		constraints[constraintKey(key)] = ids
+		return true
+	}
+
+	var dfs func(wire netlist.WireID, depth int) bool
+	dfs = func(wire netlist.WireID, depth int) bool {
+		if sinkness(wire) {
+			if !record() {
+				return false
+			}
+		}
+		fo := nl.Fanout(wire)
+		if len(fo) == 0 {
+			return true
+		}
+		if depth == p.Depth {
+			rep.TruncatedPaths++
+			return record()
+		}
+		for _, fr := range fo {
+			idx, maskable := gateOptions(fr.Gate)
+			pathGates = append(pathGates, fr.Gate)
+			if maskable {
+				maskableOnPath = append(maskableOnPath, idx)
+			}
+			ok := dfs(nl.Gates[fr.Gate].Output, depth+1)
+			if maskable {
+				maskableOnPath = maskableOnPath[:len(maskableOnPath)-1]
+			}
+			pathGates = pathGates[:len(pathGates)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	ok := true
+	for _, src := range sources {
+		if !dfs(src, 0) {
+			ok = false
+			break
+		}
+	}
+	if !ok || rep.Unmaskable || rep.PathBudgetExceeded {
+		return rep, nil
+	}
+
+	// Unique cover constraints.
+	var cons [][]int
+	for _, ids := range constraints {
+		cons = append(cons, ids)
+	}
+	sort.Slice(cons, func(i, j int) bool {
+		if len(cons[i]) != len(cons[j]) {
+			return len(cons[i]) < len(cons[j])
+		}
+		return lessIntSlices(cons[i], cons[j])
+	})
+	rep.UniqueConstraints = len(cons)
+
+	if len(cons) == 0 {
+		// The fault reaches no sink at all within a cycle (dangling
+		// flip-flop): trivially benign, one always-true MATE.
+		rep.NumMATEs = 1
+		return rep, [][]Literal{nil}
+	}
+
+	mates := enumerateCovers(cons, maskables, p, &rep)
+	rep.NumMATEs = len(mates)
+	return rep, mates
+}
+
+// enumerateCovers walks all covering gate sets of size <= MaxTerms (branch
+// on the first uncovered constraint; the "excluded" set prevents the same
+// cover from being produced twice) and, for every cover, emits each
+// consistent combination of one GM term per gate as a MATE candidate. The
+// candidate counter and budget include combinations rejected for literal
+// conflicts, mirroring the paper's "#MATE candid." statistic.
+func enumerateCovers(cons [][]int, maskables []maskableGate, p SearchParams, rep *WireReport) [][]Literal {
+	var out [][]Literal
+	chosen := make([]int, 0, p.MaxTerms)
+	inChosen := make([]bool, len(maskables))
+	excluded := make([]bool, len(maskables))
+
+	covered := func(c []int) bool {
+		for _, id := range c {
+			if inChosen[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var emit func(i int, acc []Literal)
+	emit = func(i int, acc []Literal) {
+		if rep.Candidates >= int64(p.MaxCandidates) {
+			return
+		}
+		if p.MaxMATEsPerWire > 0 && len(out) >= p.MaxMATEsPerWire {
+			return
+		}
+		if i == len(chosen) {
+			rep.Candidates++
+			lits := append([]Literal(nil), acc...)
+			norm, ok := normalizeLiterals(lits)
+			if !ok {
+				return
+			}
+			out = append(out, append([]Literal(nil), norm...))
+			return
+		}
+		for _, term := range maskables[chosen[i]].terms {
+			emit(i+1, append(acc, term...))
+			if rep.Candidates >= int64(p.MaxCandidates) {
+				return
+			}
+		}
+	}
+
+	var cover func()
+	cover = func() {
+		if rep.Candidates >= int64(p.MaxCandidates) {
+			return
+		}
+		if p.MaxMATEsPerWire > 0 && len(out) >= p.MaxMATEsPerWire {
+			return
+		}
+		// find first uncovered constraint
+		first := -1
+		for ci := range cons {
+			if !covered(cons[ci]) {
+				first = ci
+				break
+			}
+		}
+		if first == -1 {
+			emit(0, nil)
+			return
+		}
+		if len(chosen) == p.MaxTerms {
+			return
+		}
+		// branch on the gates of the first uncovered constraint
+		var branched []int
+		for _, id := range cons[first] {
+			if excluded[id] || inChosen[id] {
+				continue
+			}
+			chosen = append(chosen, id)
+			inChosen[id] = true
+			cover()
+			inChosen[id] = false
+			chosen = chosen[:len(chosen)-1]
+			excluded[id] = true
+			branched = append(branched, id)
+		}
+		for _, id := range branched {
+			excluded[id] = false
+		}
+	}
+	cover()
+	return out
+}
+
+func dedupInts(a []int) []int {
+	out := a[:0]
+	for i, v := range a {
+		if i == 0 || v != a[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func lessIntSlices(a, b []int) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

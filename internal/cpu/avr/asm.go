@@ -1,0 +1,241 @@
+package avr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates AVR-class assembly into instruction words. The
+// syntax is line oriented:
+//
+//	; comment
+//	label:
+//	    ldi  r1, 0x10
+//	    add  r1, r2
+//	    ld   r3, (r4)
+//	    st   (r4), r3
+//	    out  r1
+//	    breq label
+//	    rjmp label
+//
+// Registers are r0..r15; immediates are Go-style integers (0x.., decimal).
+// Branch targets are labels; offsets are PC-relative to the following
+// instruction.
+func Assemble(src string) ([]uint16, error) {
+	type pending struct {
+		instr Instr
+		label string
+		line  int
+	}
+	labels := map[string]int{}
+	var prog []pending
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				label := strings.TrimSpace(line[:i])
+				if label == "" || strings.ContainsAny(label, " \t") {
+					return nil, fmt.Errorf("avr asm line %d: bad label %q", ln+1, label)
+				}
+				if _, dup := labels[label]; dup {
+					return nil, fmt.Errorf("avr asm line %d: duplicate label %q", ln+1, label)
+				}
+				labels[label] = len(prog)
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		in, target, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("avr asm line %d: %v", ln+1, err)
+		}
+		prog = append(prog, pending{instr: in, label: target, line: ln + 1})
+	}
+
+	words := make([]uint16, len(prog))
+	for pc, p := range prog {
+		in := p.instr
+		if p.label != "" {
+			tgt, ok := labels[p.label]
+			if !ok {
+				return nil, fmt.Errorf("avr asm line %d: undefined label %q", p.line, p.label)
+			}
+			in.Off = tgt - (pc + 1)
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("avr asm line %d: %v", p.line, err)
+		}
+		words[pc] = w
+	}
+	return words, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and embedded
+// programs.
+func MustAssemble(src string) []uint16 {
+	w, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func parseInstr(line string) (Instr, string, error) {
+	fields := strings.Fields(line)
+	op := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	args := splitArgs(rest)
+
+	reg := func(s string) (int, error) {
+		s = strings.ToLower(strings.TrimSpace(s))
+		if !strings.HasPrefix(s, "r") {
+			return 0, fmt.Errorf("expected register, got %q", s)
+		}
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n >= NumRegs {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return n, nil
+	}
+	imm := func(s string) (uint8, error) {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		if v < -128 || v > 255 {
+			return 0, fmt.Errorf("immediate %d out of range", v)
+		}
+		return uint8(v), nil
+	}
+	indirect := func(s string) (int, error) {
+		s = strings.TrimSpace(s)
+		if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+			return 0, fmt.Errorf("expected (rN), got %q", s)
+		}
+		return reg(s[1 : len(s)-1])
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operand(s), got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	aluClasses := map[string]int{
+		"add": ClassADD, "adc": ClassADC, "sub": ClassSUB, "sbc": ClassSBC,
+		"and": ClassAND, "or": ClassOR, "eor": ClassEOR, "mov": ClassMOV,
+		"cp": ClassCP, "cpc": ClassCPC,
+	}
+	immClasses := map[string]int{"ldi": ClassLDI, "subi": ClassSUBI, "cpi": ClassCPI}
+	miscUnary := map[string]int{"lsr": MiscLSR, "ror": MiscROR, "inc": MiscINC, "dec": MiscDEC, "out": MiscOUT}
+	conds := map[string]int{"breq": CondEQ, "brne": CondNE, "brcs": CondCS, "brlo": CondCS, "brcc": CondCC, "brsh": CondCC, "brmi": CondMI, "brpl": CondPL}
+
+	switch {
+	case op == "nop":
+		return Instr{Class: ClassMisc, Sub: MiscNOP}, "", need(0)
+	case op == "halt":
+		return Instr{Class: ClassMisc, Sub: MiscHALT}, "", need(0)
+	case aluClasses[op] != 0:
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rr, err := reg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Class: aluClasses[op], Rd: rd, Rr: rr}, "", nil
+	case immClasses[op] != 0:
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		iv, err := imm(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Class: immClasses[op], Rd: rd, Imm: iv}, "", nil
+	case miscUnary[op] != 0:
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Class: ClassMisc, Sub: miscUnary[op], Rd: rd}, "", nil
+	case op == "ld":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rs, err := indirect(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Class: ClassMisc, Sub: MiscLD, Rd: rd, Rr: rs}, "", nil
+	case op == "st":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rs, err := indirect(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Class: ClassMisc, Sub: MiscST, Rd: rd, Rr: rs}, "", nil
+	case op == "rjmp":
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Class: ClassRJMP}, strings.TrimSpace(args[0]), nil
+	default:
+		if cond, ok := conds[op]; ok {
+			if err := need(1); err != nil {
+				return Instr{}, "", err
+			}
+			return Instr{Class: ClassBcc, Sub: cond}, strings.TrimSpace(args[0]), nil
+		}
+	}
+	return Instr{}, "", fmt.Errorf("unknown mnemonic %q", op)
+}
+
+// splitArgs splits on top-level commas, keeping "(r4)" intact.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

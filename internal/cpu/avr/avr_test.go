@@ -1,0 +1,380 @@
+package avr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Class: ClassMisc, Sub: MiscNOP},
+		{Class: ClassMisc, Sub: MiscHALT},
+		{Class: ClassMisc, Sub: MiscLSR, Rd: 5},
+		{Class: ClassMisc, Sub: MiscLD, Rd: 3, Rr: 4},
+		{Class: ClassMisc, Sub: MiscST, Rd: 7, Rr: 2},
+		{Class: ClassADD, Rd: 1, Rr: 2},
+		{Class: ClassCPC, Rd: 15, Rr: 14},
+		{Class: ClassLDI, Rd: 9, Imm: 0xAB},
+		{Class: ClassSUBI, Rd: 2, Imm: 1},
+		{Class: ClassCPI, Rd: 3, Imm: 200},
+		{Class: ClassRJMP, Off: -5},
+		{Class: ClassRJMP, Off: 2047},
+		{Class: ClassBcc, Sub: CondNE, Off: -128},
+		{Class: ClassBcc, Sub: CondEQ, Off: 127},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", in, err)
+		}
+		got := Decode(w)
+		if got != in {
+			t.Errorf("round trip %+v -> %04x -> %+v", in, w, got)
+		}
+	}
+}
+
+func TestEncodeRanges(t *testing.T) {
+	if _, err := Encode(Instr{Class: ClassRJMP, Off: 5000}); err == nil {
+		t.Error("rjmp range not checked")
+	}
+	if _, err := Encode(Instr{Class: ClassBcc, Off: 300}); err == nil {
+		t.Error("branch range not checked")
+	}
+	if _, err := Encode(Instr{Class: ClassADD, Rd: 16}); err == nil {
+		t.Error("register range not checked")
+	}
+}
+
+func TestAssembleBasics(t *testing.T) {
+	prog, err := Assemble(`
+	; a small loop
+	    ldi r1, 5
+	loop:
+	    dec r1
+	    brne loop
+	    halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 4 {
+		t.Fatalf("len = %d", len(prog))
+	}
+	in := Decode(prog[2])
+	if in.Class != ClassBcc || in.Sub != CondNE || in.Off != -2 {
+		t.Fatalf("branch = %+v", in)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, src := range []string{
+		"bogus r1",
+		"ldi r20, 1",
+		"ldi r1",
+		"add r1, 5",
+		"rjmp nowhere",
+		"ld r1, r2",    // missing parens
+		"st r2, (r1)",  // swapped operands
+		"x: x: nop",    // duplicate label (same line)
+		"ldi r1, 9999", // immediate out of range
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestISSBasicArithmetic(t *testing.T) {
+	s := NewISS(MustAssemble(`
+	    ldi r1, 200
+	    ldi r2, 100
+	    add r1, r2   ; 300 -> 44, carry set
+	    halt
+	`))
+	s.Run(100)
+	if !s.Halted {
+		t.Fatal("not halted")
+	}
+	if s.Regs[1] != 44 || !s.C {
+		t.Fatalf("r1=%d C=%v", s.Regs[1], s.C)
+	}
+}
+
+func TestISSSubCompareBranch(t *testing.T) {
+	s := NewISS(MustAssemble(`
+	    ldi r1, 10
+	    ldi r2, 10
+	    cp r1, r2
+	    breq equal
+	    ldi r3, 1
+	    halt
+	equal:
+	    ldi r3, 2
+	    halt
+	`))
+	s.Run(100)
+	if s.Regs[3] != 2 {
+		t.Fatalf("r3 = %d", s.Regs[3])
+	}
+}
+
+func TestISSMemoryAndPort(t *testing.T) {
+	s := NewISS(MustAssemble(`
+	    ldi r1, 0x42
+	    ldi r2, 16      ; pointer
+	    st (r2), r1
+	    ldi r3, 0
+	    ld r3, (r2)
+	    out r3
+	    halt
+	`))
+	s.Run(100)
+	if s.DMem[16] != 0x42 || s.Regs[3] != 0x42 || s.Port != 0x42 {
+		t.Fatalf("dmem=%x r3=%x port=%x", s.DMem[16], s.Regs[3], s.Port)
+	}
+}
+
+func TestISS16BitCompareViaCPC(t *testing.T) {
+	// 16-bit value in r3:r2 compared against r5:r4 using cp/cpc.
+	s := NewISS(MustAssemble(`
+	    ldi r2, 0x00
+	    ldi r3, 0x01  ; 0x0100
+	    ldi r4, 0x00
+	    ldi r5, 0x01  ; 0x0100
+	    cp r2, r4
+	    cpc r3, r5
+	    breq eq
+	    ldi r6, 0
+	    halt
+	eq: ldi r6, 1
+	    halt
+	`))
+	s.Run(100)
+	if s.Regs[6] != 1 {
+		t.Fatal("16-bit compare failed")
+	}
+}
+
+func TestCoreStats(t *testing.T) {
+	core := NewCore()
+	st := core.NL.Stats()
+	nonRF := 0
+	rf := 0
+	for _, ff := range core.NL.FFs {
+		if ff.Group == GroupRegFile {
+			rf++
+		} else {
+			nonRF++
+		}
+	}
+	if rf != NumRegs*8 {
+		t.Errorf("regfile FFs = %d, want %d", rf, NumRegs*8)
+	}
+	// 2-stage AVR-class: the register file must dominate the FF count
+	// (paper: 383 total, 248 in the RF).
+	if rf <= nonRF {
+		t.Errorf("regfile (%d) should dominate non-RF (%d) FFs", rf, nonRF)
+	}
+	if st.Gates < 500 {
+		t.Errorf("suspiciously small core: %d gates", st.Gates)
+	}
+	t.Logf("AVR core: %s, rf=%d nonRF=%d", st, rf, nonRF)
+}
+
+// runBoth executes a program on both the ISS and the netlist and compares
+// the complete architectural state at halt.
+func runBoth(t *testing.T, core *Core, src string, maxInstr int) (*ISS, *System) {
+	t.Helper()
+	prog := MustAssemble(src)
+	iss := NewISS(prog)
+	iss.Run(maxInstr)
+	if !iss.Halted {
+		t.Fatal("ISS did not halt")
+	}
+
+	sys := NewSystem(core, prog)
+	cycles := sys.Run(maxInstr*3 + 10)
+	if !sys.Halted() {
+		t.Fatalf("netlist did not halt after %d cycles", cycles)
+	}
+	compareState(t, iss, sys)
+	return iss, sys
+}
+
+func compareState(t *testing.T, iss *ISS, sys *System) {
+	t.Helper()
+	for r := 0; r < NumRegs; r++ {
+		if got := sys.Reg(r); got != iss.Regs[r] {
+			t.Errorf("r%d: netlist %#x, iss %#x", r, got, iss.Regs[r])
+		}
+	}
+	c, z, n, v := sys.Flags()
+	if c != iss.C || z != iss.Z || n != iss.N || v != iss.V {
+		t.Errorf("flags: netlist C%v Z%v N%v V%v, iss C%v Z%v N%v V%v",
+			c, z, n, v, iss.C, iss.Z, iss.N, iss.V)
+	}
+	if got := sys.PortValue(); got != iss.Port {
+		t.Errorf("port: netlist %#x, iss %#x", got, iss.Port)
+	}
+	// The pipeline PC has advanced two slots past the HALT instruction: one
+	// for the fetch overlapping HALT's execute cycle, and one because the
+	// halted flag is registered (run = ¬halted freezes the PC one cycle
+	// after HALT retires).
+	if got := sys.PCValue(); got != iss.PC+2 {
+		t.Errorf("pc: netlist %d, iss %d (+2 expected)", got, iss.PC)
+	}
+	for a := 0; a < 1<<DMemBits; a++ {
+		if sys.DMem[a] != iss.DMem[a] {
+			t.Errorf("dmem[%d]: netlist %#x, iss %#x", a, sys.DMem[a], iss.DMem[a])
+		}
+	}
+}
+
+func TestCosimArithmetic(t *testing.T) {
+	core := NewCore()
+	runBoth(t, core, `
+	    ldi r1, 200
+	    ldi r2, 100
+	    add r1, r2
+	    adc r3, r1    ; r3 = 0 + 44 + carry
+	    sub r2, r3
+	    sbc r4, r2
+	    and r1, r2
+	    or  r5, r1
+	    eor r5, r2
+	    mov r6, r5
+	    inc r6
+	    dec r2
+	    lsr r1
+	    ror r3
+	    halt
+	`, 100)
+}
+
+func TestCosimBranchesAndLoops(t *testing.T) {
+	core := NewCore()
+	runBoth(t, core, `
+	    ldi r1, 10
+	    ldi r2, 0
+	loop:
+	    add r2, r1
+	    dec r1
+	    brne loop
+	    cpi r2, 55
+	    brne fail
+	    ldi r15, 1
+	    rjmp end
+	fail:
+	    ldi r15, 2
+	end:
+	    out r2
+	    halt
+	`, 200)
+}
+
+func TestCosimMemory(t *testing.T) {
+	core := NewCore()
+	runBoth(t, core, `
+	    ldi r1, 0
+	    ldi r2, 7
+	fill:
+	    st (r1), r2
+	    add r2, r2
+	    inc r1
+	    cpi r1, 8
+	    brne fill
+	    ldi r1, 3
+	    ld r4, (r1)
+	    out r4
+	    halt
+	`, 300)
+}
+
+func TestCosimConditionVariants(t *testing.T) {
+	core := NewCore()
+	runBoth(t, core, `
+	    ldi r1, 5
+	    cpi r1, 10
+	    brlo lower       ; 5 < 10 unsigned -> taken
+	    ldi r2, 0xEE
+	lower:
+	    ldi r3, 0x80
+	    cpi r3, 0
+	    brmi isneg       ; N set
+	    ldi r4, 0xEE
+	isneg:
+	    cpi r1, 1
+	    brsh sameorhigher
+	    ldi r5, 0xEE
+	sameorhigher:
+	    cpi r1, 0x7F
+	    brpl ispos
+	    nop
+	ispos:
+	    halt
+	`, 200)
+}
+
+// TestCosimRandomPrograms cross-validates the netlist against the ISS on
+// randomly generated straight-line programs (no branches, so they always
+// terminate deterministically).
+func TestCosimRandomPrograms(t *testing.T) {
+	core := NewCore()
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 10; trial++ {
+		var prog []uint16
+		// seed registers
+		for r := 0; r < NumRegs; r++ {
+			w, _ := Encode(Instr{Class: ClassLDI, Rd: r, Imm: uint8(rng.Intn(256))})
+			prog = append(prog, w)
+		}
+		classes := []int{ClassADD, ClassADC, ClassSUB, ClassSBC, ClassAND,
+			ClassOR, ClassEOR, ClassMOV, ClassCP, ClassCPC, ClassSUBI, ClassCPI, ClassLDI}
+		miscs := []int{MiscLSR, MiscROR, MiscINC, MiscDEC, MiscOUT, MiscLD, MiscST}
+		for i := 0; i < 60; i++ {
+			if rng.Intn(4) == 0 {
+				w, _ := Encode(Instr{Class: ClassMisc, Sub: miscs[rng.Intn(len(miscs))],
+					Rd: rng.Intn(NumRegs), Rr: rng.Intn(NumRegs)})
+				prog = append(prog, w)
+			} else {
+				cl := classes[rng.Intn(len(classes))]
+				w, _ := Encode(Instr{Class: cl, Rd: rng.Intn(NumRegs),
+					Rr: rng.Intn(NumRegs), Imm: uint8(rng.Intn(256))})
+				prog = append(prog, w)
+			}
+		}
+		w, _ := Encode(Instr{Class: ClassMisc, Sub: MiscHALT})
+		prog = append(prog, w)
+
+		iss := NewISS(prog)
+		iss.Run(1000)
+		sys := NewSystem(core, prog)
+		sys.M.Reset()
+		sys.DMem = [1 << DMemBits]uint8{}
+		sys.Run(1000)
+		if !iss.Halted || !sys.Halted() {
+			t.Fatalf("trial %d: not halted", trial)
+		}
+		compareState(t, iss, sys)
+		if t.Failed() {
+			t.Fatalf("trial %d failed", trial)
+		}
+	}
+}
+
+func TestNetlistHaltFreezesState(t *testing.T) {
+	core := NewCore()
+	sys := NewSystem(core, MustAssemble("ldi r1, 42\nout r1\nhalt"))
+	sys.Run(100)
+	snap := sys.M.FFState()
+	for i := 0; i < 5; i++ {
+		sys.Step()
+	}
+	after := sys.M.FFState()
+	for i := range snap {
+		if snap[i] != after[i] {
+			t.Fatalf("FF %s changed after halt", core.NL.FFs[i].Name)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package avr
+
+import (
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// Core bundles the synthesized netlist with the port map needed to drive
+// it: memory interface buses, the output port and status wires, and the
+// architectural register locations for co-simulation.
+//
+// Like the real AVR, data-memory accesses take two cycles: the execute
+// stage latches address, store data and the access kind into dedicated
+// memory-interface registers (MAR/SDR), and the access itself happens in
+// the following cycle while the pipeline inserts one bubble. The memory
+// buses are therefore fully registered, and they are qualified by their
+// strobes (the address/data pins idle at zero when no access is pending) —
+// both properties of real bus interfaces, and both essential for
+// fault-space pruning: an SEU in a memory-interface register is provably
+// benign in every cycle without a pending access.
+//
+// Register-file writes are likewise registered: the execute stage deposits
+// result, destination address and write strobe into a write-back buffer
+// that commits in the following cycle, with operand bypassing to keep the
+// architectural timing. Because the write bus therefore carries only
+// registered (clean) data, a register-file SEU is provably benign exactly
+// when its flip-flop is being overwritten — the paper's mov/ld masking
+// pattern.
+type Core struct {
+	NL *netlist.Netlist
+
+	// Primary inputs.
+	IMemData  synth.Bus // 16-bit instruction word for the current fetch
+	DMemRData synth.Bus // 8-bit data-memory read value
+
+	// Primary outputs (all registered, so the memory environment can read
+	// them before inputs are final).
+	IMemAddr  synth.Bus // 12-bit program counter
+	DMemAddr  synth.Bus // 8-bit data-memory address (qualified by access pending)
+	DMemWData synth.Bus // 8-bit store data (qualified by write pending)
+	DMemWE    netlist.WireID
+	Port      synth.Bus // 8-bit output port register
+	Halted    netlist.WireID
+
+	// Architectural state (flip-flop Q buses) for co-simulation.
+	PC    synth.Bus
+	Regs  []synth.Bus
+	FlagC netlist.WireID
+	FlagZ netlist.WireID
+	FlagN netlist.WireID
+	FlagV netlist.WireID
+}
+
+// FF group tags used by the core; the paper's "FF w/o RF" fault set
+// excludes GroupRegFile.
+const (
+	GroupRegFile = "regfile"
+	GroupPC      = "pc"
+	GroupIR      = "ir"
+	GroupCtrl    = "ctrl"
+	GroupSREG    = "sreg"
+	GroupPort    = "port"
+	GroupMem     = "mem" // memory-interface registers (MAR, SDR, strobes)
+	GroupWB      = "wb"  // write-back stage registers (result, address, strobe)
+)
+
+// NewCore synthesizes the two-stage AVR-class core into a fresh netlist.
+func NewCore() *Core {
+	b := netlist.NewBuilder("avr")
+	c := synth.New(b)
+	core := &Core{}
+
+	// ---- primary inputs -------------------------------------------------
+	core.IMemData = c.InputBus("imem_data", 16)
+	core.DMemRData = c.InputBus("dmem_rdata", 8)
+
+	// ---- state ----------------------------------------------------------
+	pc := c.RegisterPlaceholder("pc", PCBits, 0, GroupPC)
+	ir := c.RegisterPlaceholder("ir", 16, 0, GroupIR)
+	valid := c.RegisterPlaceholder("valid", 1, 0, GroupCtrl)
+	halted := c.RegisterPlaceholder("halted", 1, 0, GroupCtrl)
+	flagC := c.RegisterPlaceholder("sreg.c", 1, 0, GroupSREG)
+	flagZ := c.RegisterPlaceholder("sreg.z", 1, 0, GroupSREG)
+	flagN := c.RegisterPlaceholder("sreg.n", 1, 0, GroupSREG)
+	flagV := c.RegisterPlaceholder("sreg.v", 1, 0, GroupSREG)
+	port := c.RegisterPlaceholder("port", 8, 0, GroupPort)
+	memAddr := c.RegisterPlaceholder("mem.addr", DMemBits, 0, GroupMem)
+	memWData := c.RegisterPlaceholder("mem.wdata", 8, 0, GroupMem)
+	memRd := c.RegisterPlaceholder("mem.rd", 1, 0, GroupMem)
+	memWr := c.RegisterPlaceholder("mem.wr", 1, 0, GroupMem)
+	memDst := c.RegisterPlaceholder("mem.dst", 4, 0, GroupMem)
+	wbData := c.RegisterPlaceholder("wb.data", 8, 0, GroupWB)
+	wbAddr := c.RegisterPlaceholder("wb.addr", 4, 0, GroupWB)
+	wbWE := c.RegisterPlaceholder("wb.we", 1, 0, GroupWB)
+	rf := c.RegFilePlaceholder(synth.RegFileConfig{
+		Name: "rf", Num: NumRegs, Width: 8, Group: GroupRegFile,
+	})
+
+	C, Z, N, V := flagC[0], flagZ[0], flagN[0], flagV[0]
+	vld, hlt := valid[0], halted[0]
+
+	// ---- decode (EX stage, from the squash-gated IR) ----------------------
+	// Pipeline squash is implemented by AND-gating the instruction word
+	// with the valid/running qualifier: a squashed slot decodes as the
+	// all-zero word, which encodes NOP. Besides being the textbook
+	// implementation, the gate is the single choke point through which an
+	// IR-bit SEU must pass, so every bubble cycle provably masks it.
+	act := b.GateNamed("act", cell.AND2, vld, b.Gate(cell.INV, hlt))
+	irq := c.AndBit(ir, act)
+	class := synth.Bus{irq[12], irq[13], irq[14], irq[15]}
+	sub := synth.Bus{irq[8], irq[9], irq[10], irq[11]}
+	f2 := synth.Bus{irq[4], irq[5], irq[6], irq[7]} // rr / pointer register
+	f3 := synth.Bus{irq[0], irq[1], irq[2], irq[3]} // misc rd
+	imm := synth.Bus(irq[0:8])
+
+	classDec := c.Decoder(class)
+	subDec := c.Decoder(sub)
+	isMisc := classDec[ClassMisc]
+	isADD, isADC := classDec[ClassADD], classDec[ClassADC]
+	isSUBc, isSBC := classDec[ClassSUB], classDec[ClassSBC]
+	isAND, isOR, isEOR := classDec[ClassAND], classDec[ClassOR], classDec[ClassEOR]
+	isMOV, isCP, isCPC := classDec[ClassMOV], classDec[ClassCP], classDec[ClassCPC]
+	isLDI, isRJMP, isBcc := classDec[ClassLDI], classDec[ClassRJMP], classDec[ClassBcc]
+	isSUBI, isCPI := classDec[ClassSUBI], classDec[ClassCPI]
+
+	miscOp := func(subop int) netlist.WireID {
+		return b.Gate(cell.AND2, isMisc, subDec[subop])
+	}
+	mHALT := miscOp(MiscHALT)
+	mLSR := miscOp(MiscLSR)
+	mROR := miscOp(MiscROR)
+	mINC := miscOp(MiscINC)
+	mDEC := miscOp(MiscDEC)
+	mOUT := miscOp(MiscOUT)
+	mLD := miscOp(MiscLD)
+	mST := miscOp(MiscST)
+
+	// ---- register file read (with write-back bypass) ----------------------
+	rdAddr := c.Mux2(isMisc, sub, f3) // ALU-format rd sits in bits 11:8
+	rawA := rf.Read(c, rdAddr)        // port 1: destination / store data
+	rawB := rf.Read(c, f2)            // port 2: source / pointer
+	hit1 := b.Gate(cell.AND2, wbWE[0], c.Equal(wbAddr, rdAddr))
+	hit2 := b.Gate(cell.AND2, wbWE[0], c.Equal(wbAddr, f2))
+	a := c.Mux2(hit1, rawA, wbData)
+	bb := c.Mux2(hit2, rawB, wbData)
+
+	// ---- ALU with operand isolation ----------------------------------------
+	// The ALU operands are AND-gated with an "ALU in use" qualifier
+	// (operand isolation, a standard synthesis transformation): when the
+	// instruction in EX does not use the ALU, its inputs are forced to
+	// zero. The isolation gates double as MATE choke points — an SEU in a
+	// register-file cell or operand path is stopped right at the ALU
+	// boundary whenever a non-ALU instruction executes.
+	useImm := orTree(c, isLDI, isSUBI, isCPI)
+	op2 := c.Mux2(useImm, bb, imm)
+
+	isSubLike := orTree(c, isSUBc, isCP, isSUBI, isCPI)
+	isSbcLike := b.Gate(cell.OR2, isSBC, isCPC)
+	isSub := b.Gate(cell.OR2, isSubLike, isSbcLike)
+
+	isLogic := orTree(c, isAND, isOR, isEOR)
+	isShift := b.Gate(cell.OR2, mLSR, mROR)
+	isIncDec := b.Gate(cell.OR2, mINC, mDEC)
+	isArithEarly := orTree(c, isADD, isADC, isSUBc, isSBC, isCP, isCPC, isSUBI, isCPI)
+	aluEn := b.GateNamed("alu_en", cell.OR2,
+		b.Gate(cell.OR2, isArithEarly, isLogic),
+		b.Gate(cell.OR2, isShift, isIncDec))
+	aIso := c.AndBit(a, aluEn)
+	op2Iso := c.AndBit(op2, aluEn)
+
+	b2 := c.Mux2(isSub, op2Iso, c.Not(op2Iso))
+	// carry-in: add: isADC&C; sub: 1 for SUB-like, ¬C for SBC-like.
+	cinSub := b.Gate(cell.MUX2, b.Const(true), b.Gate(cell.INV, C), isSbcLike)
+	cinAdd := b.Gate(cell.AND2, isADC, C)
+	cin := b.Gate(cell.MUX2, cinAdd, cinSub, isSub)
+	sum := c.Adder(aIso, b2, cin)
+	arithC := b.Gate(cell.XOR2, sum.Cout, isSub) // sub: C = borrow = ¬cout
+	arithV := b.Gate(cell.AND2,
+		b.Gate(cell.XNOR2, aIso[7], b2[7]),
+		b.Gate(cell.XOR2, aIso[7], sum.Sum[7]))
+
+	andRes := c.And(aIso, op2Iso)
+	orRes := c.Or(aIso, op2Iso)
+	xorRes := c.Xor(aIso, op2Iso)
+	logicRes := c.Mux2(isOR, c.Mux2(isEOR, andRes, xorRes), orRes)
+
+	shiftIn := b.Gate(cell.AND2, mROR, C)
+	shiftRes, shiftC := c.ShiftRight1(aIso, shiftIn)
+
+	incdecB := c.Mux2(mDEC, c.ConstBus(1, 8), c.ConstBus(0xFF, 8))
+	incdec := c.Adder(aIso, incdecB, b.Const(false))
+
+	// ---- result mux ---------------------------------------------------------
+	result := sum.Sum
+	result = c.Mux2(isLogic, result, logicRes)
+	result = c.Mux2(isShift, result, shiftRes)
+	result = c.Mux2(isIncDec, result, incdec.Sum)
+	result = c.Mux2(isMOV, result, bb)
+	result = c.Mux2(isLDI, result, imm)
+
+	// ---- memory stage (2-cycle LD/ST, registered interface) ------------------
+	stall := b.GateNamed("mem_stall", cell.OR2, mLD, mST)
+	memEn := stall // latch the interface registers exactly when issuing
+	c.ConnectRegister(memAddr, bb[:DMemBits], memEn)
+	c.ConnectRegister(memWData, a, memEn)
+	c.ConnectRegister(memDst, f3, memEn)
+	c.ConnectRegisterAlways(memRd, synth.Bus{mLD})
+	c.ConnectRegisterAlways(memWr, synth.Bus{mST})
+	memActive := b.GateNamed("mem_active", cell.OR2, memRd[0], memWr[0])
+
+	// ---- write-back stage ------------------------------------------------------
+	// The execute stage registers its result; the register file commits it
+	// one cycle later. The LD write-back (memory cycle) shares the write
+	// port — the pipeline bubble keeps the two apart.
+	writesEX := orTree(c,
+		isADD, isADC, isSUBc, isSBC, isAND, isOR, isEOR, isMOV, isLDI, isSUBI,
+		mLSR, mROR, mINC, mDEC)
+	wEn := b.GateNamed("rf_we", cell.OR2, wbWE[0], memRd[0])
+	wAddr := c.Mux2(memRd[0], wbAddr, memDst)
+	// Write-port data isolation: the write bus idles at zero unless a
+	// write commits this cycle.
+	wData := c.AndBit(c.Mux2(memRd[0], wbData, core.DMemRData), wEn)
+	rf.ConnectWrite(c, wEn, wAddr, wData)
+
+	// ---- flags -----------------------------------------------------------------
+	isArith := isArithEarly
+	zBase := b.Gate(cell.INV, c.ReduceOr(result))
+	zChained := b.Gate(cell.AND2, zBase, Z)
+	zVal := b.Gate(cell.MUX2, zBase, zChained, isSbcLike)
+	nVal := result[7]
+
+	cEnInstr := b.Gate(cell.OR2, isArith, isShift)
+	cEn := cEnInstr
+	cVal := b.Gate(cell.MUX2, arithC, shiftC, isShift)
+
+	znvEnInstr := orTree(c, isArith, isLogic, isShift, isIncDec)
+	znvEn := znvEnInstr
+
+	// V value by instruction family.
+	vShift := b.Gate(cell.XOR2, nVal, shiftC)
+	vInc := c.EqualConst(result, 0x80)
+	vDec := c.EqualConst(result, 0x7F)
+	vIncDec := b.Gate(cell.MUX2, vInc, vDec, mDEC)
+	vVal := arithV
+	vVal = b.Gate(cell.MUX2, vVal, b.Const(false), isLogic)
+	vVal = b.Gate(cell.MUX2, vVal, vShift, isShift)
+	vVal = b.Gate(cell.MUX2, vVal, vIncDec, isIncDec)
+
+	c.ConnectRegister(flagC, synth.Bus{cVal}, cEn)
+	c.ConnectRegister(flagZ, synth.Bus{zVal}, znvEn)
+	c.ConnectRegister(flagN, synth.Bus{nVal}, znvEn)
+	c.ConnectRegister(flagV, synth.Bus{vVal}, znvEn)
+
+	// ---- branches and PC ----------------------------------------------------------
+	condMet := orTree(c,
+		b.Gate(cell.AND2, subDec[CondEQ], Z),
+		b.Gate(cell.AND2, subDec[CondNE], b.Gate(cell.INV, Z)),
+		b.Gate(cell.AND2, subDec[CondCS], C),
+		b.Gate(cell.AND2, subDec[CondCC], b.Gate(cell.INV, C)),
+		b.Gate(cell.AND2, subDec[CondMI], N),
+		b.Gate(cell.AND2, subDec[CondPL], b.Gate(cell.INV, N)))
+	taken := b.GateNamed("branch_taken", cell.OR2,
+		isRJMP, b.Gate(cell.AND2, isBcc, condMet))
+
+	off12 := synth.Bus(irq[0:12])
+	off8x := c.SignExtend(synth.Bus(irq[0:8]), PCBits)
+	off := c.Mux2(isRJMP, off8x, off12)
+	target := c.Adder(pc, off, b.Const(false)).Sum
+	pcInc := c.Inc(pc).Sum
+	pcNext := c.Mux2(taken, pcInc, target)
+
+	haltedNext := b.GateNamed("halted_next", cell.OR2, hlt, mHALT)
+	// run is derived from the *registered* halted flag (not haltedNext), so
+	// the pipeline-register enables are clean border wires for IR faults;
+	// the core executes one extra (architecturally idle) cycle after HALT.
+	run := b.GateNamed("run", cell.INV, hlt)
+
+	c.ConnectRegister(wbData, result, run)
+	c.ConnectRegister(wbAddr, rdAddr, run)
+	c.ConnectRegister(wbWE, synth.Bus{writesEX}, run)
+
+	pcEn := b.Gate(cell.AND2, run, b.Gate(cell.INV, stall))
+	c.ConnectRegister(pc, pcNext, pcEn)
+	c.ConnectRegister(ir, core.IMemData, run)
+	validNext := b.Gate(cell.AND2,
+		b.Gate(cell.INV, taken),
+		b.Gate(cell.AND2, run, b.Gate(cell.INV, stall)))
+	c.ConnectRegister(valid, synth.Bus{validNext}, run)
+	c.ConnectRegisterAlways(halted, synth.Bus{haltedNext})
+
+	// ---- output port ------------------------------------------------------------------
+	portEn := mOUT
+	c.ConnectRegister(port, a, portEn)
+
+	// ---- primary outputs ----------------------------------------------------------------
+	// The data-memory pins are qualified by their strobes: they idle at
+	// zero unless an access is pending, as a real bus interface does.
+	addrPins := c.AndBit(memAddr, memActive)
+	wdataPins := c.AndBit(memWData, memWr[0])
+	c.OutputBus(pc)
+	c.OutputBus(addrPins)
+	c.OutputBus(wdataPins)
+	b.MarkOutput(memWr[0])
+	c.OutputBus(port)
+	b.MarkOutput(hlt)
+
+	core.NL = b.MustNetlist()
+	core.IMemAddr = pc
+	core.DMemAddr = addrPins
+	core.DMemWData = wdataPins
+	core.DMemWE = memWr[0]
+	core.Port = port
+	core.Halted = hlt
+	core.PC = pc
+	core.Regs = make([]synth.Bus, NumRegs)
+	for r := 0; r < NumRegs; r++ {
+		core.Regs[r] = rf.Regs[r]
+	}
+	core.FlagC, core.FlagZ, core.FlagN, core.FlagV = C, Z, N, V
+	return core
+}
+
+// orTree ORs an arbitrary number of wires.
+func orTree(c *synth.Ctx, ws ...netlist.WireID) netlist.WireID {
+	return c.ReduceOr(synth.Bus(ws))
+}

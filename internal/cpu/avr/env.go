@@ -1,0 +1,83 @@
+package avr
+
+import (
+	"repro/internal/sim"
+)
+
+// System couples a synthesized core with behavioural instruction and data
+// memories. The memories live outside the netlist (the paper's fault model
+// covers the CPU flip-flops; program/data storage is external state), and
+// are serviced through the two-pass environment hook of the simulator.
+type System struct {
+	Core *Core
+	M    *sim.Machine
+	IMem []uint16
+	DMem [1 << DMemBits]uint8
+}
+
+// NewSystem builds a machine around the core with the program loaded at
+// instruction address 0.
+func NewSystem(core *Core, prog []uint16) *System {
+	return &System{Core: core, M: sim.New(core.NL), IMem: prog}
+}
+
+// Env returns the memory environment: it feeds instruction fetch data and
+// data-memory reads, and commits data-memory writes. All address/control
+// outputs of the core are functions of flip-flops only, so they are valid
+// after the first combinational pass.
+func (s *System) Env() sim.Env {
+	return sim.EnvFunc(func(m *sim.Machine) {
+		pc := m.ReadBus(s.Core.IMemAddr)
+		var instr uint16
+		if int(pc) < len(s.IMem) {
+			instr = s.IMem[pc]
+		}
+		m.WriteBus(s.Core.IMemData, uint64(instr))
+
+		addr := m.ReadBus(s.Core.DMemAddr)
+		m.WriteBus(s.Core.DMemRData, uint64(s.DMem[addr]))
+		if m.Value(s.Core.DMemWE) {
+			s.DMem[addr] = uint8(m.ReadBus(s.Core.DMemWData))
+		}
+	})
+}
+
+// Step advances one clock cycle.
+func (s *System) Step() { s.M.Step(s.Env()) }
+
+// Run advances up to maxCycles cycles, stopping early when the core halts;
+// it returns the number of cycles executed.
+func (s *System) Run(maxCycles int) int {
+	env := s.Env()
+	for i := 0; i < maxCycles; i++ {
+		if s.M.Value(s.Core.Halted) {
+			return i
+		}
+		s.M.Step(env)
+	}
+	return maxCycles
+}
+
+// Record simulates exactly `cycles` cycles recording a full wire trace,
+// regardless of halting (the paper records fixed-length 8500-cycle traces).
+func (s *System) Record(cycles int) *sim.Trace {
+	return sim.Record(s.M, s.Env(), cycles)
+}
+
+// Halted reports whether the core has executed HALT.
+func (s *System) Halted() bool { return s.M.Value(s.Core.Halted) }
+
+// Reg reads an architectural register from the netlist state.
+func (s *System) Reg(r int) uint8 { return uint8(s.M.ReadBus(s.Core.Regs[r])) }
+
+// PCValue reads the program counter from the netlist state.
+func (s *System) PCValue() uint16 { return uint16(s.M.ReadBus(s.Core.PC)) }
+
+// PortValue reads the output port register.
+func (s *System) PortValue() uint8 { return uint8(s.M.ReadBus(s.Core.Port)) }
+
+// Flags reads (C, Z, N, V) from the netlist state.
+func (s *System) Flags() (c, z, n, v bool) {
+	return s.M.Value(s.Core.FlagC), s.M.Value(s.Core.FlagZ),
+		s.M.Value(s.Core.FlagN), s.M.Value(s.Core.FlagV)
+}

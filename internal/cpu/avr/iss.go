@@ -1,0 +1,190 @@
+package avr
+
+// ISS is the architectural golden model of the AVR-class core: it executes
+// one instruction per step with the exact same visible semantics as the
+// gate-level netlist (register file, flags, data memory, output port). The
+// netlist is validated against it by co-simulation.
+type ISS struct {
+	PC     uint16
+	Regs   [NumRegs]uint8
+	C, Z   bool
+	N, V   bool
+	Port   uint8
+	Halted bool
+
+	IMem []uint16
+	DMem [1 << DMemBits]uint8
+
+	// Instructions counts executed (retired) instructions.
+	Instructions int
+}
+
+// NewISS creates an ISS with the given program loaded at address 0.
+func NewISS(prog []uint16) *ISS {
+	return &ISS{IMem: prog}
+}
+
+// fetch returns the instruction word at pc; beyond the program it reads 0
+// (NOP), matching a zero-initialised instruction memory.
+func (s *ISS) fetch(pc uint16) uint16 {
+	pc &= 1<<PCBits - 1
+	if int(pc) < len(s.IMem) {
+		return s.IMem[pc]
+	}
+	return 0
+}
+
+// Step executes one instruction. It is a no-op once halted.
+func (s *ISS) Step() {
+	if s.Halted {
+		return
+	}
+	in := Decode(s.fetch(s.PC))
+	next := (s.PC + 1) & (1<<PCBits - 1)
+	s.Instructions++
+
+	setZN := func(r uint8) {
+		s.Z = r == 0
+		s.N = r&0x80 != 0
+	}
+	add := func(a, b uint8, cin bool) uint8 {
+		c := uint16(0)
+		if cin {
+			c = 1
+		}
+		sum := uint16(a) + uint16(b) + c
+		r := uint8(sum)
+		s.C = sum > 0xFF
+		s.V = (a^b)&0x80 == 0 && (a^r)&0x80 != 0
+		setZN(r)
+		return r
+	}
+	sub := func(a, b uint8, borrow bool, chainZ bool) uint8 {
+		c := uint16(0)
+		if borrow {
+			c = 1
+		}
+		diff := uint16(a) - uint16(b) - c
+		r := uint8(diff)
+		s.C = diff > 0xFF // unsigned underflow = borrow out
+		s.V = (a^b)&0x80 != 0 && (a^r)&0x80 != 0
+		oldZ := s.Z
+		setZN(r)
+		if chainZ {
+			s.Z = s.Z && oldZ
+		}
+		return r
+	}
+
+	switch in.Class {
+	case ClassMisc:
+		switch in.Sub {
+		case MiscNOP:
+		case MiscHALT:
+			s.Halted = true
+			return // PC freezes on HALT
+		case MiscLSR:
+			v := s.Regs[in.Rd]
+			s.C = v&1 != 0
+			r := v >> 1
+			s.Regs[in.Rd] = r
+			setZN(r)
+			s.V = s.N != s.C
+		case MiscROR:
+			v := s.Regs[in.Rd]
+			oldC := s.C
+			s.C = v&1 != 0
+			r := v >> 1
+			if oldC {
+				r |= 0x80
+			}
+			s.Regs[in.Rd] = r
+			setZN(r)
+			s.V = s.N != s.C
+		case MiscINC:
+			r := s.Regs[in.Rd] + 1
+			s.Regs[in.Rd] = r
+			setZN(r)
+			s.V = r == 0x80
+		case MiscDEC:
+			r := s.Regs[in.Rd] - 1
+			s.Regs[in.Rd] = r
+			setZN(r)
+			s.V = r == 0x7F
+		case MiscOUT:
+			s.Port = s.Regs[in.Rd]
+		case MiscLD:
+			s.Regs[in.Rd] = s.DMem[s.Regs[in.Rr]]
+		case MiscST:
+			s.DMem[s.Regs[in.Rr]] = s.Regs[in.Rd]
+		}
+	case ClassADD:
+		s.Regs[in.Rd] = add(s.Regs[in.Rd], s.Regs[in.Rr], false)
+	case ClassADC:
+		s.Regs[in.Rd] = add(s.Regs[in.Rd], s.Regs[in.Rr], s.C)
+	case ClassSUB:
+		s.Regs[in.Rd] = sub(s.Regs[in.Rd], s.Regs[in.Rr], false, false)
+	case ClassSBC:
+		s.Regs[in.Rd] = sub(s.Regs[in.Rd], s.Regs[in.Rr], s.C, true)
+	case ClassAND:
+		r := s.Regs[in.Rd] & s.Regs[in.Rr]
+		s.Regs[in.Rd] = r
+		setZN(r)
+		s.V = false
+	case ClassOR:
+		r := s.Regs[in.Rd] | s.Regs[in.Rr]
+		s.Regs[in.Rd] = r
+		setZN(r)
+		s.V = false
+	case ClassEOR:
+		r := s.Regs[in.Rd] ^ s.Regs[in.Rr]
+		s.Regs[in.Rd] = r
+		setZN(r)
+		s.V = false
+	case ClassMOV:
+		s.Regs[in.Rd] = s.Regs[in.Rr]
+	case ClassCP:
+		sub(s.Regs[in.Rd], s.Regs[in.Rr], false, false)
+	case ClassCPC:
+		sub(s.Regs[in.Rd], s.Regs[in.Rr], s.C, true)
+	case ClassLDI:
+		s.Regs[in.Rd] = in.Imm
+	case ClassSUBI:
+		s.Regs[in.Rd] = sub(s.Regs[in.Rd], in.Imm, false, false)
+	case ClassCPI:
+		sub(s.Regs[in.Rd], in.Imm, false, false)
+	case ClassRJMP:
+		next = uint16(int(next)+in.Off) & (1<<PCBits - 1)
+	case ClassBcc:
+		taken := false
+		switch in.Sub {
+		case CondEQ:
+			taken = s.Z
+		case CondNE:
+			taken = !s.Z
+		case CondCS:
+			taken = s.C
+		case CondCC:
+			taken = !s.C
+		case CondMI:
+			taken = s.N
+		case CondPL:
+			taken = !s.N
+		}
+		if taken {
+			next = uint16(int(next)+in.Off) & (1<<PCBits - 1)
+		}
+	}
+	s.PC = next
+}
+
+// Run executes until HALT or maxInstructions, returning the number of
+// instructions retired.
+func (s *ISS) Run(maxInstructions int) int {
+	n := 0
+	for !s.Halted && n < maxInstructions {
+		s.Step()
+		n++
+	}
+	return n
+}

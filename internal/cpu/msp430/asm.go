@@ -1,0 +1,222 @@
+package msp430
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates MSP430-class assembly into instruction words.
+// Two-operand instructions use MSP430 ordering, source first:
+//
+//	mov  r1, r2    ; r2 <- r1
+//	add  r1, r2    ; r2 <- r2 + r1
+//	movi r3, 0x10  ; r3 <- 0x10
+//	ld   r4, (r5)  ; r4 <- dmem[r5]
+//	st   (r5), r4  ; dmem[r5] <- r4
+//	out  r4
+//	jne  label
+//	jmp  label
+//
+// Registers are r0..r13; jump targets are labels, PC-relative to the next
+// instruction.
+func Assemble(src string) ([]uint16, error) {
+	type pending struct {
+		instr Instr
+		label string
+		line  int
+	}
+	labels := map[string]int{}
+	var prog []pending
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				label := strings.TrimSpace(line[:i])
+				if label == "" || strings.ContainsAny(label, " \t") {
+					return nil, fmt.Errorf("msp430 asm line %d: bad label %q", ln+1, label)
+				}
+				if _, dup := labels[label]; dup {
+					return nil, fmt.Errorf("msp430 asm line %d: duplicate label %q", ln+1, label)
+				}
+				labels[label] = len(prog)
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		in, target, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("msp430 asm line %d: %v", ln+1, err)
+		}
+		prog = append(prog, pending{in, target, ln + 1})
+	}
+
+	words := make([]uint16, len(prog))
+	for pc, p := range prog {
+		in := p.instr
+		if p.label != "" {
+			tgt, ok := labels[p.label]
+			if !ok {
+				return nil, fmt.Errorf("msp430 asm line %d: undefined label %q", p.line, p.label)
+			}
+			in.Off = tgt - (pc + 1)
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("msp430 asm line %d: %v", p.line, err)
+		}
+		words[pc] = w
+	}
+	return words, nil
+}
+
+// MustAssemble panics on assembly errors; for tests and embedded programs.
+func MustAssemble(src string) []uint16 {
+	w, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func parseInstr(line string) (Instr, string, error) {
+	fields := strings.Fields(line)
+	op := strings.ToLower(fields[0])
+	args := strings.Split(strings.TrimSpace(line[len(fields[0]):]), ",")
+	if len(args) == 1 && strings.TrimSpace(args[0]) == "" {
+		args = nil
+	}
+	for i := range args {
+		args[i] = strings.TrimSpace(args[i])
+	}
+
+	reg := func(s string) (int, error) {
+		s = strings.ToLower(s)
+		if !strings.HasPrefix(s, "r") {
+			return 0, fmt.Errorf("expected register, got %q", s)
+		}
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n >= NumRegs {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return n, nil
+	}
+	imm := func(s string) (uint8, error) {
+		v, err := strconv.ParseInt(s, 0, 64)
+		if err != nil || v < -128 || v > 255 {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return uint8(v), nil
+	}
+	indirect := func(s string) (int, error) {
+		if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+			return 0, fmt.Errorf("expected (rN), got %q", s)
+		}
+		return reg(s[1 : len(s)-1])
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operand(s), got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	regReg := map[string]int{
+		"mov": ClassMOV, "add": ClassADD, "addc": ClassADDC, "sub": ClassSUB,
+		"subc": ClassSUBC, "cmp": ClassCMP, "and": ClassAND, "bis": ClassBIS,
+		"xor": ClassXOR,
+	}
+	immOps := map[string]int{"movi": ClassMOVI, "addi": ClassADDI, "cmpi": ClassCMPI}
+	jumps := map[string]int{
+		"jmp": CondAL, "jeq": CondEQ, "jz": CondEQ, "jne": CondNE, "jnz": CondNE,
+		"jc": CondC, "jnc": CondNC, "jn": CondN, "jge": CondGE, "jl": CondL,
+	}
+
+	switch {
+	case op == "nop":
+		return Instr{Class: ClassMisc, Sub: MiscNOP}, "", need(0)
+	case op == "halt":
+		return Instr{Class: ClassMisc, Sub: MiscHALT}, "", need(0)
+	case op == "out":
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Class: ClassMisc, Sub: MiscOUT, Rd: rd}, "", nil
+	case regReg[op] != 0:
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rs, err := reg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Class: regReg[op], Rs: rs, Rd: rd}, "", nil
+	case immOps[op] != 0:
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		iv, err := imm(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Class: immOps[op], Rs: rd, Imm: iv}, "", nil
+	case op == "ld":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := indirect(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Class: ClassLD, Rs: rd, Rd: ra}, "", nil
+	case op == "st":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := indirect(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rs, err := reg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Class: ClassST, Rs: rs, Rd: ra}, "", nil
+	default:
+		if cond, ok := jumps[op]; ok {
+			if err := need(1); err != nil {
+				return Instr{}, "", err
+			}
+			return Instr{Class: ClassJcc, Sub: cond}, args[0], nil
+		}
+	}
+	return Instr{}, "", fmt.Errorf("unknown mnemonic %q", op)
+}

@@ -1,0 +1,285 @@
+package msp430
+
+import (
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// FSM states. Every instruction passes FETCH and DECODE; loads and stores
+// insert MEM; everything but stores reaches EXEC; register writers finish
+// in WRITE.
+const (
+	SFetch  = 0
+	SDecode = 1
+	SMem    = 2
+	SExec   = 3
+	SWrite  = 4
+)
+
+// FF group tags; the "FF w/o RF" fault set excludes GroupRegFile.
+const (
+	GroupRegFile = "regfile"
+	GroupPC      = "pc"
+	GroupIR      = "ir"
+	GroupCtrl    = "ctrl"
+	GroupSREG    = "sreg"
+	GroupPort    = "port"
+	GroupOpA     = "opa"
+	GroupOpB     = "opb"
+	GroupMAR     = "mar"
+	GroupMDR     = "mdr"
+	GroupResult  = "result"
+)
+
+// Core bundles the synthesized netlist with its port map and architectural
+// state locations.
+type Core struct {
+	NL *netlist.Netlist
+
+	IMemData  synth.Bus // in: 16-bit instruction word
+	DMemRData synth.Bus // in: 16-bit data word
+
+	IMemAddr  synth.Bus // out: 12-bit PC
+	DMemAddr  synth.Bus // out: 8-bit data address (MAR)
+	DMemWData synth.Bus // out: 16-bit store data
+	DMemWE    netlist.WireID
+	Port      synth.Bus // out: 16-bit output port
+	Halted    netlist.WireID
+
+	PC    synth.Bus
+	State synth.Bus
+	Regs  []synth.Bus
+	FlagC netlist.WireID
+	FlagZ netlist.WireID
+	FlagN netlist.WireID
+	FlagV netlist.WireID
+}
+
+// NewCore synthesizes the multi-cycle MSP430-class core.
+func NewCore() *Core {
+	b := netlist.NewBuilder("msp430")
+	c := synth.New(b)
+	core := &Core{}
+
+	core.IMemData = c.InputBus("imem_data", 16)
+	core.DMemRData = c.InputBus("dmem_rdata", 16)
+
+	// ---- state ----------------------------------------------------------
+	pc := c.RegisterPlaceholder("pc", PCBits, 0, GroupPC)
+	ir := c.RegisterPlaceholder("ir", 16, 0, GroupIR)
+	state := c.RegisterPlaceholder("state", 3, SFetch, GroupCtrl)
+	halted := c.RegisterPlaceholder("halted", 1, 0, GroupCtrl)
+	opA := c.RegisterPlaceholder("opa", 16, 0, GroupOpA)
+	opB := c.RegisterPlaceholder("opb", 16, 0, GroupOpB)
+	mar := c.RegisterPlaceholder("mar", DMemBits, 0, GroupMAR)
+	mdr := c.RegisterPlaceholder("mdr", 16, 0, GroupMDR)
+	result := c.RegisterPlaceholder("result", 16, 0, GroupResult)
+	flagC := c.RegisterPlaceholder("sreg.c", 1, 0, GroupSREG)
+	flagZ := c.RegisterPlaceholder("sreg.z", 1, 0, GroupSREG)
+	flagN := c.RegisterPlaceholder("sreg.n", 1, 0, GroupSREG)
+	flagV := c.RegisterPlaceholder("sreg.v", 1, 0, GroupSREG)
+	port := c.RegisterPlaceholder("port", 16, 0, GroupPort)
+	rf := c.RegFilePlaceholder(synth.RegFileConfig{
+		Name: "rf", Num: NumRegs, Width: 16, Group: GroupRegFile,
+	})
+
+	C, Z, N, V := flagC[0], flagZ[0], flagN[0], flagV[0]
+	hlt := halted[0]
+	run := b.GateNamed("run", cell.INV, hlt)
+
+	// ---- decode ----------------------------------------------------------
+	class := synth.Bus{ir[12], ir[13], ir[14], ir[15]}
+	f1 := synth.Bus{ir[8], ir[9], ir[10], ir[11]} // rs / imm-dst / LD-dst
+	f2 := synth.Bus{ir[4], ir[5], ir[6], ir[7]}   // rd / address reg / OUT reg
+	imm := synth.Bus(ir[0:8])
+
+	classDec := c.Decoder(class)
+	isMisc := classDec[ClassMisc]
+	isMOV, isADD, isADDC := classDec[ClassMOV], classDec[ClassADD], classDec[ClassADDC]
+	isSUB, isSUBC, isCMP := classDec[ClassSUB], classDec[ClassSUBC], classDec[ClassCMP]
+	isAND, isBIS, isXOR := classDec[ClassAND], classDec[ClassBIS], classDec[ClassXOR]
+	isMOVI, isADDI, isCMPI := classDec[ClassMOVI], classDec[ClassADDI], classDec[ClassCMPI]
+	isLD, isST, isJcc := classDec[ClassLD], classDec[ClassST], classDec[ClassJcc]
+
+	subDec := c.Decoder(f1) // misc subop / jump condition share bits 11:8
+	mHALT := b.Gate(cell.AND2, isMisc, subDec[MiscHALT])
+	mOUT := b.Gate(cell.AND2, isMisc, subDec[MiscOUT])
+
+	stateDec := c.Decoder(state)
+	stFetch, stDecode := stateDec[SFetch], stateDec[SDecode]
+	stMem, stExec, stWrite := stateDec[SMem], stateDec[SExec], stateDec[SWrite]
+
+	isImm := orTree(c, isMOVI, isADDI, isCMPI)
+
+	// ---- register file read (DECODE) --------------------------------------
+	r1 := rf.Read(c, f1)
+	r2 := rf.Read(c, f2)
+
+	// ADDI sign-extends its immediate (decrements via addi rN, -1);
+	// MOVI/CMPI zero-extend.
+	immExt := c.Mux2(isADDI, c.ZeroExtend(imm, 16), c.SignExtend(imm, 16))
+	opAval := c.Mux2(isImm, r1, immExt)
+	opBval := c.Mux2(isImm, r2, r1)
+
+	decEn := b.Gate(cell.AND2, stDecode, run)
+	c.ConnectRegister(opA, opAval, decEn)
+	c.ConnectRegister(opB, opBval, decEn)
+	c.ConnectRegister(mar, r2[:DMemBits], decEn)
+
+	// ---- MEM state ---------------------------------------------------------
+	memEn := b.Gate(cell.AND2, stMem, run)
+	mdrEn := b.Gate(cell.AND2, memEn, isLD)
+	c.ConnectRegister(mdr, core.DMemRData, mdrEn)
+	dmemWE := b.GateNamed("dmem_we", cell.AND2, memEn, isST)
+
+	// ---- ALU (EXEC) with operand isolation -----------------------------------
+	// The operand registers are AND-gated with the EXEC-state qualifier
+	// (operand isolation): outside the execute state the ALU sees zeros.
+	// The isolation gates are the MATE choke points that make an SEU in
+	// opA/opB provably benign in every cycle in which the register is
+	// being (re)loaded while the ALU is idle.
+	opAIso := c.AndBit(opA, stExec)
+	opBIso := c.AndBit(opB, stExec)
+	isAddGroup := orTree(c, isADD, isADDC, isADDI)
+	isSubGroup := orTree(c, isSUB, isSUBC, isCMP, isCMPI)
+	isSub := isSubGroup
+	a2 := c.Mux2(isSub, opAIso, c.Not(opAIso))
+	// carry-in: ADD/ADDI 0, ADDC C, SUB/CMP/CMPI 1, SUBC C.
+	useC := b.Gate(cell.OR2, isADDC, isSUBC)
+	base := isSub // 1 for SUB-like, 0 for ADD-like
+	cin := b.Gate(cell.MUX2, base, C, useC)
+	sum := c.Adder(opBIso, a2, cin)
+	arithC := sum.Cout // MSP430: C = NOT borrow on subtraction = raw carry
+	arithV := b.Gate(cell.AND2,
+		b.Gate(cell.XNOR2, opBIso[15], a2[15]),
+		b.Gate(cell.XOR2, opBIso[15], sum.Sum[15]))
+
+	andRes := c.And(opBIso, opAIso)
+	orRes := c.Or(opBIso, opAIso)
+	xorRes := c.Xor(opBIso, opAIso)
+	logicRes := c.Mux2(isBIS, c.Mux2(isXOR, andRes, xorRes), orRes)
+	isLogic := orTree(c, isAND, isBIS, isXOR)
+
+	isMovLike := b.Gate(cell.OR2, isMOV, isMOVI)
+	aluOut := sum.Sum
+	aluOut = c.Mux2(isLogic, aluOut, logicRes)
+	aluOut = c.Mux2(isMovLike, aluOut, opAIso)
+	aluOut = c.Mux2(isLD, aluOut, mdr)
+
+	execEn := b.Gate(cell.AND2, stExec, run)
+	c.ConnectRegister(result, aluOut, execEn)
+
+	// ---- flags ------------------------------------------------------------------
+	isArith := b.Gate(cell.OR2, isAddGroup, isSubGroup)
+	setsFlagsLogic := b.Gate(cell.OR2, isAND, isXOR) // BIS keeps flags
+	flagsEnInstr := b.Gate(cell.OR2, isArith, setsFlagsLogic)
+	flagsEn := b.Gate(cell.AND2, execEn, flagsEnInstr)
+
+	zVal := b.Gate(cell.INV, c.ReduceOr(aluOut))
+	nVal := aluOut[15]
+	cVal := b.Gate(cell.MUX2, arithC, b.Gate(cell.INV, zVal), setsFlagsLogic)
+	vVal := b.Gate(cell.MUX2, arithV, b.Const(false), setsFlagsLogic)
+
+	c.ConnectRegister(flagC, synth.Bus{cVal}, flagsEn)
+	c.ConnectRegister(flagZ, synth.Bus{zVal}, flagsEn)
+	c.ConnectRegister(flagN, synth.Bus{nVal}, flagsEn)
+	c.ConnectRegister(flagV, synth.Bus{vVal}, flagsEn)
+
+	// ---- jumps and PC ---------------------------------------------------------
+	nxv := b.Gate(cell.XOR2, N, V)
+	condMet := orTree(c,
+		subDec[CondAL],
+		b.Gate(cell.AND2, subDec[CondEQ], Z),
+		b.Gate(cell.AND2, subDec[CondNE], b.Gate(cell.INV, Z)),
+		b.Gate(cell.AND2, subDec[CondC], C),
+		b.Gate(cell.AND2, subDec[CondNC], b.Gate(cell.INV, C)),
+		b.Gate(cell.AND2, subDec[CondN], N),
+		b.Gate(cell.AND2, subDec[CondGE], b.Gate(cell.INV, nxv)),
+		b.Gate(cell.AND2, subDec[CondL], nxv))
+	taken := b.GateNamed("jump_taken", cell.AND2, execEn,
+		b.Gate(cell.AND2, isJcc, condMet))
+
+	off := c.SignExtend(imm, PCBits)
+	target := c.Adder(pc, off, b.Const(false)).Sum
+	pcInc := c.Inc(pc).Sum
+	fetchEn := b.Gate(cell.AND2, stFetch, run)
+	pcEn := b.Gate(cell.OR2, fetchEn, taken)
+	pcD := c.Mux2(taken, pcInc, target)
+	c.ConnectRegister(pc, pcD, pcEn)
+	c.ConnectRegister(ir, core.IMemData, fetchEn)
+
+	// ---- halting -----------------------------------------------------------------
+	haltNow := b.Gate(cell.AND2, execEn, mHALT)
+	c.ConnectRegisterAlways(halted, synth.Bus{b.Gate(cell.OR2, hlt, haltNow)})
+
+	// ---- output port ----------------------------------------------------------------
+	portEn := b.Gate(cell.AND2, execEn, mOUT)
+	c.ConnectRegister(port, opB, portEn)
+
+	// ---- register file write (WRITE) ---------------------------------------------------
+	writesRF := orTree(c, isMOV, isADD, isADDC, isSUB, isSUBC, isAND, isBIS,
+		isXOR, isMOVI, isADDI, isLD)
+	wEn := b.GateNamed("rf_we", cell.AND2, b.Gate(cell.AND2, stWrite, run), writesRF)
+	// Destination register: f1 for immediate forms and LD, f2 for the
+	// two-register forms — a single mux level so a fault in either field
+	// has one choke point into the write-address decoder.
+	dstIsF1 := orTree(c, isImm, isLD)
+	wAddr := c.Mux2(dstIsF1, f2, f1)
+	// Write-port data isolation: the write bus is forced to zero unless a
+	// write is committed this cycle, so an SEU in the result register is
+	// provably benign in every non-WRITE cycle.
+	wDataQ := c.AndBit(result, wEn)
+	rf.ConnectWrite(c, wEn, wAddr, wDataQ)
+
+	// ---- FSM transition ------------------------------------------------------------------
+	goMem := b.Gate(cell.OR2, isLD, isST)
+	// decode -> mem | exec
+	afterDecode := c.Mux2(goMem, c.ConstBus(SExec, 3), c.ConstBus(SMem, 3))
+	// mem -> fetch (st) | exec (ld)
+	afterMem := c.Mux2(isST, c.ConstBus(SExec, 3), c.ConstBus(SFetch, 3))
+	// exec -> write | fetch
+	afterExec := c.Mux2(writesRF, c.ConstBus(SFetch, 3), c.ConstBus(SWrite, 3))
+
+	stateNext := c.ConstBus(SDecode, 3) // from fetch
+	stateNext = c.Mux2(stDecode, stateNext, afterDecode)
+	stateNext = c.Mux2(stMem, stateNext, afterMem)
+	stateNext = c.Mux2(stExec, stateNext, afterExec)
+	stateNext = c.Mux2(stWrite, stateNext, c.ConstBus(SFetch, 3))
+	c.ConnectRegister(state, stateNext, run)
+
+	// ---- primary outputs --------------------------------------------------------------------
+	// The data-memory pins are qualified by the FSM state: the address bus
+	// idles at zero outside the MEM state and the write-data bus outside
+	// stores, as a real bus interface does. This matters for pruning: an
+	// SEU in MAR or opA is provably benign in cycles without a memory
+	// access in flight.
+	addrPins := c.AndBit(mar, stMem)
+	wdataPins := c.AndBit(opA, dmemWE)
+	c.OutputBus(pc)
+	c.OutputBus(addrPins)
+	c.OutputBus(wdataPins)
+	b.MarkOutput(dmemWE)
+	c.OutputBus(port)
+	b.MarkOutput(hlt)
+
+	core.NL = b.MustNetlist()
+	core.IMemAddr = pc
+	core.DMemAddr = addrPins
+	core.DMemWData = wdataPins
+	core.DMemWE = dmemWE
+	core.Port = port
+	core.Halted = hlt
+	core.PC = pc
+	core.State = state
+	core.Regs = make([]synth.Bus, NumRegs)
+	for r := 0; r < NumRegs; r++ {
+		core.Regs[r] = rf.Regs[r]
+	}
+	core.FlagC, core.FlagZ, core.FlagN, core.FlagV = C, Z, N, V
+	return core
+}
+
+func orTree(c *synth.Ctx, ws ...netlist.WireID) netlist.WireID {
+	return c.ReduceOr(synth.Bus(ws))
+}

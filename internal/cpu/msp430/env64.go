@@ -1,0 +1,79 @@
+package msp430
+
+import (
+	"repro/internal/sim"
+)
+
+// System64 couples the core with 64 lane-parallel behavioural memories for
+// batched fault-injection experiments (see sim.Machine64).
+type System64 struct {
+	Core *Core
+	M    *sim.Machine64
+	IMem []uint16
+	// DMem is lane-major: DMem[lane][address].
+	DMem [64][1 << DMemBits]uint16
+}
+
+// NewSystem64 builds the lane-parallel machine with the program loaded.
+func NewSystem64(core *Core, prog []uint16) (*System64, error) {
+	m, err := sim.NewMachine64(core.NL)
+	if err != nil {
+		return nil, err
+	}
+	return &System64{Core: core, M: m, IMem: prog}, nil
+}
+
+// Env returns the lane-parallel memory environment.
+func (s *System64) Env() sim.Env64 {
+	return sim.Env64Func(func(m *sim.Machine64) {
+		var instrPlane [16]uint64
+		var rdataPlane [16]uint64
+		weMask := m.Lanes(s.Core.DMemWE)
+		for l := 0; l < 64; l++ {
+			pc := m.ReadBusLane(s.Core.IMemAddr, l)
+			var instr uint16
+			if int(pc) < len(s.IMem) {
+				instr = s.IMem[pc]
+			}
+			for i := 0; i < 16; i++ {
+				if instr>>uint(i)&1 == 1 {
+					instrPlane[i] |= 1 << uint(l)
+				}
+			}
+			addr := m.ReadBusLane(s.Core.DMemAddr, l)
+			rdata := s.DMem[l][addr]
+			for i := 0; i < 16; i++ {
+				if rdata>>uint(i)&1 == 1 {
+					rdataPlane[i] |= 1 << uint(l)
+				}
+			}
+			if weMask>>uint(l)&1 == 1 {
+				s.DMem[l][addr] = uint16(m.ReadBusLane(s.Core.DMemWData, l))
+			}
+		}
+		for i, w := range s.Core.IMemData {
+			m.SetLanes(w, instrPlane[i])
+		}
+		for i, w := range s.Core.DMemRData {
+			m.SetLanes(w, rdataPlane[i])
+		}
+	})
+}
+
+// Step advances all 64 lanes one clock cycle.
+func (s *System64) Step() { s.M.Step(s.Env()) }
+
+// HaltedMask returns the lanes whose core has halted.
+func (s *System64) HaltedMask() uint64 { return s.M.Lanes(s.Core.Halted) }
+
+// LoadScalarState broadcasts a scalar checkpoint into every lane.
+func (s *System64) LoadScalarState(ffs, inputs []bool, dmem [1 << DMemBits]uint16) {
+	s.M.LoadState(ffs)
+	s.M.LoadInputs(inputs)
+	for l := 0; l < 64; l++ {
+		s.DMem[l] = dmem
+	}
+}
+
+// PortLane reads the output port register of one lane.
+func (s *System64) PortLane(l int) uint16 { return uint16(s.M.ReadBusLane(s.Core.Port, l)) }

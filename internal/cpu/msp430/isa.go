@@ -1,0 +1,140 @@
+// Package msp430 implements an MSP430-class 16-bit multi-cycle
+// microcontroller as a gate-level netlist, plus an assembler and an
+// architectural ISS as the golden model.
+//
+// The paper's second evaluation target is "a 16-bit multi-cycle
+// MSP430-compatible microcontroller" with a 14×16-bit register file.
+// This package rebuilds an MSP430-class core from scratch: a 5-state
+// fetch/decode/mem/exec/write FSM, 14 general-purpose 16-bit registers,
+// and a two-operand instruction set in the MSP430 style (dst ⟵ dst op src,
+// C = NOT borrow on subtraction, BIS does not touch flags). The multi-cycle
+// microarchitecture holds operands, memory address/data and the ALU result
+// in dedicated enable-gated registers between cycles — precisely the state
+// the paper found most amenable to intra-cycle MATE masking.
+package msp430
+
+import "fmt"
+
+// Instruction classes (bits 15:12).
+const (
+	ClassMisc = 0x0 // sub in bits 11:8; operand register in bits 7:4
+	ClassMOV  = 0x1 // rd <- rs
+	ClassADD  = 0x2
+	ClassADDC = 0x3
+	ClassSUB  = 0x4 // rd <- rd - rs
+	ClassSUBC = 0x5 // rd <- rd - rs - 1 + C
+	ClassCMP  = 0x6 // flags(rd - rs)
+	ClassAND  = 0x7
+	ClassBIS  = 0x8 // rd <- rd | rs (no flags, as on the real MSP430)
+	ClassXOR  = 0x9
+	ClassMOVI = 0xA // rd <- zext(imm8)
+	ClassADDI = 0xB // rd <- rd + zext(imm8)
+	ClassCMPI = 0xC // flags(rd - zext(imm8))
+	ClassLD   = 0xD // rd <- dmem[rs]
+	ClassST   = 0xE // dmem[rd] <- rs
+	ClassJcc  = 0xF // conditional jump, signed 8-bit offset
+)
+
+// Misc subops (bits 11:8 when class == ClassMisc). The operand register of
+// OUT sits in bits 7:4.
+const (
+	MiscNOP  = 0x0
+	MiscHALT = 0x1
+	MiscOUT  = 0x2 // port <- rd
+)
+
+// Jump conditions (bits 11:8 when class == ClassJcc).
+const (
+	CondAL = 0x0 // always (jmp)
+	CondEQ = 0x1 // Z
+	CondNE = 0x2 // !Z
+	CondC  = 0x3 // C
+	CondNC = 0x4 // !C
+	CondN  = 0x5 // N
+	CondGE = 0x6 // !(N xor V)
+	CondL  = 0x7 // N xor V
+)
+
+// NumRegs is the register-file size: 14 registers of 16 bits, the
+// configuration the paper reports for its MSP430 implementation.
+const NumRegs = 14
+
+// PCBits is the program-counter width.
+const PCBits = 12
+
+// DMemBits is the data-memory address width; the data memory holds
+// 2^DMemBits 16-bit words.
+const DMemBits = 8
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Class int
+	Sub   int // misc subop or jump condition
+	Rs    int // source register (bits 11:8 for reg-reg, LD dst, imm dst)
+	Rd    int // second register field (bits 7:4)
+	Imm   uint8
+	Off   int
+}
+
+// Decode splits a raw instruction word. Register fields are decoded
+// unconditionally; users pick the ones their class defines.
+func Decode(w uint16) Instr {
+	cl := int(w >> 12)
+	in := Instr{Class: cl}
+	switch cl {
+	case ClassMisc:
+		in.Sub = int(w >> 8 & 0xF)
+		in.Rd = int(w >> 4 & 0xF)
+	case ClassJcc:
+		in.Sub = int(w >> 8 & 0xF)
+		off := int(w & 0xFF)
+		if off&0x80 != 0 {
+			off -= 0x100
+		}
+		in.Off = off
+	case ClassMOVI, ClassADDI, ClassCMPI:
+		in.Rs = int(w >> 8 & 0xF)
+		in.Imm = uint8(w & 0xFF)
+	default:
+		in.Rs = int(w >> 8 & 0xF)
+		in.Rd = int(w >> 4 & 0xF)
+	}
+	return in
+}
+
+// Encode builds the raw instruction word.
+func Encode(in Instr) (uint16, error) {
+	reg := func(r int) error {
+		if r < 0 || r >= NumRegs {
+			return fmt.Errorf("msp430: register r%d out of range", r)
+		}
+		return nil
+	}
+	switch in.Class {
+	case ClassMisc:
+		if err := reg(in.Rd); err != nil {
+			return 0, err
+		}
+		return uint16(ClassMisc)<<12 | uint16(in.Sub&0xF)<<8 | uint16(in.Rd)<<4, nil
+	case ClassJcc:
+		if in.Off < -128 || in.Off > 127 {
+			return 0, fmt.Errorf("msp430: jump offset %d out of range", in.Off)
+		}
+		return uint16(ClassJcc)<<12 | uint16(in.Sub&0xF)<<8 | uint16(in.Off)&0xFF, nil
+	case ClassMOVI, ClassADDI, ClassCMPI:
+		if err := reg(in.Rs); err != nil {
+			return 0, err
+		}
+		return uint16(in.Class)<<12 | uint16(in.Rs)<<8 | uint16(in.Imm), nil
+	case ClassMOV, ClassADD, ClassADDC, ClassSUB, ClassSUBC, ClassCMP,
+		ClassAND, ClassBIS, ClassXOR, ClassLD, ClassST:
+		if err := reg(in.Rs); err != nil {
+			return 0, err
+		}
+		if err := reg(in.Rd); err != nil {
+			return 0, err
+		}
+		return uint16(in.Class)<<12 | uint16(in.Rs)<<8 | uint16(in.Rd)<<4, nil
+	}
+	return 0, fmt.Errorf("msp430: unknown class %#x", in.Class)
+}

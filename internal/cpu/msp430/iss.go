@@ -1,0 +1,154 @@
+package msp430
+
+// ISS is the architectural golden model of the MSP430-class core.
+type ISS struct {
+	PC     uint16
+	Regs   [NumRegs]uint16
+	C, Z   bool
+	N, V   bool
+	Port   uint16
+	Halted bool
+
+	IMem []uint16
+	DMem [1 << DMemBits]uint16
+
+	Instructions int
+}
+
+// NewISS creates an ISS with the program loaded at address 0.
+func NewISS(prog []uint16) *ISS { return &ISS{IMem: prog} }
+
+func (s *ISS) fetch(pc uint16) uint16 {
+	pc &= 1<<PCBits - 1
+	if int(pc) < len(s.IMem) {
+		return s.IMem[pc]
+	}
+	return 0
+}
+
+// Step executes one instruction; no-op when halted.
+func (s *ISS) Step() {
+	if s.Halted {
+		return
+	}
+	in := Decode(s.fetch(s.PC))
+	next := (s.PC + 1) & (1<<PCBits - 1)
+	s.Instructions++
+
+	setZN := func(r uint16) {
+		s.Z = r == 0
+		s.N = r&0x8000 != 0
+	}
+	// add computes dst + src + cin with MSP430 flag semantics.
+	add := func(dst, src uint16, cin bool) uint16 {
+		c := uint32(0)
+		if cin {
+			c = 1
+		}
+		sum := uint32(dst) + uint32(src) + c
+		r := uint16(sum)
+		s.C = sum > 0xFFFF
+		s.V = (dst^src)&0x8000 == 0 && (dst^r)&0x8000 != 0
+		setZN(r)
+		return r
+	}
+	// sub computes dst - src (- borrow) with MSP430 semantics:
+	// C = NOT borrow (carry of dst + ^src + 1).
+	sub := func(dst, src uint16, cin bool) uint16 {
+		c := uint32(0)
+		if cin {
+			c = 1
+		}
+		sum := uint32(dst) + uint32(^src) + c
+		r := uint16(sum)
+		s.C = sum > 0xFFFF
+		s.V = (dst^src)&0x8000 != 0 && (dst^r)&0x8000 != 0
+		setZN(r)
+		return r
+	}
+	logicFlags := func(r uint16) {
+		setZN(r)
+		s.C = r != 0 // MSP430: C = NOT Z for AND/XOR
+		s.V = false
+	}
+
+	switch in.Class {
+	case ClassMisc:
+		switch in.Sub {
+		case MiscNOP:
+		case MiscHALT:
+			s.Halted = true
+			return
+		case MiscOUT:
+			s.Port = s.Regs[in.Rd]
+		}
+	case ClassMOV:
+		s.Regs[in.Rd] = s.Regs[in.Rs]
+	case ClassADD:
+		s.Regs[in.Rd] = add(s.Regs[in.Rd], s.Regs[in.Rs], false)
+	case ClassADDC:
+		s.Regs[in.Rd] = add(s.Regs[in.Rd], s.Regs[in.Rs], s.C)
+	case ClassSUB:
+		s.Regs[in.Rd] = sub(s.Regs[in.Rd], s.Regs[in.Rs], true)
+	case ClassSUBC:
+		s.Regs[in.Rd] = sub(s.Regs[in.Rd], s.Regs[in.Rs], s.C)
+	case ClassCMP:
+		sub(s.Regs[in.Rd], s.Regs[in.Rs], true)
+	case ClassAND:
+		r := s.Regs[in.Rd] & s.Regs[in.Rs]
+		s.Regs[in.Rd] = r
+		logicFlags(r)
+	case ClassBIS:
+		s.Regs[in.Rd] |= s.Regs[in.Rs] // no flags
+	case ClassXOR:
+		r := s.Regs[in.Rd] ^ s.Regs[in.Rs]
+		s.Regs[in.Rd] = r
+		logicFlags(r)
+	case ClassMOVI:
+		s.Regs[in.Rs] = uint16(in.Imm)
+	case ClassADDI:
+		// ADDI sign-extends its 8-bit immediate so that "addi rN, -1"
+		// works as a decrement; MOVI and CMPI zero-extend.
+		s.Regs[in.Rs] = add(s.Regs[in.Rs], uint16(int16(int8(in.Imm))), false)
+	case ClassCMPI:
+		sub(s.Regs[in.Rs], uint16(in.Imm), true)
+	case ClassLD:
+		s.Regs[in.Rs] = s.DMem[s.Regs[in.Rd]&(1<<DMemBits-1)]
+	case ClassST:
+		s.DMem[s.Regs[in.Rd]&(1<<DMemBits-1)] = s.Regs[in.Rs]
+	case ClassJcc:
+		taken := false
+		switch in.Sub {
+		case CondAL:
+			taken = true
+		case CondEQ:
+			taken = s.Z
+		case CondNE:
+			taken = !s.Z
+		case CondC:
+			taken = s.C
+		case CondNC:
+			taken = !s.C
+		case CondN:
+			taken = s.N
+		case CondGE:
+			taken = s.N == s.V
+		case CondL:
+			taken = s.N != s.V
+		}
+		if taken {
+			next = uint16(int(next)+in.Off) & (1<<PCBits - 1)
+		}
+	}
+	s.PC = next
+}
+
+// Run executes until HALT or maxInstructions.
+func (s *ISS) Run(maxInstructions int) int {
+	n := 0
+	for !s.Halted && n < maxInstructions {
+		s.Step()
+		n++
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPrepareCases(t *testing.T) {
+	a := PrepareAVR()
+	m := PrepareMSP430()
+	if a.Name != "AVR" || m.Name != "MSP430" {
+		t.Fatal("names")
+	}
+	for _, c := range []*CPUCase{a, m} {
+		if c.TraceFib.NumCycles() != 8500 || c.TraceConv.NumCycles() != 8500 {
+			t.Errorf("%s: traces must span 8500 cycles", c.Name)
+		}
+		if len(c.FaultAll) != c.TotalFFs {
+			t.Errorf("%s: fault set does not cover all FFs", c.Name)
+		}
+		if len(c.FaultNoRF)+c.RegFileFFs != c.TotalFFs {
+			t.Errorf("%s: FF accounting broken", c.Name)
+		}
+	}
+	// Caching: a second call returns the same case.
+	if PrepareAVR() != a {
+		t.Error("PrepareAVR not cached")
+	}
+}
+
+func TestTable1AndFormat(t *testing.T) {
+	rows := Table1(PrepareAVR(), core.DefaultSearchParams())
+	if len(rows) != 2 || rows[0].FaultSet != "FF" || rows[1].FaultSet != "FF w/o RF" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	out := FormatTable1(rows)
+	for _, want := range []string{"Faulty Wires", "Avg. Cone", "#Unmaskable", "#MATE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 missing %q", want)
+		}
+	}
+}
+
+func TestPerfAndFormat(t *testing.T) {
+	tab := Perf(PrepareAVR(), core.DefaultSearchParams())
+	for _, prog := range []string{"fib", "conv"} {
+		for _, fs := range []string{"FF", "FF w/o RF"} {
+			c := tab.Cells[prog][fs]
+			if c == nil {
+				t.Fatalf("missing cell %s/%s", prog, fs)
+			}
+			if c.MaskedComplete <= 0 || c.MaskedComplete >= 1 {
+				t.Errorf("%s/%s: reduction %v out of range", prog, fs, c.MaskedComplete)
+			}
+			for _, n := range TopNs {
+				if _, ok := c.TopSelFib[n]; !ok {
+					t.Errorf("%s/%s: missing top-%d (fib)", prog, fs, n)
+				}
+				if _, ok := c.TopSelConv[n]; !ok {
+					t.Errorf("%s/%s: missing top-%d (conv)", prog, fs, n)
+				}
+			}
+		}
+	}
+	out := FormatPerf(tab, 2)
+	for _, want := range []string{"Table 2", "#Effective MATEs", "Masked Faults", "Top 50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("perf table missing %q", want)
+		}
+	}
+}
+
+func TestFigure1Render(t *testing.T) {
+	out := Figure1(8)
+	for _, want := range []string{
+		"cone(d)",
+		"d, g, k, l", // the paper's cone for input d
+		"MATE",
+		"no MATE for e",
+		"wire a",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1CircuitMatchesPaper(t *testing.T) {
+	nl, w := Figure1Circuit()
+	cone := core.ComputeCone(nl, w["d"])
+	if cone.NumGates() != 3 {
+		t.Errorf("cone(d) gates = %d, want 3", cone.NumGates())
+	}
+	borders := cone.BorderWires(nl)
+	if len(borders) != 3 {
+		t.Errorf("borders = %d, want 3 (c, f, h)", len(borders))
+	}
+}
+
+func TestLUTCostsAndFormat(t *testing.T) {
+	rows := LUTCosts(PrepareAVR(), core.DefaultSearchParams())
+	if len(rows) != len(TopNs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	prev := 0
+	for _, r := range rows {
+		if r.LUTs < prev {
+			t.Error("LUT cost must not shrink with larger top-N")
+		}
+		prev = r.LUTs
+	}
+	out := FormatLUT(rows)
+	if !strings.Contains(out, "Virtex-6") {
+		t.Errorf("LUT table missing device column:\n%s", out)
+	}
+}
+
+func TestCampaignExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is expensive")
+	}
+	row, err := Campaign(PrepareAVR(), "fib", 900, core.DefaultSearchParams(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Result.Total == 0 || row.Result.Skipped == 0 {
+		t.Fatalf("campaign result %+v", row.Result)
+	}
+	out := FormatCampaign([]*CampaignRow{row})
+	if !strings.Contains(out, "AVR") || !strings.Contains(out, "fib") {
+		t.Errorf("campaign table:\n%s", out)
+	}
+}

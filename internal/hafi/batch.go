@@ -1,0 +1,115 @@
+package hafi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunCampaignBatched executes the campaign on a 64-lane batched device:
+// injection points that share a cycle are grouped, up to 64 of them run as
+// lanes of one bit-parallel simulation. Semantically identical to
+// RunCampaign (same outcomes for every point); typically an order of
+// magnitude faster. MATE pruning is applied before batching, exactly like
+// the sequential controller. ValidateSkipped re-executes pruned points
+// batched as well.
+func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*CampaignResult, error) {
+	if cfg.TimeoutFactor <= 0 {
+		cfg.TimeoutFactor = 2
+	}
+	timeout := int(cfg.TimeoutFactor * float64(c.golden.HaltCycle))
+	if timeout <= c.golden.HaltCycle {
+		timeout = c.golden.HaltCycle + 1
+	}
+
+	c.indexMATEs(cfg.MATESet)
+
+	res := &CampaignResult{ByOutcome: map[Outcome]int{}}
+	var toRun, toValidate []FaultPoint
+	for _, p := range cfg.Points {
+		if p.Cycle >= len(c.golden.Checkpoints) {
+			return nil, fmt.Errorf("hafi: injection cycle %d beyond golden run (%d)", p.Cycle, len(c.golden.Checkpoints))
+		}
+		res.Total++
+		if cfg.MATESet != nil && c.provedBenign(p) {
+			res.Skipped++
+			if cfg.ValidateSkipped {
+				toValidate = append(toValidate, p)
+			}
+			continue
+		}
+		res.Executed++
+		toRun = append(toRun, p)
+	}
+
+	outcomes := c.executeBatched(run64, toRun, timeout)
+	for _, o := range outcomes {
+		res.ByOutcome[o]++
+	}
+	if cfg.ValidateSkipped {
+		for _, o := range c.executeBatched(run64, toValidate, timeout) {
+			if o != OutcomeBenign {
+				res.SkippedWrong++
+			}
+		}
+	}
+	return res, nil
+}
+
+// executeBatched groups points by injection cycle into ≤64-lane batches
+// and classifies every lane.
+func (c *Controller) executeBatched(run64 Run64, points []FaultPoint, timeout int) []Outcome {
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return points[idx[a]].Cycle < points[idx[b]].Cycle })
+
+	outcomes := make([]Outcome, len(points))
+	for lo := 0; lo < len(idx); {
+		cycle := points[idx[lo]].Cycle
+		hi := lo
+		for hi < len(idx) && hi-lo < 64 && points[idx[hi]].Cycle == cycle {
+			hi++
+		}
+		batch := idx[lo:hi]
+
+		run64.LoadCheckpoint(c.golden.Checkpoints[cycle])
+		for lane, pi := range batch {
+			run64.FlipLane(points[pi].FF, lane)
+		}
+		used := uint64(1)<<uint(len(batch)) - 1
+		if len(batch) == 64 {
+			used = ^uint64(0)
+		}
+		for cyc := cycle; cyc < timeout; cyc++ {
+			if cyc > cycle {
+				held := false
+				haltedNow := run64.HaltedMask()
+				for lane, pi := range batch {
+					if cyc < points[pi].Cycle+points[pi].duration() && haltedNow>>uint(lane)&1 == 0 {
+						run64.FlipLane(points[pi].FF, lane)
+						held = true
+					}
+				}
+				_ = held
+			}
+			if run64.HaltedMask()&used == used {
+				break
+			}
+			run64.Step()
+		}
+		halted := run64.HaltedMask()
+		for lane, pi := range batch {
+			switch {
+			case halted>>uint(lane)&1 == 0:
+				outcomes[pi] = OutcomeHang
+			case run64.SignatureLane(lane) == c.golden.Signature:
+				outcomes[pi] = OutcomeBenign
+			default:
+				outcomes[pi] = OutcomeSDC
+			}
+		}
+		lo = hi
+	}
+	return outcomes
+}

@@ -1,0 +1,406 @@
+// Package hafi models a hardware-assisted fault-injection (HAFI) platform
+// in software. Real HAFI systems (Entrena et al., FLINT, ...) instrument a
+// netlist with injection logic, emulate it on an FPGA, and run complete
+// fault-injection experiments online; the paper integrates MATE evaluation
+// into such a platform to skip provably benign injections before they are
+// executed.
+//
+// This package reproduces that flow against the gate-level simulator:
+//
+//   - a golden run records per-cycle checkpoints (flip-flop state plus
+//     external memory) and the fault-free result signature,
+//   - the campaign controller walks the (flip-flop × cycle) fault list,
+//     restores the checkpoint, flips the target bit, runs the workload to
+//     completion and classifies the outcome (benign / silent data
+//     corruption / hang),
+//   - with a MATE set attached, the controller evaluates the MATEs on the
+//     golden trace for each injection point first and skips those proven
+//     benign — the paper's online fault-space pruning,
+//   - lut.go provides the FPGA cost model of Section 6.1 (6-input LUTs per
+//     MATE versus the 1.5k–6k LUTs of published FI controllers).
+package hafi
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Run is one executable instance of the device under test: the emulated
+// netlist plus its external memories. A fresh Run starts at reset.
+type Run interface {
+	// Machine exposes the simulated netlist state.
+	Machine() *sim.Machine
+	// Step advances one clock cycle (including memory traffic).
+	Step()
+	// Halted reports whether the workload finished.
+	Halted() bool
+	// Checkpoint captures flip-flop state, primary inputs and memories.
+	Checkpoint() Checkpoint
+	// Restore rewinds to a previous checkpoint.
+	Restore(Checkpoint)
+	// Signature condenses the externally visible result (output port and
+	// data memory) into a comparable hash.
+	Signature() uint64
+}
+
+// Checkpoint is an opaque snapshot of a Run.
+type Checkpoint interface{}
+
+// Outcome classifies one fault-injection experiment.
+type Outcome int
+
+// Experiment outcomes. OutcomeBenign: the workload finished with the
+// fault-free result. OutcomeSDC: it finished with a wrong result (silent
+// data corruption). OutcomeHang: it did not finish within the timeout.
+const (
+	OutcomeBenign Outcome = iota
+	OutcomeSDC
+	OutcomeHang
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeBenign:
+		return "benign"
+	case OutcomeSDC:
+		return "sdc"
+	case OutcomeHang:
+		return "hang"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Golden is the fault-free reference execution: per-cycle checkpoints for
+// fast experiment setup, the full wire trace for MATE evaluation, the halt
+// cycle and the result signature.
+type Golden struct {
+	Checkpoints []Checkpoint
+	Trace       *sim.Trace
+	HaltCycle   int
+	Signature   uint64
+}
+
+// RecordGolden runs the workload to completion (bounded by maxCycles),
+// checkpointing every cycle and recording the full wire trace.
+func RecordGolden(r Run, maxCycles int) (*Golden, error) {
+	g := &Golden{Trace: sim.NewTrace(r.Machine().NL.NumWires())}
+	for cyc := 0; cyc < maxCycles; cyc++ {
+		if r.Halted() {
+			g.HaltCycle = cyc
+			g.Signature = r.Signature()
+			return g, nil
+		}
+		g.Checkpoints = append(g.Checkpoints, r.Checkpoint())
+		r.Machine().Settle(envOf(r))
+		g.Trace.Append(r.Machine().Values())
+		r.Machine().CommitFFs()
+		stepEpilogue(r)
+	}
+	return nil, fmt.Errorf("hafi: golden run did not halt within %d cycles", maxCycles)
+}
+
+// envOf and stepEpilogue let RecordGolden drive the machine manually while
+// still recording wire values mid-cycle. Run implementations provide them
+// via the optional tracer interface; the default falls back to Step (no
+// wire trace).
+type tracer interface {
+	TraceEnv() sim.Env
+	AfterStep()
+}
+
+func envOf(r Run) sim.Env {
+	if t, ok := r.(tracer); ok {
+		return t.TraceEnv()
+	}
+	return sim.NopEnv
+}
+
+func stepEpilogue(r Run) {
+	if t, ok := r.(tracer); ok {
+		t.AfterStep()
+	}
+}
+
+// FaultPoint identifies one injection: invert the stored value of
+// flip-flop FF at the beginning of cycle Cycle. Duration generalises the
+// fault model to upsets that hold for several cycles (paper Section 6.2:
+// "our approach works out of the box also with upsets that hold more than
+// one cycle"): the flip-flop is re-inverted at the beginning of each of
+// the Duration cycles. Zero means 1 (a classic SEU).
+type FaultPoint struct {
+	FF       int
+	Cycle    int
+	Duration int
+}
+
+func (p FaultPoint) duration() int {
+	if p.Duration <= 0 {
+		return 1
+	}
+	return p.Duration
+}
+
+// CampaignConfig parameterises a fault-injection campaign.
+type CampaignConfig struct {
+	// Points is the fault list (already sampled/sliced by the caller).
+	Points []FaultPoint
+	// Workers shards the experiments over this many device instances
+	// (requires a controller created with NewControllerPool). 0 or 1 runs
+	// sequentially.
+	Workers int
+	// TimeoutFactor bounds experiment length: an experiment hangs when it
+	// exceeds TimeoutFactor × golden halt cycle. Default 2.
+	TimeoutFactor float64
+	// MATESet enables online pruning: injections whose (wire, cycle) point
+	// a triggered MATE proves benign are skipped without execution.
+	MATESet *core.MATESet
+	// ValidateSkipped additionally executes every skipped experiment and
+	// verifies it really is benign (used by the test suite; defeats the
+	// purpose of pruning in production).
+	ValidateSkipped bool
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	Total     int
+	Skipped   int // pruned by MATEs without execution
+	Executed  int
+	ByOutcome map[Outcome]int
+	// SkippedWrong counts validated-skipped experiments that were NOT
+	// benign — any nonzero value is a MATE soundness violation.
+	SkippedWrong int
+}
+
+// PrunedFraction returns the share of fault-list points the MATEs removed.
+func (r *CampaignResult) PrunedFraction() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Skipped) / float64(r.Total)
+}
+
+// Controller is the campaign controller: the software model of the FI
+// control unit that HAFI platforms realise as a soft core or dedicated FSM
+// on the FPGA.
+type Controller struct {
+	nl      *netlist.Netlist
+	run     Run
+	factory func() Run
+	golden  *Golden
+	// matesByWire indexes the MATE set: for each fault wire, the MATEs
+	// that can prove it benign.
+	matesByWire map[netlist.WireID][]*core.MATE
+}
+
+// NewController prepares a controller for the given device instance and
+// golden reference.
+func NewController(run Run, golden *Golden) *Controller {
+	return &Controller{nl: run.Machine().NL, run: run, golden: golden}
+}
+
+// NewControllerPool prepares a controller that can shard experiments over
+// several device instances (one per worker); the factory must produce runs
+// of the same netlist and workload the golden reference was recorded from —
+// the paper's scenario of "one FI controller distributing the FI campaign
+// over several FPGAs".
+func NewControllerPool(factory func() Run, golden *Golden) *Controller {
+	run := factory()
+	return &Controller{nl: run.Machine().NL, run: run, factory: factory, golden: golden}
+}
+
+// RunCampaign executes the configured campaign and returns the aggregated
+// result.
+func (c *Controller) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.TimeoutFactor <= 0 {
+		cfg.TimeoutFactor = 2
+	}
+	timeout := int(cfg.TimeoutFactor * float64(c.golden.HaltCycle))
+	if timeout <= c.golden.HaltCycle {
+		timeout = c.golden.HaltCycle + 1
+	}
+
+	c.indexMATEs(cfg.MATESet)
+
+	for _, p := range cfg.Points {
+		if p.Cycle >= len(c.golden.Checkpoints) {
+			return nil, fmt.Errorf("hafi: injection cycle %d beyond golden run (%d)", p.Cycle, len(c.golden.Checkpoints))
+		}
+	}
+
+	if cfg.Workers > 1 && c.factory != nil {
+		return c.runParallel(cfg, timeout), nil
+	}
+	res := &CampaignResult{ByOutcome: map[Outcome]int{}}
+	c.runShard(cfg, cfg.Points, c.run, timeout, res)
+	return res, nil
+}
+
+// runShard executes one slice of the fault list on one device instance.
+func (c *Controller) runShard(cfg CampaignConfig, points []FaultPoint, run Run, timeout int, res *CampaignResult) {
+	for _, p := range points {
+		res.Total++
+		if cfg.MATESet != nil && c.provedBenign(p) {
+			res.Skipped++
+			if cfg.ValidateSkipped {
+				if out := c.execute(run, p, timeout); out != OutcomeBenign {
+					res.SkippedWrong++
+				}
+			}
+			continue
+		}
+		res.Executed++
+		res.ByOutcome[c.execute(run, p, timeout)]++
+	}
+}
+
+// runParallel shards the fault list over Workers device instances.
+func (c *Controller) runParallel(cfg CampaignConfig, timeout int) *CampaignResult {
+	nw := cfg.Workers
+	if nw > len(cfg.Points) {
+		nw = len(cfg.Points)
+	}
+	partials := make([]*CampaignResult, nw)
+	var wg sync.WaitGroup
+	chunk := (len(cfg.Points) + nw - 1) / nw
+	for i := 0; i < nw; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > len(cfg.Points) {
+			hi = len(cfg.Points)
+		}
+		if lo >= hi {
+			continue
+		}
+		partials[i] = &CampaignResult{ByOutcome: map[Outcome]int{}}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			c.runShard(cfg, cfg.Points[lo:hi], c.factory(), timeout, partials[i])
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	res := &CampaignResult{ByOutcome: map[Outcome]int{}}
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		res.Total += p.Total
+		res.Skipped += p.Skipped
+		res.Executed += p.Executed
+		res.SkippedWrong += p.SkippedWrong
+		for o, n := range p.ByOutcome {
+			res.ByOutcome[o] += n
+		}
+	}
+	return res
+}
+
+// indexMATEs builds the per-wire MATE index used by provedBenign.
+func (c *Controller) indexMATEs(set *core.MATESet) {
+	c.matesByWire = map[netlist.WireID][]*core.MATE{}
+	if set == nil {
+		return
+	}
+	for _, m := range set.MATEs {
+		for _, w := range m.Masks {
+			c.matesByWire[w] = append(c.matesByWire[w], m)
+		}
+	}
+}
+
+// provedBenign evaluates the MATEs covering the fault wire on the golden
+// trace — the per-cycle online check a MATE-enabled HAFI platform
+// implements in logic. A multi-cycle upset is provably benign when some
+// covering MATE triggers in *every* cycle it holds: each cycle starts from
+// the golden state (inductively, because the previous cycle was masked) and
+// the triggered MATE masks that cycle's inversion too.
+func (c *Controller) provedBenign(p FaultPoint) bool {
+	q := c.nl.FFs[p.FF].Q
+	for cyc := p.Cycle; cyc < p.Cycle+p.duration(); cyc++ {
+		if cyc >= c.golden.Trace.NumCycles() {
+			return false
+		}
+		masked := false
+		for _, m := range c.matesByWire[q] {
+			if m.EvalTrace(c.golden.Trace, cyc) {
+				masked = true
+				break
+			}
+		}
+		if !masked {
+			return false
+		}
+	}
+	return true
+}
+
+// execute restores the checkpoint, injects the upset and runs the workload
+// to completion or timeout on the given device instance. For multi-cycle
+// upsets the flip-flop is re-inverted at the beginning of every held
+// cycle.
+func (c *Controller) execute(run Run, p FaultPoint, timeout int) Outcome {
+	run.Restore(c.golden.Checkpoints[p.Cycle])
+	run.Machine().FlipFF(p.FF)
+	for cyc := p.Cycle; cyc < timeout; cyc++ {
+		if cyc > p.Cycle && cyc < p.Cycle+p.duration() && !run.Halted() {
+			run.Machine().FlipFF(p.FF)
+		}
+		if run.Halted() {
+			if run.Signature() == c.golden.Signature {
+				return OutcomeBenign
+			}
+			return OutcomeSDC
+		}
+		run.Step()
+	}
+	if run.Halted() && run.Signature() == c.golden.Signature {
+		return OutcomeBenign
+	}
+	if run.Halted() {
+		return OutcomeSDC
+	}
+	return OutcomeHang
+}
+
+// FullFaultList enumerates every (FF, cycle) point up to maxCycle.
+func FullFaultList(nl *netlist.Netlist, maxCycle int) []FaultPoint {
+	var out []FaultPoint
+	for cyc := 0; cyc < maxCycle; cyc++ {
+		for ff := range nl.FFs {
+			out = append(out, FaultPoint{FF: ff, Cycle: cyc})
+		}
+	}
+	return out
+}
+
+// SampledFaultList enumerates every FF at every strideth cycle — the
+// sampling a campaign planner would apply when the full space is too
+// large.
+func SampledFaultList(nl *netlist.Netlist, maxCycle, stride int, excludeGroups ...string) []FaultPoint {
+	skip := map[string]bool{}
+	for _, g := range excludeGroups {
+		skip[g] = true
+	}
+	var out []FaultPoint
+	for cyc := 0; cyc < maxCycle; cyc += stride {
+		for ff := range nl.FFs {
+			if !skip[nl.FFs[ff].Group] {
+				out = append(out, FaultPoint{FF: ff, Cycle: cyc})
+			}
+		}
+	}
+	return out
+}
+
+// SignatureHash hashes a byte stream into the result signature format.
+func SignatureHash(parts ...[]byte) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,57 @@
+package hafi
+
+import "repro/internal/core"
+
+// FPGA cost model (paper Section 6.1): MATEs synthesize into k-input LUTs.
+// "With their average input size of less than 6 wires, one MATE fits into
+// one or two LUTs. Compared to the size of current HAFI FPGA-based
+// platforms, which utilize between 1500 and 6000 LUTs only for the
+// fault-injection control unit, or the capacity of a midrange Virtex-6 FPGA
+// (XC6VLX240T, 150k LUTs), the extra LUTs required by 50 to 100 MATEs are
+// negligible."
+const (
+	// LUTInputs is the LUT fan-in of the modelled FPGA family (Virtex-6).
+	LUTInputs = 6
+	// FIControllerLUTsLow/High bracket published FI control units.
+	FIControllerLUTsLow  = 1500
+	FIControllerLUTsHigh = 6000
+	// Virtex6LUTs is the LUT capacity of the paper's reference midrange
+	// device (XC6VLX240T).
+	Virtex6LUTs = 150480
+)
+
+// LUTsForMATE returns the number of LUTs one MATE occupies: an n-input AND
+// needs 1 LUT for n <= LUTInputs; wider conjunctions cascade, each further
+// LUT absorbing LUTInputs-1 additional literals.
+func LUTsForMATE(m *core.MATE) int {
+	n := m.NumInputs()
+	if n <= LUTInputs {
+		return 1
+	}
+	extra := n - LUTInputs
+	step := LUTInputs - 1
+	return 1 + (extra+step-1)/step
+}
+
+// LUTCost sums the LUT usage of a whole MATE set.
+func LUTCost(set *core.MATESet) int {
+	total := 0
+	for _, m := range set.MATEs {
+		total += LUTsForMATE(m)
+	}
+	return total
+}
+
+// InstrumentationLUTs estimates the injection-instrumentation overhead of
+// the HAFI platform itself: one injection mux per flip-flop (the standard
+// netlist instrumentation of emulation-based FI).
+func InstrumentationLUTs(numFFs int) int { return numFFs }
+
+// OverheadVsController relates a MATE set's LUT cost to the published FI
+// controller sizes: the returned fraction is cost / controller LUTs.
+func OverheadVsController(set *core.MATESet, controllerLUTs int) float64 {
+	if controllerLUTs == 0 {
+		return 0
+	}
+	return float64(LUTCost(set)) / float64(controllerLUTs)
+}

@@ -1,0 +1,93 @@
+package hafi
+
+import (
+	"fmt"
+
+	"repro/internal/cpu/avr"
+	"repro/internal/cpu/msp430"
+)
+
+// Run64 is a 64-lane batched device instance: 64 fault-injection
+// experiments that share a start checkpoint advance per evaluation pass.
+type Run64 interface {
+	// Step advances all lanes one clock cycle.
+	Step()
+	// HaltedMask returns a bit per halted lane.
+	HaltedMask() uint64
+	// LoadCheckpoint broadcasts a scalar checkpoint into every lane.
+	LoadCheckpoint(cp Checkpoint)
+	// FlipLane injects an SEU into flip-flop ff of one lane.
+	FlipLane(ff, lane int)
+	// SignatureLane condenses one lane's externally visible result; it is
+	// comparable with the scalar Run.Signature of the same target.
+	SignatureLane(lane int) uint64
+}
+
+// avrRun64 adapts the AVR lane-parallel system.
+type avrRun64 struct {
+	sys *avr.System64
+}
+
+// NewAVRRun64 creates a 64-lane batched run for the AVR-class core.
+func NewAVRRun64(core *avr.Core, prog []uint16) (Run64, error) {
+	sys, err := avr.NewSystem64(core, prog)
+	if err != nil {
+		return nil, err
+	}
+	return &avrRun64{sys: sys}, nil
+}
+
+func (r *avrRun64) Step()              { r.sys.Step() }
+func (r *avrRun64) HaltedMask() uint64 { return r.sys.HaltedMask() }
+func (r *avrRun64) FlipLane(ff, l int) { r.sys.M.FlipLane(ff, l) }
+
+func (r *avrRun64) LoadCheckpoint(cp Checkpoint) {
+	c, ok := cp.(*avrCheckpoint)
+	if !ok {
+		panic(fmt.Sprintf("hafi: checkpoint type %T does not match AVR run", cp))
+	}
+	r.sys.LoadScalarState(c.ffs, c.inputs, c.dmem)
+	r.sys.M.Cycle = c.cycle
+}
+
+func (r *avrRun64) SignatureLane(l int) uint64 {
+	return SignatureHash([]byte{r.sys.PortLane(l)}, r.sys.DMem[l][:])
+}
+
+// msp430Run64 adapts the MSP430 lane-parallel system.
+type msp430Run64 struct {
+	sys *msp430.System64
+}
+
+// NewMSP430Run64 creates a 64-lane batched run for the MSP430-class core.
+func NewMSP430Run64(core *msp430.Core, prog []uint16) (Run64, error) {
+	sys, err := msp430.NewSystem64(core, prog)
+	if err != nil {
+		return nil, err
+	}
+	return &msp430Run64{sys: sys}, nil
+}
+
+func (r *msp430Run64) Step()              { r.sys.Step() }
+func (r *msp430Run64) HaltedMask() uint64 { return r.sys.HaltedMask() }
+func (r *msp430Run64) FlipLane(ff, l int) { r.sys.M.FlipLane(ff, l) }
+
+func (r *msp430Run64) LoadCheckpoint(cp Checkpoint) {
+	c, ok := cp.(*msp430Checkpoint)
+	if !ok {
+		panic(fmt.Sprintf("hafi: checkpoint type %T does not match MSP430 run", cp))
+	}
+	r.sys.LoadScalarState(c.ffs, c.inputs, c.dmem)
+	r.sys.M.Cycle = c.cycle
+}
+
+func (r *msp430Run64) SignatureLane(l int) uint64 {
+	port := r.sys.PortLane(l)
+	dmem := &r.sys.DMem[l]
+	bytes := make([]byte, 2+2*len(dmem))
+	bytes[0], bytes[1] = byte(port), byte(port>>8)
+	for i, w := range dmem {
+		bytes[2+2*i], bytes[2+2*i+1] = byte(w), byte(w>>8)
+	}
+	return SignatureHash(bytes)
+}

@@ -1,0 +1,233 @@
+// Package intercycle implements offline inter-cycle fault-space pruning on
+// recorded execution traces — the complement of the paper's intra-cycle
+// MATEs. Section 6.3 observes that "faults in flipflops not overwritten in
+// the next cycle could never be masked [by MATEs]" and that register-level
+// faults "are more likely to be pruned on an inter-cycle pruning strategy";
+// the introduction notes that fault-space pruning "is often performed
+// offline on a recorded execution trace". This package is that offline
+// analysis, made exact at gate level:
+//
+// A fault (ff, t) is *contained* in cycle u when, starting from the golden
+// state of cycle u with only ff flipped, re-evaluating ff's fault cone
+// shows that (a) every cone sink except ff's own D input carries its
+// golden value, and (b) ff's own D either equals its golden value (the
+// fault is overwritten — killed) or equals the flipped Q (the fault is
+// exactly held). By induction over cycles, a fault injected at t is
+// provably benign iff containment holds from t until a killing cycle is
+// reached before the end of the trace.
+//
+// Compared to MATEs this is strictly more powerful (a MATE trigger is the
+// special case "killed in the first cycle" or "cone masked entirely"), but
+// it needs the whole recorded trace and per-fault cone simulation, so it
+// runs offline in the campaign planner, while MATEs evaluate in a handful
+// of LUTs online. The two compose: run intercycle offline where a trace
+// exists, keep MATEs in the FPGA for everything else.
+package intercycle
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Verdict classifies one (flip-flop, cycle) injection point.
+type Verdict uint8
+
+const (
+	// VerdictUnknown: the fault escaped its flip-flop within the analysed
+	// window — it may be effective (inject it).
+	VerdictUnknown Verdict = iota
+	// VerdictBenign: the fault stayed confined to its flip-flop and was
+	// overwritten with the golden value before the trace ended.
+	VerdictBenign
+	// VerdictOpenEnd: the fault stayed confined until the end of the
+	// trace without being overwritten; it never became architecturally
+	// visible inside the trace, but its fate past the trace is unknown.
+	VerdictOpenEnd
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictBenign:
+		return "benign"
+	case VerdictOpenEnd:
+		return "open-end"
+	default:
+		return "unknown"
+	}
+}
+
+// Result summarises an inter-cycle analysis for one fault set.
+type Result struct {
+	FaultWires  int
+	Cycles      int
+	TotalPoints int64
+	// Benign counts points with VerdictBenign; OpenEnd those confined to
+	// the trace end. Reduction() uses Benign only (the sound choice).
+	Benign  int64
+	OpenEnd int64
+	// PerWire[i] is the verdict per cycle for fault wire i.
+	PerWire [][]Verdict
+}
+
+// Reduction returns the provably-benign share of the fault space.
+func (r *Result) Reduction() float64 {
+	if r.TotalPoints == 0 {
+		return 0
+	}
+	return float64(r.Benign) / float64(r.TotalPoints)
+}
+
+// String renders the headline numbers.
+func (r *Result) String() string {
+	return fmt.Sprintf("inter-cycle: %d/%d points benign (%.2f%%), %d open-ended",
+		r.Benign, r.TotalPoints, 100*r.Reduction(), r.OpenEnd)
+}
+
+// containment is the per-cycle fate of a held fault.
+type containment uint8
+
+const (
+	containEscapes containment = iota // some sink beyond the own D changed
+	containHolds                      // confined: own D re-captures the flip
+	containKilled                     // own D carries the golden value
+)
+
+// Analyze runs the exact inter-cycle analysis for every fault wire over
+// the whole trace. Fault wires must be flip-flop outputs of nl. The work
+// parallelises over fault wires.
+func Analyze(nl *netlist.Netlist, tr *sim.Trace, faultWires []netlist.WireID) (*Result, error) {
+	res := &Result{
+		FaultWires:  len(faultWires),
+		Cycles:      tr.NumCycles(),
+		TotalPoints: int64(len(faultWires)) * int64(tr.NumCycles()),
+		PerWire:     make([][]Verdict, len(faultWires)),
+	}
+	for _, w := range faultWires {
+		if nl.FFByQ(w) < 0 {
+			return nil, fmt.Errorf("intercycle: wire %s is not a flip-flop output", nl.WireName(w))
+		}
+	}
+
+	workers := runtime.NumCPU()
+	if workers > len(faultWires) {
+		workers = len(faultWires)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := 0
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := make([]bool, nl.NumWires())
+			values := make([]bool, nl.NumWires())
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(faultWires) {
+					return
+				}
+				verdicts, benign, open := analyzeWire(nl, tr, faultWires[i], scratch, values)
+				mu.Lock()
+				res.PerWire[i] = verdicts
+				res.Benign += benign
+				res.OpenEnd += open
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return res, nil
+}
+
+// analyzeWire computes the per-cycle containment chain for one flip-flop
+// and folds it into verdicts: scanning backwards, a killed cycle makes
+// every preceding hold-chain benign.
+func analyzeWire(nl *netlist.Netlist, tr *sim.Trace, q netlist.WireID, scratch, values []bool) (verdicts []Verdict, benign, open int64) {
+	cone := core.ComputeCone(nl, q)
+	ffIdx := nl.FFByQ(q)
+	ownD := nl.FFs[ffIdx].D
+
+	cycles := tr.NumCycles()
+	chain := make([]containment, cycles)
+	for cyc := 0; cyc < cycles; cyc++ {
+		chain[cyc] = containAt(nl, cone, tr, cyc, q, ownD, scratch, values)
+	}
+
+	// Fold backwards: state(cyc) = verdict of a fault *held* at cyc.
+	verdicts = make([]Verdict, cycles)
+	state := VerdictOpenEnd
+	for cyc := cycles - 1; cyc >= 0; cyc-- {
+		switch chain[cyc] {
+		case containEscapes:
+			state = VerdictUnknown
+		case containKilled:
+			state = VerdictBenign
+		case containHolds:
+			// inherits the fate of the next cycle (state unchanged)
+		}
+		verdicts[cyc] = state
+		switch state {
+		case VerdictBenign:
+			benign++
+		case VerdictOpenEnd:
+			open++
+		}
+	}
+	return verdicts, benign, open
+}
+
+// containAt evaluates one cycle of containment: flip q in the golden state
+// of cycle cyc, re-evaluate the cone, compare sinks.
+func containAt(nl *netlist.Netlist, cone *core.Cone, tr *sim.Trace, cyc int, q, ownD netlist.WireID, scratch, values []bool) containment {
+	row := tr.Row(cyc)
+	for i := range values {
+		values[i] = row[i/64]>>(uint(i)%64)&1 == 1
+	}
+	copy(scratch, values)
+	scratch[q] = !values[q]
+
+	gates := nl.Gates
+	for _, gi := range cone.Gates {
+		g := &gates[gi]
+		var in uint32
+		for p, w := range g.Inputs {
+			if scratch[w] {
+				in |= 1 << uint(p)
+			}
+		}
+		scratch[g.Output] = g.Cell.Eval(in)
+	}
+	for _, s := range cone.Sinks {
+		if s == ownD {
+			continue
+		}
+		if scratch[s] != values[s] {
+			return containEscapes
+		}
+	}
+	// The flipped FF's own next state: note that the same D wire may also
+	// feed other flip-flops; those are covered because a shared D wire
+	// with a changed value would differ from golden — checked below.
+	if len(nl.FFsOfD(ownD)) > 1 && scratch[ownD] != values[ownD] {
+		return containEscapes
+	}
+	if scratch[ownD] == values[ownD] {
+		// The flip-flop recaptures its golden next state: fault killed.
+		return containKilled
+	}
+	// Otherwise the captured next state is the complement of the golden
+	// one — at cyc+1 the machine is exactly "golden with this flip-flop
+	// flipped" again, which is the induction premise for the next cycle.
+	return containHolds
+}

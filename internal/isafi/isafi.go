@@ -1,0 +1,257 @@
+// Package isafi implements ISA-level fault injection on the architectural
+// golden models (the ISS of each core) — the "other side" of the paper's
+// cross-layer story. The introduction frames the open question of which
+// injection level is "best": ISA-level campaigns (Relyzer, GOOFI-2, FAIL*)
+// reach full fault-space coverage cheaply but are further from the
+// physics; flip-flop-level HAFI is closer to the hardware but needs
+// pruning (the MATEs of this paper). Section 6.3 envisions "the
+// combination of HAFI on flipflop level with software-based FI taking over
+// at ISA level as the ideal combination".
+//
+// This package provides that ISA-level half: the fault space is
+// (architectural bits × retired instructions); an experiment flips one
+// register/flag/PC bit at one instruction boundary and runs the program to
+// completion, classifying benign / silent data corruption / hang exactly
+// like the gate-level campaign, so the two levels can be compared on the
+// same workload (see the cross-layer tests and EXPERIMENTS.md).
+package isafi
+
+import (
+	"fmt"
+
+	"repro/internal/cpu/avr"
+	"repro/internal/cpu/msp430"
+	"repro/internal/hafi"
+)
+
+// Target abstracts an architectural machine for ISA-level injection.
+type Target interface {
+	// Reset returns the machine to its initial state.
+	Reset()
+	// Step retires one instruction.
+	Step()
+	// Halted reports whether the workload finished.
+	Halted() bool
+	// NumBits is the size of the architectural fault space per boundary
+	// (register-file, status and PC bits).
+	NumBits() int
+	// Flip inverts one architectural bit.
+	Flip(bit int)
+	// BitName names an architectural bit (for reports).
+	BitName(bit int) string
+	// Signature condenses the externally visible result.
+	Signature() uint64
+}
+
+// Outcome classification (shared semantics with the gate-level campaign).
+type Outcome = hafi.Outcome
+
+// FaultPoint identifies one ISA-level injection: flip Bit after Instr
+// retired instructions.
+type FaultPoint struct {
+	Bit   int
+	Instr int
+}
+
+// Result aggregates an ISA-level campaign.
+type Result struct {
+	Total        int
+	ByOutcome    map[Outcome]int
+	Instructions int // golden run length
+	Bits         int
+}
+
+// EffectiveFraction returns the share of experiments that were not benign.
+func (r *Result) EffectiveFraction() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	eff := r.Total - r.ByOutcome[hafi.OutcomeBenign]
+	return float64(eff) / float64(r.Total)
+}
+
+// Campaign runs the given fault list. Each experiment replays the workload
+// from reset (the ISS retires millions of instructions per second, so
+// checkpoints are unnecessary), flips the bit at the boundary, and runs to
+// completion or timeout.
+func Campaign(t Target, points []FaultPoint, maxInstructions int) (*Result, error) {
+	// Golden run.
+	t.Reset()
+	golden, instrs, err := runToHalt(t, maxInstructions)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ByOutcome: map[Outcome]int{}, Instructions: instrs, Bits: t.NumBits()}
+	timeout := 2 * instrs
+
+	for _, p := range points {
+		if p.Instr >= instrs {
+			return nil, fmt.Errorf("isafi: injection boundary %d beyond golden run (%d)", p.Instr, instrs)
+		}
+		if p.Bit < 0 || p.Bit >= t.NumBits() {
+			return nil, fmt.Errorf("isafi: bit %d out of range", p.Bit)
+		}
+		t.Reset()
+		for i := 0; i < p.Instr; i++ {
+			t.Step()
+		}
+		t.Flip(p.Bit)
+		steps := p.Instr
+		for !t.Halted() && steps < timeout {
+			t.Step()
+			steps++
+		}
+		res.Total++
+		switch {
+		case !t.Halted():
+			res.ByOutcome[hafi.OutcomeHang]++
+		case t.Signature() == golden:
+			res.ByOutcome[hafi.OutcomeBenign]++
+		default:
+			res.ByOutcome[hafi.OutcomeSDC]++
+		}
+	}
+	return res, nil
+}
+
+func runToHalt(t Target, maxInstructions int) (sig uint64, instrs int, err error) {
+	for instrs = 0; instrs < maxInstructions; instrs++ {
+		if t.Halted() {
+			return t.Signature(), instrs, nil
+		}
+		t.Step()
+	}
+	return 0, 0, fmt.Errorf("isafi: golden run did not halt within %d instructions", maxInstructions)
+}
+
+// FullFaultList enumerates every (bit, boundary) point with the given
+// instruction stride.
+func FullFaultList(t Target, goldenInstrs, stride int) []FaultPoint {
+	var out []FaultPoint
+	for instr := 0; instr < goldenInstrs; instr += stride {
+		for bit := 0; bit < t.NumBits(); bit++ {
+			out = append(out, FaultPoint{Bit: bit, Instr: instr})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// AVR target
+// ---------------------------------------------------------------------------
+
+// avrTarget injects into the 16 registers (8 bit), the four SREG flags and
+// the 12-bit PC of the AVR-class ISS.
+type avrTarget struct {
+	prog []uint16
+	iss  *avr.ISS
+}
+
+// NewAVRTarget builds an ISA-level target for the AVR-class core.
+func NewAVRTarget(prog []uint16) Target {
+	return &avrTarget{prog: prog, iss: avr.NewISS(prog)}
+}
+
+func (t *avrTarget) Reset()       { t.iss = avr.NewISS(t.prog) }
+func (t *avrTarget) Step()        { t.iss.Step() }
+func (t *avrTarget) Halted() bool { return t.iss.Halted }
+func (t *avrTarget) NumBits() int { return avr.NumRegs*8 + 4 + avr.PCBits }
+
+func (t *avrTarget) Flip(bit int) {
+	switch {
+	case bit < avr.NumRegs*8:
+		t.iss.Regs[bit/8] ^= 1 << uint(bit%8)
+	case bit < avr.NumRegs*8+4:
+		switch bit - avr.NumRegs*8 {
+		case 0:
+			t.iss.C = !t.iss.C
+		case 1:
+			t.iss.Z = !t.iss.Z
+		case 2:
+			t.iss.N = !t.iss.N
+		case 3:
+			t.iss.V = !t.iss.V
+		}
+	default:
+		t.iss.PC ^= 1 << uint(bit-avr.NumRegs*8-4)
+		t.iss.PC &= 1<<avr.PCBits - 1
+	}
+}
+
+func (t *avrTarget) BitName(bit int) string {
+	switch {
+	case bit < avr.NumRegs*8:
+		return fmt.Sprintf("r%d[%d]", bit/8, bit%8)
+	case bit < avr.NumRegs*8+4:
+		return [4]string{"C", "Z", "N", "V"}[bit-avr.NumRegs*8]
+	default:
+		return fmt.Sprintf("pc[%d]", bit-avr.NumRegs*8-4)
+	}
+}
+
+func (t *avrTarget) Signature() uint64 {
+	return hafi.SignatureHash([]byte{t.iss.Port}, t.iss.DMem[:])
+}
+
+// ---------------------------------------------------------------------------
+// MSP430 target
+// ---------------------------------------------------------------------------
+
+// msp430Target injects into the 14 registers (16 bit), the four flags and
+// the 12-bit PC of the MSP430-class ISS.
+type msp430Target struct {
+	prog []uint16
+	iss  *msp430.ISS
+}
+
+// NewMSP430Target builds an ISA-level target for the MSP430-class core.
+func NewMSP430Target(prog []uint16) Target {
+	return &msp430Target{prog: prog, iss: msp430.NewISS(prog)}
+}
+
+func (t *msp430Target) Reset()       { t.iss = msp430.NewISS(t.prog) }
+func (t *msp430Target) Step()        { t.iss.Step() }
+func (t *msp430Target) Halted() bool { return t.iss.Halted }
+func (t *msp430Target) NumBits() int { return msp430.NumRegs*16 + 4 + msp430.PCBits }
+
+func (t *msp430Target) Flip(bit int) {
+	switch {
+	case bit < msp430.NumRegs*16:
+		t.iss.Regs[bit/16] ^= 1 << uint(bit%16)
+	case bit < msp430.NumRegs*16+4:
+		switch bit - msp430.NumRegs*16 {
+		case 0:
+			t.iss.C = !t.iss.C
+		case 1:
+			t.iss.Z = !t.iss.Z
+		case 2:
+			t.iss.N = !t.iss.N
+		case 3:
+			t.iss.V = !t.iss.V
+		}
+	default:
+		t.iss.PC ^= 1 << uint(bit-msp430.NumRegs*16-4)
+		t.iss.PC &= 1<<msp430.PCBits - 1
+	}
+}
+
+func (t *msp430Target) BitName(bit int) string {
+	switch {
+	case bit < msp430.NumRegs*16:
+		return fmt.Sprintf("r%d[%d]", bit/16, bit%16)
+	case bit < msp430.NumRegs*16+4:
+		return [4]string{"C", "Z", "N", "V"}[bit-msp430.NumRegs*16]
+	default:
+		return fmt.Sprintf("pc[%d]", bit-msp430.NumRegs*16-4)
+	}
+}
+
+func (t *msp430Target) Signature() uint64 {
+	port := t.iss.Port
+	bytes := make([]byte, 2+2*len(t.iss.DMem))
+	bytes[0], bytes[1] = byte(port), byte(port>>8)
+	for i, w := range t.iss.DMem {
+		bytes[2+2*i], bytes[2+2*i+1] = byte(w), byte(w>>8)
+	}
+	return hafi.SignatureHash(bytes)
+}

@@ -1,0 +1,213 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// Builder constructs a Netlist incrementally. It hands out wire ids, keeps
+// constant (TIE) drivers deduplicated, and names anonymous wires
+// deterministically.
+type Builder struct {
+	nl     *Netlist
+	tie0   *WireID
+	tie1   *WireID
+	prefix string
+}
+
+// NewBuilder creates a builder for a netlist with the given name.
+func NewBuilder(name string) *Builder {
+	t0, t1 := NoWire, NoWire
+	return &Builder{nl: &Netlist{Name: name}, tie0: &t0, tie1: &t1}
+}
+
+// Scope returns a child view of the builder that prefixes all names with
+// `prefix + "."`. The child shares the underlying netlist.
+func (b *Builder) Scope(prefix string) *Builder {
+	child := *b
+	if b.prefix != "" {
+		child.prefix = b.prefix + "." + prefix
+	} else {
+		child.prefix = prefix
+	}
+	return &child
+}
+
+func (b *Builder) qualify(name string) string {
+	if b.prefix == "" {
+		return name
+	}
+	return b.prefix + "." + name
+}
+
+// Wire creates a new named wire. An empty name gets an automatic one that
+// is unique across the whole netlist (the running wire count).
+func (b *Builder) Wire(name string) WireID {
+	if name == "" {
+		return b.autoWire()
+	}
+	id := WireID(len(b.nl.Wires))
+	b.nl.Wires = append(b.nl.Wires, Wire{Name: b.qualify(name)})
+	return id
+}
+
+// autoWire creates an anonymous wire named by its global index, which is
+// unique regardless of builder scope.
+func (b *Builder) autoWire() WireID {
+	id := WireID(len(b.nl.Wires))
+	b.nl.Wires = append(b.nl.Wires, Wire{Name: fmt.Sprintf("_n%d", id)})
+	return id
+}
+
+// Input declares a new primary input wire.
+func (b *Builder) Input(name string) WireID {
+	w := b.Wire(name)
+	b.nl.Inputs = append(b.nl.Inputs, w)
+	return w
+}
+
+// MarkOutput declares an existing wire as a primary output.
+func (b *Builder) MarkOutput(w WireID) { b.nl.Outputs = append(b.nl.Outputs, w) }
+
+// Gate instantiates a library cell driving a fresh wire and returns that
+// wire.
+func (b *Builder) Gate(kind cell.Kind, inputs ...WireID) WireID {
+	c := cell.Lookup(kind)
+	if len(inputs) != c.NumInputs() {
+		panic(fmt.Sprintf("builder: %s wants %d inputs, got %d", c.Name, c.NumInputs(), len(inputs)))
+	}
+	out := b.Wire("")
+	gi := len(b.nl.Gates)
+	b.nl.Gates = append(b.nl.Gates, Gate{
+		Name:   fmt.Sprintf("g%d_%s", gi, c.Name),
+		Cell:   c,
+		Inputs: append([]WireID(nil), inputs...),
+		Output: out,
+	})
+	return out
+}
+
+// GateNamed is Gate with an explicit instance and output-wire name.
+func (b *Builder) GateNamed(name string, kind cell.Kind, inputs ...WireID) WireID {
+	c := cell.Lookup(kind)
+	if len(inputs) != c.NumInputs() {
+		panic(fmt.Sprintf("builder: %s wants %d inputs, got %d", c.Name, c.NumInputs(), len(inputs)))
+	}
+	out := b.Wire(name)
+	b.nl.Gates = append(b.nl.Gates, Gate{
+		Name:   b.qualify(name) + "_" + c.Name,
+		Cell:   c,
+		Inputs: append([]WireID(nil), inputs...),
+		Output: out,
+	})
+	return out
+}
+
+// Const returns a constant wire, deduplicating the TIE cells across all
+// scopes of the same netlist.
+func (b *Builder) Const(v bool) WireID {
+	if v {
+		if *b.tie1 == NoWire {
+			w := b.autoWire()
+			b.nl.Gates = append(b.nl.Gates, Gate{Name: "tie1", Cell: cell.Lookup(cell.TIE1), Output: w})
+			*b.tie1 = w
+		}
+		return *b.tie1
+	}
+	if *b.tie0 == NoWire {
+		w := b.autoWire()
+		b.nl.Gates = append(b.nl.Gates, Gate{Name: "tie0", Cell: cell.Lookup(cell.TIE0), Output: w})
+		*b.tie0 = w
+	}
+	return *b.tie0
+}
+
+// FF instantiates a flip-flop with the given D input, initial value and
+// group tag; it returns the Q wire.
+func (b *Builder) FF(name string, d WireID, init bool, group string) WireID {
+	q := b.Wire(name)
+	b.nl.FFs = append(b.nl.FFs, FF{
+		Name:  b.qualify(name),
+		D:     d,
+		Q:     q,
+		Init:  init,
+		Group: group,
+	})
+	return q
+}
+
+// FFPlaceholder creates a flip-flop whose D input is wired later via SetFFD.
+// This enables feedback (state machines) without two-phase construction
+// gymnastics: create Q first, build logic that reads Q, then connect D.
+func (b *Builder) FFPlaceholder(name string, init bool, group string) WireID {
+	return b.FF(name, NoWire, init, group)
+}
+
+// SetFFD connects the D input of the flip-flop that drives q.
+func (b *Builder) SetFFD(q, d WireID) {
+	for i := range b.nl.FFs {
+		if b.nl.FFs[i].Q == q {
+			if b.nl.FFs[i].D != NoWire {
+				panic("builder: FF D already connected for " + b.nl.FFs[i].Name)
+			}
+			b.nl.FFs[i].D = d
+			return
+		}
+	}
+	panic("builder: no FF with that Q wire")
+}
+
+// Netlist finalises and returns the built netlist.
+func (b *Builder) Netlist() (*Netlist, error) {
+	for i := range b.nl.FFs {
+		if b.nl.FFs[i].D == NoWire {
+			return nil, fmt.Errorf("builder: FF %s has unconnected D", b.nl.FFs[i].Name)
+		}
+	}
+	if err := b.nl.Finish(); err != nil {
+		return nil, err
+	}
+	return b.nl, nil
+}
+
+// MustNetlist is Netlist that panics on error; for tests and examples.
+func (b *Builder) MustNetlist() *Netlist {
+	nl, err := b.Netlist()
+	if err != nil {
+		panic(err)
+	}
+	return nl
+}
+
+// MarkInput declares an existing wire as a primary input. Used by netlist
+// readers that create wires before knowing their role; Input remains the
+// primary API for fresh construction.
+func (b *Builder) MarkInput(w WireID) { b.nl.Inputs = append(b.nl.Inputs, w) }
+
+// AddGateWithOutput instantiates a library cell driving an existing wire
+// (netlist readers connect by name, so the output wire already exists).
+func (b *Builder) AddGateWithOutput(kind cell.Kind, inputs []WireID, out WireID) {
+	c := cell.Lookup(kind)
+	if len(inputs) != c.NumInputs() {
+		panic(fmt.Sprintf("builder: %s wants %d inputs, got %d", c.Name, c.NumInputs(), len(inputs)))
+	}
+	gi := len(b.nl.Gates)
+	b.nl.Gates = append(b.nl.Gates, Gate{
+		Name:   fmt.Sprintf("g%d_%s", gi, c.Name),
+		Cell:   c,
+		Inputs: append([]WireID(nil), inputs...),
+		Output: out,
+	})
+}
+
+// AddFFWithQ creates a flip-flop between two existing wires.
+func (b *Builder) AddFFWithQ(d, q WireID, init bool, group string) {
+	b.nl.FFs = append(b.nl.FFs, FF{
+		Name:  b.nl.Wires[q].Name,
+		D:     d,
+		Q:     q,
+		Init:  init,
+		Group: group,
+	})
+}

@@ -1,0 +1,324 @@
+// Package netlist defines the gate-level intermediate representation used
+// throughout the repository: wires, library-cell instances, flip-flops and
+// ports, together with the structural analyses (drivers, fanout,
+// levelisation) that the simulator and the MATE search build on.
+//
+// The paper's flow obtains such netlists from Synopsys Design Compiler; we
+// construct them programmatically via the Builder and internal/synth.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cell"
+)
+
+// WireID indexes a wire (a single-bit net) in a Netlist.
+type WireID int32
+
+// NoWire is the invalid wire id.
+const NoWire WireID = -1
+
+// Wire is one single-bit net. Each wire has exactly one driver: a primary
+// input, a gate output, or a flip-flop Q pin.
+type Wire struct {
+	Name string
+}
+
+// Gate is an instance of a combinational library cell.
+type Gate struct {
+	Name   string
+	Cell   *cell.Cell
+	Inputs []WireID // pin order matches Cell.Pins
+	Output WireID
+}
+
+// FF is a D flip-flop. Q is the output wire it drives, D the next-state
+// input. Group carries a hierarchical tag ("regfile", "pc", ...) used to
+// form fault sets such as the paper's "FF w/o RF".
+type FF struct {
+	Name  string
+	D, Q  WireID
+	Init  bool
+	Group string
+}
+
+// DriverKind describes what drives a wire.
+type DriverKind uint8
+
+const (
+	DriverNone  DriverKind = iota // undriven (illegal in a finished netlist)
+	DriverInput                   // primary input
+	DriverGate                    // combinational gate output
+	DriverFF                      // flip-flop Q
+)
+
+// Driver identifies the unique driver of a wire. Index is the position in
+// Netlist.Inputs, Gates or FFs depending on Kind.
+type Driver struct {
+	Kind  DriverKind
+	Index int32
+}
+
+// FanoutRef records one sink of a wire: gate `Gate` consumes it at pin
+// `Pin`.
+type FanoutRef struct {
+	Gate int32
+	Pin  int8
+}
+
+// Netlist is a flattened, synthesized synchronous circuit.
+type Netlist struct {
+	Name    string
+	Wires   []Wire
+	Inputs  []WireID
+	Outputs []WireID
+	Gates   []Gate
+	FFs     []FF
+
+	drivers  []Driver
+	fanout   [][]FanoutRef
+	ffOfD    map[WireID][]int32 // D wire -> FF indices
+	levels   []int32            // gate evaluation order (gate indices, topological)
+	maxDepth int
+	byName   map[string]WireID
+	finished bool
+}
+
+// NumWires returns the number of wires.
+func (n *Netlist) NumWires() int { return len(n.Wires) }
+
+// WireByName looks up a wire id by its full hierarchical name.
+func (n *Netlist) WireByName(name string) (WireID, bool) {
+	id, ok := n.byName[name]
+	return id, ok
+}
+
+// WireName returns the name of a wire.
+func (n *Netlist) WireName(w WireID) string { return n.Wires[w].Name }
+
+// DriverOf returns the driver of a wire.
+func (n *Netlist) DriverOf(w WireID) Driver { return n.drivers[w] }
+
+// Fanout returns the gate sinks of a wire. The returned slice must not be
+// modified.
+func (n *Netlist) Fanout(w WireID) []FanoutRef { return n.fanout[w] }
+
+// FFsOfD returns the indices of flip-flops whose D input is the given wire.
+func (n *Netlist) FFsOfD(w WireID) []int32 { return n.ffOfD[w] }
+
+// EvalOrder returns gate indices in a topological order suitable for
+// single-pass combinational evaluation. The returned slice must not be
+// modified.
+func (n *Netlist) EvalOrder() []int32 { return n.levels }
+
+// LogicDepth returns the maximum combinational depth in gates.
+func (n *Netlist) LogicDepth() int { return n.maxDepth }
+
+// IsPrimaryOutput reports whether the wire is listed as a primary output.
+func (n *Netlist) IsPrimaryOutput(w WireID) bool {
+	for _, o := range n.Outputs {
+		if o == w {
+			return true
+		}
+	}
+	return false
+}
+
+// FFQWires returns the Q wires of all flip-flops, optionally excluding the
+// given groups. This is how fault sets (paper: "FF" and "FF w/o RF") are
+// formed.
+func (n *Netlist) FFQWires(excludeGroups ...string) []WireID {
+	skip := map[string]bool{}
+	for _, g := range excludeGroups {
+		skip[g] = true
+	}
+	var out []WireID
+	for _, ff := range n.FFs {
+		if !skip[ff.Group] {
+			out = append(out, ff.Q)
+		}
+	}
+	return out
+}
+
+// FFByQ returns the flip-flop index driving the given Q wire, or -1.
+func (n *Netlist) FFByQ(q WireID) int {
+	d := n.drivers[q]
+	if d.Kind != DriverFF {
+		return -1
+	}
+	return int(d.Index)
+}
+
+// Stats summarises a netlist.
+type Stats struct {
+	Wires, Gates, FFs, Inputs, Outputs int
+	CellCounts                         map[string]int
+	LogicDepth                         int
+}
+
+// Stats computes summary statistics.
+func (n *Netlist) Stats() Stats {
+	s := Stats{
+		Wires: len(n.Wires), Gates: len(n.Gates), FFs: len(n.FFs),
+		Inputs: len(n.Inputs), Outputs: len(n.Outputs),
+		CellCounts: map[string]int{},
+		LogicDepth: n.maxDepth,
+	}
+	for _, g := range n.Gates {
+		s.CellCounts[g.Cell.Name]++
+	}
+	return s
+}
+
+// String renders a short summary.
+func (s Stats) String() string {
+	var kinds []string
+	for k := range s.CellCounts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := fmt.Sprintf("wires=%d gates=%d ffs=%d in=%d out=%d depth=%d",
+		s.Wires, s.Gates, s.FFs, s.Inputs, s.Outputs, s.LogicDepth)
+	return out
+}
+
+// Finish validates the netlist and computes the derived structures
+// (drivers, fanout, levelisation). It must be called once after
+// construction; the Builder does so automatically.
+func (n *Netlist) Finish() error {
+	if n.finished {
+		return nil
+	}
+	nw := len(n.Wires)
+	n.drivers = make([]Driver, nw)
+	n.fanout = make([][]FanoutRef, nw)
+	n.ffOfD = map[WireID][]int32{}
+	n.byName = make(map[string]WireID, nw)
+
+	for i, w := range n.Wires {
+		if w.Name != "" {
+			if prev, dup := n.byName[w.Name]; dup {
+				return fmt.Errorf("netlist %s: duplicate wire name %q (wires %d and %d)", n.Name, w.Name, prev, i)
+			}
+			n.byName[w.Name] = WireID(i)
+		}
+	}
+
+	setDriver := func(w WireID, d Driver, what string) error {
+		if w < 0 || int(w) >= nw {
+			return fmt.Errorf("netlist %s: %s drives invalid wire %d", n.Name, what, w)
+		}
+		if n.drivers[w].Kind != DriverNone {
+			return fmt.Errorf("netlist %s: wire %q has multiple drivers (%s)", n.Name, n.Wires[w].Name, what)
+		}
+		n.drivers[w] = d
+		return nil
+	}
+	for i, w := range n.Inputs {
+		if err := setDriver(w, Driver{DriverInput, int32(i)}, "input "+n.Wires[w].Name); err != nil {
+			return err
+		}
+	}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if len(g.Inputs) != g.Cell.NumInputs() {
+			return fmt.Errorf("netlist %s: gate %s has %d inputs, cell %s wants %d",
+				n.Name, g.Name, len(g.Inputs), g.Cell.Name, g.Cell.NumInputs())
+		}
+		if err := setDriver(g.Output, Driver{DriverGate, int32(i)}, "gate "+g.Name); err != nil {
+			return err
+		}
+	}
+	for i := range n.FFs {
+		ff := &n.FFs[i]
+		if err := setDriver(ff.Q, Driver{DriverFF, int32(i)}, "ff "+ff.Name); err != nil {
+			return err
+		}
+	}
+	// All wires driven; record fanout.
+	for i := range n.drivers {
+		if n.drivers[i].Kind == DriverNone {
+			return fmt.Errorf("netlist %s: wire %q is undriven", n.Name, n.Wires[i].Name)
+		}
+	}
+	for gi := range n.Gates {
+		for pin, w := range n.Gates[gi].Inputs {
+			if w < 0 || int(w) >= nw {
+				return fmt.Errorf("netlist %s: gate %s pin %d reads invalid wire", n.Name, n.Gates[gi].Name, pin)
+			}
+			n.fanout[w] = append(n.fanout[w], FanoutRef{Gate: int32(gi), Pin: int8(pin)})
+		}
+	}
+	for fi := range n.FFs {
+		ff := &n.FFs[fi]
+		if ff.D < 0 || int(ff.D) >= nw {
+			return fmt.Errorf("netlist %s: ff %s has invalid D wire", n.Name, ff.Name)
+		}
+		n.ffOfD[ff.D] = append(n.ffOfD[ff.D], int32(fi))
+	}
+	for _, w := range n.Outputs {
+		if w < 0 || int(w) >= nw {
+			return fmt.Errorf("netlist %s: invalid output wire %d", n.Name, w)
+		}
+	}
+
+	if err := n.levelize(); err != nil {
+		return err
+	}
+	n.finished = true
+	return nil
+}
+
+// levelize computes a topological order of the gates (Kahn's algorithm over
+// gate→gate dependencies) and the maximum logic depth. A combinational
+// cycle is an error.
+func (n *Netlist) levelize() error {
+	ng := len(n.Gates)
+	indeg := make([]int32, ng)
+	for gi := range n.Gates {
+		for _, w := range n.Gates[gi].Inputs {
+			if n.drivers[w].Kind == DriverGate {
+				indeg[gi]++
+			}
+		}
+	}
+	order := make([]int32, 0, ng)
+	depth := make([]int32, ng)
+	queue := make([]int32, 0, ng)
+	for gi := range indeg {
+		if indeg[gi] == 0 {
+			queue = append(queue, int32(gi))
+			depth[gi] = 1
+		}
+	}
+	for len(queue) > 0 {
+		gi := queue[0]
+		queue = queue[1:]
+		order = append(order, gi)
+		out := n.Gates[gi].Output
+		for _, fr := range n.fanout[out] {
+			if d := depth[gi] + 1; d > depth[fr.Gate] {
+				depth[fr.Gate] = d
+			}
+			indeg[fr.Gate]--
+			if indeg[fr.Gate] == 0 {
+				queue = append(queue, fr.Gate)
+			}
+		}
+	}
+	if len(order) != ng {
+		return fmt.Errorf("netlist %s: combinational cycle detected (%d of %d gates ordered)", n.Name, len(order), ng)
+	}
+	n.levels = order
+	md := int32(0)
+	for _, d := range depth {
+		if d > md {
+			md = d
+		}
+	}
+	n.maxDepth = int(md)
+	return nil
+}

@@ -1,0 +1,218 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// buildExample builds the Figure 1a circuit of the paper:
+//
+//	g = XOR(c, d)   (gate B)
+//	j = AND(a, b)   (gate A)
+//	i = OR(d, e)    (gate C)  -- note: paper wires; here named explicitly
+//	k = AND(g, f)   (gate D)
+//	l = OR(g, h)    (gate E)
+//
+// with primary inputs a..f,h and outputs k,l,i.
+func buildExample(t *testing.T) (*Netlist, map[string]WireID) {
+	t.Helper()
+	b := NewBuilder("fig1a")
+	w := map[string]WireID{}
+	for _, name := range []string{"a", "b", "c", "d", "e", "h"} {
+		w[name] = b.Input(name)
+	}
+	w["j"] = b.GateNamed("j", cell.AND2, w["a"], w["b"])
+	w["f"] = b.GateNamed("f", cell.OR2, w["j"], w["e"])
+	w["g"] = b.GateNamed("g", cell.XOR2, w["c"], w["d"])
+	w["k"] = b.GateNamed("k", cell.AND2, w["g"], w["f"])
+	w["l"] = b.GateNamed("l", cell.OR2, w["g"], w["h"])
+	b.MarkOutput(w["k"])
+	b.MarkOutput(w["l"])
+	nl, err := b.Netlist()
+	if err != nil {
+		t.Fatalf("Netlist: %v", err)
+	}
+	return nl, w
+}
+
+func TestBuilderAndFinish(t *testing.T) {
+	nl, w := buildExample(t)
+	if nl.NumWires() != 11 {
+		t.Errorf("wires = %d, want 11", nl.NumWires())
+	}
+	if got := nl.DriverOf(w["a"]).Kind; got != DriverInput {
+		t.Errorf("driver of a = %v", got)
+	}
+	if got := nl.DriverOf(w["k"]).Kind; got != DriverGate {
+		t.Errorf("driver of k = %v", got)
+	}
+	if !nl.IsPrimaryOutput(w["k"]) || nl.IsPrimaryOutput(w["g"]) {
+		t.Error("primary output classification wrong")
+	}
+	// fanout of g: gates k and l
+	if got := len(nl.Fanout(w["g"])); got != 2 {
+		t.Errorf("fanout(g) = %d, want 2", got)
+	}
+	if id, ok := nl.WireByName("g"); !ok || id != w["g"] {
+		t.Error("WireByName failed")
+	}
+}
+
+func TestEvalOrderTopological(t *testing.T) {
+	nl, _ := buildExample(t)
+	seen := map[WireID]bool{}
+	for _, in := range nl.Inputs {
+		seen[in] = true
+	}
+	for _, gi := range nl.EvalOrder() {
+		g := nl.Gates[gi]
+		for _, in := range g.Inputs {
+			if !seen[in] && nl.DriverOf(in).Kind == DriverGate {
+				t.Fatalf("gate %s evaluated before its input %s", g.Name, nl.WireName(in))
+			}
+		}
+		seen[g.Output] = true
+	}
+	if len(nl.EvalOrder()) != len(nl.Gates) {
+		t.Fatal("eval order does not cover all gates")
+	}
+	if nl.LogicDepth() < 2 {
+		t.Errorf("depth = %d, want >= 2", nl.LogicDepth())
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	b := NewBuilder("cycle")
+	a := b.Input("a")
+	// x = AND(a, y); y = OR(x, a) — a combinational loop.
+	x := b.Wire("x")
+	y := b.Wire("y")
+	b.nl.Gates = append(b.nl.Gates,
+		Gate{Name: "gx", Cell: cell.Lookup(cell.AND2), Inputs: []WireID{a, y}, Output: x},
+		Gate{Name: "gy", Cell: cell.Lookup(cell.OR2), Inputs: []WireID{x, a}, Output: y},
+	)
+	if _, err := b.Netlist(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestMultipleDriversRejected(t *testing.T) {
+	b := NewBuilder("dup")
+	a := b.Input("a")
+	x := b.GateNamed("x", cell.BUF, a)
+	b.nl.Gates = append(b.nl.Gates, Gate{Name: "dup", Cell: cell.Lookup(cell.BUF), Inputs: []WireID{a}, Output: x})
+	if _, err := b.Netlist(); err == nil || !strings.Contains(err.Error(), "multiple drivers") {
+		t.Fatalf("expected multiple-driver error, got %v", err)
+	}
+}
+
+func TestUndrivenWireRejected(t *testing.T) {
+	b := NewBuilder("undriven")
+	a := b.Input("a")
+	floating := b.Wire("floating")
+	b.GateNamed("x", cell.AND2, a, floating)
+	if _, err := b.Netlist(); err == nil || !strings.Contains(err.Error(), "undriven") {
+		t.Fatalf("expected undriven error, got %v", err)
+	}
+}
+
+func TestFFConstruction(t *testing.T) {
+	b := NewBuilder("ffs")
+	d := b.Input("d")
+	q := b.FF("q", d, true, "state")
+	b.MarkOutput(q)
+	// feedback FF via placeholder
+	q2 := b.FFPlaceholder("q2", false, "regfile")
+	inv := b.Gate(cell.INV, q2)
+	b.SetFFD(q2, inv)
+	b.MarkOutput(inv)
+	nl, err := b.Netlist()
+	if err != nil {
+		t.Fatalf("Netlist: %v", err)
+	}
+	if len(nl.FFs) != 2 {
+		t.Fatalf("ffs = %d", len(nl.FFs))
+	}
+	if nl.FFByQ(q) != 0 || nl.FFByQ(q2) != 1 {
+		t.Error("FFByQ wrong")
+	}
+	if nl.FFByQ(d) != -1 {
+		t.Error("FFByQ should be -1 for non-Q wire")
+	}
+	if got := nl.FFsOfD(d); len(got) != 1 || got[0] != 0 {
+		t.Errorf("FFsOfD = %v", got)
+	}
+	all := nl.FFQWires()
+	if len(all) != 2 {
+		t.Errorf("FFQWires = %v", all)
+	}
+	noRF := nl.FFQWires("regfile")
+	if len(noRF) != 1 || noRF[0] != q {
+		t.Errorf("FFQWires w/o regfile = %v", noRF)
+	}
+}
+
+func TestUnconnectedFFRejected(t *testing.T) {
+	b := NewBuilder("bad-ff")
+	b.FFPlaceholder("q", false, "")
+	if _, err := b.Netlist(); err == nil || !strings.Contains(err.Error(), "unconnected D") {
+		t.Fatalf("expected unconnected-D error, got %v", err)
+	}
+}
+
+func TestConstDedup(t *testing.T) {
+	b := NewBuilder("const")
+	c1 := b.Const(true)
+	c1b := b.Scope("sub").Const(true)
+	if c1 != c1b {
+		t.Error("TIE1 not deduplicated across scopes")
+	}
+	c0 := b.Const(false)
+	if c0 == c1 {
+		t.Error("TIE0 == TIE1")
+	}
+	out := b.Gate(cell.OR2, c0, c1)
+	b.MarkOutput(out)
+	if _, err := b.Netlist(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScopeNaming(t *testing.T) {
+	b := NewBuilder("scoped")
+	sub := b.Scope("cpu").Scope("alu")
+	w := sub.Input("carry")
+	nl := func() *Netlist {
+		out := sub.Gate(cell.BUF, w)
+		b.MarkOutput(out)
+		return b.MustNetlist()
+	}()
+	if name := nl.WireName(w); name != "cpu.alu.carry" {
+		t.Errorf("scoped name = %q", name)
+	}
+}
+
+func TestStats(t *testing.T) {
+	nl, _ := buildExample(t)
+	s := nl.Stats()
+	if s.Gates != 5 || s.Inputs != 6 || s.Outputs != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.CellCounts["AND2"] != 2 || s.CellCounts["XOR2"] != 1 {
+		t.Errorf("cell counts = %v", s.CellCounts)
+	}
+	if !strings.Contains(s.String(), "gates=5") {
+		t.Errorf("stats string = %q", s.String())
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	b := NewBuilder("dupname")
+	b.Input("x")
+	b.Input("x")
+	if _, err := b.Netlist(); err == nil || !strings.Contains(err.Error(), "duplicate wire name") {
+		t.Fatalf("expected duplicate-name error, got %v", err)
+	}
+}

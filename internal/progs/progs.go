@@ -1,0 +1,322 @@
+// Package progs contains the two benchmark programs of the paper — a
+// Fibonacci sequence computation (fib) and a 1-D convolution (conv) — for
+// both processor targets. "Two test programs (i.e., a Fibonacci sequence
+// computation and a convolution function), which use different instruction
+// subsets, were implemented for both processors" (Section 5.1); both traces
+// span 8500 clock cycles (Tables 2 and 3).
+//
+// fib exercises the ALU/branch subset; conv additionally exercises
+// loads/stores and a software shift-add multiply, touching wider parts of
+// the datapath.
+package progs
+
+import (
+	"repro/internal/cpu/avr"
+	"repro/internal/cpu/msp430"
+)
+
+// TraceCycles is the trace length used throughout the evaluation,
+// matching the paper's 8500-cycle traces.
+const TraceCycles = 8500
+
+// AVRFibSrc computes 24 Fibonacci numbers (mod 256) per pass, storing the
+// sequence to data memory and accumulating a checksum on the output port;
+// 40 passes keep the core busy past 8500 cycles before halting.
+const AVRFibSrc = `
+; fib for the AVR-class core
+    ldi r10, 0        ; checksum
+    ldi r11, 40       ; outer passes
+outer:
+    ldi r1, 0         ; f(i)
+    ldi r2, 1         ; f(i+1)
+    ldi r3, 0         ; store pointer
+    ldi r4, 24        ; numbers per pass
+inner:
+    st (r3), r1
+    mov r5, r2
+    add r2, r1        ; f(i+1) += f(i)
+    mov r1, r5        ; f(i) = old f(i+1)
+    add r10, r1
+    inc r3
+    dec r4
+    brne inner
+    out r10
+    dec r11
+    brne outer
+    halt
+`
+
+// AVRConvSrc initialises x[0..19] and a 4-tap kernel in data memory, then
+// computes y[n] = sum_k x[n+k]*h[k] (mod 256) for n = 0..15 with a
+// shift-add multiply, twice, accumulating a checksum on the port.
+const AVRConvSrc = `
+; conv for the AVR-class core
+    ldi r1, 0         ; ptr
+    ldi r2, 3         ; x value
+initx:
+    st (r1), r2
+    subi r2, 249      ; value += 7 (mod 256)
+    inc r1
+    cpi r1, 20
+    brne initx
+    ldi r1, 32        ; kernel h = {1, 2, 3, 2} at 32..35
+    ldi r2, 1
+    st (r1), r2
+    inc r1
+    ldi r2, 2
+    st (r1), r2
+    inc r1
+    ldi r2, 3
+    st (r1), r2
+    inc r1
+    ldi r2, 2
+    st (r1), r2
+    ldi r13, 0        ; checksum
+    ldi r9, 2         ; outer passes
+outer:
+    ldi r10, 0        ; n
+ny:
+    ldi r11, 0        ; acc = y[n]
+    ldi r12, 0        ; k
+nk:
+    mov r3, r10
+    add r3, r12
+    ld r5, (r3)       ; a = x[n+k]
+    mov r4, r12
+    subi r4, 224      ; +32
+    ld r6, (r4)       ; b = h[k]
+    ldi r7, 0         ; prod
+    ldi r8, 8         ; bits
+mloop:
+    lsr r6
+    brcc mskip
+    add r7, r5
+mskip:
+    add r5, r5        ; a <<= 1
+    dec r8
+    brne mloop
+    add r11, r7
+    inc r12
+    cpi r12, 4
+    brne nk
+    mov r3, r10
+    subi r3, 192      ; +64: y base
+    st (r3), r11
+    add r13, r11
+    out r13
+    inc r10
+    cpi r10, 16
+    brne ny
+    dec r9
+    brne outer
+    halt
+`
+
+// MSP430FibSrc is fib for the MSP430-class core: 24 numbers per pass
+// (16-bit arithmetic), 12 passes (the multi-cycle core needs ~4 cycles per
+// instruction, so this comfortably exceeds 8500 cycles).
+const MSP430FibSrc = `
+; fib for the MSP430-class core
+    movi r10, 0       ; checksum
+    movi r11, 12      ; outer passes
+outer:
+    movi r1, 0        ; f(i)
+    movi r2, 1        ; f(i+1)
+    movi r3, 0        ; store pointer
+    movi r4, 24       ; numbers per pass
+inner:
+    st (r3), r1
+    mov r2, r5        ; r5 = f(i+1)
+    add r1, r2        ; f(i+1) += f(i)
+    mov r5, r1        ; f(i) = old f(i+1)
+    add r1, r10       ; checksum += f(i)
+    addi r3, 1
+    addi r4, -1
+    jne inner
+    out r10
+    addi r11, -1
+    jne outer
+    halt
+`
+
+// MSP430ConvSrc is conv for the MSP430-class core. The ISA has no shift
+// instruction, so the multiply walks a doubling bit mask; one pass over
+// 16 outputs with a 4-tap kernel already spans more than 8500 cycles.
+const MSP430ConvSrc = `
+; conv for the MSP430-class core
+    movi r1, 0        ; ptr
+    movi r2, 3        ; x value
+initx:
+    st (r1), r2
+    addi r2, 7
+    addi r1, 1
+    cmpi r1, 20
+    jne initx
+    movi r1, 32       ; kernel h = {1, 2, 3, 2}
+    movi r2, 1
+    st (r1), r2
+    addi r1, 1
+    movi r2, 2
+    st (r1), r2
+    addi r1, 1
+    movi r2, 3
+    st (r1), r2
+    addi r1, 1
+    movi r2, 2
+    st (r1), r2
+    movi r13, 0       ; checksum
+    movi r0, 1        ; outer passes
+outer:
+    movi r10, 0       ; n
+ny:
+    movi r11, 0       ; acc = y[n]
+    movi r12, 0       ; k
+nk:
+    mov r10, r3
+    add r12, r3
+    ld r5, (r3)       ; a = x[n+k]
+    mov r12, r4
+    addi r4, 32
+    ld r7, (r4)       ; b = h[k]
+    movi r8, 1        ; mask
+    movi r9, 8        ; bits
+mbit:
+    mov r7, r6        ; tmp = b
+    and r8, r6        ; tmp &= mask
+    jeq mskip
+    add r5, r11       ; acc += a
+mskip:
+    add r5, r5        ; a <<= 1
+    add r8, r8        ; mask <<= 1
+    addi r9, -1
+    jne mbit
+    addi r12, 1
+    cmpi r12, 4
+    jne nk
+    mov r10, r3
+    addi r3, 64
+    st (r3), r11      ; y[64+n]
+    add r11, r13
+    out r13
+    addi r10, 1
+    cmpi r10, 16
+    jne ny
+    addi r0, -1
+    jne outer
+    halt
+`
+
+// AVRFib returns the assembled fib program for the AVR-class core.
+func AVRFib() []uint16 { return avr.MustAssemble(AVRFibSrc) }
+
+// AVRConv returns the assembled conv program for the AVR-class core.
+func AVRConv() []uint16 { return avr.MustAssemble(AVRConvSrc) }
+
+// MSP430Fib returns the assembled fib program for the MSP430-class core.
+func MSP430Fib() []uint16 { return msp430.MustAssemble(MSP430FibSrc) }
+
+// MSP430Conv returns the assembled conv program for the MSP430-class core.
+func MSP430Conv() []uint16 { return msp430.MustAssemble(MSP430ConvSrc) }
+
+// AVRSortSrc bubble-sorts a 12-element array in data memory (descending
+// initial order modulo wrap), verifies via a checksum on the port, and
+// repeats the init+sort cycle five times. Sorting exercises the
+// compare/branch/swap idiom and data-memory traffic patterns neither fib
+// nor conv produce.
+const AVRSortSrc = `
+; bubble sort for the AVR-class core
+    ldi r13, 5        ; outer repetitions
+outer:
+    ldi r1, 0         ; init: x[i] = 11 + 37*i (mod 256)
+    ldi r2, 11
+initx:
+    st (r1), r2
+    subi r2, 219      ; += 37
+    inc r1
+    cpi r1, 12
+    brne initx
+    ldi r10, 11       ; bubble passes
+pass:
+    ldi r1, 0         ; index
+bubble:
+    mov r3, r1
+    ld r5, (r3)       ; x[i]
+    inc r3
+    ld r6, (r3)       ; x[i+1]
+    cp r6, r5         ; borrow (C=1) iff x[i+1] < x[i]
+    brcc noswap
+    st (r3), r5       ; swap
+    dec r3
+    st (r3), r6
+noswap:
+    inc r1
+    cpi r1, 11
+    brne bubble
+    dec r10
+    brne pass
+    ldi r1, 0         ; checksum
+    ldi r12, 0
+sum:
+    ld r5, (r1)
+    add r12, r5
+    inc r1
+    cpi r1, 12
+    brne sum
+    out r12
+    dec r13
+    brne outer
+    halt
+`
+
+// MSP430SortSrc is the same workload for the MSP430-class core (16-bit
+// elements; on this ISA C = NOT borrow, so the swap branch uses jc).
+const MSP430SortSrc = `
+; bubble sort for the MSP430-class core
+    movi r13, 2       ; outer repetitions (multi-cycle core is slower)
+outer:
+    movi r1, 0        ; init: x[i] = 11 + 37*i
+    movi r2, 11
+initx:
+    st (r1), r2
+    addi r2, 37
+    addi r1, 1
+    cmpi r1, 12
+    jne initx
+    movi r10, 11      ; bubble passes
+pass:
+    movi r1, 0        ; index
+bubble:
+    mov r1, r3
+    ld r5, (r3)       ; x[i]
+    addi r3, 1
+    ld r6, (r3)       ; x[i+1]
+    cmp r5, r6        ; r6 - r5: C=0 (borrow) iff x[i+1] < x[i]
+    jc noswap
+    st (r3), r5       ; swap
+    addi r3, -1
+    st (r3), r6
+noswap:
+    addi r1, 1
+    cmpi r1, 11
+    jne bubble
+    addi r10, -1
+    jne pass
+    movi r1, 0        ; checksum
+    movi r12, 0
+sum:
+    ld r5, (r1)
+    add r5, r12
+    addi r1, 1
+    cmpi r1, 12
+    jne sum
+    out r12
+    addi r13, -1
+    jne outer
+    halt
+`
+
+// AVRSort returns the assembled sort program for the AVR-class core.
+func AVRSort() []uint16 { return avr.MustAssemble(AVRSortSrc) }
+
+// MSP430Sort returns the assembled sort program for the MSP430-class core.
+func MSP430Sort() []uint16 { return msp430.MustAssemble(MSP430SortSrc) }

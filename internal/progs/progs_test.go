@@ -1,0 +1,337 @@
+package progs
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu/avr"
+	"repro/internal/cpu/msp430"
+	"repro/internal/prune"
+)
+
+// fibSeq returns the first n Fibonacci numbers (f0=0, f1=1) mod 2^bits.
+func fibSeq(n int, bits uint) []uint64 {
+	mask := uint64(1)<<bits - 1
+	out := make([]uint64, n)
+	a, b := uint64(0), uint64(1)
+	for i := 0; i < n; i++ {
+		out[i] = a & mask
+		a, b = b&mask, (a+b)&mask
+	}
+	return out
+}
+
+// convRef computes y[n] = sum_k x[n+k]*h[k] mod 2^bits.
+func convRef(x, h []uint64, n int, bits uint) []uint64 {
+	mask := uint64(1)<<bits - 1
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		var acc uint64
+		for k := range h {
+			acc += x[i+k] * h[k]
+		}
+		out[i] = acc & mask
+	}
+	return out
+}
+
+func TestAVRFibISS(t *testing.T) {
+	iss := avr.NewISS(AVRFib())
+	iss.Run(100000)
+	if !iss.Halted {
+		t.Fatal("fib did not halt")
+	}
+	want := fibSeq(24, 8)
+	for i, w := range want {
+		if uint64(iss.DMem[i]) != w {
+			t.Errorf("dmem[%d] = %d, want %d", i, iss.DMem[i], w)
+		}
+	}
+	// checksum: 40 passes of sum(f1..f24) mod 256
+	var sum uint64
+	seq := fibSeq(26, 8)
+	for i := 1; i <= 24; i++ {
+		sum += seq[i]
+	}
+	want8 := uint8(40 * sum)
+	if iss.Port != want8 {
+		t.Errorf("port = %d, want %d", iss.Port, want8)
+	}
+}
+
+func TestAVRConvISS(t *testing.T) {
+	iss := avr.NewISS(AVRConv())
+	iss.Run(200000)
+	if !iss.Halted {
+		t.Fatal("conv did not halt")
+	}
+	x := make([]uint64, 20)
+	for i := range x {
+		x[i] = uint64(uint8(3 + 7*i))
+	}
+	h := []uint64{1, 2, 3, 2}
+	y := convRef(x, h, 16, 8)
+	for n, w := range y {
+		if uint64(iss.DMem[64+n]) != w {
+			t.Errorf("y[%d] = %d, want %d", n, iss.DMem[64+n], w)
+		}
+	}
+	var cs uint8
+	for _, w := range y {
+		cs += uint8(w)
+	}
+	cs *= 2 // two passes
+	if iss.Port != cs {
+		t.Errorf("port = %d, want %d", iss.Port, cs)
+	}
+}
+
+func TestMSP430FibISS(t *testing.T) {
+	iss := msp430.NewISS(MSP430Fib())
+	iss.Run(100000)
+	if !iss.Halted {
+		t.Fatal("fib did not halt")
+	}
+	want := fibSeq(24, 16)
+	for i, w := range want {
+		if uint64(iss.DMem[i]) != w {
+			t.Errorf("dmem[%d] = %d, want %d", i, iss.DMem[i], w)
+		}
+	}
+	var sum uint64
+	seq := fibSeq(26, 16)
+	for i := 1; i <= 24; i++ {
+		sum += seq[i]
+	}
+	want16 := uint16(12 * sum)
+	if iss.Port != want16 {
+		t.Errorf("port = %d, want %d", iss.Port, want16)
+	}
+}
+
+func TestMSP430ConvISS(t *testing.T) {
+	iss := msp430.NewISS(MSP430Conv())
+	iss.Run(400000)
+	if !iss.Halted {
+		t.Fatal("conv did not halt")
+	}
+	x := make([]uint64, 20)
+	for i := range x {
+		x[i] = uint64(3 + 7*i)
+	}
+	h := []uint64{1, 2, 3, 2}
+	y := convRef(x, h, 16, 16)
+	for n, w := range y {
+		if uint64(iss.DMem[64+n]) != w {
+			t.Errorf("y[%d] = %d, want %d", n, iss.DMem[64+n], w)
+		}
+	}
+	var cs uint16
+	for _, w := range y {
+		cs += uint16(w)
+	}
+	if iss.Port != cs {
+		t.Errorf("port = %d, want %d", iss.Port, cs)
+	}
+}
+
+// TestRuntimesExceedTraceLength: the paper records 8500-cycle traces; every
+// program must keep its core busy at least that long.
+func TestRuntimesExceedTraceLength(t *testing.T) {
+	acore := avr.NewCore()
+	for name, prog := range map[string][]uint16{"fib": AVRFib(), "conv": AVRConv()} {
+		sys := avr.NewSystem(acore, prog)
+		cycles := sys.Run(200000)
+		if !sys.Halted() {
+			t.Fatalf("avr %s did not halt", name)
+		}
+		if cycles < TraceCycles {
+			t.Errorf("avr %s runs %d cycles, want >= %d", name, cycles, TraceCycles)
+		}
+		t.Logf("avr %s: %d cycles", name, cycles)
+		sys.M.Reset()
+	}
+	mcore := msp430.NewCore()
+	for name, prog := range map[string][]uint16{"fib": MSP430Fib(), "conv": MSP430Conv()} {
+		sys := msp430.NewSystem(mcore, prog)
+		cycles := sys.Run(400000)
+		if !sys.Halted() {
+			t.Fatalf("msp430 %s did not halt", name)
+		}
+		if cycles < TraceCycles {
+			t.Errorf("msp430 %s runs %d cycles, want >= %d", name, cycles, TraceCycles)
+		}
+		t.Logf("msp430 %s: %d cycles", name, cycles)
+		sys.M.Reset()
+	}
+}
+
+// TestCosimPrograms runs every program on its netlist and compares the
+// final architectural state with the ISS.
+func TestCosimPrograms(t *testing.T) {
+	acore := avr.NewCore()
+	for name, prog := range map[string][]uint16{"fib": AVRFib(), "conv": AVRConv()} {
+		iss := avr.NewISS(prog)
+		iss.Run(200000)
+		sys := avr.NewSystem(acore, prog)
+		sys.Run(400000)
+		if !sys.Halted() {
+			t.Fatalf("avr %s netlist did not halt", name)
+		}
+		for r := 0; r < avr.NumRegs; r++ {
+			if sys.Reg(r) != iss.Regs[r] {
+				t.Errorf("avr %s r%d: %d vs %d", name, r, sys.Reg(r), iss.Regs[r])
+			}
+		}
+		if sys.PortValue() != iss.Port {
+			t.Errorf("avr %s port: %d vs %d", name, sys.PortValue(), iss.Port)
+		}
+		for a := 0; a < 256; a++ {
+			if sys.DMem[a] != iss.DMem[a] {
+				t.Errorf("avr %s dmem[%d]: %d vs %d", name, a, sys.DMem[a], iss.DMem[a])
+			}
+		}
+		sys.M.Reset()
+	}
+	mcore := msp430.NewCore()
+	for name, prog := range map[string][]uint16{"fib": MSP430Fib(), "conv": MSP430Conv()} {
+		iss := msp430.NewISS(prog)
+		iss.Run(400000)
+		sys := msp430.NewSystem(mcore, prog)
+		sys.Run(800000)
+		if !sys.Halted() {
+			t.Fatalf("msp430 %s netlist did not halt", name)
+		}
+		for r := 0; r < msp430.NumRegs; r++ {
+			if sys.Reg(r) != iss.Regs[r] {
+				t.Errorf("msp430 %s r%d: %d vs %d", name, r, sys.Reg(r), iss.Regs[r])
+			}
+		}
+		if sys.PortValue() != iss.Port {
+			t.Errorf("msp430 %s port: %d vs %d", name, sys.PortValue(), iss.Port)
+		}
+		for a := 0; a < 256; a++ {
+			if sys.DMem[a] != iss.DMem[a] {
+				t.Errorf("msp430 %s dmem[%d]: %d vs %d", name, a, sys.DMem[a], iss.DMem[a])
+			}
+		}
+		sys.M.Reset()
+	}
+}
+
+// sortRef computes the expected sorted array and checksum.
+func sortRef(bits uint) (sorted []uint64, checksum uint64) {
+	mask := uint64(1)<<bits - 1
+	x := make([]uint64, 12)
+	for i := range x {
+		x[i] = (11 + 37*uint64(i)) & mask
+	}
+	// bubble sort ascending
+	for p := 0; p < 11; p++ {
+		for i := 0; i+1 < 12; i++ {
+			if x[i+1] < x[i] {
+				x[i], x[i+1] = x[i+1], x[i]
+			}
+		}
+	}
+	var cs uint64
+	for _, v := range x {
+		cs += v
+	}
+	return x, cs & mask
+}
+
+func TestAVRSortISS(t *testing.T) {
+	iss := avr.NewISS(AVRSort())
+	iss.Run(1 << 20)
+	if !iss.Halted {
+		t.Fatal("sort did not halt")
+	}
+	sorted, cs := sortRef(8)
+	for i, w := range sorted {
+		if uint64(iss.DMem[i]) != w {
+			t.Errorf("x[%d] = %d, want %d", i, iss.DMem[i], w)
+		}
+	}
+	if uint64(iss.Port) != cs {
+		t.Errorf("port = %d, want %d", iss.Port, cs)
+	}
+}
+
+func TestMSP430SortISS(t *testing.T) {
+	iss := msp430.NewISS(MSP430Sort())
+	iss.Run(1 << 20)
+	if !iss.Halted {
+		t.Fatal("sort did not halt")
+	}
+	sorted, cs := sortRef(16)
+	for i, w := range sorted {
+		if uint64(iss.DMem[i]) != w {
+			t.Errorf("x[%d] = %d, want %d", i, iss.DMem[i], w)
+		}
+	}
+	if uint64(iss.Port) != cs {
+		t.Errorf("port = %d, want %d", iss.Port, cs)
+	}
+}
+
+func TestSortCosimAndRuntime(t *testing.T) {
+	acore := avr.NewCore()
+	iss := avr.NewISS(AVRSort())
+	iss.Run(1 << 20)
+	sys := avr.NewSystem(acore, AVRSort())
+	cycles := sys.Run(1 << 20)
+	if !sys.Halted() {
+		t.Fatal("netlist did not halt")
+	}
+	if cycles < TraceCycles {
+		t.Errorf("avr sort runs %d cycles, want >= %d", cycles, TraceCycles)
+	}
+	if sys.PortValue() != iss.Port {
+		t.Errorf("avr sort port: %d vs %d", sys.PortValue(), iss.Port)
+	}
+	for a := 0; a < 12; a++ {
+		if sys.DMem[a] != iss.DMem[a] {
+			t.Errorf("avr sort dmem[%d]: %d vs %d", a, sys.DMem[a], iss.DMem[a])
+		}
+	}
+
+	mcore := msp430.NewCore()
+	miss := msp430.NewISS(MSP430Sort())
+	miss.Run(1 << 20)
+	msys := msp430.NewSystem(mcore, MSP430Sort())
+	mcycles := msys.Run(1 << 20)
+	if !msys.Halted() {
+		t.Fatal("msp430 sort did not halt")
+	}
+	if mcycles < TraceCycles {
+		t.Errorf("msp430 sort runs %d cycles, want >= %d", mcycles, TraceCycles)
+	}
+	if msys.PortValue() != miss.Port {
+		t.Errorf("msp430 sort port: %d vs %d", msys.PortValue(), miss.Port)
+	}
+	t.Logf("sort runtimes: avr %d cycles, msp430 %d cycles", cycles, mcycles)
+}
+
+// TestSortMATETransfer: MATE sets selected on fib still prune the sort
+// trace — the transferability claim on a workload with very different
+// memory behaviour.
+func TestSortMATETransfer(t *testing.T) {
+	c := avr.NewCore()
+	set := coreSearch(t, c)
+	fibTrace := avr.NewSystem(c, AVRFib()).Record(TraceCycles)
+	sortTrace := avr.NewSystem(avr.NewCore(), AVRSort()).Record(TraceCycles)
+	noRF := c.NL.FFQWires(avr.GroupRegFile)
+
+	top := prune.SelectTopN(set, fibTrace, noRF, 50)
+	onSort := prune.Evaluate(top, sortTrace, noRF)
+	if onSort.Reduction() < 0.02 {
+		t.Errorf("fib-selected MATEs prune only %.2f%% of sort", 100*onSort.Reduction())
+	}
+	t.Logf("fib-selected top-50 on sort: %.2f%%", 100*onSort.Reduction())
+}
+
+func coreSearch(t *testing.T, c *avr.Core) *core.MATESet {
+	t.Helper()
+	return core.Search(c.NL, c.NL.FFQWires(avr.GroupRegFile), core.DefaultSearchParams()).Set
+}

@@ -1,0 +1,291 @@
+// Package prune quantifies and exploits MATE-based fault-space pruning on
+// recorded execution traces: it replays a wire-level trace, evaluates a
+// MATE set per cycle, accounts which (flip-flop, cycle) points of the fault
+// space are provably benign, and performs the paper's hit-counter top-N
+// MATE selection (Section 4, step 3, and the evaluation of Section 5.3).
+package prune
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Result summarises one replay of a MATE set against a trace and a fault
+// set. TotalPoints is |fault wires| × cycles; MaskedPoints counts the
+// (wire, cycle) pairs detected as benign.
+type Result struct {
+	FaultWires     int
+	Cycles         int
+	TotalPoints    int64
+	MaskedPoints   int64
+	EffectiveMATEs int
+	// AvgInputs / StdInputs are computed over effective MATEs only —
+	// MATEs that triggered at least once on this trace (paper metric).
+	AvgInputs float64
+	StdInputs float64
+}
+
+// Reduction returns the fault-space reduction as a fraction in [0, 1].
+func (r *Result) Reduction() float64 {
+	if r.TotalPoints == 0 {
+		return 0
+	}
+	return float64(r.MaskedPoints) / float64(r.TotalPoints)
+}
+
+// String renders the headline numbers.
+func (r *Result) String() string {
+	return fmt.Sprintf("masked %d/%d points (%.2f%%), %d effective MATEs",
+		r.MaskedPoints, r.TotalPoints, 100*r.Reduction(), r.EffectiveMATEs)
+}
+
+// compiledLit is a literal pre-resolved to a packed trace-row word/bit.
+type compiledLit struct {
+	word int32
+	bit  uint64
+	want bool
+}
+
+// evaluator holds a MATE set compiled against a particular fault set for
+// fast per-cycle replay.
+type evaluator struct {
+	mates []*core.MATE
+	lits  [][]compiledLit
+	masks [][]int32 // compact fault-wire indices per MATE (only fault wires)
+	nf    int       // number of fault wires
+}
+
+func compile(set *core.MATESet, faultWires []netlist.WireID) *evaluator {
+	idx := map[netlist.WireID]int32{}
+	for i, w := range faultWires {
+		idx[w] = int32(i)
+	}
+	ev := &evaluator{nf: len(faultWires)}
+	for _, m := range set.MATEs {
+		var masks []int32
+		for _, w := range m.Masks {
+			if ci, ok := idx[w]; ok {
+				masks = append(masks, ci)
+			}
+		}
+		if len(masks) == 0 {
+			continue // MATE does not cover any wire of this fault set
+		}
+		lits := make([]compiledLit, len(m.Literals))
+		for i, l := range m.Literals {
+			lits[i] = compiledLit{word: int32(l.Wire) / 64, bit: 1 << (uint(l.Wire) % 64), want: l.Value}
+		}
+		ev.mates = append(ev.mates, m)
+		ev.lits = append(ev.lits, lits)
+		ev.masks = append(ev.masks, masks)
+	}
+	return ev
+}
+
+func (ev *evaluator) triggers(row []uint64, mi int) bool {
+	for _, l := range ev.lits[mi] {
+		if (row[l.word]&l.bit != 0) != l.want {
+			return false
+		}
+	}
+	return true
+}
+
+// Evaluate replays the trace against the MATE set and returns the
+// fault-space accounting for the given fault set. Cycles are processed in
+// parallel.
+func Evaluate(set *core.MATESet, tr *sim.Trace, faultWires []netlist.WireID) *Result {
+	ev := compile(set, faultWires)
+	cycles := tr.NumCycles()
+	res := &Result{
+		FaultWires:  len(faultWires),
+		Cycles:      cycles,
+		TotalPoints: int64(len(faultWires)) * int64(cycles),
+	}
+
+	nw := runtime.NumCPU()
+	if nw > cycles {
+		nw = cycles
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	triggered := make([]bool, len(ev.mates))
+	chunk := (cycles + nw - 1) / nw
+	for wk := 0; wk < nw; wk++ {
+		lo, hi := wk*chunk, (wk+1)*chunk
+		if hi > cycles {
+			hi = cycles
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var masked int64
+			localTrig := make([]bool, len(ev.mates))
+			bits := make([]uint64, (ev.nf+63)/64)
+			for c := lo; c < hi; c++ {
+				row := tr.Row(c)
+				for i := range bits {
+					bits[i] = 0
+				}
+				for mi := range ev.mates {
+					if !ev.triggers(row, mi) {
+						continue
+					}
+					localTrig[mi] = true
+					for _, ci := range ev.masks[mi] {
+						w, b := ci/64, uint64(1)<<(uint(ci)%64)
+						if bits[w]&b == 0 {
+							bits[w] |= b
+							masked++
+						}
+					}
+				}
+			}
+			mu.Lock()
+			res.MaskedPoints += masked
+			for i, t := range localTrig {
+				if t {
+					triggered[i] = true
+				}
+			}
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	var n int
+	var sum float64
+	for i, t := range triggered {
+		if t {
+			n++
+			sum += float64(len(ev.mates[i].Literals))
+		}
+	}
+	res.EffectiveMATEs = n
+	if n > 0 {
+		res.AvgInputs = sum / float64(n)
+		var vs float64
+		for i, t := range triggered {
+			if t {
+				d := float64(len(ev.mates[i].Literals)) - res.AvgInputs
+				vs += d * d
+			}
+		}
+		res.StdInputs = math.Sqrt(vs / float64(n))
+	}
+	return res
+}
+
+// SelectTopN performs the paper's MATE selection: replay a trace and,
+// walking the MATEs from the one that statically masks the most faults
+// downwards, credit each MATE with every *additional* fault wire it masks
+// in each cycle; finally keep the N MATEs with the highest hit counters.
+// The input set is expected to be sorted by coverage (Search does this);
+// the returned set preserves hit order.
+func SelectTopN(set *core.MATESet, tr *sim.Trace, faultWires []netlist.WireID, n int) *core.MATESet {
+	ev := compile(set, faultWires)
+	cycles := tr.NumCycles()
+	hits := make([]int64, len(ev.mates))
+
+	nw := runtime.NumCPU()
+	if nw > cycles {
+		nw = cycles
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (cycles + nw - 1) / nw
+	for wk := 0; wk < nw; wk++ {
+		lo, hi := wk*chunk, (wk+1)*chunk
+		if hi > cycles {
+			hi = cycles
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			local := make([]int64, len(ev.mates))
+			bits := make([]uint64, (ev.nf+63)/64)
+			for c := lo; c < hi; c++ {
+				row := tr.Row(c)
+				for i := range bits {
+					bits[i] = 0
+				}
+				for mi := range ev.mates {
+					if !ev.triggers(row, mi) {
+						continue
+					}
+					for _, ci := range ev.masks[mi] {
+						w, b := ci/64, uint64(1)<<(uint(ci)%64)
+						if bits[w]&b == 0 {
+							bits[w] |= b
+							local[mi]++
+						}
+					}
+				}
+			}
+			mu.Lock()
+			for i, h := range local {
+				hits[i] += h
+			}
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	order := make([]int, len(ev.mates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return hits[order[a]] > hits[order[b]] })
+	if n > len(order) {
+		n = len(order)
+	}
+	out := &core.MATESet{}
+	for _, i := range order[:n] {
+		if hits[i] == 0 {
+			break // never-triggering MATEs are useless in a top-N set
+		}
+		out.MATEs = append(out.MATEs, ev.mates[i])
+	}
+	return out
+}
+
+// MaskedGrid replays the trace and returns, per cycle, the set of fault
+// wires detected as benign — the data behind Figure 1b's pruned fault-space
+// grid.
+func MaskedGrid(set *core.MATESet, tr *sim.Trace, faultWires []netlist.WireID) [][]bool {
+	ev := compile(set, faultWires)
+	grid := make([][]bool, tr.NumCycles())
+	for c := range grid {
+		row := tr.Row(c)
+		g := make([]bool, len(faultWires))
+		for mi := range ev.mates {
+			if !ev.triggers(row, mi) {
+				continue
+			}
+			for _, ci := range ev.masks[mi] {
+				g[ci] = true
+			}
+		}
+		grid[c] = g
+	}
+	return grid
+}

@@ -1,0 +1,227 @@
+package prune
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// buildTwoRegs creates two write-enable registers with independent enables
+// whose Q wires feed only their own hold muxes, so the Q fault of each is
+// masked exactly in cycles where its enable is 1.
+func buildTwoRegs(t testing.TB) (*netlist.Netlist, []netlist.WireID, []netlist.WireID) {
+	t.Helper()
+	b := netlist.NewBuilder("tworegs")
+	d := b.Input("d")
+	en1 := b.Input("en1")
+	en2 := b.Input("en2")
+	q1 := b.FFPlaceholder("q1", false, "")
+	q2 := b.FFPlaceholder("q2", false, "")
+	b.SetFFD(q1, b.Gate(cell.MUX2, q1, d, en1))
+	b.SetFFD(q2, b.Gate(cell.MUX2, q2, d, en2))
+	b.MarkOutput(b.Gate(cell.BUF, d))
+	nl := b.MustNetlist()
+	return nl, []netlist.WireID{q1, q2}, []netlist.WireID{en1, en2, d}
+}
+
+// recordPattern drives en1 on even, en2 on every fourth cycle.
+func recordPattern(nl *netlist.Netlist, ins []netlist.WireID, cycles int) *sim.Trace {
+	m := sim.New(nl)
+	c := 0
+	env := sim.EnvFunc(func(m *sim.Machine) {
+		m.SetValue(ins[0], c%2 == 0)
+		m.SetValue(ins[1], c%4 == 0)
+		m.SetValue(ins[2], c%3 == 0)
+		c++
+	})
+	return sim.Record(m, env, cycles)
+}
+
+func search(t testing.TB, nl *netlist.Netlist, wires []netlist.WireID) *core.MATESet {
+	t.Helper()
+	res := core.Search(nl, wires, core.DefaultSearchParams())
+	return res.Set
+}
+
+func TestEvaluateExactCounts(t *testing.T) {
+	nl, qs, ins := buildTwoRegs(t)
+	set := search(t, nl, qs)
+	tr := recordPattern(nl, ins, 8)
+	res := Evaluate(set, tr, qs)
+
+	// en1 high in cycles 0,2,4,6 -> q1 masked 4 cycles.
+	// en2 high in cycles 0,4    -> q2 masked 2 cycles.
+	if res.TotalPoints != 16 {
+		t.Fatalf("total = %d", res.TotalPoints)
+	}
+	if res.MaskedPoints != 6 {
+		t.Fatalf("masked = %d, want 6", res.MaskedPoints)
+	}
+	if res.FaultWires != 2 || res.Cycles != 8 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.EffectiveMATEs != 2 {
+		t.Fatalf("effective = %d", res.EffectiveMATEs)
+	}
+	if res.Reduction() < 0.37 || res.Reduction() > 0.38 {
+		t.Fatalf("reduction = %v", res.Reduction())
+	}
+}
+
+func TestEvaluateRestrictedFaultSet(t *testing.T) {
+	nl, qs, ins := buildTwoRegs(t)
+	set := search(t, nl, qs)
+	tr := recordPattern(nl, ins, 8)
+	res := Evaluate(set, tr, qs[:1]) // only q1
+	if res.TotalPoints != 8 || res.MaskedPoints != 4 {
+		t.Fatalf("restricted: %+v", res)
+	}
+	// Only the q1 MATE is applicable/effective for this fault set.
+	if res.EffectiveMATEs != 1 {
+		t.Fatalf("effective = %d", res.EffectiveMATEs)
+	}
+}
+
+func TestEvaluateEmptySet(t *testing.T) {
+	nl, qs, ins := buildTwoRegs(t)
+	tr := recordPattern(nl, ins, 8)
+	res := Evaluate(&core.MATESet{}, tr, qs)
+	if res.MaskedPoints != 0 || res.EffectiveMATEs != 0 {
+		t.Fatalf("empty set: %+v", res)
+	}
+	if res.Reduction() != 0 {
+		t.Fatal("reduction must be 0")
+	}
+}
+
+func TestSelectTopN(t *testing.T) {
+	nl, qs, ins := buildTwoRegs(t)
+	set := search(t, nl, qs)
+	tr := recordPattern(nl, ins, 64)
+
+	top1 := SelectTopN(set, tr, qs, 1)
+	if top1.Size() != 1 {
+		t.Fatalf("top1 size = %d", top1.Size())
+	}
+	// q1's MATE (en1, hot 32 cycles) must beat q2's (en2, hot 16 cycles).
+	m := top1.MATEs[0]
+	if len(m.Literals) != 1 || m.Literals[0].Wire != ins[0] {
+		t.Fatalf("top1 = %s", m.String(nl))
+	}
+
+	// top-N with large N keeps only MATEs that ever trigger.
+	topAll := SelectTopN(set, tr, qs, 1000)
+	if topAll.Size() > set.Size() {
+		t.Fatal("selection grew the set")
+	}
+	for _, m := range topAll.MATEs {
+		res := Evaluate(&core.MATESet{MATEs: []*core.MATE{m}}, tr, qs)
+		if res.MaskedPoints == 0 {
+			t.Fatal("selected MATE never masks")
+		}
+	}
+}
+
+func TestSelectTopNSubsetMonotone(t *testing.T) {
+	// On random circuits: reduction(topN) is non-decreasing in N and never
+	// exceeds the complete set's reduction.
+	rng := rand.New(rand.NewSource(11))
+	b := netlist.NewBuilder("randsel")
+	var pool, qs []netlist.WireID
+	for i := 0; i < 6; i++ {
+		pool = append(pool, b.Input(""))
+	}
+	for i := 0; i < 8; i++ {
+		q := b.FFPlaceholder("", false, "ff")
+		pool = append(pool, q)
+		qs = append(qs, q)
+	}
+	kinds := []cell.Kind{cell.AND2, cell.OR2, cell.MUX2, cell.NAND2, cell.NOR2, cell.AOI21}
+	for i := 0; i < 50; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		c := cell.Lookup(k)
+		inp := make([]netlist.WireID, c.NumInputs())
+		for p := range inp {
+			inp[p] = pool[rng.Intn(len(pool))]
+		}
+		pool = append(pool, b.Gate(k, inp...))
+	}
+	for _, q := range qs {
+		b.SetFFD(q, pool[rng.Intn(len(pool))])
+	}
+	b.MarkOutput(pool[len(pool)-1])
+	nl := b.MustNetlist()
+
+	m := sim.New(nl)
+	env := sim.EnvFunc(func(m *sim.Machine) {
+		for _, in := range m.NL.Inputs {
+			m.SetValue(in, rng.Intn(2) == 0)
+		}
+	})
+	tr := sim.Record(m, env, 128)
+	set := search(t, nl, qs)
+	full := Evaluate(set, tr, qs).Reduction()
+
+	prev := -1.0
+	for _, n := range []int{1, 2, 5, 10, 100} {
+		sel := SelectTopN(set, tr, qs, n)
+		red := Evaluate(sel, tr, qs).Reduction()
+		if red < prev-1e-12 {
+			t.Fatalf("reduction decreased at n=%d: %v < %v", n, red, prev)
+		}
+		if red > full+1e-12 {
+			t.Fatalf("subset exceeds full set: %v > %v", red, full)
+		}
+		prev = red
+	}
+}
+
+func TestMaskedGrid(t *testing.T) {
+	nl, qs, ins := buildTwoRegs(t)
+	set := search(t, nl, qs)
+	tr := recordPattern(nl, ins, 8)
+	grid := MaskedGrid(set, tr, qs)
+	if len(grid) != 8 {
+		t.Fatalf("grid cycles = %d", len(grid))
+	}
+	for c := 0; c < 8; c++ {
+		if grid[c][0] != (c%2 == 0) {
+			t.Errorf("cycle %d q1 masked=%v", c, grid[c][0])
+		}
+		if grid[c][1] != (c%4 == 0) {
+			t.Errorf("cycle %d q2 masked=%v", c, grid[c][1])
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{TotalPoints: 100, MaskedPoints: 25, EffectiveMATEs: 3}
+	s := r.String()
+	if s == "" || r.Reduction() != 0.25 {
+		t.Fatalf("String/Reduction: %q %v", s, r.Reduction())
+	}
+}
+
+func TestEvaluateMatchesGrid(t *testing.T) {
+	// MaskedPoints must equal the number of true cells in the grid.
+	nl, qs, ins := buildTwoRegs(t)
+	set := search(t, nl, qs)
+	tr := recordPattern(nl, ins, 32)
+	res := Evaluate(set, tr, qs)
+	grid := MaskedGrid(set, tr, qs)
+	var n int64
+	for _, row := range grid {
+		for _, v := range row {
+			if v {
+				n++
+			}
+		}
+	}
+	if n != res.MaskedPoints {
+		t.Fatalf("grid count %d != evaluate %d", n, res.MaskedPoints)
+	}
+}

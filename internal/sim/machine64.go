@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Machine64 is a 64-lane bit-parallel gate-level simulator: every wire
+// carries one uint64 whose bit l is the wire's value in lane l, so 64
+// circuit instances advance per evaluation pass. This is the classic
+// parallel fault-simulation technique, and it plays the role of the
+// paper's hardware parallelism ("one FI controller distributes the FI
+// campaign over several FPGAs"): the HAFI campaign controller batches up
+// to 64 injection experiments that share a start checkpoint into one
+// Machine64 run.
+//
+// All lanes share the same netlist; they diverge only through per-lane
+// state (flip-flops, primary inputs) — exactly what a fault injection
+// needs.
+type Machine64 struct {
+	NL     *netlist.Netlist
+	Cycle  int
+	values []uint64
+
+	ops      []op64
+	ffD, ffQ []int32
+	ffNext   []uint64
+}
+
+// op64 is one gate in the flattened bitwise evaluation program.
+type op64 struct {
+	kind    cell.Kind
+	tt      uint32
+	out     int32
+	in      [4]int32
+	numPins int8
+}
+
+// NewMachine64 creates a 64-lane machine and resets it.
+func NewMachine64(nl *netlist.Netlist) (*Machine64, error) {
+	m := &Machine64{NL: nl, values: make([]uint64, nl.NumWires())}
+	for _, gi := range nl.EvalOrder() {
+		g := &nl.Gates[gi]
+		if g.Cell.NumInputs() > 4 {
+			return nil, fmt.Errorf("sim: cell %s has more than 4 inputs; not supported by the 64-lane evaluator", g.Cell.Name)
+		}
+		o := op64{kind: g.Cell.Kind, tt: g.Cell.TruthTable(), out: int32(g.Output), numPins: int8(len(g.Inputs))}
+		for p, w := range g.Inputs {
+			o.in[p] = int32(w)
+		}
+		m.ops = append(m.ops, o)
+	}
+	m.ffD = make([]int32, len(nl.FFs))
+	m.ffQ = make([]int32, len(nl.FFs))
+	m.ffNext = make([]uint64, len(nl.FFs))
+	for i := range nl.FFs {
+		m.ffD[i] = int32(nl.FFs[i].D)
+		m.ffQ[i] = int32(nl.FFs[i].Q)
+	}
+	m.Reset()
+	return m, nil
+}
+
+// Reset initialises every lane with the flip-flop reset state.
+func (m *Machine64) Reset() {
+	for i := range m.values {
+		m.values[i] = 0
+	}
+	for i := range m.NL.FFs {
+		if m.NL.FFs[i].Init {
+			m.values[m.NL.FFs[i].Q] = ^uint64(0)
+		}
+	}
+	m.Cycle = 0
+}
+
+// Lanes returns the lane word of a wire (bit l = lane l).
+func (m *Machine64) Lanes(w netlist.WireID) uint64 { return m.values[w] }
+
+// SetLanes drives a wire in all lanes at once.
+func (m *Machine64) SetLanes(w netlist.WireID, v uint64) { m.values[w] = v }
+
+// Broadcast drives a wire to the same value in every lane.
+func (m *Machine64) Broadcast(w netlist.WireID, v bool) {
+	if v {
+		m.values[w] = ^uint64(0)
+	} else {
+		m.values[w] = 0
+	}
+}
+
+// FlipLane flips the stored value of flip-flop ffIndex in one lane only —
+// the 64-lane SEU injection primitive.
+func (m *Machine64) FlipLane(ffIndex, lane int) {
+	m.values[m.NL.FFs[ffIndex].Q] ^= 1 << uint(lane)
+}
+
+// LoadState broadcasts a scalar flip-flop snapshot (from Machine.FFState)
+// into every lane.
+func (m *Machine64) LoadState(ffs []bool) {
+	for i, v := range ffs {
+		if v {
+			m.values[m.ffQ[i]] = ^uint64(0)
+		} else {
+			m.values[m.ffQ[i]] = 0
+		}
+	}
+}
+
+// LoadInputs broadcasts scalar primary-input values into every lane.
+func (m *Machine64) LoadInputs(ins []bool) {
+	for i, w := range m.NL.Inputs {
+		if ins[i] {
+			m.values[w] = ^uint64(0)
+		} else {
+			m.values[w] = 0
+		}
+	}
+}
+
+// EvalComb evaluates all gates once, 64 lanes wide.
+func (m *Machine64) EvalComb() {
+	v := m.values
+	for i := range m.ops {
+		o := &m.ops[i]
+		var out uint64
+		switch o.kind {
+		case cell.TIE0:
+			out = 0
+		case cell.TIE1:
+			out = ^uint64(0)
+		case cell.BUF:
+			out = v[o.in[0]]
+		case cell.INV:
+			out = ^v[o.in[0]]
+		case cell.AND2:
+			out = v[o.in[0]] & v[o.in[1]]
+		case cell.AND3:
+			out = v[o.in[0]] & v[o.in[1]] & v[o.in[2]]
+		case cell.AND4:
+			out = v[o.in[0]] & v[o.in[1]] & v[o.in[2]] & v[o.in[3]]
+		case cell.NAND2:
+			out = ^(v[o.in[0]] & v[o.in[1]])
+		case cell.NAND3:
+			out = ^(v[o.in[0]] & v[o.in[1]] & v[o.in[2]])
+		case cell.NAND4:
+			out = ^(v[o.in[0]] & v[o.in[1]] & v[o.in[2]] & v[o.in[3]])
+		case cell.OR2:
+			out = v[o.in[0]] | v[o.in[1]]
+		case cell.OR3:
+			out = v[o.in[0]] | v[o.in[1]] | v[o.in[2]]
+		case cell.OR4:
+			out = v[o.in[0]] | v[o.in[1]] | v[o.in[2]] | v[o.in[3]]
+		case cell.NOR2:
+			out = ^(v[o.in[0]] | v[o.in[1]])
+		case cell.NOR3:
+			out = ^(v[o.in[0]] | v[o.in[1]] | v[o.in[2]])
+		case cell.NOR4:
+			out = ^(v[o.in[0]] | v[o.in[1]] | v[o.in[2]] | v[o.in[3]])
+		case cell.XOR2:
+			out = v[o.in[0]] ^ v[o.in[1]]
+		case cell.XNOR2:
+			out = ^(v[o.in[0]] ^ v[o.in[1]])
+		case cell.MUX2:
+			s := v[o.in[2]]
+			out = (^s & v[o.in[0]]) | (s & v[o.in[1]])
+		case cell.AOI21:
+			out = ^((v[o.in[0]] & v[o.in[1]]) | v[o.in[2]])
+		case cell.AOI22:
+			out = ^((v[o.in[0]] & v[o.in[1]]) | (v[o.in[2]] & v[o.in[3]]))
+		case cell.OAI21:
+			out = ^((v[o.in[0]] | v[o.in[1]]) & v[o.in[2]])
+		case cell.OAI22:
+			out = ^((v[o.in[0]] | v[o.in[1]]) & (v[o.in[2]] | v[o.in[3]]))
+		case cell.MAJ3:
+			a, b, c := v[o.in[0]], v[o.in[1]], v[o.in[2]]
+			out = (a & b) | (a & c) | (b & c)
+		default:
+			// Generic fallback: Shannon expansion over the truth table.
+			out = m.evalGeneric(o)
+		}
+		v[o.out] = out
+	}
+}
+
+// evalGeneric evaluates an arbitrary (≤4 input) cell lane-parallel from
+// its truth table by OR-ing the active minterms.
+func (m *Machine64) evalGeneric(o *op64) uint64 {
+	var out uint64
+	n := int(o.numPins)
+	for minterm := 0; minterm < 1<<n; minterm++ {
+		if o.tt>>uint(minterm)&1 == 0 {
+			continue
+		}
+		term := ^uint64(0)
+		for p := 0; p < n; p++ {
+			if minterm>>uint(p)&1 == 1 {
+				term &= m.values[o.in[p]]
+			} else {
+				term &= ^m.values[o.in[p]]
+			}
+		}
+		out |= term
+	}
+	return out
+}
+
+// CommitFFs clocks every flip-flop in all lanes.
+func (m *Machine64) CommitFFs() {
+	for i, d := range m.ffD {
+		m.ffNext[i] = m.values[d]
+	}
+	for i, q := range m.ffQ {
+		m.values[q] = m.ffNext[i]
+	}
+	m.Cycle++
+}
+
+// Env64 services the environment of all 64 lanes between the two
+// evaluation passes (per-lane memories, per-lane read data).
+type Env64 interface {
+	SetInputs64(m *Machine64)
+}
+
+// Env64Func adapts a function to Env64.
+type Env64Func func(m *Machine64)
+
+// SetInputs64 implements Env64.
+func (f Env64Func) SetInputs64(m *Machine64) { f(m) }
+
+// Settle runs the two-pass evaluation with the lane environment.
+func (m *Machine64) Settle(env Env64) {
+	m.EvalComb()
+	if env != nil {
+		env.SetInputs64(m)
+		m.EvalComb()
+	}
+}
+
+// Step advances one clock cycle in all lanes.
+func (m *Machine64) Step(env Env64) {
+	m.Settle(env)
+	m.CommitFFs()
+}
+
+// ReadBusLane assembles the value of a bus in one lane.
+func (m *Machine64) ReadBusLane(bus []netlist.WireID, lane int) uint64 {
+	var v uint64
+	bit := uint64(1) << uint(lane)
+	for i, w := range bus {
+		if m.values[w]&bit != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

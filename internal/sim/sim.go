@@ -1,0 +1,239 @@
+// Package sim is a cycle-accurate gate-level simulator for netlists from
+// internal/netlist. It evaluates the combinational logic in topological
+// order, services external memories/peripherals through an Env callback,
+// records full wire-level traces (the in-memory equivalent of the paper's
+// VCD dumps), and supports SEU injection by flipping flip-flop state —
+// the primitives both the MATE search evaluation and the HAFI platform
+// model are built on.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Env services the environment of the circuit between the two combinational
+// evaluation passes of a cycle: it may read settled wires whose value does
+// not depend on primary inputs (e.g. registered memory addresses) and set
+// primary inputs (e.g. memory read data) for the final pass.
+type Env interface {
+	SetInputs(m *Machine)
+}
+
+// EnvFunc adapts a function to the Env interface.
+type EnvFunc func(m *Machine)
+
+// SetInputs implements Env.
+func (f EnvFunc) SetInputs(m *Machine) { f(m) }
+
+// NopEnv leaves all primary inputs at their previous values.
+var NopEnv Env = EnvFunc(func(*Machine) {})
+
+// Machine simulates one netlist instance. The zero value is not usable;
+// create machines with New.
+type Machine struct {
+	NL     *netlist.Netlist
+	Cycle  int
+	values []bool
+
+	// Flattened evaluation program, in topological order: for gate i,
+	// pins evalPins[evalStart[i]:evalStart[i+1]] index into values, the
+	// truth table is evalTT[i], and the result lands in values[evalOut[i]].
+	evalPins  []int32
+	evalStart []int32
+	evalTT    []uint32
+	evalOut   []int32
+
+	// ffD/ffQ are the flip-flop pin wires, and ffNext the commit scratch.
+	ffD, ffQ []int32
+	ffNext   []bool
+}
+
+// New creates a machine and resets it.
+func New(nl *netlist.Netlist) *Machine {
+	m := &Machine{NL: nl, values: make([]bool, nl.NumWires())}
+	order := nl.EvalOrder()
+	m.evalStart = make([]int32, len(order)+1)
+	m.evalTT = make([]uint32, len(order))
+	m.evalOut = make([]int32, len(order))
+	for i, gi := range order {
+		g := &nl.Gates[gi]
+		m.evalTT[i] = g.Cell.TruthTable()
+		m.evalOut[i] = int32(g.Output)
+		for _, w := range g.Inputs {
+			m.evalPins = append(m.evalPins, int32(w))
+		}
+		m.evalStart[i+1] = int32(len(m.evalPins))
+	}
+	m.ffD = make([]int32, len(nl.FFs))
+	m.ffQ = make([]int32, len(nl.FFs))
+	m.ffNext = make([]bool, len(nl.FFs))
+	for i := range nl.FFs {
+		m.ffD[i] = int32(nl.FFs[i].D)
+		m.ffQ[i] = int32(nl.FFs[i].Q)
+	}
+	m.Reset()
+	return m
+}
+
+// Reset loads every flip-flop with its initial value, clears all other
+// wires and rewinds the cycle counter.
+func (m *Machine) Reset() {
+	for i := range m.values {
+		m.values[i] = false
+	}
+	for i := range m.NL.FFs {
+		m.values[m.NL.FFs[i].Q] = m.NL.FFs[i].Init
+	}
+	m.Cycle = 0
+}
+
+// Value returns the current value of a wire.
+func (m *Machine) Value(w netlist.WireID) bool { return m.values[w] }
+
+// SetValue sets a wire value directly. Intended for primary inputs from an
+// Env; setting gate outputs is overwritten by the next evaluation pass.
+func (m *Machine) SetValue(w netlist.WireID, v bool) { m.values[w] = v }
+
+// ReadBus assembles an unsigned value from a bus of wires (LSB first).
+func (m *Machine) ReadBus(bus []netlist.WireID) uint64 {
+	var v uint64
+	for i, w := range bus {
+		if m.values[w] {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// WriteBus drives a bus of primary-input wires with an unsigned value.
+func (m *Machine) WriteBus(bus []netlist.WireID, v uint64) {
+	for i, w := range bus {
+		m.values[w] = v>>i&1 == 1
+	}
+}
+
+// EvalComb evaluates all gates once in topological order, using the
+// flattened evaluation program built at construction time.
+func (m *Machine) EvalComb() {
+	values := m.values
+	pins := m.evalPins
+	for i := range m.evalTT {
+		var in uint32
+		lo, hi := m.evalStart[i], m.evalStart[i+1]
+		for p := int32(0); p < hi-lo; p++ {
+			if values[pins[lo+p]] {
+				in |= 1 << uint(p)
+			}
+		}
+		values[m.evalOut[i]] = m.evalTT[i]>>in&1 == 1
+	}
+}
+
+// Settle runs evaluation, lets the environment set inputs, and evaluates
+// again. After Settle all wires carry their final value for this cycle.
+// The two-pass scheme requires that the wires the Env reads do not depend
+// on primary inputs; the processor netlists in this repository register
+// all memory interface outputs to guarantee that.
+func (m *Machine) Settle(env Env) {
+	m.EvalComb()
+	if env != nil {
+		env.SetInputs(m)
+		m.EvalComb()
+	}
+}
+
+// CommitFFs clocks every flip-flop: Q <- D. Call after Settle.
+func (m *Machine) CommitFFs() {
+	for i, d := range m.ffD {
+		m.ffNext[i] = m.values[d]
+	}
+	for i, q := range m.ffQ {
+		m.values[q] = m.ffNext[i]
+	}
+	m.Cycle++
+}
+
+// Step runs one full clock cycle: settle combinational logic with the
+// environment, then clock the flip-flops.
+func (m *Machine) Step(env Env) {
+	m.Settle(env)
+	m.CommitFFs()
+}
+
+// Run advances the machine n cycles.
+func (m *Machine) Run(n int, env Env) {
+	for i := 0; i < n; i++ {
+		m.Step(env)
+	}
+}
+
+// FlipFF injects an SEU: the stored value of flip-flop ffIndex is inverted.
+// Call before Settle to model an upset that manifests at the beginning of
+// the current cycle.
+func (m *Machine) FlipFF(ffIndex int) {
+	q := m.NL.FFs[ffIndex].Q
+	m.values[q] = !m.values[q]
+}
+
+// FFState snapshots the stored values of all flip-flops.
+func (m *Machine) FFState() []bool {
+	s := make([]bool, len(m.NL.FFs))
+	for i := range m.NL.FFs {
+		s[i] = m.values[m.NL.FFs[i].Q]
+	}
+	return s
+}
+
+// SetFFState restores a snapshot taken with FFState.
+func (m *Machine) SetFFState(s []bool) {
+	if len(s) != len(m.NL.FFs) {
+		panic(fmt.Sprintf("sim: snapshot has %d FFs, netlist %d", len(s), len(m.NL.FFs)))
+	}
+	for i := range m.NL.FFs {
+		m.values[m.NL.FFs[i].Q] = s[i]
+	}
+}
+
+// InputState snapshots the current values of all primary inputs.
+func (m *Machine) InputState() []bool {
+	s := make([]bool, len(m.NL.Inputs))
+	for i, w := range m.NL.Inputs {
+		s[i] = m.values[w]
+	}
+	return s
+}
+
+// SetInputState restores primary-input values captured with InputState.
+func (m *Machine) SetInputState(s []bool) {
+	for i, w := range m.NL.Inputs {
+		m.values[w] = s[i]
+	}
+}
+
+// Values exposes the raw value slice for trace recording. The slice is
+// owned by the machine; do not retain it across Step calls.
+func (m *Machine) Values() []bool { return m.values }
+
+// EvalCombForced evaluates the combinational logic while holding one wire
+// at a fixed value, regardless of its driver — stuck-at fault simulation
+// for a single evaluation (used by fault-collapsing validation).
+func (m *Machine) EvalCombForced(w netlist.WireID, v bool) {
+	m.values[w] = v
+	values := m.values
+	pins := m.evalPins
+	for i := range m.evalTT {
+		if m.evalOut[i] == int32(w) {
+			continue
+		}
+		var in uint32
+		lo, hi := m.evalStart[i], m.evalStart[i+1]
+		for p := int32(0); p < hi-lo; p++ {
+			if values[pins[lo+p]] {
+				in |= 1 << uint(p)
+			}
+		}
+		values[m.evalOut[i]] = m.evalTT[i]>>in&1 == 1
+	}
+}

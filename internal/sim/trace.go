@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Trace is a dense wire-level recording of a simulation: the value of every
+// wire at every recorded cycle, bit-packed. It is the in-memory counterpart
+// of the paper's VCD dump ("we recorded a VCD trace file for each
+// program/processor that describes the values of all wires for every clock
+// cycle"); internal/vcd converts between the two representations.
+type Trace struct {
+	NumWires int
+	words    int
+	data     []uint64
+	cycles   int
+}
+
+// NewTrace creates an empty trace for circuits with numWires wires.
+func NewTrace(numWires int) *Trace {
+	return &Trace{NumWires: numWires, words: (numWires + 63) / 64}
+}
+
+// NumCycles returns the number of recorded cycles.
+func (t *Trace) NumCycles() int { return t.cycles }
+
+// Append records one cycle worth of wire values.
+func (t *Trace) Append(values []bool) {
+	if len(values) != t.NumWires {
+		panic(fmt.Sprintf("trace: got %d values, want %d", len(values), t.NumWires))
+	}
+	base := len(t.data)
+	t.data = append(t.data, make([]uint64, t.words)...)
+	row := t.data[base:]
+	for i, v := range values {
+		if v {
+			row[i/64] |= 1 << (i % 64)
+		}
+	}
+	t.cycles++
+}
+
+// Set overwrites a single bit; used by the VCD reader.
+func (t *Trace) Set(cycle int, w netlist.WireID, v bool) {
+	idx := cycle*t.words + int(w)/64
+	bit := uint64(1) << (int(w) % 64)
+	if v {
+		t.data[idx] |= bit
+	} else {
+		t.data[idx] &^= bit
+	}
+}
+
+// AppendEmpty adds an all-zero cycle (used by the VCD reader).
+func (t *Trace) AppendEmpty() {
+	t.data = append(t.data, make([]uint64, t.words)...)
+	t.cycles++
+}
+
+// Get returns the value of wire w at the given cycle.
+func (t *Trace) Get(cycle int, w netlist.WireID) bool {
+	return t.data[cycle*t.words+int(w)/64]>>(int(w)%64)&1 == 1
+}
+
+// Row returns the packed words of one cycle; the slice aliases the trace
+// storage and must not be modified.
+func (t *Trace) Row(cycle int) []uint64 {
+	return t.data[cycle*t.words : (cycle+1)*t.words]
+}
+
+// RowValues unpacks one cycle into a bool slice.
+func (t *Trace) RowValues(cycle int) []bool {
+	out := make([]bool, t.NumWires)
+	row := t.Row(cycle)
+	for i := range out {
+		out[i] = row[i/64]>>(i%64)&1 == 1
+	}
+	return out
+}
+
+// Record runs the machine for cycles steps, recording the settled wire
+// values of every cycle, and returns the trace. The machine is advanced in
+// place.
+func Record(m *Machine, env Env, cycles int) *Trace {
+	t := NewTrace(m.NL.NumWires())
+	for i := 0; i < cycles; i++ {
+		m.Settle(env)
+		t.Append(m.Values())
+		m.CommitFFs()
+	}
+	return t
+}
+
+// RecordUntil runs until stop returns true or maxCycles is reached.
+func RecordUntil(m *Machine, env Env, maxCycles int, stop func(m *Machine) bool) *Trace {
+	t := NewTrace(m.NL.NumWires())
+	for i := 0; i < maxCycles; i++ {
+		m.Settle(env)
+		t.Append(m.Values())
+		if stop != nil && stop(m) {
+			m.CommitFFs()
+			break
+		}
+		m.CommitFFs()
+	}
+	return t
+}

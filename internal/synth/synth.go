@@ -1,0 +1,417 @@
+// Package synth provides word-level structural synthesis on top of the
+// netlist builder: buses, boolean operators, adders, comparators,
+// multiplexer trees, decoders, registers and register files — everything
+// needed to construct the two processor netlists gate by gate. It plays the
+// role of the RTL-synthesis step (Synopsys Design Compiler in the paper):
+// the output is a flattened netlist of standard cells from internal/cell.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Bus is a multi-bit signal, least-significant bit first.
+type Bus []netlist.WireID
+
+// Ctx wraps a netlist builder with word-level helpers. All methods create
+// gates in the underlying builder.
+type Ctx struct {
+	B *netlist.Builder
+}
+
+// New creates a synthesis context over the given builder.
+func New(b *netlist.Builder) *Ctx { return &Ctx{B: b} }
+
+// Scope returns a context whose builder prefixes names with the given
+// scope.
+func (c *Ctx) Scope(prefix string) *Ctx { return &Ctx{B: c.B.Scope(prefix)} }
+
+// InputBus declares a primary-input bus named name[0..width).
+func (c *Ctx) InputBus(name string, width int) Bus {
+	bus := make(Bus, width)
+	for i := range bus {
+		bus[i] = c.B.Input(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return bus
+}
+
+// OutputBus marks every bit of the bus as a primary output.
+func (c *Ctx) OutputBus(bus Bus) {
+	for _, w := range bus {
+		c.B.MarkOutput(w)
+	}
+}
+
+// ConstBus returns a bus of constant wires encoding value.
+func (c *Ctx) ConstBus(value uint64, width int) Bus {
+	bus := make(Bus, width)
+	for i := range bus {
+		bus[i] = c.B.Const(value>>i&1 == 1)
+	}
+	return bus
+}
+
+// ZeroExtend widens a bus with constant zeros (or truncates).
+func (c *Ctx) ZeroExtend(b Bus, width int) Bus {
+	if len(b) >= width {
+		return b[:width]
+	}
+	out := make(Bus, width)
+	copy(out, b)
+	zero := c.B.Const(false)
+	for i := len(b); i < width; i++ {
+		out[i] = zero
+	}
+	return out
+}
+
+// SignExtend widens a bus replicating its MSB (or truncates).
+func (c *Ctx) SignExtend(b Bus, width int) Bus {
+	if len(b) >= width {
+		return b[:width]
+	}
+	out := make(Bus, width)
+	copy(out, b)
+	msb := b[len(b)-1]
+	for i := len(b); i < width; i++ {
+		out[i] = msb
+	}
+	return out
+}
+
+// Not inverts every bit.
+func (c *Ctx) Not(a Bus) Bus {
+	out := make(Bus, len(a))
+	for i, w := range a {
+		out[i] = c.B.Gate(cell.INV, w)
+	}
+	return out
+}
+
+func (c *Ctx) bitwise(kind cell.Kind, a, b Bus) Bus {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("synth: width mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make(Bus, len(a))
+	for i := range a {
+		out[i] = c.B.Gate(kind, a[i], b[i])
+	}
+	return out
+}
+
+// And, Or, Xor are bitwise operators over equal-width buses.
+func (c *Ctx) And(a, b Bus) Bus { return c.bitwise(cell.AND2, a, b) }
+func (c *Ctx) Or(a, b Bus) Bus  { return c.bitwise(cell.OR2, a, b) }
+func (c *Ctx) Xor(a, b Bus) Bus { return c.bitwise(cell.XOR2, a, b) }
+
+// AndBit masks every bit of a with the single wire s.
+func (c *Ctx) AndBit(a Bus, s netlist.WireID) Bus {
+	out := make(Bus, len(a))
+	for i := range a {
+		out[i] = c.B.Gate(cell.AND2, a[i], s)
+	}
+	return out
+}
+
+// Mux2 selects a (sel=0) or b (sel=1) per bit.
+func (c *Ctx) Mux2(sel netlist.WireID, a, b Bus) Bus {
+	if len(a) != len(b) {
+		panic("synth: mux width mismatch")
+	}
+	out := make(Bus, len(a))
+	for i := range a {
+		out[i] = c.B.Gate(cell.MUX2, a[i], b[i], sel)
+	}
+	return out
+}
+
+// MuxTree selects options[sel] with a balanced MUX2 tree. The number of
+// options must be a power of two... it is padded with the last option
+// otherwise. sel is little-endian.
+func (c *Ctx) MuxTree(sel Bus, options []Bus) Bus {
+	if len(options) == 0 {
+		panic("synth: empty mux tree")
+	}
+	n := 1
+	for n < len(options) {
+		n *= 2
+	}
+	opts := make([]Bus, n)
+	copy(opts, options)
+	for i := len(options); i < n; i++ {
+		opts[i] = options[len(options)-1]
+	}
+	level := 0
+	for len(opts) > 1 {
+		if level >= len(sel) {
+			panic("synth: mux tree select too narrow")
+		}
+		next := make([]Bus, len(opts)/2)
+		for i := range next {
+			next[i] = c.Mux2(sel[level], opts[2*i], opts[2*i+1])
+		}
+		opts = next
+		level++
+	}
+	return opts[0]
+}
+
+// ReduceOr returns the OR of all bits (balanced tree).
+func (c *Ctx) ReduceOr(a Bus) netlist.WireID { return c.reduce(cell.OR2, a) }
+
+// ReduceAnd returns the AND of all bits (balanced tree).
+func (c *Ctx) ReduceAnd(a Bus) netlist.WireID { return c.reduce(cell.AND2, a) }
+
+func (c *Ctx) reduce(kind cell.Kind, a Bus) netlist.WireID {
+	if len(a) == 0 {
+		panic("synth: reduce over empty bus")
+	}
+	work := append(Bus(nil), a...)
+	for len(work) > 1 {
+		var next Bus
+		for i := 0; i+1 < len(work); i += 2 {
+			next = append(next, c.B.Gate(kind, work[i], work[i+1]))
+		}
+		if len(work)%2 == 1 {
+			next = append(next, work[len(work)-1])
+		}
+		work = next
+	}
+	return work[0]
+}
+
+// IsZero returns a wire that is 1 iff the bus is all zeros.
+func (c *Ctx) IsZero(a Bus) netlist.WireID {
+	return c.B.Gate(cell.INV, c.ReduceOr(a))
+}
+
+// Equal returns a wire that is 1 iff a == b.
+func (c *Ctx) Equal(a, b Bus) netlist.WireID {
+	eq := make(Bus, len(a))
+	for i := range a {
+		eq[i] = c.B.Gate(cell.XNOR2, a[i], b[i])
+	}
+	return c.ReduceAnd(eq)
+}
+
+// EqualConst returns a wire that is 1 iff a == value, using INV/AND only.
+func (c *Ctx) EqualConst(a Bus, value uint64) netlist.WireID {
+	terms := make(Bus, len(a))
+	for i := range a {
+		if value>>i&1 == 1 {
+			terms[i] = a[i]
+		} else {
+			terms[i] = c.B.Gate(cell.INV, a[i])
+		}
+	}
+	return c.ReduceAnd(terms)
+}
+
+// AddResult carries the outputs of an adder.
+type AddResult struct {
+	Sum  Bus
+	Cout netlist.WireID
+}
+
+// Adder builds a ripple-carry adder: sum = a + b + cin. Full adders are
+// expanded to XOR2/MAJ3 cells as a technology mapper would.
+func (c *Ctx) Adder(a, b Bus, cin netlist.WireID) AddResult {
+	if len(a) != len(b) {
+		panic("synth: adder width mismatch")
+	}
+	sum := make(Bus, len(a))
+	carry := cin
+	for i := range a {
+		axb := c.B.Gate(cell.XOR2, a[i], b[i])
+		sum[i] = c.B.Gate(cell.XOR2, axb, carry)
+		carry = c.B.Gate(cell.MAJ3, a[i], b[i], carry)
+	}
+	return AddResult{Sum: sum, Cout: carry}
+}
+
+// Sub builds a - b via two's complement (a + ^b + 1). Cout is the NOT-borrow
+// flag (1 when a >= b, unsigned).
+func (c *Ctx) Sub(a, b Bus) AddResult {
+	return c.Adder(a, c.Not(b), c.B.Const(true))
+}
+
+// SubBorrow builds a - b - borrowIn, matching SBC-style instructions:
+// effective carry-in = NOT borrowIn.
+func (c *Ctx) SubBorrow(a, b Bus, borrowIn netlist.WireID) AddResult {
+	return c.Adder(a, c.Not(b), c.B.Gate(cell.INV, borrowIn))
+}
+
+// Inc builds a + 1.
+func (c *Ctx) Inc(a Bus) AddResult {
+	return c.Adder(a, c.ConstBus(0, len(a)), c.B.Const(true))
+}
+
+// ShiftRight1 shifts right by one, inserting `in` at the MSB; it returns
+// the shifted bus and the bit shifted out (old LSB).
+func (c *Ctx) ShiftRight1(a Bus, in netlist.WireID) (Bus, netlist.WireID) {
+	out := make(Bus, len(a))
+	copy(out, a[1:])
+	out[len(a)-1] = in
+	return out, a[0]
+}
+
+// ShiftLeft1 shifts left by one, inserting `in` at the LSB; it returns the
+// shifted bus and the bit shifted out (old MSB).
+func (c *Ctx) ShiftLeft1(a Bus, in netlist.WireID) (Bus, netlist.WireID) {
+	out := make(Bus, len(a))
+	copy(out[1:], a[:len(a)-1])
+	out[0] = in
+	return out, a[len(a)-1]
+}
+
+// Decoder builds a one-hot decoder of the select bus (2^len outputs).
+func (c *Ctx) Decoder(sel Bus) Bus {
+	n := 1 << len(sel)
+	out := make(Bus, n)
+	inv := make(Bus, len(sel))
+	for i, w := range sel {
+		inv[i] = c.B.Gate(cell.INV, w)
+	}
+	for v := 0; v < n; v++ {
+		terms := make(Bus, len(sel))
+		for i := range sel {
+			if v>>i&1 == 1 {
+				terms[i] = sel[i]
+			} else {
+				terms[i] = inv[i]
+			}
+		}
+		out[v] = c.ReduceAnd(terms)
+	}
+	return out
+}
+
+// Register builds a bank of flip-flops with a write-enable: each bit's next
+// state is MUX2(en, Q, d). The Q bus is returned. Name yields per-bit FF
+// names name[i]; group tags the FFs for fault-set selection.
+func (c *Ctx) Register(name string, d Bus, en netlist.WireID, init uint64, group string) Bus {
+	q := make(Bus, len(d))
+	for i := range d {
+		q[i] = c.B.FFPlaceholder(fmt.Sprintf("%s[%d]", name, i), init>>i&1 == 1, group)
+	}
+	for i := range d {
+		next := c.B.Gate(cell.MUX2, q[i], d[i], en)
+		c.B.SetFFD(q[i], next)
+	}
+	return q
+}
+
+// RegisterAlways builds a register that loads every cycle (no enable mux).
+func (c *Ctx) RegisterAlways(name string, d Bus, init uint64, group string) Bus {
+	q := make(Bus, len(d))
+	for i := range d {
+		q[i] = c.B.FF(fmt.Sprintf("%s[%d]", name, i), d[i], init>>i&1 == 1, group)
+	}
+	return q
+}
+
+// RegFile is a synthesized register file with one write port and N read
+// ports built from enable-muxed flip-flops, a write-address decoder and
+// read multiplexer trees — the structure that makes the paper's mov/ld
+// masking example work (a register's hold mux masks Q faults whenever the
+// register is written).
+type RegFile struct {
+	Regs []Bus // Q wires per register
+}
+
+// RegFileConfig parameterises BuildRegFile.
+type RegFileConfig struct {
+	Name  string
+	Num   int // number of registers (power of two for clean decoding)
+	Width int
+	Group string // FF group tag, e.g. "regfile"
+	Inits []uint64
+}
+
+// BuildRegFile creates the storage plus write logic. wEn gates the write,
+// wAddr selects the target register, wData is the value.
+func (c *Ctx) BuildRegFile(cfg RegFileConfig, wEn netlist.WireID, wAddr Bus, wData Bus) *RegFile {
+	dec := c.Decoder(wAddr)
+	rf := &RegFile{}
+	for r := 0; r < cfg.Num; r++ {
+		en := c.B.Gate(cell.AND2, wEn, dec[r])
+		var init uint64
+		if r < len(cfg.Inits) {
+			init = cfg.Inits[r]
+		}
+		q := c.Register(fmt.Sprintf("%s.r%d", cfg.Name, r), wData, en, init, cfg.Group)
+		rf.Regs = append(rf.Regs, q)
+	}
+	return rf
+}
+
+// Read builds a read port: a mux tree over all registers.
+func (rf *RegFile) Read(c *Ctx, addr Bus) Bus {
+	return c.MuxTree(addr, rf.Regs)
+}
+
+// RegisterPlaceholder creates a bank of flip-flops whose D inputs are wired
+// later with ConnectRegister/ConnectRegisterAlways. This enables feedback
+// paths (state machines, register files read by the logic that computes
+// their next value).
+func (c *Ctx) RegisterPlaceholder(name string, width int, init uint64, group string) Bus {
+	q := make(Bus, width)
+	for i := range q {
+		q[i] = c.B.FFPlaceholder(fmt.Sprintf("%s[%d]", name, i), init>>i&1 == 1, group)
+	}
+	return q
+}
+
+// ConnectRegister closes a placeholder register with a write-enable hold
+// mux: D = MUX2(en, Q, d).
+func (c *Ctx) ConnectRegister(q Bus, d Bus, en netlist.WireID) {
+	if len(q) != len(d) {
+		panic("synth: ConnectRegister width mismatch")
+	}
+	for i := range q {
+		c.B.SetFFD(q[i], c.B.Gate(cell.MUX2, q[i], d[i], en))
+	}
+}
+
+// ConnectRegisterAlways closes a placeholder register that loads every
+// cycle: D = d.
+func (c *Ctx) ConnectRegisterAlways(q Bus, d Bus) {
+	if len(q) != len(d) {
+		panic("synth: ConnectRegisterAlways width mismatch")
+	}
+	for i := range q {
+		c.B.SetFFD(q[i], d[i])
+	}
+}
+
+// RegFilePlaceholder creates the register-file storage with unconnected
+// write logic, so read ports can feed the logic that computes the write
+// data. Close it with ConnectWrite.
+func (c *Ctx) RegFilePlaceholder(cfg RegFileConfig) *RegFile {
+	rf := &RegFile{}
+	for r := 0; r < cfg.Num; r++ {
+		var init uint64
+		if r < len(cfg.Inits) {
+			init = cfg.Inits[r]
+		}
+		q := c.RegisterPlaceholder(fmt.Sprintf("%s.r%d", cfg.Name, r), cfg.Width, init, cfg.Group)
+		rf.Regs = append(rf.Regs, q)
+	}
+	return rf
+}
+
+// ConnectWrite closes a placeholder register file: register r loads wData
+// when wEn is high and wAddr decodes to r.
+func (rf *RegFile) ConnectWrite(c *Ctx, wEn netlist.WireID, wAddr Bus, wData Bus) {
+	dec := c.Decoder(wAddr)
+	for r, q := range rf.Regs {
+		if r >= len(dec) {
+			panic("synth: ConnectWrite address too narrow")
+		}
+		en := c.B.Gate(cell.AND2, wEn, dec[r])
+		c.ConnectRegister(q, wData, en)
+	}
+}

@@ -1,0 +1,421 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// evalComb builds a machine, drives the given input buses and settles the
+// combinational logic once (no env, no clock).
+func evalComb(m *sim.Machine, set func(m *sim.Machine)) {
+	set(m)
+	m.EvalComb()
+}
+
+func TestAdderExhaustive(t *testing.T) {
+	b := netlist.NewBuilder("adder")
+	c := New(b)
+	a := c.InputBus("a", 4)
+	bb := c.InputBus("b", 4)
+	cin := c.B.Input("cin")
+	res := c.Adder(a, bb, cin)
+	c.OutputBus(res.Sum)
+	b.MarkOutput(res.Cout)
+	nl := b.MustNetlist()
+	m := sim.New(nl)
+
+	for av := uint64(0); av < 16; av++ {
+		for bv := uint64(0); bv < 16; bv++ {
+			for cv := uint64(0); cv < 2; cv++ {
+				evalComb(m, func(m *sim.Machine) {
+					m.WriteBus(a, av)
+					m.WriteBus(bb, bv)
+					m.SetValue(cin, cv == 1)
+				})
+				want := av + bv + cv
+				got := m.ReadBus(res.Sum)
+				if got != want&0xF {
+					t.Fatalf("%d+%d+%d: sum=%d want %d", av, bv, cv, got, want&0xF)
+				}
+				if m.Value(res.Cout) != (want > 15) {
+					t.Fatalf("%d+%d+%d: cout wrong", av, bv, cv)
+				}
+			}
+		}
+	}
+}
+
+func TestSubQuick(t *testing.T) {
+	b := netlist.NewBuilder("sub")
+	c := New(b)
+	a := c.InputBus("a", 8)
+	bb := c.InputBus("b", 8)
+	res := c.Sub(a, bb)
+	c.OutputBus(res.Sum)
+	b.MarkOutput(res.Cout)
+	nl := b.MustNetlist()
+	m := sim.New(nl)
+
+	f := func(av, bv uint8) bool {
+		evalComb(m, func(m *sim.Machine) {
+			m.WriteBus(a, uint64(av))
+			m.WriteBus(bb, uint64(bv))
+		})
+		diff := uint8(av - bv)
+		if uint8(m.ReadBus(res.Sum)) != diff {
+			return false
+		}
+		// Cout = NOT borrow = 1 iff a >= b
+		return m.Value(res.Cout) == (av >= bv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubBorrowChain(t *testing.T) {
+	// 16-bit subtraction out of two 8-bit SubBorrow stages must match.
+	b := netlist.NewBuilder("sbc")
+	c := New(b)
+	a := c.InputBus("a", 8)
+	bb := c.InputBus("b", 8)
+	bin := c.B.Input("bin")
+	res := c.SubBorrow(a, bb, bin)
+	c.OutputBus(res.Sum)
+	b.MarkOutput(res.Cout)
+	m := sim.New(b.MustNetlist())
+
+	for av := 0; av < 256; av += 17 {
+		for bv := 0; bv < 256; bv += 13 {
+			for borrow := 0; borrow < 2; borrow++ {
+				evalComb(m, func(m *sim.Machine) {
+					m.WriteBus(a, uint64(av))
+					m.WriteBus(bb, uint64(bv))
+					m.SetValue(bin, borrow == 1)
+				})
+				want := uint8(av - bv - borrow)
+				if uint8(m.ReadBus(res.Sum)) != want {
+					t.Fatalf("%d-%d-%d: got %d want %d", av, bv, borrow, m.ReadBus(res.Sum), want)
+				}
+				noBorrowOut := av >= bv+borrow
+				if m.Value(res.Cout) != noBorrowOut {
+					t.Fatalf("%d-%d-%d: cout=%v want %v", av, bv, borrow, m.Value(res.Cout), noBorrowOut)
+				}
+			}
+		}
+	}
+}
+
+func TestBitwiseAndMux(t *testing.T) {
+	b := netlist.NewBuilder("bitwise")
+	c := New(b)
+	a := c.InputBus("a", 8)
+	bb := c.InputBus("b", 8)
+	sel := c.B.Input("sel")
+	and := c.And(a, bb)
+	or := c.Or(a, bb)
+	xor := c.Xor(a, bb)
+	not := c.Not(a)
+	mux := c.Mux2(sel, a, bb)
+	for _, bus := range []Bus{and, or, xor, not, mux} {
+		c.OutputBus(bus)
+	}
+	m := sim.New(b.MustNetlist())
+
+	f := func(av, bv uint8, s bool) bool {
+		evalComb(m, func(m *sim.Machine) {
+			m.WriteBus(a, uint64(av))
+			m.WriteBus(bb, uint64(bv))
+			m.SetValue(sel, s)
+		})
+		ok := uint8(m.ReadBus(and)) == av&bv &&
+			uint8(m.ReadBus(or)) == av|bv &&
+			uint8(m.ReadBus(xor)) == av^bv &&
+			uint8(m.ReadBus(not)) == ^av
+		want := av
+		if s {
+			want = bv
+		}
+		return ok && uint8(m.ReadBus(mux)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMuxTreeAndDecoder(t *testing.T) {
+	b := netlist.NewBuilder("muxtree")
+	c := New(b)
+	sel := c.InputBus("sel", 3)
+	var opts []Bus
+	for i := 0; i < 8; i++ {
+		opts = append(opts, c.ConstBus(uint64(i*3+1), 8))
+	}
+	out := c.MuxTree(sel, opts)
+	dec := c.Decoder(sel)
+	c.OutputBus(out)
+	c.OutputBus(dec)
+	m := sim.New(b.MustNetlist())
+
+	for s := uint64(0); s < 8; s++ {
+		evalComb(m, func(m *sim.Machine) { m.WriteBus(sel, s) })
+		if got := m.ReadBus(out); got != s*3+1 {
+			t.Errorf("muxtree sel=%d: got %d want %d", s, got, s*3+1)
+		}
+		if got := m.ReadBus(dec); got != 1<<s {
+			t.Errorf("decoder sel=%d: got %b", s, got)
+		}
+	}
+}
+
+func TestMuxTreeNonPowerOfTwo(t *testing.T) {
+	b := netlist.NewBuilder("muxtree5")
+	c := New(b)
+	sel := c.InputBus("sel", 3)
+	var opts []Bus
+	for i := 0; i < 5; i++ {
+		opts = append(opts, c.ConstBus(uint64(10+i), 8))
+	}
+	out := c.MuxTree(sel, opts)
+	c.OutputBus(out)
+	m := sim.New(b.MustNetlist())
+	for s := uint64(0); s < 5; s++ {
+		evalComb(m, func(m *sim.Machine) { m.WriteBus(sel, s) })
+		if got := m.ReadBus(out); got != 10+s {
+			t.Errorf("sel=%d: got %d", s, got)
+		}
+	}
+}
+
+func TestComparatorsAndReductions(t *testing.T) {
+	b := netlist.NewBuilder("cmp")
+	c := New(b)
+	a := c.InputBus("a", 8)
+	bb := c.InputBus("b", 8)
+	eq := c.Equal(a, bb)
+	eqc := c.EqualConst(a, 0x5A)
+	isz := c.IsZero(a)
+	rAnd := c.ReduceAnd(a)
+	rOr := c.ReduceOr(a)
+	for _, w := range []netlist.WireID{eq, eqc, isz, rAnd, rOr} {
+		b.MarkOutput(w)
+	}
+	m := sim.New(b.MustNetlist())
+
+	f := func(av, bv uint8) bool {
+		evalComb(m, func(m *sim.Machine) {
+			m.WriteBus(a, uint64(av))
+			m.WriteBus(bb, uint64(bv))
+		})
+		return m.Value(eq) == (av == bv) &&
+			m.Value(eqc) == (av == 0x5A) &&
+			m.Value(isz) == (av == 0) &&
+			m.Value(rAnd) == (av == 0xFF) &&
+			m.Value(rOr) == (av != 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	b := netlist.NewBuilder("shift")
+	c := New(b)
+	a := c.InputBus("a", 8)
+	in := c.B.Input("in")
+	sr, srOut := c.ShiftRight1(a, in)
+	sl, slOut := c.ShiftLeft1(a, in)
+	c.OutputBus(sr)
+	c.OutputBus(sl)
+	b.MarkOutput(srOut)
+	b.MarkOutput(slOut)
+	m := sim.New(b.MustNetlist())
+
+	f := func(av uint8, iv bool) bool {
+		evalComb(m, func(m *sim.Machine) {
+			m.WriteBus(a, uint64(av))
+			m.SetValue(in, iv)
+		})
+		wantSR := av >> 1
+		if iv {
+			wantSR |= 0x80
+		}
+		wantSL := av << 1
+		if iv {
+			wantSL |= 1
+		}
+		return uint8(m.ReadBus(sr)) == wantSR && m.Value(srOut) == (av&1 == 1) &&
+			uint8(m.ReadBus(sl)) == wantSL && m.Value(slOut) == (av&0x80 != 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtends(t *testing.T) {
+	b := netlist.NewBuilder("ext")
+	c := New(b)
+	a := c.InputBus("a", 4)
+	ze := c.ZeroExtend(a, 8)
+	se := c.SignExtend(a, 8)
+	tr := c.ZeroExtend(a, 2)
+	c.OutputBus(ze)
+	c.OutputBus(se)
+	c.OutputBus(tr)
+	m := sim.New(b.MustNetlist())
+	for av := uint64(0); av < 16; av++ {
+		evalComb(m, func(m *sim.Machine) { m.WriteBus(a, av) })
+		if got := m.ReadBus(ze); got != av {
+			t.Errorf("zext(%d) = %d", av, got)
+		}
+		want := av
+		if av&8 != 0 {
+			want |= 0xF0
+		}
+		if got := m.ReadBus(se); got != want {
+			t.Errorf("sext(%d) = %d want %d", av, m.ReadBus(se), want)
+		}
+		if got := m.ReadBus(tr); got != av&3 {
+			t.Errorf("trunc(%d) = %d", av, got)
+		}
+	}
+}
+
+func TestRegisterWithEnable(t *testing.T) {
+	b := netlist.NewBuilder("reg")
+	c := New(b)
+	d := c.InputBus("d", 8)
+	en := c.B.Input("en")
+	q := c.Register("r", d, en, 0xA5, "state")
+	c.OutputBus(q)
+	m := sim.New(b.MustNetlist())
+
+	if got := m.ReadBus(q); got != 0xA5 {
+		t.Fatalf("init = %#x", got)
+	}
+	// en=0 holds
+	m.WriteBus(d, 0x3C)
+	m.SetValue(en, false)
+	m.Step(sim.NopEnv)
+	if got := m.ReadBus(q); got != 0xA5 {
+		t.Fatalf("hold failed: %#x", got)
+	}
+	// en=1 loads
+	m.SetValue(en, true)
+	m.Step(sim.NopEnv)
+	if got := m.ReadBus(q); got != 0x3C {
+		t.Fatalf("load failed: %#x", got)
+	}
+}
+
+func TestRegFile(t *testing.T) {
+	b := netlist.NewBuilder("rf")
+	c := New(b)
+	wEn := c.B.Input("we")
+	wAddr := c.InputBus("waddr", 3)
+	wData := c.InputBus("wdata", 8)
+	rAddr1 := c.InputBus("raddr1", 3)
+	rAddr2 := c.InputBus("raddr2", 3)
+	rf := c.BuildRegFile(RegFileConfig{Name: "rf", Num: 8, Width: 8, Group: "regfile"}, wEn, wAddr, wData)
+	r1 := rf.Read(c, rAddr1)
+	r2 := rf.Read(c, rAddr2)
+	c.OutputBus(r1)
+	c.OutputBus(r2)
+	nl := b.MustNetlist()
+	m := sim.New(nl)
+
+	// All regfile FFs must be tagged.
+	n := 0
+	for _, ff := range nl.FFs {
+		if ff.Group == "regfile" {
+			n++
+		}
+	}
+	if n != 64 {
+		t.Fatalf("regfile FF count = %d, want 64", n)
+	}
+
+	write := func(addr, val uint64) {
+		m.SetValue(wEn, true)
+		m.WriteBus(wAddr, addr)
+		m.WriteBus(wData, val)
+		m.Step(sim.NopEnv)
+		m.SetValue(wEn, false)
+	}
+	read := func(port Bus, addrBus Bus, addr uint64) uint64 {
+		m.WriteBus(addrBus, addr)
+		m.EvalComb()
+		return m.ReadBus(port)
+	}
+	for r := uint64(0); r < 8; r++ {
+		write(r, r*7+1)
+	}
+	for r := uint64(0); r < 8; r++ {
+		if got := read(r1, rAddr1, r); got != r*7+1 {
+			t.Errorf("rf[%d] port1 = %d want %d", r, got, r*7+1)
+		}
+		if got := read(r2, rAddr2, r); got != r*7+1 {
+			t.Errorf("rf[%d] port2 = %d", r, got)
+		}
+	}
+	// Writing with we=0 must not change anything.
+	m.WriteBus(wAddr, 3)
+	m.WriteBus(wData, 0xFF)
+	m.SetValue(wEn, false)
+	m.Step(sim.NopEnv)
+	if got := read(r1, rAddr1, 3); got != 3*7+1 {
+		t.Errorf("write with we=0 changed rf[3] to %d", got)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	b := netlist.NewBuilder("panic")
+	c := New(b)
+	a := c.InputBus("a", 4)
+	bb := c.InputBus("b", 5)
+	for name, fn := range map[string]func(){
+		"and":   func() { c.And(a, bb) },
+		"adder": func() { c.Adder(a, bb, c.B.Const(false)) },
+		"mux":   func() { c.Mux2(c.B.Const(false), a, bb) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConstBus(t *testing.T) {
+	b := netlist.NewBuilder("const")
+	c := New(b)
+	k := c.ConstBus(0xC3, 8)
+	c.OutputBus(k)
+	m := sim.New(b.MustNetlist())
+	m.EvalComb()
+	if got := m.ReadBus(k); got != 0xC3 {
+		t.Errorf("const bus = %#x", got)
+	}
+}
+
+func ExampleCtx_Adder() {
+	b := netlist.NewBuilder("example")
+	c := New(b)
+	a := c.InputBus("a", 8)
+	bb := c.InputBus("b", 8)
+	res := c.Adder(a, bb, c.B.Const(false))
+	c.OutputBus(res.Sum)
+	m := sim.New(b.MustNetlist())
+	m.WriteBus(a, 100)
+	m.WriteBus(bb, 23)
+	m.EvalComb()
+	fmt.Println(m.ReadBus(res.Sum))
+	// Output: 123
+}

@@ -1,0 +1,169 @@
+// Package vcd implements a writer and parser for IEEE 1364 value change
+// dump (VCD) files, the trace format the paper records from its netlist
+// simulations ("we recorded a VCD trace file for each program/processor
+// that describes the values of all wires for every clock cycle"). Traces
+// round-trip between sim.Trace and VCD text.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// timescalePerCycle is the VCD time step between clock cycles.
+const timescalePerCycle = 10
+
+// idCode converts a wire index into a short printable VCD identifier code
+// (base-94 over ASCII 33..126).
+func idCode(i int) string {
+	var b []byte
+	for {
+		b = append(b, byte(33+i%94))
+		i /= 94
+		if i == 0 {
+			break
+		}
+	}
+	return string(b)
+}
+
+// Write dumps a trace of the given netlist as VCD text. Every wire becomes
+// a 1-bit variable named after its netlist name.
+func Write(w io.Writer, nl *netlist.Netlist, tr *sim.Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$date\n  repro\n$end\n$version\n  repro vcd writer\n$end\n$timescale\n  1ns\n$end\n")
+	fmt.Fprintf(bw, "$scope module %s $end\n", sanitizeToken(nl.Name))
+	for i := range nl.Wires {
+		fmt.Fprintf(bw, "$var wire 1 %s %s $end\n", idCode(i), sanitizeToken(nl.Wires[i].Name))
+	}
+	fmt.Fprintf(bw, "$upscope $end\n$enddefinitions $end\n")
+
+	prev := make([]bool, nl.NumWires())
+	for cyc := 0; cyc < tr.NumCycles(); cyc++ {
+		fmt.Fprintf(bw, "#%d\n", cyc*timescalePerCycle)
+		if cyc == 0 {
+			fmt.Fprintf(bw, "$dumpvars\n")
+		}
+		for i := 0; i < nl.NumWires(); i++ {
+			v := tr.Get(cyc, netlist.WireID(i))
+			if cyc == 0 || v != prev[i] {
+				c := byte('0')
+				if v {
+					c = '1'
+				}
+				fmt.Fprintf(bw, "%c%s\n", c, idCode(i))
+			}
+			prev[i] = v
+		}
+		if cyc == 0 {
+			fmt.Fprintf(bw, "$end\n")
+		}
+	}
+	fmt.Fprintf(bw, "#%d\n", tr.NumCycles()*timescalePerCycle)
+	return bw.Flush()
+}
+
+// sanitizeToken replaces whitespace so names stay single VCD tokens.
+func sanitizeToken(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// Read parses a VCD stream previously produced by Write (or by any tool
+// using 1-bit variables and one timestamp per clock edge) into a sim.Trace
+// aligned with the given netlist: variables are matched to wires by name;
+// unknown variables are ignored, and wires without a matching variable stay
+// at 0.
+func Read(r io.Reader, nl *netlist.Netlist) (*sim.Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Split(bufio.ScanWords)
+
+	codeToWire := map[string]netlist.WireID{}
+	tr := sim.NewTrace(nl.NumWires())
+	cur := make([]bool, nl.NumWires())
+	inDefs := true
+	haveCycle := false
+
+	flush := func() {
+		tr.AppendEmpty()
+		cyc := tr.NumCycles() - 1
+		for w, v := range cur {
+			if v {
+				tr.Set(cyc, netlist.WireID(w), true)
+			}
+		}
+	}
+
+	for sc.Scan() {
+		tok := sc.Text()
+		switch {
+		case inDefs && tok == "$var":
+			// $var <type> <size> <code> <name...> $end
+			var fields []string
+			for sc.Scan() {
+				t := sc.Text()
+				if t == "$end" {
+					break
+				}
+				fields = append(fields, t)
+			}
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("vcd: malformed $var with %d fields", len(fields))
+			}
+			size, err := strconv.Atoi(fields[1])
+			if err != nil || size != 1 {
+				return nil, fmt.Errorf("vcd: only 1-bit variables supported, got %q", fields[1])
+			}
+			code := fields[2]
+			name := strings.Join(fields[3:], " ")
+			if w, ok := nl.WireByName(name); ok {
+				codeToWire[code] = w
+			}
+		case inDefs && tok == "$enddefinitions":
+			inDefs = false
+		case strings.HasPrefix(tok, "$"):
+			// skip other directives up to $end (except bare $end markers)
+			if tok == "$end" || tok == "$dumpvars" {
+				continue
+			}
+			for sc.Scan() && sc.Text() != "$end" {
+			}
+		case strings.HasPrefix(tok, "#"):
+			if haveCycle {
+				flush()
+			}
+			haveCycle = true
+		case len(tok) >= 2 && (tok[0] == '0' || tok[0] == '1' || tok[0] == 'x' || tok[0] == 'z' ||
+			tok[0] == 'X' || tok[0] == 'Z'):
+			if !haveCycle {
+				return nil, fmt.Errorf("vcd: value change %q before first timestamp", tok)
+			}
+			if w, ok := codeToWire[tok[1:]]; ok {
+				cur[w] = tok[0] == '1'
+			}
+		case strings.HasPrefix(tok, "b") || strings.HasPrefix(tok, "B"):
+			// vector change: consume the code token too, then ignore
+			sc.Scan()
+		default:
+			// stray token inside definitions (e.g. header text) — ignore
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Writer emits a trailing timestamp after the last cycle, so the final
+	// pending cycle was flushed by it; but tolerate missing trailing stamp.
+	_ = haveCycle
+	return tr, nil
+}

@@ -1,0 +1,585 @@
+// Package verilog writes and reads gate-level netlists as structural
+// Verilog restricted to the project's standard-cell library. This is the
+// interchange point with real synthesis flows: the paper's tool consumes
+// netlists produced by Synopsys Design Compiler, and this package lets the
+// MATE search do the same — export our generated cores for inspection in
+// standard EDA tooling, or import an externally synthesized netlist
+// (mapped to the library of internal/cell) and run the whole pruning flow
+// on it.
+//
+// The supported subset is exactly what the writer emits:
+//
+//	module <name> (port, ...);
+//	  input  \a ;  output \k ;  wire \n1 ;
+//	  AND2 g0 (.A(\a ), .B(\n1 ), .Y(\k ));
+//	  (* init = 1, group = "regfile" *)
+//	  DFF ff0 (.D(\n1 ), .Q(\q ));
+//	endmodule
+//
+// Identifiers are always written in escaped form (backslash ... space), so
+// the hierarchical names of internal/netlist ("rf.r3[2]") round-trip
+// unchanged. Constant connections may be written as 1'b0 / 1'b1 and are
+// mapped to TIE cells on import.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// dffName is the sequential cell name used in the Verilog view.
+const dffName = "DFF"
+
+// Write emits the netlist as structural Verilog.
+func Write(w io.Writer, nl *netlist.Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "// structural netlist %q: %d cells, %d flip-flops\n", nl.Name, len(nl.Gates), len(nl.FFs))
+	fmt.Fprintf(bw, "module %s (", escapeModule(nl.Name))
+	first := true
+	port := func(wid netlist.WireID) {
+		if !first {
+			bw.WriteString(", ")
+		}
+		first = false
+		bw.WriteString(escape(nl.WireName(wid)))
+	}
+	for _, in := range nl.Inputs {
+		port(in)
+	}
+	for _, out := range nl.Outputs {
+		port(out)
+	}
+	bw.WriteString(");\n")
+
+	for _, in := range nl.Inputs {
+		fmt.Fprintf(bw, "  input %s;\n", escape(nl.WireName(in)))
+	}
+	outSet := map[netlist.WireID]bool{}
+	for _, out := range nl.Outputs {
+		if !outSet[out] {
+			fmt.Fprintf(bw, "  output %s;\n", escape(nl.WireName(out)))
+		}
+		outSet[out] = true
+	}
+	inSet := map[netlist.WireID]bool{}
+	for _, in := range nl.Inputs {
+		inSet[in] = true
+	}
+	for id := netlist.WireID(0); int(id) < nl.NumWires(); id++ {
+		if !inSet[id] && !outSet[id] {
+			fmt.Fprintf(bw, "  wire %s;\n", escape(nl.WireName(id)))
+		}
+	}
+
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		fmt.Fprintf(bw, "  %s %s (", g.Cell.Name, escape(instName(g.Name, gi)))
+		for p, in := range g.Inputs {
+			fmt.Fprintf(bw, ".%s(%s), ", g.Cell.Pins[p], escape(nl.WireName(in)))
+		}
+		fmt.Fprintf(bw, ".Y(%s));\n", escape(nl.WireName(g.Output)))
+	}
+	for fi := range nl.FFs {
+		ff := &nl.FFs[fi]
+		init := 0
+		if ff.Init {
+			init = 1
+		}
+		fmt.Fprintf(bw, "  (* init = %d, group = %q *)\n", init, ff.Group)
+		fmt.Fprintf(bw, "  %s %s (.D(%s), .Q(%s));\n",
+			dffName, escape(fmt.Sprintf("ff%d_%s", fi, ff.Name)),
+			escape(nl.WireName(ff.D)), escape(nl.WireName(ff.Q)))
+	}
+	bw.WriteString("endmodule\n")
+	return bw.Flush()
+}
+
+func instName(name string, gi int) string {
+	if name == "" {
+		return fmt.Sprintf("g%d", gi)
+	}
+	return name
+}
+
+// escape renders an identifier as a Verilog escaped identifier (always —
+// simpler and lossless for hierarchical names).
+func escape(s string) string { return "\\" + s + " " }
+
+// escapeModule keeps plain module names readable when they are simple.
+func escapeModule(s string) string {
+	for _, r := range s {
+		if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+			return escape(s)
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+// Read parses the structural-Verilog subset documented on the package and
+// builds a netlist. Cell types must exist in internal/cell (plus DFF);
+// pins may be connected by name in any order.
+func Read(r io.Reader) (*netlist.Netlist, error) {
+	toks, err := tokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseModule()
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type tokenKind uint8
+
+const (
+	tokID tokenKind = iota
+	tokSym
+	tokConst0
+	tokConst1
+	tokAttr
+)
+
+func tokenize(r io.Reader) ([]token, error) {
+	br := bufio.NewReader(r)
+	var toks []token
+	line := 1
+	read := func() (byte, bool) {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, false
+		}
+		if b == '\n' {
+			line++
+		}
+		return b, true
+	}
+	unread := func() { _ = br.UnreadByte() }
+
+	for {
+		b, ok := read()
+		if !ok {
+			break
+		}
+		switch {
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			continue
+		case b == '/':
+			nb, ok2 := read()
+			if ok2 && nb == '/' {
+				for {
+					c, ok3 := read()
+					if !ok3 || c == '\n' {
+						break
+					}
+				}
+				continue
+			}
+			return nil, fmt.Errorf("verilog line %d: unexpected '/'", line)
+		case b == '(':
+			// attribute (* ... *) or plain paren
+			nb, ok2 := read()
+			if ok2 && nb == '*' {
+				// capture attribute text up to *)
+				var sb strings.Builder
+				prev := byte(0)
+				for {
+					c, ok3 := read()
+					if !ok3 {
+						return nil, fmt.Errorf("verilog: unterminated attribute")
+					}
+					if prev == '*' && c == ')' {
+						break
+					}
+					if prev != 0 {
+						sb.WriteByte(prev)
+					}
+					prev = c
+				}
+				toks = append(toks, token{tokAttr, sb.String(), line})
+				continue
+			}
+			if ok2 {
+				unread()
+			}
+			toks = append(toks, token{tokSym, "(", line})
+		case strings.IndexByte("();,.", b) >= 0:
+			toks = append(toks, token{tokSym, string(b), line})
+		case b == '\\':
+			// escaped identifier: up to whitespace
+			var sb strings.Builder
+			for {
+				c, ok3 := read()
+				if !ok3 || c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+					break
+				}
+				sb.WriteByte(c)
+			}
+			toks = append(toks, token{tokID, sb.String(), line})
+		case b == '1':
+			// possibly 1'b0 / 1'b1
+			rest := make([]byte, 0, 3)
+			for len(rest) < 3 {
+				c, ok3 := read()
+				if !ok3 {
+					break
+				}
+				rest = append(rest, c)
+			}
+			if len(rest) == 3 && rest[0] == '\'' && rest[1] == 'b' {
+				switch rest[2] {
+				case '0':
+					toks = append(toks, token{tokConst0, "1'b0", line})
+					continue
+				case '1':
+					toks = append(toks, token{tokConst1, "1'b1", line})
+					continue
+				}
+			}
+			return nil, fmt.Errorf("verilog line %d: bad constant near '1%s'", line, rest)
+		default:
+			if !isIdentByte(b) {
+				return nil, fmt.Errorf("verilog line %d: unexpected byte %q", line, b)
+			}
+			var sb strings.Builder
+			sb.WriteByte(b)
+			for {
+				c, ok3 := read()
+				if !ok3 {
+					break
+				}
+				if !isIdentByte(c) {
+					unread()
+					break
+				}
+				sb.WriteByte(c)
+			}
+			toks = append(toks, token{tokID, sb.String(), line})
+		}
+	}
+	return toks, nil
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b == '$' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+
+	b     *netlist.Builder
+	wires map[string]netlist.WireID
+	// pending attribute values for the next DFF
+	nextInit  bool
+	nextGroup string
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, error) {
+	t, ok := p.peek()
+	if !ok {
+		return token{}, fmt.Errorf("verilog: unexpected end of input")
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expectSym(s string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != tokSym || t.text != s {
+		return fmt.Errorf("verilog line %d: expected %q, got %q", t.line, s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectID() (string, error) {
+	t, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	if t.kind != tokID {
+		return "", fmt.Errorf("verilog line %d: expected identifier, got %q", t.line, t.text)
+	}
+	return t.text, nil
+}
+
+// wire returns (creating on demand) the wire for a name.
+func (p *parser) wire(name string) netlist.WireID {
+	if id, ok := p.wires[name]; ok {
+		return id
+	}
+	id := p.b.Wire(name)
+	p.wires[name] = id
+	return id
+}
+
+func (p *parser) parseModule() (*netlist.Netlist, error) {
+	kw, err := p.expectID()
+	if err != nil {
+		return nil, err
+	}
+	if kw != "module" {
+		return nil, fmt.Errorf("verilog: expected 'module', got %q", kw)
+	}
+	name, err := p.expectID()
+	if err != nil {
+		return nil, err
+	}
+	p.b = netlist.NewBuilder(name)
+	p.wires = map[string]netlist.WireID{}
+
+	// skip the port list
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	depth := 1
+	for depth > 0 {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokSym && t.text == "(" {
+			depth++
+		}
+		if t.kind == tokSym && t.text == ")" {
+			depth--
+		}
+	}
+	if err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+
+	var inputs, outputs []string
+	cellByName := map[string]*cell.Cell{}
+	for _, c := range cell.All() {
+		cellByName[c.Name] = c
+	}
+
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokAttr {
+			p.applyAttr(t.text)
+			continue
+		}
+		if t.kind != tokID {
+			return nil, fmt.Errorf("verilog line %d: expected statement, got %q", t.line, t.text)
+		}
+		switch t.text {
+		case "endmodule":
+			return p.finish(inputs, outputs)
+		case "input", "output", "wire":
+			names, err := p.parseNameList()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				p.wire(n)
+			}
+			if t.text == "input" {
+				inputs = append(inputs, names...)
+			}
+			if t.text == "output" {
+				outputs = append(outputs, names...)
+			}
+		default:
+			if t.text == dffName {
+				if err := p.parseDFF(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			c, ok := cellByName[t.text]
+			if !ok {
+				return nil, fmt.Errorf("verilog line %d: unknown cell type %q", t.line, t.text)
+			}
+			if err := p.parseInstance(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (p *parser) parseNameList() ([]string, error) {
+	var names []string
+	for {
+		n, err := p.expectID()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokSym && t.text == ";" {
+			return names, nil
+		}
+		if !(t.kind == tokSym && t.text == ",") {
+			return nil, fmt.Errorf("verilog line %d: expected ',' or ';'", t.line)
+		}
+	}
+}
+
+// parseConn parses ".PIN(net)" and returns pin name and net wire.
+func (p *parser) parseConn() (string, netlist.WireID, error) {
+	if err := p.expectSym("."); err != nil {
+		return "", 0, err
+	}
+	pin, err := p.expectID()
+	if err != nil {
+		return "", 0, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return "", 0, err
+	}
+	t, err := p.next()
+	if err != nil {
+		return "", 0, err
+	}
+	var wid netlist.WireID
+	switch t.kind {
+	case tokID:
+		wid = p.wire(t.text)
+	case tokConst0:
+		wid = p.b.Const(false)
+	case tokConst1:
+		wid = p.b.Const(true)
+	default:
+		return "", 0, fmt.Errorf("verilog line %d: expected net, got %q", t.line, t.text)
+	}
+	if err := p.expectSym(")"); err != nil {
+		return "", 0, err
+	}
+	return pin, wid, nil
+}
+
+func (p *parser) parseConnList() (map[string]netlist.WireID, error) {
+	conns := map[string]netlist.WireID{}
+	if _, err := p.expectID(); err != nil { // instance name
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	for {
+		pin, wid, err := p.parseConn()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := conns[pin]; dup {
+			return nil, fmt.Errorf("verilog: duplicate pin %q", pin)
+		}
+		conns[pin] = wid
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokSym && t.text == ")" {
+			break
+		}
+		if !(t.kind == tokSym && t.text == ",") {
+			return nil, fmt.Errorf("verilog line %d: expected ',' or ')'", t.line)
+		}
+	}
+	return conns, p.expectSym(";")
+}
+
+func (p *parser) parseInstance(c *cell.Cell) error {
+	conns, err := p.parseConnList()
+	if err != nil {
+		return err
+	}
+	out, ok := conns["Y"]
+	if !ok {
+		return fmt.Errorf("verilog: %s instance missing .Y output", c.Name)
+	}
+	inputs := make([]netlist.WireID, c.NumInputs())
+	for pi, pin := range c.Pins {
+		wid, ok := conns[pin]
+		if !ok {
+			return fmt.Errorf("verilog: %s instance missing pin .%s", c.Name, pin)
+		}
+		inputs[pi] = wid
+	}
+	if len(conns) != c.NumInputs()+1 {
+		var extra []string
+		for pin := range conns {
+			extra = append(extra, pin)
+		}
+		sort.Strings(extra)
+		return fmt.Errorf("verilog: %s instance has unexpected pins %v", c.Name, extra)
+	}
+	p.b.AddGateWithOutput(c.Kind, inputs, out)
+	return nil
+}
+
+func (p *parser) parseDFF() error {
+	conns, err := p.parseConnList()
+	if err != nil {
+		return err
+	}
+	d, okD := conns["D"]
+	q, okQ := conns["Q"]
+	if !okD || !okQ || len(conns) != 2 {
+		return fmt.Errorf("verilog: DFF must have exactly .D and .Q")
+	}
+	p.b.AddFFWithQ(d, q, p.nextInit, p.nextGroup)
+	p.nextInit, p.nextGroup = false, ""
+	return nil
+}
+
+// applyAttr extracts init/group from an attribute string like
+// `init = 1, group = "regfile"`.
+func (p *parser) applyAttr(text string) {
+	for _, part := range strings.Split(text, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			continue
+		}
+		key := strings.TrimSpace(kv[0])
+		val := strings.TrimSpace(kv[1])
+		switch key {
+		case "init":
+			p.nextInit = val == "1"
+		case "group":
+			p.nextGroup = strings.Trim(val, "\"")
+		}
+	}
+}
+
+// finish marks the ports and validates the netlist.
+func (p *parser) finish(inputs, outputs []string) (*netlist.Netlist, error) {
+	for _, n := range inputs {
+		p.b.MarkInput(p.wires[n])
+	}
+	for _, n := range outputs {
+		p.b.MarkOutput(p.wires[n])
+	}
+	return p.b.Netlist()
+}

@@ -1,0 +1,245 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/cpu/avr"
+	"repro/internal/cpu/msp430"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func buildSmall(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("small")
+	a := b.Input("a")
+	c := b.Input("c[0]") // bracketed names must round-trip
+	q := b.FFPlaceholder("state.q", true, "regfile")
+	n := b.Gate(cell.NAND2, a, q)
+	m := b.Gate(cell.MUX2, n, c, b.Const(true))
+	b.SetFFD(q, m)
+	b.MarkOutput(n)
+	return b.MustNetlist()
+}
+
+func TestWriteContainsStructure(t *testing.T) {
+	nl := buildSmall(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"module small (", "input \\a ", "NAND2", "MUX2",
+		`(* init = 1, group = "regfile" *)`, "DFF", "endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+// equalNetlists compares two netlists structurally by wire name.
+func equalNetlists(t *testing.T, a, b *netlist.Netlist) {
+	t.Helper()
+	if len(a.Gates) != len(b.Gates) || len(a.FFs) != len(b.FFs) ||
+		len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		t.Fatalf("shape differs: %s vs %s", a.Stats(), b.Stats())
+	}
+	nameOf := func(nl *netlist.Netlist, w netlist.WireID) string { return nl.WireName(w) }
+	// index gates of b by output name
+	bGates := map[string]*netlist.Gate{}
+	for i := range b.Gates {
+		bGates[nameOf(b, b.Gates[i].Output)] = &b.Gates[i]
+	}
+	for i := range a.Gates {
+		g := &a.Gates[i]
+		h, ok := bGates[nameOf(a, g.Output)]
+		if !ok {
+			t.Fatalf("gate output %q missing", nameOf(a, g.Output))
+		}
+		if h.Cell.Kind != g.Cell.Kind {
+			t.Fatalf("gate %q kind differs", nameOf(a, g.Output))
+		}
+		for p := range g.Inputs {
+			if nameOf(a, g.Inputs[p]) != nameOf(b, h.Inputs[p]) {
+				t.Fatalf("gate %q pin %d differs: %q vs %q", nameOf(a, g.Output), p,
+					nameOf(a, g.Inputs[p]), nameOf(b, h.Inputs[p]))
+			}
+		}
+	}
+	bFFs := map[string]*netlist.FF{}
+	for i := range b.FFs {
+		bFFs[nameOf(b, b.FFs[i].Q)] = &b.FFs[i]
+	}
+	for i := range a.FFs {
+		ff := &a.FFs[i]
+		g, ok := bFFs[nameOf(a, ff.Q)]
+		if !ok {
+			t.Fatalf("FF %q missing", ff.Name)
+		}
+		if nameOf(a, ff.D) != nameOf(b, g.D) || ff.Init != g.Init || ff.Group != g.Group {
+			t.Fatalf("FF %q differs", ff.Name)
+		}
+	}
+}
+
+func TestRoundTripSmall(t *testing.T) {
+	nl := buildSmall(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalNetlists(t, nl, parsed)
+}
+
+// TestRoundTripCores: both processor netlists survive the Verilog round
+// trip structurally AND behaviourally (the parsed netlist simulates the
+// fib workload to the same result).
+func TestRoundTripCores(t *testing.T) {
+	avrCore := avr.NewCore()
+	var buf bytes.Buffer
+	if err := Write(&buf, avrCore.NL); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalNetlists(t, avrCore.NL, parsed)
+
+	mspCore := msp430.NewCore()
+	buf.Reset()
+	if err := Write(&buf, mspCore.NL); err != nil {
+		t.Fatal(err)
+	}
+	parsed2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalNetlists(t, mspCore.NL, parsed2)
+
+	// Behavioural check: drive both the original and the parsed AVR
+	// netlist with the same stimulus and compare every wire by name.
+	orig := sim.New(avrCore.NL)
+	re := sim.New(parsed)
+	for cyc := 0; cyc < 50; cyc++ {
+		for i, w := range avrCore.NL.Inputs {
+			v := (cyc+i)%3 == 0
+			orig.SetValue(w, v)
+			re.SetValue(parsed.Inputs[i], v)
+		}
+		orig.EvalComb()
+		re.EvalComb()
+		for id := 0; id < avrCore.NL.NumWires(); id++ {
+			name := avrCore.NL.WireName(netlist.WireID(id))
+			pid, ok := parsed.WireByName(name)
+			if !ok {
+				t.Fatalf("wire %q lost in round trip", name)
+			}
+			if orig.Value(netlist.WireID(id)) != re.Value(pid) {
+				t.Fatalf("cycle %d: wire %q differs", cyc, name)
+			}
+		}
+		orig.CommitFFs()
+		re.CommitFFs()
+	}
+}
+
+func TestReadConstants(t *testing.T) {
+	src := `
+module consts (\a , \y );
+  input \a ;
+  output \y ;
+  wire \n1 ;
+  AND2 g0 (.A(\a ), .B(1'b1), .Y(\n1 ));
+  OR2 g1 (.A(\n1 ), .B(1'b0), .Y(\y ));
+endmodule
+`
+	nl, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(nl)
+	a, _ := nl.WireByName("a")
+	y, _ := nl.WireByName("y")
+	for _, v := range []bool{false, true} {
+		m.SetValue(a, v)
+		m.EvalComb()
+		if m.Value(y) != v {
+			t.Fatalf("const wiring wrong for a=%v", v)
+		}
+	}
+}
+
+func TestReadPlainIdentifiers(t *testing.T) {
+	src := `
+// comment line
+module plain (a, y);
+  input a;
+  output y;
+  INV g0 (.A(a), .Y(y));
+endmodule
+`
+	nl, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Name != "plain" || len(nl.Gates) != 1 {
+		t.Fatalf("parsed %s", nl.Stats())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown cell":  "module m (a); input a; BOGUS g (.A(a), .Y(a)); endmodule",
+		"missing Y":     "module m (a, y); input a; output y; wire n; INV g (.A(a)); endmodule",
+		"missing pin":   "module m (a, y); input a; output y; AND2 g (.A(a), .Y(y)); endmodule",
+		"extra pin":     "module m (a, y); input a; output y; INV g (.A(a), .B(a), .Y(y)); endmodule",
+		"bad dff":       "module m (a, y); input a; output y; DFF f (.D(a)); endmodule",
+		"dup pin":       "module m (a, y); input a; output y; INV g (.A(a), .A(a), .Y(y)); endmodule",
+		"not module":    "wire x;",
+		"truncated":     "module m (a); input a;",
+		"bad constant":  "module m (a, y); input a; output y; INV g (.A(1'bx), .Y(y)); endmodule",
+		"undriven wire": "module m (a, y); input a; output y; wire n; INV g (.A(n), .Y(y)); endmodule",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestAttributeParsing(t *testing.T) {
+	src := `
+module m (\d , \q );
+  input \d ;
+  output \q ;
+  (* init = 1, group = "regfile" *)
+  DFF f (.D(\d ), .Q(\q ));
+endmodule
+`
+	nl, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.FFs) != 1 || !nl.FFs[0].Init || nl.FFs[0].Group != "regfile" {
+		t.Fatalf("FF attrs: %+v", nl.FFs[0])
+	}
+	// A DFF without attributes defaults to init=0, no group.
+	src2 := strings.Replace(src, "(* init = 1, group = \"regfile\" *)\n", "", 1)
+	nl2, err := Read(strings.NewReader(src2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl2.FFs[0].Init || nl2.FFs[0].Group != "" {
+		t.Fatalf("default FF attrs: %+v", nl2.FFs[0])
+	}
+}
