@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check build vet test race lint-examples
+
+# The CI gate: everything a PR must pass.
+check: vet build test race lint-examples
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The root package's end-to-end assertions take ~17 min under the race
+# detector, past the default 10-minute per-package timeout.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# Strict-lint the built-in cores and the bundled example netlists; the
+# seeded-defect fixtures under cmd/netlistlint/testdata are exercised (and
+# expected to fail) by that package's tests, not here.
+lint-examples:
+	$(GO) run ./cmd/netlistlint -strict -cpu avr
+	$(GO) run ./cmd/netlistlint -strict -cpu msp430
+	$(GO) run ./cmd/netlistlint -strict -verilog cmd/netlistlint/testdata/clean.v

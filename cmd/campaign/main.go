@@ -19,6 +19,7 @@ import (
 	"repro/internal/cpu/avr"
 	"repro/internal/cpu/msp430"
 	"repro/internal/hafi"
+	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/progs"
 )
@@ -31,6 +32,7 @@ func main() {
 	validate := flag.Bool("validate", false, "re-execute pruned points and verify benignity")
 	noRF := flag.Bool("norf", false, "exclude the register file from the fault list")
 	sequential := flag.Bool("sequential", false, "use the sequential controller instead of the 64-lane batched engine")
+	strict := flag.Bool("strict", false, "preflight lint: treat warnings as failures")
 	flag.Parse()
 
 	var factory func() hafi.Run
@@ -66,6 +68,9 @@ func main() {
 		groups = []string{msp430.GroupRegFile}
 	default:
 		fail(fmt.Errorf("unknown cpu %q", *cpu))
+	}
+	if err := lint.Preflight(os.Stderr, nl, *strict); err != nil {
+		fail(err)
 	}
 	run := factory()
 	if !*noRF {

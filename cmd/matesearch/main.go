@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu/avr"
 	"repro/internal/cpu/msp430"
+	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/verilog"
 )
@@ -33,6 +34,7 @@ func main() {
 	print := flag.Bool("print", false, "print every discovered MATE")
 	verilogIn := flag.String("verilog", "", "search this structural-Verilog netlist instead of a built-in core")
 	export := flag.String("export", "", "write the selected netlist as structural Verilog and exit")
+	strict := flag.Bool("strict", false, "preflight lint: treat warnings as failures")
 	flag.Parse()
 
 	var nl *netlist.Netlist
@@ -77,6 +79,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "matesearch: unknown cpu %q\n", *cpu)
 			os.Exit(2)
 		}
+	}
+	if err := lint.Preflight(os.Stderr, nl, *strict); err != nil {
+		fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
+		os.Exit(1)
 	}
 
 	if *export != "" {

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintFile runs the CLI against a testdata file and returns (exit code,
+// stdout, stderr).
+func lintFile(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestSeededDefects(t *testing.T) {
+	for _, tc := range []struct {
+		file     string
+		analyzer string // expected in a diagnostic line
+		message  string
+	}{
+		{"loop.v", "[comb-cycle]", "combinational cycle through"},
+		{"multidriven.v", "[multi-driven]", "driven 2 times"},
+		{"undriven.v", "[undriven]", "undriven but feeds"},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			code, out, errOut := lintFile(t, "-strict", "-verilog", filepath.Join("testdata", tc.file))
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+			}
+			if !strings.Contains(out, "error "+tc.analyzer) {
+				t.Errorf("output missing %q diagnostic:\n%s", tc.analyzer, out)
+			}
+			if !strings.Contains(out, tc.message) {
+				t.Errorf("output missing %q:\n%s", tc.message, out)
+			}
+		})
+	}
+}
+
+func TestCleanFixture(t *testing.T) {
+	code, out, errOut := lintFile(t, "-strict", "-verilog", filepath.Join("testdata", "clean.v"))
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "0 error(s), 0 warning(s)") {
+		t.Errorf("unexpected summary:\n%s", out)
+	}
+}
+
+func TestBadMATESet(t *testing.T) {
+	code, out, _ := lintFile(t, "-verilog", filepath.Join("testdata", "clean.v"),
+		"-mates", filepath.Join("testdata", "bad.mates"))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s", code, out)
+	}
+	if !strings.Contains(out, "error [mate-border]") || !strings.Contains(out, "inside the fault cone") {
+		t.Errorf("output missing mate-border diagnostic:\n%s", out)
+	}
+}
+
+func TestBuiltinCores(t *testing.T) {
+	for _, cpu := range []string{"avr", "msp430"} {
+		code, out, errOut := lintFile(t, "-strict", "-cpu", cpu)
+		if code != 0 {
+			t.Errorf("%s: exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", cpu, code, out, errOut)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := lintFile(t, "-json", "-verilog", filepath.Join("testdata", "multidriven.v"))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(out, `"analyzer": "multi-driven"`) || !strings.Contains(out, `"severity": "error"`) {
+		t.Errorf("JSON output missing fields:\n%s", out)
+	}
+}
+
+func TestAnalyzerSelection(t *testing.T) {
+	// Selecting only comb-cycle must hide the multi-driven finding.
+	code, out, _ := lintFile(t, "-analyzers", "comb-cycle", "-verilog",
+		filepath.Join("testdata", "multidriven.v"))
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	if strings.Contains(out, "multi-driven") {
+		t.Errorf("unselected analyzer ran:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-cpu", "z80"},
+		{"-cpu", "avr", "-verilog", "x.v"},
+		{"-verilog", "testdata/does-not-exist.v"},
+		{"-analyzers", "no-such", "-cpu", "avr"},
+		{"-mates", "testdata/bad.mates", "-verilog", "testdata/multidriven.v"}, // ill-formed netlist
+	} {
+		if code, _, _ := lintFile(t, args...); code != 2 {
+			t.Errorf("args %v: exit code = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, out, _ := lintFile(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"multi-driven", "comb-cycle", "gm-terms", "mate-border"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}

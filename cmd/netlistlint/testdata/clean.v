@@ -1,0 +1,7 @@
+// well-formed fixture: one AND gate into a flip-flop
+module clean (a, b, q);
+  input a; input b; output q;
+  wire n1;
+  AND2 g0 (.A(a), .B(b), .Y(n1));
+  DFF ff0 (.D(n1), .Q(q));
+endmodule

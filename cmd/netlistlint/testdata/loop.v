@@ -1,0 +1,8 @@
+// seeded defect: combinational cycle g0 -> g1 -> g0
+module loop (a, q);
+  input a; output q;
+  wire w1; wire w2;
+  AND2 g0 (.A(a), .B(w2), .Y(w1));
+  INV g1 (.A(w1), .Y(w2));
+  DFF ff0 (.D(w1), .Q(q));
+endmodule

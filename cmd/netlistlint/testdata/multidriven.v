@@ -1,0 +1,8 @@
+// seeded defect: wire n1 has two drivers
+module multidriven (a, b, q);
+  input a; input b; output q;
+  wire n1;
+  INV g0 (.A(a), .Y(n1));
+  INV g1 (.A(b), .Y(n1));
+  DFF ff0 (.D(n1), .Q(q));
+endmodule

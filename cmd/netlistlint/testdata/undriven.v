@@ -1,0 +1,7 @@
+// seeded defect: wire nf floats but feeds gate g0
+module undriven (a, q);
+  input a; output q;
+  wire n1; wire nf;
+  AND2 g0 (.A(a), .B(nf), .Y(n1));
+  DFF ff0 (.D(n1), .Q(q));
+endmodule

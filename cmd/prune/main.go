@@ -19,6 +19,7 @@ import (
 	"repro/internal/cpu/avr"
 	"repro/internal/cpu/msp430"
 	"repro/internal/intercycle"
+	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/progs"
 	"repro/internal/prune"
@@ -35,6 +36,7 @@ func main() {
 	top := flag.Int("top", 0, "evaluate only the top-N MATEs (0 = complete set)")
 	cycles := flag.Int("cycles", progs.TraceCycles, "trace length when simulating")
 	inter := flag.Bool("intercycle", false, "run the offline inter-cycle analysis instead of MATE replay")
+	strict := flag.Bool("strict", false, "preflight lint: treat warnings as failures")
 	flag.Parse()
 
 	var nl *netlist.Netlist
@@ -80,6 +82,9 @@ func main() {
 		}
 	default:
 		fail(fmt.Errorf("unknown cpu %q", *cpu))
+	}
+	if err := lint.Preflight(os.Stderr, nl, *strict); err != nil {
+		fail(err)
 	}
 
 	if *vcdFile != "" {

@@ -397,8 +397,8 @@ func TestSearchSoundnessRandomCircuits(t *testing.T) {
 		for _, mate := range res.Set.MATEs {
 			checked, viol := oracle.ValidateMATE(mate, tr)
 			if viol != nil {
-				t.Fatalf("trial %d: MATE %s unsound at cycle %d wire %s (checked %d)",
-					trial, mate.String(nl), viol.Cycle, nl.WireName(viol.Wire), checked)
+				t.Fatalf("trial %d: MATE %s unsound at %s (checked %d)",
+					trial, mate.String(nl), viol, checked)
 			}
 		}
 	}
@@ -527,5 +527,58 @@ func TestExactMaskedCycles(t *testing.T) {
 		if masked[c] != oracle.MaskedExactTrace(cone, tr, c) {
 			t.Fatalf("cycle %d inconsistent", c)
 		}
+	}
+}
+
+func TestBorderWiresSharedFanIn(t *testing.T) {
+	// Fault source s fans out through two gates that SHARE the out-of-cone
+	// wire x; BorderWires must report x exactly once, and never a cone
+	// wire.
+	b := netlist.NewBuilder("border")
+	s := b.Input("s")
+	x := b.Input("x")
+	y := b.Input("y")
+	g1 := b.GateNamed("g1", cell.AND2, s, x)
+	g2 := b.GateNamed("g2", cell.OR2, g1, x) // x again: shared fan-in
+	g3 := b.GateNamed("g3", cell.AND2, g2, y)
+	q := b.FF("ff", g3, false, "")
+	b.MarkOutput(q)
+	nl := b.MustNetlist()
+
+	cone := ComputeCone(nl, s)
+	for _, w := range []netlist.WireID{s, g1, g2, g3} {
+		if !cone.InCone[w] {
+			t.Errorf("wire %s missing from cone", nl.WireName(w))
+		}
+	}
+	border := cone.BorderWires(nl)
+	count := map[netlist.WireID]int{}
+	for _, w := range border {
+		count[w]++
+	}
+	if count[x] != 1 {
+		t.Errorf("shared fan-in wire x appears %d times in border, want 1", count[x])
+	}
+	if count[y] != 1 {
+		t.Errorf("border missing y (count %d)", count[y])
+	}
+	if len(border) != 2 {
+		t.Errorf("border = %d wires, want exactly {x, y}", len(border))
+	}
+	for _, w := range border {
+		if cone.InCone[w] {
+			t.Errorf("border contains cone wire %s", nl.WireName(w))
+		}
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := &Violation{Cycle: 42, Wire: 7, WireName: "cpu.alu.carry"}
+	if got := v.String(); got != "cpu.alu.carry @ cycle 42" {
+		t.Errorf("Violation.String() = %q", got)
+	}
+	anon := &Violation{Cycle: 3, Wire: 7}
+	if got := anon.String(); got != "wire#7 @ cycle 3" {
+		t.Errorf("Violation.String() fallback = %q", got)
 	}
 }

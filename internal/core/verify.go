@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/netlist"
 	"repro/internal/sim"
 )
@@ -87,7 +89,7 @@ func (o *Oracle) ValidateMATE(m *MATE, tr *sim.Trace) (checked int, violation *V
 		for _, w := range m.Masks {
 			checked++
 			if !o.MaskedExact(cones[w], values) {
-				return checked, &Violation{Cycle: c, Wire: w}
+				return checked, &Violation{Cycle: c, Wire: w, WireName: o.nl.WireName(w)}
 			}
 		}
 	}
@@ -95,8 +97,20 @@ func (o *Oracle) ValidateMATE(m *MATE, tr *sim.Trace) (checked int, violation *V
 }
 
 // Violation reports a MATE soundness violation: the MATE triggered at
-// Cycle but flipping Wire was not masked.
+// Cycle but flipping Wire was not masked. WireName carries the wire's
+// hierarchical name so reports stay readable without the netlist at hand.
 type Violation struct {
-	Cycle int
-	Wire  netlist.WireID
+	Cycle    int
+	Wire     netlist.WireID
+	WireName string
+}
+
+// String renders the violation as "wire name @ cycle N"; it falls back to
+// the bare wire id when no name was recorded.
+func (v *Violation) String() string {
+	name := v.WireName
+	if name == "" {
+		name = fmt.Sprintf("wire#%d", v.Wire)
+	}
+	return fmt.Sprintf("%s @ cycle %d", name, v.Cycle)
 }

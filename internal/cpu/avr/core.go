@@ -305,19 +305,27 @@ func NewCore() *Core {
 	c.OutputBus(port)
 	b.MarkOutput(hlt)
 
-	core.NL = b.MustNetlist()
-	core.IMemAddr = pc
-	core.DMemAddr = addrPins
-	core.DMemWData = wdataPins
-	core.DMemWE = memWr[0]
-	core.Port = port
-	core.Halted = hlt
-	core.PC = pc
+	// Sweep unobservable gates (unused decode lines, final adder carries)
+	// so the shipped netlist is lint-clean and the simulators never
+	// evaluate logic no fault can escape from. All port and state wires
+	// below are observable by construction, so the remap never drops them.
+	swept, remap := netlist.MustSweepDead(b.MustNetlist())
+	core.NL = swept
+	core.IMemData = synth.Bus(remap.Wires(core.IMemData))
+	core.DMemRData = synth.Bus(remap.Wires(core.DMemRData))
+	core.IMemAddr = synth.Bus(remap.Wires(pc))
+	core.DMemAddr = synth.Bus(remap.Wires(addrPins))
+	core.DMemWData = synth.Bus(remap.Wires(wdataPins))
+	core.DMemWE = remap.Wire(memWr[0])
+	core.Port = synth.Bus(remap.Wires(port))
+	core.Halted = remap.Wire(hlt)
+	core.PC = synth.Bus(remap.Wires(pc))
 	core.Regs = make([]synth.Bus, NumRegs)
 	for r := 0; r < NumRegs; r++ {
-		core.Regs[r] = rf.Regs[r]
+		core.Regs[r] = synth.Bus(remap.Wires(rf.Regs[r]))
 	}
-	core.FlagC, core.FlagZ, core.FlagN, core.FlagV = C, Z, N, V
+	core.FlagC, core.FlagZ = remap.Wire(C), remap.Wire(Z)
+	core.FlagN, core.FlagV = remap.Wire(N), remap.Wire(V)
 	return core
 }
 

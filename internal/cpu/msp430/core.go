@@ -263,20 +263,26 @@ func NewCore() *Core {
 	c.OutputBus(port)
 	b.MarkOutput(hlt)
 
-	core.NL = b.MustNetlist()
-	core.IMemAddr = pc
-	core.DMemAddr = addrPins
-	core.DMemWData = wdataPins
-	core.DMemWE = dmemWE
-	core.Port = port
-	core.Halted = hlt
-	core.PC = pc
-	core.State = state
+	// Sweep unobservable gates so the shipped netlist is lint-clean; see
+	// the matching comment in the AVR core.
+	swept, remap := netlist.MustSweepDead(b.MustNetlist())
+	core.NL = swept
+	core.IMemData = synth.Bus(remap.Wires(core.IMemData))
+	core.DMemRData = synth.Bus(remap.Wires(core.DMemRData))
+	core.IMemAddr = synth.Bus(remap.Wires(pc))
+	core.DMemAddr = synth.Bus(remap.Wires(addrPins))
+	core.DMemWData = synth.Bus(remap.Wires(wdataPins))
+	core.DMemWE = remap.Wire(dmemWE)
+	core.Port = synth.Bus(remap.Wires(port))
+	core.Halted = remap.Wire(hlt)
+	core.PC = synth.Bus(remap.Wires(pc))
+	core.State = synth.Bus(remap.Wires(state))
 	core.Regs = make([]synth.Bus, NumRegs)
 	for r := 0; r < NumRegs; r++ {
-		core.Regs[r] = rf.Regs[r]
+		core.Regs[r] = synth.Bus(remap.Wires(rf.Regs[r]))
 	}
-	core.FlagC, core.FlagZ, core.FlagN, core.FlagV = C, Z, N, V
+	core.FlagC, core.FlagZ = remap.Wire(C), remap.Wire(Z)
+	core.FlagN, core.FlagV = remap.Wire(N), remap.Wire(V)
 	return core
 }
 

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Facts is the structural index the analyzers share. Unlike the derived
+// structures built by Netlist.Finish, it is computed from the exported
+// netlist fields only and tolerates ill-formed circuits: a wire may have
+// zero or several drivers, gates may reference out-of-range wires, FF D
+// inputs may be unconnected. Out-of-range references are collected in
+// BadRefs rather than indexed.
+type Facts struct {
+	NL *netlist.Netlist
+
+	// Drivers lists every driver of each wire (a well-formed netlist has
+	// exactly one per wire).
+	Drivers [][]netlist.Driver
+	// GateSinks lists the gate pins consuming each wire.
+	GateSinks [][]netlist.FanoutRef
+	// FFSinks lists the flip-flops whose D input is each wire.
+	FFSinks [][]int32
+	// IsInput / IsOutput mark the primary ports.
+	IsInput, IsOutput []bool
+	// Observable marks wires from which a fault can reach an FF D input or
+	// a primary output (transitively through gates). Unobservable logic is
+	// dead weight: a fault there can never matter.
+	Observable []bool
+	// BadRefs records out-of-range wire references (including unconnected
+	// FF D inputs), one human-readable description each.
+	BadRefs []string
+}
+
+// ComputeFacts indexes the netlist for the structural analyzers.
+func ComputeFacts(nl *netlist.Netlist) *Facts {
+	nw := nl.NumWires()
+	f := &Facts{
+		NL:         nl,
+		Drivers:    make([][]netlist.Driver, nw),
+		GateSinks:  make([][]netlist.FanoutRef, nw),
+		FFSinks:    make([][]int32, nw),
+		IsInput:    make([]bool, nw),
+		IsOutput:   make([]bool, nw),
+		Observable: make([]bool, nw),
+	}
+	valid := func(w netlist.WireID) bool { return w >= 0 && int(w) < nw }
+	badRef := func(format string, args ...any) {
+		f.BadRefs = append(f.BadRefs, fmt.Sprintf(format, args...))
+	}
+
+	for i, w := range nl.Inputs {
+		if !valid(w) {
+			badRef("primary input #%d references invalid wire %d", i, w)
+			continue
+		}
+		f.IsInput[w] = true
+		f.Drivers[w] = append(f.Drivers[w], netlist.Driver{Kind: netlist.DriverInput, Index: int32(i)})
+	}
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		if valid(g.Output) {
+			f.Drivers[g.Output] = append(f.Drivers[g.Output], netlist.Driver{Kind: netlist.DriverGate, Index: int32(gi)})
+		} else {
+			badRef("gate %s drives invalid wire %d", g.Name, g.Output)
+		}
+		for pin, in := range g.Inputs {
+			if !valid(in) {
+				badRef("gate %s pin %d reads invalid wire %d", g.Name, pin, in)
+				continue
+			}
+			f.GateSinks[in] = append(f.GateSinks[in], netlist.FanoutRef{Gate: int32(gi), Pin: int8(pin)})
+		}
+	}
+	for fi := range nl.FFs {
+		ff := &nl.FFs[fi]
+		if valid(ff.Q) {
+			f.Drivers[ff.Q] = append(f.Drivers[ff.Q], netlist.Driver{Kind: netlist.DriverFF, Index: int32(fi)})
+		} else {
+			badRef("ff %s drives invalid Q wire %d", ff.Name, ff.Q)
+		}
+		if valid(ff.D) {
+			f.FFSinks[ff.D] = append(f.FFSinks[ff.D], int32(fi))
+		} else if ff.D == netlist.NoWire {
+			badRef("ff %s has an unconnected D input", ff.Name)
+		} else {
+			badRef("ff %s has invalid D wire %d", ff.Name, ff.D)
+		}
+	}
+	for i, w := range nl.Outputs {
+		if !valid(w) {
+			badRef("primary output #%d references invalid wire %d", i, w)
+			continue
+		}
+		f.IsOutput[w] = true
+	}
+
+	f.computeObservability()
+	return f
+}
+
+// computeObservability is the backward counterpart of core.ComputeCone's
+// forward reachability: instead of growing a cone from one fault source, it
+// grows the observed set backward from every sink (FF D inputs and primary
+// outputs) at once. A wire is observable iff it is a sink or feeds a gate
+// whose output is observable.
+func (f *Facts) computeObservability() {
+	var stack []netlist.WireID
+	mark := func(w netlist.WireID) {
+		if !f.Observable[w] {
+			f.Observable[w] = true
+			stack = append(stack, w)
+		}
+	}
+	for w := range f.Observable {
+		if f.IsOutput[w] || len(f.FFSinks[w]) > 0 {
+			mark(netlist.WireID(w))
+		}
+	}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range f.Drivers[w] {
+			if d.Kind != netlist.DriverGate {
+				continue
+			}
+			for _, in := range f.NL.Gates[d.Index].Inputs {
+				if in >= 0 && int(in) < len(f.Observable) {
+					mark(in)
+				}
+			}
+		}
+	}
+}
+
+// wireRef renders a wire reference for diagnostics: `wire "name"`.
+func wireRef(nl *netlist.Netlist, w netlist.WireID) string {
+	if w < 0 || int(w) >= nl.NumWires() {
+		return fmt.Sprintf("wire#%d", w)
+	}
+	return fmt.Sprintf("wire %q", nl.WireName(w))
+}
+
+// describeDriver renders one driver for diagnostics.
+func describeDriver(nl *netlist.Netlist, d netlist.Driver) string {
+	switch d.Kind {
+	case netlist.DriverInput:
+		return fmt.Sprintf("primary input #%d", d.Index)
+	case netlist.DriverGate:
+		return "gate " + nl.Gates[d.Index].Name
+	case netlist.DriverFF:
+		return "ff " + nl.FFs[d.Index].Name
+	}
+	return "unknown driver"
+}

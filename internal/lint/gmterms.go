@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cell"
+)
+
+func init() {
+	Register(AnalyzerGMTerms)
+}
+
+// AnalyzerGMTerms exhaustively re-verifies every gate-masking term of the
+// cell library against the cell's truth table. GM terms are the axioms of
+// the whole MATE construction: an unsound term turns into unsound MATEs and
+// silently wrong pruning. Because no library cell has more than
+// cell.MaxInputs pins, full enumeration over all 2^n input vectors is exact
+// and takes microseconds — this check is a proof, not a sample.
+//
+// The verifier is an independent implementation (it never reuses the
+// derivation code in internal/cell): for every cell and every non-empty
+// faulty-pin set it checks that each term is well-formed, sound
+// (the output is independent of the faulty pins under the term) and minimal
+// (no literal can be dropped), and that the term set is complete (every
+// fully-assigned healthy-pin pattern that masks the faulty set satisfies
+// some term).
+var AnalyzerGMTerms = &Analyzer{
+	Name: "gm-terms",
+	Doc:  "gate-masking terms must be sound, minimal and complete (exhaustive truth-table check)",
+	Kind: KindSemantic,
+	Run: func(p *Pass) {
+		for _, c := range cell.All() {
+			if c.NumInputs() == 0 {
+				continue // TIE cells have no pins to mask
+			}
+			all := uint32(1)<<c.NumInputs() - 1
+			for faulty := uint32(1); faulty <= all; faulty++ {
+				verifyCellTerms(p, c, faulty, p.Terms(c, faulty))
+			}
+		}
+	},
+}
+
+// termMasks reports whether the partial assignment (mask, value) makes the
+// cell output independent of the faulty pins: for every full input vector
+// satisfying the assignment, the output equals the output with all faulty
+// pins cleared. This is deliberately the dumbest possible formulation —
+// iterate all 2^n vectors — so it shares no structure with the optimized
+// derivation in internal/cell.
+func termMasks(c *cell.Cell, faulty, mask, value uint32) bool {
+	n := c.NumInputs()
+	for v := uint32(0); v < 1<<n; v++ {
+		if v&mask != value {
+			continue
+		}
+		if c.Eval(v) != c.Eval(v&^faulty) {
+			return false
+		}
+	}
+	return true
+}
+
+func verifyCellTerms(p *Pass, c *cell.Cell, faulty uint32, terms []cell.GMTerm) {
+	n := c.NumInputs()
+	all := uint32(1)<<n - 1
+	healthy := all &^ faulty
+	obj := fmt.Sprintf("cell %s faulty={%s}", c.Name, pinSetString(c, faulty))
+
+	for _, t := range terms {
+		if t.Mask&^healthy != 0 || t.Value&^t.Mask != 0 {
+			p.Reportf(SeverityError, obj,
+				"malformed GM term (mask %#x value %#x): constrains faulty or nonexistent pins", t.Mask, t.Value)
+			continue
+		}
+		if !termMasks(c, faulty, t.Mask, t.Value) {
+			p.Reportf(SeverityError, obj,
+				"unsound GM term %q: output still depends on the faulty pins", t.String(c))
+			continue
+		}
+		for m := t.Mask; m != 0; m &= m - 1 {
+			drop := m & -m
+			if termMasks(c, faulty, t.Mask&^drop, t.Value&^drop) {
+				p.Reportf(SeverityWarning, obj,
+					"non-minimal GM term %q: literal on pin %s is redundant", t.String(c), c.Pins[lowBitIndex(drop)])
+				break
+			}
+		}
+	}
+
+	// Completeness: every full assignment of the healthy pins that masks the
+	// faulty set must satisfy at least one term (otherwise the MATE search
+	// misses masking opportunities the hardware provably has).
+	for va := healthy; ; va = (va - 1) & healthy {
+		if termMasks(c, faulty, healthy, va) {
+			covered := false
+			for _, t := range terms {
+				if t.Mask&^healthy == 0 && va&t.Mask == t.Value {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				p.Reportf(SeverityWarning, obj,
+					"incomplete GM terms: masking assignment {%s} satisfies no term",
+					assignString(c, healthy, va))
+			}
+		}
+		if va == 0 {
+			break
+		}
+	}
+}
+
+// pinSetString renders a pin bitmask using the cell's pin names.
+func pinSetString(c *cell.Cell, pins uint32) string {
+	var parts []string
+	for i := 0; i < c.NumInputs(); i++ {
+		if pins>>i&1 == 1 {
+			parts = append(parts, c.Pins[i])
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// assignString renders a full assignment of the pins in mask.
+func assignString(c *cell.Cell, mask, value uint32) string {
+	var parts []string
+	for i := 0; i < c.NumInputs(); i++ {
+		if mask>>i&1 == 1 {
+			parts = append(parts, fmt.Sprintf("%s=%d", c.Pins[i], value>>i&1))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func lowBitIndex(v uint32) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

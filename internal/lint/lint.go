@@ -1,0 +1,293 @@
+// Package lint is the static-analysis layer of the fault-pruning pipeline.
+// Everything downstream — gate-masking terms, fault cones, the MATE search,
+// campaign pruning — silently assumes a well-formed netlist and sound
+// masking data; this package checks both *before* any campaign runs, in the
+// spirit of OpenSEA's semi-formal circuit checks.
+//
+// The driver is modeled on golang.org/x/tools/go/analysis: every check is a
+// registered *Analyzer with a name, a doc string and a Run function over a
+// shared *Pass. Structural analyzers work on raw, possibly ill-formed
+// netlists (Builder.Raw, verilog.ReadRaw) via the Facts index, which is
+// computed from the exported netlist fields only — so a netlist that
+// Netlist.Finish would reject still gets precise diagnostics instead of a
+// single error. Semantic analyzers re-verify the gate-masking terms of the
+// cell library exhaustively and validate loaded MATE sets against the fault
+// cones they claim to cover.
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// Severity grades a finding.
+type Severity uint8
+
+const (
+	// SeverityInfo is a note (e.g. an analyzer that had to be skipped).
+	SeverityInfo Severity = iota
+	// SeverityWarning marks suspicious but not soundness-breaking findings
+	// (dead cells, redundant MATEs).
+	SeverityWarning
+	// SeverityError marks findings that corrupt downstream results
+	// (multi-driven wires, combinational cycles, unsound masking terms).
+	SeverityError
+)
+
+// String renders the severity in lowercase, as used in text and JSON
+// output.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// MarshalJSON encodes the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Diagnostic is one finding: which analyzer produced it, how severe it is,
+// which netlist object it is about, and a human-readable message.
+type Diagnostic struct {
+	Analyzer string   `json:"analyzer"`
+	Severity Severity `json:"severity"`
+	// Object locates the finding: a wire, gate, flip-flop, cell or MATE
+	// reference such as `wire "alu.carry"` or `MATE #3`.
+	Object  string `json:"object,omitempty"`
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic as one line:
+//
+//	error [multi-driven] wire "x": driven by gate g0_AND2 and gate g1_INV
+func (d Diagnostic) String() string {
+	if d.Object == "" {
+		return fmt.Sprintf("%s [%s] %s", d.Severity, d.Analyzer, d.Message)
+	}
+	return fmt.Sprintf("%s [%s] %s: %s", d.Severity, d.Analyzer, d.Object, d.Message)
+}
+
+// Kind groups analyzers by what they need.
+type Kind uint8
+
+const (
+	// KindStructural analyzers check the circuit graph itself and run on
+	// raw netlists.
+	KindStructural Kind = iota
+	// KindSemantic analyzers check masking data (GM terms, MATE sets).
+	KindSemantic
+)
+
+// TermSource yields the gate-masking terms to verify for a cell and
+// faulty-pin set. The default is cell.MaskingTerms; tests substitute
+// corrupted sources to prove the verifier catches bad terms.
+type TermSource func(c *cell.Cell, faulty uint32) []cell.GMTerm
+
+// Analyzer is one registered static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Kind tells the driver whether this is a structural or semantic pass.
+	Kind Kind
+	// NeedsMATEs: the analyzer only runs when Options.MATESet is provided.
+	NeedsMATEs bool
+	// NeedsFinished: the analyzer uses derived netlist structures (fanout,
+	// evaluation order) and is skipped, with an info diagnostic, on
+	// unfinished netlists.
+	NeedsFinished bool
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries everything one analyzer invocation may inspect.
+type Pass struct {
+	NL      *netlist.Netlist
+	Facts   *Facts
+	MATESet *core.MATESet // nil unless the caller supplied one
+	Terms   TermSource
+
+	analyzer *Analyzer
+	sink     func(Diagnostic)
+}
+
+// Report emits a finding.
+func (p *Pass) Report(sev Severity, object, message string) {
+	p.sink(Diagnostic{Analyzer: p.analyzer.Name, Severity: sev, Object: object, Message: message})
+}
+
+// Reportf is Report with a formatted message.
+func (p *Pass) Reportf(sev Severity, object, format string, args ...any) {
+	p.Report(sev, object, fmt.Sprintf(format, args...))
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+var registry []*Analyzer
+
+// Register adds an analyzer to the global registry. Registration order is
+// execution order; duplicate names panic at init time.
+func Register(a *Analyzer) {
+	for _, r := range registry {
+		if r.Name == a.Name {
+			panic("lint: duplicate analyzer " + a.Name)
+		}
+	}
+	registry = append(registry, a)
+}
+
+// All returns every registered analyzer in registration order.
+func All() []*Analyzer {
+	return append([]*Analyzer(nil), registry...)
+}
+
+// Structural returns the structural analyzers — the preflight set run by
+// the campaign tools on every netlist load.
+func Structural() []*Analyzer {
+	var out []*Analyzer
+	for _, a := range registry {
+		if a.Kind == KindStructural {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Semantic returns the masking-data analyzers.
+func Semantic() []*Analyzer {
+	var out []*Analyzer
+	for _, a := range registry {
+		if a.Kind == KindSemantic {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Lookup finds a registered analyzer by name.
+func Lookup(name string) (*Analyzer, bool) {
+	for _, a := range registry {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// ByNames resolves a list of analyzer names, in registry order.
+func ByNames(names []string) ([]*Analyzer, error) {
+	want := map[string]bool{}
+	for _, n := range names {
+		if _, ok := Lookup(n); !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		want[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range registry {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+// Options configures one Run.
+type Options struct {
+	// Analyzers selects which checks to run; nil means All().
+	Analyzers []*Analyzer
+	// MATESet enables the MATE analyzers against this loaded set.
+	MATESet *core.MATESet
+	// Terms overrides the gate-masking term source (default
+	// cell.MaskingTerms).
+	Terms TermSource
+}
+
+// Result is the outcome of one Run: the diagnostics in analyzer execution
+// order, plus summary accessors.
+type Result struct {
+	Netlist     string       `json:"netlist"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Errors      int          `json:"errors"`
+	Warnings    int          `json:"warnings"`
+}
+
+// Count returns the number of diagnostics at exactly the given severity.
+func (r *Result) Count(sev Severity) int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any error-severity finding was produced.
+func (r *Result) HasErrors() bool { return r.Errors > 0 }
+
+// Failed reports whether the run should be treated as a failure: errors
+// always fail; under strict, warnings fail too.
+func (r *Result) Failed(strict bool) bool {
+	if r.Errors > 0 {
+		return true
+	}
+	return strict && r.Warnings > 0
+}
+
+// Run executes the selected analyzers over the netlist and collects their
+// diagnostics. Structural facts are computed once and shared; analyzers
+// whose requirements are not met (no MATE set supplied, netlist not
+// finished) are skipped, the latter with an info note so the skip is
+// visible.
+func Run(nl *netlist.Netlist, opts Options) *Result {
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	terms := opts.Terms
+	if terms == nil {
+		terms = cell.MaskingTerms
+	}
+	facts := ComputeFacts(nl)
+	res := &Result{Netlist: nl.Name, Diagnostics: []Diagnostic{}}
+	report := func(d Diagnostic) {
+		res.Diagnostics = append(res.Diagnostics, d)
+		switch d.Severity {
+		case SeverityError:
+			res.Errors++
+		case SeverityWarning:
+			res.Warnings++
+		}
+	}
+	for _, a := range analyzers {
+		if a.NeedsMATEs && opts.MATESet == nil {
+			continue
+		}
+		if a.NeedsFinished && !nl.Finished() {
+			report(Diagnostic{Analyzer: a.Name, Severity: SeverityInfo,
+				Message: "skipped: netlist is not finalised (fix the structural errors first)"})
+			continue
+		}
+		pass := &Pass{NL: nl, Facts: facts, MATESet: opts.MATESet, Terms: terms, analyzer: a, sink: report}
+		a.Run(pass)
+	}
+	return res
+}

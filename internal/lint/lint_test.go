@@ -1,0 +1,539 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/cpu/avr"
+	"repro/internal/cpu/msp430"
+	"repro/internal/netlist"
+)
+
+// byAnalyzer filters the diagnostics of one analyzer.
+func byAnalyzer(res *Result, name string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func wantOne(t *testing.T, res *Result, analyzer string, sev Severity, substr string) Diagnostic {
+	t.Helper()
+	ds := byAnalyzer(res, analyzer)
+	if len(ds) != 1 {
+		t.Fatalf("analyzer %s: got %d diagnostics, want 1: %v", analyzer, len(ds), ds)
+	}
+	d := ds[0]
+	if d.Severity != sev {
+		t.Errorf("analyzer %s: severity = %s, want %s", analyzer, d.Severity, sev)
+	}
+	if !strings.Contains(d.Message, substr) {
+		t.Errorf("analyzer %s: message %q does not contain %q", analyzer, d.Message, substr)
+	}
+	return d
+}
+
+func runStructural(nl *netlist.Netlist) *Result {
+	return Run(nl, Options{Analyzers: Structural()})
+}
+
+func TestCleanNetlistHasNoFindings(t *testing.T) {
+	b := netlist.NewBuilder("clean")
+	a := b.Input("a")
+	x := b.Input("x")
+	g := b.GateNamed("g", cell.AND2, a, x)
+	q := b.FF("ff", g, false, "")
+	b.MarkOutput(q)
+	res := runStructural(b.MustNetlist())
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("clean netlist produced diagnostics: %v", res.Diagnostics)
+	}
+	if res.Failed(true) {
+		t.Error("clean netlist failed strict lint")
+	}
+}
+
+func TestMultiDriven(t *testing.T) {
+	b := netlist.NewBuilder("md")
+	a := b.Input("a")
+	x := b.Input("x")
+	out := b.Wire("clash")
+	b.AddGateWithOutput(cell.INV, []netlist.WireID{a}, out)
+	b.AddGateWithOutput(cell.INV, []netlist.WireID{x}, out)
+	q := b.FF("ff", out, false, "")
+	b.MarkOutput(q)
+
+	if _, err := b.Netlist(); err == nil {
+		t.Error("Builder.Netlist accepted a multi-driven wire")
+	}
+	res := runStructural(b.Raw())
+	d := wantOne(t, res, "multi-driven", SeverityError, "driven 2 times")
+	if !strings.Contains(d.Object, "clash") {
+		t.Errorf("object %q does not name the wire", d.Object)
+	}
+	if !res.Failed(false) {
+		t.Error("multi-driven netlist did not fail lint")
+	}
+}
+
+func TestUndriven(t *testing.T) {
+	b := netlist.NewBuilder("ud")
+	a := b.Input("a")
+	floating := b.Wire("floating")
+	g := b.GateNamed("g", cell.AND2, a, floating)
+	q := b.FF("ff", g, false, "")
+	b.MarkOutput(q)
+	b.Wire("dangling") // undriven AND unused
+
+	if _, err := b.Netlist(); err == nil {
+		t.Error("Builder.Netlist accepted an undriven gate input")
+	}
+	res := runStructural(b.Raw())
+	ds := byAnalyzer(res, "undriven")
+	if len(ds) != 2 {
+		t.Fatalf("got %d undriven diagnostics, want 2: %v", len(ds), ds)
+	}
+	var gotError, gotWarning bool
+	for _, d := range ds {
+		switch {
+		case d.Severity == SeverityError && strings.Contains(d.Object, "floating"):
+			gotError = true
+			if !strings.Contains(d.Message, "pin 1") {
+				t.Errorf("error message %q does not name the consuming pin", d.Message)
+			}
+		case d.Severity == SeverityWarning && strings.Contains(d.Object, "dangling"):
+			gotWarning = true
+		}
+	}
+	if !gotError || !gotWarning {
+		t.Errorf("missing expected findings (error=%v warning=%v): %v", gotError, gotWarning, ds)
+	}
+}
+
+func TestCombCycle(t *testing.T) {
+	b := netlist.NewBuilder("cyc")
+	a := b.Input("a")
+	w1 := b.Wire("w1")
+	w2 := b.Wire("w2")
+	b.AddGateWithOutput(cell.AND2, []netlist.WireID{a, w2}, w1)
+	b.AddGateWithOutput(cell.INV, []netlist.WireID{w1}, w2)
+	q := b.FF("ff", w1, false, "")
+	b.MarkOutput(q)
+
+	if _, err := b.Netlist(); err == nil {
+		t.Error("Builder.Netlist accepted a combinational cycle")
+	}
+	res := runStructural(b.Raw())
+	d := wantOne(t, res, "comb-cycle", SeverityError, "combinational cycle through")
+	if !strings.Contains(d.Object, "2 gate(s)") {
+		t.Errorf("object %q does not report the SCC size", d.Object)
+	}
+}
+
+func TestPinCountAndWireRefs(t *testing.T) {
+	// The Builder cannot produce these defects, so assemble the netlist
+	// directly: one gate with a surplus pin, one reading a nonexistent
+	// wire, and an FF with an unconnected D input.
+	nl := &netlist.Netlist{
+		Name: "pins",
+		Wires: []netlist.Wire{
+			{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "o1"}, {Name: "o2"}, {Name: "q"},
+		},
+		Inputs: []netlist.WireID{0, 1, 2},
+		Gates: []netlist.Gate{
+			{Name: "g_wide", Cell: cell.Lookup(cell.AND2), Inputs: []netlist.WireID{0, 1, 2}, Output: 3},
+			{Name: "g_bad", Cell: cell.Lookup(cell.INV), Inputs: []netlist.WireID{99}, Output: 4},
+		},
+		FFs:     []netlist.FF{{Name: "ff", D: netlist.NoWire, Q: 5}},
+		Outputs: []netlist.WireID{3, 4, 5},
+	}
+	res := runStructural(nl)
+	wantOne(t, res, "pin-count", SeverityError, "connects 3 input pins, cell AND2 has 2")
+	refs := byAnalyzer(res, "wire-refs")
+	if len(refs) != 2 {
+		t.Fatalf("got %d wire-refs diagnostics, want 2: %v", len(refs), refs)
+	}
+	joined := refs[0].Message + " / " + refs[1].Message
+	if !strings.Contains(joined, "g_bad pin 0 reads invalid wire 99") ||
+		!strings.Contains(joined, "ff ff has an unconnected D input") {
+		t.Errorf("wire-refs diagnostics missing expected messages: %v", refs)
+	}
+}
+
+func TestDupWireNames(t *testing.T) {
+	b := netlist.NewBuilder("dup")
+	a := b.Input("a")
+	b.Wire("x")
+	x2 := b.Wire("x") // duplicate qualified name
+	b.AddGateWithOutput(cell.INV, []netlist.WireID{a}, x2)
+	q := b.FF("ff", x2, false, "")
+	b.MarkOutput(q)
+
+	if _, err := b.Netlist(); err == nil {
+		t.Error("Builder.Netlist accepted duplicate wire names")
+	} else if !strings.Contains(err.Error(), `duplicate wire names: "x"`) {
+		t.Errorf("error %q does not name the duplicate", err)
+	}
+	res := runStructural(b.Raw())
+	found := false
+	for _, d := range byAnalyzer(res, "dup-wire-names") {
+		if d.Severity == SeverityError && strings.Contains(d.Message, "duplicate wire name") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no dup-wire-names error reported: %v", res.Diagnostics)
+	}
+}
+
+func TestDeadLogic(t *testing.T) {
+	b := netlist.NewBuilder("dead")
+	a := b.Input("a")
+	x := b.Input("x")
+	live := b.GateNamed("g_live", cell.AND2, a, x)
+	q := b.FF("ff", live, false, "")
+	b.MarkOutput(q)
+	b.GateNamed("g_dead", cell.OR2, a, x) // output feeds nothing
+	deadQ := b.FF("ff_dead", x, true, "")
+	b.GateNamed("g_dead2", cell.INV, deadQ) // also dead, consumes the dead FF
+
+	res := runStructural(b.MustNetlist())
+	ds := byAnalyzer(res, "dead-logic")
+	var got []string
+	for _, d := range ds {
+		if d.Severity != SeverityWarning {
+			t.Errorf("dead-logic severity = %s, want warning", d.Severity)
+		}
+		got = append(got, d.Object)
+	}
+	joined := strings.Join(got, " ")
+	for _, want := range []string{"g_dead", "g_dead2", "ff_dead"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("dead-logic did not flag %s: %v", want, ds)
+		}
+	}
+	if strings.Contains(joined, "g_live") || len(ds) != 3 {
+		t.Errorf("dead-logic flagged live logic or extras: %v", ds)
+	}
+	// Error-free but warned: strict fails, non-strict passes.
+	if res.Failed(false) || !res.Failed(true) {
+		t.Errorf("Failed() = (%v, %v), want (false, true)", res.Failed(false), res.Failed(true))
+	}
+}
+
+func TestUnfinishedNetlistSkipsNeedsFinished(t *testing.T) {
+	b := netlist.NewBuilder("skip")
+	a := b.Input("a")
+	floating := b.Wire("f")
+	g := b.GateNamed("g", cell.AND2, a, floating)
+	b.MarkOutput(g)
+	set := &core.MATESet{MATEs: []*core.MATE{{
+		Literals: []core.Literal{{Wire: a, Value: true}},
+		Masks:    []netlist.WireID{a},
+	}}}
+	res := Run(b.Raw(), Options{Analyzers: []*Analyzer{AnalyzerMateBorder}, MATESet: set})
+	d := wantOne(t, res, "mate-border", SeverityInfo, "skipped")
+	if d.Severity != SeverityInfo {
+		t.Errorf("skip note severity = %s, want info", d.Severity)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Semantic: gate-masking terms
+// ---------------------------------------------------------------------------
+
+func TestGMTermsLibraryIsClean(t *testing.T) {
+	b := netlist.NewBuilder("lib")
+	b.MarkOutput(b.Input("a"))
+	res := Run(b.MustNetlist(), Options{Analyzers: []*Analyzer{AnalyzerGMTerms}})
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("built-in cell library failed exhaustive GM verification: %v", res.Diagnostics)
+	}
+}
+
+// corrupting wraps the real term source, replacing the terms for one
+// (cell, faulty) pair.
+func corrupting(name string, faulty uint32, terms []cell.GMTerm) TermSource {
+	return func(c *cell.Cell, f uint32) []cell.GMTerm {
+		if c.Name == name && f == faulty {
+			return terms
+		}
+		return cell.MaskingTerms(c, f)
+	}
+}
+
+func runGM(src TermSource) *Result {
+	b := netlist.NewBuilder("gm")
+	b.MarkOutput(b.Input("a"))
+	return Run(b.MustNetlist(), Options{Analyzers: []*Analyzer{AnalyzerGMTerms}, Terms: src})
+}
+
+func TestGMTermsUnsound(t *testing.T) {
+	// AND2, faulty pin A: the true term is B=0. B=1 leaves out = A.
+	res := runGM(corrupting("AND2", 0b01, []cell.GMTerm{{Mask: 0b10, Value: 0b10}}))
+	found := false
+	for _, d := range byAnalyzer(res, "gm-terms") {
+		if d.Severity == SeverityError && strings.Contains(d.Message, "unsound GM term") &&
+			strings.Contains(d.Object, "cell AND2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unsound term not detected: %v", res.Diagnostics)
+	}
+}
+
+func TestGMTermsMalformed(t *testing.T) {
+	// Term constraining the faulty pin itself.
+	res := runGM(corrupting("AND2", 0b01, []cell.GMTerm{{Mask: 0b01, Value: 0}}))
+	found := false
+	for _, d := range byAnalyzer(res, "gm-terms") {
+		if d.Severity == SeverityError && strings.Contains(d.Message, "malformed GM term") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("malformed term not detected: %v", res.Diagnostics)
+	}
+}
+
+func TestGMTermsNonMinimal(t *testing.T) {
+	// MUX2 (out = S ? B : A), faulty A: S=1 masks; the B literal is dead
+	// weight.
+	res := runGM(corrupting("MUX2", 0b001, []cell.GMTerm{{Mask: 0b110, Value: 0b100}}))
+	found := false
+	for _, d := range byAnalyzer(res, "gm-terms") {
+		if d.Severity == SeverityWarning && strings.Contains(d.Message, "non-minimal GM term") &&
+			strings.Contains(d.Message, "pin B is redundant") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("non-minimal term not detected: %v", res.Diagnostics)
+	}
+}
+
+func TestGMTermsIncomplete(t *testing.T) {
+	// OR2, faulty A: B=1 masks, but the source claims nothing does.
+	res := runGM(corrupting("OR2", 0b01, nil))
+	found := false
+	for _, d := range byAnalyzer(res, "gm-terms") {
+		if d.Severity == SeverityWarning && strings.Contains(d.Message, "incomplete GM terms") &&
+			strings.Contains(d.Message, "B=1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("incomplete term set not detected: %v", res.Diagnostics)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Semantic: MATE sets
+// ---------------------------------------------------------------------------
+
+// mateFixture builds a finished netlist with a known cone structure:
+//
+//	a, bIn, c inputs; g = AND2(a, bIn); ff.D = g; unrelated = INV(c) → out
+//
+// The fault cone of a is {a, g}; its border is {bIn}. Input c feeds no cone
+// gate.
+func mateFixture(t *testing.T) (nl *netlist.Netlist, a, bIn, c, g netlist.WireID) {
+	t.Helper()
+	b := netlist.NewBuilder("mate")
+	a = b.Input("a")
+	bIn = b.Input("b")
+	c = b.Input("c")
+	g = b.GateNamed("g", cell.AND2, a, bIn)
+	q := b.FF("ff", g, false, "")
+	b.MarkOutput(q)
+	b.MarkOutput(b.GateNamed("unrelated", cell.INV, c))
+	return b.MustNetlist(), a, bIn, c, g
+}
+
+func runMates(nl *netlist.Netlist, analyzers []*Analyzer, mates ...*core.MATE) *Result {
+	return Run(nl, Options{Analyzers: analyzers, MATESet: &core.MATESet{MATEs: mates}})
+}
+
+func TestMateBorder(t *testing.T) {
+	nl, a, bIn, c, g := mateFixture(t)
+	borderOnly := []*Analyzer{AnalyzerMateBorder}
+
+	// Literal on the cone border: clean.
+	ok := &core.MATE{Literals: []core.Literal{{Wire: bIn, Value: false}}, Masks: []netlist.WireID{a}}
+	if res := runMates(nl, borderOnly, ok); len(res.Diagnostics) != 0 {
+		t.Fatalf("valid border literal flagged: %v", res.Diagnostics)
+	}
+
+	// Literal inside the cone: mistrusted during the SEU.
+	inside := &core.MATE{Literals: []core.Literal{{Wire: g, Value: false}}, Masks: []netlist.WireID{a}}
+	res := runMates(nl, borderOnly, inside)
+	wantOne(t, res, "mate-border", SeverityError, "inside the fault cone")
+
+	// Literal on an unrelated wire: not on the border.
+	unrelated := &core.MATE{Literals: []core.Literal{{Wire: c, Value: true}}, Masks: []netlist.WireID{a}}
+	res = runMates(nl, borderOnly, unrelated)
+	wantOne(t, res, "mate-border", SeverityError, "not on the border")
+
+	// Out-of-range mask wire.
+	bad := &core.MATE{Literals: []core.Literal{{Wire: bIn, Value: false}}, Masks: []netlist.WireID{9999}}
+	res = runMates(nl, borderOnly, bad)
+	wantOne(t, res, "mate-border", SeverityError, "masks invalid wire")
+}
+
+func TestMateSet(t *testing.T) {
+	nl, a, bIn, c, _ := mateFixture(t)
+	setOnly := []*Analyzer{AnalyzerMateSet}
+
+	// Contradiction: bIn required 0 and 1 at once.
+	contra := &core.MATE{
+		Literals: []core.Literal{{Wire: bIn, Value: false}, {Wire: bIn, Value: true}},
+		Masks:    []netlist.WireID{a},
+	}
+	res := runMates(nl, setOnly, contra)
+	wantOne(t, res, "mate-set", SeverityWarning, "can never trigger")
+
+	// Duplicate literal sets.
+	m1 := &core.MATE{Literals: []core.Literal{{Wire: bIn, Value: false}}, Masks: []netlist.WireID{a}}
+	m2 := &core.MATE{Literals: []core.Literal{{Wire: bIn, Value: false}}, Masks: []netlist.WireID{c}}
+	res = runMates(nl, setOnly, m1, m2)
+	wantOne(t, res, "mate-set", SeverityWarning, "duplicate of MATE #0")
+
+	// Subsumption: m3's literals are a superset of m4's, masks a subset.
+	m3 := &core.MATE{
+		Literals: []core.Literal{{Wire: bIn, Value: false}, {Wire: c, Value: true}},
+		Masks:    []netlist.WireID{a},
+	}
+	m4 := &core.MATE{Literals: []core.Literal{{Wire: bIn, Value: false}}, Masks: []netlist.WireID{a, c}}
+	res = runMates(nl, setOnly, m3, m4)
+	d := wantOne(t, res, "mate-set", SeverityWarning, "subsumed by MATE #1")
+	if !strings.Contains(d.Object, "MATE #0") {
+		t.Errorf("subsumption reported against wrong MATE: %v", d)
+	}
+
+	// A set of MATEs with incomparable literal sets is clean.
+	m5 := &core.MATE{Literals: []core.Literal{{Wire: c, Value: true}}, Masks: []netlist.WireID{c}}
+	res = runMates(nl, setOnly, m1, m5)
+	if ds := byAnalyzer(res, "mate-set"); len(ds) != 0 {
+		t.Errorf("clean MATE set flagged: %v", ds)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Whole-pipeline checks
+// ---------------------------------------------------------------------------
+
+// TestCoresLintClean is an acceptance gate: the shipped CPU cores must pass
+// every analyzer (including the exhaustive GM-term verification) with zero
+// findings.
+func TestCoresLintClean(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		nl   *netlist.Netlist
+	}{
+		{"avr", avr.NewCore().NL},
+		{"msp430", msp430.NewCore().NL},
+	} {
+		res := Run(tc.nl, Options{})
+		if len(res.Diagnostics) != 0 {
+			max := len(res.Diagnostics)
+			if max > 10 {
+				max = 10
+			}
+			t.Errorf("%s core is not lint-clean (%d error(s), %d warning(s)); first findings: %v",
+				tc.name, res.Errors, res.Warnings, res.Diagnostics[:max])
+		}
+	}
+}
+
+func TestOutputFormats(t *testing.T) {
+	b := netlist.NewBuilder("out")
+	a := b.Input("a")
+	x := b.Input("x")
+	out := b.Wire("clash")
+	b.AddGateWithOutput(cell.INV, []netlist.WireID{a}, out)
+	b.AddGateWithOutput(cell.INV, []netlist.WireID{x}, out)
+	q := b.FF("ff", out, false, "")
+	b.MarkOutput(q)
+	res := runStructural(b.Raw())
+
+	var text bytes.Buffer
+	if err := res.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), `error [multi-driven] wire "clash"`) {
+		t.Errorf("text output missing diagnostic line:\n%s", text.String())
+	}
+	if !strings.Contains(text.String(), `netlist "out": 1 error(s), 0 warning(s)`) {
+		t.Errorf("text output missing summary:\n%s", text.String())
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Netlist     string `json:"netlist"`
+		Errors      int    `json:"errors"`
+		Diagnostics []struct {
+			Analyzer string `json:"analyzer"`
+			Severity string `json:"severity"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON output does not parse: %v\n%s", err, buf.String())
+	}
+	if decoded.Netlist != "out" || decoded.Errors != 1 ||
+		len(decoded.Diagnostics) != 1 || decoded.Diagnostics[0].Severity != "error" {
+		t.Errorf("unexpected JSON result: %+v", decoded)
+	}
+}
+
+func TestPreflight(t *testing.T) {
+	b := netlist.NewBuilder("pf")
+	a := b.Input("a")
+	g := b.GateNamed("g", cell.INV, a)
+	q := b.FF("ff", g, false, "")
+	b.MarkOutput(q)
+	var out bytes.Buffer
+	if err := Preflight(&out, b.MustNetlist(), true); err != nil {
+		t.Fatalf("clean netlist failed preflight: %v", err)
+	}
+
+	bad := netlist.NewBuilder("pf_bad")
+	ba := bad.Input("a")
+	w := bad.Wire("w")
+	bad.AddGateWithOutput(cell.INV, []netlist.WireID{ba}, w)
+	bad.AddGateWithOutput(cell.INV, []netlist.WireID{ba}, w)
+	bq := bad.FF("ff", w, false, "")
+	bad.MarkOutput(bq)
+	out.Reset()
+	err := Preflight(&out, bad.Raw(), false)
+	if err == nil {
+		t.Fatal("multi-driven netlist passed preflight")
+	}
+	if !strings.Contains(out.String(), "lint: error [multi-driven]") {
+		t.Errorf("preflight output missing finding:\n%s", out.String())
+	}
+}
+
+func TestByNames(t *testing.T) {
+	as, err := ByNames([]string{"comb-cycle", "multi-driven"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registry order, not argument order.
+	if len(as) != 2 || as[0].Name != "multi-driven" || as[1].Name != "comb-cycle" {
+		t.Errorf("ByNames returned %v", as)
+	}
+	if _, err := ByNames([]string{"no-such"}); err == nil {
+		t.Error("ByNames accepted an unknown analyzer")
+	}
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+func init() {
+	Register(AnalyzerMateBorder)
+	Register(AnalyzerMateSet)
+}
+
+// AnalyzerMateBorder checks that every literal of every MATE lies on the
+// border of the fault cone of every wire the MATE claims to mask. During an
+// SEU on a cone source, every wire inside the cone is mistrusted (paper,
+// Section 4) — a literal over an in-cone wire conditions the trigger on a
+// potentially corrupted value and voids the soundness argument. A literal
+// outside the cone but not feeding any cone gate cannot contribute to
+// masking either; both cases indicate a malformed or hand-edited MATE set.
+var AnalyzerMateBorder = &Analyzer{
+	Name:          "mate-border",
+	Doc:           "every MATE literal must lie on the border of each masked wire's fault cone",
+	Kind:          KindSemantic,
+	NeedsMATEs:    true,
+	NeedsFinished: true,
+	Run:           runMateBorder,
+}
+
+func runMateBorder(p *Pass) {
+	type coneInfo struct {
+		cone   *core.Cone
+		border map[netlist.WireID]bool
+	}
+	cones := map[netlist.WireID]*coneInfo{}
+	coneOf := func(w netlist.WireID) *coneInfo {
+		if ci, ok := cones[w]; ok {
+			return ci
+		}
+		cone := core.ComputeCone(p.NL, w)
+		border := map[netlist.WireID]bool{}
+		for _, b := range cone.BorderWires(p.NL) {
+			border[b] = true
+		}
+		ci := &coneInfo{cone: cone, border: border}
+		cones[w] = ci
+		return ci
+	}
+
+	for mi, m := range p.MATESet.MATEs {
+		obj := mateRef(p.NL, mi, m)
+		for _, mask := range m.Masks {
+			if mask < 0 || int(mask) >= p.NL.NumWires() {
+				p.Reportf(SeverityError, obj, "masks invalid wire %d", mask)
+				continue
+			}
+			ci := coneOf(mask)
+			for _, l := range m.Literals {
+				if l.Wire < 0 || int(l.Wire) >= p.NL.NumWires() {
+					p.Reportf(SeverityError, obj, "literal references invalid wire %d", l.Wire)
+					continue
+				}
+				if ci.border[l.Wire] {
+					continue
+				}
+				if ci.cone.InCone[l.Wire] {
+					p.Reportf(SeverityError, obj,
+						"literal %s lies inside the fault cone of masked %s (mistrusted during the SEU)",
+						wireRef(p.NL, l.Wire), wireRef(p.NL, mask))
+				} else {
+					p.Reportf(SeverityError, obj,
+						"literal %s is not on the border of the fault cone of masked %s",
+						wireRef(p.NL, l.Wire), wireRef(p.NL, mask))
+				}
+			}
+		}
+	}
+}
+
+// AnalyzerMateSet flags redundancy and contradiction within a loaded MATE
+// set: terms that can never trigger (a wire required to be both 0 and 1),
+// exact duplicates of another term's literal set, and terms subsumed by a
+// weaker term that masks at least the same wires. None of these break
+// soundness, but they waste trigger hardware — the paper's cost metric.
+var AnalyzerMateSet = &Analyzer{
+	Name:       "mate-set",
+	Doc:        "MATE sets should be free of contradictory, duplicate and subsumed terms",
+	Kind:       KindSemantic,
+	NeedsMATEs: true,
+	Run:        runMateSet,
+}
+
+func runMateSet(p *Pass) {
+	mates := p.MATESet.MATEs
+
+	// Contradictions: same wire with both polarities in one conjunction.
+	for mi, m := range mates {
+		seen := map[netlist.WireID]bool{}
+		for _, l := range m.Literals {
+			prev, ok := seen[l.Wire]
+			if ok && prev != l.Value {
+				p.Reportf(SeverityWarning, mateRef(p.NL, mi, m),
+					"contradictory literals on %s: the MATE can never trigger", wireRef(p.NL, l.Wire))
+				break
+			}
+			seen[l.Wire] = l.Value
+		}
+	}
+
+	// Duplicates: identical literal sets should have been merged into one
+	// MATE with the union of the mask lists.
+	byKey := map[string]int{}
+	dup := make([]bool, len(mates))
+	for mi, m := range mates {
+		key := m.Key()
+		if first, ok := byKey[key]; ok {
+			dup[mi] = true
+			p.Reportf(SeverityWarning, mateRef(p.NL, mi, m),
+				"duplicate of MATE #%d (same literal set); merge their mask lists", first)
+			continue
+		}
+		byKey[key] = mi
+	}
+
+	// Subsumption: MATE i is redundant when some other MATE j triggers at
+	// least as often (literals(j) ⊆ literals(i)) and masks at least the
+	// same wires (masks(i) ⊆ masks(j)).
+	lits := make([]map[netlist.WireID]bool, len(mates))
+	masks := make([]map[netlist.WireID]bool, len(mates))
+	for mi, m := range mates {
+		lits[mi] = map[netlist.WireID]bool{}
+		for _, l := range m.Literals {
+			lits[mi][l.Wire] = l.Value
+		}
+		masks[mi] = map[netlist.WireID]bool{}
+		for _, w := range m.Masks {
+			masks[mi][w] = true
+		}
+	}
+	litSubset := func(j, i int) bool {
+		if len(mates[j].Literals) > len(mates[i].Literals) {
+			return false
+		}
+		for _, l := range mates[j].Literals {
+			v, ok := lits[i][l.Wire]
+			if !ok || v != l.Value {
+				return false
+			}
+		}
+		return true
+	}
+	maskSubset := func(i, j int) bool {
+		if len(masks[i]) > len(masks[j]) {
+			return false
+		}
+		for w := range masks[i] {
+			if !masks[j][w] {
+				return false
+			}
+		}
+		return true
+	}
+	for mi := range mates {
+		if dup[mi] {
+			continue // already reported as duplicate
+		}
+		for mj := range mates {
+			if mi == mj || dup[mj] {
+				continue
+			}
+			if len(mates[mj].Literals) == len(mates[mi].Literals) && mates[mj].Key() == mates[mi].Key() {
+				continue // exact duplicates handled above
+			}
+			if litSubset(mj, mi) && maskSubset(mi, mj) {
+				p.Reportf(SeverityWarning, mateRef(p.NL, mi, mates[mi]),
+					"subsumed by MATE #%d, which triggers at least as often and masks the same wires", mj)
+				break
+			}
+		}
+	}
+}
+
+// mateRef renders a stable reference to one MATE of the set: its index plus
+// its rendered conjunction (truncated — literal sets are small by
+// construction).
+func mateRef(nl *netlist.Netlist, idx int, m *core.MATE) string {
+	s := m.String(nl)
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return fmt.Sprintf("MATE #%d (%s)", idx, s)
+}

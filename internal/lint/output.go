@@ -1,0 +1,27 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders the diagnostics one per line, followed by a summary
+// line. A clean result prints only the summary.
+func (r *Result) WriteText(w io.Writer) error {
+	for _, d := range r.Diagnostics {
+		if _, err := fmt.Fprintf(w, "%s\n", d); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "netlist %q: %d error(s), %d warning(s)\n", r.Netlist, r.Errors, r.Warnings)
+	return err
+}
+
+// WriteJSON renders the whole result as one indented JSON object, suitable
+// for machine consumption in CI.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,26 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/netlist"
+)
+
+// Preflight runs the structural analyzers over a freshly loaded netlist,
+// printing any findings to w. It returns an error when the netlist has
+// error-severity findings, or — under strict — any finding at all. The
+// campaign tools (prune, campaign, matesearch) call this on every netlist
+// load so malformed inputs fail fast instead of corrupting a whole
+// campaign's pruning results.
+func Preflight(w io.Writer, nl *netlist.Netlist, strict bool) error {
+	res := Run(nl, Options{Analyzers: Structural()})
+	for _, d := range res.Diagnostics {
+		fmt.Fprintf(w, "lint: %s\n", d)
+	}
+	if res.Failed(strict) {
+		return fmt.Errorf("netlist %q failed preflight lint: %d error(s), %d warning(s)",
+			nl.Name, res.Errors, res.Warnings)
+	}
+	return nil
+}

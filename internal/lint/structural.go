@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+func init() {
+	Register(AnalyzerWireRefs)
+	Register(AnalyzerPinCount)
+	Register(AnalyzerDupNames)
+	Register(AnalyzerMultiDriven)
+	Register(AnalyzerUndriven)
+	Register(AnalyzerCombCycle)
+	Register(AnalyzerDeadLogic)
+}
+
+// AnalyzerWireRefs reports out-of-range wire references, including
+// unconnected flip-flop D inputs. These are collected during fact
+// computation because every other analyzer must already skip them.
+var AnalyzerWireRefs = &Analyzer{
+	Name: "wire-refs",
+	Doc:  "gates, flip-flops and ports must reference existing wires",
+	Kind: KindStructural,
+	Run: func(p *Pass) {
+		for _, ref := range p.Facts.BadRefs {
+			p.Report(SeverityError, "", ref)
+		}
+	},
+}
+
+// AnalyzerPinCount checks every gate instance against its library cell: the
+// number of connected input pins must match the cell's pin list (a width
+// mismatch corrupts truth-table evaluation and GM-term pin translation).
+var AnalyzerPinCount = &Analyzer{
+	Name: "pin-count",
+	Doc:  "gate instances must match their library cell's pin count",
+	Kind: KindStructural,
+	Run: func(p *Pass) {
+		for gi := range p.NL.Gates {
+			g := &p.NL.Gates[gi]
+			if g.Cell == nil {
+				p.Reportf(SeverityError, "gate "+g.Name, "has no library cell")
+				continue
+			}
+			if len(g.Inputs) != g.Cell.NumInputs() {
+				p.Reportf(SeverityError, "gate "+g.Name,
+					"connects %d input pins, cell %s has %d (%s)",
+					len(g.Inputs), g.Cell.Name, g.Cell.NumInputs(),
+					strings.Join(g.Cell.Pins, ","))
+			}
+		}
+	},
+}
+
+// AnalyzerDupNames reports wires sharing one qualified name. Name lookups
+// (WireByName, MATE-set I/O, VCD matching) silently resolve to one of the
+// duplicates, so this is an error even though simulation would still work.
+var AnalyzerDupNames = &Analyzer{
+	Name: "dup-wire-names",
+	Doc:  "every wire name must be unique within the netlist",
+	Kind: KindStructural,
+	Run: func(p *Pass) {
+		first := map[string]netlist.WireID{}
+		for w := range p.NL.Wires {
+			name := p.NL.Wires[w].Name
+			if name == "" {
+				continue
+			}
+			if prev, dup := first[name]; dup {
+				p.Reportf(SeverityError, fmt.Sprintf("wire %q", name),
+					"duplicate wire name (wires %d and %d); name-based lookups are ambiguous", prev, w)
+				continue
+			}
+			first[name] = netlist.WireID(w)
+		}
+	},
+}
+
+// AnalyzerMultiDriven reports wires with more than one driver. Such a wire
+// has no defined value; the simulator would silently use whichever driver
+// evaluates last.
+var AnalyzerMultiDriven = &Analyzer{
+	Name: "multi-driven",
+	Doc:  "every wire must have exactly one driver",
+	Kind: KindStructural,
+	Run: func(p *Pass) {
+		for w, ds := range p.Facts.Drivers {
+			if len(ds) <= 1 {
+				continue
+			}
+			descs := make([]string, len(ds))
+			for i, d := range ds {
+				descs[i] = describeDriver(p.NL, d)
+			}
+			p.Reportf(SeverityError, wireRef(p.NL, netlist.WireID(w)),
+				"driven %d times: %s", len(ds), strings.Join(descs, ", "))
+		}
+	},
+}
+
+// AnalyzerUndriven reports undriven wires. A floating wire feeding a gate
+// input, an FF D pin or a primary output makes every downstream value
+// undefined (error); an undriven wire nothing reads is merely dead weight
+// (warning).
+var AnalyzerUndriven = &Analyzer{
+	Name: "undriven",
+	Doc:  "wires feeding logic or ports must have a driver",
+	Kind: KindStructural,
+	Run: func(p *Pass) {
+		for w, ds := range p.Facts.Drivers {
+			if len(ds) != 0 {
+				continue
+			}
+			id := netlist.WireID(w)
+			var feeds []string
+			for _, fr := range p.Facts.GateSinks[w] {
+				feeds = append(feeds, fmt.Sprintf("gate %s pin %d", p.NL.Gates[fr.Gate].Name, fr.Pin))
+			}
+			for _, fi := range p.Facts.FFSinks[w] {
+				feeds = append(feeds, "ff "+p.NL.FFs[fi].Name+" D input")
+			}
+			if p.Facts.IsOutput[w] {
+				feeds = append(feeds, "a primary output")
+			}
+			if len(feeds) == 0 {
+				p.Report(SeverityWarning, wireRef(p.NL, id), "undriven and unused (dangling wire)")
+				continue
+			}
+			p.Reportf(SeverityError, wireRef(p.NL, id),
+				"undriven but feeds %s", strings.Join(feeds, ", "))
+		}
+	},
+}
+
+// AnalyzerCombCycle finds combinational cycles via Tarjan's SCC algorithm
+// over the gate graph (gate u → every gate consuming u's output). Unlike
+// the levelisation in Netlist.Finish — which only counts how many gates it
+// failed to order — this names the gates on each cycle.
+var AnalyzerCombCycle = &Analyzer{
+	Name: "comb-cycle",
+	Doc:  "the combinational gate graph must be acyclic",
+	Kind: KindStructural,
+	Run:  runCombCycle,
+}
+
+func runCombCycle(p *Pass) {
+	ng := len(p.NL.Gates)
+	const unvisited = -1
+	index := make([]int32, ng)
+	lowlink := make([]int32, ng)
+	onStack := make([]bool, ng)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []int32
+	var next int32
+	var sccs [][]int32
+
+	var strongconnect func(v int32)
+	strongconnect = func(v int32) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, fr := range gateSucc(p, v) {
+			w := fr.Gate
+			if index[w] == unvisited {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var scc []int32
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			} else if gateFeedsItself(p, scc[0]) {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for v := int32(0); v < int32(ng); v++ {
+		if index[v] == unvisited {
+			strongconnect(v)
+		}
+	}
+
+	for _, scc := range sccs {
+		sort.Slice(scc, func(i, j int) bool { return scc[i] < scc[j] })
+		names := make([]string, 0, len(scc))
+		for i, gi := range scc {
+			if i == 8 {
+				names = append(names, fmt.Sprintf("… %d more", len(scc)-i))
+				break
+			}
+			names = append(names, p.NL.Gates[gi].Name)
+		}
+		p.Reportf(SeverityError, fmt.Sprintf("cycle of %d gate(s)", len(scc)),
+			"combinational cycle through %s", strings.Join(names, " → "))
+	}
+}
+
+func gateFeedsItself(p *Pass, gi int32) bool {
+	for _, fr := range gateSucc(p, gi) {
+		if fr.Gate == gi {
+			return true
+		}
+	}
+	return false
+}
+
+// gateSucc returns the gate→gate successors of gi: the sinks of its output
+// wire.
+func gateSucc(p *Pass, gi int32) []netlist.FanoutRef {
+	out := p.NL.Gates[gi].Output
+	if out < 0 || int(out) >= len(p.Facts.GateSinks) {
+		return nil
+	}
+	return p.Facts.GateSinks[out]
+}
+
+// AnalyzerDeadLogic reports gates and flip-flops from which no fault can
+// ever reach architecturally visible state (an FF D input or a primary
+// output). Dead logic inflates the fault list with points whose outcome is
+// benign by construction; for flip-flops it additionally signals that the
+// netlist models state the design never uses.
+var AnalyzerDeadLogic = &Analyzer{
+	Name: "dead-logic",
+	Doc:  "cells and flip-flops must have a path to an FF D input or primary output",
+	Kind: KindStructural,
+	Run: func(p *Pass) {
+		for gi := range p.NL.Gates {
+			g := &p.NL.Gates[gi]
+			if g.Output < 0 || int(g.Output) >= len(p.Facts.Observable) {
+				continue // wire-refs reports this
+			}
+			if !p.Facts.Observable[g.Output] {
+				p.Report(SeverityWarning, "gate "+g.Name,
+					"dead cell: output reaches no FF D input or primary output")
+			}
+		}
+		for fi := range p.NL.FFs {
+			ff := &p.NL.FFs[fi]
+			if ff.Q < 0 || int(ff.Q) >= len(p.Facts.Observable) {
+				continue
+			}
+			if !p.Facts.Observable[ff.Q] {
+				p.Report(SeverityWarning, "ff "+ff.Name,
+					"unobservable flip-flop: Q reaches no FF D input or primary output")
+			}
+		}
+	},
+}

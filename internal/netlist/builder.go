@@ -2,24 +2,32 @@ package netlist
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cell"
 )
 
 // Builder constructs a Netlist incrementally. It hands out wire ids, keeps
 // constant (TIE) drivers deduplicated, and names anonymous wires
-// deterministically.
+// deterministically. Duplicate qualified wire names are recorded as they
+// are created and reported by Netlist, so the error points at the offending
+// Wire call rather than surfacing later during Finish.
 type Builder struct {
 	nl     *Netlist
 	tie0   *WireID
 	tie1   *WireID
 	prefix string
+	names  map[string]WireID // qualified name -> first wire; shared across scopes
+	dups   *[]string         // duplicate-name reports; shared across scopes
 }
 
 // NewBuilder creates a builder for a netlist with the given name.
 func NewBuilder(name string) *Builder {
 	t0, t1 := NoWire, NoWire
-	return &Builder{nl: &Netlist{Name: name}, tie0: &t0, tie1: &t1}
+	return &Builder{
+		nl: &Netlist{Name: name}, tie0: &t0, tie1: &t1,
+		names: map[string]WireID{}, dups: new([]string),
+	}
 }
 
 // Scope returns a child view of the builder that prefixes all names with
@@ -42,21 +50,30 @@ func (b *Builder) qualify(name string) string {
 }
 
 // Wire creates a new named wire. An empty name gets an automatic one that
-// is unique across the whole netlist (the running wire count).
+// is unique across the whole netlist (the running wire count). Creating two
+// wires with the same qualified name in one netlist is an error, reported
+// by Netlist.
 func (b *Builder) Wire(name string) WireID {
 	if name == "" {
 		return b.autoWire()
 	}
-	id := WireID(len(b.nl.Wires))
-	b.nl.Wires = append(b.nl.Wires, Wire{Name: b.qualify(name)})
-	return id
+	return b.addWire(b.qualify(name))
 }
 
 // autoWire creates an anonymous wire named by its global index, which is
 // unique regardless of builder scope.
 func (b *Builder) autoWire() WireID {
+	return b.addWire(fmt.Sprintf("_n%d", len(b.nl.Wires)))
+}
+
+func (b *Builder) addWire(qualified string) WireID {
 	id := WireID(len(b.nl.Wires))
-	b.nl.Wires = append(b.nl.Wires, Wire{Name: fmt.Sprintf("_n%d", id)})
+	if prev, dup := b.names[qualified]; dup {
+		*b.dups = append(*b.dups, fmt.Sprintf("%q (wires %d and %d)", qualified, prev, id))
+	} else {
+		b.names[qualified] = id
+	}
+	b.nl.Wires = append(b.nl.Wires, Wire{Name: qualified})
 	return id
 }
 
@@ -160,6 +177,9 @@ func (b *Builder) SetFFD(q, d WireID) {
 
 // Netlist finalises and returns the built netlist.
 func (b *Builder) Netlist() (*Netlist, error) {
+	if len(*b.dups) > 0 {
+		return nil, fmt.Errorf("builder: duplicate wire names: %s", strings.Join(*b.dups, "; "))
+	}
 	for i := range b.nl.FFs {
 		if b.nl.FFs[i].D == NoWire {
 			return nil, fmt.Errorf("builder: FF %s has unconnected D", b.nl.FFs[i].Name)
@@ -179,6 +199,13 @@ func (b *Builder) MustNetlist() *Netlist {
 	}
 	return nl
 }
+
+// Raw returns the netlist under construction without validation or
+// finalisation. The result may be structurally ill-formed (undriven or
+// multi-driven wires, combinational cycles, unconnected FF D inputs); it is
+// meant for static analysis (internal/lint), which diagnoses such netlists
+// instead of rejecting them.
+func (b *Builder) Raw() *Netlist { return b.nl }
 
 // MarkInput declares an existing wire as a primary input. Used by netlist
 // readers that create wires before knowing their role; Input remains the

@@ -89,6 +89,12 @@ type Netlist struct {
 // NumWires returns the number of wires.
 func (n *Netlist) NumWires() int { return len(n.Wires) }
 
+// Finished reports whether Finish has validated the netlist and built the
+// derived structures. Raw netlists (Builder.Raw, verilog.ReadRaw) stay
+// unfinished until Finish succeeds; analyses that need fanout or the
+// evaluation order must check this first.
+func (n *Netlist) Finished() bool { return n.finished }
+
 // WireByName looks up a wire id by its full hierarchical name.
 func (n *Netlist) WireByName(name string) (WireID, bool) {
 	id, ok := n.byName[name]

@@ -216,3 +216,128 @@ func TestDuplicateNameRejected(t *testing.T) {
 		t.Fatalf("expected duplicate-name error, got %v", err)
 	}
 }
+
+func TestDuplicateNameAcrossScopes(t *testing.T) {
+	b := NewBuilder("dupscope")
+	s1 := b.Scope("cpu")
+	s2 := b.Scope("cpu")
+	in := s1.Input("x")
+	s2.Wire("x") // same qualified name "cpu.x" via a sibling scope view
+	b.MarkOutput(in)
+	_, err := b.Netlist()
+	if err == nil {
+		t.Fatal("expected duplicate-name error for same qualified name from two scope views")
+	}
+	if !strings.Contains(err.Error(), `"cpu.x"`) ||
+		!strings.Contains(err.Error(), "wires 0 and 1") {
+		t.Errorf("error %q does not locate both wires", err)
+	}
+}
+
+func TestScopeNestingAndAnonymousWires(t *testing.T) {
+	b := NewBuilder("nest")
+	outer := b.Scope("cpu")
+	inner := outer.Scope("alu")
+	w1 := outer.Wire("t")
+	w2 := inner.Wire("t") // distinct: cpu.t vs cpu.alu.t
+	// Anonymous wires must be unique across all scope views.
+	a1 := outer.Wire("")
+	a2 := inner.Wire("")
+	a3 := b.Wire("")
+	nl := b.Raw()
+	if got := nl.WireName(w1); got != "cpu.t" {
+		t.Errorf("outer wire name = %q", got)
+	}
+	if got := nl.WireName(w2); got != "cpu.alu.t" {
+		t.Errorf("inner wire name = %q", got)
+	}
+	names := map[string]bool{}
+	for _, w := range []WireID{a1, a2, a3} {
+		n := nl.WireName(w)
+		if names[n] {
+			t.Errorf("anonymous wire name %q not unique", n)
+		}
+		names[n] = true
+	}
+	// The shared duplicate bookkeeping must see no duplicates here.
+	in := b.Input("i")
+	g := b.Gate(cell.BUF, in)
+	b.MarkOutput(g)
+	// w1, w2 and the anonymous wires are undriven; drive them so Finish
+	// can succeed and prove the names were accepted.
+	b.AddGateWithOutput(cell.BUF, []WireID{in}, w1)
+	b.AddGateWithOutput(cell.BUF, []WireID{in}, w2)
+	b.AddGateWithOutput(cell.BUF, []WireID{in}, a1)
+	b.AddGateWithOutput(cell.BUF, []WireID{in}, a2)
+	b.AddGateWithOutput(cell.BUF, []WireID{in}, a3)
+	for _, w := range []WireID{w1, w2, a1, a2, a3} {
+		b.MarkOutput(w)
+	}
+	if _, err := b.Netlist(); err != nil {
+		t.Fatalf("nested scopes produced an invalid netlist: %v", err)
+	}
+}
+
+func TestSweepDead(t *testing.T) {
+	b := NewBuilder("sweep")
+	a := b.Input("a")
+	x := b.Input("x")
+	live := b.GateNamed("g_live", cell.AND2, a, x)
+	q := b.FF("ff", live, false, "")
+	b.MarkOutput(q)
+	// Dead chain: d1 feeds only d2, d2 feeds nothing.
+	d1 := b.GateNamed("g_d1", cell.OR2, a, x)
+	b.GateNamed("g_d2", cell.INV, d1)
+	nl := b.MustNetlist()
+
+	swept, remap, err := SweepDead(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept.Gates) != 1 || swept.Gates[0].Name != "g_live_AND2" {
+		t.Fatalf("swept gates = %v, want only the live gate", swept.Gates)
+	}
+	if len(swept.Wires) != len(nl.Wires)-2 {
+		t.Errorf("swept wires = %d, want %d", len(swept.Wires), len(nl.Wires)-2)
+	}
+	if !swept.Finished() {
+		t.Error("swept netlist is not finished")
+	}
+	// Live wires keep their names through the remap.
+	for _, w := range []WireID{a, x, live, q} {
+		if got := swept.WireName(remap.Wire(w)); got != nl.WireName(w) {
+			t.Errorf("remap changed wire name: %q -> %q", nl.WireName(w), got)
+		}
+	}
+	// Ports survive.
+	if len(swept.Inputs) != len(nl.Inputs) || len(swept.Outputs) != len(nl.Outputs) {
+		t.Errorf("ports changed: %d/%d inputs, %d/%d outputs",
+			len(swept.Inputs), len(nl.Inputs), len(swept.Outputs), len(nl.Outputs))
+	}
+	// Accessing a removed wire must panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("remap.Wire on a removed wire did not panic")
+			}
+		}()
+		remap.Wire(d1)
+	}()
+}
+
+func TestSweepDeadIdentityOnCleanNetlist(t *testing.T) {
+	// Every fig1a gate reaches a primary output, so nothing is dead.
+	nl, w := buildExample(t)
+	swept, remap, err := SweepDead(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swept != nl {
+		t.Error("sweep of a fully-live netlist did not return the original")
+	}
+	for name, id := range w {
+		if remap.Wire(id) != id {
+			t.Errorf("identity remap moved wire %s", name)
+		}
+	}
+}

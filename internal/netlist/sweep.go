@@ -1,0 +1,144 @@
+package netlist
+
+import "fmt"
+
+// WireRemap maps wire ids of a pre-transformation netlist to the ids of
+// the transformed one; removed wires map to NoWire.
+type WireRemap []WireID
+
+// Wire translates one wire id. It panics when the wire was removed — a
+// caller holding a reference to a swept wire is a bug, not a condition to
+// handle.
+func (r WireRemap) Wire(w WireID) WireID {
+	nw := r[w]
+	if nw == NoWire {
+		panic(fmt.Sprintf("netlist: wire %d was removed by the sweep but is still referenced", w))
+	}
+	return nw
+}
+
+// Wires translates a slice of wire ids into a fresh slice.
+func (r WireRemap) Wires(ws []WireID) []WireID {
+	out := make([]WireID, len(ws))
+	for i, w := range ws {
+		out[i] = r.Wire(w)
+	}
+	return out
+}
+
+// SweepDead returns a copy of the netlist with every unobservable gate
+// removed: a gate is dead when no path leads from its output to any
+// flip-flop D input or primary output, so no fault through it can ever
+// become architecturally visible. Generated netlists accumulate such gates
+// (unused decoder lines, the final carry of an adder) that a synthesis tool
+// would strip; sweeping them shrinks the simulator workload and keeps the
+// shipped cores clean under internal/lint's dead-logic analyzer.
+//
+// Only gates and their output wires are removed — flip-flops, ports and
+// named signals survive, and a dead gate's output can only feed other dead
+// gates (observability is transitively closed), so the removal is
+// self-contained. The returned remap translates old wire ids; the new
+// netlist is finished and ready to use.
+func SweepDead(nl *Netlist) (*Netlist, WireRemap, error) {
+	nw := len(nl.Wires)
+	valid := func(w WireID) bool { return w >= 0 && int(w) < nw }
+
+	// Backward reachability from the sinks, over raw fields only.
+	driverGate := make([]int32, nw)
+	for i := range driverGate {
+		driverGate[i] = -1
+	}
+	for gi := range nl.Gates {
+		if valid(nl.Gates[gi].Output) {
+			driverGate[nl.Gates[gi].Output] = int32(gi)
+		}
+	}
+	observable := make([]bool, nw)
+	var stack []WireID
+	mark := func(w WireID) {
+		if valid(w) && !observable[w] {
+			observable[w] = true
+			stack = append(stack, w)
+		}
+	}
+	for fi := range nl.FFs {
+		mark(nl.FFs[fi].D)
+	}
+	for _, w := range nl.Outputs {
+		mark(w)
+	}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if gi := driverGate[w]; gi >= 0 {
+			for _, in := range nl.Gates[gi].Inputs {
+				mark(in)
+			}
+		}
+	}
+
+	removedWire := make([]bool, nw)
+	keepGate := make([]bool, len(nl.Gates))
+	removedGates := 0
+	for gi := range nl.Gates {
+		out := nl.Gates[gi].Output
+		keepGate[gi] = valid(out) && observable[out]
+		if !keepGate[gi] {
+			removedGates++
+			if valid(out) {
+				removedWire[out] = true
+			}
+		}
+	}
+	if removedGates == 0 {
+		identity := make(WireRemap, nw)
+		for i := range identity {
+			identity[i] = WireID(i)
+		}
+		return nl, identity, nil
+	}
+
+	remap := make(WireRemap, nw)
+	out := &Netlist{Name: nl.Name}
+	for w := 0; w < nw; w++ {
+		if removedWire[w] {
+			remap[w] = NoWire
+			continue
+		}
+		remap[w] = WireID(len(out.Wires))
+		out.Wires = append(out.Wires, nl.Wires[w])
+	}
+	out.Inputs = remap.Wires(nl.Inputs)
+	out.Outputs = remap.Wires(nl.Outputs)
+	for gi := range nl.Gates {
+		if !keepGate[gi] {
+			continue
+		}
+		g := nl.Gates[gi]
+		out.Gates = append(out.Gates, Gate{
+			Name:   g.Name,
+			Cell:   g.Cell,
+			Inputs: remap.Wires(g.Inputs),
+			Output: remap.Wire(g.Output),
+		})
+	}
+	for _, ff := range nl.FFs {
+		out.FFs = append(out.FFs, FF{
+			Name: ff.Name, D: remap.Wire(ff.D), Q: remap.Wire(ff.Q),
+			Init: ff.Init, Group: ff.Group,
+		})
+	}
+	if err := out.Finish(); err != nil {
+		return nil, nil, fmt.Errorf("netlist: sweep of %s produced an invalid netlist: %w", nl.Name, err)
+	}
+	return out, remap, nil
+}
+
+// MustSweepDead is SweepDead that panics on error; for core generators.
+func MustSweepDead(nl *Netlist) (*Netlist, WireRemap) {
+	out, remap, err := SweepDead(nl)
+	if err != nil {
+		panic(err)
+	}
+	return out, remap
+}

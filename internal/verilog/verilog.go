@@ -137,6 +137,21 @@ func Read(r io.Reader) (*netlist.Netlist, error) {
 	return p.parseModule()
 }
 
+// ReadRaw parses like Read but skips the final structural validation,
+// returning the netlist even when it is ill-formed (multi-driven wires,
+// combinational cycles, floating gate inputs). Syntax errors still fail.
+// cmd/netlistlint loads its input this way: the lint analyzers then produce
+// one precise diagnostic per defect where Read would return a single
+// opaque error.
+func ReadRaw(r io.Reader) (*netlist.Netlist, error) {
+	toks, err := tokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, raw: true}
+	return p.parseModule()
+}
+
 type token struct {
 	kind tokenKind
 	text string
@@ -283,6 +298,7 @@ type parser struct {
 
 	b     *netlist.Builder
 	wires map[string]netlist.WireID
+	raw   bool // skip validation in finish (ReadRaw)
 	// pending attribute values for the next DFF
 	nextInit  bool
 	nextGroup string
@@ -580,6 +596,9 @@ func (p *parser) finish(inputs, outputs []string) (*netlist.Netlist, error) {
 	}
 	for _, n := range outputs {
 		p.b.MarkOutput(p.wires[n])
+	}
+	if p.raw {
+		return p.b.Raw(), nil
 	}
 	return p.b.Netlist()
 }

@@ -243,3 +243,33 @@ endmodule
 		t.Fatalf("default FF attrs: %+v", nl2.FFs[0])
 	}
 }
+
+func TestReadRawAcceptsIllFormed(t *testing.T) {
+	// Two drivers for n1: Read must reject it, ReadRaw must return the
+	// netlist unfinished so the lint analyzers can diagnose it.
+	src := `module m (a, b, q);
+  input a; input b; output q;
+  wire n1;
+  INV g0 (.A(a), .Y(n1));
+  INV g1 (.A(b), .Y(n1));
+  DFF f0 (.D(n1), .Q(q));
+endmodule`
+	if _, err := Read(strings.NewReader(src)); err == nil {
+		t.Error("Read accepted a multi-driven netlist")
+	}
+	nl, err := ReadRaw(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadRaw: %v", err)
+	}
+	if nl.Finished() {
+		t.Error("ReadRaw returned a finished netlist")
+	}
+	if len(nl.Gates) != 2 || len(nl.FFs) != 1 || len(nl.Inputs) != 2 {
+		t.Errorf("raw netlist incomplete: %d gates, %d FFs, %d inputs",
+			len(nl.Gates), len(nl.FFs), len(nl.Inputs))
+	}
+	// Syntax errors still fail.
+	if _, err := ReadRaw(strings.NewReader("module broken (")); err == nil {
+		t.Error("ReadRaw accepted a syntax error")
+	}
+}

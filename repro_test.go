@@ -134,8 +134,7 @@ func TestReproMATESoundnessOnCores(t *testing.T) {
 			n, viol := oracle.ValidateMATE(m, c.TraceFib)
 			checked += n
 			if viol != nil {
-				t.Fatalf("%s: MATE %s unsound at cycle %d, wire %s",
-					c.Name, m.String(c.NL), viol.Cycle, c.NL.WireName(viol.Wire))
+				t.Fatalf("%s: MATE %s unsound at %s", c.Name, m.String(c.NL), viol)
 			}
 		}
 		if checked == 0 {
