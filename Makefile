@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race lint-examples
+.PHONY: check build vet test race lint-examples campaign-smoke
 
 # The CI gate: everything a PR must pass.
-check: vet build test race lint-examples
+check: vet build test race lint-examples campaign-smoke
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,8 @@ lint-examples:
 	$(GO) run ./cmd/netlistlint -strict -cpu avr
 	$(GO) run ./cmd/netlistlint -strict -cpu msp430
 	$(GO) run ./cmd/netlistlint -strict -verilog cmd/netlistlint/testdata/clean.v
+
+# End-to-end crash-resume drill: interrupt a short campaign mid-flight,
+# resume from its journal, and require the exact uninterrupted result.
+campaign-smoke:
+	./scripts/campaign_smoke.sh

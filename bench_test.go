@@ -17,13 +17,18 @@ package repro
 // Run everything with:  go test -bench=. -benchmem
 import (
 	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
 	"strconv"
 	"testing"
 
 	"repro/internal/collapse"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/hafi"
 	"repro/internal/intercycle"
+	"repro/internal/journal"
 	"repro/internal/netlist"
 	"repro/internal/prune"
 	"repro/internal/verilog"
@@ -135,11 +140,55 @@ func BenchmarkCampaign(b *testing.B) {
 	params := core.DefaultSearchParams()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		row, err := experiments.Campaign(c, "fib", 500, params, false)
+		row, err := experiments.Campaign(context.Background(), c, "fib", 500, params, false)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if row.Result.Total == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
+// BenchmarkCampaignJournal is BenchmarkCampaign with a durable journal
+// attached: same golden run, MATE search and batched campaign, plus one
+// crash-recovery record per classified point. The delta against
+// BenchmarkCampaign is the journal write overhead (EXPERIMENTS.md tracks
+// it; the resilience contract demands it stays within a few percent).
+func BenchmarkCampaignJournal(b *testing.B) {
+	c := experiments.PrepareAVR()
+	params := core.DefaultSearchParams()
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := c.NewRun(c.FibProg)
+		golden, err := hafi.RecordGolden(run, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		set := core.Search(c.NL, c.FaultAll, params).Set
+		ctl := hafi.NewController(run, golden)
+		run64, err := c.NewRun64(c.FibProg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points := hafi.SampledFaultList(c.NL, golden.HaltCycle, 500)
+		jw, err := journal.Create(filepath.Join(dir, fmt.Sprintf("bench-%d.journal", i)), ctl.JournalHeader(points))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := ctl.RunCampaignBatched(hafi.CampaignConfig{
+			Points:  points,
+			MATESet: set,
+			Journal: jw,
+		}, run64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := jw.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if res.Total == 0 {
 			b.Fatal("empty campaign")
 		}
 	}

@@ -6,19 +6,33 @@
 //	campaign -cpu avr -prog fib -stride 25
 //	campaign -cpu msp430 -prog conv -stride 50 -noprune
 //	campaign -cpu avr -prog fib -validate     # verify every pruned point
+//
+// Campaigns are interruptible and resumable: with -journal, every
+// classified point is durably logged, SIGINT/SIGTERM drains in-flight
+// experiments and prints the partial result with an `interrupted: true`
+// marker (exit status 130), and -resume replays the journal and finishes
+// only the remaining points — reproducing the exact result of an
+// uninterrupted run.
+//
+//	campaign -cpu avr -prog fib -journal fib.journal          # crash-safe
+//	campaign -cpu avr -prog fib -journal fib.journal -resume  # pick it up
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu/avr"
 	"repro/internal/cpu/msp430"
 	"repro/internal/hafi"
+	"repro/internal/journal"
 	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/progs"
@@ -27,13 +41,38 @@ import (
 func main() {
 	cpu := flag.String("cpu", "avr", "processor: avr or msp430")
 	prog := flag.String("prog", "fib", "built-in workload: fib, conv or sort")
-	stride := flag.Int("stride", 25, "inject every FF at every stride-th cycle")
+	stride := flag.Int("stride", 25, "inject every FF at every stride-th cycle (>= 1)")
 	noPrune := flag.Bool("noprune", false, "disable online MATE pruning")
 	validate := flag.Bool("validate", false, "re-execute pruned points and verify benignity")
 	noRF := flag.Bool("norf", false, "exclude the register file from the fault list")
 	sequential := flag.Bool("sequential", false, "use the sequential controller instead of the 64-lane batched engine")
 	strict := flag.Bool("strict", false, "preflight lint: treat warnings as failures")
+	journalPath := flag.String("journal", "", "durably log every classified point to this file")
+	resume := flag.Bool("resume", false, "resume from the -journal file: replay classified points, run only the rest")
+	interruptAfter := flag.Int("interruptafter", 0, "cancel the campaign after N classified points (deterministic interruption for tests; 0 = never)")
 	flag.Parse()
+
+	// Argument hardening: a typo must produce a usage error, not a silent
+	// fall-through to the default workload.
+	switch *cpu {
+	case "avr", "msp430":
+	default:
+		usage("unknown cpu %q (want avr or msp430)", *cpu)
+	}
+	switch *prog {
+	case "fib", "conv", "sort":
+	default:
+		usage("unknown workload %q (want fib, conv or sort)", *prog)
+	}
+	if *stride < 1 {
+		usage("-stride %d out of range (want >= 1)", *stride)
+	}
+	if *resume && *journalPath == "" {
+		usage("-resume requires -journal")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var factory func() hafi.Run
 	var factory64 func() (hafi.Run64, error)
@@ -66,8 +105,6 @@ func main() {
 		factory = func() hafi.Run { return hafi.NewMSP430Run(msp430.NewCore(), p) }
 		factory64 = func() (hafi.Run64, error) { return hafi.NewMSP430Run64(msp430.NewCore(), p) }
 		groups = []string{msp430.GroupRegFile}
-	default:
-		fail(fmt.Errorf("unknown cpu %q", *cpu))
 	}
 	if err := lint.Preflight(os.Stderr, nl, *strict); err != nil {
 		fail(err)
@@ -87,36 +124,77 @@ func main() {
 
 	var set *core.MATESet
 	if !*noPrune {
-		res := core.Search(nl, nl.FFQWires(groups...), core.DefaultSearchParams())
+		params := core.DefaultSearchParams()
+		params.Context = ctx
+		res := core.Search(nl, nl.FFQWires(groups...), params)
+		if res.Interrupted {
+			fmt.Println("interrupted: true (during MATE search, no experiments run)")
+			os.Exit(130)
+		}
 		set = res.Set
 		fmt.Printf("MATE search: %d MATEs in %v\n", set.Size(), res.Elapsed.Round(time.Millisecond))
 	}
 
 	points := hafi.SampledFaultList(nl, golden.HaltCycle, *stride, groups...)
 	ctl := hafi.NewControllerPool(factory, golden)
+
+	var jw *journal.Writer
+	var recovered *journal.Recovered
+	if *journalPath != "" {
+		hdr := ctl.JournalHeader(points)
+		if *resume {
+			jw, recovered, err = journal.Resume(*journalPath, hdr)
+			if err == nil && (recovered.Torn || recovered.Corrupt) {
+				fmt.Fprintf(os.Stderr, "campaign: journal tail damaged (torn=%v corrupt=%v, %d bytes dropped); affected points will re-run\n",
+					recovered.Torn, recovered.Corrupt, recovered.DroppedBytes)
+			}
+		} else {
+			jw, err = journal.Create(*journalPath, hdr)
+		}
+		if err != nil {
+			fail(err)
+		}
+		defer jw.Close()
+	}
+
+	cfg := hafi.CampaignConfig{
+		Points:          points,
+		MATESet:         set,
+		ValidateSkipped: *validate,
+		Context:         ctx,
+		Journal:         jw,
+		Resume:          recovered,
+	}
+	if *interruptAfter > 0 {
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		cfg.Context = cctx
+		n := *interruptAfter
+		cfg.Progress = func(done int) {
+			if done >= n {
+				cancel()
+			}
+		}
+	}
+
 	start = time.Now()
 	var res *hafi.CampaignResult
 	if *sequential {
-		res, err = ctl.RunCampaign(hafi.CampaignConfig{
-			Points:          points,
-			Workers:         runtime.NumCPU(),
-			MATESet:         set,
-			ValidateSkipped: *validate,
-		})
+		cfg.Workers = runtime.NumCPU()
+		res, err = ctl.RunCampaign(cfg)
 	} else {
 		var run64 hafi.Run64
 		run64, err = factory64()
 		if err != nil {
 			fail(err)
 		}
-		res, err = ctl.RunCampaignBatched(hafi.CampaignConfig{
-			Points:          points,
-			MATESet:         set,
-			ValidateSkipped: *validate,
-		}, run64)
+		res, err = ctl.RunCampaignBatched(cfg, run64)
 	}
 	if err != nil {
 		fail(err)
+	}
+	if recovered != nil {
+		fmt.Printf("resumed:    %d points replayed from %s\n", len(recovered.ByIndex), *journalPath)
 	}
 	fmt.Printf("campaign:   %d injection points (stride %d)\n", res.Total, *stride)
 	fmt.Printf("pruned:     %d (%.2f%%) proven benign online by MATEs\n",
@@ -124,12 +202,28 @@ func main() {
 	fmt.Printf("executed:   %d experiments in %v\n", res.Executed, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("outcomes:   benign=%d sdc=%d hang=%d\n",
 		res.ByOutcome[hafi.OutcomeBenign], res.ByOutcome[hafi.OutcomeSDC], res.ByOutcome[hafi.OutcomeHang])
+	if n := res.ByOutcome[hafi.OutcomeHarnessError]; n > 0 {
+		fmt.Printf("harness:    %d experiments failed in the harness (outcome %s)\n", n, hafi.OutcomeHarnessError)
+	}
 	if *validate {
 		fmt.Printf("validation: %d pruned points re-executed, %d violations\n", res.Skipped, res.SkippedWrong)
 		if res.SkippedWrong > 0 {
 			fail(fmt.Errorf("MATE soundness violated"))
 		}
 	}
+	if res.Interrupted {
+		fmt.Println("interrupted: true (partial result; resume with -journal ... -resume)")
+		if jw != nil {
+			jw.Close()
+		}
+		os.Exit(130)
+	}
+}
+
+func usage(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fail(err error) {

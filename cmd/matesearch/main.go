@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/cpu/avr"
@@ -100,10 +103,14 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	params := core.DefaultSearchParams()
 	params.Depth = *depth
 	params.MaxTerms = *maxTerms
 	params.MaxCandidates = *maxCand
+	params.Context = ctx
 
 	st := nl.Stats()
 	fmt.Printf("netlist %s: %s\n", nl.Name, st)
@@ -122,6 +129,13 @@ func main() {
 		for _, m := range res.Set.MATEs {
 			fmt.Printf("  %s (masks %d wires)\n", m.String(nl), len(m.Masks))
 		}
+	}
+	if res.Interrupted {
+		// A partial MATE set is sound (every MATE found is valid) but
+		// covers only part of the fault set; refuse to persist it so it
+		// cannot masquerade as a complete search result.
+		fmt.Println("interrupted: true (partial search, output file not written)")
+		os.Exit(130)
 	}
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/cpu/avr"
@@ -38,6 +41,9 @@ func main() {
 	inter := flag.Bool("intercycle", false, "run the offline inter-cycle analysis instead of MATE replay")
 	strict := flag.Bool("strict", false, "preflight lint: treat warnings as failures")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var nl *netlist.Netlist
 	var wires []netlist.WireID
@@ -123,7 +129,14 @@ func main() {
 			fail(err)
 		}
 	} else {
-		set = core.Search(nl, wires, core.DefaultSearchParams()).Set
+		params := core.DefaultSearchParams()
+		params.Context = ctx
+		sres := core.Search(nl, wires, params)
+		if sres.Interrupted {
+			fmt.Println("interrupted: true (during MATE search, nothing evaluated)")
+			os.Exit(130)
+		}
+		set = sres.Set
 	}
 
 	if *top > 0 {
@@ -131,12 +144,16 @@ func main() {
 		fmt.Printf("selected top %d MATEs by trace hit count\n", set.Size())
 	}
 
-	res := prune.Evaluate(set, tr, wires)
+	res := prune.EvaluateContext(ctx, set, tr, wires)
 	fmt.Printf("trace:            %d cycles, %d fault wires\n", res.Cycles, res.FaultWires)
 	fmt.Printf("fault space:      %d points\n", res.TotalPoints)
 	fmt.Printf("pruned as benign: %d points (%.2f%%)\n", res.MaskedPoints, 100*res.Reduction())
 	fmt.Printf("effective MATEs:  %d (avg %.1f ± %.1f inputs)\n",
 		res.EffectiveMATEs, res.AvgInputs, res.StdInputs)
+	if res.Interrupted {
+		fmt.Println("interrupted: true (partial replay; masked count is a lower bound)")
+		os.Exit(130)
+	}
 }
 
 func fail(err error) {

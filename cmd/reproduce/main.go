@@ -16,9 +16,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -34,19 +37,31 @@ func main() {
 	validate := flag.Bool("validate", false, "campaign: re-execute pruned points to verify benignity")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	params := core.DefaultSearchParams()
 	params.Depth = *depth
 	params.MaxTerms = *maxTerms
 	params.MaxCandidates = *maxCand
+	params.Context = ctx
 
 	run := func(name string, fn func() error) {
 		if *what != "all" && *what != name {
 			return
 		}
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: interrupted before %s\n", name)
+			os.Exit(130)
+		}
 		start := time.Now()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "reproduce %s: %v\n", name, err)
 			os.Exit(1)
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: interrupted during %s (output above is partial)\n", name)
+			os.Exit(130)
 		}
 		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -102,7 +117,7 @@ func main() {
 	run("campaign", func() error {
 		var rows []*experiments.CampaignRow
 		for _, c := range []*experiments.CPUCase{experiments.PrepareAVR(), experiments.PrepareMSP430()} {
-			row, err := experiments.Campaign(c, "fib", *stride, params, *validate)
+			row, err := experiments.Campaign(ctx, c, "fib", *stride, params, *validate)
 			if err != nil {
 				return err
 			}

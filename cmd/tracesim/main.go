@@ -24,9 +24,25 @@ func main() {
 	cpu := flag.String("cpu", "avr", "processor: avr or msp430")
 	prog := flag.String("prog", "fib", "built-in workload: fib, conv or sort")
 	asm := flag.String("asm", "", "assemble this file instead of a built-in workload")
-	cycles := flag.Int("cycles", progs.TraceCycles, "number of cycles to record")
+	cycles := flag.Int("cycles", progs.TraceCycles, "number of cycles to record (>= 1)")
 	out := flag.String("o", "", "VCD output file (default: <cpu>_<prog>.vcd)")
 	flag.Parse()
+
+	// Argument hardening: a typo must produce a usage error, not a silent
+	// fall-through to a default workload.
+	switch *cpu {
+	case "avr", "msp430":
+	default:
+		usage("unknown cpu %q (want avr or msp430)", *cpu)
+	}
+	switch *prog {
+	case "fib", "conv", "sort":
+	default:
+		usage("unknown workload %q (want fib, conv or sort)", *prog)
+	}
+	if *cycles < 1 {
+		usage("-cycles %d out of range (want >= 1)", *cycles)
+	}
 
 	var program []uint16
 	var err error
@@ -52,8 +68,6 @@ func main() {
 			program = progs.AVRConv()
 		case *prog == "sort":
 			program = progs.AVRSort()
-		default:
-			err = fmt.Errorf("unknown workload %q", *prog)
 		}
 		if err != nil {
 			fail(err)
@@ -72,8 +86,6 @@ func main() {
 			program = progs.MSP430Conv()
 		case *prog == "sort":
 			program = progs.MSP430Sort()
-		default:
-			err = fmt.Errorf("unknown workload %q", *prog)
 		}
 		if err != nil {
 			fail(err)
@@ -82,8 +94,6 @@ func main() {
 		nl = core.NL
 		sys := msp430.NewSystem(core, program)
 		tr = sys.Record(*cycles)
-	default:
-		fail(fmt.Errorf("unknown cpu %q", *cpu))
 	}
 
 	name := *out
@@ -99,6 +109,12 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("recorded %d cycles of %d wires to %s\n", tr.NumCycles(), tr.NumWires, name)
+}
+
+func usage(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tracesim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fail(err error) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"time"
@@ -22,6 +23,11 @@ type SearchParams struct {
 	MaxPaths        int
 	MaxMATEsPerWire int
 	Workers         int
+	// Context, when non-nil, cancels the search gracefully: wires already
+	// being searched finish, the remaining ones are skipped, and the
+	// result carries Interrupted=true (its MATE set covers only the wires
+	// processed before cancellation).
+	Context context.Context
 }
 
 // DefaultSearchParams returns the parameters used in the paper's
@@ -60,6 +66,9 @@ type SearchResult struct {
 	Elapsed         time.Duration
 	TotalCandidates int64
 	Unmaskable      int
+	// Interrupted marks a partial search: the context was cancelled before
+	// every wire was processed.
+	Interrupted bool
 }
 
 // AvgConeGates returns the mean fault-cone size in gates.
@@ -96,6 +105,10 @@ func Search(nl *netlist.Netlist, wires []netlist.WireID, p SearchParams) *Search
 	if p.Workers <= 0 {
 		p.Workers = 1
 	}
+	ctx := p.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type job struct {
 		idx  int
 		wire netlist.WireID
@@ -121,6 +134,12 @@ func Search(nl *netlist.Netlist, wires []netlist.WireID, p SearchParams) *Search
 			sem <- struct{}{}
 			go func(j job) {
 				defer func() { <-sem }()
+				if ctx.Err() != nil {
+					// Cancelled: report the wire untouched (no MATEs) so
+					// the collector still sees every wire exactly once.
+					doneCh <- done{j.idx, WireReport{Wire: j.wire}, nil}
+					return
+				}
 				rep, mates := searchWire(nl, j.wire, p)
 				doneCh <- done{j.idx, rep, mates}
 			}(j)
@@ -147,6 +166,7 @@ func Search(nl *netlist.Netlist, wires []netlist.WireID, p SearchParams) *Search
 	res.Set = merger.set()
 	res.Set.SortByCoverage()
 	res.Elapsed = time.Since(start)
+	res.Interrupted = ctx.Err() != nil
 	return res
 }
 

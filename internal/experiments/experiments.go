@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -425,8 +426,10 @@ type CampaignRow struct {
 
 // Campaign runs a sampled fault-injection campaign on the given CPU and
 // workload, with MATE-based online pruning, and (optionally) validates
-// every skipped point.
-func Campaign(c *CPUCase, workload string, stride int, params core.SearchParams, validate bool) (*CampaignRow, error) {
+// every skipped point. The context cancels both the MATE search and the
+// campaign gracefully (the row then carries a partial, Interrupted
+// result).
+func Campaign(ctx context.Context, c *CPUCase, workload string, stride int, params core.SearchParams, validate bool) (*CampaignRow, error) {
 	prog := c.FibProg
 	if workload == "conv" {
 		prog = c.ConvProg
@@ -436,6 +439,7 @@ func Campaign(c *CPUCase, workload string, stride int, params core.SearchParams,
 	if err != nil {
 		return nil, err
 	}
+	params.Context = ctx
 	set := core.Search(c.NL, c.FaultAll, params).Set
 	ctl := hafi.NewController(run, golden)
 	run64, err := c.NewRun64(prog)
@@ -446,6 +450,7 @@ func Campaign(c *CPUCase, workload string, stride int, params core.SearchParams,
 		Points:          hafi.SampledFaultList(c.NL, golden.HaltCycle, stride),
 		MATESet:         set,
 		ValidateSkipped: validate,
+		Context:         ctx,
 	}, run64)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -121,7 +122,7 @@ func TestCampaignExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign is expensive")
 	}
-	row, err := Campaign(PrepareAVR(), "fib", 900, core.DefaultSearchParams(), false)
+	row, err := Campaign(context.Background(), PrepareAVR(), "fib", 900, core.DefaultSearchParams(), false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,9 @@
 package hafi
 
 import (
-	"fmt"
 	"sort"
+
+	"repro/internal/journal"
 )
 
 // RunCampaignBatched executes the campaign on a 64-lane batched device:
@@ -12,104 +13,195 @@ import (
 // magnitude faster. MATE pruning is applied before batching, exactly like
 // the sequential controller. ValidateSkipped re-executes pruned points
 // batched as well.
+//
+// Resilience matches the sequential engine: recovered journal records are
+// replayed instead of re-executed, every newly classified point is
+// journaled as its batch completes, cancellation drains at batch
+// granularity, and a panicking batch is retried lane by lane so only the
+// offending point is classified OutcomeHarnessError.
 func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*CampaignResult, error) {
-	if cfg.TimeoutFactor <= 0 {
-		cfg.TimeoutFactor = 2
+	timeout, err := c.prepareCampaign(&cfg)
+	if err != nil {
+		return nil, err
 	}
-	timeout := int(cfg.TimeoutFactor * float64(c.golden.HaltCycle))
-	if timeout <= c.golden.HaltCycle {
-		timeout = c.golden.HaltCycle + 1
-	}
+	ctx := cfg.context()
+	res := newCampaignResult()
+	prog := newProgress(cfg.Progress)
 
-	c.indexMATEs(cfg.MATESet)
-
-	res := &CampaignResult{ByOutcome: map[Outcome]int{}}
-	var toRun, toValidate []FaultPoint
-	for _, p := range cfg.Points {
-		if p.Cycle >= len(c.golden.Checkpoints) {
-			return nil, fmt.Errorf("hafi: injection cycle %d beyond golden run (%d)", p.Cycle, len(c.golden.Checkpoints))
+	journalPoint := func(rec journal.Record) error {
+		if cfg.Journal != nil {
+			if err := cfg.Journal.Append(rec); err != nil {
+				return err
+			}
 		}
-		res.Total++
+		prog.bump()
+		return nil
+	}
+	record := func(idx uint64, p FaultPoint) journal.Record {
+		return journal.Record{Index: idx, FF: uint32(p.FF), Cycle: uint32(p.Cycle), Duration: uint32(p.duration())}
+	}
+
+	// Classify: replay resumed points, settle pruned points (final unless
+	// they still need validation), collect the rest for batched execution.
+	var toRun, toValidate []batchItem
+	for i, p := range cfg.Points {
+		idx := uint64(i)
+		if cfg.Resume != nil {
+			if rec, ok := cfg.Resume.ByIndex[idx]; ok {
+				res.replay(rec)
+				continue
+			}
+		}
 		if cfg.MATESet != nil && c.provedBenign(p) {
-			res.Skipped++
 			if cfg.ValidateSkipped {
-				toValidate = append(toValidate, p)
+				toValidate = append(toValidate, batchItem{idx, p})
+				continue
+			}
+			res.Total++
+			res.Skipped++
+			rec := record(idx, p)
+			rec.Pruned = true
+			if err := journalPoint(rec); err != nil {
+				return nil, err
 			}
 			continue
 		}
-		res.Executed++
-		toRun = append(toRun, p)
+		toRun = append(toRun, batchItem{idx, p})
 	}
 
-	outcomes := c.executeBatched(run64, toRun, timeout)
-	for _, o := range outcomes {
+	err = c.executeBatched(cfg, run64, toRun, timeout, func(it batchItem, o Outcome) error {
+		res.Total++
+		res.Executed++
 		res.ByOutcome[o]++
+		rec := record(it.idx, it.p)
+		rec.Outcome = uint8(o)
+		return journalPoint(rec)
+	})
+	if err != nil {
+		return nil, err
 	}
-	if cfg.ValidateSkipped {
-		for _, o := range c.executeBatched(run64, toValidate, timeout) {
-			if o != OutcomeBenign {
-				res.SkippedWrong++
-			}
+	err = c.executeBatched(cfg, run64, toValidate, timeout, func(it batchItem, o Outcome) error {
+		res.Total++
+		res.Skipped++
+		rec := record(it.idx, it.p)
+		rec.Pruned = true
+		if o != OutcomeBenign {
+			res.SkippedWrong++
+			rec.SkippedWrong = true
 		}
+		return journalPoint(rec)
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Interrupted = ctx.Err() != nil
 	return res, nil
 }
 
-// executeBatched groups points by injection cycle into ≤64-lane batches
-// and classifies every lane.
-func (c *Controller) executeBatched(run64 Run64, points []FaultPoint, timeout int) []Outcome {
-	idx := make([]int, len(points))
+// batchItem carries a fault point together with its global fault-list
+// index (the journal key).
+type batchItem struct {
+	idx uint64
+	p   FaultPoint
+}
+
+// executeBatched groups items by injection cycle into ≤64-lane batches,
+// classifies every lane and hands each finished point to emit. The
+// campaign context is checked between batches; a cancelled context stops
+// scheduling further batches (the current one finishes and is emitted).
+func (c *Controller) executeBatched(cfg CampaignConfig, run64 Run64, items []batchItem, timeout int, emit func(batchItem, Outcome) error) error {
+	ctx := cfg.context()
+	idx := make([]int, len(items))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return points[idx[a]].Cycle < points[idx[b]].Cycle })
+	sort.SliceStable(idx, func(a, b int) bool { return items[idx[a]].p.Cycle < items[idx[b]].p.Cycle })
 
-	outcomes := make([]Outcome, len(points))
 	for lo := 0; lo < len(idx); {
-		cycle := points[idx[lo]].Cycle
+		if ctx.Err() != nil {
+			return nil
+		}
+		cycle := items[idx[lo]].p.Cycle
 		hi := lo
-		for hi < len(idx) && hi-lo < 64 && points[idx[hi]].Cycle == cycle {
+		for hi < len(idx) && hi-lo < 64 && items[idx[hi]].p.Cycle == cycle {
 			hi++
 		}
-		batch := idx[lo:hi]
+		batch := make([]FaultPoint, 0, hi-lo)
+		for _, ii := range idx[lo:hi] {
+			batch = append(batch, items[ii].p)
+		}
 
-		run64.LoadCheckpoint(c.golden.Checkpoints[cycle])
-		for lane, pi := range batch {
-			run64.FlipLane(points[pi].FF, lane)
-		}
-		used := uint64(1)<<uint(len(batch)) - 1
-		if len(batch) == 64 {
-			used = ^uint64(0)
-		}
-		for cyc := cycle; cyc < timeout; cyc++ {
-			if cyc > cycle {
-				held := false
-				haltedNow := run64.HaltedMask()
-				for lane, pi := range batch {
-					if cyc < points[pi].Cycle+points[pi].duration() && haltedNow>>uint(lane)&1 == 0 {
-						run64.FlipLane(points[pi].FF, lane)
-						held = true
-					}
+		outcomes, panicked := c.runBatchSafe(run64, batch, cycle, timeout)
+		if panicked {
+			// Isolate the faulty lane: retry each point as its own 1-lane
+			// batch. Only the point(s) that still panic solo are charged
+			// with the harness error; healthy lanes get their verdict.
+			outcomes = make([]Outcome, len(batch))
+			for j, p := range batch {
+				solo, soloPanic := c.runBatchSafe(run64, batch[j:j+1], p.Cycle, timeout)
+				if soloPanic {
+					outcomes[j] = OutcomeHarnessError
+				} else {
+					outcomes[j] = solo[0]
 				}
-				_ = held
 			}
-			if run64.HaltedMask()&used == used {
-				break
-			}
-			run64.Step()
 		}
-		halted := run64.HaltedMask()
-		for lane, pi := range batch {
-			switch {
-			case halted>>uint(lane)&1 == 0:
-				outcomes[pi] = OutcomeHang
-			case run64.SignatureLane(lane) == c.golden.Signature:
-				outcomes[pi] = OutcomeBenign
-			default:
-				outcomes[pi] = OutcomeSDC
+		for j, ii := range idx[lo:hi] {
+			if err := emit(items[ii], outcomes[j]); err != nil {
+				return err
 			}
 		}
 		lo = hi
+	}
+	return nil
+}
+
+// runBatchSafe executes one same-cycle batch with panic isolation.
+func (c *Controller) runBatchSafe(run64 Run64, batch []FaultPoint, cycle, timeout int) (outcomes []Outcome, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			outcomes, panicked = nil, true
+		}
+	}()
+	return c.runBatch(run64, batch, cycle, timeout), false
+}
+
+// runBatch loads the shared checkpoint, injects one upset per lane, runs
+// to halt/timeout and classifies every lane. All points share cycle.
+func (c *Controller) runBatch(run64 Run64, batch []FaultPoint, cycle, timeout int) []Outcome {
+	run64.LoadCheckpoint(c.golden.Checkpoints[cycle])
+	for lane, p := range batch {
+		run64.FlipLane(p.FF, lane)
+	}
+	used := uint64(1)<<uint(len(batch)) - 1
+	if len(batch) == 64 {
+		used = ^uint64(0)
+	}
+	for cyc := cycle; cyc < timeout; cyc++ {
+		if cyc > cycle {
+			haltedNow := run64.HaltedMask()
+			for lane, p := range batch {
+				if cyc < p.Cycle+p.duration() && haltedNow>>uint(lane)&1 == 0 {
+					run64.FlipLane(p.FF, lane)
+				}
+			}
+		}
+		if run64.HaltedMask()&used == used {
+			break
+		}
+		run64.Step()
+	}
+	halted := run64.HaltedMask()
+	outcomes := make([]Outcome, len(batch))
+	for lane := range batch {
+		switch {
+		case halted>>uint(lane)&1 == 0:
+			outcomes[lane] = OutcomeHang
+		case run64.SignatureLane(lane) == c.golden.Signature:
+			outcomes[lane] = OutcomeBenign
+		default:
+			outcomes[lane] = OutcomeSDC
+		}
 	}
 	return outcomes
 }

@@ -18,14 +18,27 @@
 //     benign — the paper's online fault-space pruning,
 //   - lut.go provides the FPGA cost model of Section 6.1 (6-input LUTs per
 //     MATE versus the 1.5k–6k LUTs of published FI controllers).
+//
+// Campaigns are resilient: a CampaignConfig may carry a context for
+// graceful cancellation (SIGINT drains in-flight experiments and reports a
+// partial, internally consistent result), a journal.Writer that durably
+// logs every classified point, and a journal.Recovered that resumes a
+// crashed campaign by replaying already-classified points — the merged
+// result is identical to an uninterrupted run. A panicking experiment is
+// classified OutcomeHarnessError instead of taking down its worker shard.
 package hafi
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/netlist"
 	"repro/internal/sim"
 )
@@ -57,10 +70,14 @@ type Outcome int
 // Experiment outcomes. OutcomeBenign: the workload finished with the
 // fault-free result. OutcomeSDC: it finished with a wrong result (silent
 // data corruption). OutcomeHang: it did not finish within the timeout.
+// OutcomeHarnessError: the experiment did not produce a verdict because
+// the harness itself failed (a panicking device model); the fault is
+// neither counted as benign nor silently dropped.
 const (
 	OutcomeBenign Outcome = iota
 	OutcomeSDC
 	OutcomeHang
+	OutcomeHarnessError
 )
 
 func (o Outcome) String() string {
@@ -71,6 +88,8 @@ func (o Outcome) String() string {
 		return "sdc"
 	case OutcomeHang:
 		return "hang"
+	case OutcomeHarnessError:
+		return "harness-error"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
@@ -154,7 +173,9 @@ type CampaignConfig struct {
 	// sequentially.
 	Workers int
 	// TimeoutFactor bounds experiment length: an experiment hangs when it
-	// exceeds TimeoutFactor × golden halt cycle. Default 2.
+	// exceeds TimeoutFactor × golden halt cycle. Zero selects the default
+	// of 2; NaN, negative or sub-1 factors (which would time out the
+	// golden run itself) are rejected.
 	TimeoutFactor float64
 	// MATESet enables online pruning: injections whose (wire, cycle) point
 	// a triggered MATE proves benign are skipped without execution.
@@ -163,6 +184,33 @@ type CampaignConfig struct {
 	// verifies it really is benign (used by the test suite; defeats the
 	// purpose of pruning in production).
 	ValidateSkipped bool
+	// Context, when non-nil, cancels the campaign gracefully: in-flight
+	// experiments (and the current 64-lane batch) finish and are recorded,
+	// no new ones start, and the partial result carries Interrupted=true.
+	Context context.Context
+	// Journal, when non-nil, receives one durable record per classified
+	// point (concurrent-safe; shared by all worker shards). A journal
+	// write failure aborts the campaign — a silently lossy journal would
+	// defeat crash recovery.
+	Journal *journal.Writer
+	// Resume replays points already classified by a previous run of the
+	// same campaign: recovered records are merged into the result without
+	// re-execution (and without re-journaling). The records must match
+	// the fault list point for point.
+	Resume *journal.Recovered
+	// Progress, when non-nil, is called after every newly classified point
+	// with the running count of points classified in this run (replayed
+	// Resume records excluded). It may be called concurrently from worker
+	// shards and must be safe for that.
+	Progress func(done int)
+}
+
+// context returns the effective campaign context.
+func (cfg *CampaignConfig) context() context.Context {
+	if cfg.Context != nil {
+		return cfg.Context
+	}
+	return context.Background()
 }
 
 // CampaignResult aggregates a campaign.
@@ -174,6 +222,14 @@ type CampaignResult struct {
 	// SkippedWrong counts validated-skipped experiments that were NOT
 	// benign — any nonzero value is a MATE soundness violation.
 	SkippedWrong int
+	// Interrupted marks a partial result: the campaign context was
+	// cancelled before every point was classified. The counters cover
+	// exactly the classified points (Total = Skipped + Executed).
+	Interrupted bool
+}
+
+func newCampaignResult() *CampaignResult {
+	return &CampaignResult{ByOutcome: map[Outcome]int{}}
 }
 
 // PrunedFraction returns the share of fault-list points the MATEs removed.
@@ -182,6 +238,31 @@ func (r *CampaignResult) PrunedFraction() float64 {
 		return 0
 	}
 	return float64(r.Skipped) / float64(r.Total)
+}
+
+// merge folds a shard-partial result into r.
+func (r *CampaignResult) merge(p *CampaignResult) {
+	r.Total += p.Total
+	r.Skipped += p.Skipped
+	r.Executed += p.Executed
+	r.SkippedWrong += p.SkippedWrong
+	for o, n := range p.ByOutcome {
+		r.ByOutcome[o] += n
+	}
+}
+
+// replay merges one recovered journal record without re-execution.
+func (r *CampaignResult) replay(rec journal.Record) {
+	r.Total++
+	if rec.Pruned {
+		r.Skipped++
+		if rec.SkippedWrong {
+			r.SkippedWrong++
+		}
+		return
+	}
+	r.Executed++
+	r.ByOutcome[Outcome(rec.Outcome)]++
 }
 
 // Controller is the campaign controller: the software model of the FI
@@ -213,58 +294,193 @@ func NewControllerPool(factory func() Run, golden *Golden) *Controller {
 	return &Controller{nl: run.Machine().NL, run: run, factory: factory, golden: golden}
 }
 
-// RunCampaign executes the configured campaign and returns the aggregated
-// result.
-func (c *Controller) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
-	if cfg.TimeoutFactor <= 0 {
-		cfg.TimeoutFactor = 2
+// JournalHeader returns the journal identity of a campaign over the given
+// fault list: golden signature plus fault-list fingerprint. journal.Resume
+// uses it to refuse journals recorded for a different campaign.
+func (c *Controller) JournalHeader(points []FaultPoint) journal.Header {
+	return journal.Header{
+		GoldenSignature: c.golden.Signature,
+		NumPoints:       uint64(len(points)),
+		FaultListHash:   FaultListHash(points),
 	}
-	timeout := int(cfg.TimeoutFactor * float64(c.golden.HaltCycle))
+}
+
+// FaultListHash fingerprints the exact injection-point sequence.
+func FaultListHash(points []FaultPoint) uint64 {
+	h := fnv.New64a()
+	var b [12]byte
+	for _, p := range points {
+		binary.LittleEndian.PutUint32(b[0:], uint32(p.FF))
+		binary.LittleEndian.PutUint32(b[4:], uint32(p.Cycle))
+		binary.LittleEndian.PutUint32(b[8:], uint32(p.duration()))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// prepareCampaign validates the configuration (shared by the sequential
+// and the 64-lane batched engine) and computes the experiment timeout:
+// TimeoutFactor × golden halt cycle, but always at least one cycle past
+// the golden halt so a fault-free experiment can never be misclassified
+// as a hang.
+func (c *Controller) prepareCampaign(cfg *CampaignConfig) (timeout int, err error) {
+	tf := cfg.TimeoutFactor
+	if tf == 0 {
+		tf = 2
+	}
+	switch {
+	case math.IsNaN(tf):
+		return 0, fmt.Errorf("hafi: TimeoutFactor is NaN")
+	case tf < 0:
+		return 0, fmt.Errorf("hafi: TimeoutFactor %g is negative", tf)
+	case tf < 1:
+		return 0, fmt.Errorf("hafi: TimeoutFactor %g < 1 would time out the golden run itself", tf)
+	}
+	timeout = int(tf * float64(c.golden.HaltCycle))
 	if timeout <= c.golden.HaltCycle {
 		timeout = c.golden.HaltCycle + 1
 	}
-
-	c.indexMATEs(cfg.MATESet)
-
 	for _, p := range cfg.Points {
 		if p.Cycle >= len(c.golden.Checkpoints) {
-			return nil, fmt.Errorf("hafi: injection cycle %d beyond golden run (%d)", p.Cycle, len(c.golden.Checkpoints))
+			return 0, fmt.Errorf("hafi: injection cycle %d beyond golden run (%d)", p.Cycle, len(c.golden.Checkpoints))
 		}
 	}
-
-	if cfg.Workers > 1 && c.factory != nil {
-		return c.runParallel(cfg, timeout), nil
+	if err := c.checkResume(cfg); err != nil {
+		return 0, err
 	}
-	res := &CampaignResult{ByOutcome: map[Outcome]int{}}
-	c.runShard(cfg, cfg.Points, c.run, timeout, res)
+	c.indexMATEs(cfg.MATESet)
+	return timeout, nil
+}
+
+// checkResume verifies that recovered journal records actually describe
+// this campaign: header identity and a point-for-point match between each
+// record and the fault list. Any mismatch aborts — merging a foreign
+// journal would fabricate results.
+func (c *Controller) checkResume(cfg *CampaignConfig) error {
+	if cfg.Resume == nil {
+		return nil
+	}
+	if cfg.Resume.HasHeader {
+		if want := c.JournalHeader(cfg.Points); cfg.Resume.Header != want {
+			return fmt.Errorf("hafi: journal belongs to a different campaign (header %+v, want %+v)", cfg.Resume.Header, want)
+		}
+	}
+	for idx, rec := range cfg.Resume.ByIndex {
+		if idx >= uint64(len(cfg.Points)) {
+			return fmt.Errorf("hafi: journal record for point %d beyond fault list (%d points)", idx, len(cfg.Points))
+		}
+		p := cfg.Points[idx]
+		if rec.FF != uint32(p.FF) || rec.Cycle != uint32(p.Cycle) || rec.Duration != uint32(p.duration()) {
+			return fmt.Errorf("hafi: journal record %d (ff=%d cycle=%d dur=%d) does not match fault list point (ff=%d cycle=%d dur=%d)",
+				idx, rec.FF, rec.Cycle, rec.Duration, p.FF, p.Cycle, p.duration())
+		}
+	}
+	return nil
+}
+
+// progress fans the per-point Progress callback out of the worker shards.
+type progressCounter struct {
+	fn func(int)
+	n  atomic.Int64
+}
+
+func newProgress(fn func(int)) *progressCounter {
+	return &progressCounter{fn: fn}
+}
+
+func (pc *progressCounter) bump() {
+	n := pc.n.Add(1)
+	if pc.fn != nil {
+		pc.fn(int(n))
+	}
+}
+
+// RunCampaign executes the configured campaign and returns the aggregated
+// result.
+func (c *Controller) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	timeout, err := c.prepareCampaign(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers > 1 && c.factory != nil {
+		return c.runParallel(cfg, timeout)
+	}
+	res := newCampaignResult()
+	if err := c.runShard(cfg, 0, cfg.Points, c.run, timeout, res, newProgress(cfg.Progress)); err != nil {
+		return nil, err
+	}
+	res.Interrupted = cfg.context().Err() != nil
 	return res, nil
 }
 
 // runShard executes one slice of the fault list on one device instance.
-func (c *Controller) runShard(cfg CampaignConfig, points []FaultPoint, run Run, timeout int, res *CampaignResult) {
-	for _, p := range points {
+// base is the slice's offset in the campaign fault list (journal records
+// are keyed by global point index).
+func (c *Controller) runShard(cfg CampaignConfig, base int, points []FaultPoint, run Run, timeout int, res *CampaignResult, prog *progressCounter) error {
+	ctx := cfg.context()
+	for i, p := range points {
+		idx := uint64(base + i)
+		if cfg.Resume != nil {
+			if rec, ok := cfg.Resume.ByIndex[idx]; ok {
+				res.replay(rec)
+				continue
+			}
+		}
+		if ctx.Err() != nil {
+			return nil // graceful drain: stop starting new experiments
+		}
+		rec := journal.Record{Index: idx, FF: uint32(p.FF), Cycle: uint32(p.Cycle), Duration: uint32(p.duration())}
 		res.Total++
 		if cfg.MATESet != nil && c.provedBenign(p) {
 			res.Skipped++
+			rec.Pruned = true
 			if cfg.ValidateSkipped {
-				if out := c.execute(run, p, timeout); out != OutcomeBenign {
+				if out := c.safeExecute(&run, p, timeout); out != OutcomeBenign {
 					res.SkippedWrong++
+					rec.SkippedWrong = true
 				}
 			}
-			continue
+		} else {
+			out := c.safeExecute(&run, p, timeout)
+			res.Executed++
+			res.ByOutcome[out]++
+			rec.Outcome = uint8(out)
 		}
-		res.Executed++
-		res.ByOutcome[c.execute(run, p, timeout)]++
+		if cfg.Journal != nil {
+			if err := cfg.Journal.Append(rec); err != nil {
+				return err
+			}
+		}
+		prog.bump()
 	}
+	return nil
+}
+
+// safeExecute runs one experiment with panic isolation: a panicking device
+// model yields OutcomeHarnessError instead of killing the worker shard,
+// and the (possibly corrupted) instance is replaced from the pool factory
+// so subsequent experiments start from a healthy device.
+func (c *Controller) safeExecute(run *Run, p FaultPoint, timeout int) (out Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = OutcomeHarnessError
+			if c.factory != nil {
+				*run = c.factory()
+			}
+		}
+	}()
+	return c.execute(*run, p, timeout)
 }
 
 // runParallel shards the fault list over Workers device instances.
-func (c *Controller) runParallel(cfg CampaignConfig, timeout int) *CampaignResult {
+func (c *Controller) runParallel(cfg CampaignConfig, timeout int) (*CampaignResult, error) {
 	nw := cfg.Workers
 	if nw > len(cfg.Points) {
 		nw = len(cfg.Points)
 	}
 	partials := make([]*CampaignResult, nw)
+	errs := make([]error, nw)
+	prog := newProgress(cfg.Progress)
 	var wg sync.WaitGroup
 	chunk := (len(cfg.Points) + nw - 1) / nw
 	for i := 0; i < nw; i++ {
@@ -275,28 +491,35 @@ func (c *Controller) runParallel(cfg CampaignConfig, timeout int) *CampaignResul
 		if lo >= hi {
 			continue
 		}
-		partials[i] = &CampaignResult{ByOutcome: map[Outcome]int{}}
+		partials[i] = newCampaignResult()
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
-			c.runShard(cfg, cfg.Points[lo:hi], c.factory(), timeout, partials[i])
+			// Shard-level backstop: a panic outside the per-experiment
+			// isolation (device construction, MATE evaluation) surfaces as
+			// an error instead of crashing the campaign.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("hafi: worker shard %d panicked: %v", i, r)
+				}
+			}()
+			errs[i] = c.runShard(cfg, lo, cfg.Points[lo:hi], c.factory(), timeout, partials[i], prog)
 		}(i, lo, hi)
 	}
 	wg.Wait()
-	res := &CampaignResult{ByOutcome: map[Outcome]int{}}
-	for _, p := range partials {
-		if p == nil {
-			continue
-		}
-		res.Total += p.Total
-		res.Skipped += p.Skipped
-		res.Executed += p.Executed
-		res.SkippedWrong += p.SkippedWrong
-		for o, n := range p.ByOutcome {
-			res.ByOutcome[o] += n
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	return res
+	res := newCampaignResult()
+	for _, p := range partials {
+		if p != nil {
+			res.merge(p)
+		}
+	}
+	res.Interrupted = cfg.context().Err() != nil
+	return res, nil
 }
 
 // indexMATEs builds the per-wire MATE index used by provedBenign.

@@ -1,0 +1,501 @@
+package hafi
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu/avr"
+	"repro/internal/journal"
+)
+
+// --- configuration validation -------------------------------------------
+
+func TestCampaignConfigValidation(t *testing.T) {
+	c, _, g, r := goldenAVR(t)
+	ctl := NewController(r, g)
+	points := SampledFaultList(c.NL, g.HaltCycle, 29)[:2]
+	for _, tf := range []float64{math.NaN(), -1, -0.001, 0.5, 0.999} {
+		if _, err := ctl.RunCampaign(CampaignConfig{Points: points, TimeoutFactor: tf}); err == nil {
+			t.Errorf("TimeoutFactor %v accepted", tf)
+		}
+	}
+	for _, tf := range []float64{0, 1, 2, 3.5} {
+		if _, err := ctl.RunCampaign(CampaignConfig{Points: points, TimeoutFactor: tf}); err != nil {
+			t.Errorf("TimeoutFactor %v rejected: %v", tf, err)
+		}
+	}
+}
+
+// --- cancellation --------------------------------------------------------
+
+// cancelAfter builds a campaign context that is cancelled once n points
+// have been classified — the deterministic stand-in for SIGINT that the
+// crash-resume tests and cmd/campaign -interruptafter share.
+func cancelAfter(t *testing.T, n int) (context.Context, func(int)) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	return ctx, func(done int) {
+		if done >= n {
+			cancel()
+		}
+	}
+}
+
+func checkConsistent(t *testing.T, res *CampaignResult) {
+	t.Helper()
+	if res.Total != res.Skipped+res.Executed {
+		t.Fatalf("inconsistent partial result: %+v", res)
+	}
+	sum := 0
+	for _, n := range res.ByOutcome {
+		sum += n
+	}
+	if sum != res.Executed {
+		t.Fatalf("outcomes %d != executed %d", sum, res.Executed)
+	}
+}
+
+func TestCampaignCancelledBeforeStart(t *testing.T) {
+	c, _, g, r := goldenAVR(t)
+	ctl := NewController(r, g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ctl.RunCampaign(CampaignConfig{
+		Points:  SampledFaultList(c.NL, g.HaltCycle, 17),
+		Context: ctx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted || res.Total != 0 {
+		t.Fatalf("pre-cancelled campaign ran: %+v", res)
+	}
+}
+
+func TestCampaignGracefulDrain(t *testing.T) {
+	c, _, g, r := goldenAVR(t)
+	ctl := NewController(r, g)
+	points := SampledFaultList(c.NL, g.HaltCycle, 17)
+	if len(points) < 6 {
+		t.Fatalf("fault list too small (%d)", len(points))
+	}
+	ctx, prog := cancelAfter(t, 4)
+	res, err := ctl.RunCampaign(CampaignConfig{Points: points, Context: ctx, Progress: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled campaign not marked interrupted")
+	}
+	if res.Total < 4 || res.Total >= len(points) {
+		t.Fatalf("drain classified %d of %d points, want partial ≥4", res.Total, len(points))
+	}
+	checkConsistent(t, res)
+}
+
+// --- crash-resume equivalence -------------------------------------------
+
+// runInterrupted runs the campaign against a fresh journal, cancelling
+// after cut points, and returns the journal path plus the partial result.
+func runInterrupted(t *testing.T, ctl *Controller, cfg CampaignConfig, run64 Run64, cut int) (string, *CampaignResult) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	jw, err := journal.Create(path, ctl.JournalHeader(cfg.Points))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jw.Close()
+	ctx, prog := cancelAfter(t, cut)
+	cfg.Journal, cfg.Context, cfg.Progress = jw, ctx, prog
+	var res *CampaignResult
+	if run64 != nil {
+		res, err = ctl.RunCampaignBatched(cfg, run64)
+	} else {
+		res, err = ctl.RunCampaign(cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatalf("cut=%d: campaign finished before the cancellation fired (%d points) — raise the fault-list size", cut, res.Total)
+	}
+	checkConsistent(t, res)
+	return path, res
+}
+
+// resumeAndFinish recovers the journal and completes the campaign.
+func resumeAndFinish(t *testing.T, ctl *Controller, cfg CampaignConfig, run64 Run64, path string) *CampaignResult {
+	t.Helper()
+	jw, rec, err := journal.Resume(path, ctl.JournalHeader(cfg.Points))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jw.Close()
+	cfg.Journal, cfg.Resume = jw, rec
+	var res *CampaignResult
+	if run64 != nil {
+		res, err = ctl.RunCampaignBatched(cfg, run64)
+	} else {
+		res, err = ctl.RunCampaign(cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkResumeEquivalence(t *testing.T, ctl *Controller, cfg CampaignConfig, run64 Run64, cuts []int) {
+	t.Helper()
+	var baseline *CampaignResult
+	var err error
+	if run64 != nil {
+		baseline, err = ctl.RunCampaignBatched(cfg, run64)
+	} else {
+		baseline, err = ctl.RunCampaign(cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range cuts {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			path, partial := runInterrupted(t, ctl, cfg, run64, cut)
+
+			// The journal must cover exactly the classified points: a
+			// record for an experiment that never ran would fabricate
+			// results on resume.
+			rec, err := journal.Recover(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rec.Records) != partial.Total {
+				t.Fatalf("journal has %d records, partial result classified %d", len(rec.Records), partial.Total)
+			}
+
+			res := resumeAndFinish(t, ctl, cfg, run64, path)
+			if !reflect.DeepEqual(res, baseline) {
+				t.Fatalf("resumed result diverges from uninterrupted run:\n  resumed:  %+v\n  baseline: %+v", res, baseline)
+			}
+
+			// After completion the journal holds every point once.
+			fin, err := journal.Recover(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fin.Records) != len(cfg.Points) || fin.Torn || fin.Corrupt {
+				t.Fatalf("final journal: %d records (want %d), torn=%v corrupt=%v",
+					len(fin.Records), len(cfg.Points), fin.Torn, fin.Corrupt)
+			}
+		})
+	}
+}
+
+func TestCrashResumeSequential(t *testing.T) {
+	c, _, g, r := goldenAVR(t)
+	ctl := NewController(r, g)
+	points := SampledFaultList(c.NL, g.HaltCycle, 13)
+	checkResumeEquivalence(t, ctl, CampaignConfig{Points: points}, nil, []int{1, 5, len(points) / 2})
+}
+
+func TestCrashResumeSequentialPruned(t *testing.T) {
+	c, _, g, r := goldenAVR(t)
+	set := core.Search(c.NL, c.NL.FFQWires(), core.DefaultSearchParams()).Set
+	ctl := NewController(r, g)
+	points := SampledFaultList(c.NL, g.HaltCycle, 13)
+	checkResumeEquivalence(t, ctl,
+		CampaignConfig{Points: points, MATESet: set, ValidateSkipped: true},
+		nil, []int{3, len(points) / 2})
+}
+
+func TestCrashResumeParallel(t *testing.T) {
+	c := avr.NewCore()
+	prog := avr.MustAssemble(smallAVRProgram)
+	factory := func() Run { return NewAVRRun(avr.NewCore(), prog) }
+	g, err := RecordGolden(factory(), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewControllerPool(factory, g)
+	points := SampledFaultList(c.NL, g.HaltCycle, 13)
+	checkResumeEquivalence(t, ctl,
+		CampaignConfig{Points: points, Workers: 3},
+		nil, []int{2, len(points) / 2})
+}
+
+func TestCrashResumeBatched(t *testing.T) {
+	c, prog, g, r := goldenAVR(t)
+	run64, err := NewAVRRun64(c, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewController(r, g)
+	points := SampledFaultList(c.NL, g.HaltCycle, 13)
+	checkResumeEquivalence(t, ctl, CampaignConfig{Points: points}, run64, []int{1, len(points) / 2})
+}
+
+func TestCrashResumeBatchedPruned(t *testing.T) {
+	c, prog, g, r := goldenAVR(t)
+	run64, err := NewAVRRun64(c, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := core.Search(c.NL, c.NL.FFQWires(), core.DefaultSearchParams()).Set
+	ctl := NewController(r, g)
+	points := SampledFaultList(c.NL, g.HaltCycle, 13)
+	checkResumeEquivalence(t, ctl,
+		CampaignConfig{Points: points, MATESet: set, ValidateSkipped: true},
+		run64, []int{3, len(points) / 2})
+}
+
+// TestResumeCompletedCampaign resumes from a journal that already holds
+// every record: nothing re-executes and the result is reproduced exactly.
+func TestResumeCompletedCampaign(t *testing.T) {
+	c, _, g, r := goldenAVR(t)
+	ctl := NewController(r, g)
+	points := SampledFaultList(c.NL, g.HaltCycle, 13)
+	path := filepath.Join(t.TempDir(), "done.journal")
+	jw, err := journal.Create(path, ctl.JournalHeader(points))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := ctl.RunCampaign(CampaignConfig{Points: points, Journal: jw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw.Close()
+
+	executed := 0
+	res := resumeAndFinish(t, ctl, CampaignConfig{
+		Points:   points,
+		Progress: func(int) { executed++ },
+	}, nil, path)
+	if executed != 0 {
+		t.Fatalf("resume of a complete journal re-executed %d points", executed)
+	}
+	if !reflect.DeepEqual(res, baseline) {
+		t.Fatalf("replayed result diverges:\n  replayed: %+v\n  baseline: %+v", res, baseline)
+	}
+}
+
+// TestResumeForeignJournalRejected: a journal recorded for a different
+// fault list must not be merged into this campaign.
+func TestResumeForeignJournalRejected(t *testing.T) {
+	c, _, g, r := goldenAVR(t)
+	ctl := NewController(r, g)
+	points := SampledFaultList(c.NL, g.HaltCycle, 13)
+	path := filepath.Join(t.TempDir(), "foreign.journal")
+	jw, err := journal.Create(path, ctl.JournalHeader(points))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.RunCampaign(CampaignConfig{Points: points[:4], Journal: jw}); err != nil {
+		t.Fatal(err)
+	}
+	jw.Close()
+	rec, err := journal.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.RunCampaign(CampaignConfig{Points: points[1:], Resume: rec}); err == nil {
+		t.Fatal("foreign journal accepted as resume state")
+	}
+}
+
+// --- panic isolation -----------------------------------------------------
+
+// panicRun wraps a device instance and panics exactly once: the trip arms
+// when the campaign restores the checkpoint of tripCycle and fires on the
+// next Step. With a fault list of unique injection cycles this poisons
+// exactly one experiment.
+type panicRun struct {
+	Run
+	golden    *Golden
+	tripCycle int
+	tripped   *atomic.Bool
+	armed     bool
+}
+
+func (p *panicRun) Restore(cp Checkpoint) {
+	p.Run.Restore(cp)
+	p.armed = !p.tripped.Load() && cp == p.golden.Checkpoints[p.tripCycle]
+}
+
+func (p *panicRun) Step() {
+	if p.armed && p.tripped.CompareAndSwap(false, true) {
+		p.armed = false
+		panic("injected harness fault")
+	}
+	p.Run.Step()
+}
+
+// uniqueCyclePoints builds a fault list with one point per injection
+// cycle so a cycle-keyed trip poisons exactly one experiment.
+func uniqueCyclePoints(g *Golden, n, ffs int) []FaultPoint {
+	if n > g.HaltCycle {
+		n = g.HaltCycle
+	}
+	points := make([]FaultPoint, n)
+	for i := range points {
+		points[i] = FaultPoint{FF: i % ffs, Cycle: i}
+	}
+	return points
+}
+
+// journalByIndex runs the campaign with a journal and returns the
+// per-point records (the ground truth for comparing verdicts).
+func journalByIndex(t *testing.T, ctl *Controller, cfg CampaignConfig, run64 Run64) (map[uint64]journal.Record, *CampaignResult) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "verdicts.journal")
+	jw, err := journal.Create(path, ctl.JournalHeader(cfg.Points))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Journal = jw
+	var res *CampaignResult
+	if run64 != nil {
+		res, err = ctl.RunCampaignBatched(cfg, run64)
+	} else {
+		res, err = ctl.RunCampaign(cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw.Close()
+	rec, err := journal.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.ByIndex, res
+}
+
+func TestPanicIsolationSequential(t *testing.T) {
+	c, prog, g, r := goldenAVR(t)
+	points := uniqueCyclePoints(g, 12, len(c.NL.FFs))
+	tripIdx := 7
+	tripCycle := points[tripIdx].Cycle
+
+	baseline, _ := journalByIndex(t, NewController(r, g), CampaignConfig{Points: points}, nil)
+
+	pr := &panicRun{
+		Run:       NewAVRRun(avr.NewCore(), prog),
+		golden:    g,
+		tripCycle: tripCycle,
+		tripped:   new(atomic.Bool),
+	}
+	got, res := journalByIndex(t, NewController(pr, g), CampaignConfig{Points: points}, nil)
+
+	if res.ByOutcome[OutcomeHarnessError] != 1 {
+		t.Fatalf("harness errors = %d, want exactly 1 (%+v)", res.ByOutcome[OutcomeHarnessError], res)
+	}
+	if res.Total != len(points) || res.Executed != len(points) {
+		t.Fatalf("campaign did not complete past the panic: %+v", res)
+	}
+	for idx, rec := range got {
+		want := baseline[idx]
+		if idx == uint64(tripIdx) {
+			if Outcome(rec.Outcome) != OutcomeHarnessError {
+				t.Fatalf("poisoned point %d classified %v, want harness-error", idx, Outcome(rec.Outcome))
+			}
+			continue
+		}
+		if rec != want {
+			t.Fatalf("point %d disturbed by neighbouring panic: got %+v, want %+v", idx, rec, want)
+		}
+	}
+}
+
+func TestPanicIsolationParallel(t *testing.T) {
+	c := avr.NewCore()
+	prog := avr.MustAssemble(smallAVRProgram)
+	g, err := RecordGolden(NewAVRRun(avr.NewCore(), prog), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := uniqueCyclePoints(g, 12, len(c.NL.FFs))
+	tripped := new(atomic.Bool)
+	factory := func() Run {
+		return &panicRun{
+			Run:       NewAVRRun(avr.NewCore(), prog),
+			golden:    g,
+			tripCycle: points[5].Cycle,
+			tripped:   tripped,
+		}
+	}
+	ctl := NewControllerPool(factory, g)
+	res, err := ctl.RunCampaign(CampaignConfig{Points: points, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ByOutcome[OutcomeHarnessError] != 1 {
+		t.Fatalf("harness errors = %d, want 1 (%+v)", res.ByOutcome[OutcomeHarnessError], res)
+	}
+	if res.Total != len(points) || res.Executed != len(points) {
+		t.Fatalf("other shards did not survive the panic: %+v", res)
+	}
+	checkConsistent(t, res)
+}
+
+// panicRun64 panics whenever the campaign injects into tripFF: the whole
+// batch aborts, and only the lane-by-lane retry pins the harness error on
+// the offending point.
+type panicRun64 struct {
+	Run64
+	tripFF int
+}
+
+func (p *panicRun64) FlipLane(ff, lane int) {
+	if ff == p.tripFF {
+		panic("injected lane fault")
+	}
+	p.Run64.FlipLane(ff, lane)
+}
+
+func TestPanicIsolationBatched(t *testing.T) {
+	c, prog, g, r := goldenAVR(t)
+	// One batch: distinct FFs, shared injection cycle.
+	nffs := len(c.NL.FFs)
+	if nffs > 10 {
+		nffs = 10
+	}
+	points := make([]FaultPoint, nffs)
+	for i := range points {
+		points[i] = FaultPoint{FF: i, Cycle: 3}
+	}
+	tripFF := nffs / 2
+
+	clean64, err := NewAVRRun64(c, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewController(r, g)
+	baseline, _ := journalByIndex(t, ctl, CampaignConfig{Points: points}, clean64)
+
+	faulty64, err := NewAVRRun64(avr.NewCore(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res := journalByIndex(t, ctl, CampaignConfig{Points: points},
+		&panicRun64{Run64: faulty64, tripFF: tripFF})
+
+	if res.ByOutcome[OutcomeHarnessError] != 1 {
+		t.Fatalf("harness errors = %d, want exactly 1 (%+v)", res.ByOutcome[OutcomeHarnessError], res)
+	}
+	for idx, rec := range got {
+		want := baseline[idx]
+		if rec.FF == uint32(tripFF) {
+			if Outcome(rec.Outcome) != OutcomeHarnessError {
+				t.Fatalf("poisoned lane classified %v, want harness-error", Outcome(rec.Outcome))
+			}
+			continue
+		}
+		if rec != want {
+			t.Fatalf("lane %d disturbed by batch-mate panic: got %+v, want %+v", idx, rec, want)
+		}
+	}
+}

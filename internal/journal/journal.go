@@ -1,0 +1,320 @@
+// Package journal provides the durable campaign journal: an append-only,
+// length-prefixed, CRC-checksummed record log (write-ahead-log style) that
+// the HAFI campaign controller writes once per classified injection point.
+// A campaign killed by SIGINT, OOM or a crashing worker leaves a journal
+// from which `campaign -resume` reproduces the exact same CampaignResult
+// as an uninterrupted run, re-executing only the points that never made it
+// into the log.
+//
+// On-disk format:
+//
+//	magic "HAFIWAL1"
+//	record*     where record = u32le length | body | u32le CRC32-C(body)
+//	            and body     = u8 type | payload
+//
+// Record types: 0 = campaign header (golden signature, fault-list size and
+// hash — the campaign identity a resume is checked against), 1 = one
+// classified injection point. Recovery walks the log front to back and
+// stops at the first frame that is incomplete (a torn tail from a crash
+// mid-write — tolerated, the tail is dropped) or fails its checksum (a
+// corrupt record — rejected, together with everything after it, since a
+// damaged log has no trustworthy resynchronisation point). Either way the
+// recovered prefix only ever contains records that were durably and intact
+// on disk: recovery never claims an experiment that did not run.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+const magic = "HAFIWAL1"
+
+const (
+	recHeader     = 0
+	recExperiment = 1
+
+	headerPayloadLen     = 24 // 3 × u64
+	experimentPayloadLen = 22 // u64 index + 3 × u32 + outcome + flags
+
+	// maxBodyLen bounds the length prefix; anything larger is garbage, not
+	// a record (the largest real body is 1+headerPayloadLen bytes).
+	maxBodyLen = 256
+
+	flagPruned       = 1 << 0
+	flagSkippedWrong = 1 << 1
+)
+
+// crcTable is Castagnoli — hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Header identifies the campaign a journal belongs to. Resume refuses a
+// journal whose header does not match the campaign being resumed: a stale
+// journal from a different workload, netlist or fault list must never be
+// merged into a fresh run.
+type Header struct {
+	// GoldenSignature is the fault-free result signature of the golden run.
+	GoldenSignature uint64
+	// NumPoints is the fault-list length.
+	NumPoints uint64
+	// FaultListHash fingerprints the exact (FF, cycle, duration) sequence.
+	FaultListHash uint64
+}
+
+// Record is one classified injection point. FF, Cycle and Duration echo
+// the fault point so recovery can verify the record against the fault list
+// it is resumed into; Outcome uses the hafi outcome codes (benign=0, sdc=1,
+// hang=2, harness-error=3) and is meaningful only for executed points.
+type Record struct {
+	// Index is the point's position in the campaign fault list.
+	Index    uint64
+	FF       uint32
+	Cycle    uint32
+	Duration uint32
+	// Outcome is the classification of an executed point (hafi.Outcome).
+	Outcome uint8
+	// Pruned marks a point a MATE proved benign without execution.
+	Pruned bool
+	// SkippedWrong marks a validated-skipped point that was NOT benign on
+	// re-execution (a MATE soundness violation).
+	SkippedWrong bool
+}
+
+// Writer appends records to a journal file. It is safe for concurrent use
+// by the campaign worker shards: each Append is one mutex-guarded write of
+// one complete frame, so records from different shards never interleave.
+type Writer struct {
+	mu      sync.Mutex
+	f       *os.File
+	scratch []byte
+	// SyncEvery fsyncs the file every N appends (0 = never; the OS page
+	// cache already survives a process crash, fsync additionally survives
+	// power loss at a heavy per-record cost).
+	SyncEvery int
+	appended  int
+}
+
+// Create creates (or truncates) a journal file and writes its campaign
+// header record.
+func Create(path string, h Header) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	w := &Writer{f: f}
+	frame := appendFrame(nil, headerBody(h))
+	if _, err := f.Write(append([]byte(magic), frame...)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: write header: %w", err)
+	}
+	return w, nil
+}
+
+// Append durably logs one classified point.
+func (w *Writer) Append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.scratch = appendFrame(w.scratch[:0], experimentBody(rec))
+	if _, err := w.f.Write(w.scratch); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	w.appended++
+	if w.SyncEvery > 0 && w.appended%w.SyncEvery == 0 {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync flushes the journal to stable storage.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Sync()
+}
+
+// Close syncs and closes the journal file. Safe to call on a nil Writer.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Recovered is the result of reading a journal back: the validated record
+// prefix plus a diagnosis of how the log ended.
+type Recovered struct {
+	Header    Header
+	HasHeader bool
+	// Records holds every intact record in log order. ByIndex holds the
+	// same records keyed by fault-list index; a point classified twice
+	// (possible if a previous resume re-ran an in-flight point) keeps the
+	// last record.
+	Records []Record
+	ByIndex map[uint64]Record
+	// Torn reports an incomplete final frame — the normal signature of a
+	// crash mid-write. The torn bytes are dropped.
+	Torn bool
+	// Corrupt reports a complete frame that failed its checksum or decoded
+	// to nonsense; it and everything after it are dropped.
+	Corrupt bool
+	// DroppedBytes counts the bytes discarded from the tail.
+	DroppedBytes int64
+
+	goodSize int64 // file offset of the end of the validated prefix
+}
+
+// Recover reads a journal file, tolerating a torn tail and rejecting
+// corrupt records as described in the package comment.
+func Recover(path string) (*Recovered, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("journal: %s is not a campaign journal (bad magic)", path)
+	}
+	r := &Recovered{ByIndex: map[uint64]Record{}}
+	off := len(magic)
+	for off < len(data) {
+		if len(data)-off < 4 {
+			r.Torn = true
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n < 1 || n > maxBodyLen {
+			r.Corrupt = true
+			break
+		}
+		if off+4+n+4 > len(data) {
+			r.Torn = true
+			break
+		}
+		body := data[off+4 : off+4+n]
+		sum := binary.LittleEndian.Uint32(data[off+4+n:])
+		if crc32.Checksum(body, crcTable) != sum {
+			r.Corrupt = true
+			break
+		}
+		if !r.decodeBody(body) {
+			r.Corrupt = true
+			break
+		}
+		off += 4 + n + 4
+	}
+	r.DroppedBytes = int64(len(data) - off)
+	r.goodSize = int64(off)
+	return r, nil
+}
+
+// decodeBody appends one checksum-validated record body; false means the
+// body is structurally invalid (treated as corruption by the caller).
+func (r *Recovered) decodeBody(body []byte) bool {
+	switch body[0] {
+	case recHeader:
+		if len(body) != 1+headerPayloadLen || r.HasHeader || len(r.Records) > 0 {
+			return false // header must be the unique first record
+		}
+		p := body[1:]
+		r.Header = Header{
+			GoldenSignature: binary.LittleEndian.Uint64(p[0:]),
+			NumPoints:       binary.LittleEndian.Uint64(p[8:]),
+			FaultListHash:   binary.LittleEndian.Uint64(p[16:]),
+		}
+		r.HasHeader = true
+		return true
+	case recExperiment:
+		if len(body) != 1+experimentPayloadLen || !r.HasHeader {
+			return false
+		}
+		p := body[1:]
+		rec := Record{
+			Index:        binary.LittleEndian.Uint64(p[0:]),
+			FF:           binary.LittleEndian.Uint32(p[8:]),
+			Cycle:        binary.LittleEndian.Uint32(p[12:]),
+			Duration:     binary.LittleEndian.Uint32(p[16:]),
+			Outcome:      p[20],
+			Pruned:       p[21]&flagPruned != 0,
+			SkippedWrong: p[21]&flagSkippedWrong != 0,
+		}
+		if rec.Index >= r.Header.NumPoints {
+			return false // claims a point outside the recorded fault list
+		}
+		r.Records = append(r.Records, rec)
+		r.ByIndex[rec.Index] = rec
+		return true
+	}
+	return false // unknown record type
+}
+
+// Resume reopens an existing journal for a resumed campaign: it recovers
+// the validated prefix, verifies the header matches the campaign at hand,
+// truncates any torn or corrupt tail so new records append at a clean
+// frame boundary, and returns a Writer positioned at the end.
+func Resume(path string, h Header) (*Writer, *Recovered, error) {
+	rec, err := Recover(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !rec.HasHeader {
+		return nil, nil, fmt.Errorf("journal: %s has no intact campaign header", path)
+	}
+	if rec.Header != h {
+		return nil, nil, fmt.Errorf("journal: %s belongs to a different campaign (header %+v, want %+v)", path, rec.Header, h)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Truncate(rec.goodSize); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: truncate tail: %w", err)
+	}
+	if _, err := f.Seek(rec.goodSize, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Writer{f: f}, rec, nil
+}
+
+// appendFrame appends length | body | crc to dst.
+func appendFrame(dst, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	dst = append(dst, body...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(body, crcTable))
+}
+
+func headerBody(h Header) []byte {
+	b := make([]byte, 0, 1+headerPayloadLen)
+	b = append(b, recHeader)
+	b = binary.LittleEndian.AppendUint64(b, h.GoldenSignature)
+	b = binary.LittleEndian.AppendUint64(b, h.NumPoints)
+	return binary.LittleEndian.AppendUint64(b, h.FaultListHash)
+}
+
+func experimentBody(rec Record) []byte {
+	var flags byte
+	if rec.Pruned {
+		flags |= flagPruned
+	}
+	if rec.SkippedWrong {
+		flags |= flagSkippedWrong
+	}
+	b := make([]byte, 0, 1+experimentPayloadLen)
+	b = append(b, recExperiment)
+	b = binary.LittleEndian.AppendUint64(b, rec.Index)
+	b = binary.LittleEndian.AppendUint32(b, rec.FF)
+	b = binary.LittleEndian.AppendUint32(b, rec.Cycle)
+	b = binary.LittleEndian.AppendUint32(b, rec.Duration)
+	return append(b, rec.Outcome, flags)
+}

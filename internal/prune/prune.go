@@ -6,6 +6,7 @@
 package prune
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -30,6 +31,10 @@ type Result struct {
 	// MATEs that triggered at least once on this trace (paper metric).
 	AvgInputs float64
 	StdInputs float64
+	// Interrupted marks a partial replay: the context passed to
+	// EvaluateContext was cancelled before every cycle was processed, so
+	// MaskedPoints is a lower bound.
+	Interrupted bool
 }
 
 // Reduction returns the fault-space reduction as a fraction in [0, 1].
@@ -102,6 +107,13 @@ func (ev *evaluator) triggers(row []uint64, mi int) bool {
 // fault-space accounting for the given fault set. Cycles are processed in
 // parallel.
 func Evaluate(set *core.MATESet, tr *sim.Trace, faultWires []netlist.WireID) *Result {
+	return EvaluateContext(context.Background(), set, tr, faultWires)
+}
+
+// EvaluateContext is Evaluate with graceful cancellation: when ctx is
+// cancelled, the replay workers stop at their next cycle boundary and the
+// partial accounting is returned with Interrupted=true.
+func EvaluateContext(ctx context.Context, set *core.MATESet, tr *sim.Trace, faultWires []netlist.WireID) *Result {
 	ev := compile(set, faultWires)
 	cycles := tr.NumCycles()
 	res := &Result{
@@ -136,6 +148,9 @@ func Evaluate(set *core.MATESet, tr *sim.Trace, faultWires []netlist.WireID) *Re
 			localTrig := make([]bool, len(ev.mates))
 			bits := make([]uint64, (ev.nf+63)/64)
 			for c := lo; c < hi; c++ {
+				if c&63 == 0 && ctx.Err() != nil {
+					break
+				}
 				row := tr.Row(c)
 				for i := range bits {
 					bits[i] = 0
@@ -186,6 +201,7 @@ func Evaluate(set *core.MATESet, tr *sim.Trace, faultWires []netlist.WireID) *Re
 		}
 		res.StdInputs = math.Sqrt(vs / float64(n))
 	}
+	res.Interrupted = ctx.Err() != nil
 	return res
 }
 

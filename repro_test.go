@@ -5,6 +5,7 @@ package repro
 // factor, which trends hold) — the absolute numbers differ because our
 // cores are smaller than the authors' RTL (see EXPERIMENTS.md).
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -173,7 +174,7 @@ func TestReproCampaign(t *testing.T) {
 	}
 	params := core.DefaultSearchParams()
 	for _, c := range []*experiments.CPUCase{experiments.PrepareAVR(), experiments.PrepareMSP430()} {
-		row, err := experiments.Campaign(c, "fib", 200, params, true)
+		row, err := experiments.Campaign(context.Background(), c, "fib", 200, params, true)
 		if err != nil {
 			t.Fatal(err)
 		}

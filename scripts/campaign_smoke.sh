@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# campaign_smoke.sh — end-to-end crash-resume smoke test for cmd/campaign.
+#
+# Runs a short campaign three ways: uninterrupted, interrupted mid-flight
+# (deterministically, after 3 classified points), and resumed from the
+# journal the interrupted run left behind. The resumed run must reproduce
+# the uninterrupted result exactly. A real-SIGINT variant exercises the
+# signal path as well, tolerating the race between signal delivery and
+# campaign completion.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/campaign" ./cmd/campaign
+args=(-cpu avr -prog fib -stride 300 -noprune)
+
+# Stable result lines: everything except timing.
+summary() {
+    grep -E '^(campaign|pruned|outcomes):' "$1"
+    awk '/^executed:/ { print $1, $2 }' "$1"
+}
+
+echo "== clean run"
+"$tmp/campaign" "${args[@]}" > "$tmp/clean.out"
+summary "$tmp/clean.out"
+
+echo "== interrupted run (cancel after 3 points)"
+rc=0
+"$tmp/campaign" "${args[@]}" -journal "$tmp/smoke.journal" -interruptafter 3 \
+    > "$tmp/partial.out" || rc=$?
+if [ "$rc" -ne 130 ]; then
+    echo "FAIL: interrupted run exited $rc, want 130" >&2
+    cat "$tmp/partial.out" >&2
+    exit 1
+fi
+grep -q 'interrupted: true' "$tmp/partial.out" || {
+    echo "FAIL: no 'interrupted: true' marker in partial output" >&2
+    cat "$tmp/partial.out" >&2
+    exit 1
+}
+
+echo "== resumed run"
+"$tmp/campaign" "${args[@]}" -journal "$tmp/smoke.journal" -resume > "$tmp/resumed.out"
+grep -q '^resumed:' "$tmp/resumed.out" || {
+    echo "FAIL: resumed run replayed nothing" >&2
+    cat "$tmp/resumed.out" >&2
+    exit 1
+}
+
+summary "$tmp/clean.out"   > "$tmp/clean.sum"
+summary "$tmp/resumed.out" > "$tmp/resumed.sum"
+if ! diff -u "$tmp/clean.sum" "$tmp/resumed.sum"; then
+    echo "FAIL: resumed result differs from uninterrupted run" >&2
+    exit 1
+fi
+
+echo "== real SIGINT"
+rc=0
+"$tmp/campaign" "${args[@]}" -journal "$tmp/sigint.journal" > "$tmp/sigint.out" &
+pid=$!
+sleep 0.3
+kill -INT "$pid" 2>/dev/null || true
+wait "$pid" || rc=$?
+if [ "$rc" -eq 130 ]; then
+    # Interrupted in flight: the journal must resume to the clean result.
+    "$tmp/campaign" "${args[@]}" -journal "$tmp/sigint.journal" -resume > "$tmp/sigint2.out"
+    summary "$tmp/sigint2.out" > "$tmp/sigint2.sum"
+    diff -u "$tmp/clean.sum" "$tmp/sigint2.sum" || {
+        echo "FAIL: SIGINT-resumed result differs from uninterrupted run" >&2
+        exit 1
+    }
+elif [ "$rc" -eq 0 ]; then
+    # Campaign won the race against the signal: result must match anyway.
+    summary "$tmp/sigint.out" > "$tmp/sigint.sum"
+    diff -u "$tmp/clean.sum" "$tmp/sigint.sum" || {
+        echo "FAIL: SIGINT-run (completed) result differs from clean run" >&2
+        exit 1
+    }
+else
+    echo "FAIL: SIGINT run exited $rc, want 0 or 130" >&2
+    cat "$tmp/sigint.out" >&2
+    exit 1
+fi
+
+echo "campaign-smoke: OK"
