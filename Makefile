@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race lint-examples campaign-smoke
+.PHONY: check build vet test race lint-examples campaign-smoke bench-snapshot fuzz-smoke cover
 
 # The CI gate: everything a PR must pass.
 check: vet build test race lint-examples campaign-smoke
@@ -29,5 +29,24 @@ lint-examples:
 
 # End-to-end crash-resume drill: interrupt a short campaign mid-flight,
 # resume from its journal, and require the exact uninterrupted result.
+# Also scrapes a live /metrics endpoint during a campaign.
 campaign-smoke:
 	./scripts/campaign_smoke.sh
+
+# Refresh the committed benchmark baseline (BENCH_0.json). Knobs:
+# BENCH=regex BENCHTIME=10x COUNT=3 make bench-snapshot
+bench-snapshot:
+	./scripts/bench_snapshot.sh BENCH_0.json
+
+# Short native-fuzzing smoke: each target gets a few seconds on top of its
+# seeded corpus. Full fuzzing sessions use `go test -fuzz ... -fuzztime 5m`.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadRaw -fuzztime 10s ./internal/verilog
+	$(GO) test -run '^$$' -fuzz FuzzMATESetRoundTrip -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzRecover -fuzztime 10s ./internal/journal
+
+# Coverage over the library packages (the cmd/ mains are exercised by the
+# smoke scripts, not unit tests).
+cover:
+	$(GO) test -short -coverprofile=cover.out -coverpkg=./internal/... ./...
+	$(GO) tool cover -func=cover.out | tail -1

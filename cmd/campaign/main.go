@@ -35,8 +35,13 @@ import (
 	"repro/internal/journal"
 	"repro/internal/lint"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/progs"
 )
+
+// obsCleanup flushes -stats-json and stops the /metrics endpoint; installed
+// by main once observability is initialised so every exit path runs it.
+var obsCleanup = func() {}
 
 func main() {
 	cpu := flag.String("cpu", "avr", "processor: avr or msp430")
@@ -50,7 +55,15 @@ func main() {
 	journalPath := flag.String("journal", "", "durably log every classified point to this file")
 	resume := flag.Bool("resume", false, "resume from the -journal file: replay classified points, run only the rest")
 	interruptAfter := flag.Int("interruptafter", 0, "cancel the campaign after N classified points (deterministic interruption for tests; 0 = never)")
+	obsOpts := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	reg, cleanup, err := obsOpts.Init(os.Stderr)
+	if err != nil {
+		fail(err)
+	}
+	obsCleanup = cleanup
+	defer cleanup()
 
 	// Argument hardening: a typo must produce a usage error, not a silent
 	// fall-through to the default workload.
@@ -115,7 +128,9 @@ func main() {
 	}
 
 	start := time.Now()
+	gsp := reg.StartSpan("golden")
 	golden, err := hafi.RecordGolden(run, 1<<20)
+	gsp.End()
 	if err != nil {
 		fail(err)
 	}
@@ -126,9 +141,11 @@ func main() {
 	if !*noPrune {
 		params := core.DefaultSearchParams()
 		params.Context = ctx
+		params.Obs = reg
 		res := core.Search(nl, nl.FFQWires(groups...), params)
 		if res.Interrupted {
 			fmt.Println("interrupted: true (during MATE search, no experiments run)")
+			obsCleanup()
 			os.Exit(130)
 		}
 		set = res.Set
@@ -143,7 +160,7 @@ func main() {
 	if *journalPath != "" {
 		hdr := ctl.JournalHeader(points)
 		if *resume {
-			jw, recovered, err = journal.Resume(*journalPath, hdr)
+			jw, recovered, err = journal.ResumeInstrumented(*journalPath, hdr, reg)
 			if err == nil && (recovered.Torn || recovered.Corrupt) {
 				fmt.Fprintf(os.Stderr, "campaign: journal tail damaged (torn=%v corrupt=%v, %d bytes dropped); affected points will re-run\n",
 					recovered.Torn, recovered.Corrupt, recovered.DroppedBytes)
@@ -154,6 +171,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		jw.Instrument(reg)
 		defer jw.Close()
 	}
 
@@ -164,6 +182,18 @@ func main() {
 		Context:         ctx,
 		Journal:         jw,
 		Resume:          recovered,
+		Obs:             reg,
+	}
+	if obsOpts.Progress && reg != nil {
+		stopProg := obs.StartProgress(obs.ProgressConfig{
+			Label: "campaign", Unit: "points", Out: os.Stderr,
+			Done:        reg.Counter("campaign_points_done_total"),
+			Total:       reg.Gauge("campaign_points"),
+			Masked:      reg.Counter("campaign_pruned_total"),
+			Workers:     reg.Gauge("campaign_workers"),
+			WorkersBusy: reg.Gauge("campaign_workers_busy"),
+		})
+		defer stopProg()
 	}
 	if *interruptAfter > 0 {
 		cctx, cancel := context.WithCancel(ctx)
@@ -216,6 +246,7 @@ func main() {
 		if jw != nil {
 			jw.Close()
 		}
+		obsCleanup()
 		os.Exit(130)
 	}
 }
@@ -228,5 +259,6 @@ func usage(format string, args ...interface{}) {
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+	obsCleanup()
 	os.Exit(1)
 }

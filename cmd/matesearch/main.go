@@ -24,8 +24,19 @@ import (
 	"repro/internal/cpu/msp430"
 	"repro/internal/lint"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/verilog"
 )
+
+// obsCleanup flushes -stats-json and stops the /metrics endpoint; installed
+// by main once observability is initialised so every exit path runs it.
+var obsCleanup = func() {}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
+	obsCleanup()
+	os.Exit(1)
+}
 
 func main() {
 	cpu := flag.String("cpu", "avr", "processor: avr or msp430")
@@ -38,21 +49,27 @@ func main() {
 	verilogIn := flag.String("verilog", "", "search this structural-Verilog netlist instead of a built-in core")
 	export := flag.String("export", "", "write the selected netlist as structural Verilog and exit")
 	strict := flag.Bool("strict", false, "preflight lint: treat warnings as failures")
+	obsOpts := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	reg, cleanup, err := obsOpts.Init(os.Stderr)
+	if err != nil {
+		fail(err)
+	}
+	obsCleanup = cleanup
+	defer cleanup()
 
 	var nl *netlist.Netlist
 	var wires []netlist.WireID
 	if *verilogIn != "" {
 		f, err := os.Open(*verilogIn)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		parsed, err := verilog.Read(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		nl = parsed
 		if *noRF {
@@ -80,23 +97,21 @@ func main() {
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "matesearch: unknown cpu %q\n", *cpu)
+			obsCleanup()
 			os.Exit(2)
 		}
 	}
 	if err := lint.Preflight(os.Stderr, nl, *strict); err != nil {
-		fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	if *export != "" {
 		f, err := os.Create(*export)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := verilog.Write(f, nl); err != nil {
-			fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		f.Close()
 		fmt.Printf("exported %s to %s\n", nl.Name, *export)
@@ -111,6 +126,16 @@ func main() {
 	params.MaxTerms = *maxTerms
 	params.MaxCandidates = *maxCand
 	params.Context = ctx
+	params.Obs = reg
+
+	if obsOpts.Progress && reg != nil {
+		stopProg := obs.StartProgress(obs.ProgressConfig{
+			Label: "search", Unit: "wires", Out: os.Stderr,
+			Done:  reg.Counter("search_wires_done_total"),
+			Total: reg.Gauge("search_wires"),
+		})
+		defer stopProg()
+	}
 
 	st := nl.Stats()
 	fmt.Printf("netlist %s: %s\n", nl.Name, st)
@@ -135,18 +160,17 @@ func main() {
 		// covers only part of the fault set; refuse to persist it so it
 		// cannot masquerade as a complete search result.
 		fmt.Println("interrupted: true (partial search, output file not written)")
+		obsCleanup()
 		os.Exit(130)
 	}
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		if err := core.WriteMATESet(f, nl, res.Set); err != nil {
-			fmt.Fprintf(os.Stderr, "matesearch: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}

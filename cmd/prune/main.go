@@ -24,11 +24,16 @@ import (
 	"repro/internal/intercycle"
 	"repro/internal/lint"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/progs"
 	"repro/internal/prune"
 	"repro/internal/sim"
 	"repro/internal/vcd"
 )
+
+// obsCleanup flushes -stats-json and stops the /metrics endpoint; installed
+// by main once observability is initialised so every exit path runs it.
+var obsCleanup = func() {}
 
 func main() {
 	cpu := flag.String("cpu", "avr", "processor: avr or msp430")
@@ -40,7 +45,15 @@ func main() {
 	cycles := flag.Int("cycles", progs.TraceCycles, "trace length when simulating")
 	inter := flag.Bool("intercycle", false, "run the offline inter-cycle analysis instead of MATE replay")
 	strict := flag.Bool("strict", false, "preflight lint: treat warnings as failures")
+	obsOpts := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	reg, cleanup, err := obsOpts.Init(os.Stderr)
+	if err != nil {
+		fail(err)
+	}
+	obsCleanup = cleanup
+	defer cleanup()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -131,9 +144,11 @@ func main() {
 	} else {
 		params := core.DefaultSearchParams()
 		params.Context = ctx
+		params.Obs = reg
 		sres := core.Search(nl, wires, params)
 		if sres.Interrupted {
 			fmt.Println("interrupted: true (during MATE search, nothing evaluated)")
+			obsCleanup()
 			os.Exit(130)
 		}
 		set = sres.Set
@@ -144,7 +159,15 @@ func main() {
 		fmt.Printf("selected top %d MATEs by trace hit count\n", set.Size())
 	}
 
-	res := prune.EvaluateContext(ctx, set, tr, wires)
+	if obsOpts.Progress && reg != nil {
+		stopProg := obs.StartProgress(obs.ProgressConfig{
+			Label: "replay", Unit: "cycles", Out: os.Stderr,
+			Done:  reg.Counter("prune_cycles_done_total"),
+			Total: reg.Gauge("prune_cycles"),
+		})
+		defer stopProg()
+	}
+	res := prune.EvaluateInstrumented(ctx, set, tr, wires, reg)
 	fmt.Printf("trace:            %d cycles, %d fault wires\n", res.Cycles, res.FaultWires)
 	fmt.Printf("fault space:      %d points\n", res.TotalPoints)
 	fmt.Printf("pruned as benign: %d points (%.2f%%)\n", res.MaskedPoints, 100*res.Reduction())
@@ -152,11 +175,13 @@ func main() {
 		res.EffectiveMATEs, res.AvgInputs, res.StdInputs)
 	if res.Interrupted {
 		fmt.Println("interrupted: true (partial replay; masked count is a lower bound)")
+		obsCleanup()
 		os.Exit(130)
 	}
 }
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "prune: %v\n", err)
+	obsCleanup()
 	os.Exit(1)
 }

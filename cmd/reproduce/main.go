@@ -26,7 +26,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
+
+// obsCleanup flushes -stats-json and stops the /metrics endpoint; installed
+// by main once observability is initialised so every exit path runs it.
+var obsCleanup = func() {}
 
 func main() {
 	what := flag.String("what", "all", "table1|table2|table3|figure1|lut|campaign|intercycle|crosslayer|all")
@@ -35,7 +40,16 @@ func main() {
 	maxCand := flag.Int("candidates", 100000, "candidate budget per faulty wire")
 	stride := flag.Int("stride", 25, "campaign: injection-cycle stride")
 	validate := flag.Bool("validate", false, "campaign: re-execute pruned points to verify benignity")
+	obsOpts := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	reg, cleanup, err := obsOpts.Init(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		os.Exit(1)
+	}
+	obsCleanup = cleanup
+	defer cleanup()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -45,6 +59,7 @@ func main() {
 	params.MaxTerms = *maxTerms
 	params.MaxCandidates = *maxCand
 	params.Context = ctx
+	params.Obs = reg
 
 	run := func(name string, fn func() error) {
 		if *what != "all" && *what != name {
@@ -52,15 +67,21 @@ func main() {
 		}
 		if ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "reproduce: interrupted before %s\n", name)
+			obsCleanup()
 			os.Exit(130)
 		}
 		start := time.Now()
-		if err := fn(); err != nil {
+		sp := reg.StartSpan("reproduce/" + name)
+		err := fn()
+		sp.End()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "reproduce %s: %v\n", name, err)
+			obsCleanup()
 			os.Exit(1)
 		}
 		if ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "reproduce: interrupted during %s (output above is partial)\n", name)
+			obsCleanup()
 			os.Exit(130)
 		}
 		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))

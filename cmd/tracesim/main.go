@@ -15,10 +15,15 @@ import (
 	"repro/internal/cpu/avr"
 	"repro/internal/cpu/msp430"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/progs"
 	"repro/internal/sim"
 	"repro/internal/vcd"
 )
+
+// obsCleanup flushes -stats-json and stops the /metrics endpoint; installed
+// by main once observability is initialised so every exit path runs it.
+var obsCleanup = func() {}
 
 func main() {
 	cpu := flag.String("cpu", "avr", "processor: avr or msp430")
@@ -26,7 +31,15 @@ func main() {
 	asm := flag.String("asm", "", "assemble this file instead of a built-in workload")
 	cycles := flag.Int("cycles", progs.TraceCycles, "number of cycles to record (>= 1)")
 	out := flag.String("o", "", "VCD output file (default: <cpu>_<prog>.vcd)")
+	obsOpts := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	reg, cleanup, oerr := obsOpts.Init(os.Stderr)
+	if oerr != nil {
+		fail(oerr)
+	}
+	obsCleanup = cleanup
+	defer cleanup()
 
 	// Argument hardening: a typo must produce a usage error, not a silent
 	// fall-through to a default workload.
@@ -55,6 +68,27 @@ func main() {
 		src = string(data)
 	}
 
+	var cyclesDone *obs.Counter
+	var onCycle func(int)
+	if reg != nil {
+		reg.Gauge("tracesim_cycles").Set(int64(*cycles))
+		cyclesDone = reg.Counter("tracesim_cycles_done_total")
+		onCycle = func(int) { cyclesDone.Inc() }
+		if obsOpts.Progress {
+			stopProg := obs.StartProgress(obs.ProgressConfig{
+				Label: "tracesim", Unit: "cycles", Out: os.Stderr,
+				Done:  cyclesDone,
+				Total: reg.Gauge("tracesim_cycles"),
+			})
+			defer stopProg()
+		}
+	}
+	record := func(m *sim.Machine, env sim.Env) *sim.Trace {
+		sp := reg.StartSpan("record")
+		defer sp.End()
+		return sim.RecordObserved(m, env, *cycles, onCycle)
+	}
+
 	var nl *netlist.Netlist
 	var tr *sim.Trace
 	switch *cpu {
@@ -75,7 +109,7 @@ func main() {
 		core := avr.NewCore()
 		nl = core.NL
 		sys := avr.NewSystem(core, program)
-		tr = sys.Record(*cycles)
+		tr = record(sys.M, sys.Env())
 	case "msp430":
 		switch {
 		case src != "":
@@ -93,7 +127,7 @@ func main() {
 		core := msp430.NewCore()
 		nl = core.NL
 		sys := msp430.NewSystem(core, program)
-		tr = sys.Record(*cycles)
+		tr = record(sys.M, sys.Env())
 	}
 
 	name := *out
@@ -119,5 +153,6 @@ func usage(format string, args ...interface{}) {
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "tracesim: %v\n", err)
+	obsCleanup()
 	os.Exit(1)
 }

@@ -1,0 +1,144 @@
+package repro
+
+// Differential test: three independent implementations of the pruned fault
+// space must agree point for point on the quickstart workload —
+//
+//  1. the offline replay (prune.MaskedGrid over the golden trace),
+//  2. the sequential campaign controller (hafi.RunCampaign), and
+//  3. the 64-lane batched engine (hafi.RunCampaignBatched).
+//
+// Both campaign engines journal every classified point; the journals are
+// recovered and compared record by record (pruned flag AND outcome), so any
+// divergence names the exact (FF, cycle) point. This is the strongest
+// cheap consistency check the pipeline has: the replay and the two engines
+// share the MATE set but nothing of their execution machinery.
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hafi"
+	"repro/internal/journal"
+	"repro/internal/prune"
+)
+
+func TestDifferentialPruneCampaignBatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential campaign comparison is not short")
+	}
+	c := experiments.PrepareAVR()
+	prog := c.FibProg
+
+	run := c.NewRun(prog)
+	golden, err := hafi.RecordGolden(run, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := core.Search(c.NL, c.FaultAll, core.DefaultSearchParams()).Set
+
+	// Every FF at every 1500th cycle, thinned to every 4th point: keeps
+	// cycle and flip-flop diversity while the sequential engine (the slow
+	// side of the comparison) stays test-suite friendly.
+	const stride = 1500
+	full := hafi.SampledFaultList(c.NL, golden.HaltCycle, stride)
+	var points []hafi.FaultPoint
+	for i := 0; i < len(full); i += 4 {
+		points = append(points, full[i])
+	}
+	if len(points) < 100 {
+		t.Fatalf("fault list too small for a meaningful comparison: %d points", len(points))
+	}
+
+	// Implementation 1: offline replay. MaskedGrid and the campaign's
+	// online provedBenign check must make identical per-point decisions.
+	grid := prune.MaskedGrid(set, golden.Trace, c.FaultAll)
+	wantPruned := make([]bool, len(points))
+	for i, p := range points {
+		wantPruned[i] = grid[p.Cycle][p.FF] // FaultAll is in FF order
+	}
+
+	dir := t.TempDir()
+	runJournaled := func(name string, exec func(cfg hafi.CampaignConfig) (*hafi.CampaignResult, error)) ([]journal.Record, *hafi.CampaignResult) {
+		t.Helper()
+		path := filepath.Join(dir, name+".journal")
+		ctl := hafi.NewControllerPool(func() hafi.Run { return c.NewRun(prog) }, golden)
+		jw, err := journal.Create(path, ctl.JournalHeader(points))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec(hafi.CampaignConfig{
+			Points:  points,
+			MATESet: set,
+			Journal: jw,
+		})
+		if err != nil {
+			t.Fatalf("%s campaign: %v", name, err)
+		}
+		if err := jw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := journal.Recover(path)
+		if err != nil {
+			t.Fatalf("%s journal recovery: %v", name, err)
+		}
+		if len(rec.ByIndex) != len(points) {
+			t.Fatalf("%s journal has %d records, want %d", name, len(rec.ByIndex), len(points))
+		}
+		out := make([]journal.Record, len(points))
+		for idx, r := range rec.ByIndex {
+			out[idx] = r
+		}
+		return out, res
+	}
+
+	// Implementation 2: sequential controller (sharded over a worker pool).
+	seqRecs, seqRes := runJournaled("sequential", func(cfg hafi.CampaignConfig) (*hafi.CampaignResult, error) {
+		cfg.Workers = runtime.NumCPU()
+		ctl := hafi.NewControllerPool(func() hafi.Run { return c.NewRun(prog) }, golden)
+		return ctl.RunCampaign(cfg)
+	})
+
+	// Implementation 3: 64-lane batched engine.
+	batchRecs, batchRes := runJournaled("batched", func(cfg hafi.CampaignConfig) (*hafi.CampaignResult, error) {
+		ctl := hafi.NewControllerPool(func() hafi.Run { return c.NewRun(prog) }, golden)
+		run64, err := c.NewRun64(prog)
+		if err != nil {
+			return nil, err
+		}
+		return ctl.RunCampaignBatched(cfg, run64)
+	})
+
+	for i, p := range points {
+		seq, bat := seqRecs[i], batchRecs[i]
+		if seq.Pruned != wantPruned[i] {
+			t.Errorf("point %d (ff=%d cycle=%d): sequential pruned=%v, replay grid says %v",
+				i, p.FF, p.Cycle, seq.Pruned, wantPruned[i])
+		}
+		if bat.Pruned != wantPruned[i] {
+			t.Errorf("point %d (ff=%d cycle=%d): batched pruned=%v, replay grid says %v",
+				i, p.FF, p.Cycle, bat.Pruned, wantPruned[i])
+		}
+		if seq.Pruned != bat.Pruned || (!seq.Pruned && seq.Outcome != bat.Outcome) {
+			t.Errorf("point %d (ff=%d cycle=%d): sequential (pruned=%v outcome=%d) != batched (pruned=%v outcome=%d)",
+				i, p.FF, p.Cycle, seq.Pruned, seq.Outcome, bat.Pruned, bat.Outcome)
+		}
+		if t.Failed() && i > 20 {
+			t.Fatal("aborting after repeated divergence")
+		}
+	}
+
+	// Aggregate cross-check: identical totals and outcome histograms.
+	if seqRes.Total != batchRes.Total || seqRes.Skipped != batchRes.Skipped || seqRes.Executed != batchRes.Executed {
+		t.Errorf("aggregate mismatch: sequential %+v, batched %+v", seqRes, batchRes)
+	}
+	for o, n := range seqRes.ByOutcome {
+		if batchRes.ByOutcome[o] != n {
+			t.Errorf("outcome %s: sequential %d, batched %d", o, n, batchRes.ByOutcome[o])
+		}
+	}
+	t.Logf("%d points: %d pruned, %d executed, outcomes %v",
+		seqRes.Total, seqRes.Skipped, seqRes.Executed, seqRes.ByOutcome)
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// fuzzNetlist builds the fixed small circuit every fuzz input is resolved
+// against: six named inputs, three gates, one flip-flop.
+func fuzzNetlist() *netlist.Netlist {
+	b := netlist.NewBuilder("fuzz")
+	a := b.Input("a")
+	c := b.Input("b")
+	d := b.Input("c")
+	e := b.Input("d")
+	g := b.GateNamed("g", cell.AND2, a, c)
+	h := b.GateNamed("h", cell.XOR2, d, e)
+	y := b.GateNamed("y", cell.OR2, g, h)
+	b.FF("ff", y, false, "")
+	b.MarkOutput(y)
+	return b.MustNetlist()
+}
+
+// FuzzMATESetRoundTrip feeds arbitrary text through ReadMATESet against a
+// fixed netlist: parsing must never panic, and any set it accepts must
+// survive WriteMATESet → ReadMATESet with identical literals and masks —
+// the contract between matesearch -o and prune/campaign -mates.
+func FuzzMATESetRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"# empty set\n",
+		"a=1 | ff.Q\n",
+		"a=0 b=1 | g y\n",
+		" | y\n",
+		"c=1 d=0 | h\na=1 | y ff.Q\n",
+		"bogus line without pipe\n",
+		"a=2 | y\n",
+		"unknown=1 | y\n",
+		"a=1 | nothere\n",
+		"a=1 a=0 | y\n",
+		"a=1 |\n",
+	} {
+		f.Add(seed)
+	}
+	nl := fuzzNetlist()
+	f.Fuzz(func(t *testing.T, src string) {
+		set, err := ReadMATESet(strings.NewReader(src), nl)
+		if err != nil {
+			return // rejection is fine; panics are the failure mode
+		}
+		var buf bytes.Buffer
+		if err := WriteMATESet(&buf, nl, set); err != nil {
+			t.Fatalf("WriteMATESet failed on accepted set: %v", err)
+		}
+		again, err := ReadMATESet(bytes.NewReader(buf.Bytes()), nl)
+		if err != nil {
+			t.Fatalf("round trip: ReadMATESet(WriteMATESet(set)) failed: %v\ninput: %q\nwritten: %q", err, src, buf.String())
+		}
+		if len(again.MATEs) != len(set.MATEs) {
+			t.Fatalf("round trip changed MATE count %d → %d", len(set.MATEs), len(again.MATEs))
+		}
+		for i, m := range set.MATEs {
+			n := again.MATEs[i]
+			if len(m.Literals) != len(n.Literals) || len(m.Masks) != len(n.Masks) {
+				t.Fatalf("MATE %d changed shape: literals %d→%d masks %d→%d",
+					i, len(m.Literals), len(n.Literals), len(m.Masks), len(n.Masks))
+			}
+			for j := range m.Literals {
+				if m.Literals[j] != n.Literals[j] {
+					t.Fatalf("MATE %d literal %d changed: %+v → %+v", i, j, m.Literals[j], n.Literals[j])
+				}
+			}
+			for j := range m.Masks {
+				if m.Masks[j] != n.Masks[j] {
+					t.Fatalf("MATE %d mask %d changed: %v → %v", i, j, m.Masks[j], n.Masks[j])
+				}
+			}
+		}
+	})
+}

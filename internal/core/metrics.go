@@ -1,0 +1,53 @@
+package core
+
+import "repro/internal/obs"
+
+// searchMetrics holds the MATE search's observability handles. All methods
+// are nil-receiver safe; an unset SearchParams.Obs costs one pointer check
+// per collected wire.
+type searchMetrics struct {
+	wiresDone   *obs.Counter   // search_wires_done_total
+	coneGates   *obs.Histogram // search_cone_gates
+	paths       *obs.Counter   // search_paths_total
+	truncated   *obs.Counter   // search_truncated_paths_total
+	candidates  *obs.Counter   // search_candidates_total
+	mates       *obs.Counter   // search_mates_total
+	unmaskable  *obs.Counter   // search_unmaskable_total
+	budgetBlown *obs.Counter   // search_path_budget_exceeded_total
+}
+
+func newSearchMetrics(reg *obs.Registry, totalWires int) *searchMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.Gauge("search_wires").Set(int64(totalWires))
+	return &searchMetrics{
+		wiresDone:   reg.Counter("search_wires_done_total"),
+		coneGates:   reg.Histogram("search_cone_gates", obs.ExpBuckets(1, 4, 8)),
+		paths:       reg.Counter("search_paths_total"),
+		truncated:   reg.Counter("search_truncated_paths_total"),
+		candidates:  reg.Counter("search_candidates_total"),
+		mates:       reg.Counter("search_mates_total"),
+		unmaskable:  reg.Counter("search_unmaskable_total"),
+		budgetBlown: reg.Counter("search_path_budget_exceeded_total"),
+	}
+}
+
+// wire accounts one finished per-wire search report.
+func (m *searchMetrics) wire(rep WireReport) {
+	if m == nil {
+		return
+	}
+	m.wiresDone.Inc()
+	m.coneGates.Observe(float64(rep.ConeGates))
+	m.paths.Add(int64(rep.Paths))
+	m.truncated.Add(int64(rep.TruncatedPaths))
+	m.candidates.Add(rep.Candidates)
+	m.mates.Add(int64(rep.NumMATEs))
+	if rep.Unmaskable {
+		m.unmaskable.Inc()
+	}
+	if rep.PathBudgetExceeded {
+		m.budgetBlown.Inc()
+	}
+}

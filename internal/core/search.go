@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // SearchParams are the heuristic knobs of the MATE search (paper,
@@ -28,6 +29,9 @@ type SearchParams struct {
 	// result carries Interrupted=true (its MATE set covers only the wires
 	// processed before cancellation).
 	Context context.Context
+	// Obs, when non-nil, receives search metrics (wires done, cone-size
+	// histogram, path/candidate/MATE counters). Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // DefaultSearchParams returns the parameters used in the paper's
@@ -105,6 +109,9 @@ func Search(nl *netlist.Netlist, wires []netlist.WireID, p SearchParams) *Search
 	if p.Workers <= 0 {
 		p.Workers = 1
 	}
+	sp := p.Obs.StartSpan("search")
+	defer sp.End()
+	met := newSearchMetrics(p.Obs, len(wires))
 	ctx := p.Context
 	if ctx == nil {
 		ctx = context.Background()
@@ -149,6 +156,7 @@ func Search(nl *netlist.Netlist, wires []netlist.WireID, p SearchParams) *Search
 	for range wires {
 		d := <-doneCh
 		results[d.idx] = d
+		met.wire(d.report)
 	}
 
 	res := &SearchResult{Params: p, Set: nil}

@@ -435,7 +435,9 @@ func Campaign(ctx context.Context, c *CPUCase, workload string, stride int, para
 		prog = c.ConvProg
 	}
 	run := c.NewRun(prog)
+	gsp := params.Obs.StartSpan("golden")
 	golden, err := hafi.RecordGolden(run, 1<<20)
+	gsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -451,6 +453,7 @@ func Campaign(ctx context.Context, c *CPUCase, workload string, stride int, para
 		MATESet:         set,
 		ValidateSkipped: validate,
 		Context:         ctx,
+		Obs:             params.Obs,
 	}, run64)
 	if err != nil {
 		return nil, err

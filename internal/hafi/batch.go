@@ -27,6 +27,9 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 	ctx := cfg.context()
 	res := newCampaignResult()
 	prog := newProgress(cfg.Progress)
+	sp := cfg.Obs.StartSpan("campaign")
+	defer sp.End()
+	met := newCampaignMetrics(cfg.Obs, len(cfg.Points))
 
 	journalPoint := func(rec journal.Record) error {
 		if cfg.Journal != nil {
@@ -34,6 +37,7 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 				return err
 			}
 		}
+		met.point(rec)
 		prog.bump()
 		return nil
 	}
@@ -49,6 +53,7 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 		if cfg.Resume != nil {
 			if rec, ok := cfg.Resume.ByIndex[idx]; ok {
 				res.replay(rec)
+				met.replay()
 				continue
 			}
 		}
@@ -69,7 +74,7 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 		toRun = append(toRun, batchItem{idx, p})
 	}
 
-	err = c.executeBatched(cfg, run64, toRun, timeout, func(it batchItem, o Outcome) error {
+	err = c.executeBatched(cfg, run64, toRun, timeout, met, func(it batchItem, o Outcome) error {
 		res.Total++
 		res.Executed++
 		res.ByOutcome[o]++
@@ -80,7 +85,7 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 	if err != nil {
 		return nil, err
 	}
-	err = c.executeBatched(cfg, run64, toValidate, timeout, func(it batchItem, o Outcome) error {
+	err = c.executeBatched(cfg, run64, toValidate, timeout, met, func(it batchItem, o Outcome) error {
 		res.Total++
 		res.Skipped++
 		rec := record(it.idx, it.p)
@@ -109,7 +114,7 @@ type batchItem struct {
 // classifies every lane and hands each finished point to emit. The
 // campaign context is checked between batches; a cancelled context stops
 // scheduling further batches (the current one finishes and is emitted).
-func (c *Controller) executeBatched(cfg CampaignConfig, run64 Run64, items []batchItem, timeout int, emit func(batchItem, Outcome) error) error {
+func (c *Controller) executeBatched(cfg CampaignConfig, run64 Run64, items []batchItem, timeout int, met *campaignMetrics, emit func(batchItem, Outcome) error) error {
 	ctx := cfg.context()
 	idx := make([]int, len(items))
 	for i := range idx {
@@ -131,6 +136,7 @@ func (c *Controller) executeBatched(cfg CampaignConfig, run64 Run64, items []bat
 			batch = append(batch, items[ii].p)
 		}
 
+		met.batch(len(batch))
 		outcomes, panicked := c.runBatchSafe(run64, batch, cycle, timeout)
 		if panicked {
 			// Isolate the faulty lane: retry each point as its own 1-lane

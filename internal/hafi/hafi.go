@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/journal"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -203,6 +204,10 @@ type CampaignConfig struct {
 	// Resume records excluded). It may be called concurrently from worker
 	// shards and must be safe for that.
 	Progress func(done int)
+	// Obs, when non-nil, receives campaign metrics (points done, injections,
+	// pruned/replayed counts, outcome histogram, batch lane occupancy,
+	// worker utilization). Nil keeps the hot path at a single pointer check.
+	Obs *obs.Registry
 }
 
 // context returns the effective campaign context.
@@ -402,11 +407,18 @@ func (c *Controller) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := cfg.Obs.StartSpan("campaign")
+	defer sp.End()
+	met := newCampaignMetrics(cfg.Obs, len(cfg.Points))
 	if cfg.Workers > 1 && c.factory != nil {
-		return c.runParallel(cfg, timeout)
+		return c.runParallel(cfg, timeout, met)
 	}
+	met.setWorkers(1)
+	met.workerBusy(1)
 	res := newCampaignResult()
-	if err := c.runShard(cfg, 0, cfg.Points, c.run, timeout, res, newProgress(cfg.Progress)); err != nil {
+	err = c.runShard(cfg, 0, cfg.Points, c.run, timeout, res, newProgress(cfg.Progress), met)
+	met.workerBusy(-1)
+	if err != nil {
 		return nil, err
 	}
 	res.Interrupted = cfg.context().Err() != nil
@@ -416,13 +428,14 @@ func (c *Controller) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 // runShard executes one slice of the fault list on one device instance.
 // base is the slice's offset in the campaign fault list (journal records
 // are keyed by global point index).
-func (c *Controller) runShard(cfg CampaignConfig, base int, points []FaultPoint, run Run, timeout int, res *CampaignResult, prog *progressCounter) error {
+func (c *Controller) runShard(cfg CampaignConfig, base int, points []FaultPoint, run Run, timeout int, res *CampaignResult, prog *progressCounter, met *campaignMetrics) error {
 	ctx := cfg.context()
 	for i, p := range points {
 		idx := uint64(base + i)
 		if cfg.Resume != nil {
 			if rec, ok := cfg.Resume.ByIndex[idx]; ok {
 				res.replay(rec)
+				met.replay()
 				continue
 			}
 		}
@@ -451,6 +464,7 @@ func (c *Controller) runShard(cfg CampaignConfig, base int, points []FaultPoint,
 				return err
 			}
 		}
+		met.point(rec)
 		prog.bump()
 	}
 	return nil
@@ -473,11 +487,12 @@ func (c *Controller) safeExecute(run *Run, p FaultPoint, timeout int) (out Outco
 }
 
 // runParallel shards the fault list over Workers device instances.
-func (c *Controller) runParallel(cfg CampaignConfig, timeout int) (*CampaignResult, error) {
+func (c *Controller) runParallel(cfg CampaignConfig, timeout int, met *campaignMetrics) (*CampaignResult, error) {
 	nw := cfg.Workers
 	if nw > len(cfg.Points) {
 		nw = len(cfg.Points)
 	}
+	met.setWorkers(nw)
 	partials := make([]*CampaignResult, nw)
 	errs := make([]error, nw)
 	prog := newProgress(cfg.Progress)
@@ -503,7 +518,9 @@ func (c *Controller) runParallel(cfg CampaignConfig, timeout int) (*CampaignResu
 					errs[i] = fmt.Errorf("hafi: worker shard %d panicked: %v", i, r)
 				}
 			}()
-			errs[i] = c.runShard(cfg, lo, cfg.Points[lo:hi], c.factory(), timeout, partials[i], prog)
+			met.workerBusy(1)
+			defer met.workerBusy(-1)
+			errs[i] = c.runShard(cfg, lo, cfg.Points[lo:hi], c.factory(), timeout, partials[i], prog, met)
 		}(i, lo, hi)
 	}
 	wg.Wait()

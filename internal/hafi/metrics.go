@@ -1,0 +1,97 @@
+package hafi
+
+import (
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+// campaignMetrics bundles the campaign's observability handles, hoisted
+// out of the experiment loops so instrumentation costs one pointer check
+// per classified point when disabled (m == nil). Every method is safe on
+// a nil receiver.
+type campaignMetrics struct {
+	done         *obs.Counter // campaign_points_done_total
+	executed     *obs.Counter // campaign_injections_total
+	pruned       *obs.Counter // campaign_pruned_total
+	replayed     *obs.Counter // campaign_replayed_total
+	skippedWrong *obs.Counter // campaign_skipped_wrong_total
+	outcomes     [4]*obs.Counter
+	batches      *obs.Counter   // campaign_batches_total
+	lanes        *obs.Histogram // campaign_batch_lanes
+	workers      *obs.Gauge     // campaign_workers
+	workersBusy  *obs.Gauge     // campaign_workers_busy
+}
+
+func newCampaignMetrics(reg *obs.Registry, totalPoints int) *campaignMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.Gauge("campaign_points").Set(int64(totalPoints))
+	m := &campaignMetrics{
+		done:         reg.Counter("campaign_points_done_total"),
+		executed:     reg.Counter("campaign_injections_total"),
+		pruned:       reg.Counter("campaign_pruned_total"),
+		replayed:     reg.Counter("campaign_replayed_total"),
+		skippedWrong: reg.Counter("campaign_skipped_wrong_total"),
+		batches:      reg.Counter("campaign_batches_total"),
+		lanes:        reg.Histogram("campaign_batch_lanes", obs.LinearBuckets(8, 8, 8)),
+		workers:      reg.Gauge("campaign_workers"),
+		workersBusy:  reg.Gauge("campaign_workers_busy"),
+	}
+	for o := OutcomeBenign; o <= OutcomeHarnessError; o++ {
+		m.outcomes[o] = reg.Counter("campaign_outcomes_total", "outcome", o.String())
+	}
+	return m
+}
+
+// point accounts one newly classified point (mirrors its journal record).
+func (m *campaignMetrics) point(rec journal.Record) {
+	if m == nil {
+		return
+	}
+	m.done.Inc()
+	if rec.Pruned {
+		m.pruned.Inc()
+		if rec.SkippedWrong {
+			m.skippedWrong.Inc()
+		}
+		return
+	}
+	m.executed.Inc()
+	if int(rec.Outcome) < len(m.outcomes) {
+		m.outcomes[rec.Outcome].Inc()
+	}
+}
+
+// replay accounts one point merged from a recovered journal.
+func (m *campaignMetrics) replay() {
+	if m == nil {
+		return
+	}
+	m.replayed.Inc()
+}
+
+// batch accounts one executed 64-lane batch and its lane occupancy.
+func (m *campaignMetrics) batch(lanesUsed int) {
+	if m == nil {
+		return
+	}
+	m.batches.Inc()
+	m.lanes.Observe(float64(lanesUsed))
+}
+
+// setWorkers records the shard count of a parallel campaign.
+func (m *campaignMetrics) setWorkers(n int) {
+	if m == nil {
+		return
+	}
+	m.workers.Set(int64(n))
+}
+
+// workerBusy tracks shard activity for the utilization column.
+func (m *campaignMetrics) workerBusy(delta int64) {
+	if m == nil {
+		return
+	}
+	m.workersBusy.Add(delta)
+}

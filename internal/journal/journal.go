@@ -29,6 +29,8 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 const magic = "HAFIWAL1"
@@ -95,6 +97,22 @@ type Writer struct {
 	// power loss at a heavy per-record cost).
 	SyncEvery int
 	appended  int
+	// appendsC/bytesC count durable appends and bytes when the writer is
+	// instrumented (Instrument); nil-safe no-ops otherwise.
+	appendsC *obs.Counter
+	bytesC   *obs.Counter
+}
+
+// Instrument attaches observability counters (journal_appends_total,
+// journal_bytes_total) to the writer. Safe on a nil writer or registry.
+func (w *Writer) Instrument(reg *obs.Registry) {
+	if w == nil || reg == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.appendsC = reg.Counter("journal_appends_total")
+	w.bytesC = reg.Counter("journal_bytes_total")
 }
 
 // Create creates (or truncates) a journal file and writes its campaign
@@ -121,6 +139,8 @@ func (w *Writer) Append(rec Record) error {
 	if _, err := w.f.Write(w.scratch); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
+	w.appendsC.Inc()
+	w.bytesC.Add(int64(len(w.scratch)))
 	w.appended++
 	if w.SyncEvery > 0 && w.appended%w.SyncEvery == 0 {
 		if err := w.f.Sync(); err != nil {
@@ -177,6 +197,25 @@ type Recovered struct {
 // Recover reads a journal file, tolerating a torn tail and rejecting
 // corrupt records as described in the package comment.
 func Recover(path string) (*Recovered, error) {
+	return RecoverInstrumented(path, nil)
+}
+
+// RecoverInstrumented is Recover with observability: it counts recovery
+// attempts (journal_recoveries_total), recovered records
+// (journal_recovered_records_total) and tail bytes dropped
+// (journal_dropped_bytes_total) on the given registry (nil = disabled).
+func RecoverInstrumented(path string, reg *obs.Registry) (*Recovered, error) {
+	reg.Counter("journal_recoveries_total").Inc()
+	r, err := recoverFile(path)
+	if err != nil {
+		return nil, err
+	}
+	reg.Counter("journal_recovered_records_total").Add(int64(len(r.Records)))
+	reg.Counter("journal_dropped_bytes_total").Add(r.DroppedBytes)
+	return r, nil
+}
+
+func recoverFile(path string) (*Recovered, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
@@ -262,7 +301,14 @@ func (r *Recovered) decodeBody(body []byte) bool {
 // truncates any torn or corrupt tail so new records append at a clean
 // frame boundary, and returns a Writer positioned at the end.
 func Resume(path string, h Header) (*Writer, *Recovered, error) {
-	rec, err := Recover(path)
+	return ResumeInstrumented(path, h, nil)
+}
+
+// ResumeInstrumented is Resume with observability: recovery counters are
+// recorded on reg (see RecoverInstrumented) and the returned Writer is
+// instrumented. A nil registry disables both.
+func ResumeInstrumented(path string, h Header, reg *obs.Registry) (*Writer, *Recovered, error) {
+	rec, err := RecoverInstrumented(path, reg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -284,7 +330,9 @@ func Resume(path string, h Header) (*Writer, *Recovered, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
-	return &Writer{f: f}, rec, nil
+	w := &Writer{f: f}
+	w.Instrument(reg)
+	return w, rec, nil
 }
 
 // appendFrame appends length | body | crc to dst.

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLIOptions carries the three observability flags shared by every
+// pipeline CLI:
+//
+//	-metrics-addr host:port   serve /metrics (Prometheus) + /debug/pprof
+//	-progress                 periodic progress line on stderr
+//	-stats-json file          end-of-run JSON metrics dump ("-" = stdout)
+//
+// When none is given, Init returns a nil registry and instrumentation
+// stays disabled (nil-safe no-ops on every hot path).
+type CLIOptions struct {
+	MetricsAddr string
+	Progress    bool
+	StatsJSON   string
+}
+
+// RegisterFlags registers the observability flags on fs.
+func RegisterFlags(fs *flag.FlagSet) *CLIOptions {
+	o := &CLIOptions{}
+	fs.StringVar(&o.MetricsAddr, "metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9137; port 0 picks one)")
+	fs.BoolVar(&o.Progress, "progress", false, "print a progress line to stderr every second")
+	fs.StringVar(&o.StatsJSON, "stats-json", "", "write all collected metrics as JSON to this file at exit ('-' = stdout)")
+	return o
+}
+
+// Enabled reports whether any observability flag was set.
+func (o *CLIOptions) Enabled() bool {
+	return o.MetricsAddr != "" || o.Progress || o.StatsJSON != ""
+}
+
+// Init materialises the selected observability features: it creates the
+// registry, starts the /metrics + pprof endpoint if requested (announcing
+// the bound address on errw so scripts can scrape port 0), and returns a
+// cleanup that stops the endpoint and writes the -stats-json dump. With no
+// flags set it returns (nil, no-op, nil).
+func (o *CLIOptions) Init(errw io.Writer) (*Registry, func(), error) {
+	if !o.Enabled() {
+		return nil, func() {}, nil
+	}
+	reg := NewRegistry()
+	var srv *Server
+	if o.MetricsAddr != "" {
+		var err error
+		srv, err = Serve(o.MetricsAddr, reg)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(errw, "metrics: serving on %s\n", srv.Addr())
+	}
+	done := false
+	cleanup := func() {
+		if done {
+			return
+		}
+		done = true
+		if o.StatsJSON != "" {
+			if err := writeStatsFile(o.StatsJSON, reg); err != nil {
+				fmt.Fprintf(errw, "stats-json: %v\n", err)
+			}
+		}
+		srv.Close()
+	}
+	return reg, cleanup, nil
+}
+
+func writeStatsFile(path string, reg *Registry) error {
+	if path == "-" {
+		return WriteJSON(os.Stdout, reg)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, reg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProgressConfig wires a periodic progress reporter to registry metrics.
+// Done and Total are required; everything else is optional. The reporter
+// reads the handles directly (they are nil-safe), so it works regardless
+// of which pipeline stage updates them.
+type ProgressConfig struct {
+	// Label prefixes every line (e.g. "campaign", "search", "replay").
+	Label string
+	// Unit names the counted items (e.g. "points", "wires", "cycles").
+	Unit string
+	// Out receives one status line per tick (default: io.Discard).
+	Out io.Writer
+	// Interval between lines (default 1s).
+	Interval time.Duration
+	// Done counts completed items.
+	Done *Counter
+	// Total holds the number of items to process (0 = unknown, no ETA).
+	Total *Gauge
+	// Masked, when set, adds a masked-rate column (Masked/Done).
+	Masked *Counter
+	// WorkersBusy/Workers, when set, add a worker-utilization column.
+	WorkersBusy *Gauge
+	Workers     *Gauge
+}
+
+// StartProgress launches the stderr ticker and returns its stop function.
+// Stopping prints one final line so short runs still leave a trace.
+func StartProgress(cfg ProgressConfig) (stop func()) {
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Label == "" {
+		cfg.Label = "progress"
+	}
+	if cfg.Unit == "" {
+		cfg.Unit = "items"
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	start := time.Now()
+	var prevDone int64
+	prevT := start
+
+	// line is called from the ticker goroutine and, for the final line,
+	// from whichever goroutine invokes stop; mu covers the rate state.
+	var mu sync.Mutex
+	line := func(now time.Time) {
+		mu.Lock()
+		defer mu.Unlock()
+		d := cfg.Done.Value()
+		t := cfg.Total.Value()
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s: %d", cfg.Label, d)
+		if t > 0 {
+			fmt.Fprintf(&sb, "/%d %s (%.1f%%)", t, cfg.Unit, 100*float64(d)/float64(t))
+		} else {
+			fmt.Fprintf(&sb, " %s", cfg.Unit)
+		}
+		// Rate over the last tick; fall back to the lifetime average when
+		// the tick saw nothing (e.g. the first line of a fast run).
+		dt := now.Sub(prevT).Seconds()
+		rate := 0.0
+		if dt > 0 {
+			rate = float64(d-prevDone) / dt
+		}
+		if rate == 0 && now.Sub(start).Seconds() > 0 {
+			rate = float64(d) / now.Sub(start).Seconds()
+		}
+		fmt.Fprintf(&sb, " | %.0f %s/s", rate, cfg.Unit)
+		if cfg.Masked != nil && d > 0 {
+			fmt.Fprintf(&sb, " | masked %.1f%%", 100*float64(cfg.Masked.Value())/float64(d))
+		}
+		if cfg.Workers != nil && cfg.Workers.Value() > 0 {
+			fmt.Fprintf(&sb, " | workers %d/%d", cfg.WorkersBusy.Value(), cfg.Workers.Value())
+		}
+		if t > 0 && rate > 0 && d < t {
+			eta := time.Duration(float64(t-d) / rate * float64(time.Second))
+			fmt.Fprintf(&sb, " | eta %s", eta.Round(time.Second))
+		}
+		fmt.Fprintln(cfg.Out, sb.String())
+		prevDone, prevT = d, now
+	}
+
+	go func() {
+		tick := time.NewTicker(cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				line(now)
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(done)
+			line(time.Now())
+		})
+	}
+}

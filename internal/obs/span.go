@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// spanStat accumulates the wall-clock accounting for one span path.
+type spanStat struct {
+	count atomic.Int64
+	nanos atomic.Int64
+}
+
+// Span is one running timed section. Spans form a hierarchy through
+// Start: a child's path is "parent/child", so the exporters render a
+// per-stage breakdown ("campaign", "campaign/golden", "campaign/batch").
+// All methods are safe on a nil receiver (the disabled state).
+type Span struct {
+	reg   *Registry
+	path  string
+	start time.Time
+}
+
+// StartSpan begins a top-level timed section. Returns nil on a nil
+// registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, path: name, start: time.Now()}
+}
+
+// Start begins a child section of s. Returns nil on a nil receiver.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{reg: s.reg, path: s.path + "/" + name, start: time.Now()}
+}
+
+// End stops the section and accounts its duration under the span path.
+// It returns the elapsed time (0 on a nil receiver) and may be called at
+// most once per span.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.reg.mu.Lock()
+	st, ok := s.reg.spans[s.path]
+	if !ok {
+		st = &spanStat{}
+		s.reg.spans[s.path] = st
+	}
+	s.reg.mu.Unlock()
+	st.count.Add(1)
+	st.nanos.Add(int64(d))
+	return d
+}
+
+// Timed runs fn inside a span named name.
+func (r *Registry) Timed(name string, fn func()) {
+	sp := r.StartSpan(name)
+	fn()
+	sp.End()
+}

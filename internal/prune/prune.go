@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -114,12 +115,33 @@ func Evaluate(set *core.MATESet, tr *sim.Trace, faultWires []netlist.WireID) *Re
 // cancelled, the replay workers stop at their next cycle boundary and the
 // partial accounting is returned with Interrupted=true.
 func EvaluateContext(ctx context.Context, set *core.MATESet, tr *sim.Trace, faultWires []netlist.WireID) *Result {
+	return EvaluateInstrumented(ctx, set, tr, faultWires, nil)
+}
+
+// EvaluateInstrumented is EvaluateContext with optional observability: a
+// non-nil registry receives prune_cycles_done_total, prune_masked_points_total
+// and prune_mate_triggers_total as the replay progresses (plus the static
+// prune_cycles / prune_fault_wires / prune_mates gauges), all under a
+// "prune/replay" span. A nil registry is free beyond one pointer check per
+// worker chunk.
+func EvaluateInstrumented(ctx context.Context, set *core.MATESet, tr *sim.Trace, faultWires []netlist.WireID, reg *obs.Registry) *Result {
+	sp := reg.StartSpan("prune/replay")
+	defer sp.End()
 	ev := compile(set, faultWires)
 	cycles := tr.NumCycles()
 	res := &Result{
 		FaultWires:  len(faultWires),
 		Cycles:      cycles,
 		TotalPoints: int64(len(faultWires)) * int64(cycles),
+	}
+	var cyclesDoneC, maskedC, trigC *obs.Counter
+	if reg != nil {
+		reg.Gauge("prune_cycles").Set(int64(cycles))
+		reg.Gauge("prune_fault_wires").Set(int64(len(faultWires)))
+		reg.Gauge("prune_mates").Set(int64(len(ev.mates)))
+		cyclesDoneC = reg.Counter("prune_cycles_done_total")
+		maskedC = reg.Counter("prune_masked_points_total")
+		trigC = reg.Counter("prune_mate_triggers_total")
 	}
 
 	nw := runtime.NumCPU()
@@ -144,7 +166,8 @@ func EvaluateContext(ctx context.Context, set *core.MATESet, tr *sim.Trace, faul
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			var masked int64
+			var masked, cyclesDone, trigs int64
+			var flushedCycles, flushedMasked, flushedTrigs int64
 			localTrig := make([]bool, len(ev.mates))
 			bits := make([]uint64, (ev.nf+63)/64)
 			for c := lo; c < hi; c++ {
@@ -160,6 +183,7 @@ func EvaluateContext(ctx context.Context, set *core.MATESet, tr *sim.Trace, faul
 						continue
 					}
 					localTrig[mi] = true
+					trigs++
 					for _, ci := range ev.masks[mi] {
 						w, b := ci/64, uint64(1)<<(uint(ci)%64)
 						if bits[w]&b == 0 {
@@ -168,7 +192,19 @@ func EvaluateContext(ctx context.Context, set *core.MATESet, tr *sim.Trace, faul
 						}
 					}
 				}
+				cyclesDone++
+				// Flush live counters every 256 cycles so the progress
+				// reporter sees movement without per-cycle atomics.
+				if cyclesDone&255 == 0 {
+					cyclesDoneC.Add(cyclesDone - flushedCycles)
+					maskedC.Add(masked - flushedMasked)
+					trigC.Add(trigs - flushedTrigs)
+					flushedCycles, flushedMasked, flushedTrigs = cyclesDone, masked, trigs
+				}
 			}
+			cyclesDoneC.Add(cyclesDone - flushedCycles)
+			maskedC.Add(masked - flushedMasked)
+			trigC.Add(trigs - flushedTrigs)
 			mu.Lock()
 			res.MaskedPoints += masked
 			for i, t := range localTrig {

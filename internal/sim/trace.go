@@ -84,11 +84,21 @@ func (t *Trace) RowValues(cycle int) []bool {
 // values of every cycle, and returns the trace. The machine is advanced in
 // place.
 func Record(m *Machine, env Env, cycles int) *Trace {
+	return RecordObserved(m, env, cycles, nil)
+}
+
+// RecordObserved is Record with a per-cycle observer hook (cycle index of
+// the cycle just recorded); nil onCycle makes it identical to Record. The
+// tracesim CLI uses it to drive its progress counter.
+func RecordObserved(m *Machine, env Env, cycles int, onCycle func(int)) *Trace {
 	t := NewTrace(m.NL.NumWires())
 	for i := 0; i < cycles; i++ {
 		m.Settle(env)
 		t.Append(m.Values())
 		m.CommitFFs()
+		if onCycle != nil {
+			onCycle(i)
+		}
 	}
 	return t
 }

@@ -1,0 +1,104 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds covers the syntactic range of the structural-Verilog subset:
+// valid modules, attribute groups, constants, misordered pins, and a few
+// malformed inputs that must fail cleanly rather than panic.
+var fuzzSeeds = []string{
+	`module empty; endmodule`,
+	`module m(a, y);
+  input a;
+  output y;
+  wire a, y;
+  BUF g0 (.A(a), .Y(y));
+endmodule`,
+	`module counter(clk, q);
+  input clk;
+  output q;
+  wire q, d;
+  INV g0 (.A(q), .Y(d));
+  DFF ff0 (.D(d), .Q(q));
+endmodule`,
+	`module consts(y);
+  output y;
+  wire y, t0, t1;
+  TIE0 c0 (.Y(t0));
+  TIE1 c1 (.Y(t1));
+  AND2 g0 (.A(t0), .B(t1), .Y(y));
+endmodule`,
+	`module attrs(a, b, y);
+  input a, b;
+  output y;
+  wire a, b, y;
+  (* group = "alu" *)
+  XOR2 g0 (.A(a), .B(b), .Y(y));
+endmodule`,
+	`module pins(a, b, y);
+  input a, b;
+  output y;
+  wire a, b, y;
+  NAND2 g0 (.Y(y), .B(b), .A(a));
+endmodule`,
+	// Ill-formed but syntactically valid: ReadRaw must accept these.
+	`module multi(a, y);
+  input a;
+  output y;
+  wire a, y;
+  BUF g0 (.A(a), .Y(y));
+  INV g1 (.A(a), .Y(y));
+endmodule`,
+	`module cyclic(y);
+  output y;
+  wire y, t;
+  INV g0 (.A(y), .Y(t));
+  INV g1 (.A(t), .Y(y));
+endmodule`,
+	// Syntax errors: must return an error, never panic.
+	`module broken(a; endmodule`,
+	`module m(a) input a endmodule`,
+	`module`,
+	`(* dangling`,
+	`module m(y); output y; wire y; NOPE g (.Y(y)); endmodule`,
+	"module m(y);\noutput y;\nwire y;\nBUF g0 (.A(1'b0), .Y(y));\nendmodule",
+}
+
+// FuzzReadRaw feeds arbitrary bytes through the lenient parser: it must
+// either return an error or a netlist, never panic. Inputs that the strict
+// Read accepts must additionally survive a Write → Read round trip with the
+// same structural shape (wire/gate/FF counts) — the property the matesearch
+// -export / -verilog pipeline depends on.
+func FuzzReadRaw(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		raw, err := ReadRaw(strings.NewReader(src))
+		if err != nil {
+			return // parse rejection is fine; panics are the failure mode
+		}
+		if raw == nil {
+			t.Fatal("ReadRaw returned nil netlist without error")
+		}
+		nl, err := Read(strings.NewReader(src))
+		if err != nil {
+			return // valid syntax but ill-formed structure: strict Read rejects
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, nl); err != nil {
+			t.Fatalf("Write failed on netlist accepted by Read: %v", err)
+		}
+		again, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip: Read(Write(nl)) failed: %v\ninput:\n%s\nwritten:\n%s", err, src, buf.String())
+		}
+		if again.NumWires() != nl.NumWires() || len(again.Gates) != len(nl.Gates) || len(again.FFs) != len(nl.FFs) {
+			t.Fatalf("round trip changed shape: wires %d→%d gates %d→%d ffs %d→%d",
+				nl.NumWires(), again.NumWires(), len(nl.Gates), len(again.Gates), len(nl.FFs), len(again.FFs))
+		}
+	})
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# bench_snapshot.sh — run the benchmark suite once and record the results as
+# a machine-readable JSON snapshot (default: BENCH_0.json, committed to the
+# repo). The snapshot is the performance baseline future PRs compare against:
+#
+#   ./scripts/bench_snapshot.sh                 # rewrite BENCH_0.json
+#   ./scripts/bench_snapshot.sh /tmp/now.json   # snapshot elsewhere
+#   BENCH=BenchmarkCampaign BENCHTIME=10x ./scripts/bench_snapshot.sh out.json
+#
+# Environment knobs:
+#   BENCH      benchmark regex passed to -bench      (default: .)
+#   BENCHTIME  per-benchmark budget for -benchtime   (default: 1x)
+#   COUNT      repetitions passed to -count          (default: 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_0.json}
+bench=${BENCH:-.}
+benchtime=${BENCHTIME:-1x}
+count=${COUNT:-1}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# Benchmarks all live in the root package; -run '^$' skips the (slow)
+# end-to-end tests so only benchmark code executes.
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" -benchmem -count "$count" . | tee "$raw"
+
+goversion=$(go env GOVERSION)
+goos=$(go env GOOS)
+goarch=$(go env GOARCH)
+
+awk -v goversion="$goversion" -v goos="$goos" -v goarch="$goarch" \
+    -v benchtime="$benchtime" '
+BEGIN {
+    printf "{\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n"
+    n = 0
+}
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    # Benchmark lines look like:
+    #   BenchmarkFoo-8  <iters>  <ns> ns/op  [<B> B/op  <allocs> allocs/op]
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    procs = $1
+    sub(/^.*-/, "", procs)
+    if (procs == $1) procs = 1
+    line = sprintf("    {\"name\": \"%s\", \"procs\": %s, \"iterations\": %s, \"ns_per_op\": %s", name, procs, $2, $3)
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "B/op")      line = line sprintf(", \"bytes_per_op\": %s", $i)
+        if ($(i+1) == "allocs/op") line = line sprintf(", \"allocs_per_op\": %s", $i)
+    }
+    line = line "}"
+    if (n++) printf ",\n"
+    printf "%s", line
+}
+END {
+    if (n) printf "\n"
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "bench-snapshot: wrote $out ($(grep -c '"name"' "$out") benchmarks)"

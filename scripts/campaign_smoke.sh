@@ -7,6 +7,10 @@
 # the uninterrupted result exactly. A real-SIGINT variant exercises the
 # signal path as well, tolerating the race between signal delivery and
 # campaign completion.
+#
+# A final section starts a campaign with -metrics-addr and scrapes the live
+# /metrics endpoint mid-flight: the injection and journal counters must be
+# non-zero while the campaign is still running.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -83,5 +87,56 @@ else
     cat "$tmp/sigint.out" >&2
     exit 1
 fi
+
+echo "== live /metrics scrape"
+"$tmp/campaign" "${args[@]}" -journal "$tmp/metrics.journal" \
+    -metrics-addr 127.0.0.1:0 -stats-json "$tmp/stats.json" \
+    > "$tmp/metrics.out" 2> "$tmp/metrics.err" &
+pid=$!
+
+# The CLI announces the bound address (port 0 = kernel-assigned) on stderr.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^metrics: serving on //p' "$tmp/metrics.err" | head -n1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "FAIL: campaign never announced its metrics address" >&2
+    cat "$tmp/metrics.err" >&2
+    exit 1
+fi
+
+# Poll the endpoint while the campaign runs; require non-zero injection and
+# journal counters from a live scrape (not just the end-of-run stats dump).
+scraped=0
+while kill -0 "$pid" 2>/dev/null; do
+    if body=$(curl -fsS --max-time 2 "http://$addr/metrics" 2>/dev/null); then
+        inj=$(printf '%s\n' "$body" | awk '$1 == "campaign_injections_total" {print $2; exit}')
+        app=$(printf '%s\n' "$body" | awk '$1 == "journal_appends_total" {print $2; exit}')
+        if [ "${inj:-0}" -gt 0 ] 2>/dev/null && [ "${app:-0}" -gt 0 ] 2>/dev/null; then
+            echo "live scrape at $addr: campaign_injections_total=$inj journal_appends_total=$app"
+            scraped=1
+            break
+        fi
+    fi
+    sleep 0.1
+done
+wait "$pid" || {
+    echo "FAIL: metrics-instrumented campaign failed" >&2
+    cat "$tmp/metrics.out" "$tmp/metrics.err" >&2
+    exit 1
+}
+if [ "$scraped" -ne 1 ]; then
+    echo "FAIL: never scraped non-zero injection/journal counters from live /metrics" >&2
+    cat "$tmp/metrics.err" >&2
+    exit 1
+fi
+grep -q '"campaign_points_done_total"' "$tmp/stats.json" || {
+    echo "FAIL: -stats-json dump is missing campaign counters" >&2
+    cat "$tmp/stats.json" >&2
+    exit 1
+}
 
 echo "campaign-smoke: OK"
