@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race lint-examples campaign-smoke bench-snapshot fuzz-smoke cover
+.PHONY: check build vet test race lint-examples campaign-smoke bench-snapshot bench-compare fuzz-smoke cover
 
 # The CI gate: everything a PR must pass.
 check: vet build test race lint-examples campaign-smoke
@@ -33,10 +33,18 @@ lint-examples:
 campaign-smoke:
 	./scripts/campaign_smoke.sh
 
-# Refresh the committed benchmark baseline (BENCH_0.json). Knobs:
-# BENCH=regex BENCHTIME=10x COUNT=3 make bench-snapshot
+# Refresh a committed benchmark snapshot (default: the BENCH_0.json
+# baseline; BENCH_OUT=BENCH_1.json snapshots the current tree next to it).
+# Knobs: BENCH=regex BENCHTIME=10x COUNT=3 make bench-snapshot
+BENCH_OUT ?= BENCH_0.json
 bench-snapshot:
-	./scripts/bench_snapshot.sh BENCH_0.json
+	./scripts/bench_snapshot.sh $(BENCH_OUT)
+
+# Snapshot the current tree and compare it against the committed baseline,
+# warning on >15% ns/op regressions (advisory; STRICT=1 to fail instead).
+bench-compare:
+	./scripts/bench_snapshot.sh /tmp/bench_now.json
+	./scripts/bench_compare.sh BENCH_0.json /tmp/bench_now.json
 
 # Short native-fuzzing smoke: each target gets a few seconds on top of its
 # seeded corpus. Full fuzzing sessions use `go test -fuzz ... -fuzztime 5m`.

@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"syscall"
 	"time"
 
@@ -184,17 +185,14 @@ func main() {
 		Resume:          recovered,
 		Obs:             reg,
 	}
-	if obsOpts.Progress && reg != nil {
-		stopProg := obs.StartProgress(obs.ProgressConfig{
-			Label: "campaign", Unit: "points", Out: os.Stderr,
-			Done:        reg.Counter("campaign_points_done_total"),
-			Total:       reg.Gauge("campaign_points"),
-			Masked:      reg.Counter("campaign_pruned_total"),
-			Workers:     reg.Gauge("campaign_workers"),
-			WorkersBusy: reg.Gauge("campaign_workers_busy"),
-		})
-		defer stopProg()
-	}
+	defer obsOpts.StartProgress(reg, obs.ProgressConfig{
+		Label: "campaign", Unit: "points",
+		Done:        reg.Counter("campaign_points_done_total"),
+		Total:       reg.Gauge("campaign_points"),
+		Masked:      reg.Counter("campaign_pruned_total"),
+		Workers:     reg.Gauge("campaign_workers"),
+		WorkersBusy: reg.Gauge("campaign_workers_busy"),
+	})()
 	if *interruptAfter > 0 {
 		cctx, cancel := context.WithCancel(ctx)
 		defer cancel()
@@ -232,6 +230,33 @@ func main() {
 	fmt.Printf("executed:   %d experiments in %v\n", res.Executed, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("outcomes:   benign=%d sdc=%d hang=%d\n",
 		res.ByOutcome[hafi.OutcomeBenign], res.ByOutcome[hafi.OutcomeSDC], res.ByOutcome[hafi.OutcomeHang])
+	if set != nil && len(res.PrunedByMATE) > 0 {
+		type mateCredit struct {
+			idx int
+			n   int64
+		}
+		credits := make([]mateCredit, 0, len(res.PrunedByMATE))
+		for m, n := range res.PrunedByMATE {
+			credits = append(credits, mateCredit{m, n})
+		}
+		sort.Slice(credits, func(a, b int) bool {
+			if credits[a].n != credits[b].n {
+				return credits[a].n > credits[b].n
+			}
+			return credits[a].idx < credits[b].idx
+		})
+		if len(credits) > 3 {
+			credits = credits[:3]
+		}
+		fmt.Printf("top MATEs: ")
+		for i, c := range credits {
+			if i > 0 {
+				fmt.Print(",")
+			}
+			fmt.Printf(" #%d (width %d) pruned %d", c.idx, len(set.MATEs[c.idx].Literals), c.n)
+		}
+		fmt.Println()
+	}
 	if n := res.ByOutcome[hafi.OutcomeHarnessError]; n > 0 {
 		fmt.Printf("harness:    %d experiments failed in the harness (outcome %s)\n", n, hafi.OutcomeHarnessError)
 	}

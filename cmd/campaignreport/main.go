@@ -1,0 +1,108 @@
+// Command campaignreport analyzes recovered campaign journals: outcome and
+// coverage summaries, per-MATE effectiveness tables ranked by the paper's
+// cost/benefit metric, FF × cycle-window outcome heatmaps, and a
+// point-for-point diff of two campaigns flagging coverage and
+// classification regressions.
+//
+//	campaignreport fib.journal                       # text report
+//	campaignreport -format json fib.journal          # machine-readable
+//	campaignreport -format csv fib.journal           # one row per point
+//	campaignreport -bins 0 fib.journal               # suppress the heatmap
+//	campaignreport -stats-json run.stats fib.journal # runtime enrichment
+//	campaignreport -diff base.journal new.journal    # compare campaigns
+//
+// Exit status: 0 clean, 1 usage or I/O error, 3 when -diff found coverage
+// or classification regressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("campaignreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "text", "output format: text, json or csv")
+	bins := fs.Int("bins", 48, "heatmap cycle-window columns (0 disables the heatmap)")
+	statsA := fs.String("stats-json", "", "enrich the (first) journal with this -stats-json dump")
+	statsB := fs.String("stats-json-b", "", "enrich the second -diff journal with this -stats-json dump")
+	diff := fs.Bool("diff", false, "compare two journals point for point (baseline first)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(stderr, "campaignreport: unknown format %q (want text, json or csv)\n", *format)
+		return 1
+	}
+
+	want := 1
+	if *diff {
+		want = 2
+	}
+	if fs.NArg() != want {
+		fmt.Fprintf(stderr, "campaignreport: want %d journal argument(s), got %d\n", want, fs.NArg())
+		fs.Usage()
+		return 1
+	}
+
+	a, err := report.Load(fs.Arg(0), *statsA)
+	if err != nil {
+		fmt.Fprintf(stderr, "campaignreport: %v\n", err)
+		return 1
+	}
+
+	if !*diff {
+		var err error
+		switch *format {
+		case "text":
+			err = report.BuildDocument(a, *bins).WriteText(stdout)
+		case "json":
+			err = report.BuildDocument(a, *bins).WriteJSON(stdout)
+		case "csv":
+			err = report.WriteCSV(stdout, a)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "campaignreport: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	b, err := report.Load(fs.Arg(1), *statsB)
+	if err != nil {
+		fmt.Fprintf(stderr, "campaignreport: %v\n", err)
+		return 1
+	}
+	d, err := report.Diff(a, b)
+	if err != nil {
+		fmt.Fprintf(stderr, "campaignreport: %v\n", err)
+		return 1
+	}
+	switch *format {
+	case "text":
+		err = d.WriteDiffText(stdout, a.Path, b.Path)
+	case "json":
+		err = d.WriteDiffJSON(stdout)
+	case "csv":
+		err = d.WriteDiffCSV(stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "campaignreport: %v\n", err)
+		return 1
+	}
+	if d.Regressions() > 0 {
+		return 3
+	}
+	return 0
+}

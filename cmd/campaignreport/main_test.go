@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+var testHeader = journal.Header{GoldenSignature: 1, NumPoints: 10, FaultListHash: 2}
+
+// writeJournal lays down a small campaign: two executed points and one
+// attributed pruned point. dropLast omits the final record to fabricate a
+// coverage regression for diff tests.
+func writeJournal(t *testing.T, dropLast bool) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "c.journal")
+	w, err := journal.Create(path, testHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(journal.Record{Index: 0, FF: 1, Cycle: 0, Duration: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendMATEHit(journal.MATEHit{Index: 1, FF: 2, MATE: 4, Width: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(journal.Record{Index: 1, FF: 2, Cycle: 5, Duration: 1, Pruned: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !dropLast {
+		if err := w.Append(journal.Record{Index: 2, FF: 3, Cycle: 9, Duration: 1, Outcome: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTextReport(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{writeJournal(t, false)}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errw.String())
+	}
+	for _, want := range []string{"10 points, 3 classified", "mate", "#4"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunJSONAndCSV(t *testing.T) {
+	path := writeJournal(t, false)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-format", "json", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errw.String())
+	}
+	if !json.Valid(out.Bytes()) {
+		t.Fatalf("invalid JSON: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-format", "csv", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errw.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 || !strings.HasPrefix(lines[0], "index,ff,cycle") {
+		t.Fatalf("csv = %q", out.String())
+	}
+}
+
+func TestRunDiffExitCodes(t *testing.T) {
+	full := writeJournal(t, false)
+	short := writeJournal(t, true)
+
+	// Self-diff: clean, exit 0.
+	var out, errw bytes.Buffer
+	if code := run([]string{"-diff", full, full}, &out, &errw); code != 0 {
+		t.Fatalf("self diff exit %d, stderr %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "regressions: none") {
+		t.Fatalf("self diff output: %s", out.String())
+	}
+
+	// Candidate missing a point: regression, exit 3.
+	out.Reset()
+	if code := run([]string{"-diff", full, short}, &out, &errw); code != 3 {
+		t.Fatalf("regressing diff exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "coverage regressions: 1") {
+		t.Fatalf("diff output: %s", out.String())
+	}
+
+	// Gaining coverage in the candidate is not a regression.
+	out.Reset()
+	if code := run([]string{"-diff", short, full}, &out, &errw); code != 0 {
+		t.Fatalf("gaining diff exit %d\n%s", code, out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{filepath.Join(t.TempDir(), "nope.journal")}, &out, &errw); code != 1 {
+		t.Fatalf("missing journal exit %d", code)
+	}
+	if code := run([]string{"-format", "xml", writeJournal(t, false)}, &out, &errw); code != 1 {
+		t.Fatalf("bad format exit %d", code)
+	}
+	if code := run([]string{}, &out, &errw); code != 1 {
+		t.Fatalf("no args exit %d", code)
+	}
+	if code := run([]string{"-diff", writeJournal(t, false)}, &out, &errw); code != 1 {
+		t.Fatalf("diff with one journal exit %d", code)
+	}
+}

@@ -128,14 +128,11 @@ func main() {
 	params.Context = ctx
 	params.Obs = reg
 
-	if obsOpts.Progress && reg != nil {
-		stopProg := obs.StartProgress(obs.ProgressConfig{
-			Label: "search", Unit: "wires", Out: os.Stderr,
-			Done:  reg.Counter("search_wires_done_total"),
-			Total: reg.Gauge("search_wires"),
-		})
-		defer stopProg()
-	}
+	defer obsOpts.StartProgress(reg, obs.ProgressConfig{
+		Label: "search", Unit: "wires",
+		Done:  reg.Counter("search_wires_done_total"),
+		Total: reg.Gauge("search_wires"),
+	})()
 
 	st := nl.Stats()
 	fmt.Printf("netlist %s: %s\n", nl.Name, st)

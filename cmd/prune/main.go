@@ -159,20 +159,27 @@ func main() {
 		fmt.Printf("selected top %d MATEs by trace hit count\n", set.Size())
 	}
 
-	if obsOpts.Progress && reg != nil {
-		stopProg := obs.StartProgress(obs.ProgressConfig{
-			Label: "replay", Unit: "cycles", Out: os.Stderr,
-			Done:  reg.Counter("prune_cycles_done_total"),
-			Total: reg.Gauge("prune_cycles"),
-		})
-		defer stopProg()
-	}
+	defer obsOpts.StartProgress(reg, obs.ProgressConfig{
+		Label: "replay", Unit: "cycles",
+		Done:  reg.Counter("prune_cycles_done_total"),
+		Total: reg.Gauge("prune_cycles"),
+	})()
 	res := prune.EvaluateInstrumented(ctx, set, tr, wires, reg)
 	fmt.Printf("trace:            %d cycles, %d fault wires\n", res.Cycles, res.FaultWires)
 	fmt.Printf("fault space:      %d points\n", res.TotalPoints)
 	fmt.Printf("pruned as benign: %d points (%.2f%%)\n", res.MaskedPoints, 100*res.Reduction())
 	fmt.Printf("effective MATEs:  %d (avg %.1f ± %.1f inputs)\n",
 		res.EffectiveMATEs, res.AvgInputs, res.StdInputs)
+	if ranked := res.RankedMATEs(); len(ranked) > 0 && ranked[0].PointsPruned > 0 {
+		fmt.Println("top MATEs (cost/benefit = points pruned per term literal):")
+		for i, st := range ranked {
+			if i == 5 || st.PointsPruned == 0 {
+				break
+			}
+			fmt.Printf("  #%-4d width %-2d triggers %-8d pruned %-8d c/b %.1f\n",
+				st.Index, st.Literals, st.Triggers, st.PointsPruned, st.CostBenefit())
+		}
+	}
 	if res.Interrupted {
 		fmt.Println("interrupted: true (partial replay; masked count is a lower bound)")
 		obsCleanup()

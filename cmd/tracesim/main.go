@@ -74,14 +74,11 @@ func main() {
 		reg.Gauge("tracesim_cycles").Set(int64(*cycles))
 		cyclesDone = reg.Counter("tracesim_cycles_done_total")
 		onCycle = func(int) { cyclesDone.Inc() }
-		if obsOpts.Progress {
-			stopProg := obs.StartProgress(obs.ProgressConfig{
-				Label: "tracesim", Unit: "cycles", Out: os.Stderr,
-				Done:  cyclesDone,
-				Total: reg.Gauge("tracesim_cycles"),
-			})
-			defer stopProg()
-		}
+		defer obsOpts.StartProgress(reg, obs.ProgressConfig{
+			Label: "tracesim", Unit: "cycles",
+			Done:  cyclesDone,
+			Total: reg.Gauge("tracesim_cycles"),
+		})()
 	}
 	record := func(m *sim.Machine, env sim.Env) *sim.Trace {
 		sp := reg.StartSpan("record")

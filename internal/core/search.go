@@ -147,7 +147,10 @@ func Search(nl *netlist.Netlist, wires []netlist.WireID, p SearchParams) *Search
 					doneCh <- done{j.idx, WireReport{Wire: j.wire}, nil}
 					return
 				}
+				wsp := p.Obs.StartSpan("search/wire")
 				rep, mates := searchWire(nl, j.wire, p)
+				wsp.Detail("wire %d: cone %d gates, %d paths, %d MATEs", j.wire, rep.ConeGates, rep.Paths, rep.NumMATEs)
+				wsp.End()
 				doneCh <- done{j.idx, rep, mates}
 			}(j)
 		}
@@ -198,7 +201,10 @@ func searchWire(nl *netlist.Netlist, w netlist.WireID, p SearchParams) (WireRepo
 // search; with two it constructs the multi-bit MATEs of Section 6.2.
 func searchSources(nl *netlist.Netlist, sources []netlist.WireID, p SearchParams) (WireReport, [][]Literal) {
 	rep := WireReport{Wire: sources[0]}
+	csp := p.Obs.StartSpan("search/cone")
 	cone := ComputeConeMulti(nl, sources)
+	csp.Detail("wire %d: %d gates", sources[0], cone.NumGates())
+	csp.End()
 	rep.ConeGates = cone.NumGates()
 
 	// Per-gate masking options.

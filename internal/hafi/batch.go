@@ -31,8 +31,17 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 	defer sp.End()
 	met := newCampaignMetrics(cfg.Obs, len(cfg.Points))
 
-	journalPoint := func(rec journal.Record) error {
+	// journalPoint logs one classified point; a non-nil hit (attribution of
+	// a pruned point) lands immediately before the experiment record so a
+	// crash between the two leaves an orphan hit, never an unattributed
+	// pruned point.
+	journalPoint := func(rec journal.Record, hit *journal.MATEHit) error {
 		if cfg.Journal != nil {
+			if hit != nil {
+				if err := cfg.Journal.AppendMATEHit(*hit); err != nil {
+					return err
+				}
+			}
 			if err := cfg.Journal.Append(rec); err != nil {
 				return err
 			}
@@ -44,6 +53,15 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 	record := func(idx uint64, p FaultPoint) journal.Record {
 		return journal.Record{Index: idx, FF: uint32(p.FF), Cycle: uint32(p.Cycle), Duration: uint32(p.duration())}
 	}
+	// credit accounts one pruned point to its MATE and builds the journal
+	// attribution record.
+	credit := func(idx uint64, p FaultPoint, mate int) *journal.MATEHit {
+		res.Skipped++
+		res.PrunedByMATE[mate]++
+		width := len(cfg.MATESet.MATEs[mate].Literals)
+		met.matePruned(mate, width)
+		return &journal.MATEHit{Index: idx, FF: uint32(p.FF), MATE: uint32(mate), Width: uint16(width)}
+	}
 
 	// Classify: replay resumed points, settle pruned points (final unless
 	// they still need validation), collect the rest for batched execution.
@@ -52,26 +70,28 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 		idx := uint64(i)
 		if cfg.Resume != nil {
 			if rec, ok := cfg.Resume.ByIndex[idx]; ok {
-				res.replay(rec)
+				res.replay(rec, replayHit(cfg.Resume, idx))
 				met.replay()
 				continue
 			}
 		}
-		if cfg.MATESet != nil && c.provedBenign(p) {
-			if cfg.ValidateSkipped {
-				toValidate = append(toValidate, batchItem{idx, p})
+		if cfg.MATESet != nil {
+			if mate, ok := c.provedBenign(p); ok {
+				if cfg.ValidateSkipped {
+					toValidate = append(toValidate, batchItem{idx, p, mate})
+					continue
+				}
+				res.Total++
+				hit := credit(idx, p, mate)
+				rec := record(idx, p)
+				rec.Pruned = true
+				if err := journalPoint(rec, hit); err != nil {
+					return nil, err
+				}
 				continue
 			}
-			res.Total++
-			res.Skipped++
-			rec := record(idx, p)
-			rec.Pruned = true
-			if err := journalPoint(rec); err != nil {
-				return nil, err
-			}
-			continue
 		}
-		toRun = append(toRun, batchItem{idx, p})
+		toRun = append(toRun, batchItem{idx, p, -1})
 	}
 
 	err = c.executeBatched(cfg, run64, toRun, timeout, met, func(it batchItem, o Outcome) error {
@@ -80,21 +100,21 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 		res.ByOutcome[o]++
 		rec := record(it.idx, it.p)
 		rec.Outcome = uint8(o)
-		return journalPoint(rec)
+		return journalPoint(rec, nil)
 	})
 	if err != nil {
 		return nil, err
 	}
 	err = c.executeBatched(cfg, run64, toValidate, timeout, met, func(it batchItem, o Outcome) error {
 		res.Total++
-		res.Skipped++
+		hit := credit(it.idx, it.p, it.mate)
 		rec := record(it.idx, it.p)
 		rec.Pruned = true
 		if o != OutcomeBenign {
 			res.SkippedWrong++
 			rec.SkippedWrong = true
 		}
-		return journalPoint(rec)
+		return journalPoint(rec, hit)
 	})
 	if err != nil {
 		return nil, err
@@ -104,10 +124,12 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 }
 
 // batchItem carries a fault point together with its global fault-list
-// index (the journal key).
+// index (the journal key) and, for validated-skipped points, the set index
+// of the crediting MATE (-1 for executed points).
 type batchItem struct {
-	idx uint64
-	p   FaultPoint
+	idx  uint64
+	p    FaultPoint
+	mate int
 }
 
 // executeBatched groups items by injection cycle into ≤64-lane batches,
@@ -137,6 +159,7 @@ func (c *Controller) executeBatched(cfg CampaignConfig, run64 Run64, items []bat
 		}
 
 		met.batch(len(batch))
+		bsp := cfg.Obs.StartSpan("campaign/batch").Detail("cycle %d, %d lanes", cycle, len(batch))
 		outcomes, panicked := c.runBatchSafe(run64, batch, cycle, timeout)
 		if panicked {
 			// Isolate the faulty lane: retry each point as its own 1-lane
@@ -152,6 +175,7 @@ func (c *Controller) executeBatched(cfg CampaignConfig, run64 Run64, items []bat
 				}
 			}
 		}
+		bsp.End()
 		for j, ii := range idx[lo:hi] {
 			if err := emit(items[ii], outcomes[j]); err != nil {
 				return err

@@ -227,6 +227,11 @@ type CampaignResult struct {
 	// SkippedWrong counts validated-skipped experiments that were NOT
 	// benign — any nonzero value is a MATE soundness violation.
 	SkippedWrong int
+	// PrunedByMATE credits every skipped point to the set index of the MATE
+	// that proved it benign: the first MATE, in set order, triggering on the
+	// upset's first cycle. The credits sum exactly to Skipped, except that
+	// points replayed from a pre-attribution (v1) journal carry no credit.
+	PrunedByMATE map[int]int64
 	// Interrupted marks a partial result: the campaign context was
 	// cancelled before every point was classified. The counters cover
 	// exactly the classified points (Total = Skipped + Executed).
@@ -234,7 +239,7 @@ type CampaignResult struct {
 }
 
 func newCampaignResult() *CampaignResult {
-	return &CampaignResult{ByOutcome: map[Outcome]int{}}
+	return &CampaignResult{ByOutcome: map[Outcome]int{}, PrunedByMATE: map[int]int64{}}
 }
 
 // PrunedFraction returns the share of fault-list points the MATEs removed.
@@ -254,13 +259,22 @@ func (r *CampaignResult) merge(p *CampaignResult) {
 	for o, n := range p.ByOutcome {
 		r.ByOutcome[o] += n
 	}
+	for m, n := range p.PrunedByMATE {
+		r.PrunedByMATE[m] += n
+	}
 }
 
-// replay merges one recovered journal record without re-execution.
-func (r *CampaignResult) replay(rec journal.Record) {
+// replay merges one recovered journal record without re-execution. hit, when
+// non-nil, is the point's recovered attribution record; it is credited only
+// for a pruned point (an orphan hit whose experiment record was lost to a
+// torn tail must not fabricate attribution for a re-executed point).
+func (r *CampaignResult) replay(rec journal.Record, hit *journal.MATEHit) {
 	r.Total++
 	if rec.Pruned {
 		r.Skipped++
+		if hit != nil {
+			r.PrunedByMATE[int(hit.MATE)]++
+		}
 		if rec.SkippedWrong {
 			r.SkippedWrong++
 		}
@@ -268,6 +282,14 @@ func (r *CampaignResult) replay(rec journal.Record) {
 	}
 	r.Executed++
 	r.ByOutcome[Outcome(rec.Outcome)]++
+}
+
+// replayHit looks up the recovered attribution for a resumed point.
+func replayHit(res *journal.Recovered, idx uint64) *journal.MATEHit {
+	if h, ok := res.HitByIndex[idx]; ok {
+		return &h
+	}
+	return nil
 }
 
 // Controller is the campaign controller: the software model of the FI
@@ -279,8 +301,16 @@ type Controller struct {
 	factory func() Run
 	golden  *Golden
 	// matesByWire indexes the MATE set: for each fault wire, the MATEs
-	// that can prove it benign.
-	matesByWire map[netlist.WireID][]*core.MATE
+	// that can prove it benign, in set order (ascending set index) so
+	// attribution is deterministic.
+	matesByWire map[netlist.WireID][]indexedMATE
+}
+
+// indexedMATE pairs a MATE with its index in the campaign MATE set — the
+// identity that attribution records and labeled metrics refer to.
+type indexedMATE struct {
+	m   *core.MATE
+	idx int
 }
 
 // NewController prepares a controller for the given device instance and
@@ -434,7 +464,7 @@ func (c *Controller) runShard(cfg CampaignConfig, base int, points []FaultPoint,
 		idx := uint64(base + i)
 		if cfg.Resume != nil {
 			if rec, ok := cfg.Resume.ByIndex[idx]; ok {
-				res.replay(rec)
+				res.replay(rec, replayHit(cfg.Resume, idx))
 				met.replay()
 				continue
 			}
@@ -444,9 +474,18 @@ func (c *Controller) runShard(cfg CampaignConfig, base int, points []FaultPoint,
 		}
 		rec := journal.Record{Index: idx, FF: uint32(p.FF), Cycle: uint32(p.Cycle), Duration: uint32(p.duration())}
 		res.Total++
-		if cfg.MATESet != nil && c.provedBenign(p) {
+		var hit *journal.MATEHit
+		mate, pruned := -1, false
+		if cfg.MATESet != nil {
+			mate, pruned = c.provedBenign(p)
+		}
+		if pruned {
 			res.Skipped++
+			res.PrunedByMATE[mate]++
 			rec.Pruned = true
+			width := len(cfg.MATESet.MATEs[mate].Literals)
+			hit = &journal.MATEHit{Index: idx, FF: uint32(p.FF), MATE: uint32(mate), Width: uint16(width)}
+			met.matePruned(mate, width)
 			if cfg.ValidateSkipped {
 				if out := c.safeExecute(&run, p, timeout); out != OutcomeBenign {
 					res.SkippedWrong++
@@ -460,6 +499,14 @@ func (c *Controller) runShard(cfg CampaignConfig, base int, points []FaultPoint,
 			rec.Outcome = uint8(out)
 		}
 		if cfg.Journal != nil {
+			// The attribution hit lands before the experiment record: a crash
+			// between the two leaves an orphan hit (ignored on recovery),
+			// never a pruned point without attribution.
+			if hit != nil {
+				if err := cfg.Journal.AppendMATEHit(*hit); err != nil {
+					return err
+				}
+			}
 			if err := cfg.Journal.Append(rec); err != nil {
 				return err
 			}
@@ -539,15 +586,17 @@ func (c *Controller) runParallel(cfg CampaignConfig, timeout int, met *campaignM
 	return res, nil
 }
 
-// indexMATEs builds the per-wire MATE index used by provedBenign.
+// indexMATEs builds the per-wire MATE index used by provedBenign. Walking
+// set.MATEs in order keeps every per-wire slice sorted by set index, which
+// makes the "fired first" attribution rule deterministic.
 func (c *Controller) indexMATEs(set *core.MATESet) {
-	c.matesByWire = map[netlist.WireID][]*core.MATE{}
+	c.matesByWire = map[netlist.WireID][]indexedMATE{}
 	if set == nil {
 		return
 	}
-	for _, m := range set.MATEs {
+	for i, m := range set.MATEs {
 		for _, w := range m.Masks {
-			c.matesByWire[w] = append(c.matesByWire[w], m)
+			c.matesByWire[w] = append(c.matesByWire[w], indexedMATE{m: m, idx: i})
 		}
 	}
 }
@@ -558,24 +607,33 @@ func (c *Controller) indexMATEs(set *core.MATESet) {
 // covering MATE triggers in *every* cycle it holds: each cycle starts from
 // the golden state (inductively, because the previous cycle was masked) and
 // the triggered MATE masks that cycle's inversion too.
-func (c *Controller) provedBenign(p FaultPoint) bool {
+//
+// When the point is proven benign, mate is the set index of the MATE that
+// fired first: the lowest-index MATE triggering on the upset's first cycle.
+// Each pruned point is credited to exactly one MATE, so the per-MATE credits
+// of a campaign sum exactly to its skipped-point count.
+func (c *Controller) provedBenign(p FaultPoint) (mate int, ok bool) {
 	q := c.nl.FFs[p.FF].Q
+	credit := -1
 	for cyc := p.Cycle; cyc < p.Cycle+p.duration(); cyc++ {
 		if cyc >= c.golden.Trace.NumCycles() {
-			return false
+			return 0, false
 		}
 		masked := false
-		for _, m := range c.matesByWire[q] {
-			if m.EvalTrace(c.golden.Trace, cyc) {
+		for _, im := range c.matesByWire[q] {
+			if im.m.EvalTrace(c.golden.Trace, cyc) {
 				masked = true
+				if credit < 0 {
+					credit = im.idx
+				}
 				break
 			}
 		}
 		if !masked {
-			return false
+			return 0, false
 		}
 	}
-	return true
+	return credit, true
 }
 
 // execute restores the checkpoint, injects the upset and runs the workload

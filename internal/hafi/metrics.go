@@ -1,6 +1,8 @@
 package hafi
 
 import (
+	"strconv"
+
 	"repro/internal/journal"
 	"repro/internal/obs"
 )
@@ -20,6 +22,9 @@ type campaignMetrics struct {
 	lanes        *obs.Histogram // campaign_batch_lanes
 	workers      *obs.Gauge     // campaign_workers
 	workersBusy  *obs.Gauge     // campaign_workers_busy
+	// reg backs the labeled per-MATE attribution counters, which cannot be
+	// hoisted (one counter per MATE, created on first credit).
+	reg *obs.Registry
 }
 
 func newCampaignMetrics(reg *obs.Registry, totalPoints int) *campaignMetrics {
@@ -37,6 +42,7 @@ func newCampaignMetrics(reg *obs.Registry, totalPoints int) *campaignMetrics {
 		lanes:        reg.Histogram("campaign_batch_lanes", obs.LinearBuckets(8, 8, 8)),
 		workers:      reg.Gauge("campaign_workers"),
 		workersBusy:  reg.Gauge("campaign_workers_busy"),
+		reg:          reg,
 	}
 	for o := OutcomeBenign; o <= OutcomeHarnessError; o++ {
 		m.outcomes[o] = reg.Counter("campaign_outcomes_total", "outcome", o.String())
@@ -61,6 +67,17 @@ func (m *campaignMetrics) point(rec journal.Record) {
 	if int(rec.Outcome) < len(m.outcomes) {
 		m.outcomes[rec.Outcome].Inc()
 	}
+}
+
+// matePruned credits one pruned point to the MATE that proved it benign on
+// the labeled counter campaign_mate_pruned_total{mate,width}, so a live
+// /metrics scrape can rank MATEs by cost/benefit mid-campaign.
+func (m *campaignMetrics) matePruned(mate, width int) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter("campaign_mate_pruned_total",
+		"mate", strconv.Itoa(mate), "width", strconv.Itoa(width)).Inc()
 }
 
 // replay accounts one point merged from a recovered journal.

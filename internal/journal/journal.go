@@ -14,13 +14,22 @@
 //
 // Record types: 0 = campaign header (golden signature, fault-list size and
 // hash — the campaign identity a resume is checked against), 1 = one
-// classified injection point. Recovery walks the log front to back and
+// classified injection point, 2 = one MATE attribution hit (format v2:
+// which MATE pruned which point, written immediately before the point's
+// pruned experiment record). Recovery walks the log front to back and
 // stops at the first frame that is incomplete (a torn tail from a crash
 // mid-write — tolerated, the tail is dropped) or fails its checksum (a
 // corrupt record — rejected, together with everything after it, since a
 // damaged log has no trustworthy resynchronisation point). Either way the
 // recovered prefix only ever contains records that were durably and intact
 // on disk: recovery never claims an experiment that did not run.
+//
+// Versioning: v1 journals (headers + experiment records only, as written
+// before MATE attribution existed) recover unchanged — the hit index is
+// simply empty. v2 journals interleave type-2 records; a reader of either
+// version accepts both, and a hit whose experiment record was lost to a
+// torn tail is an orphan that consumers ignore (the point re-runs on
+// resume and re-appends both records; the per-index maps keep the last).
 package journal
 
 import (
@@ -38,9 +47,11 @@ const magic = "HAFIWAL1"
 const (
 	recHeader     = 0
 	recExperiment = 1
+	recMATEHit    = 2 // format v2: per-MATE pruning attribution
 
 	headerPayloadLen     = 24 // 3 × u64
 	experimentPayloadLen = 22 // u64 index + 3 × u32 + outcome + flags
+	mateHitPayloadLen    = 18 // u64 index + 2 × u32 + u16 width
 
 	// maxBodyLen bounds the length prefix; anything larger is garbage, not
 	// a record (the largest real body is 1+headerPayloadLen bytes).
@@ -85,6 +96,23 @@ type Record struct {
 	SkippedWrong bool
 }
 
+// MATEHit is one per-MATE pruning attribution (record type 2, format v2):
+// the campaign controller proved point Index benign using MATE number MATE
+// of the campaign's MATE set. Width echoes the MATE's literal count so the
+// paper's cost/benefit metric (points pruned per term literal) can be
+// recomputed from the journal alone, without the MATE-set file.
+type MATEHit struct {
+	// Index is the pruned point's position in the campaign fault list.
+	Index uint64
+	// FF is the pruned point's flip-flop (echoed for self-description).
+	FF uint32
+	// MATE is the crediting MATE's index in the campaign MATE set — the
+	// MATE that fired first on the injection cycle.
+	MATE uint32
+	// Width is the crediting MATE's literal (input) count.
+	Width uint16
+}
+
 // Writer appends records to a journal file. It is safe for concurrent use
 // by the campaign worker shards: each Append is one mutex-guarded write of
 // one complete frame, so records from different shards never interleave.
@@ -98,13 +126,17 @@ type Writer struct {
 	SyncEvery int
 	appended  int
 	// appendsC/bytesC count durable appends and bytes when the writer is
-	// instrumented (Instrument); nil-safe no-ops otherwise.
+	// instrumented (Instrument); nil-safe no-ops otherwise. reg additionally
+	// times every append as a "journal/append" span (and thus a timeline
+	// event when a tracer is attached).
 	appendsC *obs.Counter
 	bytesC   *obs.Counter
+	reg      *obs.Registry
 }
 
 // Instrument attaches observability counters (journal_appends_total,
-// journal_bytes_total) to the writer. Safe on a nil writer or registry.
+// journal_bytes_total) and the "journal/append" timing span to the writer.
+// Safe on a nil writer or registry.
 func (w *Writer) Instrument(reg *obs.Registry) {
 	if w == nil || reg == nil {
 		return
@@ -113,6 +145,7 @@ func (w *Writer) Instrument(reg *obs.Registry) {
 	defer w.mu.Unlock()
 	w.appendsC = reg.Counter("journal_appends_total")
 	w.bytesC = reg.Counter("journal_bytes_total")
+	w.reg = reg
 }
 
 // Create creates (or truncates) a journal file and writes its campaign
@@ -133,9 +166,23 @@ func Create(path string, h Header) (*Writer, error) {
 
 // Append durably logs one classified point.
 func (w *Writer) Append(rec Record) error {
+	return w.appendBody(experimentBody(rec))
+}
+
+// AppendMATEHit durably logs one per-MATE pruning attribution. Callers
+// append the hit immediately before the pruned point's experiment record:
+// a crash between the two leaves an orphan hit (ignored on recovery), never
+// a pruned point without attribution.
+func (w *Writer) AppendMATEHit(hit MATEHit) error {
+	return w.appendBody(mateHitBody(hit))
+}
+
+func (w *Writer) appendBody(body []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.scratch = appendFrame(w.scratch[:0], experimentBody(rec))
+	sp := w.reg.StartSpan("journal/append")
+	defer sp.End()
+	w.scratch = appendFrame(w.scratch[:0], body)
 	if _, err := w.f.Write(w.scratch); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
@@ -182,6 +229,11 @@ type Recovered struct {
 	// last record.
 	Records []Record
 	ByIndex map[uint64]Record
+	// MATEHits holds every intact per-MATE attribution record in log order
+	// (empty for v1 journals). HitByIndex keys the same hits by fault-list
+	// index, keeping the last per point.
+	MATEHits   []MATEHit
+	HitByIndex map[uint64]MATEHit
 	// Torn reports an incomplete final frame — the normal signature of a
 	// crash mid-write. The torn bytes are dropped.
 	Torn bool
@@ -223,7 +275,7 @@ func recoverFile(path string) (*Recovered, error) {
 	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
 		return nil, fmt.Errorf("journal: %s is not a campaign journal (bad magic)", path)
 	}
-	r := &Recovered{ByIndex: map[uint64]Record{}}
+	r := &Recovered{ByIndex: map[uint64]Record{}, HitByIndex: map[uint64]MATEHit{}}
 	off := len(magic)
 	for off < len(data) {
 		if len(data)-off < 4 {
@@ -291,6 +343,23 @@ func (r *Recovered) decodeBody(body []byte) bool {
 		}
 		r.Records = append(r.Records, rec)
 		r.ByIndex[rec.Index] = rec
+		return true
+	case recMATEHit:
+		if len(body) != 1+mateHitPayloadLen || !r.HasHeader {
+			return false
+		}
+		p := body[1:]
+		hit := MATEHit{
+			Index: binary.LittleEndian.Uint64(p[0:]),
+			FF:    binary.LittleEndian.Uint32(p[8:]),
+			MATE:  binary.LittleEndian.Uint32(p[12:]),
+			Width: binary.LittleEndian.Uint16(p[16:]),
+		}
+		if hit.Index >= r.Header.NumPoints {
+			return false // claims a point outside the recorded fault list
+		}
+		r.MATEHits = append(r.MATEHits, hit)
+		r.HitByIndex[hit.Index] = hit
 		return true
 	}
 	return false // unknown record type
@@ -365,4 +434,13 @@ func experimentBody(rec Record) []byte {
 	b = binary.LittleEndian.AppendUint32(b, rec.Cycle)
 	b = binary.LittleEndian.AppendUint32(b, rec.Duration)
 	return append(b, rec.Outcome, flags)
+}
+
+func mateHitBody(hit MATEHit) []byte {
+	b := make([]byte, 0, 1+mateHitPayloadLen)
+	b = append(b, recMATEHit)
+	b = binary.LittleEndian.AppendUint64(b, hit.Index)
+	b = binary.LittleEndian.AppendUint32(b, hit.FF)
+	b = binary.LittleEndian.AppendUint32(b, hit.MATE)
+	return binary.LittleEndian.AppendUint16(b, hit.Width)
 }

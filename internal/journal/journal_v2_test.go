@@ -1,0 +1,180 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMATEHitRoundTrip interleaves attribution hits with experiment records
+// the way the campaign engines write them (hit immediately before its pruned
+// point) and checks both indexes recover.
+func TestMATEHitRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v2.journal")
+	w, err := Create(path, testHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits []MATEHit
+	for i := 0; i < 30; i++ {
+		rec := Record{Index: uint64(i), FF: uint32(i), Cycle: uint32(i * 2), Duration: 1}
+		if i%3 == 0 {
+			hit := MATEHit{Index: uint64(i), FF: uint32(i), MATE: uint32(i % 7), Width: uint16(1 + i%4)}
+			if err := w.AppendMATEHit(hit); err != nil {
+				t.Fatal(err)
+			}
+			hits = append(hits, hit)
+			rec.Pruned = true
+		} else {
+			rec.Outcome = uint8(i % 4)
+		}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Torn || r.Corrupt {
+		t.Fatalf("clean v2 journal diagnosed damaged: %+v", r)
+	}
+	if len(r.Records) != 30 {
+		t.Fatalf("recovered %d records", len(r.Records))
+	}
+	if len(r.MATEHits) != len(hits) {
+		t.Fatalf("recovered %d of %d hits", len(r.MATEHits), len(hits))
+	}
+	for i, hit := range r.MATEHits {
+		if hit != hits[i] {
+			t.Fatalf("hit %d = %+v, want %+v", i, hit, hits[i])
+		}
+	}
+	for _, hit := range hits {
+		if got, ok := r.HitByIndex[hit.Index]; !ok || got != hit {
+			t.Fatalf("HitByIndex[%d] = %+v, %v", hit.Index, got, ok)
+		}
+	}
+}
+
+// TestMixedVersionRecovery: a v1 journal (experiment records only, as
+// written before attribution existed) must recover unchanged with an empty
+// hit index, and a resume may append v2 hits to it — readers accept the
+// mixed file.
+func TestMixedVersionRecovery(t *testing.T) {
+	path, recs := writeJournal(t, 10) // v1: no attribution records
+
+	r, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MATEHits) != 0 || len(r.HitByIndex) != 0 {
+		t.Fatalf("v1 journal recovered phantom hits: %+v", r.MATEHits)
+	}
+	if len(r.Records) != len(recs) {
+		t.Fatalf("recovered %d of %d v1 records", len(r.Records), len(recs))
+	}
+
+	// Resume the v1 file and continue writing in v2.
+	w, _, err := Resume(path, testHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := MATEHit{Index: 10, FF: 30, MATE: 4, Width: 3}
+	if err := w.AppendMATEHit(hit); err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Index: 10, FF: 30, Cycle: 70, Duration: 1, Pruned: true}
+	if err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err = Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Records) != len(recs)+1 {
+		t.Fatalf("mixed journal recovered %d records", len(r.Records))
+	}
+	if len(r.MATEHits) != 1 || r.HitByIndex[10] != hit {
+		t.Fatalf("mixed journal hits = %+v", r.MATEHits)
+	}
+	if r.ByIndex[10] != rec {
+		t.Fatalf("appended record = %+v", r.ByIndex[10])
+	}
+}
+
+// TestOrphanHitSurvivesTornTail: a crash between the hit and its experiment
+// record leaves an orphan hit. Recovery keeps it (it is intact on disk);
+// consumers key by ByIndex and therefore ignore it.
+func TestOrphanHitSurvivesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "orphan.journal")
+	w, err := Create(path, testHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendMATEHit(MATEHit{Index: 0, FF: 1, MATE: 2, Width: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Index: 0, FF: 1, Cycle: 5, Duration: 1, Pruned: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendMATEHit(MATEHit{Index: 1, FF: 2, MATE: 3, Width: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the file mid-way through what would have been the next frame.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, 0x20, 0x00), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Torn {
+		t.Fatalf("appended garbage not diagnosed as torn: %+v", r)
+	}
+	if len(r.Records) != 1 || len(r.MATEHits) != 2 {
+		t.Fatalf("recovered %d records, %d hits", len(r.Records), len(r.MATEHits))
+	}
+	if _, classified := r.ByIndex[1]; classified {
+		t.Fatal("orphan hit must not classify its point")
+	}
+}
+
+// TestMATEHitOutsideFaultListRejected: a hit claiming a point beyond the
+// header's fault list is structural corruption.
+func TestMATEHitOutsideFaultListRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.journal")
+	w, err := Create(path, Header{NumPoints: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendMATEHit(MATEHit{Index: 5}); err != nil { // == NumPoints
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Corrupt || len(r.MATEHits) != 0 {
+		t.Fatalf("out-of-range hit accepted: %+v", r)
+	}
+}

@@ -5,14 +5,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/obs/tracefile"
 )
 
-// CLIOptions carries the three observability flags shared by every
-// pipeline CLI:
+// CLIOptions carries the observability flags shared by every pipeline CLI:
 //
 //	-metrics-addr host:port   serve /metrics (Prometheus) + /debug/pprof
 //	-progress                 periodic progress line on stderr
 //	-stats-json file          end-of-run JSON metrics dump ("-" = stdout)
+//	-trace file               Chrome trace-event timeline (Perfetto-loadable)
 //
 // When none is given, Init returns a nil registry and instrumentation
 // stays disabled (nil-safe no-ops on every hot path).
@@ -20,27 +22,32 @@ type CLIOptions struct {
 	MetricsAddr string
 	Progress    bool
 	StatsJSON   string
+	TraceFile   string
 }
 
-// RegisterFlags registers the observability flags on fs.
+// RegisterFlags registers the observability flags on fs. Every CLI calls
+// this once instead of declaring the flags itself, so the whole pipeline
+// shares one flag vocabulary.
 func RegisterFlags(fs *flag.FlagSet) *CLIOptions {
 	o := &CLIOptions{}
 	fs.StringVar(&o.MetricsAddr, "metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9137; port 0 picks one)")
 	fs.BoolVar(&o.Progress, "progress", false, "print a progress line to stderr every second")
 	fs.StringVar(&o.StatsJSON, "stats-json", "", "write all collected metrics as JSON to this file at exit ('-' = stdout)")
+	fs.StringVar(&o.TraceFile, "trace", "", "write an execution timeline (Chrome trace-event JSON, Perfetto-loadable) to this file")
 	return o
 }
 
 // Enabled reports whether any observability flag was set.
 func (o *CLIOptions) Enabled() bool {
-	return o.MetricsAddr != "" || o.Progress || o.StatsJSON != ""
+	return o.MetricsAddr != "" || o.Progress || o.StatsJSON != "" || o.TraceFile != ""
 }
 
 // Init materialises the selected observability features: it creates the
 // registry, starts the /metrics + pprof endpoint if requested (announcing
-// the bound address on errw so scripts can scrape port 0), and returns a
-// cleanup that stops the endpoint and writes the -stats-json dump. With no
-// flags set it returns (nil, no-op, nil).
+// the bound address on errw so scripts can scrape port 0), attaches the
+// -trace timeline writer, and returns a cleanup that stops the endpoint,
+// writes the -stats-json dump and finalises the trace file. With no flags
+// set it returns (nil, no-op, nil).
 func (o *CLIOptions) Init(errw io.Writer) (*Registry, func(), error) {
 	if !o.Enabled() {
 		return nil, func() {}, nil
@@ -55,6 +62,16 @@ func (o *CLIOptions) Init(errw io.Writer) (*Registry, func(), error) {
 		}
 		fmt.Fprintf(errw, "metrics: serving on %s\n", srv.Addr())
 	}
+	var tw *tracefile.Writer
+	if o.TraceFile != "" {
+		var err error
+		tw, err = tracefile.Create(o.TraceFile)
+		if err != nil {
+			srv.Close()
+			return nil, nil, err
+		}
+		reg.AttachTracer(tw)
+	}
 	done := false
 	cleanup := func() {
 		if done {
@@ -66,9 +83,38 @@ func (o *CLIOptions) Init(errw io.Writer) (*Registry, func(), error) {
 				fmt.Fprintf(errw, "stats-json: %v\n", err)
 			}
 		}
+		if tw != nil {
+			err := tw.Close()
+			written, dropped := tw.Events()
+			if err != nil {
+				fmt.Fprintf(errw, "trace: %v\n", err)
+			} else {
+				fmt.Fprintf(errw, "trace: wrote %d events to %s", written, o.TraceFile)
+				if dropped > 0 {
+					fmt.Fprintf(errw, " (%d dropped)", dropped)
+				}
+				fmt.Fprintln(errw)
+			}
+		}
 		srv.Close()
 	}
 	return reg, cleanup, nil
+}
+
+// StartProgress starts the periodic progress reporter when -progress was
+// given and the registry is live; otherwise it returns a no-op stop
+// function. It fills in the stderr writer so CLIs only describe their
+// metric handles:
+//
+//	defer obsOpts.StartProgress(reg, obs.ProgressConfig{Label: ..., Done: ...})()
+func (o *CLIOptions) StartProgress(reg *Registry, cfg ProgressConfig) (stop func()) {
+	if !o.Progress || reg == nil {
+		return func() {}
+	}
+	if cfg.Out == nil {
+		cfg.Out = os.Stderr
+	}
+	return StartProgress(cfg)
 }
 
 func writeStatsFile(path string, reg *Registry) error {

@@ -207,6 +207,9 @@ type Registry struct {
 	histograms map[metricID]*Histogram
 	spans      map[string]*spanStat
 	start      time.Time
+	// tracer, when attached, mirrors every span into a timeline file
+	// (see AttachTracer). Published atomically so StartSpan never locks.
+	tracer atomic.Pointer[tracerHolder]
 }
 
 // NewRegistry creates an empty registry.

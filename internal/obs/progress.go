@@ -85,10 +85,18 @@ func StartProgress(cfg ProgressConfig) (stop func()) {
 		if cfg.Workers != nil && cfg.Workers.Value() > 0 {
 			fmt.Fprintf(&sb, " | workers %d/%d", cfg.WorkersBusy.Value(), cfg.Workers.Value())
 		}
+		// The ETA column is always present so lines stay aligned tick to
+		// tick; "--:--" covers an unknown total, a rate of zero (first tick
+		// of a slow run) and a finished count, and an implausible projection
+		// (> 1000h, i.e. a rate so small the division degenerates) never
+		// leaks out as a garbage duration.
+		etaStr := "--:--"
 		if t > 0 && rate > 0 && d < t {
-			eta := time.Duration(float64(t-d) / rate * float64(time.Second))
-			fmt.Fprintf(&sb, " | eta %s", eta.Round(time.Second))
+			if secs := float64(t-d) / rate; secs < 3600*1000 {
+				etaStr = time.Duration(secs * float64(time.Second)).Round(time.Second).String()
+			}
 		}
+		fmt.Fprintf(&sb, " | eta %s", etaStr)
 		fmt.Fprintln(cfg.Out, sb.String())
 		prevDone, prevT = d, now
 	}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -11,14 +12,55 @@ type spanStat struct {
 	nanos atomic.Int64
 }
 
+// Tracer receives the lifecycle of every span for timeline export. It is
+// the seam between the registry and internal/obs/tracefile (which
+// implements it): a span acquires a lane when it starts, and reports its
+// (path, detail, start, duration) on the lane when it ends, so concurrent
+// spans land on distinct timeline rows. Implementations must be safe for
+// concurrent use.
+type Tracer interface {
+	BeginLane() int32
+	EndLane(lane int32)
+	Complete(name, detail string, start time.Time, dur time.Duration, lane int32)
+	Instant(name, detail string, at time.Time)
+}
+
+// tracerHolder wraps the Tracer for atomic publication (AttachTracer may
+// race with hot-path StartSpan calls in tests).
+type tracerHolder struct{ t Tracer }
+
+// AttachTracer starts mirroring every span into t (a tracefile.Writer).
+// Metrics accounting is unchanged; tracing is strictly additive. Safe on a
+// nil registry (no-op).
+func (r *Registry) AttachTracer(t Tracer) {
+	if r == nil {
+		return
+	}
+	r.tracer.Store(&tracerHolder{t: t})
+}
+
+// Instant emits a zero-duration timeline marker (no metrics accounting).
+// Safe on a nil registry or with no tracer attached.
+func (r *Registry) Instant(name, detail string) {
+	if r == nil {
+		return
+	}
+	if h := r.tracer.Load(); h != nil {
+		h.t.Instant(name, detail, time.Now())
+	}
+}
+
 // Span is one running timed section. Spans form a hierarchy through
 // Start: a child's path is "parent/child", so the exporters render a
 // per-stage breakdown ("campaign", "campaign/golden", "campaign/batch").
 // All methods are safe on a nil receiver (the disabled state).
 type Span struct {
-	reg   *Registry
-	path  string
-	start time.Time
+	reg    *Registry
+	path   string
+	detail string
+	start  time.Time
+	tracer Tracer
+	lane   int32
 }
 
 // StartSpan begins a top-level timed section. Returns nil on a nil
@@ -27,7 +69,12 @@ func (r *Registry) StartSpan(name string) *Span {
 	if r == nil {
 		return nil
 	}
-	return &Span{reg: r, path: name, start: time.Now()}
+	s := &Span{reg: r, path: name, start: time.Now()}
+	if h := r.tracer.Load(); h != nil {
+		s.tracer = h.t
+		s.lane = s.tracer.BeginLane()
+	}
+	return s
 }
 
 // Start begins a child section of s. Returns nil on a nil receiver.
@@ -35,7 +82,23 @@ func (s *Span) Start(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{reg: s.reg, path: s.path + "/" + name, start: time.Now()}
+	c := &Span{reg: s.reg, path: s.path + "/" + name, start: time.Now(), tracer: s.tracer}
+	if c.tracer != nil {
+		c.lane = c.tracer.BeginLane()
+	}
+	return c
+}
+
+// Detail annotates the span's timeline event with a formatted string (e.g.
+// the wire name a search span works on). Metrics aggregation ignores the
+// detail — span paths stay low-cardinality. Free (not even formatted) when
+// no tracer is attached; safe on a nil receiver.
+func (s *Span) Detail(format string, args ...interface{}) *Span {
+	if s == nil || s.tracer == nil {
+		return s
+	}
+	s.detail = fmt.Sprintf(format, args...)
+	return s
 }
 
 // End stops the section and accounts its duration under the span path.
@@ -55,6 +118,10 @@ func (s *Span) End() time.Duration {
 	s.reg.mu.Unlock()
 	st.count.Add(1)
 	st.nanos.Add(int64(d))
+	if s.tracer != nil {
+		s.tracer.Complete(s.path, s.detail, s.start, d, s.lane)
+		s.tracer.EndLane(s.lane)
+	}
 	return d
 }
 

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs/tracefile"
+)
+
+// TestProgressETAPlaceholder: the ETA column must degrade to "--:--" instead
+// of a garbage duration when the total is unknown, the rate is still zero
+// (first tick of a slow run), or the count is already complete.
+func TestProgressETAPlaceholder(t *testing.T) {
+	r := NewRegistry()
+	done := r.Counter("done")
+	total := r.Gauge("total") // left at 0: unknown
+
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	stop := StartProgress(ProgressConfig{
+		Label: "search", Unit: "wires", Out: w,
+		Interval: time.Hour, // only the final stop() line fires
+		Done:     done, Total: total,
+	})
+	stop()
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "eta --:--") {
+		t.Fatalf("unknown total must print eta --:--, got %q", out)
+	}
+
+	// Zero rate with a known total: first tick of a slow run.
+	buf.Reset()
+	total.Set(100)
+	stop = StartProgress(ProgressConfig{
+		Label: "search", Unit: "wires", Out: w,
+		Interval: time.Hour,
+		Done:     done, Total: total,
+	})
+	stop()
+	mu.Lock()
+	out = buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "eta --:--") {
+		t.Fatalf("zero rate must print eta --:--, got %q", out)
+	}
+}
+
+// TestProgressETAProjection: with a known total and a nonzero rate the ETA
+// column carries a real duration.
+func TestProgressETAProjection(t *testing.T) {
+	r := NewRegistry()
+	done := r.Counter("done")
+	total := r.Gauge("total")
+	total.Set(1000)
+	done.Add(10)
+
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	stop := StartProgress(ProgressConfig{
+		Label: "campaign", Unit: "points", Out: w,
+		Interval: time.Hour,
+		Done:     done, Total: total,
+	})
+	time.Sleep(20 * time.Millisecond) // lifetime rate becomes nonzero
+	stop()
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "eta ") || strings.Contains(out, "eta --:--") {
+		t.Fatalf("known total and rate must project an ETA, got %q", out)
+	}
+}
+
+// TestConcurrentScrapes hammers both exporters while every metric kind
+// mutates concurrently; under -race this proves scrapes see consistent
+// snapshots without locking writers out.
+func TestConcurrentScrapes(t *testing.T) {
+	r := NewRegistry()
+	stopCh := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("scrape_test_total", "worker", string(rune('a'+g)))
+			ga := r.Gauge("scrape_test_gauge")
+			h := r.Histogram("scrape_test_hist", LinearBuckets(1, 1, 4))
+			for i := 0; ; i++ {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				c.Inc()
+				ga.Set(int64(i))
+				h.Observe(float64(i % 6))
+				sp := r.StartSpan("scrape/work")
+				sp.End()
+			}
+		}(g)
+	}
+	for s := 0; s < 50; s++ {
+		var prom, js bytes.Buffer
+		if err := WritePrometheus(&prom, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSON(&js, r); err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(js.Bytes()) {
+			t.Fatalf("scrape %d: invalid JSON: %s", s, js.String())
+		}
+		if !strings.Contains(prom.String(), "process_uptime_seconds") {
+			t.Fatalf("scrape %d: prometheus output truncated", s)
+		}
+	}
+	close(stopCh)
+	wg.Wait()
+}
+
+// TestTracerMirrorsSpans: with a trace writer attached, every ended span
+// becomes a complete event named by its path, carrying its Detail.
+func TestTracerMirrorsSpans(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	tw, err := tracefile.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	r.AttachTracer(tw)
+
+	outer := r.StartSpan("campaign")
+	inner := outer.Start("batch").Detail("cycle %d, %d lanes", 7, 64)
+	inner.End()
+	outer.End()
+	r.Instant("interrupt", "SIGINT")
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Args struct {
+				Detail string `json:"detail"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, data)
+	}
+	got := map[string]string{}
+	for _, ev := range doc.TraceEvents {
+		got[ev.Name] = ev.Args.Detail
+	}
+	if _, ok := got["campaign"]; !ok {
+		t.Fatalf("missing campaign span event: %v", got)
+	}
+	if got["campaign/batch"] != "cycle 7, 64 lanes" {
+		t.Fatalf("batch span detail = %q", got["campaign/batch"])
+	}
+	if got["interrupt"] != "SIGINT" {
+		t.Fatalf("instant event detail = %q", got["interrupt"])
+	}
+}
+
+// TestSpansWithoutTracer: Detail and End stay no-ops on the trace side when
+// no tracer is attached (and on nil spans).
+func TestSpansWithoutTracer(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("x").Detail("ignored %d", 1)
+	sp.End()
+	var nilSpan *Span
+	nilSpan.Detail("ignored").End()
+	r.Instant("marker", "no tracer attached")
+	var nilReg *Registry
+	nilReg.Instant("marker", "nil registry")
+	nilReg.AttachTracer(nil)
+}
+
+func TestCLIOptionsTrace(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Enabled() {
+		t.Fatal("-trace must enable observability")
+	}
+	var errw bytes.Buffer
+	reg, cleanup, err := o.Init(&errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.StartSpan("unit").End()
+	cleanup()
+	cleanup() // idempotent
+
+	if !strings.Contains(errw.String(), "trace: wrote") {
+		t.Fatalf("cleanup must announce the trace file, got %q", errw.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("trace file is not valid JSON: %s", data)
+	}
+	if !strings.Contains(string(data), `"unit"`) {
+		t.Fatalf("trace file missing span event: %s", data)
+	}
+}
+
+// TestCLIStartProgressHelper: the shared helper is a no-op without -progress
+// and drives the reporter with the caller's config when enabled.
+func TestCLIStartProgressHelper(t *testing.T) {
+	r := NewRegistry()
+	o := &CLIOptions{}
+	o.StartProgress(r, ProgressConfig{Done: r.Counter("d"), Total: r.Gauge("t")})() // no-op
+
+	o.Progress = true
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	r.Counter("helper_done").Add(2)
+	r.Gauge("helper_total").Set(4)
+	stop := o.StartProgress(r, ProgressConfig{
+		Label: "helper", Unit: "items", Out: w, Interval: time.Hour,
+		Done: r.Counter("helper_done"), Total: r.Gauge("helper_total"),
+	})
+	stop()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "helper: 2/4 items") {
+		t.Fatalf("helper did not start the reporter: %q", out)
+	}
+
+	// Nil registry keeps it a no-op even with -progress set.
+	o.StartProgress(nil, ProgressConfig{})()
+}

@@ -1,0 +1,210 @@
+package tracefile
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// traceDoc mirrors the on-disk document shape for round-trip validation.
+type traceDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		TS   int64  `json:"ts"`
+		Dur  int64  `json:"dur"`
+		PID  int    `json:"pid"`
+		TID  int    `json:"tid"`
+		S    string `json:"s"`
+		Args struct {
+			Detail string `json:"detail"`
+		} `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func readDoc(t *testing.T, path string) traceDoc {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v\n%s", err, data)
+	}
+	return doc
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	l0 := w.BeginLane()
+	l1 := w.BeginLane()
+	if l0 == l1 {
+		t.Fatalf("concurrent spans share lane %d", l0)
+	}
+	w.Complete("search/wire", `wire 7: cone 3 gates, "quoted"`, start, 5*time.Millisecond, l1)
+	w.EndLane(l1)
+	w.Complete("campaign", "", start, 20*time.Millisecond, l0)
+	w.EndLane(l0)
+	w.Instant("checkpoint", "cycle 42", start.Add(time.Millisecond))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	written, dropped := w.Events()
+	if written != 3 || dropped != 0 {
+		t.Fatalf("events = %d written, %d dropped", written, dropped)
+	}
+
+	doc := readDoc(t, path)
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events", len(doc.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		byName[ev.Name] = i
+	}
+	wire := doc.TraceEvents[byName["search/wire"]]
+	if wire.Ph != "X" || wire.Dur != 5000 || wire.TID != int(l1) {
+		t.Fatalf("wire event = %+v", wire)
+	}
+	if wire.Args.Detail != `wire 7: cone 3 gates, "quoted"` {
+		t.Fatalf("detail = %q", wire.Args.Detail)
+	}
+	inst := doc.TraceEvents[byName["checkpoint"]]
+	if inst.Ph != "i" || inst.S != "g" {
+		t.Fatalf("instant event = %+v", inst)
+	}
+}
+
+// TestLaneReuse verifies the lowest-free-lane discipline: a released lane is
+// handed out again before a fresh one is grown.
+func TestLaneReuse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	a, b, c := w.BeginLane(), w.BeginLane(), w.BeginLane()
+	if a == b || b == c || a == c {
+		t.Fatalf("lanes not distinct: %d %d %d", a, b, c)
+	}
+	w.EndLane(b)
+	if got := w.BeginLane(); got != b {
+		t.Fatalf("reallocated lane = %d, want released %d", got, b)
+	}
+	w.EndLane(a)
+	w.EndLane(c)
+	if got := w.BeginLane(); got != a {
+		t.Fatalf("lowest free lane = %d, want %d", got, a)
+	}
+}
+
+// TestBufferedFlush writes past the buffer bound and checks nothing is lost
+// and the document stays valid.
+func TestBufferedFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.max = 16 // shrink the buffer so the test exercises mid-stream flushes
+	start := time.Now()
+	const n = 100
+	for i := 0; i < n; i++ {
+		w.Complete("span", "", start, time.Microsecond, 0)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if written, dropped := w.Events(); written != n || dropped != 0 {
+		t.Fatalf("events = %d written, %d dropped", written, dropped)
+	}
+	if got := len(readDoc(t, path).TraceEvents); got != n {
+		t.Fatalf("decoded %d of %d events", got, n)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				lane := w.BeginLane()
+				w.Complete("worker", "", start, time.Microsecond, lane)
+				w.EndLane(lane)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(readDoc(t, path).TraceEvents); got != 8*200 {
+		t.Fatalf("decoded %d events, want %d", got, 8*200)
+	}
+}
+
+// TestCloseIdempotentAndLateEvents: events after Close are dropped, counted,
+// and never corrupt the finished document.
+func TestCloseIdempotentAndLateEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Complete("early", "", time.Now(), time.Microsecond, 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.Complete("late", "", time.Now(), time.Microsecond, 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	written, dropped := w.Events()
+	if written != 1 || dropped != 1 {
+		t.Fatalf("events = %d written, %d dropped", written, dropped)
+	}
+	if got := len(readDoc(t, path).TraceEvents); got != 1 {
+		t.Fatalf("decoded %d events", got)
+	}
+}
+
+func TestNilWriterSafe(t *testing.T) {
+	var w *Writer
+	if lane := w.BeginLane(); lane != 0 {
+		t.Fatalf("nil BeginLane = %d", lane)
+	}
+	w.EndLane(0)
+	w.Complete("x", "", time.Now(), 0, 0)
+	w.Instant("x", "", time.Now())
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := w.Events(); a != 0 || b != 0 {
+		t.Fatalf("nil Events = %d, %d", a, b)
+	}
+}

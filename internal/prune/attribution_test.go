@@ -1,0 +1,105 @@
+package prune
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPerMATEAttributionSums: the per-MATE credits must partition the masked
+// points exactly — every pruned point is credited to precisely one MATE.
+func TestPerMATEAttributionSums(t *testing.T) {
+	nl, qs, ins := buildTwoRegs(t)
+	set := search(t, nl, qs)
+	tr := recordPattern(nl, ins, 64)
+	reg := obs.NewRegistry()
+	res := EvaluateInstrumented(context.Background(), set, tr, qs, reg)
+
+	if len(res.PerMATE) != set.Size() {
+		t.Fatalf("PerMATE has %d rows for a %d-MATE set", len(res.PerMATE), set.Size())
+	}
+	var sum int64
+	for _, st := range res.PerMATE {
+		if st.PointsPruned < 0 || st.Triggers < 0 {
+			t.Fatalf("negative attribution: %+v", st)
+		}
+		if st.PointsPruned > 0 && st.Triggers == 0 {
+			t.Fatalf("MATE %d pruned %d points without triggering", st.Index, st.PointsPruned)
+		}
+		if st.Literals != len(set.MATEs[st.Index].Literals) {
+			t.Fatalf("MATE %d width %d, set says %d", st.Index, st.Literals, len(set.MATEs[st.Index].Literals))
+		}
+		sum += st.PointsPruned
+	}
+	if sum != res.MaskedPoints {
+		t.Fatalf("per-MATE credits sum to %d, masked = %d", sum, res.MaskedPoints)
+	}
+
+	// EffectiveMATEs must agree with the triggered rows.
+	n := 0
+	for _, st := range res.PerMATE {
+		if st.Triggers > 0 {
+			n++
+		}
+	}
+	if n != res.EffectiveMATEs {
+		t.Fatalf("EffectiveMATEs = %d, triggered rows = %d", res.EffectiveMATEs, n)
+	}
+
+	// The labeled live counters mirror the final attribution.
+	var live int64
+	for _, st := range res.PerMATE {
+		if st.PointsPruned == 0 {
+			continue
+		}
+		c := reg.Counter("prune_mate_points_pruned_total",
+			"mate", itoa(st.Index), "width", itoa(st.Literals))
+		live += c.Value()
+	}
+	if live != res.MaskedPoints {
+		t.Fatalf("labeled counters sum to %d, masked = %d", live, res.MaskedPoints)
+	}
+}
+
+// TestRankedMATEs: rows come back sorted by cost/benefit, ties broken by
+// points then index, without losing any row.
+func TestRankedMATEs(t *testing.T) {
+	res := &Result{PerMATE: []MATEStat{
+		{Index: 0, Literals: 4, PointsPruned: 4},  // c/b 1.0
+		{Index: 1, Literals: 1, PointsPruned: 9},  // c/b 9.0
+		{Index: 2, Literals: 2, PointsPruned: 18}, // c/b 9.0, more points
+		{Index: 3, Literals: 0, PointsPruned: 2},  // width clamped to 1, c/b 2.0
+	}}
+	ranked := res.RankedMATEs()
+	want := []int{2, 1, 3, 0}
+	if len(ranked) != len(want) {
+		t.Fatalf("ranked %d rows", len(ranked))
+	}
+	for i, idx := range want {
+		if ranked[i].Index != idx {
+			t.Fatalf("rank %d = MATE %d, want %d (%+v)", i, ranked[i].Index, idx, ranked)
+		}
+	}
+	if cb := ranked[2].CostBenefit(); cb != 2.0 {
+		t.Fatalf("zero-width cost/benefit = %v, want 2", cb)
+	}
+	// The input slice must stay untouched.
+	if res.PerMATE[0].Index != 0 {
+		t.Fatal("RankedMATEs mutated the result")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
@@ -36,6 +37,56 @@ type Result struct {
 	// EvaluateContext was cancelled before every cycle was processed, so
 	// MaskedPoints is a lower bound.
 	Interrupted bool
+	// PerMATE attributes every masked point to the MATE that fired first
+	// (lowest set index among the MATEs triggering on that point's cycle
+	// and covering its wire), one entry per MATE of the evaluated set that
+	// covers at least one fault wire. The PointsPruned fields sum to
+	// MaskedPoints exactly.
+	PerMATE []MATEStat
+}
+
+// MATEStat is the attribution record of one MATE over one replay — the row
+// shape of the paper's per-term effectiveness tables (benefit = points
+// pruned, cost = term width).
+type MATEStat struct {
+	// Index is the MATE's position in the evaluated MATESet.
+	Index int
+	// Literals is the MATE's input width (its hardware cost).
+	Literals int
+	// Triggers counts the cycles in which the MATE's conjunction held.
+	Triggers int64
+	// PointsPruned counts the masked fault-space points credited to this
+	// MATE (first-to-fire wins; each point is credited exactly once).
+	PointsPruned int64
+}
+
+// CostBenefit returns the paper's selection metric: fault-space points
+// pruned per term literal. A literal-free (always-true) MATE is costed at
+// one literal so the ratio stays finite.
+func (s MATEStat) CostBenefit() float64 {
+	w := s.Literals
+	if w < 1 {
+		w = 1
+	}
+	return float64(s.PointsPruned) / float64(w)
+}
+
+// RankedMATEs returns PerMATE sorted by the cost/benefit metric
+// (descending; ties broken by points pruned, then by set order) — the live
+// equivalent of the paper's hit-counter MATE ranking.
+func (r *Result) RankedMATEs() []MATEStat {
+	out := append([]MATEStat(nil), r.PerMATE...)
+	sort.SliceStable(out, func(a, b int) bool {
+		ca, cb := out[a].CostBenefit(), out[b].CostBenefit()
+		if ca != cb {
+			return ca > cb
+		}
+		if out[a].PointsPruned != out[b].PointsPruned {
+			return out[a].PointsPruned > out[b].PointsPruned
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
 }
 
 // Reduction returns the fault-space reduction as a fraction in [0, 1].
@@ -63,6 +114,7 @@ type compiledLit struct {
 // fast per-cycle replay.
 type evaluator struct {
 	mates []*core.MATE
+	orig  []int // index of each compiled MATE in the input set
 	lits  [][]compiledLit
 	masks [][]int32 // compact fault-wire indices per MATE (only fault wires)
 	nf    int       // number of fault wires
@@ -74,7 +126,7 @@ func compile(set *core.MATESet, faultWires []netlist.WireID) *evaluator {
 		idx[w] = int32(i)
 	}
 	ev := &evaluator{nf: len(faultWires)}
-	for _, m := range set.MATEs {
+	for oi, m := range set.MATEs {
 		var masks []int32
 		for _, w := range m.Masks {
 			if ci, ok := idx[w]; ok {
@@ -89,6 +141,7 @@ func compile(set *core.MATESet, faultWires []netlist.WireID) *evaluator {
 			lits[i] = compiledLit{word: int32(l.Wire) / 64, bit: 1 << (uint(l.Wire) % 64), want: l.Value}
 		}
 		ev.mates = append(ev.mates, m)
+		ev.orig = append(ev.orig, oi)
 		ev.lits = append(ev.lits, lits)
 		ev.masks = append(ev.masks, masks)
 	}
@@ -153,7 +206,8 @@ func EvaluateInstrumented(ctx context.Context, set *core.MATESet, tr *sim.Trace,
 	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	triggered := make([]bool, len(ev.mates))
+	mateTrigs := make([]int64, len(ev.mates))
+	matePruned := make([]int64, len(ev.mates))
 	chunk := (cycles + nw - 1) / nw
 	for wk := 0; wk < nw; wk++ {
 		lo, hi := wk*chunk, (wk+1)*chunk
@@ -166,9 +220,12 @@ func EvaluateInstrumented(ctx context.Context, set *core.MATESet, tr *sim.Trace,
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			sp := reg.StartSpan("prune/replay/chunk").Detail("cycles %d-%d", lo, hi-1)
+			defer sp.End()
 			var masked, cyclesDone, trigs int64
 			var flushedCycles, flushedMasked, flushedTrigs int64
-			localTrig := make([]bool, len(ev.mates))
+			localTrig := make([]int64, len(ev.mates))
+			localPruned := make([]int64, len(ev.mates))
 			bits := make([]uint64, (ev.nf+63)/64)
 			for c := lo; c < hi; c++ {
 				if c&63 == 0 && ctx.Err() != nil {
@@ -178,17 +235,21 @@ func EvaluateInstrumented(ctx context.Context, set *core.MATESet, tr *sim.Trace,
 				for i := range bits {
 					bits[i] = 0
 				}
+				// MATEs are evaluated in set order, so the first triggering
+				// MATE covering a still-unmasked wire earns the point — the
+				// deterministic "fired first" attribution rule.
 				for mi := range ev.mates {
 					if !ev.triggers(row, mi) {
 						continue
 					}
-					localTrig[mi] = true
+					localTrig[mi]++
 					trigs++
 					for _, ci := range ev.masks[mi] {
 						w, b := ci/64, uint64(1)<<(uint(ci)%64)
 						if bits[w]&b == 0 {
 							bits[w] |= b
 							masked++
+							localPruned[mi]++
 						}
 					}
 				}
@@ -207,30 +268,47 @@ func EvaluateInstrumented(ctx context.Context, set *core.MATESet, tr *sim.Trace,
 			trigC.Add(trigs - flushedTrigs)
 			mu.Lock()
 			res.MaskedPoints += masked
-			for i, t := range localTrig {
-				if t {
-					triggered[i] = true
-				}
+			for i := range localTrig {
+				mateTrigs[i] += localTrig[i]
+				matePruned[i] += localPruned[i]
 			}
 			mu.Unlock()
 		}(lo, hi)
 	}
 	wg.Wait()
 
+	res.PerMATE = make([]MATEStat, len(ev.mates))
 	var n int
 	var sum float64
-	for i, t := range triggered {
-		if t {
+	for i := range ev.mates {
+		res.PerMATE[i] = MATEStat{
+			Index:        ev.orig[i],
+			Literals:     len(ev.mates[i].Literals),
+			Triggers:     mateTrigs[i],
+			PointsPruned: matePruned[i],
+		}
+		if mateTrigs[i] > 0 {
 			n++
 			sum += float64(len(ev.mates[i].Literals))
+		}
+	}
+	// Publish the attribution as labeled counters so a /metrics scrape can
+	// rank MATEs by cost/benefit without waiting for the final Result.
+	if reg != nil {
+		for _, st := range res.PerMATE {
+			if st.PointsPruned == 0 {
+				continue
+			}
+			reg.Counter("prune_mate_points_pruned_total",
+				"mate", strconv.Itoa(st.Index), "width", strconv.Itoa(st.Literals)).Add(st.PointsPruned)
 		}
 	}
 	res.EffectiveMATEs = n
 	if n > 0 {
 		res.AvgInputs = sum / float64(n)
 		var vs float64
-		for i, t := range triggered {
-			if t {
+		for i := range ev.mates {
+			if mateTrigs[i] > 0 {
 				d := float64(len(ev.mates[i].Literals)) - res.AvgInputs
 				vs += d * d
 			}

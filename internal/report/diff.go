@@ -1,0 +1,94 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/journal"
+)
+
+// ClassChange is one point whose verdict differs between two campaigns.
+type ClassChange struct {
+	Index uint64 `json:"index"`
+	FF    uint32 `json:"ff"`
+	Cycle uint32 `json:"cycle"`
+	From  string `json:"from"`
+	To    string `json:"to"`
+}
+
+// DiffResult is the point-for-point comparison of two campaigns over the
+// same fault list. "A" is the baseline, "B" the candidate.
+type DiffResult struct {
+	ClassifiedA int `json:"classified_a"`
+	ClassifiedB int `json:"classified_b"`
+	// Agree counts points classified by both campaigns with equal verdicts.
+	Agree int `json:"agree"`
+	// CoverageRegressions lists points classified in A but missing from B.
+	CoverageRegressions []uint64 `json:"coverage_regressions"`
+	// CoverageGains counts points classified only in B (informational).
+	CoverageGains int `json:"coverage_gains"`
+	// ClassificationRegressions lists points whose verdict changed.
+	ClassificationRegressions []ClassChange `json:"classification_regressions"`
+	// PruningFlips counts benign-verdict points whose pruned/executed state
+	// differs (informational: pruning more or fewer points is not a
+	// regression as long as the verdict holds).
+	PruningFlips int `json:"pruning_flips"`
+}
+
+// Regressions returns the number of regressions (coverage plus
+// classification); zero means B is point-for-point no worse than A.
+func (d *DiffResult) Regressions() int {
+	return len(d.CoverageRegressions) + len(d.ClassificationRegressions)
+}
+
+// Diff compares two campaigns point for point. Both journals must carry the
+// same campaign identity (golden signature, fault-list length and hash) —
+// diffing unrelated campaigns would produce meaningless per-index matches.
+func Diff(a, b *Campaign) (*DiffResult, error) {
+	if a.Rec.Header != b.Rec.Header {
+		return nil, fmt.Errorf("report: %s and %s describe different campaigns (header %+v vs %+v)",
+			a.Path, b.Path, a.Rec.Header, b.Rec.Header)
+	}
+	d := &DiffResult{ClassifiedA: len(a.Rec.ByIndex), ClassifiedB: len(b.Rec.ByIndex)}
+	for idx, ra := range a.Rec.ByIndex {
+		rb, ok := b.Rec.ByIndex[idx]
+		if !ok {
+			d.CoverageRegressions = append(d.CoverageRegressions, idx)
+			continue
+		}
+		va, vb := Verdict(ra), Verdict(rb)
+		if va != vb {
+			d.ClassificationRegressions = append(d.ClassificationRegressions, ClassChange{
+				Index: idx, FF: ra.FF, Cycle: ra.Cycle, From: va, To: vb,
+			})
+			continue
+		}
+		d.Agree++
+		if ra.Pruned != rb.Pruned {
+			d.PruningFlips++
+		}
+	}
+	for idx := range b.Rec.ByIndex {
+		if _, ok := a.Rec.ByIndex[idx]; !ok {
+			d.CoverageGains++
+		}
+	}
+	sort.Slice(d.CoverageRegressions, func(i, j int) bool {
+		return d.CoverageRegressions[i] < d.CoverageRegressions[j]
+	})
+	sort.Slice(d.ClassificationRegressions, func(i, j int) bool {
+		return d.ClassificationRegressions[i].Index < d.ClassificationRegressions[j].Index
+	})
+	return d, nil
+}
+
+// recordsInOrder returns the per-index records sorted by fault-list index
+// (the CSV emission order).
+func recordsInOrder(rec *journal.Recovered) []journal.Record {
+	out := make([]journal.Record, 0, len(rec.ByIndex))
+	for _, r := range rec.ByIndex {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}

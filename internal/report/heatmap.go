@@ -1,0 +1,102 @@
+package report
+
+import "sort"
+
+// Heatmap is the FF × cycle-window outcome grid of one campaign: every
+// classified point lands in the cell (its flip-flop, its cycle's window),
+// cells aggregate outcome counts, and the text renderer shows each cell's
+// most severe verdict — a vulnerability map of the workload.
+type Heatmap struct {
+	// FFs lists the distinct flip-flops seen, ascending (one row each).
+	FFs []int `json:"ffs"`
+	// CycleLo/CycleHi bound the observed injection cycles (inclusive).
+	CycleLo int `json:"cycle_lo"`
+	CycleHi int `json:"cycle_hi"`
+	// BinWidth is the cycle span of one column.
+	BinWidth int `json:"bin_width"`
+	// Cells is indexed [row][bin] following FFs × the window sequence.
+	Cells [][]Cell `json:"cells"`
+}
+
+// Cell aggregates the points of one (FF, cycle-window) pair.
+type Cell struct {
+	Pruned       int    `json:"pruned,omitempty"`
+	Outcomes     [4]int `json:"outcomes,omitempty"`
+	SkippedWrong int    `json:"skipped_wrong,omitempty"`
+}
+
+// Count returns the number of points in the cell.
+func (c Cell) Count() int {
+	n := c.Pruned
+	for _, o := range c.Outcomes {
+		n += o
+	}
+	return n
+}
+
+// Glyph renders the cell's most severe verdict as one character:
+// '!' skipped-wrong (soundness violation), 'S' silent data corruption,
+// 'H' hang, 'E' harness error, '.' executed benign, 'p' pruned benign,
+// ' ' no classified point.
+func (c Cell) Glyph() byte {
+	switch {
+	case c.SkippedWrong > 0:
+		return '!'
+	case c.Outcomes[1] > 0:
+		return 'S'
+	case c.Outcomes[2] > 0:
+		return 'H'
+	case c.Outcomes[3] > 0:
+		return 'E'
+	case c.Outcomes[0] > 0:
+		return '.'
+	case c.Pruned > 0:
+		return 'p'
+	}
+	return ' '
+}
+
+// BuildHeatmap bins the campaign's classified points into at most bins
+// cycle windows (at least one cycle wide). Returns nil when the journal has
+// no classified points or bins < 1.
+func (c *Campaign) BuildHeatmap(bins int) *Heatmap {
+	if bins < 1 || len(c.Rec.ByIndex) == 0 {
+		return nil
+	}
+	h := &Heatmap{CycleLo: int(^uint(0) >> 1)}
+	ffSet := map[int]bool{}
+	for _, rec := range c.Rec.ByIndex {
+		ffSet[int(rec.FF)] = true
+		if cyc := int(rec.Cycle); cyc < h.CycleLo {
+			h.CycleLo = cyc
+		}
+		if cyc := int(rec.Cycle); cyc > h.CycleHi {
+			h.CycleHi = cyc
+		}
+	}
+	for ff := range ffSet {
+		h.FFs = append(h.FFs, ff)
+	}
+	sort.Ints(h.FFs)
+	span := h.CycleHi - h.CycleLo + 1
+	h.BinWidth = (span + bins - 1) / bins
+	nbins := (span + h.BinWidth - 1) / h.BinWidth
+	rowOf := make(map[int]int, len(h.FFs))
+	h.Cells = make([][]Cell, len(h.FFs))
+	for i, ff := range h.FFs {
+		rowOf[ff] = i
+		h.Cells[i] = make([]Cell, nbins)
+	}
+	for _, rec := range c.Rec.ByIndex {
+		cell := &h.Cells[rowOf[int(rec.FF)]][(int(rec.Cycle)-h.CycleLo)/h.BinWidth]
+		if rec.Pruned {
+			cell.Pruned++
+			if rec.SkippedWrong {
+				cell.SkippedWrong++
+			}
+		} else if int(rec.Outcome) < len(cell.Outcomes) {
+			cell.Outcomes[rec.Outcome]++
+		}
+	}
+	return h
+}

@@ -1,0 +1,191 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Document is the single-campaign report: everything the text, JSON and CSV
+// renderers draw from.
+type Document struct {
+	Path    string   `json:"journal"`
+	Summary Summary  `json:"summary"`
+	MATEs   []MATERow `json:"mates"`
+	Heatmap *Heatmap `json:"heatmap,omitempty"`
+	Stats   *Stats   `json:"stats,omitempty"`
+}
+
+// BuildDocument assembles the report of one campaign. bins parameterises
+// the heatmap (0 disables it).
+func BuildDocument(c *Campaign, bins int) *Document {
+	return &Document{
+		Path:    c.Path,
+		Summary: c.Summary(),
+		MATEs:   c.MATETable(),
+		Heatmap: c.BuildHeatmap(bins),
+		Stats:   c.Stats,
+	}
+}
+
+// WriteText renders the report for humans.
+func (d *Document) WriteText(w io.Writer) error {
+	s := d.Summary
+	fmt.Fprintf(w, "campaign:   %s\n", d.Path)
+	fmt.Fprintf(w, "fault list: %d points, %d classified (%.2f%% coverage)\n",
+		s.Points, s.Classified, 100*s.Coverage())
+	fmt.Fprintf(w, "pruned:     %d (%.2f%% of classified), %d executed\n",
+		s.Pruned, 100*s.PrunedFraction(), s.Executed)
+	fmt.Fprintf(w, "outcomes:   benign=%d sdc=%d hang=%d harness-error=%d\n",
+		s.Outcomes[0], s.Outcomes[1], s.Outcomes[2], s.Outcomes[3])
+	if s.SkippedWrong > 0 {
+		fmt.Fprintf(w, "UNSOUND:    %d validated-skipped points were NOT benign\n", s.SkippedWrong)
+	}
+	if s.Torn || s.Corrupt {
+		fmt.Fprintf(w, "journal:    tail damaged (torn=%v corrupt=%v, %d bytes dropped)\n",
+			s.Torn, s.Corrupt, s.DroppedBytes)
+	}
+
+	var attributed int64
+	for _, row := range d.MATEs {
+		attributed += row.Points
+	}
+	fmt.Fprintf(w, "attribution: %d/%d pruned points credited to %d MATEs\n",
+		attributed, s.Pruned, len(d.MATEs))
+	if len(d.MATEs) > 0 {
+		fmt.Fprintln(w, "\n  mate   width  points   cost/benefit")
+		for _, row := range d.MATEs {
+			fmt.Fprintf(w, "  #%-5d %-6d %-8d %.1f\n", row.MATE, row.Width, row.Points, row.CostBenefit())
+		}
+	}
+
+	if h := d.Heatmap; h != nil {
+		fmt.Fprintf(w, "\nheatmap: cycles %d-%d, %d cycles per column\n", h.CycleLo, h.CycleHi, h.BinWidth)
+		fmt.Fprintln(w, "  (S=sdc H=hang E=harness-error .=benign p=pruned !=unsound)")
+		for i, ff := range h.FFs {
+			row := make([]byte, len(h.Cells[i]))
+			for j, cell := range h.Cells[i] {
+				row[j] = cell.Glyph()
+			}
+			fmt.Fprintf(w, "  ff %-5d |%s|\n", ff, row)
+		}
+	}
+
+	if st := d.Stats; st != nil {
+		fmt.Fprintf(w, "\nruntime (from -stats-json): %.1fs", st.UptimeSeconds)
+		if sp, ok := st.Spans["campaign"]; ok {
+			fmt.Fprintf(w, ", campaign span %.1fs", sp.Seconds)
+		}
+		if n, ok := st.Counters["campaign_batches_total"]; ok {
+			fmt.Fprintf(w, ", %d batches", n)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteJSON renders the report as one JSON document.
+func (d *Document) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteCSV renders the per-point classification (one row per classified
+// fault-list index, with its attribution when pruned) — the machine-readable
+// long form downstream tooling joins on.
+func WriteCSV(w io.Writer, c *Campaign) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"index", "ff", "cycle", "duration", "verdict", "pruned", "mate", "width"}); err != nil {
+		return err
+	}
+	for _, rec := range recordsInOrder(c.Rec) {
+		mate, width := "", ""
+		if rec.Pruned {
+			if hit, ok := c.Rec.HitByIndex[rec.Index]; ok {
+				mate = strconv.Itoa(int(hit.MATE))
+				width = strconv.Itoa(int(hit.Width))
+			}
+		}
+		err := cw.Write([]string{
+			strconv.FormatUint(rec.Index, 10),
+			strconv.Itoa(int(rec.FF)),
+			strconv.Itoa(int(rec.Cycle)),
+			strconv.Itoa(int(rec.Duration)),
+			Verdict(rec),
+			strconv.FormatBool(rec.Pruned),
+			mate, width,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDiffText renders a diff for humans.
+func (d *DiffResult) WriteDiffText(w io.Writer, pathA, pathB string) error {
+	fmt.Fprintf(w, "diff:       %s (baseline) vs %s\n", pathA, pathB)
+	fmt.Fprintf(w, "classified: %d vs %d, %d agree\n", d.ClassifiedA, d.ClassifiedB, d.Agree)
+	fmt.Fprintf(w, "info:       %d pruning flips (verdict unchanged), %d coverage gains\n",
+		d.PruningFlips, d.CoverageGains)
+	if n := len(d.CoverageRegressions); n > 0 {
+		fmt.Fprintf(w, "coverage regressions: %d points classified only in baseline\n", n)
+		for i, idx := range d.CoverageRegressions {
+			if i == 20 {
+				fmt.Fprintf(w, "  ... %d more\n", n-20)
+				break
+			}
+			fmt.Fprintf(w, "  point %d\n", idx)
+		}
+	}
+	if n := len(d.ClassificationRegressions); n > 0 {
+		fmt.Fprintf(w, "classification regressions: %d points changed verdict\n", n)
+		for i, ch := range d.ClassificationRegressions {
+			if i == 20 {
+				fmt.Fprintf(w, "  ... %d more\n", n-20)
+				break
+			}
+			fmt.Fprintf(w, "  point %d (ff=%d cycle=%d): %s -> %s\n", ch.Index, ch.FF, ch.Cycle, ch.From, ch.To)
+		}
+	}
+	if d.Regressions() == 0 {
+		fmt.Fprintln(w, "regressions: none")
+	} else {
+		fmt.Fprintf(w, "regressions: %d\n", d.Regressions())
+	}
+	return nil
+}
+
+// WriteDiffJSON renders a diff as one JSON document.
+func (d *DiffResult) WriteDiffJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteDiffCSV renders the regression lists as CSV (kind =
+// "coverage"|"classification").
+func (d *DiffResult) WriteDiffCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "index", "ff", "cycle", "from", "to"}); err != nil {
+		return err
+	}
+	for _, idx := range d.CoverageRegressions {
+		if err := cw.Write([]string{"coverage", strconv.FormatUint(idx, 10), "", "", "classified", "missing"}); err != nil {
+			return err
+		}
+	}
+	for _, ch := range d.ClassificationRegressions {
+		err := cw.Write([]string{"classification", strconv.FormatUint(ch.Index, 10),
+			strconv.Itoa(int(ch.FF)), strconv.Itoa(int(ch.Cycle)), ch.From, ch.To})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,207 @@
+// Package report analyzes recovered campaign journals: per-campaign outcome
+// summaries, per-MATE effectiveness tables (the paper's cost/benefit metric
+// recomputed from attribution records), FF × cycle-window outcome heatmaps,
+// and a point-for-point diff of two campaigns that flags coverage and
+// classification regressions. It powers cmd/campaignreport and works from
+// the journal alone — no netlist, trace or MATE-set file required — with an
+// optional -stats-json dump for runtime enrichment.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/journal"
+)
+
+// outcomeNames mirrors the hafi outcome codes journal records carry
+// (benign=0, sdc=1, hang=2, harness-error=3).
+var outcomeNames = [...]string{"benign", "sdc", "hang", "harness-error"}
+
+// OutcomeName returns the symbolic name of a journal outcome code.
+func OutcomeName(code uint8) string {
+	if int(code) < len(outcomeNames) {
+		return outcomeNames[code]
+	}
+	return fmt.Sprintf("outcome(%d)", code)
+}
+
+// Verdict classifies one journal record for comparison purposes: "benign"
+// for pruned or executed-benign points (so pruning a point a fresh run
+// executed is not a classification change), "skipped-wrong" for validated
+// pruned points that failed validation, and the outcome name otherwise.
+func Verdict(rec journal.Record) string {
+	if rec.Pruned {
+		if rec.SkippedWrong {
+			return "skipped-wrong"
+		}
+		return "benign"
+	}
+	return OutcomeName(rec.Outcome)
+}
+
+// Stats is the parsed shape of an obs -stats-json dump (see obs.WriteJSON).
+type Stats struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Counters      map[string]int64 `json:"counters"`
+	Gauges        map[string]int64 `json:"gauges"`
+	Spans         map[string]struct {
+		Runs    int64   `json:"runs"`
+		Seconds float64 `json:"seconds"`
+	} `json:"spans"`
+}
+
+// Campaign is one recovered campaign journal, optionally enriched with the
+// run's -stats-json dump.
+type Campaign struct {
+	Path  string
+	Rec   *journal.Recovered
+	Stats *Stats
+}
+
+// Load recovers the journal at journalPath; statsPath, when non-empty,
+// additionally loads the run's -stats-json dump.
+func Load(journalPath, statsPath string) (*Campaign, error) {
+	rec, err := journal.Recover(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	if !rec.HasHeader {
+		return nil, fmt.Errorf("report: %s has no intact campaign header", journalPath)
+	}
+	c := &Campaign{Path: journalPath, Rec: rec}
+	if statsPath != "" {
+		data, err := os.ReadFile(statsPath)
+		if err != nil {
+			return nil, fmt.Errorf("report: %w", err)
+		}
+		c.Stats = &Stats{}
+		if err := json.Unmarshal(data, c.Stats); err != nil {
+			return nil, fmt.Errorf("report: %s: %w", statsPath, err)
+		}
+	}
+	return c, nil
+}
+
+// Summary condenses one campaign journal.
+type Summary struct {
+	// Points is the fault-list length the campaign was launched over.
+	Points uint64 `json:"points"`
+	// Classified counts distinct points with an intact experiment record.
+	Classified int `json:"classified"`
+	Pruned     int `json:"pruned"`
+	Executed   int `json:"executed"`
+	// Outcomes indexes executed points by outcome code.
+	Outcomes [4]int `json:"outcomes"`
+	// SkippedWrong counts validated pruned points that were NOT benign.
+	SkippedWrong int `json:"skipped_wrong"`
+	// AttributedPruned counts pruned points carrying a MATE attribution hit
+	// (equals Pruned for v2 journals; lower for pre-attribution journals).
+	AttributedPruned int `json:"attributed_pruned"`
+	// Torn/Corrupt/DroppedBytes echo the journal tail diagnosis.
+	Torn         bool  `json:"torn"`
+	Corrupt      bool  `json:"corrupt"`
+	DroppedBytes int64 `json:"dropped_bytes"`
+}
+
+// Coverage returns the classified share of the fault list (0..1).
+func (s Summary) Coverage() float64 {
+	if s.Points == 0 {
+		return 0
+	}
+	return float64(s.Classified) / float64(s.Points)
+}
+
+// PrunedFraction returns the pruned share of the classified points.
+func (s Summary) PrunedFraction() float64 {
+	if s.Classified == 0 {
+		return 0
+	}
+	return float64(s.Pruned) / float64(s.Classified)
+}
+
+// Summary walks the per-index record map (so a point classified twice by a
+// resume counts once, with its final verdict).
+func (c *Campaign) Summary() Summary {
+	s := Summary{
+		Points:       c.Rec.Header.NumPoints,
+		Torn:         c.Rec.Torn,
+		Corrupt:      c.Rec.Corrupt,
+		DroppedBytes: c.Rec.DroppedBytes,
+	}
+	for idx, rec := range c.Rec.ByIndex {
+		s.Classified++
+		if rec.Pruned {
+			s.Pruned++
+			if rec.SkippedWrong {
+				s.SkippedWrong++
+			}
+			if _, ok := c.Rec.HitByIndex[idx]; ok {
+				s.AttributedPruned++
+			}
+			continue
+		}
+		s.Executed++
+		if int(rec.Outcome) < len(s.Outcomes) {
+			s.Outcomes[rec.Outcome]++
+		}
+	}
+	return s
+}
+
+// MATERow is one MATE's effectiveness: how many points its attribution
+// records credit it with, against its term width.
+type MATERow struct {
+	MATE   int   `json:"mate"`
+	Width  int   `json:"width"`
+	Points int64 `json:"points"`
+}
+
+// CostBenefit is the paper's selection metric: points pruned per term
+// literal. A width of zero (the always-true MATE of a dangling flip-flop)
+// counts as one literal so the ratio stays finite.
+func (r MATERow) CostBenefit() float64 {
+	w := r.Width
+	if w < 1 {
+		w = 1
+	}
+	return float64(r.Points) / float64(w)
+}
+
+// MATETable aggregates the attribution hits of pruned points into per-MATE
+// rows, ranked by cost/benefit (ties: more points, then lower index). Only
+// hits whose point's final record is pruned count — an orphan hit from a
+// crash, superseded by a re-executed record, is excluded — so the Points
+// column sums exactly to Summary().AttributedPruned.
+func (c *Campaign) MATETable() []MATERow {
+	agg := map[int]*MATERow{}
+	for idx, hit := range c.Rec.HitByIndex {
+		rec, ok := c.Rec.ByIndex[idx]
+		if !ok || !rec.Pruned {
+			continue
+		}
+		row, ok := agg[int(hit.MATE)]
+		if !ok {
+			row = &MATERow{MATE: int(hit.MATE), Width: int(hit.Width)}
+			agg[int(hit.MATE)] = row
+		}
+		row.Points++
+	}
+	out := make([]MATERow, 0, len(agg))
+	for _, row := range agg {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := out[i].CostBenefit(), out[j].CostBenefit()
+		if ci != cj {
+			return ci > cj
+		}
+		if out[i].Points != out[j].Points {
+			return out[i].Points > out[j].Points
+		}
+		return out[i].MATE < out[j].MATE
+	})
+	return out
+}

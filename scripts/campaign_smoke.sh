@@ -8,9 +8,15 @@
 # signal path as well, tolerating the race between signal delivery and
 # campaign completion.
 #
-# A final section starts a campaign with -metrics-addr and scrapes the live
-# /metrics endpoint mid-flight: the injection and journal counters must be
-# non-zero while the campaign is still running.
+# A further section starts a campaign with -metrics-addr and scrapes the
+# live /metrics endpoint mid-flight: the injection and journal counters must
+# be non-zero while the campaign is still running.
+#
+# The final section exercises cmd/campaignreport: a pruned campaign pair
+# (clean, and crash+resume) is analyzed and diffed — the resumed journal must
+# show zero regressions against the clean baseline, and a journal diffed
+# against itself must always be clean. A -trace run checks the Chrome
+# trace-event output is well-formed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -136,6 +142,62 @@ fi
 grep -q '"campaign_points_done_total"' "$tmp/stats.json" || {
     echo "FAIL: -stats-json dump is missing campaign counters" >&2
     cat "$tmp/stats.json" >&2
+    exit 1
+}
+
+echo "== campaignreport analysis"
+go build -o "$tmp/campaignreport" ./cmd/campaignreport
+pargs=(-cpu avr -prog fib -stride 300)   # pruning on: journals carry attribution
+
+"$tmp/campaign" "${pargs[@]}" -journal "$tmp/pruned-clean.journal" \
+    -trace "$tmp/clean.trace" > "$tmp/pruned-clean.out"
+rc=0
+"$tmp/campaign" "${pargs[@]}" -journal "$tmp/pruned-crash.journal" -interruptafter 3 \
+    > /dev/null || rc=$?
+if [ "$rc" -ne 130 ]; then
+    echo "FAIL: pruned interrupted run exited $rc, want 130" >&2
+    exit 1
+fi
+"$tmp/campaign" "${pargs[@]}" -journal "$tmp/pruned-crash.journal" -resume > /dev/null
+
+"$tmp/campaignreport" "$tmp/pruned-clean.journal" > "$tmp/report.out"
+grep -Eq '^attribution: [1-9]' "$tmp/report.out" || {
+    echo "FAIL: campaignreport credited no pruned points to any MATE" >&2
+    cat "$tmp/report.out" >&2
+    exit 1
+}
+grep -q 'classified' "$tmp/report.out" || {
+    echo "FAIL: campaignreport output is missing the coverage summary" >&2
+    cat "$tmp/report.out" >&2
+    exit 1
+}
+"$tmp/campaignreport" -format json "$tmp/pruned-clean.journal" > /dev/null
+"$tmp/campaignreport" -format csv "$tmp/pruned-clean.journal" > /dev/null
+
+# Crash+resume must be point-for-point no worse than the clean run.
+"$tmp/campaignreport" -diff "$tmp/pruned-clean.journal" "$tmp/pruned-crash.journal" \
+    > "$tmp/diff.out" || {
+    echo "FAIL: clean-vs-resumed diff reported regressions" >&2
+    cat "$tmp/diff.out" >&2
+    exit 1
+}
+grep -q '^regressions: none' "$tmp/diff.out" || {
+    echo "FAIL: clean-vs-resumed diff did not end clean" >&2
+    cat "$tmp/diff.out" >&2
+    exit 1
+}
+
+# A journal diffed against itself is clean by definition.
+"$tmp/campaignreport" -diff "$tmp/pruned-clean.journal" "$tmp/pruned-clean.journal" \
+    > /dev/null || {
+    echo "FAIL: self-diff reported regressions" >&2
+    exit 1
+}
+
+# The -trace file must be a well-formed Chrome trace-event document.
+grep -q '"traceEvents"' "$tmp/clean.trace" || {
+    echo "FAIL: -trace output is missing the traceEvents array" >&2
+    head -c 500 "$tmp/clean.trace" >&2
     exit 1
 }
 
