@@ -12,6 +12,8 @@ package repro
 //	BenchmarkTable3_MSP430   — MSP430 fault-space reduction + top-N selection
 //	BenchmarkLUTCost         — Section 6.1 FPGA cost model
 //	BenchmarkCampaign        — HAFI campaign with online pruning
+//	BenchmarkCampaignBatched — batched engine, early-exit on vs off
+//	BenchmarkCampaignPool    — parallel pool engine (GOMAXPROCS workers)
 //	BenchmarkAblation*       — search-depth / term-count ablations
 //
 // Run everything with:  go test -bench=. -benchmem
@@ -20,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -145,6 +148,77 @@ func BenchmarkCampaign(b *testing.B) {
 			b.Fatal(err)
 		}
 		if row.Result.Total == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
+// BenchmarkCampaignBatched isolates the 64-lane batched execution engine:
+// golden run, MATE search and fault list are prepared once outside the
+// loop, so the measured cost is experiment execution alone. The sub-bench
+// pair toggles the golden-state convergence early-exit; the delta between
+// them is the early-exit payoff on this workload.
+func BenchmarkCampaignBatched(b *testing.B) {
+	c := experiments.PrepareAVR()
+	run := c.NewRun(c.FibProg)
+	golden, err := hafi.RecordGolden(run, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := core.Search(c.NL, c.FaultAll, core.DefaultSearchParams()).Set
+	ctl := hafi.NewController(run, golden)
+	points := hafi.SampledFaultList(c.NL, golden.HaltCycle, 500)
+	for _, bc := range []struct {
+		name    string
+		disable bool
+	}{{"early-exit", false}, {"full-run", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			run64, err := c.NewRun64(c.FibProg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := ctl.RunCampaignBatched(hafi.CampaignConfig{
+					Points:           points,
+					MATESet:          set,
+					DisableEarlyExit: bc.disable,
+				}, run64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Total == 0 {
+					b.Fatal("empty campaign")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignPool measures the parallel batched scheduler with one
+// 64-lane device instance per logical CPU (same prepared inputs as
+// BenchmarkCampaignBatched; the delta is the multi-core scaling).
+func BenchmarkCampaignPool(b *testing.B) {
+	c := experiments.PrepareAVR()
+	run := c.NewRun(c.FibProg)
+	golden, err := hafi.RecordGolden(run, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := core.Search(c.NL, c.FaultAll, core.DefaultSearchParams()).Set
+	ctl := hafi.NewController(run, golden)
+	points := hafi.SampledFaultList(c.NL, golden.HaltCycle, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ctl.RunCampaignBatchedPool(hafi.CampaignConfig{
+			Points:  points,
+			MATESet: set,
+			Workers: runtime.GOMAXPROCS(0),
+		}, func() (hafi.Run64, error) { return c.NewRun64(c.FibProg) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Total == 0 {
 			b.Fatal("empty campaign")
 		}
 	}

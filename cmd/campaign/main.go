@@ -52,6 +52,8 @@ func main() {
 	validate := flag.Bool("validate", false, "re-execute pruned points and verify benignity")
 	noRF := flag.Bool("norf", false, "exclude the register file from the fault list")
 	sequential := flag.Bool("sequential", false, "use the sequential controller instead of the 64-lane batched engine")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "shard the campaign over this many device instances (>= 1)")
+	noEarlyExit := flag.Bool("no-early-exit", false, "disable the golden-state convergence early-exit (every experiment runs to halt or timeout)")
 	strict := flag.Bool("strict", false, "preflight lint: treat warnings as failures")
 	journalPath := flag.String("journal", "", "durably log every classified point to this file")
 	resume := flag.Bool("resume", false, "resume from the -journal file: replay classified points, run only the rest")
@@ -83,6 +85,9 @@ func main() {
 	}
 	if *resume && *journalPath == "" {
 		usage("-resume requires -journal")
+	}
+	if *workers < 1 {
+		usage("-workers %d out of range (want >= 1)", *workers)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -177,19 +182,22 @@ func main() {
 	}
 
 	cfg := hafi.CampaignConfig{
-		Points:          points,
-		MATESet:         set,
-		ValidateSkipped: *validate,
-		Context:         ctx,
-		Journal:         jw,
-		Resume:          recovered,
-		Obs:             reg,
+		Points:           points,
+		MATESet:          set,
+		ValidateSkipped:  *validate,
+		DisableEarlyExit: *noEarlyExit,
+		Context:          ctx,
+		Journal:          jw,
+		Resume:           recovered,
+		Obs:              reg,
+		Workers:          *workers,
 	}
 	defer obsOpts.StartProgress(reg, obs.ProgressConfig{
 		Label: "campaign", Unit: "points",
 		Done:        reg.Counter("campaign_points_done_total"),
 		Total:       reg.Gauge("campaign_points"),
 		Masked:      reg.Counter("campaign_pruned_total"),
+		Converged:   reg.Counter("campaign_converged_total"),
 		Workers:     reg.Gauge("campaign_workers"),
 		WorkersBusy: reg.Gauge("campaign_workers_busy"),
 	})()
@@ -208,15 +216,9 @@ func main() {
 	start = time.Now()
 	var res *hafi.CampaignResult
 	if *sequential {
-		cfg.Workers = runtime.NumCPU()
 		res, err = ctl.RunCampaign(cfg)
 	} else {
-		var run64 hafi.Run64
-		run64, err = factory64()
-		if err != nil {
-			fail(err)
-		}
-		res, err = ctl.RunCampaignBatched(cfg, run64)
+		res, err = ctl.RunCampaignBatchedPool(cfg, factory64)
 	}
 	if err != nil {
 		fail(err)
@@ -228,6 +230,10 @@ func main() {
 	fmt.Printf("pruned:     %d (%.2f%%) proven benign online by MATEs\n",
 		res.Skipped, 100*res.PrunedFraction())
 	fmt.Printf("executed:   %d experiments in %v\n", res.Executed, time.Since(start).Round(time.Millisecond))
+	if res.Converged > 0 {
+		fmt.Printf("converged:  %d experiments retired early by golden-state convergence (%d cycles saved)\n",
+			res.Converged, res.CyclesSaved)
+	}
 	fmt.Printf("outcomes:   benign=%d sdc=%d hang=%d\n",
 		res.ByOutcome[hafi.OutcomeBenign], res.ByOutcome[hafi.OutcomeSDC], res.ByOutcome[hafi.OutcomeHang])
 	if set != nil && len(res.PrunedByMATE) > 0 {

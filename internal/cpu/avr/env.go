@@ -13,37 +13,48 @@ type System struct {
 	M    *sim.Machine
 	IMem []uint16
 	DMem [1 << DMemBits]uint8
+	// WriteDigest chains every data-memory write event (see sim.
+	// UpdateWriteDigest); the HAFI campaign uses it to decide memory
+	// equivalence against the golden run without comparing DMem byte by
+	// byte. Checkpoint restore must rewind it together with DMem.
+	WriteDigest uint64
+
+	envFn sim.Env // cached: Step runs every cycle, a per-call closure is pure garbage
 }
 
 // NewSystem builds a machine around the core with the program loaded at
 // instruction address 0.
 func NewSystem(core *Core, prog []uint16) *System {
-	return &System{Core: core, M: sim.New(core.NL), IMem: prog}
+	s := &System{Core: core, M: sim.New(core.NL), IMem: prog, WriteDigest: sim.WriteDigestSeed}
+	s.envFn = sim.EnvFunc(s.env)
+	return s
 }
 
 // Env returns the memory environment: it feeds instruction fetch data and
 // data-memory reads, and commits data-memory writes. All address/control
 // outputs of the core are functions of flip-flops only, so they are valid
 // after the first combinational pass.
-func (s *System) Env() sim.Env {
-	return sim.EnvFunc(func(m *sim.Machine) {
-		pc := m.ReadBus(s.Core.IMemAddr)
-		var instr uint16
-		if int(pc) < len(s.IMem) {
-			instr = s.IMem[pc]
-		}
-		m.WriteBus(s.Core.IMemData, uint64(instr))
+func (s *System) Env() sim.Env { return s.envFn }
 
-		addr := m.ReadBus(s.Core.DMemAddr)
-		m.WriteBus(s.Core.DMemRData, uint64(s.DMem[addr]))
-		if m.Value(s.Core.DMemWE) {
-			s.DMem[addr] = uint8(m.ReadBus(s.Core.DMemWData))
-		}
-	})
+func (s *System) env(m *sim.Machine) {
+	pc := m.ReadBus(s.Core.IMemAddr)
+	var instr uint16
+	if int(pc) < len(s.IMem) {
+		instr = s.IMem[pc]
+	}
+	m.WriteBus(s.Core.IMemData, uint64(instr))
+
+	addr := m.ReadBus(s.Core.DMemAddr)
+	m.WriteBus(s.Core.DMemRData, uint64(s.DMem[addr]))
+	if m.Value(s.Core.DMemWE) {
+		data := m.ReadBus(s.Core.DMemWData)
+		s.DMem[addr] = uint8(data)
+		s.WriteDigest = sim.UpdateWriteDigest(s.WriteDigest, addr, data)
+	}
 }
 
 // Step advances one clock cycle.
-func (s *System) Step() { s.M.Step(s.Env()) }
+func (s *System) Step() { s.M.Step(s.envFn) }
 
 // Run advances up to maxCycles cycles, stopping early when the core halts;
 // it returns the number of cycles executed.

@@ -14,6 +14,11 @@ type System64 struct {
 	IMem []uint16
 	// DMem is lane-major: DMem[lane][address].
 	DMem [64][1 << DMemBits]uint8
+	// WriteDigest chains each lane's data-memory write events, mirroring
+	// the scalar System.WriteDigest lane for lane.
+	WriteDigest [64]uint64
+
+	envFn sim.Env64 // cached: Step runs every cycle, a per-call closure is pure garbage
 }
 
 // NewSystem64 builds the lane-parallel machine with the program loaded.
@@ -22,59 +27,95 @@ func NewSystem64(core *Core, prog []uint16) (*System64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System64{Core: core, M: m, IMem: prog}, nil
+	s := &System64{Core: core, M: m, IMem: prog}
+	for l := range s.WriteDigest {
+		s.WriteDigest[l] = sim.WriteDigestSeed
+	}
+	// The environment only ever drives the instruction and read-data buses,
+	// so Settle's second pass can be restricted to their downstream cone.
+	m.SetEnvWrites(core.IMemData, core.DMemRData)
+	s.envFn = sim.Env64Func(s.env)
+	return s, nil
 }
 
 // Env returns the lane-parallel memory environment.
-func (s *System64) Env() sim.Env64 {
-	return sim.Env64Func(func(m *sim.Machine64) {
-		var instrPlane [16]uint64
-		var rdataPlane [8]uint64
-		weMask := m.Lanes(s.Core.DMemWE)
+func (s *System64) Env() sim.Env64 { return s.envFn }
+
+func (s *System64) env(m *sim.Machine64) {
+	core := s.Core
+
+	// Instruction fetch. When every lane agrees on the PC (benign lanes
+	// track the golden control flow, so this is the common case before the
+	// batch diverges) a single fetch is broadcast to all lanes; otherwise
+	// the address bus is transposed to lane-major and fetched per lane.
+	uniform := true
+	for _, w := range core.IMemAddr {
+		if p := m.Lanes(w); p != 0 && p != ^uint64(0) {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		var pc uint64
+		for i, w := range core.IMemAddr {
+			pc |= (m.Lanes(w) & 1) << uint(i)
+		}
+		var instr uint16
+		if int(pc) < len(s.IMem) {
+			instr = s.IMem[pc]
+		}
+		for i, w := range core.IMemData {
+			m.Broadcast(w, instr>>uint(i)&1 == 1)
+		}
+	} else {
+		var pc, instr [64]uint16
+		m.GatherBus(core.IMemAddr, &pc)
 		for l := 0; l < 64; l++ {
-			pc := m.ReadBusLane(s.Core.IMemAddr, l)
-			var instr uint16
-			if int(pc) < len(s.IMem) {
-				instr = s.IMem[pc]
+			if int(pc[l]) < len(s.IMem) {
+				instr[l] = s.IMem[pc[l]]
 			}
-			for i := 0; i < 16; i++ {
-				if instr>>uint(i)&1 == 1 {
-					instrPlane[i] |= 1 << uint(l)
-				}
-			}
-			addr := m.ReadBusLane(s.Core.DMemAddr, l)
-			rdata := s.DMem[l][addr]
-			for i := 0; i < 8; i++ {
-				if rdata>>uint(i)&1 == 1 {
-					rdataPlane[i] |= 1 << uint(l)
-				}
-			}
+		}
+		m.ScatterBus(core.IMemData, &instr)
+	}
+
+	// Data memory: the contents are lane-private, so the access itself is
+	// always per lane, but the bus crossings are bit-matrix transposes.
+	var addr, rdata [64]uint16
+	m.GatherBus(core.DMemAddr, &addr)
+	weMask := m.Lanes(core.DMemWE)
+	if weMask == 0 {
+		for l := 0; l < 64; l++ {
+			rdata[l] = uint16(s.DMem[l][addr[l]])
+		}
+	} else {
+		var wdata [64]uint16
+		m.GatherBus(core.DMemWData, &wdata)
+		for l := 0; l < 64; l++ {
+			a := addr[l]
+			rdata[l] = uint16(s.DMem[l][a])
 			if weMask>>uint(l)&1 == 1 {
-				s.DMem[l][addr] = uint8(m.ReadBusLane(s.Core.DMemWData, l))
+				s.DMem[l][a] = uint8(wdata[l])
+				s.WriteDigest[l] = sim.UpdateWriteDigest(s.WriteDigest[l], uint64(a), uint64(wdata[l]))
 			}
 		}
-		for i, w := range s.Core.IMemData {
-			m.SetLanes(w, instrPlane[i])
-		}
-		for i, w := range s.Core.DMemRData {
-			m.SetLanes(w, rdataPlane[i])
-		}
-	})
+	}
+	m.ScatterBus(core.DMemRData, &rdata)
 }
 
 // Step advances all 64 lanes one clock cycle.
-func (s *System64) Step() { s.M.Step(s.Env()) }
+func (s *System64) Step() { s.M.Step(s.envFn) }
 
 // HaltedMask returns the lanes whose core has halted.
 func (s *System64) HaltedMask() uint64 { return s.M.Lanes(s.Core.Halted) }
 
 // LoadScalarState broadcasts a scalar checkpoint (flip-flop state, primary
-// inputs, data memory) into every lane.
-func (s *System64) LoadScalarState(ffs, inputs []bool, dmem [1 << DMemBits]uint8) {
+// inputs, data memory, write digest) into every lane.
+func (s *System64) LoadScalarState(ffs, inputs []bool, dmem [1 << DMemBits]uint8, digest uint64) {
 	s.M.LoadState(ffs)
 	s.M.LoadInputs(inputs)
 	for l := 0; l < 64; l++ {
 		s.DMem[l] = dmem
+		s.WriteDigest[l] = digest
 	}
 }
 

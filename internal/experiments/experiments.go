@@ -11,6 +11,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -428,7 +429,9 @@ type CampaignRow struct {
 // workload, with MATE-based online pruning, and (optionally) validates
 // every skipped point. The context cancels both the MATE search and the
 // campaign gracefully (the row then carries a partial, Interrupted
-// result).
+// result). The campaign runs on the pooled 64-lane engine with one worker
+// per available CPU; the result is identical to the single-instance
+// engine's.
 func Campaign(ctx context.Context, c *CPUCase, workload string, stride int, params core.SearchParams, validate bool) (*CampaignRow, error) {
 	prog := c.FibProg
 	if workload == "conv" {
@@ -444,17 +447,14 @@ func Campaign(ctx context.Context, c *CPUCase, workload string, stride int, para
 	params.Context = ctx
 	set := core.Search(c.NL, c.FaultAll, params).Set
 	ctl := hafi.NewController(run, golden)
-	run64, err := c.NewRun64(prog)
-	if err != nil {
-		return nil, err
-	}
-	res, err := ctl.RunCampaignBatched(hafi.CampaignConfig{
+	res, err := ctl.RunCampaignBatchedPool(hafi.CampaignConfig{
 		Points:          hafi.SampledFaultList(c.NL, golden.HaltCycle, stride),
 		MATESet:         set,
 		ValidateSkipped: validate,
 		Context:         ctx,
 		Obs:             params.Obs,
-	}, run64)
+		Workers:         runtime.GOMAXPROCS(0),
+	}, func() (hafi.Run64, error) { return c.NewRun64(prog) })
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,10 @@
 package hafi
 
 import (
+	"fmt"
+	"math/bits"
 	"sort"
+	"sync"
 
 	"repro/internal/journal"
 )
@@ -14,6 +17,13 @@ import (
 // the sequential controller. ValidateSkipped re-executes pruned points
 // batched as well.
 //
+// Lanes retire individually through the convergence early-exit (see
+// Controller.execute): a lane whose flip-flop state and memory write
+// digest re-converge with the golden reference after its hold window is
+// classified benign immediately, and the batch ends as soon as every lane
+// has halted or retired — long-tail batches no longer run to the slowest
+// lane's halt. CampaignConfig.DisableEarlyExit restores full runs.
+//
 // Resilience matches the sequential engine: recovered journal records are
 // replayed instead of re-executed, every newly classified point is
 // journaled as its batch completes, cancellation drains at batch
@@ -25,53 +35,262 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 		return nil, err
 	}
 	ctx := cfg.context()
-	res := newCampaignResult()
-	prog := newProgress(cfg.Progress)
 	sp := cfg.Obs.StartSpan("campaign")
 	defer sp.End()
 	met := newCampaignMetrics(cfg.Obs, len(cfg.Points))
+	st := newBatchState(&cfg, met)
 
-	// journalPoint logs one classified point; a non-nil hit (attribution of
-	// a pruned point) lands immediately before the experiment record so a
-	// crash between the two leaves an orphan hit, never an unattributed
-	// pruned point.
-	journalPoint := func(rec journal.Record, hit *journal.MATEHit) error {
-		if cfg.Journal != nil {
-			if hit != nil {
-				if err := cfg.Journal.AppendMATEHit(*hit); err != nil {
-					return err
-				}
+	specs, err := c.classifyPoints(&cfg, st)
+	if err != nil {
+		return nil, err
+	}
+
+	var scratch batchScratch
+	for _, spec := range specs {
+		if ctx.Err() != nil {
+			break
+		}
+		conv, saved, outcomes := c.runSpec(&cfg, run64, spec, timeout, met, &scratch)
+		st.res.Converged += conv
+		st.res.CyclesSaved += saved
+		if err := st.emitSpec(spec, outcomes); err != nil {
+			return nil, err
+		}
+	}
+	st.res.Interrupted = ctx.Err() != nil
+	return st.res, nil
+}
+
+// RunCampaignBatchedPool is RunCampaignBatched sharded over a pool of
+// cfg.Workers 64-lane device instances — the paper's "one FI controller
+// distributes the FI campaign over several FPGAs", with each worker
+// playing one FPGA. The factory must produce Run64 instances of the same
+// netlist and workload the golden reference was recorded from.
+//
+// The batch plan is the exact plan of the single-instance engine, batches
+// are dispatched to workers in plan order, and results are emitted through
+// a reorder buffer in plan order from a single goroutine — so the journal
+// an uninterrupted pool campaign writes is byte-identical to the
+// single-instance engine's, and crash-resume/journal-diff behavior is
+// unchanged. On cancellation, dispatch stops; in-flight batches finish and
+// are emitted, so the journal still covers a contiguous plan prefix.
+func (c *Controller) RunCampaignBatchedPool(cfg CampaignConfig, factory func() (Run64, error)) (*CampaignResult, error) {
+	timeout, err := c.prepareCampaign(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctx := cfg.context()
+	sp := cfg.Obs.StartSpan("campaign")
+	defer sp.End()
+	met := newCampaignMetrics(cfg.Obs, len(cfg.Points))
+	st := newBatchState(&cfg, met)
+
+	specs, err := c.classifyPoints(&cfg, st)
+	if err != nil {
+		return nil, err
+	}
+
+	nw := cfg.Workers
+	if nw < 1 {
+		nw = 1
+	}
+	if nw > len(specs) && len(specs) > 0 {
+		nw = len(specs)
+	}
+	runs := make([]Run64, nw)
+	for i := range runs {
+		if runs[i], err = factory(); err != nil {
+			return nil, fmt.Errorf("hafi: pool worker %d: %w", i, err)
+		}
+	}
+	met.setWorkers(nw)
+
+	// batchDone carries one completed batch back to the emitter.
+	type batchDone struct {
+		spec     int
+		conv     int
+		saved    int64
+		outcomes []Outcome
+		err      error
+	}
+	work := make(chan int)
+	results := make(chan batchDone, nw)
+
+	// Dispatcher: batch indices strictly in plan order, stopping (never
+	// mid-batch) once the campaign context is cancelled.
+	go func() {
+		defer close(work)
+		for si := range specs {
+			select {
+			case work <- si:
+			case <-ctx.Done():
+				return
 			}
-			if err := cfg.Journal.Append(rec); err != nil {
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(run64 Run64) {
+			defer wg.Done()
+			var scratch batchScratch
+			for si := range work {
+				d := batchDone{spec: si}
+				// Worker-level backstop, mirroring runParallel: panics are
+				// already isolated per batch and per lane inside runSpec, so
+				// anything reaching here is a harness bug — surface it as an
+				// error instead of crashing the campaign.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							d.err = fmt.Errorf("hafi: pool worker panicked: %v", r)
+						}
+					}()
+					met.workerBusy(1)
+					defer met.workerBusy(-1)
+					var out []Outcome
+					d.conv, d.saved, out = c.runSpec(&cfg, run64, specs[si], timeout, met, &scratch)
+					// The scratch is reused for the next batch; the emitter
+					// needs a stable copy.
+					d.outcomes = append([]Outcome(nil), out...)
+				}()
+				results <- d
+			}
+		}(runs[w])
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Emitter: reorder buffer releasing the contiguous prefix in plan
+	// order. After an emission error the drain continues (workers must not
+	// block) but nothing further is journaled.
+	pending := make(map[int]batchDone)
+	next := 0
+	var firstErr error
+	for d := range results {
+		pending[d.spec] = d
+		for {
+			dd, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if firstErr != nil {
+				continue
+			}
+			if dd.err != nil {
+				firstErr = dd.err
+				continue
+			}
+			st.res.Converged += dd.conv
+			st.res.CyclesSaved += dd.saved
+			if err := st.emitSpec(specs[dd.spec], dd.outcomes); err != nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	st.res.Interrupted = ctx.Err() != nil
+	return st.res, nil
+}
+
+// batchState bundles the result accumulation and journal emission shared
+// by the single-instance and pool engines. All methods must be called from
+// a single goroutine (the pool engine funnels completed batches through
+// its reorder buffer for exactly this reason).
+type batchState struct {
+	cfg  *CampaignConfig
+	met  *campaignMetrics
+	res  *CampaignResult
+	prog *progressCounter
+}
+
+func newBatchState(cfg *CampaignConfig, met *campaignMetrics) *batchState {
+	return &batchState{cfg: cfg, met: met, res: newCampaignResult(), prog: newProgress(cfg.Progress)}
+}
+
+// journalPoint logs one classified point; a non-nil hit (attribution of a
+// pruned point) lands immediately before the experiment record so a crash
+// between the two leaves an orphan hit, never an unattributed pruned
+// point.
+func (st *batchState) journalPoint(rec journal.Record, hit *journal.MATEHit) error {
+	if st.cfg.Journal != nil {
+		if hit != nil {
+			if err := st.cfg.Journal.AppendMATEHit(*hit); err != nil {
 				return err
 			}
 		}
-		met.point(rec)
-		prog.bump()
-		return nil
+		if err := st.cfg.Journal.Append(rec); err != nil {
+			return err
+		}
 	}
-	record := func(idx uint64, p FaultPoint) journal.Record {
-		return journal.Record{Index: idx, FF: uint32(p.FF), Cycle: uint32(p.Cycle), Duration: uint32(p.duration())}
-	}
-	// credit accounts one pruned point to its MATE and builds the journal
-	// attribution record.
-	credit := func(idx uint64, p FaultPoint, mate int) *journal.MATEHit {
-		res.Skipped++
-		res.PrunedByMATE[mate]++
-		width := len(cfg.MATESet.MATEs[mate].Literals)
-		met.matePruned(mate, width)
-		return &journal.MATEHit{Index: idx, FF: uint32(p.FF), MATE: uint32(mate), Width: uint16(width)}
-	}
+	st.met.point(rec)
+	st.prog.bump()
+	return nil
+}
 
-	// Classify: replay resumed points, settle pruned points (final unless
-	// they still need validation), collect the rest for batched execution.
+func record(idx uint64, p FaultPoint) journal.Record {
+	return journal.Record{Index: idx, FF: uint32(p.FF), Cycle: uint32(p.Cycle), Duration: uint32(p.duration())}
+}
+
+// credit accounts one pruned point to its MATE and builds the journal
+// attribution record.
+func (st *batchState) credit(idx uint64, p FaultPoint, mate int) *journal.MATEHit {
+	st.res.Skipped++
+	st.res.PrunedByMATE[mate]++
+	width := len(st.cfg.MATESet.MATEs[mate].Literals)
+	st.met.matePruned(mate, width)
+	return &journal.MATEHit{Index: idx, FF: uint32(p.FF), MATE: uint32(mate), Width: uint16(width)}
+}
+
+// emitSpec folds one completed batch into the result and journal, lane by
+// lane in batch order.
+func (st *batchState) emitSpec(spec batchSpec, outcomes []Outcome) error {
+	for j, it := range spec.items {
+		o := outcomes[j]
+		st.res.Total++
+		rec := record(it.idx, it.p)
+		var hit *journal.MATEHit
+		if spec.validate {
+			hit = st.credit(it.idx, it.p, it.mate)
+			rec.Pruned = true
+			if o != OutcomeBenign {
+				st.res.SkippedWrong++
+				rec.SkippedWrong = true
+			}
+		} else {
+			st.res.Executed++
+			st.res.ByOutcome[o]++
+			rec.Outcome = uint8(o)
+		}
+		if err := st.journalPoint(rec, hit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// classifyPoints performs the pre-batch classification pass in fault-list
+// order: resumed points replay, pruned points settle immediately (final
+// unless they still need validation), and everything else lands in the
+// deterministic batch plan. The returned specs are the to-run batches
+// followed by the to-validate batches, each grouped by injection cycle
+// into ≤64-lane batches — identical for the single-instance and pool
+// engines.
+func (c *Controller) classifyPoints(cfg *CampaignConfig, st *batchState) ([]batchSpec, error) {
 	var toRun, toValidate []batchItem
 	for i, p := range cfg.Points {
 		idx := uint64(i)
 		if cfg.Resume != nil {
 			if rec, ok := cfg.Resume.ByIndex[idx]; ok {
-				res.replay(rec, replayHit(cfg.Resume, idx))
-				met.replay()
+				st.res.replay(rec, replayHit(cfg.Resume, idx))
+				st.met.replay()
 				continue
 			}
 		}
@@ -81,11 +300,11 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 					toValidate = append(toValidate, batchItem{idx, p, mate})
 					continue
 				}
-				res.Total++
-				hit := credit(idx, p, mate)
+				st.res.Total++
+				hit := st.credit(idx, p, mate)
 				rec := record(idx, p)
 				rec.Pruned = true
-				if err := journalPoint(rec, hit); err != nil {
+				if err := st.journalPoint(rec, hit); err != nil {
 					return nil, err
 				}
 				continue
@@ -93,34 +312,7 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 		}
 		toRun = append(toRun, batchItem{idx, p, -1})
 	}
-
-	err = c.executeBatched(cfg, run64, toRun, timeout, met, func(it batchItem, o Outcome) error {
-		res.Total++
-		res.Executed++
-		res.ByOutcome[o]++
-		rec := record(it.idx, it.p)
-		rec.Outcome = uint8(o)
-		return journalPoint(rec, nil)
-	})
-	if err != nil {
-		return nil, err
-	}
-	err = c.executeBatched(cfg, run64, toValidate, timeout, met, func(it batchItem, o Outcome) error {
-		res.Total++
-		hit := credit(it.idx, it.p, it.mate)
-		rec := record(it.idx, it.p)
-		rec.Pruned = true
-		if o != OutcomeBenign {
-			res.SkippedWrong++
-			rec.SkippedWrong = true
-		}
-		return journalPoint(rec, hit)
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Interrupted = ctx.Err() != nil
-	return res, nil
+	return append(planBatches(toRun, false), planBatches(toValidate, true)...), nil
 }
 
 // batchItem carries a fault point together with its global fault-list
@@ -132,73 +324,111 @@ type batchItem struct {
 	mate int
 }
 
-// executeBatched groups items by injection cycle into ≤64-lane batches,
-// classifies every lane and hands each finished point to emit. The
-// campaign context is checked between batches; a cancelled context stops
-// scheduling further batches (the current one finishes and is emitted).
-func (c *Controller) executeBatched(cfg CampaignConfig, run64 Run64, items []batchItem, timeout int, met *campaignMetrics, emit func(batchItem, Outcome) error) error {
-	ctx := cfg.context()
+// batchSpec is one planned ≤64-lane batch: same-cycle items in the
+// deterministic plan order shared by every batched engine.
+type batchSpec struct {
+	items    []batchItem
+	cycle    int
+	validate bool
+}
+
+// planBatches groups items by injection cycle into ≤64-lane batches. The
+// grouping (stable sort by cycle, greedy fill) is deterministic, so the
+// single-instance and pool engines produce the same plan — the basis of
+// their byte-identical journals.
+func planBatches(items []batchItem, validate bool) []batchSpec {
 	idx := make([]int, len(items))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return items[idx[a]].p.Cycle < items[idx[b]].p.Cycle })
-
+	var specs []batchSpec
 	for lo := 0; lo < len(idx); {
-		if ctx.Err() != nil {
-			return nil
-		}
 		cycle := items[idx[lo]].p.Cycle
 		hi := lo
 		for hi < len(idx) && hi-lo < 64 && items[idx[hi]].p.Cycle == cycle {
 			hi++
 		}
-		batch := make([]FaultPoint, 0, hi-lo)
+		spec := batchSpec{cycle: cycle, validate: validate, items: make([]batchItem, 0, hi-lo)}
 		for _, ii := range idx[lo:hi] {
-			batch = append(batch, items[ii].p)
+			spec.items = append(spec.items, items[ii])
 		}
-
-		met.batch(len(batch))
-		bsp := cfg.Obs.StartSpan("campaign/batch").Detail("cycle %d, %d lanes", cycle, len(batch))
-		outcomes, panicked := c.runBatchSafe(run64, batch, cycle, timeout)
-		if panicked {
-			// Isolate the faulty lane: retry each point as its own 1-lane
-			// batch. Only the point(s) that still panic solo are charged
-			// with the harness error; healthy lanes get their verdict.
-			outcomes = make([]Outcome, len(batch))
-			for j, p := range batch {
-				solo, soloPanic := c.runBatchSafe(run64, batch[j:j+1], p.Cycle, timeout)
-				if soloPanic {
-					outcomes[j] = OutcomeHarnessError
-				} else {
-					outcomes[j] = solo[0]
-				}
-			}
-		}
-		bsp.End()
-		for j, ii := range idx[lo:hi] {
-			if err := emit(items[ii], outcomes[j]); err != nil {
-				return err
-			}
-		}
+		specs = append(specs, spec)
 		lo = hi
 	}
-	return nil
+	return specs
+}
+
+// batchScratch is the per-engine-instance reusable working set of the
+// batch loop: one campaign runs thousands of batches, and per-batch slice
+// allocations were a measurable share of the campaign's allocation count.
+type batchScratch struct {
+	batch    [64]FaultPoint
+	outcomes [64]Outcome
+	solo     [64]Outcome
+}
+
+// runSpec executes one planned batch (with panic isolation and lane-by-lane
+// retry) and returns the convergence statistics plus the per-lane outcomes,
+// which alias the scratch and are only valid until the next runSpec call on
+// the same scratch.
+func (c *Controller) runSpec(cfg *CampaignConfig, run64 Run64, spec batchSpec, timeout int, met *campaignMetrics, scratch *batchScratch) (converged int, saved int64, outcomes []Outcome) {
+	n := len(spec.items)
+	batch := scratch.batch[:n]
+	for j, it := range spec.items {
+		batch[j] = it.p
+	}
+	outcomes = scratch.outcomes[:n]
+
+	met.batch(n)
+	bsp := cfg.Obs.StartSpan("campaign/batch")
+	early := !cfg.DisableEarlyExit
+	conv, sv, panicked := c.runBatchSafe(run64, batch, spec.cycle, timeout, early, outcomes)
+	if panicked {
+		// Isolate the faulty lane: retry each point as its own 1-lane
+		// batch. Only the point(s) that still panic solo are charged with
+		// the harness error; healthy lanes get their verdict.
+		conv, sv = 0, 0
+		for j := range batch {
+			soloConv, soloSaved, soloPanic := c.runBatchSafe(run64, batch[j:j+1], spec.cycle, timeout, early, scratch.solo[:1])
+			if soloPanic {
+				outcomes[j] = OutcomeHarnessError
+			} else {
+				outcomes[j] = scratch.solo[0]
+				conv += soloConv
+				sv += soloSaved
+			}
+		}
+	}
+	met.convergedN(conv, sv)
+	bsp.Detail("cycle %d, %d lanes, %d converged", spec.cycle, n, conv)
+	bsp.End()
+	return conv, sv, outcomes
 }
 
 // runBatchSafe executes one same-cycle batch with panic isolation.
-func (c *Controller) runBatchSafe(run64 Run64, batch []FaultPoint, cycle, timeout int) (outcomes []Outcome, panicked bool) {
+func (c *Controller) runBatchSafe(run64 Run64, batch []FaultPoint, cycle, timeout int, early bool, outcomes []Outcome) (converged int, saved int64, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			outcomes, panicked = nil, true
+			converged, saved, panicked = 0, 0, true
 		}
 	}()
-	return c.runBatch(run64, batch, cycle, timeout), false
+	conv, sv := c.runBatch(run64, batch, cycle, timeout, early, outcomes)
+	return conv, sv, false
 }
 
 // runBatch loads the shared checkpoint, injects one upset per lane, runs
-// to halt/timeout and classifies every lane. All points share cycle.
-func (c *Controller) runBatch(run64 Run64, batch []FaultPoint, cycle, timeout int) []Outcome {
+// to halt/timeout and classifies every lane into outcomes (len(batch)
+// entries). All points share cycle.
+//
+// With early set, lanes retire individually: each cycle the lane-parallel
+// divergence mask (OR over all flip-flops of lane^golden) identifies lanes
+// whose flip-flop state equals the golden reference; those of them past
+// their hold window whose memory write digest also matches golden retire
+// benign on the spot. The batch ends once every lane has halted or
+// retired, which is what turns 64-lane batches with one slow lane from
+// worst-case into average-case runtime.
+func (c *Controller) runBatch(run64 Run64, batch []FaultPoint, cycle, timeout int, early bool, outcomes []Outcome) (converged int, saved int64) {
 	run64.LoadCheckpoint(c.golden.Checkpoints[cycle])
 	for lane, p := range batch {
 		run64.FlipLane(p.FF, lane)
@@ -207,23 +437,54 @@ func (c *Controller) runBatch(run64 Run64, batch []FaultPoint, cycle, timeout in
 	if len(batch) == 64 {
 		used = ^uint64(0)
 	}
+	var retired uint64
+	m := run64.Mach()
+	digests := c.golden.MemDigests
 	for cyc := cycle; cyc < timeout; cyc++ {
 		if cyc > cycle {
 			haltedNow := run64.HaltedMask()
 			for lane, p := range batch {
-				if cyc < p.Cycle+p.duration() && haltedNow>>uint(lane)&1 == 0 {
+				if cyc < p.Cycle+p.duration() && (haltedNow|retired)>>uint(lane)&1 == 0 {
 					run64.FlipLane(p.FF, lane)
 				}
 			}
 		}
-		if run64.HaltedMask()&used == used {
+		halted := run64.HaltedMask()
+		if early && cyc < len(digests) {
+			// Eligible for retirement: in use, not halted, not already
+			// retired, and past the upset's hold window (a held lane is
+			// re-flipped above and cannot match golden mid-hold anyway;
+			// the explicit gate keeps the invariant local).
+			elig := used &^ (halted | retired)
+			for lane, p := range batch {
+				if cyc < p.Cycle+p.duration() {
+					elig &^= 1 << uint(lane)
+				}
+			}
+			if elig != 0 {
+				conv := elig &^ m.DivergenceMask(c.golden.Trace.Row(cyc), elig)
+				for conv != 0 {
+					lane := bits.TrailingZeros64(conv)
+					conv &^= 1 << uint(lane)
+					if run64.MemDigestLane(lane) == digests[cyc] {
+						retired |= 1 << uint(lane)
+						outcomes[lane] = OutcomeBenign
+						converged++
+						saved += int64(c.golden.HaltCycle - cyc)
+					}
+				}
+			}
+		}
+		if (halted|retired)&used == used {
 			break
 		}
 		run64.Step()
 	}
 	halted := run64.HaltedMask()
-	outcomes := make([]Outcome, len(batch))
 	for lane := range batch {
+		if retired>>uint(lane)&1 == 1 {
+			continue
+		}
 		switch {
 		case halted>>uint(lane)&1 == 0:
 			outcomes[lane] = OutcomeHang
@@ -233,5 +494,5 @@ func (c *Controller) runBatch(run64 Run64, batch []FaultPoint, cycle, timeout in
 			outcomes[lane] = OutcomeSDC
 		}
 	}
-	return outcomes
+	return converged, saved
 }

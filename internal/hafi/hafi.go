@@ -60,6 +60,12 @@ type Run interface {
 	// Signature condenses the externally visible result (output port and
 	// data memory) into a comparable hash.
 	Signature() uint64
+	// MemDigest returns the running external-memory write digest (see
+	// sim.UpdateWriteDigest): a chained hash over every write event since
+	// reset, rewound by Restore. Two runs with equal digests have performed
+	// the same write sequence (w.h.p.), so their external memories are
+	// equal — the memory half of the convergence early-exit check.
+	MemDigest() uint64
 }
 
 // Checkpoint is an opaque snapshot of a Run.
@@ -100,9 +106,13 @@ func (o Outcome) String() string {
 // cycle and the result signature.
 type Golden struct {
 	Checkpoints []Checkpoint
-	Trace       *sim.Trace
-	HaltCycle   int
-	Signature   uint64
+	// MemDigests[c] is the external-memory write digest at the start of
+	// cycle c, aligned with Checkpoints. The campaign's convergence
+	// early-exit compares a faulty run's digest against it.
+	MemDigests []uint64
+	Trace      *sim.Trace
+	HaltCycle  int
+	Signature  uint64
 }
 
 // RecordGolden runs the workload to completion (bounded by maxCycles),
@@ -116,6 +126,7 @@ func RecordGolden(r Run, maxCycles int) (*Golden, error) {
 			return g, nil
 		}
 		g.Checkpoints = append(g.Checkpoints, r.Checkpoint())
+		g.MemDigests = append(g.MemDigests, r.MemDigest())
 		r.Machine().Settle(envOf(r))
 		g.Trace.Append(r.Machine().Values())
 		r.Machine().CommitFFs()
@@ -185,6 +196,12 @@ type CampaignConfig struct {
 	// verifies it really is benign (used by the test suite; defeats the
 	// purpose of pruning in production).
 	ValidateSkipped bool
+	// DisableEarlyExit turns off the golden-state convergence early-exit:
+	// every experiment runs to halt or timeout even when its state provably
+	// re-converged with the fault-free reference. The classification is
+	// identical either way; this is an escape hatch for differential
+	// testing and debugging.
+	DisableEarlyExit bool
 	// Context, when non-nil, cancels the campaign gracefully: in-flight
 	// experiments (and the current 64-lane batch) finish and are recorded,
 	// no new ones start, and the partial result carries Interrupted=true.
@@ -236,6 +253,16 @@ type CampaignResult struct {
 	// cancelled before every point was classified. The counters cover
 	// exactly the classified points (Total = Skipped + Executed).
 	Interrupted bool
+	// Converged counts executed experiments that ended through the
+	// convergence early-exit: the faulty flip-flop state matched the golden
+	// reference (with an equal memory write digest) after the upset's hold
+	// window, so the run was classified benign without simulating the
+	// remaining cycles. It is an execution-strategy statistic, not part of
+	// the classification (replayed journal records carry no credit).
+	Converged int
+	// CyclesSaved sums the simulation cycles skipped by those early exits
+	// (golden halt cycle minus convergence cycle, per converged experiment).
+	CyclesSaved int64
 }
 
 func newCampaignResult() *CampaignResult {
@@ -262,6 +289,8 @@ func (r *CampaignResult) merge(p *CampaignResult) {
 	for m, n := range p.PrunedByMATE {
 		r.PrunedByMATE[m] += n
 	}
+	r.Converged += p.Converged
+	r.CyclesSaved += p.CyclesSaved
 }
 
 // replay merges one recovered journal record without re-execution. hit, when
@@ -300,6 +329,9 @@ type Controller struct {
 	run     Run
 	factory func() Run
 	golden  *Golden
+	// ffQ caches the Q wire of every flip-flop for the convergence check
+	// (hot path: one comparison per FF per cycle).
+	ffQ []int32
 	// matesByWire indexes the MATE set: for each fault wire, the MATEs
 	// that can prove it benign, in set order (ascending set index) so
 	// attribution is deterministic.
@@ -316,7 +348,7 @@ type indexedMATE struct {
 // NewController prepares a controller for the given device instance and
 // golden reference.
 func NewController(run Run, golden *Golden) *Controller {
-	return &Controller{nl: run.Machine().NL, run: run, golden: golden}
+	return newController(run, nil, golden)
 }
 
 // NewControllerPool prepares a controller that can shard experiments over
@@ -325,8 +357,17 @@ func NewController(run Run, golden *Golden) *Controller {
 // the paper's scenario of "one FI controller distributing the FI campaign
 // over several FPGAs".
 func NewControllerPool(factory func() Run, golden *Golden) *Controller {
-	run := factory()
-	return &Controller{nl: run.Machine().NL, run: run, factory: factory, golden: golden}
+	return newController(factory(), factory, golden)
+}
+
+func newController(run Run, factory func() Run, golden *Golden) *Controller {
+	nl := run.Machine().NL
+	c := &Controller{nl: nl, run: run, factory: factory, golden: golden}
+	c.ffQ = make([]int32, len(nl.FFs))
+	for i := range nl.FFs {
+		c.ffQ[i] = int32(nl.FFs[i].Q)
+	}
+	return c
 }
 
 // JournalHeader returns the journal identity of a campaign over the given
@@ -460,6 +501,17 @@ func (c *Controller) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 // are keyed by global point index).
 func (c *Controller) runShard(cfg CampaignConfig, base int, points []FaultPoint, run Run, timeout int, res *CampaignResult, prog *progressCounter, met *campaignMetrics) error {
 	ctx := cfg.context()
+	early := !cfg.DisableEarlyExit
+	// converged credits one early-exited execution (validation re-runs of
+	// pruned points included: the statistic counts executions, and staying
+	// engine-independent requires crediting every one).
+	converged := func(saved int) {
+		if saved > 0 {
+			res.Converged++
+			res.CyclesSaved += int64(saved)
+			met.convergedN(1, int64(saved))
+		}
+	}
 	for i, p := range points {
 		idx := uint64(base + i)
 		if cfg.Resume != nil {
@@ -487,13 +539,16 @@ func (c *Controller) runShard(cfg CampaignConfig, base int, points []FaultPoint,
 			hit = &journal.MATEHit{Index: idx, FF: uint32(p.FF), MATE: uint32(mate), Width: uint16(width)}
 			met.matePruned(mate, width)
 			if cfg.ValidateSkipped {
-				if out := c.safeExecute(&run, p, timeout); out != OutcomeBenign {
+				out, saved := c.safeExecute(&run, p, timeout, early)
+				converged(saved)
+				if out != OutcomeBenign {
 					res.SkippedWrong++
 					rec.SkippedWrong = true
 				}
 			}
 		} else {
-			out := c.safeExecute(&run, p, timeout)
+			out, saved := c.safeExecute(&run, p, timeout, early)
+			converged(saved)
 			res.Executed++
 			res.ByOutcome[out]++
 			rec.Outcome = uint8(out)
@@ -521,16 +576,16 @@ func (c *Controller) runShard(cfg CampaignConfig, base int, points []FaultPoint,
 // model yields OutcomeHarnessError instead of killing the worker shard,
 // and the (possibly corrupted) instance is replaced from the pool factory
 // so subsequent experiments start from a healthy device.
-func (c *Controller) safeExecute(run *Run, p FaultPoint, timeout int) (out Outcome) {
+func (c *Controller) safeExecute(run *Run, p FaultPoint, timeout int, early bool) (out Outcome, saved int) {
 	defer func() {
 		if r := recover(); r != nil {
-			out = OutcomeHarnessError
+			out, saved = OutcomeHarnessError, 0
 			if c.factory != nil {
 				*run = c.factory()
 			}
 		}
 	}()
-	return c.execute(*run, p, timeout)
+	return c.execute(*run, p, timeout, early)
 }
 
 // runParallel shards the fault list over Workers device instances.
@@ -640,28 +695,60 @@ func (c *Controller) provedBenign(p FaultPoint) (mate int, ok bool) {
 // to completion or timeout on the given device instance. For multi-cycle
 // upsets the flip-flop is re-inverted at the beginning of every held
 // cycle.
-func (c *Controller) execute(run Run, p FaultPoint, timeout int) Outcome {
+//
+// With early set, the controller applies the convergence early-exit: once
+// the upset's hold window is over, a cycle whose flip-flop state equals
+// the golden reference AND whose memory write digest equals the golden
+// digest proves the remaining execution identical to the fault-free run
+// (the two-pass Settle contract makes the environment a function of
+// FF-registered wires only, so FF state + external memory determine the
+// future). The experiment is then classified benign without simulating the
+// remaining cycles; saved reports how many were skipped (0 for a full
+// run). The classification is exactly the one a full run would produce.
+func (c *Controller) execute(run Run, p FaultPoint, timeout int, early bool) (out Outcome, saved int) {
 	run.Restore(c.golden.Checkpoints[p.Cycle])
 	run.Machine().FlipFF(p.FF)
+	holdEnd := p.Cycle + p.duration()
+	digests := c.golden.MemDigests
 	for cyc := p.Cycle; cyc < timeout; cyc++ {
-		if cyc > p.Cycle && cyc < p.Cycle+p.duration() && !run.Halted() {
+		if cyc > p.Cycle && cyc < holdEnd && !run.Halted() {
 			run.Machine().FlipFF(p.FF)
 		}
 		if run.Halted() {
 			if run.Signature() == c.golden.Signature {
-				return OutcomeBenign
+				return OutcomeBenign, 0
 			}
-			return OutcomeSDC
+			return OutcomeSDC, 0
+		}
+		if early && cyc >= holdEnd && cyc < len(digests) &&
+			run.MemDigest() == digests[cyc] && c.ffConverged(run.Machine(), cyc) {
+			return OutcomeBenign, c.golden.HaltCycle - cyc
 		}
 		run.Step()
 	}
 	if run.Halted() && run.Signature() == c.golden.Signature {
-		return OutcomeBenign
+		return OutcomeBenign, 0
 	}
 	if run.Halted() {
-		return OutcomeSDC
+		return OutcomeSDC, 0
 	}
-	return OutcomeHang
+	return OutcomeHang, 0
+}
+
+// ffConverged reports whether the machine's stored flip-flop state equals
+// the golden reference at the start of cycle cyc. Trace rows record the
+// settled wires of a cycle, and Q wires are not driven by combinational
+// gates, so row cyc's Q bits are exactly the FF state at the start of
+// cycle cyc — matching the loop position of the caller.
+func (c *Controller) ffConverged(m *sim.Machine, cyc int) bool {
+	row := c.golden.Trace.Row(cyc)
+	v := m.Values()
+	for _, q := range c.ffQ {
+		if v[q] != (row[q>>6]>>(uint(q)&63)&1 == 1) {
+			return false
+		}
+	}
+	return true
 }
 
 // FullFaultList enumerates every (FF, cycle) point up to maxCycle.
@@ -694,11 +781,22 @@ func SampledFaultList(nl *netlist.Netlist, maxCycle, stride int, excludeGroups .
 	return out
 }
 
-// SignatureHash hashes a byte stream into the result signature format.
+// FNV-1a parameters of the signature stream (identical to hash/fnv, inlined
+// so the per-experiment signature computation allocates nothing).
+const (
+	sigOffset64 uint64 = 0xcbf29ce484222325
+	sigPrime64  uint64 = 1099511628211
+)
+
+// SignatureHash hashes a byte stream into the result signature format
+// (FNV-1a, byte for byte what hash/fnv.New64a produces — but without the
+// heap-allocated hasher, as this runs once per executed experiment).
 func SignatureHash(parts ...[]byte) uint64 {
-	h := fnv.New64a()
+	h := sigOffset64
 	for _, p := range parts {
-		h.Write(p)
+		for _, b := range p {
+			h = (h ^ uint64(b)) * sigPrime64
+		}
 	}
-	return h.Sum64()
+	return h
 }

@@ -2,6 +2,7 @@ package hafi
 
 import (
 	"strconv"
+	"sync"
 
 	"repro/internal/journal"
 	"repro/internal/obs"
@@ -22,9 +23,16 @@ type campaignMetrics struct {
 	lanes        *obs.Histogram // campaign_batch_lanes
 	workers      *obs.Gauge     // campaign_workers
 	workersBusy  *obs.Gauge     // campaign_workers_busy
+	converged    *obs.Counter   // campaign_converged_total
+	cyclesSaved  *obs.Counter   // campaign_cycles_saved_total
 	// reg backs the labeled per-MATE attribution counters, which cannot be
-	// hoisted (one counter per MATE, created on first credit).
-	reg *obs.Registry
+	// hoisted statically (one counter per MATE). mateCounters caches the
+	// registry lookup per MATE index: crediting a pruned point is a hot
+	// per-point operation and the label formatting plus registry lock were
+	// measurable on heavily pruned campaigns.
+	reg          *obs.Registry
+	mateMu       sync.Mutex
+	mateCounters map[int]*obs.Counter
 }
 
 func newCampaignMetrics(reg *obs.Registry, totalPoints int) *campaignMetrics {
@@ -42,7 +50,10 @@ func newCampaignMetrics(reg *obs.Registry, totalPoints int) *campaignMetrics {
 		lanes:        reg.Histogram("campaign_batch_lanes", obs.LinearBuckets(8, 8, 8)),
 		workers:      reg.Gauge("campaign_workers"),
 		workersBusy:  reg.Gauge("campaign_workers_busy"),
+		converged:    reg.Counter("campaign_converged_total"),
+		cyclesSaved:  reg.Counter("campaign_cycles_saved_total"),
 		reg:          reg,
+		mateCounters: map[int]*obs.Counter{},
 	}
 	for o := OutcomeBenign; o <= OutcomeHarnessError; o++ {
 		m.outcomes[o] = reg.Counter("campaign_outcomes_total", "outcome", o.String())
@@ -76,8 +87,25 @@ func (m *campaignMetrics) matePruned(mate, width int) {
 	if m == nil {
 		return
 	}
-	m.reg.Counter("campaign_mate_pruned_total",
-		"mate", strconv.Itoa(mate), "width", strconv.Itoa(width)).Inc()
+	m.mateMu.Lock()
+	c, ok := m.mateCounters[mate]
+	if !ok {
+		c = m.reg.Counter("campaign_mate_pruned_total",
+			"mate", strconv.Itoa(mate), "width", strconv.Itoa(width))
+		m.mateCounters[mate] = c
+	}
+	m.mateMu.Unlock()
+	c.Inc()
+}
+
+// convergedN accounts n experiments retired by the convergence early-exit
+// and the simulation cycles that exit skipped.
+func (m *campaignMetrics) convergedN(n int, saved int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.converged.Add(int64(n))
+	m.cyclesSaved.Add(saved)
 }
 
 // replay accounts one point merged from a recovered journal.

@@ -67,6 +67,10 @@ func (r *NetlistRun) Restore(cp Checkpoint) {
 	r.m.Cycle = c.cycle
 }
 
+// MemDigest implements Run: a NetlistRun has no external memory, so the
+// digest is the constant seed (memory never diverges from golden).
+func (r *NetlistRun) MemDigest() uint64 { return sim.WriteDigestSeed }
+
 // Signature implements Run: it hashes the flip-flop state and the primary
 // outputs (there is no external memory to include).
 func (r *NetlistRun) Signature() uint64 {

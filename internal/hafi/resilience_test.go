@@ -130,6 +130,17 @@ func runInterrupted(t *testing.T, ctl *Controller, cfg CampaignConfig, run64 Run
 	return path, res
 }
 
+// dropConvergence copies a result with the convergence early-exit
+// statistics zeroed. Converged/CyclesSaved describe how a run executed,
+// not what it concluded: a resumed campaign replays journaled points
+// without re-executing them, so it legitimately reports fewer early exits
+// than the uninterrupted baseline while classifying identically.
+func dropConvergence(r *CampaignResult) *CampaignResult {
+	cp := *r
+	cp.Converged, cp.CyclesSaved = 0, 0
+	return &cp
+}
+
 // resumeAndFinish recovers the journal and completes the campaign.
 func resumeAndFinish(t *testing.T, ctl *Controller, cfg CampaignConfig, run64 Run64, path string) *CampaignResult {
 	t.Helper()
@@ -179,7 +190,7 @@ func checkResumeEquivalence(t *testing.T, ctl *Controller, cfg CampaignConfig, r
 			}
 
 			res := resumeAndFinish(t, ctl, cfg, run64, path)
-			if !reflect.DeepEqual(res, baseline) {
+			if !reflect.DeepEqual(dropConvergence(res), dropConvergence(baseline)) {
 				t.Fatalf("resumed result diverges from uninterrupted run:\n  resumed:  %+v\n  baseline: %+v", res, baseline)
 			}
 
@@ -278,7 +289,7 @@ func TestResumeCompletedCampaign(t *testing.T) {
 	if executed != 0 {
 		t.Fatalf("resume of a complete journal re-executed %d points", executed)
 	}
-	if !reflect.DeepEqual(res, baseline) {
+	if !reflect.DeepEqual(dropConvergence(res), dropConvergence(baseline)) {
 		t.Fatalf("replayed result diverges:\n  replayed: %+v\n  baseline: %+v", res, baseline)
 	}
 }

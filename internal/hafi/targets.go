@@ -26,6 +26,7 @@ type avrCheckpoint struct {
 	ffs    []bool
 	inputs []bool
 	dmem   [1 << avr.DMemBits]uint8
+	digest uint64
 	cycle  int
 }
 
@@ -34,6 +35,7 @@ func (r *avrRun) Checkpoint() Checkpoint {
 		ffs:    r.sys.M.FFState(),
 		inputs: r.sys.M.InputState(),
 		dmem:   r.sys.DMem,
+		digest: r.sys.WriteDigest,
 		cycle:  r.sys.M.Cycle,
 	}
 }
@@ -43,8 +45,11 @@ func (r *avrRun) Restore(c Checkpoint) {
 	r.sys.M.SetFFState(cp.ffs)
 	r.sys.M.SetInputState(cp.inputs)
 	r.sys.DMem = cp.dmem
+	r.sys.WriteDigest = cp.digest
 	r.sys.M.Cycle = cp.cycle
 }
+
+func (r *avrRun) MemDigest() uint64 { return r.sys.WriteDigest }
 
 func (r *avrRun) Signature() uint64 {
 	return SignatureHash([]byte{r.sys.PortValue()}, r.sys.DMem[:])
@@ -71,6 +76,7 @@ type msp430Checkpoint struct {
 	ffs    []bool
 	inputs []bool
 	dmem   [1 << msp430.DMemBits]uint16
+	digest uint64
 	cycle  int
 }
 
@@ -79,6 +85,7 @@ func (r *msp430Run) Checkpoint() Checkpoint {
 		ffs:    r.sys.M.FFState(),
 		inputs: r.sys.M.InputState(),
 		dmem:   r.sys.DMem,
+		digest: r.sys.WriteDigest,
 		cycle:  r.sys.M.Cycle,
 	}
 }
@@ -88,15 +95,28 @@ func (r *msp430Run) Restore(c Checkpoint) {
 	r.sys.M.SetFFState(cp.ffs)
 	r.sys.M.SetInputState(cp.inputs)
 	r.sys.DMem = cp.dmem
+	r.sys.WriteDigest = cp.digest
 	r.sys.M.Cycle = cp.cycle
 }
 
+func (r *msp430Run) MemDigest() uint64 { return r.sys.WriteDigest }
+
 func (r *msp430Run) Signature() uint64 {
-	port := r.sys.PortValue()
-	bytes := make([]byte, 2+2*len(r.sys.DMem))
-	bytes[0], bytes[1] = byte(port), byte(port>>8)
-	for i, w := range r.sys.DMem {
-		bytes[2+2*i], bytes[2+2*i+1] = byte(w), byte(w>>8)
+	return signatureWords16(r.sys.PortValue(), r.sys.DMem[:])
+}
+
+// signatureWords16 folds a 16-bit port value and data words into the same
+// FNV-1a stream SignatureHash produces over their little-endian byte
+// expansion — without materialising that byte slice (the signature is
+// computed once per experiment, so the copy dominated the allocation
+// profile of MSP430 campaigns).
+func signatureWords16(port uint16, words []uint16) uint64 {
+	h := uint64(sigOffset64)
+	h = (h ^ uint64(port&0xff)) * sigPrime64
+	h = (h ^ uint64(port>>8)) * sigPrime64
+	for _, w := range words {
+		h = (h ^ uint64(w&0xff)) * sigPrime64
+		h = (h ^ uint64(w>>8)) * sigPrime64
 	}
-	return SignatureHash(bytes)
+	return h
 }

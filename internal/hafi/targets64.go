@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cpu/avr"
 	"repro/internal/cpu/msp430"
+	"repro/internal/sim"
 )
 
 // Run64 is a 64-lane batched device instance: 64 fault-injection
@@ -21,6 +22,13 @@ type Run64 interface {
 	// SignatureLane condenses one lane's externally visible result; it is
 	// comparable with the scalar Run.Signature of the same target.
 	SignatureLane(lane int) uint64
+	// MemDigestLane returns one lane's external-memory write digest; it is
+	// comparable with the scalar Run.MemDigest and the per-cycle digests of
+	// the golden reference.
+	MemDigestLane(lane int) uint64
+	// Mach exposes the lane-parallel machine (flip-flop state inspection
+	// for convergence retirement).
+	Mach() *sim.Machine64
 }
 
 // avrRun64 adapts the AVR lane-parallel system.
@@ -37,16 +45,18 @@ func NewAVRRun64(core *avr.Core, prog []uint16) (Run64, error) {
 	return &avrRun64{sys: sys}, nil
 }
 
-func (r *avrRun64) Step()              { r.sys.Step() }
-func (r *avrRun64) HaltedMask() uint64 { return r.sys.HaltedMask() }
-func (r *avrRun64) FlipLane(ff, l int) { r.sys.M.FlipLane(ff, l) }
+func (r *avrRun64) Step()                      { r.sys.Step() }
+func (r *avrRun64) HaltedMask() uint64         { return r.sys.HaltedMask() }
+func (r *avrRun64) FlipLane(ff, l int)         { r.sys.M.FlipLane(ff, l) }
+func (r *avrRun64) MemDigestLane(l int) uint64 { return r.sys.WriteDigest[l] }
+func (r *avrRun64) Mach() *sim.Machine64       { return r.sys.M }
 
 func (r *avrRun64) LoadCheckpoint(cp Checkpoint) {
 	c, ok := cp.(*avrCheckpoint)
 	if !ok {
 		panic(fmt.Sprintf("hafi: checkpoint type %T does not match AVR run", cp))
 	}
-	r.sys.LoadScalarState(c.ffs, c.inputs, c.dmem)
+	r.sys.LoadScalarState(c.ffs, c.inputs, c.dmem, c.digest)
 	r.sys.M.Cycle = c.cycle
 }
 
@@ -68,26 +78,21 @@ func NewMSP430Run64(core *msp430.Core, prog []uint16) (Run64, error) {
 	return &msp430Run64{sys: sys}, nil
 }
 
-func (r *msp430Run64) Step()              { r.sys.Step() }
-func (r *msp430Run64) HaltedMask() uint64 { return r.sys.HaltedMask() }
-func (r *msp430Run64) FlipLane(ff, l int) { r.sys.M.FlipLane(ff, l) }
+func (r *msp430Run64) Step()                      { r.sys.Step() }
+func (r *msp430Run64) HaltedMask() uint64         { return r.sys.HaltedMask() }
+func (r *msp430Run64) FlipLane(ff, l int)         { r.sys.M.FlipLane(ff, l) }
+func (r *msp430Run64) MemDigestLane(l int) uint64 { return r.sys.WriteDigest[l] }
+func (r *msp430Run64) Mach() *sim.Machine64       { return r.sys.M }
 
 func (r *msp430Run64) LoadCheckpoint(cp Checkpoint) {
 	c, ok := cp.(*msp430Checkpoint)
 	if !ok {
 		panic(fmt.Sprintf("hafi: checkpoint type %T does not match MSP430 run", cp))
 	}
-	r.sys.LoadScalarState(c.ffs, c.inputs, c.dmem)
+	r.sys.LoadScalarState(c.ffs, c.inputs, c.dmem, c.digest)
 	r.sys.M.Cycle = c.cycle
 }
 
 func (r *msp430Run64) SignatureLane(l int) uint64 {
-	port := r.sys.PortLane(l)
-	dmem := &r.sys.DMem[l]
-	bytes := make([]byte, 2+2*len(dmem))
-	bytes[0], bytes[1] = byte(port), byte(port>>8)
-	for i, w := range dmem {
-		bytes[2+2*i], bytes[2+2*i+1] = byte(w), byte(w>>8)
-	}
-	return SignatureHash(bytes)
+	return signatureWords16(r.sys.PortLane(l), r.sys.DMem[l][:])
 }

@@ -27,6 +27,10 @@ type ProgressConfig struct {
 	Total *Gauge
 	// Masked, when set, adds a masked-rate column (Masked/Done).
 	Masked *Counter
+	// Converged, when set, adds a convergence-share column (Converged/Done):
+	// the fraction of classified points retired early because their state
+	// re-converged with the golden reference.
+	Converged *Counter
 	// WorkersBusy/Workers, when set, add a worker-utilization column.
 	WorkersBusy *Gauge
 	Workers     *Gauge
@@ -81,6 +85,9 @@ func StartProgress(cfg ProgressConfig) (stop func()) {
 		fmt.Fprintf(&sb, " | %.0f %s/s", rate, cfg.Unit)
 		if cfg.Masked != nil && d > 0 {
 			fmt.Fprintf(&sb, " | masked %.1f%%", 100*float64(cfg.Masked.Value())/float64(d))
+		}
+		if cfg.Converged != nil && d > 0 {
+			fmt.Fprintf(&sb, " | conv %.1f%%", 100*float64(cfg.Converged.Value())/float64(d))
 		}
 		if cfg.Workers != nil && cfg.Workers.Value() > 0 {
 			fmt.Fprintf(&sb, " | workers %d/%d", cfg.WorkersBusy.Value(), cfg.Workers.Value())

@@ -82,6 +82,13 @@ func (d *Document) WriteText(w io.Writer) error {
 			fmt.Fprintf(w, ", %d batches", n)
 		}
 		fmt.Fprintln(w)
+		if n, ok := st.Counters["campaign_converged_total"]; ok && n > 0 {
+			fmt.Fprintf(w, "convergence: %d experiments retired early", n)
+			if s, ok := st.Counters["campaign_cycles_saved_total"]; ok {
+				fmt.Fprintf(w, ", %d simulation cycles saved", s)
+			}
+			fmt.Fprintln(w)
+		}
 	}
 	return nil
 }

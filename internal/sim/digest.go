@@ -1,0 +1,29 @@
+package sim
+
+// Write digests summarise the external-memory write history of a run as a
+// chained FNV-1a fold over (address, data) write events. Two runs whose
+// digests are equal performed, with overwhelming probability, the same
+// write sequence since the point their digests were last equal — the same
+// probabilistic guarantee the result-signature classification already
+// relies on. The HAFI campaign engines use this to decide memory
+// equivalence for the golden-convergence early exit: checkpoints carry the
+// digest, restore rewinds it, and a faulty run whose flip-flop state
+// matches the golden reference AND whose digest matches the golden digest
+// of the same cycle is provably (w.h.p.) benign.
+
+// WriteDigestSeed is the initial digest of a freshly reset system (the
+// FNV-1a 64-bit offset basis).
+const WriteDigestSeed uint64 = 0xcbf29ce484222325
+
+// fnvPrime64 is the FNV-1a 64-bit prime.
+const fnvPrime64 = 1099511628211
+
+// UpdateWriteDigest folds one memory write event (address, data) into the
+// chained digest.
+func UpdateWriteDigest(d, addr, data uint64) uint64 {
+	d ^= addr
+	d *= fnvPrime64
+	d ^= data
+	d *= fnvPrime64
+	return d
+}

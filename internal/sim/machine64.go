@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cell"
 	"repro/internal/netlist"
@@ -19,12 +20,23 @@ import (
 // All lanes share the same netlist; they diverge only through per-lane
 // state (flip-flops, primary inputs) — exactly what a fault injection
 // needs.
+//
+// The evaluation program is level-ordered and kind-grouped: gates are
+// sorted by logic level (so dependencies always precede their consumers)
+// and, within a level, by cell kind, so EvalComb dispatches one switch per
+// run of same-kind gates instead of per gate — the inner loops are tight,
+// branch-predictable and bounds-check friendly. An optional second-pass
+// subprogram (SetEnvWrites) restricts the post-environment settle to the
+// gates actually downstream of environment-written wires.
 type Machine64 struct {
 	NL     *netlist.Netlist
 	Cycle  int
 	values []uint64
 
 	ops      []op64
+	runs     []opRun
+	envOps   []op64 // subprogram: gates downstream of env-written wires
+	envRuns  []opRun
 	ffD, ffQ []int32
 	ffNext   []uint64
 }
@@ -36,11 +48,19 @@ type op64 struct {
 	out     int32
 	in      [4]int32
 	numPins int8
+	level   int32
+}
+
+// opRun is a contiguous span of same-kind ops in an evaluation program.
+type opRun struct {
+	kind       cell.Kind
+	start, end int32
 }
 
 // NewMachine64 creates a 64-lane machine and resets it.
 func NewMachine64(nl *netlist.Netlist) (*Machine64, error) {
 	m := &Machine64{NL: nl, values: make([]uint64, nl.NumWires())}
+	level := make([]int32, nl.NumWires())
 	for _, gi := range nl.EvalOrder() {
 		g := &nl.Gates[gi]
 		if g.Cell.NumInputs() > 4 {
@@ -49,9 +69,22 @@ func NewMachine64(nl *netlist.Netlist) (*Machine64, error) {
 		o := op64{kind: g.Cell.Kind, tt: g.Cell.TruthTable(), out: int32(g.Output), numPins: int8(len(g.Inputs))}
 		for p, w := range g.Inputs {
 			o.in[p] = int32(w)
+			if level[w] >= o.level {
+				o.level = level[w] + 1
+			}
 		}
+		level[g.Output] = o.level
 		m.ops = append(m.ops, o)
 	}
+	// Level-major, kind-minor order: equal-level gates are independent, so
+	// grouping them by kind is a legal reordering of the topological sort.
+	sort.SliceStable(m.ops, func(a, b int) bool {
+		if m.ops[a].level != m.ops[b].level {
+			return m.ops[a].level < m.ops[b].level
+		}
+		return m.ops[a].kind < m.ops[b].kind
+	})
+	m.runs = buildRuns(m.ops)
 	m.ffD = make([]int32, len(nl.FFs))
 	m.ffQ = make([]int32, len(nl.FFs))
 	m.ffNext = make([]uint64, len(nl.FFs))
@@ -62,6 +95,57 @@ func NewMachine64(nl *netlist.Netlist) (*Machine64, error) {
 	m.Reset()
 	return m, nil
 }
+
+// buildRuns splits an ordered op program into contiguous same-kind spans.
+func buildRuns(ops []op64) []opRun {
+	// In-run order follows the (level, kind) sort, so a span may cross a
+	// level boundary and still respect dependencies.
+	var runs []opRun
+	for i := 0; i < len(ops); {
+		j := i + 1
+		for j < len(ops) && ops[j].kind == ops[i].kind {
+			j++
+		}
+		runs = append(runs, opRun{kind: ops[i].kind, start: int32(i), end: int32(j)})
+		i = j
+	}
+	return runs
+}
+
+// SetEnvWrites declares the complete set of wires the lane environment may
+// drive between the two settle passes. The machine precomputes the cone of
+// gates downstream of those wires; Settle's second pass then evaluates
+// only that subprogram — every other gate's inputs are untouched by the
+// environment, so its pass-one output is already final. Calling this with
+// an incomplete wire list yields stale simulations; leave it unset to keep
+// the safe full second pass.
+func (m *Machine64) SetEnvWrites(wires ...[]netlist.WireID) {
+	inCone := make([]bool, m.NL.NumWires())
+	for _, ws := range wires {
+		for _, w := range ws {
+			inCone[w] = true
+		}
+	}
+	m.envOps = nil
+	for _, o := range m.ops {
+		hit := false
+		for p := 0; p < int(o.numPins); p++ {
+			if inCone[o.in[p]] {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			inCone[o.out] = true
+			m.envOps = append(m.envOps, o)
+		}
+	}
+	m.envRuns = buildRuns(m.envOps)
+}
+
+// EnvConeSize reports how many gates the restricted second settle pass
+// evaluates (0 when SetEnvWrites was never called).
+func (m *Machine64) EnvConeSize() int { return len(m.envOps) }
 
 // Reset initialises every lane with the flip-flop reset state.
 func (m *Machine64) Reset() {
@@ -121,73 +205,149 @@ func (m *Machine64) LoadInputs(ins []bool) {
 }
 
 // EvalComb evaluates all gates once, 64 lanes wide.
-func (m *Machine64) EvalComb() {
-	v := m.values
-	for i := range m.ops {
-		o := &m.ops[i]
-		var out uint64
-		switch o.kind {
+func (m *Machine64) EvalComb() { evalProgram(m.ops, m.runs, m.values) }
+
+// evalProgram executes one kind-grouped op program: one switch dispatch
+// per run, then a tight specialized loop over the span — the hot path of
+// the whole batched campaign engine.
+func evalProgram(ops []op64, runs []opRun, v []uint64) {
+	for _, r := range runs {
+		seg := ops[r.start:r.end]
+		switch r.kind {
 		case cell.TIE0:
-			out = 0
+			for i := range seg {
+				v[seg[i].out] = 0
+			}
 		case cell.TIE1:
-			out = ^uint64(0)
+			for i := range seg {
+				v[seg[i].out] = ^uint64(0)
+			}
 		case cell.BUF:
-			out = v[o.in[0]]
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = v[o.in[0]]
+			}
 		case cell.INV:
-			out = ^v[o.in[0]]
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = ^v[o.in[0]]
+			}
 		case cell.AND2:
-			out = v[o.in[0]] & v[o.in[1]]
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = v[o.in[0]] & v[o.in[1]]
+			}
 		case cell.AND3:
-			out = v[o.in[0]] & v[o.in[1]] & v[o.in[2]]
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = v[o.in[0]] & v[o.in[1]] & v[o.in[2]]
+			}
 		case cell.AND4:
-			out = v[o.in[0]] & v[o.in[1]] & v[o.in[2]] & v[o.in[3]]
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = v[o.in[0]] & v[o.in[1]] & v[o.in[2]] & v[o.in[3]]
+			}
 		case cell.NAND2:
-			out = ^(v[o.in[0]] & v[o.in[1]])
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = ^(v[o.in[0]] & v[o.in[1]])
+			}
 		case cell.NAND3:
-			out = ^(v[o.in[0]] & v[o.in[1]] & v[o.in[2]])
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = ^(v[o.in[0]] & v[o.in[1]] & v[o.in[2]])
+			}
 		case cell.NAND4:
-			out = ^(v[o.in[0]] & v[o.in[1]] & v[o.in[2]] & v[o.in[3]])
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = ^(v[o.in[0]] & v[o.in[1]] & v[o.in[2]] & v[o.in[3]])
+			}
 		case cell.OR2:
-			out = v[o.in[0]] | v[o.in[1]]
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = v[o.in[0]] | v[o.in[1]]
+			}
 		case cell.OR3:
-			out = v[o.in[0]] | v[o.in[1]] | v[o.in[2]]
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = v[o.in[0]] | v[o.in[1]] | v[o.in[2]]
+			}
 		case cell.OR4:
-			out = v[o.in[0]] | v[o.in[1]] | v[o.in[2]] | v[o.in[3]]
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = v[o.in[0]] | v[o.in[1]] | v[o.in[2]] | v[o.in[3]]
+			}
 		case cell.NOR2:
-			out = ^(v[o.in[0]] | v[o.in[1]])
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = ^(v[o.in[0]] | v[o.in[1]])
+			}
 		case cell.NOR3:
-			out = ^(v[o.in[0]] | v[o.in[1]] | v[o.in[2]])
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = ^(v[o.in[0]] | v[o.in[1]] | v[o.in[2]])
+			}
 		case cell.NOR4:
-			out = ^(v[o.in[0]] | v[o.in[1]] | v[o.in[2]] | v[o.in[3]])
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = ^(v[o.in[0]] | v[o.in[1]] | v[o.in[2]] | v[o.in[3]])
+			}
 		case cell.XOR2:
-			out = v[o.in[0]] ^ v[o.in[1]]
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = v[o.in[0]] ^ v[o.in[1]]
+			}
 		case cell.XNOR2:
-			out = ^(v[o.in[0]] ^ v[o.in[1]])
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = ^(v[o.in[0]] ^ v[o.in[1]])
+			}
 		case cell.MUX2:
-			s := v[o.in[2]]
-			out = (^s & v[o.in[0]]) | (s & v[o.in[1]])
+			for i := range seg {
+				o := &seg[i]
+				s := v[o.in[2]]
+				v[o.out] = (^s & v[o.in[0]]) | (s & v[o.in[1]])
+			}
 		case cell.AOI21:
-			out = ^((v[o.in[0]] & v[o.in[1]]) | v[o.in[2]])
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = ^((v[o.in[0]] & v[o.in[1]]) | v[o.in[2]])
+			}
 		case cell.AOI22:
-			out = ^((v[o.in[0]] & v[o.in[1]]) | (v[o.in[2]] & v[o.in[3]]))
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = ^((v[o.in[0]] & v[o.in[1]]) | (v[o.in[2]] & v[o.in[3]]))
+			}
 		case cell.OAI21:
-			out = ^((v[o.in[0]] | v[o.in[1]]) & v[o.in[2]])
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = ^((v[o.in[0]] | v[o.in[1]]) & v[o.in[2]])
+			}
 		case cell.OAI22:
-			out = ^((v[o.in[0]] | v[o.in[1]]) & (v[o.in[2]] | v[o.in[3]]))
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = ^((v[o.in[0]] | v[o.in[1]]) & (v[o.in[2]] | v[o.in[3]]))
+			}
 		case cell.MAJ3:
-			a, b, c := v[o.in[0]], v[o.in[1]], v[o.in[2]]
-			out = (a & b) | (a & c) | (b & c)
+			for i := range seg {
+				o := &seg[i]
+				a, b, c := v[o.in[0]], v[o.in[1]], v[o.in[2]]
+				v[o.out] = (a & b) | (a & c) | (b & c)
+			}
 		default:
 			// Generic fallback: Shannon expansion over the truth table.
-			out = m.evalGeneric(o)
+			for i := range seg {
+				o := &seg[i]
+				v[o.out] = evalGeneric(o, v)
+			}
 		}
-		v[o.out] = out
 	}
 }
 
 // evalGeneric evaluates an arbitrary (≤4 input) cell lane-parallel from
-// its truth table by OR-ing the active minterms.
-func (m *Machine64) evalGeneric(o *op64) uint64 {
+// its truth table by OR-ing the active minterms, reading pins through the
+// same cached values slice as the specialized cases.
+func evalGeneric(o *op64, v []uint64) uint64 {
 	var out uint64
 	n := int(o.numPins)
 	for minterm := 0; minterm < 1<<n; minterm++ {
@@ -197,14 +357,33 @@ func (m *Machine64) evalGeneric(o *op64) uint64 {
 		term := ^uint64(0)
 		for p := 0; p < n; p++ {
 			if minterm>>uint(p)&1 == 1 {
-				term &= m.values[o.in[p]]
+				term &= v[o.in[p]]
 			} else {
-				term &= ^m.values[o.in[p]]
+				term &= ^v[o.in[p]]
 			}
 		}
 		out |= term
 	}
 	return out
+}
+
+// DivergenceMask compares the stored flip-flop state of every lane against
+// a packed golden wire row (as returned by Trace.Row for the same cycle):
+// bit l of the result is set when lane l differs from the golden reference
+// in at least one flip-flop. Only the lanes in interest are reported, and
+// the scan stops as soon as every interesting lane has diverged — the
+// common case for freshly injected faults.
+func (m *Machine64) DivergenceMask(goldenRow []uint64, interest uint64) uint64 {
+	var div uint64
+	v := m.values
+	for _, q := range m.ffQ {
+		g := goldenRow[q>>6] >> (uint(q) & 63) & 1
+		div |= v[q] ^ -g
+		if div&interest == interest {
+			break
+		}
+	}
+	return div & interest
 }
 
 // CommitFFs clocks every flip-flop in all lanes.
@@ -230,12 +409,18 @@ type Env64Func func(m *Machine64)
 // SetInputs64 implements Env64.
 func (f Env64Func) SetInputs64(m *Machine64) { f(m) }
 
-// Settle runs the two-pass evaluation with the lane environment.
+// Settle runs the two-pass evaluation with the lane environment. When
+// SetEnvWrites has declared the environment's write set, the second pass
+// evaluates only the downstream cone of those wires.
 func (m *Machine64) Settle(env Env64) {
 	m.EvalComb()
 	if env != nil {
 		env.SetInputs64(m)
-		m.EvalComb()
+		if m.envOps != nil {
+			evalProgram(m.envOps, m.envRuns, m.values)
+		} else {
+			m.EvalComb()
+		}
 	}
 }
 

@@ -168,7 +168,7 @@ func TestMachine64GenericFallback(t *testing.T) {
 		}
 		m.EvalComb()
 		direct := m.Lanes(out)
-		generic := m.evalGeneric(&m.ops[len(m.ops)-1])
+		generic := evalGeneric(&m.ops[len(m.ops)-1], m.values)
 		if direct != generic {
 			t.Errorf("%s: direct %016x != generic %016x", c.Name, direct, generic)
 		}

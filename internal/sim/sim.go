@@ -10,6 +10,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/cell"
 	"repro/internal/netlist"
 )
 
@@ -37,34 +38,41 @@ type Machine struct {
 	Cycle  int
 	values []bool
 
-	// Flattened evaluation program, in topological order: for gate i,
-	// pins evalPins[evalStart[i]:evalStart[i+1]] index into values, the
-	// truth table is evalTT[i], and the result lands in values[evalOut[i]].
-	evalPins  []int32
-	evalStart []int32
-	evalTT    []uint32
-	evalOut   []int32
+	// ops is the flattened evaluation program in topological order. The
+	// common library cells are dispatched by kind (like Machine64); the
+	// truth table backs the generic fallback and EvalCombForced.
+	ops []scalarOp
 
 	// ffD/ffQ are the flip-flop pin wires, and ffNext the commit scratch.
 	ffD, ffQ []int32
 	ffNext   []bool
 }
 
+// scalarOp is one gate in the flattened evaluation program. The pin array
+// is sized for cell.MaxInputs.
+type scalarOp struct {
+	kind    cell.Kind
+	tt      uint32
+	out     int32
+	in      [cell.MaxInputs]int32
+	numPins int8
+}
+
 // New creates a machine and resets it.
 func New(nl *netlist.Netlist) *Machine {
 	m := &Machine{NL: nl, values: make([]bool, nl.NumWires())}
 	order := nl.EvalOrder()
-	m.evalStart = make([]int32, len(order)+1)
-	m.evalTT = make([]uint32, len(order))
-	m.evalOut = make([]int32, len(order))
-	for i, gi := range order {
+	m.ops = make([]scalarOp, 0, len(order))
+	for _, gi := range order {
 		g := &nl.Gates[gi]
-		m.evalTT[i] = g.Cell.TruthTable()
-		m.evalOut[i] = int32(g.Output)
-		for _, w := range g.Inputs {
-			m.evalPins = append(m.evalPins, int32(w))
+		if len(g.Inputs) > cell.MaxInputs {
+			panic(fmt.Sprintf("sim: cell %s has %d inputs, max %d", g.Cell.Name, len(g.Inputs), cell.MaxInputs))
 		}
-		m.evalStart[i+1] = int32(len(m.evalPins))
+		o := scalarOp{kind: g.Cell.Kind, tt: g.Cell.TruthTable(), out: int32(g.Output), numPins: int8(len(g.Inputs))}
+		for p, w := range g.Inputs {
+			o.in[p] = int32(w)
+		}
+		m.ops = append(m.ops, o)
 	}
 	m.ffD = make([]int32, len(nl.FFs))
 	m.ffQ = make([]int32, len(nl.FFs))
@@ -114,21 +122,85 @@ func (m *Machine) WriteBus(bus []netlist.WireID, v uint64) {
 	}
 }
 
-// EvalComb evaluates all gates once in topological order, using the
-// flattened evaluation program built at construction time.
+// EvalComb evaluates all gates once in topological order, dispatching the
+// library cells by kind (mirroring Machine64.EvalComb) with a truth-table
+// fallback for anything else. This runs twice per cycle in every
+// experiment, so the common cells avoid the per-pin bit-probe loop.
 func (m *Machine) EvalComb() {
-	values := m.values
-	pins := m.evalPins
-	for i := range m.evalTT {
-		var in uint32
-		lo, hi := m.evalStart[i], m.evalStart[i+1]
-		for p := int32(0); p < hi-lo; p++ {
-			if values[pins[lo+p]] {
-				in |= 1 << uint(p)
+	v := m.values
+	for i := range m.ops {
+		o := &m.ops[i]
+		var out bool
+		switch o.kind {
+		case cell.TIE0:
+			out = false
+		case cell.TIE1:
+			out = true
+		case cell.BUF:
+			out = v[o.in[0]]
+		case cell.INV:
+			out = !v[o.in[0]]
+		case cell.AND2:
+			out = v[o.in[0]] && v[o.in[1]]
+		case cell.AND3:
+			out = v[o.in[0]] && v[o.in[1]] && v[o.in[2]]
+		case cell.AND4:
+			out = v[o.in[0]] && v[o.in[1]] && v[o.in[2]] && v[o.in[3]]
+		case cell.NAND2:
+			out = !(v[o.in[0]] && v[o.in[1]])
+		case cell.NAND3:
+			out = !(v[o.in[0]] && v[o.in[1]] && v[o.in[2]])
+		case cell.NAND4:
+			out = !(v[o.in[0]] && v[o.in[1]] && v[o.in[2]] && v[o.in[3]])
+		case cell.OR2:
+			out = v[o.in[0]] || v[o.in[1]]
+		case cell.OR3:
+			out = v[o.in[0]] || v[o.in[1]] || v[o.in[2]]
+		case cell.OR4:
+			out = v[o.in[0]] || v[o.in[1]] || v[o.in[2]] || v[o.in[3]]
+		case cell.NOR2:
+			out = !(v[o.in[0]] || v[o.in[1]])
+		case cell.NOR3:
+			out = !(v[o.in[0]] || v[o.in[1]] || v[o.in[2]])
+		case cell.NOR4:
+			out = !(v[o.in[0]] || v[o.in[1]] || v[o.in[2]] || v[o.in[3]])
+		case cell.XOR2:
+			out = v[o.in[0]] != v[o.in[1]]
+		case cell.XNOR2:
+			out = v[o.in[0]] == v[o.in[1]]
+		case cell.MUX2:
+			if v[o.in[2]] {
+				out = v[o.in[1]]
+			} else {
+				out = v[o.in[0]]
 			}
+		case cell.AOI21:
+			out = !((v[o.in[0]] && v[o.in[1]]) || v[o.in[2]])
+		case cell.AOI22:
+			out = !((v[o.in[0]] && v[o.in[1]]) || (v[o.in[2]] && v[o.in[3]]))
+		case cell.OAI21:
+			out = !((v[o.in[0]] || v[o.in[1]]) && v[o.in[2]])
+		case cell.OAI22:
+			out = !((v[o.in[0]] || v[o.in[1]]) && (v[o.in[2]] || v[o.in[3]]))
+		case cell.MAJ3:
+			a, b, c := v[o.in[0]], v[o.in[1]], v[o.in[2]]
+			out = (a && b) || (a && c) || (b && c)
+		default:
+			out = evalScalarTT(o, v)
 		}
-		values[m.evalOut[i]] = m.evalTT[i]>>in&1 == 1
+		v[o.out] = out
 	}
+}
+
+// evalScalarTT probes one gate's truth table with the current pin values.
+func evalScalarTT(o *scalarOp, v []bool) bool {
+	var in uint32
+	for p := int8(0); p < o.numPins; p++ {
+		if v[o.in[p]] {
+			in |= 1 << uint(p)
+		}
+	}
+	return o.tt>>in&1 == 1
 }
 
 // Settle runs evaluation, lets the environment set inputs, and evaluates
@@ -222,18 +294,11 @@ func (m *Machine) Values() []bool { return m.values }
 func (m *Machine) EvalCombForced(w netlist.WireID, v bool) {
 	m.values[w] = v
 	values := m.values
-	pins := m.evalPins
-	for i := range m.evalTT {
-		if m.evalOut[i] == int32(w) {
+	for i := range m.ops {
+		o := &m.ops[i]
+		if o.out == int32(w) {
 			continue
 		}
-		var in uint32
-		lo, hi := m.evalStart[i], m.evalStart[i+1]
-		for p := int32(0); p < hi-lo; p++ {
-			if values[pins[lo+p]] {
-				in |= 1 << uint(p)
-			}
-		}
-		values[m.evalOut[i]] = m.evalTT[i]>>in&1 == 1
+		values[o.out] = evalScalarTT(o, values)
 	}
 }

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// TestBusTranspose sweeps every supported bus width and checks both
+// transpose directions against the per-lane reference (ReadBusLane and
+// bit-by-bit plane assembly) on random lane data.
+func TestBusTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for width := 1; width <= 16; width++ {
+		b := netlist.NewBuilder("bus")
+		bus := make([]netlist.WireID, width)
+		for i := range bus {
+			bus[i] = b.Input("")
+		}
+		b.MarkOutput(bus[0])
+		m, err := NewMachine64(b.MustNetlist())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for trial := 0; trial < 8; trial++ {
+			for _, w := range bus {
+				m.SetLanes(w, rng.Uint64())
+			}
+
+			var got [64]uint16
+			m.GatherBus(bus, &got)
+			for l := 0; l < 64; l++ {
+				if want := uint16(m.ReadBusLane(bus, l)); got[l] != want {
+					t.Fatalf("width %d lane %d: GatherBus %04x, ReadBusLane %04x", width, l, got[l], want)
+				}
+			}
+
+			var vals [64]uint16
+			for l := range vals {
+				vals[l] = uint16(rng.Uint32()) & (1<<uint(width) - 1)
+			}
+			m.ScatterBus(bus, &vals)
+			for i, w := range bus {
+				var want uint64
+				for l := 0; l < 64; l++ {
+					want |= uint64(vals[l]>>uint(i)&1) << uint(l)
+				}
+				if m.Lanes(w) != want {
+					t.Fatalf("width %d wire %d: ScatterBus %016x, want %016x", width, i, m.Lanes(w), want)
+				}
+			}
+
+			// Round trip: gather back exactly what was scattered.
+			m.GatherBus(bus, &got)
+			if got != vals {
+				t.Fatalf("width %d: scatter/gather round trip diverged", width)
+			}
+		}
+	}
+}

@@ -48,7 +48,9 @@ $1 ~ /^Benchmark/ && $4 == "ns/op" {
     sub(/-[0-9]+$/, "", name)
     procs = $1
     sub(/^.*-/, "", procs)
-    if (procs == $1) procs = 1
+    # Sub-benchmark names ("Foo/bar") have no -N procs suffix at
+    # GOMAXPROCS=1; anything non-numeric means "no suffix".
+    if (procs !~ /^[0-9]+$/) procs = 1
     line = sprintf("    {\"name\": \"%s\", \"procs\": %s, \"iterations\": %s, \"ns_per_op\": %s", name, procs, $2, $3)
     for (i = 4; i < NF; i++) {
         if ($(i+1) == "B/op")      line = line sprintf(", \"bytes_per_op\": %s", $i)

@@ -66,6 +66,43 @@ if ! diff -u "$tmp/clean.sum" "$tmp/resumed.sum"; then
     exit 1
 fi
 
+echo "== batched engine: -workers sharding and convergence early-exit"
+"$tmp/campaign" "${args[@]}" -workers 2 -stats-json "$tmp/batched-stats.json" \
+    > "$tmp/batched.out"
+summary "$tmp/batched.out" > "$tmp/batched.sum"
+diff -u "$tmp/clean.sum" "$tmp/batched.sum" || {
+    echo "FAIL: -workers 2 result differs from clean run" >&2
+    exit 1
+}
+# The convergence counters must be live: this workload retires experiments
+# early, so a zero counter means the early-exit silently stopped firing.
+counter() {
+    sed -n "s/.*\"$2\": *\([0-9][0-9]*\).*/\1/p" "$1" | head -n1
+}
+conv=$(counter "$tmp/batched-stats.json" campaign_converged_total)
+saved=$(counter "$tmp/batched-stats.json" campaign_cycles_saved_total)
+if [ "${conv:-0}" -le 0 ] || [ "${saved:-0}" -le 0 ]; then
+    echo "FAIL: convergence counters not live (converged=${conv:-missing} cycles_saved=${saved:-missing})" >&2
+    cat "$tmp/batched-stats.json" >&2
+    exit 1
+fi
+echo "convergence counters: converged=$conv cycles_saved=$saved"
+
+# With the exit disabled every experiment runs to completion: same verdicts,
+# zero convergence credit.
+"$tmp/campaign" "${args[@]}" -no-early-exit -stats-json "$tmp/full-stats.json" \
+    > "$tmp/fullrun.out"
+summary "$tmp/fullrun.out" > "$tmp/fullrun.sum"
+diff -u "$tmp/clean.sum" "$tmp/fullrun.sum" || {
+    echo "FAIL: -no-early-exit result differs from clean run" >&2
+    exit 1
+}
+fullconv=$(counter "$tmp/full-stats.json" campaign_converged_total)
+if [ "${fullconv:-0}" -ne 0 ]; then
+    echo "FAIL: -no-early-exit run still converged $fullconv experiments" >&2
+    exit 1
+fi
+
 echo "== real SIGINT"
 rc=0
 "$tmp/campaign" "${args[@]}" -journal "$tmp/sigint.journal" > "$tmp/sigint.out" &
