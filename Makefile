@@ -8,8 +8,16 @@ check: vet build test race lint-examples campaign-smoke
 build:
 	$(GO) build ./...
 
+# Static analysis: go vet always; staticcheck (pinned) when installed —
+# the container-friendly gate. CI installs the pinned version and runs both.
+STATICCHECK_VERSION ?= 2025.1.1
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "vet: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -40,11 +48,14 @@ BENCH_OUT ?= BENCH_0.json
 bench-snapshot:
 	./scripts/bench_snapshot.sh $(BENCH_OUT)
 
-# Snapshot the current tree and compare it against the committed baseline,
-# warning on >15% ns/op regressions (advisory; STRICT=1 to fail instead).
+# Snapshot the current tree and compare it against the newest committed
+# baseline (highest-numbered BENCH_N.json, so benchmarks added after
+# BENCH_0 are compared too), warning on >15% ns/op regressions (advisory;
+# STRICT=1 to fail instead).
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 bench-compare:
 	./scripts/bench_snapshot.sh /tmp/bench_now.json
-	./scripts/bench_compare.sh BENCH_0.json /tmp/bench_now.json
+	./scripts/bench_compare.sh $(BENCH_BASELINE) /tmp/bench_now.json
 
 # Short native-fuzzing smoke: each target gets a few seconds on top of its
 # seeded corpus. Full fuzzing sessions use `go test -fuzz ... -fuzztime 5m`.
@@ -52,6 +63,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadRaw -fuzztime 10s ./internal/verilog
 	$(GO) test -run '^$$' -fuzz FuzzMATESetRoundTrip -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzRecover -fuzztime 10s ./internal/journal
+	$(GO) test -run '^$$' -fuzz FuzzBDDEval -fuzztime 10s ./internal/exact
 
 # Coverage over the library packages (the cmd/ mains are exercised by the
 # smoke scripts, not unit tests).

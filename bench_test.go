@@ -15,6 +15,8 @@ package repro
 //	BenchmarkCampaignBatched — batched engine, early-exit on vs off
 //	BenchmarkCampaignPool    — parallel pool engine (GOMAXPROCS workers)
 //	BenchmarkAblation*       — search-depth / term-count ablations
+//	BenchmarkExactVerify     — BDD re-proof of the heuristic MATE set
+//	BenchmarkExactFind       — exact prime-implicant term extraction
 //
 // Run everything with:  go test -bench=. -benchmem
 import (
@@ -28,6 +30,7 @@ import (
 
 	"repro/internal/collapse"
 	"repro/internal/core"
+	"repro/internal/exact"
 	"repro/internal/experiments"
 	"repro/internal/hafi"
 	"repro/internal/intercycle"
@@ -295,6 +298,56 @@ func BenchmarkAblationTerms(b *testing.B) {
 				core.Search(c.NL, c.FaultAll, params)
 			}
 		})
+	}
+}
+
+// BenchmarkExactVerify measures the BDD-backed re-proof of the heuristic
+// MATE set (internal/exact.VerifyMATESet) per CPU, at the node budget the
+// tier-1 tests use and one tier up. Cones over the budget fall back to
+// unproven, so the budget sweep doubles as a coverage-vs-cost ablation.
+func BenchmarkExactVerify(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		c    *experiments.CPUCase
+	}{
+		{"avr", experiments.PrepareAVR()},
+		{"msp430", experiments.PrepareMSP430()},
+	} {
+		set := core.Search(tc.c.NL, tc.c.FaultAll, core.DefaultSearchParams()).Set
+		for _, budget := range []int{1 << 14, 1 << 16} {
+			b.Run(fmt.Sprintf("%s/budget=%d", tc.name, budget), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := exact.VerifyMATESet(tc.c.NL, set, exact.Options{NodeBudget: budget})
+					if !res.Sound() {
+						b.Fatal("heuristic set disproved")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExactFind measures the prime-implicant term extraction
+// (internal/exact.FindExactTerms) over every faulty wire, same budget sweep.
+func BenchmarkExactFind(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		c    *experiments.CPUCase
+	}{
+		{"avr", experiments.PrepareAVR()},
+		{"msp430", experiments.PrepareMSP430()},
+	} {
+		set := core.Search(tc.c.NL, tc.c.FaultAll, core.DefaultSearchParams()).Set
+		for _, budget := range []int{1 << 14, 1 << 16} {
+			b.Run(fmt.Sprintf("%s/budget=%d", tc.name, budget), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := exact.FindExactTerms(tc.c.NL, tc.c.FaultAll, set, exact.Options{NodeBudget: budget})
+					if res.TermsFound == 0 {
+						b.Fatal("no exact terms found")
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 //	matesearch -cpu avr                  # all flip-flops
 //	matesearch -cpu msp430 -norf         # excluding the register file
 //	matesearch -cpu avr -o avr.mates     # dump the MATE set
+//	matesearch -cpu avr -exact           # merge exact BDD-derived terms + certificates
 //	matesearch -cpu avr -print           # print every MATE
 //	matesearch -verilog design.v         # search an imported netlist
 //	matesearch -cpu avr -export avr.v    # export the core as structural Verilog
@@ -22,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu/avr"
 	"repro/internal/cpu/msp430"
+	"repro/internal/exact"
 	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/obs"
@@ -45,6 +47,9 @@ func main() {
 	maxTerms := flag.Int("terms", 4, "max gate-masking terms per MATE")
 	maxCand := flag.Int("candidates", 100000, "candidate budget per faulty wire")
 	out := flag.String("o", "", "write the MATE set to this file")
+	exactOn := flag.Bool("exact", false, "augment the heuristic set with exact BDD-derived terms and unmaskability certificates")
+	exactBudget := flag.Int("exact-budget", 0, "BDD node budget per fault cone (0 = default)")
+	exactWidth := flag.Int("exact-width", 0, "drop exact terms wider than this many literals (0 = unlimited)")
 	print := flag.Bool("print", false, "print every discovered MATE")
 	verilogIn := flag.String("verilog", "", "search this structural-Verilog netlist instead of a built-in core")
 	export := flag.String("export", "", "write the selected netlist as structural Verilog and exit")
@@ -146,6 +151,20 @@ func main() {
 	fmt.Printf("MATEs:           %d\n", res.Set.Size())
 	mean, std := res.Set.AvgInputs()
 	fmt.Printf("avg inputs:      %.1f ± %.1f\n", mean, std)
+
+	if *exactOn && !res.Interrupted {
+		er := exact.FindExactTerms(nl, wires, res.Set, exact.Options{
+			NodeBudget:   *exactBudget,
+			MaxTermWidth: *exactWidth,
+			Obs:          reg,
+		})
+		created := er.MergeInto(res.Set)
+		fmt.Printf("exact terms:     %d new (term, wire) pairs, %d new MATEs\n", er.TermsFound, created)
+		fmt.Printf("exact certified: %d unmaskable flip-flops\n", len(er.Certificates))
+		fmt.Printf("exact BDD nodes: %d (%d cones over budget)\n", er.BDDNodes, er.Truncated)
+		fmt.Printf("exact run time:  %v\n", er.Elapsed)
+		fmt.Printf("MATEs total:     %d\n", res.Set.Size())
+	}
 
 	if *print {
 		for _, m := range res.Set.MATEs {

@@ -7,6 +7,7 @@
 //	netlistlint -cpu avr                          # lint a built-in core
 //	netlistlint -verilog design.v -strict         # gate a synthesized netlist
 //	netlistlint -verilog design.v -mates m.mates  # also validate a MATE set
+//	netlistlint -cpu avr -mates m.mates -exact    # BDD-backed soundness proofs
 //	netlistlint -analyzers comb-cycle,undriven -verilog design.v
 //	netlistlint -list                             # show all analyzers
 //
@@ -24,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu/avr"
 	"repro/internal/cpu/msp430"
+	"repro/internal/exact"
 	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/verilog"
@@ -39,6 +41,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cpu := fs.String("cpu", "", "lint a built-in core: avr or msp430")
 	verilogFile := fs.String("verilog", "", "lint this structural-Verilog netlist")
 	matesFile := fs.String("mates", "", "also validate this MATE set against the netlist")
+	exactOn := fs.Bool("exact", false, "re-prove the MATE set with the exact BDD engine (requires -mates)")
+	exactBudget := fs.Int("exact-budget", 0, "BDD node budget per fault cone (0 = default)")
 	analyzers := fs.String("analyzers", "", "comma-separated analyzer names (default: all)")
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON")
@@ -123,6 +127,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		opts.MATESet = set
+	}
+	if *exactOn {
+		if opts.MATESet == nil {
+			fmt.Fprintln(stderr, "netlistlint: -exact needs a MATE set (-mates)")
+			return 2
+		}
+		opts.Exact = &exact.Options{NodeBudget: *exactBudget}
 	}
 
 	res := lint.Run(nl, opts)

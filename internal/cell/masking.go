@@ -120,8 +120,6 @@ func deriveMaskingTerms(c *Cell, faulty uint32) []GMTerm {
 	var cands []cand
 	// All subsets of healthy pins.
 	for sub := healthy; ; sub = (sub - 1) & healthy {
-		pc := popcount(sub)
-		_ = pc
 		// all value patterns over sub
 		var enum func(bits uint32, idx int, val uint32)
 		enum = func(bits uint32, idx int, val uint32) {

@@ -100,9 +100,38 @@ func normalizeLiterals(lits []Literal) ([]Literal, bool) {
 }
 
 // MATESet is a collection of MATEs for one circuit and fault set, with the
-// summarisation/merging of step 3 of the search applied.
+// summarisation/merging of step 3 of the search applied. Certificates, when
+// present, carry the exact engine's per-FF unmaskability proofs alongside
+// the terms (see internal/exact).
 type MATESet struct {
 	MATEs []*MATE
+	// Certificates lists the wires proven unmaskable by exact analysis:
+	// their masking condition reduced to the canonical ⊥, so no MATE over
+	// border wires can exist. Sorted by wire id.
+	Certificates []Certificate
+}
+
+// Certificate is one unmaskability proof: the BDD of the masking condition
+// of Wire's fault cone reduced to the canonical false terminal. The cone
+// and border sizes locate the proof obligation; BDDNodes records the peak
+// universe size the reduction needed (the proof's witness cost).
+type Certificate struct {
+	Wire        netlist.WireID
+	ConeGates   int
+	BorderWires int
+	BDDNodes    int
+}
+
+// CertifiedUnmaskable returns the set of certified wires for O(1) lookup.
+func (s *MATESet) CertifiedUnmaskable() map[netlist.WireID]bool {
+	if len(s.Certificates) == 0 {
+		return nil
+	}
+	out := make(map[netlist.WireID]bool, len(s.Certificates))
+	for _, c := range s.Certificates {
+		out[c.Wire] = true
+	}
+	return out
 }
 
 // merge inserts a term for a faulty wire, merging with an existing MATE
@@ -139,13 +168,24 @@ func (mm *mateMerger) set() *MATESet { return &MATESet{MATEs: mm.order} }
 func (s *MATESet) Size() int { return len(s.MATEs) }
 
 // SortByCoverage orders MATEs by the number of faults they mask
-// (descending), the starting order for the hit-counter selection.
+// (descending), the starting order for the hit-counter selection. Ties are
+// broken by literal count and finally by the canonical literal-set key, so
+// the order — and therefore the serialized set — is fully deterministic
+// regardless of the construction order (the heuristic search and the exact
+// merge may interleave terms differently across runs).
 func (s *MATESet) SortByCoverage() {
+	keys := make(map[*MATE]string, len(s.MATEs))
+	for _, m := range s.MATEs {
+		keys[m] = m.Key()
+	}
 	sort.SliceStable(s.MATEs, func(i, j int) bool {
 		if len(s.MATEs[i].Masks) != len(s.MATEs[j].Masks) {
 			return len(s.MATEs[i].Masks) > len(s.MATEs[j].Masks)
 		}
-		return len(s.MATEs[i].Literals) < len(s.MATEs[j].Literals)
+		if len(s.MATEs[i].Literals) != len(s.MATEs[j].Literals) {
+			return len(s.MATEs[i].Literals) < len(s.MATEs[j].Literals)
+		}
+		return keys[s.MATEs[i]] < keys[s.MATEs[j]]
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/netlist"
@@ -15,11 +16,17 @@ import (
 //
 //	# comment
 //	wireA=0 wireB=1 | maskedWire1 maskedWire2
+//	!unmaskable wireC cone=12 border=7 nodes=35
 //
 // An always-true MATE has an empty literal list ("| maskedWire").
+// "!unmaskable" lines carry the exact engine's per-FF unmaskability
+// certificates (see internal/exact): the named wire's masking condition is
+// provably ≡ false over its cone border, with the cone size, border width
+// and BDD proof cost recorded as the witness statistics.
 func WriteMATESet(w io.Writer, nl *netlist.Netlist, set *MATESet) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# MATE set for netlist %q: %d MATEs\n", nl.Name, set.Size())
+	fmt.Fprintf(bw, "# MATE set for netlist %q: %d MATEs, %d unmaskability certificates\n",
+		nl.Name, set.Size(), len(set.Certificates))
 	for _, m := range set.MATEs {
 		for i, l := range m.Literals {
 			if i > 0 {
@@ -37,7 +44,46 @@ func WriteMATESet(w io.Writer, nl *netlist.Netlist, set *MATESet) error {
 		}
 		bw.WriteByte('\n')
 	}
+	for _, c := range set.Certificates {
+		fmt.Fprintf(bw, "!unmaskable %s cone=%d border=%d nodes=%d\n",
+			nl.WireName(c.Wire), c.ConeGates, c.BorderWires, c.BDDNodes)
+	}
 	return bw.Flush()
+}
+
+// parseCertificate parses one "!unmaskable" directive line (without the
+// leading '!').
+func parseCertificate(line string, nl *netlist.Netlist, lineNo int) (Certificate, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "unmaskable" {
+		return Certificate{}, fmt.Errorf("mate set line %d: unknown directive %q", lineNo, "!"+line)
+	}
+	w, ok := nl.WireByName(fields[1])
+	if !ok {
+		return Certificate{}, fmt.Errorf("mate set line %d: unknown certified wire %q", lineNo, fields[1])
+	}
+	c := Certificate{Wire: w}
+	for _, tok := range fields[2:] {
+		eq := strings.IndexByte(tok, '=')
+		if eq <= 0 {
+			return Certificate{}, fmt.Errorf("mate set line %d: bad certificate field %q", lineNo, tok)
+		}
+		n, err := strconv.Atoi(tok[eq+1:])
+		if err != nil || n < 0 {
+			return Certificate{}, fmt.Errorf("mate set line %d: bad certificate value %q", lineNo, tok)
+		}
+		switch tok[:eq] {
+		case "cone":
+			c.ConeGates = n
+		case "border":
+			c.BorderWires = n
+		case "nodes":
+			c.BDDNodes = n
+		default:
+			return Certificate{}, fmt.Errorf("mate set line %d: unknown certificate field %q", lineNo, tok[:eq])
+		}
+	}
+	return c, nil
 }
 
 // ReadMATESet parses the format written by WriteMATESet, resolving wire
@@ -51,6 +97,14 @@ func ReadMATESet(r io.Reader, nl *netlist.Netlist) (*MATESet, error) {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "!") {
+			c, err := parseCertificate(line[1:], nl, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			set.Certificates = append(set.Certificates, c)
 			continue
 		}
 		parts := strings.SplitN(line, "|", 2)

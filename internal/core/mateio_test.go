@@ -42,6 +42,46 @@ func TestMATESetRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCertificateRoundTrip(t *testing.T) {
+	nl, w := buildFigure1a(t)
+	set := &MATESet{
+		MATEs: []*MATE{{
+			Literals: []Literal{{Wire: w["a"], Value: false}},
+			Masks:    []netlist.WireID{w["d"]},
+		}},
+		Certificates: []Certificate{
+			{Wire: w["e"], ConeGates: 3, BorderWires: 2, BDDNodes: 17},
+			{Wire: w["h"], ConeGates: 1, BorderWires: 1, BDDNodes: 2},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMATESet(&buf, nl, set); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "!unmaskable e cone=3 border=2 nodes=17") {
+		t.Fatalf("certificate line missing:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "2 unmaskability certificates") {
+		t.Fatalf("header does not count certificates:\n%s", buf.String())
+	}
+	parsed, err := ReadMATESet(bytes.NewReader(buf.Bytes()), nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Certificates) != 2 {
+		t.Fatalf("got %d certificates, want 2", len(parsed.Certificates))
+	}
+	for i, c := range parsed.Certificates {
+		if c != set.Certificates[i] {
+			t.Fatalf("certificate %d: got %+v want %+v", i, c, set.Certificates[i])
+		}
+	}
+	cu := parsed.CertifiedUnmaskable()
+	if !cu[w["e"]] || !cu[w["h"]] || cu[w["a"]] {
+		t.Fatalf("CertifiedUnmaskable wrong: %v", cu)
+	}
+}
+
 func TestReadMATESetErrors(t *testing.T) {
 	nl, _ := buildFigure1a(t)
 	cases := map[string]string{
@@ -53,6 +93,11 @@ func TestReadMATESetErrors(t *testing.T) {
 		"unknown mask":    "a=0 | qqq\n",
 		"conflict":        "a=0 a=1 | d\n",
 		"trailing equals": "a= | d\n",
+		"bad directive":   "!shrug e cone=1\n",
+		"cert bad wire":   "!unmaskable zzz cone=1 border=1 nodes=1\n",
+		"cert bad field":  "!unmaskable e depth=1\n",
+		"cert bad value":  "!unmaskable e cone=x\n",
+		"cert no wire":    "!unmaskable\n",
 	}
 	for name, src := range cases {
 		if _, err := ReadMATESet(strings.NewReader(src), nl); err == nil {

@@ -1,0 +1,225 @@
+package exact
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// The property-based agreement test: for seeded random netlists (the same
+// two generator families as internal/core's property tests), the BDD
+// masking condition must agree with the exact duplicated-cone oracle
+// (core.Oracle.MaskedExact) on every border assignment — exhaustively when
+// the border is small, sampled otherwise — and for both values of the
+// faulted flip-flop, which doubles as a check that the condition really is
+// independent of the flip direction.
+
+func randomGateNetlist(rng *rand.Rand) *netlist.Netlist {
+	kinds := []cell.Kind{
+		cell.BUF, cell.INV, cell.AND2, cell.NAND2, cell.OR2, cell.NOR2,
+		cell.XOR2, cell.XNOR2, cell.AND3, cell.OR3, cell.MUX2, cell.MAJ3,
+		cell.AOI21, cell.OAI21,
+	}
+	b := netlist.NewBuilder("agree-gates")
+	var avail []netlist.WireID
+	nIn := 2 + rng.Intn(3)
+	for i := 0; i < nIn; i++ {
+		avail = append(avail, b.Input(fmt.Sprintf("in%d", i)))
+	}
+	nFF := 2 + rng.Intn(4)
+	qs := make([]netlist.WireID, nFF)
+	for i := range qs {
+		qs[i] = b.FFPlaceholder(fmt.Sprintf("ff%d", i), rng.Intn(2) == 1, "")
+		avail = append(avail, qs[i])
+	}
+	nGates := 8 + rng.Intn(20)
+	for i := 0; i < nGates; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		ins := make([]netlist.WireID, cell.Lookup(k).NumInputs())
+		for p := range ins {
+			ins[p] = avail[rng.Intn(len(avail))]
+		}
+		avail = append(avail, b.Gate(k, ins...))
+	}
+	for _, q := range qs {
+		b.SetFFD(q, avail[rng.Intn(len(avail))])
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		b.MarkOutput(avail[len(avail)-1-rng.Intn(nGates)])
+	}
+	return b.MustNetlist()
+}
+
+func randomSynthNetlist(rng *rand.Rand) *netlist.Netlist {
+	b := netlist.NewBuilder("agree-synth")
+	c := synth.New(b)
+	width := 2 + rng.Intn(3)
+	a := c.InputBus("a", width)
+	d := c.InputBus("b", width)
+	state := c.RegisterPlaceholder("acc", width, uint64(rng.Intn(1<<width)), "")
+
+	buses := []synth.Bus{a, d, state}
+	nOps := 3 + rng.Intn(5)
+	for i := 0; i < nOps; i++ {
+		x := buses[rng.Intn(len(buses))]
+		y := buses[rng.Intn(len(buses))]
+		var out synth.Bus
+		switch rng.Intn(6) {
+		case 0:
+			out = c.And(x, y)
+		case 1:
+			out = c.Or(x, y)
+		case 2:
+			out = c.Xor(x, y)
+		case 3:
+			out = c.Not(x)
+		case 4:
+			out = c.Adder(x, y, c.B.Const(false)).Sum
+		case 5:
+			out = c.Mux2(c.Equal(x, y), x, y)
+		}
+		buses = append(buses, out)
+	}
+	next := buses[len(buses)-1]
+	c.ConnectRegisterAlways(state, next)
+	c.OutputBus(buses[rng.Intn(len(buses))])
+	return b.MustNetlist()
+}
+
+// agreeOnWire cross-checks the masking condition of one wire against the
+// oracle over border assignments.
+func agreeOnWire(t *testing.T, nl *netlist.Netlist, oracle *core.Oracle, w netlist.WireID, rng *rand.Rand) {
+	t.Helper()
+	mc, err := MaskingCondition(nl, w, 0)
+	if err != nil {
+		t.Fatalf("wire %s: %v", nl.WireName(w), err)
+	}
+	nb := len(mc.Border)
+	exhaustive := nb <= 12
+	trials := 1 << nb
+	if !exhaustive {
+		trials = 2048
+	}
+	values := make([]bool, nl.NumWires())
+	for trial := 0; trial < trials; trial++ {
+		for lv, bw := range mc.Border {
+			if exhaustive {
+				values[bw] = trial&(1<<lv) != 0
+			} else {
+				values[bw] = rng.Intn(2) == 1
+			}
+		}
+		for _, srcVal := range []bool{false, true} {
+			// Settle the cone under this border assignment so the oracle
+			// sees a consistent cycle state.
+			values[w] = srcVal
+			for _, gi := range mc.Cone.Gates {
+				g := &nl.Gates[gi]
+				var in uint32
+				for p, iw := range g.Inputs {
+					if values[iw] {
+						in |= 1 << p
+					}
+				}
+				values[g.Output] = g.Cell.Eval(in)
+			}
+			got := mc.Eval(func(bw netlist.WireID) bool { return values[bw] })
+			want := oracle.MaskedExact(mc.Cone, values)
+			if got != want {
+				t.Fatalf("wire %s, border trial %d, src=%v: BDD says masked=%v, oracle says %v",
+					nl.WireName(w), trial, srcVal, got, want)
+			}
+		}
+	}
+}
+
+func TestBDDOracleAgreement(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("gates-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			nl := randomGateNetlist(rng)
+			oracle := core.NewOracle(nl)
+			for _, q := range nl.FFQWires() {
+				agreeOnWire(t, nl, oracle, q, rng)
+			}
+		})
+		t.Run(fmt.Sprintf("synth-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed + 1000))
+			nl := randomSynthNetlist(rng)
+			oracle := core.NewOracle(nl)
+			for _, q := range nl.FFQWires() {
+				agreeOnWire(t, nl, oracle, q, rng)
+			}
+		})
+	}
+}
+
+// TestExactTermsSoundOnRandomNetlists drives the full FindExactTerms path
+// on random netlists and validates every produced term and certificate
+// against the oracle: whenever a term triggers, the oracle must agree the
+// wire is masked; certified wires must never be maskable.
+func TestExactTermsSoundOnRandomNetlists(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed * 77))
+			nl := randomGateNetlist(rng)
+			oracle := core.NewOracle(nl)
+			wires := nl.FFQWires()
+			res := FindExactTerms(nl, wires, nil, Options{Workers: 1})
+			certified := map[netlist.WireID]bool{}
+			for _, c := range res.Certificates {
+				certified[c.Wire] = true
+			}
+			values := make([]bool, nl.NumWires())
+			for i := range res.PerWire {
+				we := &res.PerWire[i]
+				if we.Truncated {
+					t.Fatalf("tiny netlist truncated on wire %s", nl.WireName(we.Wire))
+				}
+				cone := core.ComputeCone(nl, we.Wire)
+				// Random consistent states: set FFs+inputs, settle all gates.
+				for trial := 0; trial < 200; trial++ {
+					for _, w := range append(append([]netlist.WireID{}, nl.Inputs...), nl.FFQWires()...) {
+						values[w] = rng.Intn(2) == 1
+					}
+					for _, gi := range nl.EvalOrder() {
+						g := &nl.Gates[gi]
+						var in uint32
+						for p, iw := range g.Inputs {
+							if values[iw] {
+								in |= 1 << p
+							}
+						}
+						values[g.Output] = g.Cell.Eval(in)
+					}
+					masked := oracle.MaskedExact(cone, values)
+					if certified[we.Wire] && masked {
+						t.Fatalf("wire %s certified unmaskable but oracle masks it", nl.WireName(we.Wire))
+					}
+					for ti, term := range we.Terms {
+						triggers := true
+						for _, l := range term {
+							if values[l.Wire] != l.Value {
+								triggers = false
+								break
+							}
+						}
+						if triggers && !masked {
+							t.Fatalf("wire %s term %d triggers but oracle says unmasked", nl.WireName(we.Wire), ti)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,322 @@
+// Package exact upgrades the heuristic MATE search to a provable one. It
+// symbolically computes, per fault cone, the *masking condition*: the exact
+// predicate over the cone's border wires under which flipping the cone
+// source provably does not reach any sink (flip-flop D input or primary
+// output) within the clock cycle. On top of that condition it offers three
+// services:
+//
+//   - VerifyMATESet re-proves every heuristic MATE: a MATE is sound iff its
+//     literal conjunction implies the masking condition of every wire it
+//     claims to mask.
+//   - FindExactTerms extracts an irredundant prime-implicant cover of each
+//     masking condition (Minato-Morreale ISOP), yielding masking terms the
+//     depth/term-bounded path enumeration missed.
+//   - Unmaskability certificates: when the masking condition reduces to the
+//     canonical ⊥, no assignment of the border wires masks the fault — a
+//     proof that no MATE over border wires can exist for that flip-flop.
+//
+// The engine is a small, zero-dependency BDD package (complement edges,
+// node dedup via hash-consing, an ITE computed cache, and a bounded node
+// budget with graceful per-cone fallback). Fault cones are tiny — hundreds
+// of gates, as OpenSEA and the SAT-based fault-resistance literature also
+// exploit — so exact symbolic analysis is cheap in practice.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Ref is a BDD edge: a node index shifted left by one, with bit 0 as the
+// complement mark. The constant ⊤ is the terminal node 0 taken positively;
+// ⊥ is its complement.
+type Ref uint32
+
+// Canonical constants.
+const (
+	True  Ref = 0 // terminal, positive edge
+	False Ref = 1 // terminal, complemented edge
+)
+
+func (r Ref) idx() uint32        { return uint32(r >> 1) }
+func (r Ref) complemented() bool { return r&1 == 1 }
+
+// Not returns the complement of a function — free with complement edges.
+func (r Ref) Not() Ref { return r ^ 1 }
+
+// IsConst reports whether the edge points at the terminal.
+func (r Ref) IsConst() bool { return r.idx() == 0 }
+
+// node is one decision node: branch on Level; Lo is the level=0 child,
+// Hi the level=1 child. Canonical form: Hi is never complemented (a node
+// whose then-edge would be complemented is stored complemented itself),
+// Lo != Hi, and (Level, Lo, Hi) triples are unique. The terminal lives at
+// index 0 with Level = terminalLevel.
+type node struct {
+	Level  int32
+	Lo, Hi Ref
+}
+
+const terminalLevel = math.MaxInt32
+
+// ErrNodeBudget is returned when an operation would allocate more nodes
+// than the BDD's configured budget. Callers fall back gracefully: the cone
+// in question is reported as unproven/truncated rather than aborting the
+// whole run.
+var ErrNodeBudget = errors.New("exact: BDD node budget exceeded")
+
+// errBudget is the panic sentinel thrown inside the recursive operations
+// and recovered at the exported API boundary.
+type errBudget struct{}
+
+// BDD is one reduced ordered binary decision diagram universe: a node
+// arena, the hash-consing unique table, and the ITE computed cache.
+// Variables are dense levels 0..NumVars-1 in a fixed order chosen by the
+// caller. A BDD is not safe for concurrent use; the exact engine gives
+// every cone (and thus every worker) its own universe.
+type BDD struct {
+	nodes  []node
+	unique map[node]Ref
+	cache  map[iteKey]Ref
+	budget int
+}
+
+type iteKey struct{ f, g, h Ref }
+
+// DefaultNodeBudget bounds one cone's BDD universe. Masking conditions of
+// the evaluated cores peak far below this; the budget is a safety valve
+// against pathological cones, not a tuning knob.
+const DefaultNodeBudget = 1 << 21
+
+// NewBDD creates a universe with the given live-node budget (0 means
+// DefaultNodeBudget).
+func NewBDD(budget int) *BDD {
+	if budget <= 0 {
+		budget = DefaultNodeBudget
+	}
+	b := &BDD{
+		nodes:  make([]node, 1, 1024),
+		unique: make(map[node]Ref, 1024),
+		cache:  make(map[iteKey]Ref, 1024),
+		budget: budget,
+	}
+	b.nodes[0] = node{Level: terminalLevel}
+	return b
+}
+
+// NumNodes returns the number of allocated nodes (the terminal included) —
+// the exact_bdd_nodes accounting unit.
+func (b *BDD) NumNodes() int { return len(b.nodes) }
+
+// Var returns the function of the single variable at the given level.
+func (b *BDD) Var(level int) Ref {
+	return b.mk(int32(level), False, True)
+}
+
+func (b *BDD) level(r Ref) int32 { return b.nodes[r.idx()].Level }
+
+// cofactors splits f at level lv (which must be <= f's top level).
+func (b *BDD) cofactors(f Ref, lv int32) (lo, hi Ref) {
+	n := &b.nodes[f.idx()]
+	if n.Level != lv {
+		return f, f
+	}
+	lo, hi = n.Lo, n.Hi
+	if f.complemented() {
+		lo, hi = lo.Not(), hi.Not()
+	}
+	return lo, hi
+}
+
+// mk returns the canonical node (lv, lo, hi), hash-consing and applying the
+// complement-edge normal form.
+func (b *BDD) mk(lv int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	// Normal form: the then-edge is stored positively.
+	flip := false
+	if hi.complemented() {
+		lo, hi = lo.Not(), hi.Not()
+		flip = true
+	}
+	key := node{Level: lv, Lo: lo, Hi: hi}
+	if r, ok := b.unique[key]; ok {
+		if flip {
+			return r.Not()
+		}
+		return r
+	}
+	if len(b.nodes) >= b.budget {
+		panic(errBudget{})
+	}
+	r := Ref(uint32(len(b.nodes)) << 1)
+	b.nodes = append(b.nodes, key)
+	b.unique[key] = r
+	if flip {
+		return r.Not()
+	}
+	return r
+}
+
+// ite computes If-Then-Else(f, g, h) = f·g + ¬f·h, the universal connective.
+func (b *BDD) ite(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	case g == False && h == True:
+		return f.Not()
+	}
+	// Standard triple normalisation so equivalent calls share cache slots:
+	// prefer the smallest top variable in f, and a positive f and g.
+	if g == True || h == False {
+		// f+h == ite(f,1,h) and f·g == ite(f,g,0): symmetric in f and the
+		// other operand — order them by reference for cache hits.
+		if g == True && h.idx() < f.idx() {
+			f, h = h, f
+		}
+		if h == False && g.idx() < f.idx() {
+			f, g = g, f
+		}
+	}
+	if f.complemented() {
+		f, g, h = f.Not(), h, g
+	}
+	var flip bool
+	if g.complemented() {
+		g, h, flip = g.Not(), h.Not(), true
+	}
+	key := iteKey{f, g, h}
+	if r, ok := b.cache[key]; ok {
+		if flip {
+			return r.Not()
+		}
+		return r
+	}
+	lv := b.level(f)
+	if l := b.level(g); l < lv {
+		lv = l
+	}
+	if l := b.level(h); l < lv {
+		lv = l
+	}
+	f0, f1 := b.cofactors(f, lv)
+	g0, g1 := b.cofactors(g, lv)
+	h0, h1 := b.cofactors(h, lv)
+	r := b.mk(lv, b.ite(f0, g0, h0), b.ite(f1, g1, h1))
+	b.cache[key] = r
+	if flip {
+		return r.Not()
+	}
+	return r
+}
+
+// The exported boolean operations. Each recovers the node-budget sentinel
+// and converts it to ErrNodeBudget, so a blown cone degrades gracefully.
+
+// Apply runs op, translating a node-budget overflow into ErrNodeBudget.
+func (b *BDD) apply(op func() Ref) (r Ref, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(errBudget); ok {
+				err = ErrNodeBudget
+				return
+			}
+			panic(p)
+		}
+	}()
+	return op(), nil
+}
+
+// And returns f ∧ g.
+func (b *BDD) And(f, g Ref) (Ref, error) {
+	return b.apply(func() Ref { return b.ite(f, g, False) })
+}
+
+// Or returns f ∨ g.
+func (b *BDD) Or(f, g Ref) (Ref, error) {
+	return b.apply(func() Ref { return b.ite(f, True, g) })
+}
+
+// Xnor returns f ≡ g, the per-sink equivalence of the masking condition.
+func (b *BDD) Xnor(f, g Ref) (Ref, error) {
+	return b.apply(func() Ref { return b.ite(f, g, g.Not()) })
+}
+
+// Ite returns if f then g else h.
+func (b *BDD) Ite(f, g, h Ref) (Ref, error) {
+	return b.apply(func() Ref { return b.ite(f, g, h) })
+}
+
+// Eval evaluates the function under a total assignment of the variables.
+func (b *BDD) Eval(f Ref, assign func(level int) bool) bool {
+	for !f.IsConst() {
+		n := &b.nodes[f.idx()]
+		c := f.complemented()
+		if assign(int(n.Level)) {
+			f = n.Hi
+		} else {
+			f = n.Lo
+		}
+		if c {
+			f = f.Not()
+		}
+	}
+	return f == True
+}
+
+// Restrict cofactors f by a partial assignment: every variable with an
+// entry in assign is fixed to that value. Used to check MATE implication —
+// lits ⇒ mask iff mask restricted by the literals is ⊤.
+func (b *BDD) Restrict(f Ref, assign map[int]bool) (Ref, error) {
+	memo := make(map[Ref]Ref)
+	var rec func(f Ref) Ref
+	rec = func(f Ref) Ref {
+		if f.IsConst() {
+			return f
+		}
+		if r, ok := memo[f]; ok {
+			return r
+		}
+		n := &b.nodes[f.idx()]
+		lo, hi := n.Lo, n.Hi
+		if f.complemented() {
+			lo, hi = lo.Not(), hi.Not()
+		}
+		var r Ref
+		if v, ok := assign[int(n.Level)]; ok {
+			if v {
+				r = rec(hi)
+			} else {
+				r = rec(lo)
+			}
+		} else {
+			r = b.mk(n.Level, rec(lo), rec(hi))
+		}
+		memo[f] = r
+		return r
+	}
+	return b.apply(func() Ref { return rec(f) })
+}
+
+// String renders an edge for diagnostics.
+func (r Ref) String() string {
+	switch r {
+	case True:
+		return "⊤"
+	case False:
+		return "⊥"
+	}
+	if r.complemented() {
+		return fmt.Sprintf("¬n%d", r.idx())
+	}
+	return fmt.Sprintf("n%d", r.idx())
+}

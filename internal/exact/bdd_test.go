@@ -1,0 +1,252 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// expr is a reference boolean expression evaluated directly, used to check
+// the BDD against ground truth.
+type expr struct {
+	op       byte // 'v' var, '!' not, '&', '|', '=' xnor, '?' ite
+	varLevel int
+	kids     []*expr
+}
+
+func (e *expr) eval(assign []bool) bool {
+	switch e.op {
+	case 'v':
+		return assign[e.varLevel]
+	case '!':
+		return !e.kids[0].eval(assign)
+	case '&':
+		return e.kids[0].eval(assign) && e.kids[1].eval(assign)
+	case '|':
+		return e.kids[0].eval(assign) || e.kids[1].eval(assign)
+	case '=':
+		return e.kids[0].eval(assign) == e.kids[1].eval(assign)
+	case '?':
+		if e.kids[0].eval(assign) {
+			return e.kids[1].eval(assign)
+		}
+		return e.kids[2].eval(assign)
+	}
+	panic("bad op")
+}
+
+func randExpr(rng *rand.Rand, nVars, depth int) *expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		return &expr{op: 'v', varLevel: rng.Intn(nVars)}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return &expr{op: '!', kids: []*expr{randExpr(rng, nVars, depth-1)}}
+	case 1:
+		return &expr{op: '&', kids: []*expr{randExpr(rng, nVars, depth-1), randExpr(rng, nVars, depth-1)}}
+	case 2:
+		return &expr{op: '|', kids: []*expr{randExpr(rng, nVars, depth-1), randExpr(rng, nVars, depth-1)}}
+	case 3:
+		return &expr{op: '=', kids: []*expr{randExpr(rng, nVars, depth-1), randExpr(rng, nVars, depth-1)}}
+	default:
+		return &expr{op: '?', kids: []*expr{
+			randExpr(rng, nVars, depth-1), randExpr(rng, nVars, depth-1), randExpr(rng, nVars, depth-1)}}
+	}
+}
+
+func buildBDD(t *testing.T, b *BDD, e *expr) Ref {
+	t.Helper()
+	var r Ref
+	var err error
+	switch e.op {
+	case 'v':
+		return b.Var(e.varLevel)
+	case '!':
+		return buildBDD(t, b, e.kids[0]).Not()
+	case '&':
+		r, err = b.And(buildBDD(t, b, e.kids[0]), buildBDD(t, b, e.kids[1]))
+	case '|':
+		r, err = b.Or(buildBDD(t, b, e.kids[0]), buildBDD(t, b, e.kids[1]))
+	case '=':
+		r, err = b.Xnor(buildBDD(t, b, e.kids[0]), buildBDD(t, b, e.kids[1]))
+	case '?':
+		r, err = b.Ite(buildBDD(t, b, e.kids[0]), buildBDD(t, b, e.kids[1]), buildBDD(t, b, e.kids[2]))
+	}
+	if err != nil {
+		t.Fatalf("unexpected budget error: %v", err)
+	}
+	return r
+}
+
+func TestBDDConstants(t *testing.T) {
+	if True.Not() != False || False.Not() != True {
+		t.Fatal("complement of constants broken")
+	}
+	if !True.IsConst() || !False.IsConst() {
+		t.Fatal("constants must be const")
+	}
+	b := NewBDD(0)
+	if !b.Eval(True, nil) || b.Eval(False, nil) {
+		t.Fatal("Eval on constants broken")
+	}
+}
+
+// TestBDDCanonicity: semantically equal functions built along different
+// syntactic routes must be the same Ref (that is the whole point of a
+// reduced ordered BDD — equivalence checks are pointer comparisons).
+func TestBDDCanonicity(t *testing.T) {
+	b := NewBDD(0)
+	x, y := b.Var(0), b.Var(1)
+	and1, _ := b.And(x, y)
+	or1, _ := b.Or(x.Not(), y.Not())
+	if and1 != or1.Not() {
+		t.Fatalf("De Morgan not canonical: %v vs %v", and1, or1.Not())
+	}
+	xn1, _ := b.Xnor(x, y)
+	xn2, _ := b.Xnor(y, x)
+	if xn1 != xn2 {
+		t.Fatalf("XNOR not commutative-canonical: %v vs %v", xn1, xn2)
+	}
+	// ite(x, y, y) == y without allocating.
+	ite, _ := b.Ite(x, y, y)
+	if ite != y {
+		t.Fatal("ite(f,g,g) != g")
+	}
+}
+
+// TestBDDNormalForm checks the complement-edge invariant on every
+// allocated node: then-edges are stored positively and Lo != Hi.
+func TestBDDNormalForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBDD(0)
+	for i := 0; i < 50; i++ {
+		buildBDD(t, b, randExpr(rng, 6, 5))
+	}
+	for i, n := range b.nodes {
+		if i == 0 {
+			continue // terminal
+		}
+		if n.Hi.complemented() {
+			t.Fatalf("node %d: complemented then-edge", i)
+		}
+		if n.Lo == n.Hi {
+			t.Fatalf("node %d: redundant test", i)
+		}
+		if b.level(n.Lo) <= n.Level || b.level(n.Hi) <= n.Level {
+			t.Fatalf("node %d: child level not below", i)
+		}
+	}
+}
+
+// TestBDDAgainstTruthTable cross-checks random formulas against direct
+// expression evaluation on every assignment, and canonicity of the result
+// (same truth table → same Ref).
+func TestBDDAgainstTruthTable(t *testing.T) {
+	const nVars = 6
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBDD(0)
+		e := randExpr(rng, nVars, 6)
+		f := buildBDD(t, b, e)
+		byTable := map[uint64]Ref{}
+		var table uint64
+		for a := 0; a < 1<<nVars; a++ {
+			assign := make([]bool, nVars)
+			for v := range assign {
+				assign[v] = a&(1<<v) != 0
+			}
+			want := e.eval(assign)
+			got := b.Eval(f, func(level int) bool { return assign[level] })
+			if got != want {
+				t.Fatalf("seed %d assign %06b: BDD=%v want %v", seed, a, got, want)
+			}
+			if want {
+				table |= 1 << a
+			}
+		}
+		if prev, ok := byTable[table]; ok && prev != f {
+			t.Fatalf("seed %d: same truth table, different refs", seed)
+		}
+		byTable[table] = f
+	}
+}
+
+func TestBDDRestrict(t *testing.T) {
+	const nVars = 6
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBDD(0)
+		e := randExpr(rng, nVars, 6)
+		f := buildBDD(t, b, e)
+		fixed := map[int]bool{}
+		for v := 0; v < nVars; v++ {
+			if rng.Intn(2) == 0 {
+				fixed[v] = rng.Intn(2) == 1
+			}
+		}
+		r, err := b.Restrict(f, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < 1<<nVars; a++ {
+			assign := make([]bool, nVars)
+			for v := range assign {
+				if fv, ok := fixed[v]; ok {
+					assign[v] = fv
+				} else {
+					assign[v] = a&(1<<v) != 0
+				}
+			}
+			want := e.eval(assign)
+			got := b.Eval(r, func(level int) bool { return assign[level] })
+			if got != want {
+				t.Fatalf("seed %d: restrict mismatch at %06b", seed, a)
+			}
+		}
+	}
+}
+
+func TestBDDNodeBudget(t *testing.T) {
+	b := NewBDD(1) // only the terminal fits
+	if _, err := b.apply(func() Ref { return b.Var(0) }); err != ErrNodeBudget {
+		t.Fatalf("want ErrNodeBudget, got %v", err)
+	}
+	// The universe stays usable for constants after a blown operation.
+	if !b.Eval(True, nil) {
+		t.Fatal("universe unusable after budget error")
+	}
+}
+
+func TestSatPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		b := NewBDD(0)
+		f := buildBDD(t, b, randExpr(rng, 6, 5))
+		for _, want := range []bool{false, true} {
+			path := satPath(b, f, want)
+			if f.IsConst() && (f == True) != want {
+				// The opposite constant is unreachable.
+				if path != nil {
+					t.Fatalf("found a path to %v in constant %v", want, f)
+				}
+				continue
+			}
+			// Reachable: the (possibly empty) path must force the value.
+			assign := map[int]bool{}
+			for _, cl := range path {
+				assign[cl.Level] = cl.Value
+			}
+			// The partial path must force the value regardless of the rest.
+			for fill := 0; fill < 2; fill++ {
+				got := b.Eval(f, func(level int) bool {
+					if v, ok := assign[level]; ok {
+						return v
+					}
+					return fill == 1
+				})
+				if got != want {
+					t.Fatalf("satPath does not force %v (fill=%d)", want, fill)
+				}
+			}
+		}
+	}
+}

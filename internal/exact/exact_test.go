@@ -1,0 +1,239 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+)
+
+// andNetlist: ff gated by in0 into a second FF. The masking condition of
+// ff is exactly ¬in0 (the AND's other input at 0 absorbs the flip).
+func andNetlist(t *testing.T) (*netlist.Netlist, netlist.WireID, netlist.WireID) {
+	t.Helper()
+	b := netlist.NewBuilder("and-core")
+	in0 := b.Input("in0")
+	q := b.FFPlaceholder("ff", false, "")
+	g := b.Gate(cell.AND2, q, in0)
+	b.FF("ff2", g, false, "")
+	b.SetFFD(q, in0)
+	return b.MustNetlist(), q, in0
+}
+
+// xorNetlist: ff feeds an XOR into a second FF — every flip propagates, so
+// ff is provably unmaskable.
+func xorNetlist(t *testing.T) (*netlist.Netlist, netlist.WireID) {
+	t.Helper()
+	b := netlist.NewBuilder("xor-core")
+	in0 := b.Input("in0")
+	q := b.FFPlaceholder("ff", false, "")
+	g := b.Gate(cell.XOR2, q, in0)
+	b.FF("ff2", g, false, "")
+	b.SetFFD(q, in0)
+	return b.MustNetlist(), q
+}
+
+func TestMaskingConditionAND(t *testing.T) {
+	nl, q, in0 := andNetlist(t)
+	mc, err := MaskingCondition(nl, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Unmaskable() || mc.Always() {
+		t.Fatalf("AND cone should be conditionally maskable, got cond=%v", mc.Cond)
+	}
+	if len(mc.Border) != 1 || mc.Border[0] != in0 {
+		t.Fatalf("border = %v, want [in0]", mc.Border)
+	}
+	// Condition must be exactly ¬in0.
+	want := mc.B.Var(mc.VarOf[in0]).Not()
+	if mc.Cond != want {
+		t.Fatalf("cond = %v, want ¬in0 = %v", mc.Cond, want)
+	}
+}
+
+func TestMaskingConditionUnmaskable(t *testing.T) {
+	nl, q := xorNetlist(t)
+	mc, err := MaskingCondition(nl, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mc.Unmaskable() {
+		t.Fatalf("XOR cone must be unmaskable, cond=%v", mc.Cond)
+	}
+}
+
+func TestFindExactTermsAndMerge(t *testing.T) {
+	nl, q, in0 := andNetlist(t)
+	reg := obs.NewRegistry()
+	res := FindExactTerms(nl, []netlist.WireID{q}, nil, Options{Obs: reg})
+	if res.TermsFound != 1 || len(res.PerWire) != 1 {
+		t.Fatalf("TermsFound = %d, want 1", res.TermsFound)
+	}
+	term := res.PerWire[0].Terms[0]
+	if len(term) != 1 || term[0].Wire != in0 || term[0].Value != false {
+		t.Fatalf("term = %v, want [in0=0]", term)
+	}
+	if res.PerWire[0].PrimeCover != 1 {
+		t.Fatalf("PrimeCover = %d, want 1", res.PerWire[0].PrimeCover)
+	}
+
+	set := &core.MATESet{}
+	if created := res.MergeInto(set); created != 1 || set.Size() != 1 {
+		t.Fatalf("merge created %d MATEs, set size %d", created, set.Size())
+	}
+	// Merging again must deduplicate, not duplicate.
+	if created := res.MergeInto(set); created != 0 || set.Size() != 1 {
+		t.Fatalf("re-merge not idempotent: set size %d", set.Size())
+	}
+	if got := reg.Counter("exact_terms_found_total").Value(); got != 1 {
+		t.Fatalf("exact_terms_found_total = %d, want 1", got)
+	}
+}
+
+func TestFindExactTermsSkipsImpliedTerms(t *testing.T) {
+	nl, q, in0 := andNetlist(t)
+	heur := &core.MATESet{MATEs: []*core.MATE{{
+		Literals: []core.Literal{{Wire: in0, Value: false}},
+		Masks:    []netlist.WireID{q},
+	}}}
+	res := FindExactTerms(nl, []netlist.WireID{q}, heur, Options{})
+	if res.TermsFound != 0 {
+		t.Fatalf("heuristic already has the term; TermsFound = %d, want 0", res.TermsFound)
+	}
+}
+
+func TestFindExactTermsCertificates(t *testing.T) {
+	nl, q := xorNetlist(t)
+	reg := obs.NewRegistry()
+	res := FindExactTerms(nl, []netlist.WireID{q}, nil, Options{Obs: reg})
+	if len(res.Certificates) != 1 || res.Certificates[0].Wire != q {
+		t.Fatalf("certificates = %v, want one for ff", res.Certificates)
+	}
+	c := res.Certificates[0]
+	if c.ConeGates != 1 || c.BorderWires != 1 || c.BDDNodes < 2 {
+		t.Fatalf("certificate stats off: %+v", c)
+	}
+	if got := reg.Counter("exact_unmaskable_total").Value(); got != 1 {
+		t.Fatalf("exact_unmaskable_total = %d, want 1", got)
+	}
+	set := &core.MATESet{}
+	res.MergeInto(set)
+	if len(set.Certificates) != 1 {
+		t.Fatal("certificate not merged into set")
+	}
+	if !set.CertifiedUnmaskable()[q] {
+		t.Fatal("CertifiedUnmaskable lookup broken")
+	}
+}
+
+func TestVerifyMATESetSound(t *testing.T) {
+	nl, q, in0 := andNetlist(t)
+	set := &core.MATESet{MATEs: []*core.MATE{{
+		Literals: []core.Literal{{Wire: in0, Value: false}},
+		Masks:    []netlist.WireID{q},
+	}}}
+	res := VerifyMATESet(nl, set, Options{})
+	if !res.Sound() || res.PairsChecked != 1 || res.PairsProved != 1 {
+		t.Fatalf("sound set rejected: %+v", res)
+	}
+}
+
+func TestVerifyMATESetViolation(t *testing.T) {
+	nl, q, in0 := andNetlist(t)
+	reg := obs.NewRegistry()
+	set := &core.MATESet{MATEs: []*core.MATE{{
+		// Bogus: claims masking when the AND is transparent.
+		Literals: []core.Literal{{Wire: in0, Value: true}},
+		Masks:    []netlist.WireID{q},
+	}}}
+	res := VerifyMATESet(nl, set, Options{Obs: reg})
+	if res.Sound() || len(res.Violations) != 1 {
+		t.Fatalf("unsound set accepted: %+v", res)
+	}
+	v := res.Violations[0]
+	if v.MATE != 0 || v.Wire != q || v.WireName != "ff" {
+		t.Fatalf("violation misattributed: %+v", v)
+	}
+	// The witness must pin in0 to 1 (the literal assignment itself is the
+	// full counterexample here).
+	if len(v.Witness) != 1 || v.Witness[0].Wire != in0 || !v.Witness[0].Value {
+		t.Fatalf("witness = %v, want [in0=1]", v.Witness)
+	}
+	if got := reg.Counter("exact_violations_total").Value(); got != 1 {
+		t.Fatalf("exact_violations_total = %d, want 1", got)
+	}
+}
+
+func TestVerifyMATESetNonBorderLiteralsIgnored(t *testing.T) {
+	// A literal on a wire outside the cone border cannot constrain the
+	// masking condition; the implication check must still pass when the
+	// border literals alone imply masking.
+	nl, q, in0 := andNetlist(t)
+	other, ok := nl.WireByName("ff2")
+	if !ok {
+		t.Fatal("ff2 missing")
+	}
+	set := &core.MATESet{MATEs: []*core.MATE{{
+		Literals: []core.Literal{{Wire: in0, Value: false}, {Wire: other, Value: true}},
+		Masks:    []netlist.WireID{q},
+	}}}
+	res := VerifyMATESet(nl, set, Options{})
+	if !res.Sound() {
+		t.Fatalf("free non-border literal broke verification: %+v", res)
+	}
+}
+
+func TestVerifyMATESetBadCertificate(t *testing.T) {
+	nl, q, _ := andNetlist(t)
+	set := &core.MATESet{Certificates: []core.Certificate{{Wire: q}}}
+	res := VerifyMATESet(nl, set, Options{})
+	if res.Sound() || len(res.BadCertificates) != 1 || res.BadCertificates[0] != q {
+		t.Fatalf("bogus certificate accepted: %+v", res)
+	}
+
+	nlx, qx := xorNetlist(t)
+	setx := &core.MATESet{Certificates: []core.Certificate{{Wire: qx}}}
+	resx := VerifyMATESet(nlx, setx, Options{})
+	if !resx.Sound() {
+		t.Fatalf("valid certificate rejected: %+v", resx)
+	}
+}
+
+func TestNodeBudgetFallback(t *testing.T) {
+	nl, q, _ := andNetlist(t)
+	res := FindExactTerms(nl, []netlist.WireID{q}, nil, Options{NodeBudget: 1})
+	if res.Truncated != 1 || !res.PerWire[0].Truncated {
+		t.Fatalf("budget fallback missing: %+v", res)
+	}
+	vres := VerifyMATESet(nl, &core.MATESet{MATEs: []*core.MATE{{
+		Literals: []core.Literal{},
+		Masks:    []netlist.WireID{q},
+	}}}, Options{NodeBudget: 1})
+	if len(vres.Unproven) != 1 || vres.Unproven[0] != q {
+		t.Fatalf("verify budget fallback missing: %+v", vres)
+	}
+}
+
+func TestVerifyHeuristicSearchOutput(t *testing.T) {
+	// End-to-end: the heuristic search over a random netlist must produce
+	// only MATEs the exact engine proves sound.
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed * 13))
+		nl := randomGateNetlist(rng)
+		sr := core.Search(nl, nl.FFQWires(), core.DefaultSearchParams())
+		res := VerifyMATESet(nl, sr.Set, Options{})
+		if len(res.Unproven) > 0 {
+			t.Fatalf("seed %d: tiny cones blew the budget: %v", seed, res.Unproven)
+		}
+		if !res.Sound() {
+			t.Fatalf("seed %d: heuristic MATE disproved: %+v", seed, res.Violations)
+		}
+		if res.PairsChecked == 0 {
+			t.Fatalf("seed %d: nothing verified", seed)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package exact
+
+import (
+	"testing"
+)
+
+// FuzzBDDEval interprets the fuzz input as a tiny stack program building a
+// boolean function over 6 variables, tracking a 64-bit truth table as the
+// ground truth alongside the BDD. Every operation must leave BDD and truth
+// table in agreement on all 64 assignments, and semantically equal stack
+// entries must be the identical Ref (canonicity).
+func FuzzBDDEval(f *testing.F) {
+	f.Add([]byte{0, 1, 8, 2, 9, 3, 10})               // vars, and, or, xnor chains
+	f.Add([]byte{0, 7, 1, 7, 8, 2, 3, 9, 10})         // with negations
+	f.Add([]byte{5, 4, 3, 11, 0, 1, 2, 11, 8, 7})     // ite mixes
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 8, 8, 8, 8, 8, 7}) // deep and chain
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		const nVars = 6
+		b := NewBDD(1 << 16)
+		// Truth tables over 6 vars are uint64 bitmaps indexed by assignment.
+		var varTable [nVars]uint64
+		for a := 0; a < 64; a++ {
+			for v := 0; v < nVars; v++ {
+				if a&(1<<v) != 0 {
+					varTable[v] |= 1 << a
+				}
+			}
+		}
+		type entry struct {
+			f     Ref
+			table uint64
+		}
+		stack := []entry{}
+		pop := func() entry {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			return e
+		}
+		for _, op := range prog {
+			var err error
+			switch {
+			case op < nVars:
+				stack = append(stack, entry{b.Var(int(op)), varTable[op]})
+			case op == 6:
+				stack = append(stack, entry{True, ^uint64(0)})
+			case op == 7 && len(stack) >= 1:
+				e := pop()
+				stack = append(stack, entry{e.f.Not(), ^e.table})
+			case op == 8 && len(stack) >= 2:
+				x, y := pop(), pop()
+				var r Ref
+				r, err = b.And(x.f, y.f)
+				stack = append(stack, entry{r, x.table & y.table})
+			case op == 9 && len(stack) >= 2:
+				x, y := pop(), pop()
+				var r Ref
+				r, err = b.Or(x.f, y.f)
+				stack = append(stack, entry{r, x.table | y.table})
+			case op == 10 && len(stack) >= 2:
+				x, y := pop(), pop()
+				var r Ref
+				r, err = b.Xnor(x.f, y.f)
+				stack = append(stack, entry{r, ^(x.table ^ y.table)})
+			case op == 11 && len(stack) >= 3:
+				c, x, y := pop(), pop(), pop()
+				var r Ref
+				r, err = b.Ite(c.f, x.f, y.f)
+				stack = append(stack, entry{r, c.table&x.table | ^c.table&y.table})
+			default:
+				continue
+			}
+			if err != nil {
+				t.Skip("node budget hit — not a correctness failure")
+			}
+		}
+		tables := map[uint64]Ref{}
+		for si, e := range stack {
+			for a := 0; a < 64; a++ {
+				a := a
+				want := e.table&(1<<a) != 0
+				got := b.Eval(e.f, func(level int) bool { return a&(1<<level) != 0 })
+				if got != want {
+					t.Fatalf("stack %d assign %06b: BDD=%v table=%v", si, a, got, want)
+				}
+			}
+			if prev, ok := tables[e.table]; ok && prev != e.f {
+				t.Fatalf("stack %d: equal truth tables, different refs (not canonical)", si)
+			}
+			tables[e.table] = e.f
+		}
+	})
+}

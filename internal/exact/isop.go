@@ -1,0 +1,105 @@
+package exact
+
+import "errors"
+
+// CubeLit is one literal of an extracted implicant: the BDD variable at
+// Level must carry Value.
+type CubeLit struct {
+	Level int
+	Value bool
+}
+
+// Cube is a conjunction of literals, sorted by level. An empty cube is ⊤.
+type Cube []CubeLit
+
+// ErrCubeBudget is returned when an ISOP extraction would produce more
+// cubes than the configured cap. The affected cone falls back to its
+// heuristic terms only (still sound, just less complete).
+var ErrCubeBudget = errors.New("exact: ISOP cube budget exceeded")
+
+type errCubes struct{}
+
+// isopState carries one extraction: the universe, the growing cover and the
+// cube cap.
+type isopState struct {
+	b     *BDD
+	cubes []Cube
+	max   int
+}
+
+// ISOP extracts an irredundant sum-of-products cover of f made of prime
+// implicants, using the Minato-Morreale procedure over the (L, U) interval
+// with L = U = f. Every returned cube implies f (soundness is structural),
+// together the cubes cover f exactly, and no cube or literal can be
+// dropped. maxCubes caps the cover size (0 = no cap); the node budget of b
+// still applies.
+func ISOP(b *BDD, f Ref, maxCubes int) ([]Cube, error) {
+	st := &isopState{b: b, max: maxCubes}
+	var err error
+	_, err = func() (r Ref, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				switch p.(type) {
+				case errBudget:
+					err = ErrNodeBudget
+				case errCubes:
+					err = ErrCubeBudget
+				default:
+					panic(p)
+				}
+			}
+		}()
+		return st.isop(f, f, nil), nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return st.cubes, nil
+}
+
+// isop returns the BDD of the cover it emitted for the interval [L, U],
+// appending the cubes (prefixed by the literals accumulated in path) to
+// st.cubes.
+func (st *isopState) isop(L, U Ref, path Cube) Ref {
+	b := st.b
+	if L == False {
+		return False
+	}
+	if U == True {
+		st.emit(path)
+		return True
+	}
+	lv := b.level(L)
+	if l := b.level(U); l < lv {
+		lv = l
+	}
+	L0, L1 := b.cofactors(L, lv)
+	U0, U1 := b.cofactors(U, lv)
+
+	// Minterms of L0 that no cube without ¬x can cover (they are not in
+	// U1) must go into cubes carrying ¬x; symmetrically for x.
+	Lx0 := b.ite(L0, U1.Not(), False)
+	Lx1 := b.ite(L1, U0.Not(), False)
+	G0 := st.isop(Lx0, U0, append(path, CubeLit{Level: int(lv), Value: false}))
+	G1 := st.isop(Lx1, U1, append(path, CubeLit{Level: int(lv), Value: true}))
+
+	// Whatever remains uncovered may be covered by cubes independent of x.
+	rem0 := b.ite(L0, G0.Not(), False)
+	rem1 := b.ite(L1, G1.Not(), False)
+	Lrem := b.ite(rem0, True, rem1)
+	Ud := b.ite(U0, U1, False)
+	Gd := st.isop(Lrem, Ud, path)
+
+	return b.ite(b.Var(int(lv)), b.ite(G1, True, Gd), b.ite(G0, True, Gd))
+}
+
+func (st *isopState) emit(path Cube) {
+	if st.max > 0 && len(st.cubes) >= st.max {
+		panic(errCubes{})
+	}
+	c := make(Cube, len(path))
+	copy(c, path)
+	// The recursion pushes literals in descending level order already
+	// (levels only grow along a path), so the cube is sorted by level.
+	st.cubes = append(st.cubes, c)
+}

@@ -1,0 +1,105 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// cubeAssign converts a cube into a Restrict-style partial assignment.
+func cubeAssign(c Cube) map[int]bool {
+	m := make(map[int]bool, len(c))
+	for _, l := range c {
+		m[l.Level] = l.Value
+	}
+	return m
+}
+
+// TestISOPRandom checks the three ISOP guarantees on random functions:
+// every cube implies f (soundness), the cubes together cover f exactly
+// (completeness), and every cube is prime (dropping any literal breaks the
+// implication).
+func TestISOPRandom(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBDD(0)
+		f := buildBDD(t, b, randExpr(rng, 6, 6))
+		cubes, err := ISOP(b, f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cover := False
+		for ci, c := range cubes {
+			// Soundness: f restricted by the cube is a tautology.
+			r, err := b.Restrict(f, cubeAssign(c))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r != True {
+				t.Fatalf("seed %d cube %d: does not imply f", seed, ci)
+			}
+			// Primality: no literal is droppable.
+			for drop := range c {
+				sub := append(append(Cube{}, c[:drop]...), c[drop+1:]...)
+				r, err := b.Restrict(f, cubeAssign(sub))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r == True {
+					t.Fatalf("seed %d cube %d: literal %d redundant (not prime)", seed, ci, drop)
+				}
+			}
+			// Levels strictly increasing (sorted cube).
+			for i := 1; i < len(c); i++ {
+				if c[i].Level <= c[i-1].Level {
+					t.Fatalf("seed %d cube %d: unsorted levels", seed, ci)
+				}
+			}
+			// Accumulate the cover.
+			cb := True
+			for _, l := range c {
+				v := b.Var(l.Level)
+				if !l.Value {
+					v = v.Not()
+				}
+				if cb, err = b.And(cb, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if cover, err = b.Or(cover, cb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if cover != f {
+			t.Fatalf("seed %d: cover (%d cubes) != f", seed, len(cubes))
+		}
+	}
+}
+
+func TestISOPConstants(t *testing.T) {
+	b := NewBDD(0)
+	cubes, err := ISOP(b, False, 0)
+	if err != nil || len(cubes) != 0 {
+		t.Fatalf("ISOP(⊥) = %v, %v; want empty", cubes, err)
+	}
+	cubes, err = ISOP(b, True, 0)
+	if err != nil || len(cubes) != 1 || len(cubes[0]) != 0 {
+		t.Fatalf("ISOP(⊤) = %v, %v; want one empty cube", cubes, err)
+	}
+}
+
+func TestISOPCubeBudget(t *testing.T) {
+	// Parity of 6 variables needs 2^5 = 32 disjoint cubes; cap at 4.
+	b := NewBDD(0)
+	f := b.Var(0)
+	var err error
+	for v := 1; v < 6; v++ {
+		eq, e := b.Xnor(f, b.Var(v))
+		if e != nil {
+			t.Fatal(e)
+		}
+		f = eq.Not()
+	}
+	if _, err = ISOP(b, f, 4); err != ErrCubeBudget {
+		t.Fatalf("want ErrCubeBudget, got %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package exact
+
+import (
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// MaskCond is the symbolically computed masking condition of one fault
+// cone: the exact predicate over the cone's border wires under which a flip
+// of the source provably does not change any sink within the clock cycle.
+type MaskCond struct {
+	Wire netlist.WireID
+	Cone *core.Cone
+	// B is the BDD universe the condition lives in; Cond the condition.
+	B    *BDD
+	Cond Ref
+	// Border maps BDD variable levels back to wires: Border[level] is the
+	// border wire variable `level` stands for. VarOf is the inverse.
+	Border []netlist.WireID
+	VarOf  map[netlist.WireID]int
+}
+
+// Unmaskable reports whether the condition reduced to the canonical ⊥: no
+// assignment of the border wires masks the fault. Because the masking
+// condition quantifies over ALL border assignments (a superset of the
+// reachable ones), this is a proof that no MATE over border wires exists.
+func (mc *MaskCond) Unmaskable() bool { return mc.Cond == False }
+
+// Always reports whether the condition is the canonical ⊤ — the fault can
+// never reach a sink (a dangling flip-flop), so an always-true MATE is
+// sound.
+func (mc *MaskCond) Always() bool { return mc.Cond == True }
+
+// Eval evaluates the condition under a concrete border-wire valuation.
+func (mc *MaskCond) Eval(value func(netlist.WireID) bool) bool {
+	return mc.B.Eval(mc.Cond, func(level int) bool { return value(mc.Border[level]) })
+}
+
+// MaskingCondition computes the exact masking condition of the fault cone
+// of one wire. Variables are the cone's border wires, ordered by first use
+// in the cone's topological gate order (a locality-preserving static order
+// that keeps the intermediate BDDs small on circuit-shaped cones).
+//
+// The condition is built by evaluating every in-cone wire twice — once with
+// the source fixed to 0, once to 1 — and conjoining, per sink, the
+// equivalence of the two evaluations. The flip direction cancels out of the
+// equivalence, so the condition is independent of the flip-flop's actual
+// (fault-free) value, exactly like the paper's MATE semantics.
+//
+// On node-budget overflow the error is ErrNodeBudget and the caller treats
+// the cone as unproven (graceful fallback); no partial condition escapes.
+func MaskingCondition(nl *netlist.Netlist, wire netlist.WireID, budget int) (*MaskCond, error) {
+	cone := core.ComputeCone(nl, wire)
+	return maskingConditionOfCone(nl, wire, cone, budget)
+}
+
+func maskingConditionOfCone(nl *netlist.Netlist, wire netlist.WireID, cone *core.Cone, budget int) (*MaskCond, error) {
+	b := NewBDD(budget)
+	mc := &MaskCond{Wire: wire, Cone: cone, B: b, VarOf: map[netlist.WireID]int{}}
+
+	// Border variables in first-use order over the topological gate list.
+	for _, gi := range cone.Gates {
+		for _, in := range nl.Gates[gi].Inputs {
+			if cone.InCone[in] {
+				continue
+			}
+			if _, ok := mc.VarOf[in]; !ok {
+				mc.VarOf[in] = len(mc.Border)
+				mc.Border = append(mc.Border, in)
+			}
+		}
+	}
+
+	// val0/val1: per in-cone wire, its function of the border wires with
+	// the source fixed to 0 resp. 1. Border wires read as their variable in
+	// both evaluations.
+	val0 := map[netlist.WireID]Ref{wire: False}
+	val1 := map[netlist.WireID]Ref{wire: True}
+	read := func(vals map[netlist.WireID]Ref, w netlist.WireID) Ref {
+		if r, ok := vals[w]; ok {
+			return r
+		}
+		return mc.B.Var(mc.VarOf[w])
+	}
+	cond, err := b.apply(func() Ref {
+		for _, gi := range cone.Gates {
+			g := &nl.Gates[gi]
+			in0 := make([]Ref, len(g.Inputs))
+			in1 := make([]Ref, len(g.Inputs))
+			for p, w := range g.Inputs {
+				in0[p] = read(val0, w)
+				in1[p] = read(val1, w)
+			}
+			val0[g.Output] = b.cellFn(g.Cell, in0)
+			val1[g.Output] = b.cellFn(g.Cell, in1)
+		}
+		cond := True
+		for _, s := range cone.Sinks {
+			eq := b.ite(read(val0, s), read(val1, s), read(val1, s).Not())
+			cond = b.ite(cond, eq, False)
+			if cond == False {
+				break // provably unmaskable; no need to conjoin further sinks
+			}
+		}
+		return cond
+	})
+	if err != nil {
+		return nil, err
+	}
+	mc.Cond = cond
+	return mc, nil
+}
+
+// cellFn composes a library cell's boolean function over BDD-valued inputs
+// by Shannon expansion on the pins: at most 2^n-1 ITE calls for an n-input
+// cell, with n ≤ cell.MaxInputs. Panics with the budget sentinel on
+// overflow — callers run it inside apply.
+func (b *BDD) cellFn(c *cell.Cell, inputs []Ref) Ref {
+	n := c.NumInputs()
+	var rec func(pin int, vec uint32) Ref
+	rec = func(pin int, vec uint32) Ref {
+		if pin == n {
+			if c.Eval(vec) {
+				return True
+			}
+			return False
+		}
+		lo := rec(pin+1, vec)
+		hi := rec(pin+1, vec|1<<pin)
+		return b.ite(inputs[pin], hi, lo)
+	}
+	return rec(0, 0)
+}

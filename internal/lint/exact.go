@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"strings"
+
+	"repro/internal/exact"
+)
+
+func init() {
+	Register(AnalyzerMateExact)
+}
+
+// AnalyzerMateExact independently re-proves the MATE set with the BDD
+// engine of internal/exact: every MATE's literal conjunction must imply the
+// exact masking condition of each wire it claims to mask, and every
+// unmaskability certificate must be reproducible (condition ≡ ⊥, no MATE
+// covering the certified wire). A disproved MATE is an error — the pruning
+// layer would silently misclassify faults as benign. A cone that exceeds
+// the BDD node budget is reported as info: the pair is unproven, not wrong.
+var AnalyzerMateExact = &Analyzer{
+	Name:          "mate-exact",
+	Doc:           "every MATE must provably imply the exact masking condition of each masked wire (BDD proof)",
+	Kind:          KindSemantic,
+	NeedsMATEs:    true,
+	NeedsExact:    true,
+	NeedsFinished: true,
+	Run:           runMateExact,
+}
+
+func runMateExact(p *Pass) {
+	res := exact.VerifyMATESet(p.NL, p.MATESet, *p.Exact)
+	for _, v := range res.Violations {
+		m := p.MATESet.MATEs[v.MATE]
+		var w strings.Builder
+		for i, l := range v.Witness {
+			if i > 0 {
+				w.WriteString(" ")
+			}
+			val := byte('0')
+			if l.Value {
+				val = '1'
+			}
+			w.WriteString(p.NL.WireName(l.Wire))
+			w.WriteByte('=')
+			w.WriteByte(val)
+		}
+		p.Reportf(SeverityError, mateRef(p.NL, v.MATE, m),
+			"does not imply the masking condition of %s; counterexample: %s",
+			wireRef(p.NL, v.Wire), w.String())
+	}
+	for _, w := range res.BadCertificates {
+		p.Reportf(SeverityError, wireRef(p.NL, w),
+			"unmaskability certificate disproved: the masking condition is satisfiable (or a MATE covers the wire)")
+	}
+	for _, w := range res.Unproven {
+		p.Reportf(SeverityInfo, wireRef(p.NL, w),
+			"masking condition exceeded the BDD node budget; MATEs over this wire are unproven (not disproved)")
+	}
+}

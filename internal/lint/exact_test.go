@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/netlist"
+)
+
+// andGateNetlist: ff gated by in0 into ff2; the masking condition of ff is
+// exactly ¬in0.
+func andGateNetlist(t *testing.T) (*netlist.Netlist, netlist.WireID, netlist.WireID) {
+	t.Helper()
+	b := netlist.NewBuilder("lint-exact")
+	in0 := b.Input("in0")
+	q := b.FFPlaceholder("ff", false, "")
+	g := b.Gate(cell.AND2, q, in0)
+	b.FF("ff2", g, false, "")
+	b.SetFFD(q, in0)
+	return b.MustNetlist(), q, in0
+}
+
+func TestMateExactSkippedWithoutOptIn(t *testing.T) {
+	nl, q, in0 := andGateNetlist(t)
+	set := &core.MATESet{MATEs: []*core.MATE{{
+		Literals: []core.Literal{{Wire: in0, Value: true}}, // unsound
+		Masks:    []netlist.WireID{q},
+	}}}
+	res := Run(nl, Options{MATESet: set})
+	if ds := byAnalyzer(res, "mate-exact"); len(ds) != 0 {
+		t.Fatalf("mate-exact ran without Options.Exact: %v", ds)
+	}
+}
+
+func TestMateExactSound(t *testing.T) {
+	nl, q, in0 := andGateNetlist(t)
+	set := &core.MATESet{MATEs: []*core.MATE{{
+		Literals: []core.Literal{{Wire: in0, Value: false}},
+		Masks:    []netlist.WireID{q},
+	}}}
+	res := Run(nl, Options{MATESet: set, Exact: &exact.Options{}})
+	if ds := byAnalyzer(res, "mate-exact"); len(ds) != 0 {
+		t.Fatalf("sound MATE flagged: %v", ds)
+	}
+}
+
+func TestMateExactViolation(t *testing.T) {
+	nl, q, in0 := andGateNetlist(t)
+	_ = q
+	set := &core.MATESet{MATEs: []*core.MATE{{
+		Literals: []core.Literal{{Wire: in0, Value: true}},
+		Masks:    []netlist.WireID{q},
+	}}}
+	res := Run(nl, Options{MATESet: set, Exact: &exact.Options{}})
+	d := wantOne(t, res, "mate-exact", SeverityError, "does not imply the masking condition")
+	if !strings.Contains(d.Message, "in0=1") {
+		t.Errorf("message %q lacks the counterexample assignment", d.Message)
+	}
+	if !res.HasErrors() {
+		t.Error("disproved MATE did not fail the run")
+	}
+}
+
+func TestMateExactBadCertificate(t *testing.T) {
+	nl, q, _ := andGateNetlist(t)
+	set := &core.MATESet{Certificates: []core.Certificate{{Wire: q}}}
+	res := Run(nl, Options{MATESet: set, Exact: &exact.Options{}})
+	wantOne(t, res, "mate-exact", SeverityError, "certificate disproved")
+}
+
+func TestMateExactBudgetUnproven(t *testing.T) {
+	nl, q, in0 := andGateNetlist(t)
+	set := &core.MATESet{MATEs: []*core.MATE{{
+		Literals: []core.Literal{{Wire: in0, Value: false}},
+		Masks:    []netlist.WireID{q},
+	}}}
+	res := Run(nl, Options{MATESet: set, Exact: &exact.Options{NodeBudget: 1}})
+	wantOne(t, res, "mate-exact", SeverityInfo, "node budget")
+	if res.HasErrors() {
+		t.Error("budget fallback must not be an error")
+	}
+}

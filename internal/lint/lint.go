@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/core"
+	"repro/internal/exact"
 	"repro/internal/netlist"
 )
 
@@ -103,6 +104,10 @@ type Analyzer struct {
 	Kind Kind
 	// NeedsMATEs: the analyzer only runs when Options.MATESet is provided.
 	NeedsMATEs bool
+	// NeedsExact: the analyzer performs exact (BDD-backed) proofs and only
+	// runs when Options.Exact is provided — the proofs are orders of
+	// magnitude more expensive than the other checks, so they are opt-in.
+	NeedsExact bool
 	// NeedsFinished: the analyzer uses derived netlist structures (fanout,
 	// evaluation order) and is skipped, with an info diagnostic, on
 	// unfinished netlists.
@@ -115,7 +120,8 @@ type Analyzer struct {
 type Pass struct {
 	NL      *netlist.Netlist
 	Facts   *Facts
-	MATESet *core.MATESet // nil unless the caller supplied one
+	MATESet *core.MATESet  // nil unless the caller supplied one
+	Exact   *exact.Options // nil unless exact verification was requested
 	Terms   TermSource
 
 	analyzer *Analyzer
@@ -215,6 +221,9 @@ type Options struct {
 	Analyzers []*Analyzer
 	// MATESet enables the MATE analyzers against this loaded set.
 	MATESet *core.MATESet
+	// Exact enables the BDD-backed exact analyzers with these engine
+	// options (use &exact.Options{} for the defaults). Nil skips them.
+	Exact *exact.Options
 	// Terms overrides the gate-masking term source (default
 	// cell.MaskingTerms).
 	Terms TermSource
@@ -281,12 +290,15 @@ func Run(nl *netlist.Netlist, opts Options) *Result {
 		if a.NeedsMATEs && opts.MATESet == nil {
 			continue
 		}
+		if a.NeedsExact && opts.Exact == nil {
+			continue
+		}
 		if a.NeedsFinished && !nl.Finished() {
 			report(Diagnostic{Analyzer: a.Name, Severity: SeverityInfo,
 				Message: "skipped: netlist is not finalised (fix the structural errors first)"})
 			continue
 		}
-		pass := &Pass{NL: nl, Facts: facts, MATESet: opts.MATESet, Terms: terms, analyzer: a, sink: report}
+		pass := &Pass{NL: nl, Facts: facts, MATESet: opts.MATESet, Exact: opts.Exact, Terms: terms, analyzer: a, sink: report}
 		a.Run(pass)
 	}
 	return res

@@ -11,11 +11,11 @@ import (
 // Document is the single-campaign report: everything the text, JSON and CSV
 // renderers draw from.
 type Document struct {
-	Path    string   `json:"journal"`
-	Summary Summary  `json:"summary"`
+	Path    string    `json:"journal"`
+	Summary Summary   `json:"summary"`
 	MATEs   []MATERow `json:"mates"`
-	Heatmap *Heatmap `json:"heatmap,omitempty"`
-	Stats   *Stats   `json:"stats,omitempty"`
+	Heatmap *Heatmap  `json:"heatmap,omitempty"`
+	Stats   *Stats    `json:"stats,omitempty"`
 }
 
 // BuildDocument assembles the report of one campaign. bins parameterises
@@ -86,6 +86,19 @@ func (d *Document) WriteText(w io.Writer) error {
 			fmt.Fprintf(w, "convergence: %d experiments retired early", n)
 			if s, ok := st.Counters["campaign_cycles_saved_total"]; ok {
 				fmt.Fprintf(w, ", %d simulation cycles saved", s)
+			}
+			fmt.Fprintln(w)
+		}
+		terms, hasTerms := st.Counters["exact_terms_found_total"]
+		certs, hasCerts := st.Counters["exact_unmaskable_total"]
+		if hasTerms || hasCerts {
+			fmt.Fprintf(w, "exact:      %d BDD-derived terms, %d certified-unmaskable flip-flops",
+				terms, certs)
+			if n, ok := st.Counters["exact_bdd_nodes_total"]; ok {
+				fmt.Fprintf(w, ", %d BDD nodes", n)
+			}
+			if n, ok := st.Counters["exact_truncated_total"]; ok && n > 0 {
+				fmt.Fprintf(w, ", %d cones over budget", n)
 			}
 			fmt.Fprintln(w)
 		}

@@ -214,9 +214,9 @@ func TestDiffFindsRegressions(t *testing.T) {
 	a := loadBase(t)
 
 	mod := basePoints()
-	mod = mod[:len(mod)-1]  // drop point 8: coverage regression
-	mod[1].outcome = 2      // point 1 sdc -> hang: classification regression
-	mod[0].pruned = true    // point 0 executed-benign -> pruned: informational flip
+	mod = mod[:len(mod)-1] // drop point 8: coverage regression
+	mod[1].outcome = 2     // point 1 sdc -> hang: classification regression
+	mod[0].pruned = true   // point 0 executed-benign -> pruned: informational flip
 	mod[0].mate, mod[0].width = 9, 3
 	b, err := Load(buildJournal(t, testHeader, mod), "")
 	if err != nil {
