@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race lint-examples campaign-smoke bench-snapshot bench-compare fuzz-smoke cover
+.PHONY: check build vet test race lint-examples campaign-smoke fleet-smoke bench-snapshot bench-compare fuzz-smoke cover
 
 # The CI gate: everything a PR must pass.
-check: vet build test race lint-examples campaign-smoke
+check: vet build test race lint-examples campaign-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,12 @@ lint-examples:
 # Also scrapes a live /metrics endpoint during a campaign.
 campaign-smoke:
 	./scripts/campaign_smoke.sh
+
+# Distributed fault-tolerance drill: coordinator + workers with a zombie
+# lease and a SIGKILLed worker; the merged journal must be diff-clean
+# against an uninterrupted single-process run.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
 
 # Refresh a committed benchmark snapshot (default: the BENCH_0.json
 # baseline; BENCH_OUT=BENCH_1.json snapshots the current tree next to it).

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -116,5 +117,125 @@ func TestRunErrors(t *testing.T) {
 	}
 	if code := run([]string{"-diff", writeJournal(t, false)}, &out, &errw); code != 1 {
 		t.Fatalf("diff with one journal exit %d", code)
+	}
+}
+
+// writeFleetPair lays down the same 10-point campaign twice: once as a
+// single-process journal and once shard-by-shard merged through
+// journal.Merge — the shape a campaignd fleet produces.
+func writeFleetPair(t *testing.T) (single, merged string) {
+	t.Helper()
+	dir := t.TempDir()
+	recs := make([]journal.Record, 10)
+	for i := range recs {
+		recs[i] = journal.Record{Index: uint64(i), FF: uint32(i % 3), Cycle: uint32(i), Duration: 1, Outcome: uint8(i % 3)}
+	}
+	recs[4].Outcome = 0
+	recs[4].Pruned = true
+	hit := journal.MATEHit{Index: 4, FF: 1, MATE: 7, Width: 3}
+
+	single = filepath.Join(dir, "single.journal")
+	w, err := journal.Create(single, testHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Pruned {
+			if err := w.AppendMATEHit(hit); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two shards of 5 points with local indexes, merged back together.
+	var shards []journal.MergeShard
+	for s := 0; s < 2; s++ {
+		path := filepath.Join(dir, "shard.journal")
+		h := journal.Header{GoldenSignature: testHeader.GoldenSignature, NumPoints: 5, FaultListHash: uint64(100 + s)}
+		sw, err := journal.Create(path, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for li := 0; li < 5; li++ {
+			rec := recs[s*5+li]
+			rec.Index = uint64(li)
+			if rec.Pruned {
+				lh := hit
+				lh.Index = uint64(li)
+				if err := sw.AppendMATEHit(lh); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sw.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := journal.Recover(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, journal.MergeShard{Rec: rec, Base: uint64(s * 5), Want: h})
+	}
+	merged = filepath.Join(dir, "merged.journal")
+	if _, err := journal.Merge(merged, testHeader, shards); err != nil {
+		t.Fatal(err)
+	}
+	return single, merged
+}
+
+func TestRunFleetMergedJournal(t *testing.T) {
+	single, merged := writeFleetPair(t)
+
+	// A fleet-merged journal is a plain campaign journal: the report reads
+	// it unchanged, and diffing it against the single-process run is clean.
+	var out, errw bytes.Buffer
+	if code := run([]string{merged}, &out, &errw); code != 0 {
+		t.Fatalf("report on merged journal exit %d, stderr %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "10 points, 10 classified") {
+		t.Fatalf("merged report:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-diff", single, merged}, &out, &errw); code != 0 {
+		t.Fatalf("single-vs-merged diff exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "regressions: none") {
+		t.Fatalf("diff output:\n%s", out.String())
+	}
+}
+
+func TestRunFleetStatsSurfaced(t *testing.T) {
+	_, merged := writeFleetPair(t)
+	stats := filepath.Join(t.TempDir(), "run.stats")
+	err := os.WriteFile(stats, []byte(`{
+		"uptime_seconds": 12.5,
+		"counters": {
+			"fleet_leases_granted_total": 9,
+			"fleet_lease_expiries_total": 2,
+			"fleet_lease_regrants_total": 2,
+			"fleet_completions_stale_total": 1,
+			"fleet_merges_total": 1
+		}
+	}`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-stats-json", stats, merged}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errw.String())
+	}
+	for _, want := range []string{"9 leases granted", "2 expired", "2 re-leased", "1 stale completions fenced off"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("fleet counters not surfaced (missing %q):\n%s", want, out.String())
+		}
 	}
 }

@@ -1,0 +1,711 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/hafi"
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+// ShardState is the lease state machine of one shard:
+//
+//	Pending ──grant──▶ Leased ──verified upload──▶ Done
+//	   ▲                  │
+//	   └── TTL expired ───┘
+//
+// Every grant carries a fresh fencing token (a globally monotonic
+// counter); a completion or heartbeat quoting any older token is rejected,
+// which is what makes a crashed-and-re-leased shard safe against its
+// original worker waking up late.
+type ShardState int
+
+const (
+	ShardPending ShardState = iota
+	ShardLeased
+	ShardDone
+)
+
+func (s ShardState) String() string {
+	switch s {
+	case ShardPending:
+		return "pending"
+	case ShardLeased:
+		return "leased"
+	case ShardDone:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ErrFenced rejects a heartbeat or completion carrying a stale fencing
+// token: the shard's lease has been granted to someone else since.
+var ErrFenced = errors.New("fleet: stale fence (lease reassigned)")
+
+// InvalidJournalError rejects a completion whose uploaded journal failed
+// verification against the shard's expected fingerprints or coverage.
+type InvalidJournalError struct{ Reason error }
+
+func (e *InvalidJournalError) Error() string {
+	return fmt.Sprintf("fleet: shard journal rejected: %v", e.Reason)
+}
+func (e *InvalidJournalError) Unwrap() error { return e.Reason }
+
+// Options parameterises a coordinator.
+type Options struct {
+	// Shards is the target shard count (the planner may produce fewer on
+	// small fault lists; see PlanShards).
+	Shards int
+	// LeaseTTL is how long a lease lives without a heartbeat (default 10s).
+	LeaseTTL time.Duration
+	// Heartbeat is the renewal interval advertised to workers (default
+	// LeaseTTL/4; must stay below LeaseTTL or every lease would expire
+	// between renewals).
+	Heartbeat time.Duration
+	// Dir is the coordinator's durable directory: the state log and the
+	// spooled per-shard journals live here.
+	Dir string
+	// Output is the merged campaign journal path (default
+	// Dir/campaign.journal).
+	Output string
+	// Spec describes the campaign to workers; NewCoordinator fills in the
+	// fingerprint and lease fields.
+	Spec Spec
+	// Obs receives fleet metrics (nil disables instrumentation).
+	Obs *obs.Registry
+	// Now is the clock (nil = time.Now; injectable for expiry tests).
+	Now func() time.Time
+	// Logf receives operator progress lines (nil = silent).
+	Logf func(format string, args ...interface{})
+}
+
+// Counters are the coordinator's lifetime event counts, exposed in
+// /v1/status (and mirrored to the obs registry as fleet_* counters).
+type Counters struct {
+	LeasesGranted      int64 `json:"leases_granted"`
+	LeaseExpiries      int64 `json:"lease_expiries"`
+	LeaseRegrants      int64 `json:"lease_regrants"`
+	Heartbeats         int64 `json:"heartbeats"`
+	HeartbeatsStale    int64 `json:"heartbeats_stale"`
+	Completions        int64 `json:"completions"`
+	CompletionsStale   int64 `json:"completions_stale"`
+	CompletionsInvalid int64 `json:"completions_invalid"`
+	Merges             int64 `json:"merges"`
+}
+
+// shardSlot is one shard plus its lease state.
+type shardSlot struct {
+	Shard
+	state    ShardState
+	worker   string
+	fence    uint64
+	deadline time.Time
+	grants   int
+	file     string // spool file name once done
+}
+
+// Status is the coordinator snapshot served on /v1/status.
+type Status struct {
+	Shards   int      `json:"shards"`
+	Pending  int      `json:"pending"`
+	Leased   int      `json:"leased"`
+	Done     int      `json:"done"`
+	Merged   bool     `json:"merged"`
+	Output   string   `json:"output"`
+	Counters Counters `json:"counters"`
+}
+
+// Coordinator owns a campaign's shard plan and lease table. All methods
+// are safe for concurrent use by the HTTP handlers.
+type Coordinator struct {
+	opts   Options
+	spec   Spec
+	header journal.Header
+
+	mu       sync.Mutex
+	shards   []*shardSlot
+	fence    uint64
+	done     int
+	merged   bool
+	mergedCh chan struct{}
+	log      *stateLog
+	counters Counters
+	met      *fleetMetrics
+}
+
+// NewCoordinator plans the fault space, replays any durable state found in
+// opts.Dir (a restarted coordinator resumes exactly where it crashed:
+// completed shards stay completed, leased shards get a fresh TTL so live
+// workers keep them by heartbeating, and expired ones re-lease), and
+// merges immediately if the replayed state says every shard is already
+// done.
+func NewCoordinator(points []hafi.FaultPoint, goldenSignature uint64, opts Options) (*Coordinator, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("fleet: empty fault list")
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 10 * time.Second
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = opts.LeaseTTL / 4
+	}
+	if opts.Heartbeat >= opts.LeaseTTL {
+		return nil, fmt.Errorf("fleet: heartbeat interval %v must be below the lease TTL %v", opts.Heartbeat, opts.LeaseTTL)
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("fleet: coordinator needs a durable directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	if opts.Output == "" {
+		opts.Output = filepath.Join(opts.Dir, "campaign.journal")
+	}
+
+	c := &Coordinator{
+		opts:     opts,
+		header:   journal.Header{GoldenSignature: goldenSignature, NumPoints: uint64(len(points)), FaultListHash: hafi.FaultListHash(points)},
+		mergedCh: make(chan struct{}),
+		met:      newFleetMetrics(opts.Obs),
+	}
+	c.spec = opts.Spec
+	c.spec.GoldenSignature = c.header.GoldenSignature
+	c.spec.NumPoints = c.header.NumPoints
+	c.spec.FaultListHash = c.header.FaultListHash
+	c.spec.LeaseTTLMillis = opts.LeaseTTL.Milliseconds()
+	c.spec.HeartbeatMillis = opts.Heartbeat.Milliseconds()
+
+	for _, sh := range PlanShards(points, opts.Shards) {
+		c.shards = append(c.shards, &shardSlot{Shard: sh})
+	}
+	c.met.setShards(len(c.shards))
+
+	if err := c.restore(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Coordinator) now() time.Time {
+	if c.opts.Now != nil {
+		return c.opts.Now()
+	}
+	return time.Now()
+}
+
+func (c *Coordinator) logf(format string, args ...interface{}) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+func (c *Coordinator) statePath() string { return filepath.Join(c.opts.Dir, "state.log") }
+func (c *Coordinator) spoolPath(name string) string {
+	return filepath.Join(c.opts.Dir, name)
+}
+
+// restore replays the durable state log and re-verifies everything it
+// claims: a "complete" event only stands if the spooled journal still
+// verifies, and a "merged" event only stands if the merged output still
+// recovers completely — so a crash between any two steps re-runs exactly
+// the missing step and nothing else.
+func (c *Coordinator) restore() error {
+	events, err := replayStateLog(c.statePath())
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		if st, err := os.Stat(c.statePath()); err == nil && st.Size() > 0 {
+			return fmt.Errorf("fleet: state log %s is unreadable (no intact events)", c.statePath())
+		}
+	}
+	now := c.now()
+	mergedClaimed := false
+	if len(events) > 0 {
+		plan := events[0]
+		if plan.Ev != evPlan {
+			return fmt.Errorf("fleet: state log %s does not start with a plan event", c.statePath())
+		}
+		if plan.Golden != c.header.GoldenSignature || plan.Points != c.header.NumPoints ||
+			plan.Hash != c.header.FaultListHash || plan.Shards != len(c.shards) {
+			return fmt.Errorf("fleet: state dir %s belongs to a different campaign or shard plan (log: golden=%016x points=%d hash=%016x shards=%d; want golden=%016x points=%d hash=%016x shards=%d)",
+				c.opts.Dir, plan.Golden, plan.Points, plan.Hash, plan.Shards,
+				c.header.GoldenSignature, c.header.NumPoints, c.header.FaultListHash, len(c.shards))
+		}
+		for _, ev := range events[1:] {
+			switch ev.Ev {
+			case evGrant:
+				if ev.Shard < 0 || ev.Shard >= len(c.shards) {
+					continue
+				}
+				sh := c.shards[ev.Shard]
+				if ev.Fence > c.fence {
+					c.fence = ev.Fence
+				}
+				if sh.state == ShardDone {
+					continue
+				}
+				sh.state = ShardLeased
+				sh.worker = ev.Worker
+				sh.fence = ev.Fence
+				sh.grants++
+			case evComplete:
+				if ev.Shard < 0 || ev.Shard >= len(c.shards) {
+					continue
+				}
+				sh := c.shards[ev.Shard]
+				if err := c.verifyShardFile(sh, c.spoolPath(ev.File)); err != nil {
+					c.logf("fleet: restart: shard %d spool %s no longer verifies (%v); shard re-runs", ev.Shard, ev.File, err)
+					sh.state = ShardPending
+					continue
+				}
+				sh.state = ShardDone
+				sh.file = ev.File
+			case evMerged:
+				mergedClaimed = true
+			}
+		}
+	}
+	for _, sh := range c.shards {
+		if sh.state == ShardDone {
+			c.done++
+		} else if sh.state == ShardLeased {
+			// Fresh grace period: a live worker keeps its shard by simply
+			// heartbeating against the restarted coordinator.
+			sh.deadline = now.Add(c.opts.LeaseTTL)
+		}
+	}
+	c.met.setDone(c.done)
+
+	c.log, err = openStateLog(c.statePath())
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		err := c.log.append(stateEvent{
+			Ev: evPlan, Golden: c.header.GoldenSignature, Points: c.header.NumPoints,
+			Hash: c.header.FaultListHash, Shards: len(c.shards),
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	if mergedClaimed {
+		if err := c.verifyMergedOutput(); err == nil {
+			c.setMergedLocked()
+		} else {
+			c.logf("fleet: restart: merged journal no longer verifies (%v); re-merging", err)
+		}
+	}
+	if !c.merged && c.done == len(c.shards) {
+		if err := c.mergeLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the state log. It does not touch shard state on disk.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.log == nil {
+		return nil
+	}
+	err := c.log.close()
+	c.log = nil
+	return err
+}
+
+// Spec returns the campaign definition advertised to workers.
+func (c *Coordinator) Spec() Spec { return c.spec }
+
+// Header returns the campaign journal identity.
+func (c *Coordinator) Header() journal.Header { return c.header }
+
+// Output returns the merged campaign journal path.
+func (c *Coordinator) Output() string { return c.opts.Output }
+
+// MergedCh is closed once the campaign journal has been merged.
+func (c *Coordinator) MergedCh() <-chan struct{} { return c.mergedCh }
+
+// sweepLocked expires overdue leases (mu held).
+func (c *Coordinator) sweepLocked(now time.Time) {
+	for _, sh := range c.shards {
+		if sh.state == ShardLeased && now.After(sh.deadline) {
+			sh.state = ShardPending
+			c.counters.LeaseExpiries++
+			c.met.leaseExpired()
+			c.logf("fleet: lease of shard %d expired (worker %s, fence %d): re-leasing", sh.ID, sh.worker, sh.fence)
+		}
+	}
+}
+
+// LeaseGrant is a successful lease: the shard range plus the fencing token
+// every subsequent heartbeat and the final completion must quote.
+type LeaseGrant struct {
+	Shard     int    `json:"shard"`
+	Lo        int    `json:"lo"`
+	Hi        int    `json:"hi"`
+	Fence     uint64 `json:"fence"`
+	ShardHash uint64 `json:"shard_hash"`
+}
+
+// Lease hands the next pending shard to worker. The second return is
+// "lease" (grant valid), "wait" (everything is leased or done — poll again
+// after a backoff) or "done" (campaign complete; the worker may exit).
+func (c *Coordinator) Lease(worker string) (LeaseGrant, string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.sweepLocked(now)
+	c.tryMergeLocked()
+	if c.done == len(c.shards) {
+		return LeaseGrant{}, "done", nil
+	}
+	for _, sh := range c.shards {
+		if sh.state != ShardPending {
+			continue
+		}
+		c.fence++
+		sh.state = ShardLeased
+		sh.worker = worker
+		sh.fence = c.fence
+		sh.deadline = now.Add(c.opts.LeaseTTL)
+		sh.grants++
+		err := c.log.append(stateEvent{Ev: evGrant, Shard: sh.ID, Fence: sh.fence, Worker: worker})
+		if err != nil {
+			sh.state = ShardPending // the fence stays burned; harmless
+			return LeaseGrant{}, "", err
+		}
+		c.counters.LeasesGranted++
+		c.met.leaseGranted()
+		if sh.grants > 1 {
+			c.counters.LeaseRegrants++
+			c.met.leaseRegranted()
+		}
+		c.logf("fleet: shard %d [%d,%d) leased to %s (fence %d, grant #%d)", sh.ID, sh.Lo, sh.Hi, worker, sh.fence, sh.grants)
+		return LeaseGrant{Shard: sh.ID, Lo: sh.Lo, Hi: sh.Hi, Fence: sh.fence, ShardHash: sh.Hash}, "lease", nil
+	}
+	return LeaseGrant{}, "wait", nil
+}
+
+// Heartbeat renews the lease identified by (shard, fence). A stale fence
+// returns ErrFenced: the caller has lost the shard and must abandon it.
+func (c *Coordinator) Heartbeat(worker string, shard int, fence uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.sweepLocked(now)
+	if shard < 0 || shard >= len(c.shards) {
+		return fmt.Errorf("fleet: no such shard %d", shard)
+	}
+	sh := c.shards[shard]
+	if sh.state != ShardLeased || sh.fence != fence {
+		c.counters.HeartbeatsStale++
+		c.met.heartbeatStale()
+		return ErrFenced
+	}
+	sh.deadline = now.Add(c.opts.LeaseTTL)
+	sh.worker = worker
+	c.counters.Heartbeats++
+	c.met.heartbeat()
+	return nil
+}
+
+// Complete accepts a finished shard's journal. The fence must be the
+// shard's latest grant — a zombie worker whose lease expired and was
+// re-granted is turned away with ErrFenced, so no shard is ever counted
+// twice. The journal is verified (header fingerprints, corruption,
+// complete point coverage) before the shard is marked done; a verification
+// failure returns an *InvalidJournalError and re-opens the shard.
+// Re-uploading an already-accepted shard under the same fence is
+// idempotent (the worker may retry a completion whose response was lost).
+func (c *Coordinator) Complete(worker string, shard int, fence uint64, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.sweepLocked(now)
+	if shard < 0 || shard >= len(c.shards) {
+		return fmt.Errorf("fleet: no such shard %d", shard)
+	}
+	sh := c.shards[shard]
+	if sh.state == ShardDone {
+		if sh.fence == fence {
+			return nil // idempotent retry of the accepted upload
+		}
+		c.counters.CompletionsStale++
+		c.met.completionStale()
+		return ErrFenced
+	}
+	if sh.fence != fence {
+		c.counters.CompletionsStale++
+		c.met.completionStale()
+		return ErrFenced
+	}
+	// The fence is current: accept even if the lease just expired but the
+	// shard has not been re-granted — the work is valid and re-running it
+	// would be waste.
+	name := fmt.Sprintf("shard-%04d.journal", sh.ID)
+	if err := c.spoolShard(sh, name, data); err != nil {
+		sh.state = ShardPending // let someone else (or a fixed worker) retry
+		c.counters.CompletionsInvalid++
+		c.met.completionInvalid()
+		c.logf("fleet: shard %d upload from %s rejected: %v", sh.ID, worker, err)
+		return err
+	}
+	if err := c.log.append(stateEvent{Ev: evComplete, Shard: sh.ID, Fence: fence, File: name}); err != nil {
+		return err
+	}
+	sh.state = ShardDone
+	sh.file = name
+	c.done++
+	c.counters.Completions++
+	c.met.completion()
+	c.met.setDone(c.done)
+	c.logf("fleet: shard %d completed by %s (%d/%d shards done)", sh.ID, worker, c.done, len(c.shards))
+	c.tryMergeLocked()
+	return nil
+}
+
+// spoolShard writes an uploaded journal next to the state log and verifies
+// it. The write goes through a temp file + rename so a crash never leaves
+// a half-written spool file behind a "complete" state event; verification
+// runs on the temp file so an invalid upload never occupies the spool name.
+func (c *Coordinator) spoolShard(sh *shardSlot, name string, data []byte) error {
+	tmp, err := os.CreateTemp(c.opts.Dir, name+".up-*")
+	if err != nil {
+		return fmt.Errorf("fleet: spool: %w", err)
+	}
+	tmpPath := tmp.Name()
+	defer os.Remove(tmpPath)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fleet: spool: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fleet: spool: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fleet: spool: %w", err)
+	}
+	if err := c.verifyShardFile(sh, tmpPath); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, c.spoolPath(name)); err != nil {
+		return fmt.Errorf("fleet: spool: %w", err)
+	}
+	return nil
+}
+
+// verifyShardFile checks a spooled shard journal against the shard's
+// expected identity and coverage.
+func (c *Coordinator) verifyShardFile(sh *shardSlot, path string) error {
+	rec, err := journal.Recover(path)
+	if err != nil {
+		return &InvalidJournalError{Reason: err}
+	}
+	if !rec.HasHeader {
+		return &InvalidJournalError{Reason: fmt.Errorf("no intact campaign header")}
+	}
+	want := sh.Header(c.header.GoldenSignature)
+	switch {
+	case rec.Header.GoldenSignature != want.GoldenSignature:
+		return &InvalidJournalError{Reason: fmt.Errorf("golden signature mismatch (journal %016x, want %016x)", rec.Header.GoldenSignature, want.GoldenSignature)}
+	case rec.Header.NumPoints != want.NumPoints:
+		return &InvalidJournalError{Reason: fmt.Errorf("fault-list size mismatch (journal %d, want %d)", rec.Header.NumPoints, want.NumPoints)}
+	case rec.Header.FaultListHash != want.FaultListHash:
+		return &InvalidJournalError{Reason: fmt.Errorf("fault-list hash mismatch (journal %016x, want %016x)", rec.Header.FaultListHash, want.FaultListHash)}
+	}
+	if rec.Corrupt {
+		return &InvalidJournalError{Reason: fmt.Errorf("journal contains corrupt records")}
+	}
+	if got, want := len(rec.ByIndex), sh.Hi-sh.Lo; got != want {
+		return &InvalidJournalError{Reason: fmt.Errorf("incomplete shard: %d of %d points classified", got, want)}
+	}
+	return nil
+}
+
+// tryMergeLocked merges once every shard is done; a failed merge is logged
+// and retried on the next call (every lease/status poll), never silently
+// dropped.
+func (c *Coordinator) tryMergeLocked() {
+	if c.merged || c.done != len(c.shards) {
+		return
+	}
+	if err := c.mergeLocked(); err != nil {
+		c.logf("fleet: merge failed (will retry): %v", err)
+	}
+}
+
+// mergeLocked merges every spooled shard journal into the campaign journal
+// (atomically, via journal.Merge's temp-and-rename) and records the fact.
+func (c *Coordinator) mergeLocked() error {
+	shards := make([]journal.MergeShard, 0, len(c.shards))
+	for _, sh := range c.shards {
+		rec, err := journal.Recover(c.spoolPath(sh.file))
+		if err != nil {
+			return fmt.Errorf("fleet: merge: shard %d: %w", sh.ID, err)
+		}
+		shards = append(shards, journal.MergeShard{
+			Rec:  rec,
+			Base: uint64(sh.Lo),
+			Want: sh.Header(c.header.GoldenSignature),
+		})
+	}
+	stats, err := journal.Merge(c.opts.Output, c.header, shards)
+	if err != nil {
+		return err
+	}
+	if uint64(stats.Records) != c.header.NumPoints {
+		// Unreachable when every shard verified complete; guard anyway so a
+		// lossy merge can never masquerade as a finished campaign.
+		return fmt.Errorf("fleet: merge covered %d of %d points", stats.Records, c.header.NumPoints)
+	}
+	if err := c.log.append(stateEvent{Ev: evMerged, File: filepath.Base(c.opts.Output)}); err != nil {
+		return err
+	}
+	c.counters.Merges++
+	c.met.merge()
+	c.logf("fleet: merged %d shards (%d records, %d attribution hits) into %s", stats.Shards, stats.Records, stats.MATEHits, c.opts.Output)
+	c.setMergedLocked()
+	return nil
+}
+
+// verifyMergedOutput re-validates the merged campaign journal after a
+// restart: right header, no corruption, complete coverage.
+func (c *Coordinator) verifyMergedOutput() error {
+	rec, err := journal.Recover(c.opts.Output)
+	if err != nil {
+		return err
+	}
+	if !rec.HasHeader || rec.Header != c.header {
+		return fmt.Errorf("merged journal header mismatch")
+	}
+	if rec.Corrupt || rec.Torn {
+		return fmt.Errorf("merged journal damaged")
+	}
+	if uint64(len(rec.ByIndex)) != c.header.NumPoints {
+		return fmt.Errorf("merged journal covers %d of %d points", len(rec.ByIndex), c.header.NumPoints)
+	}
+	return nil
+}
+
+func (c *Coordinator) setMergedLocked() {
+	if !c.merged {
+		c.merged = true
+		close(c.mergedCh)
+	}
+}
+
+// Status snapshots the lease table and counters.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(c.now())
+	c.tryMergeLocked()
+	st := Status{Shards: len(c.shards), Merged: c.merged, Output: c.opts.Output, Counters: c.counters}
+	for _, sh := range c.shards {
+		switch sh.state {
+		case ShardPending:
+			st.Pending++
+		case ShardLeased:
+			st.Leased++
+		case ShardDone:
+			st.Done++
+		}
+	}
+	return st
+}
+
+// fleetMetrics mirrors the coordinator counters into an obs registry
+// (nil-safe throughout, like every obs integration in this codebase).
+type fleetMetrics struct {
+	granted, expired, regranted   *obs.Counter
+	heartbeats, heartbeatsStale   *obs.Counter
+	completions, completionsStale *obs.Counter
+	completionsInvalid, merges    *obs.Counter
+	shards, shardsDone            *obs.Gauge
+}
+
+func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &fleetMetrics{
+		granted:            reg.Counter("fleet_leases_granted_total"),
+		expired:            reg.Counter("fleet_lease_expiries_total"),
+		regranted:          reg.Counter("fleet_lease_regrants_total"),
+		heartbeats:         reg.Counter("fleet_heartbeats_total"),
+		heartbeatsStale:    reg.Counter("fleet_heartbeats_stale_total"),
+		completions:        reg.Counter("fleet_completions_total"),
+		completionsStale:   reg.Counter("fleet_completions_stale_total"),
+		completionsInvalid: reg.Counter("fleet_completions_invalid_total"),
+		merges:             reg.Counter("fleet_merges_total"),
+		shards:             reg.Gauge("fleet_shards"),
+		shardsDone:         reg.Gauge("fleet_shards_done"),
+	}
+}
+
+func (m *fleetMetrics) setShards(n int) {
+	if m != nil {
+		m.shards.Set(int64(n))
+	}
+}
+func (m *fleetMetrics) setDone(n int) {
+	if m != nil {
+		m.shardsDone.Set(int64(n))
+	}
+}
+func (m *fleetMetrics) leaseGranted() {
+	if m != nil {
+		m.granted.Inc()
+	}
+}
+func (m *fleetMetrics) leaseExpired() {
+	if m != nil {
+		m.expired.Inc()
+	}
+}
+func (m *fleetMetrics) leaseRegranted() {
+	if m != nil {
+		m.regranted.Inc()
+	}
+}
+func (m *fleetMetrics) heartbeat() {
+	if m != nil {
+		m.heartbeats.Inc()
+	}
+}
+func (m *fleetMetrics) heartbeatStale() {
+	if m != nil {
+		m.heartbeatsStale.Inc()
+	}
+}
+func (m *fleetMetrics) completion() {
+	if m != nil {
+		m.completions.Inc()
+	}
+}
+func (m *fleetMetrics) completionStale() {
+	if m != nil {
+		m.completionsStale.Inc()
+	}
+}
+func (m *fleetMetrics) completionInvalid() {
+	if m != nil {
+		m.completionsInvalid.Inc()
+	}
+}
+func (m *fleetMetrics) merge() {
+	if m != nil {
+		m.merges.Inc()
+	}
+}

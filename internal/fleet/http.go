@@ -1,0 +1,272 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// The coordinator API is five JSON-over-HTTP endpoints:
+//
+//	POST /v1/lease      {worker}                → {status, grant?}
+//	POST /v1/heartbeat  {worker, shard, fence}  → {} | 409
+//	POST /v1/complete   {worker, shard, fence, journal} → {} | 409 | 422
+//	GET  /v1/spec                               → Spec
+//	GET  /v1/status                             → Status
+//
+// 409 Conflict is the fencing rejection (the lease moved on — permanent
+// from the caller's point of view); 422 Unprocessable Entity rejects a
+// journal that failed verification (also permanent). Everything else
+// non-2xx is treated as transient by the worker's retry policy.
+
+// LeaseRequest asks for the next pending shard.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse carries the lease verdict: Status "lease" (Grant valid),
+// "wait" (nothing pending right now, poll again) or "done" (campaign
+// merged or merging; the worker may exit).
+type LeaseResponse struct {
+	Status string     `json:"status"`
+	Grant  LeaseGrant `json:"grant"`
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	Shard  int    `json:"shard"`
+	Fence  uint64 `json:"fence"`
+}
+
+// CompleteRequest uploads a finished shard journal (Journal is the raw
+// journal file; encoding/json transports it base64-encoded).
+type CompleteRequest struct {
+	Worker  string `json:"worker"`
+	Shard   int    `json:"shard"`
+	Fence   uint64 `json:"fence"`
+	Journal []byte `json:"journal"`
+}
+
+// HTTPError is a non-2xx coordinator reply as seen by the client.
+type HTTPError struct {
+	Code int
+	Msg  string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("fleet: coordinator replied %d: %s", e.Code, e.Msg)
+}
+
+// Temporary reports whether retrying the same request can succeed: fencing
+// rejections (409) and journal-verification rejections (422) are final,
+// everything else (a restarting coordinator's 5xx, a half-up listener) is
+// worth retrying.
+func (e *HTTPError) Temporary() bool {
+	return e.Code != http.StatusConflict && e.Code != http.StatusUnprocessableEntity
+}
+
+// NewHandler serves the coordinator API. When reg is non-nil, the obs
+// registry is additionally exposed on /metrics, so one listener carries
+// both the lease traffic and the fleet_* counters.
+func NewHandler(c *Coordinator, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/spec", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Spec())
+	})
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Status())
+	})
+	mux.HandleFunc("/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		grant, status, err := c.Lease(req.Worker)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, LeaseResponse{Status: status, Grant: grant})
+	})
+	mux.HandleFunc("/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := c.Heartbeat(req.Worker, req.Shard, req.Fence); err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	mux.HandleFunc("/v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := c.Complete(req.Worker, req.Shard, req.Fence, req.Journal); err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	if reg != nil {
+		mux.Handle("/metrics", obs.MetricsHandler(reg))
+	}
+	return mux
+}
+
+// errStatus maps coordinator rejections onto their wire status.
+func errStatus(err error) int {
+	var inv *InvalidJournalError
+	switch {
+	case errors.Is(err, ErrFenced):
+		return http.StatusConflict
+	case errors.As(err, &inv):
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return false
+	}
+	// 64 MiB bounds the largest plausible shard journal upload; anything
+	// bigger is a broken or hostile client, not a campaign.
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// Client is a worker's view of the coordinator API.
+type Client struct {
+	// BaseURL is the coordinator root, e.g. "http://127.0.0.1:9200".
+	BaseURL string
+	// Worker identifies this worker in lease and completion requests.
+	Worker string
+	// HTTPClient overrides http.DefaultClient (tests inject a
+	// httptest.Server client here).
+	HTTPClient *http.Client
+}
+
+func (cl *Client) httpClient() *http.Client {
+	if cl.HTTPClient != nil {
+		return cl.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// post round-trips one JSON request. A non-2xx reply decodes the error
+// body and returns an *HTTPError (wrapping ErrFenced for 409, so callers
+// can errors.Is their way to the fencing verdict).
+func (cl *Client) post(ctx context.Context, path string, req, resp interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return cl.do(hreq, resp)
+}
+
+func (cl *Client) get(ctx context.Context, path string, resp interface{}) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.BaseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	return cl.do(hreq, resp)
+}
+
+func (cl *Client) do(hreq *http.Request, resp interface{}) error {
+	hresp, err := cl.httpClient().Do(hreq)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if hresp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(data, &e)
+		if e.Error == "" {
+			e.Error = hresp.Status
+		}
+		herr := &HTTPError{Code: hresp.StatusCode, Msg: e.Error}
+		if hresp.StatusCode == http.StatusConflict {
+			return fmt.Errorf("%w (%s)", ErrFenced, e.Error)
+		}
+		return herr
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, resp); err != nil {
+		return fmt.Errorf("fleet: decoding %s reply: %w", hreq.URL.Path, err)
+	}
+	return nil
+}
+
+// Spec fetches the campaign definition.
+func (cl *Client) Spec(ctx context.Context) (Spec, error) {
+	var s Spec
+	err := cl.get(ctx, "/v1/spec", &s)
+	return s, err
+}
+
+// Status fetches the coordinator snapshot.
+func (cl *Client) Status(ctx context.Context) (Status, error) {
+	var s Status
+	err := cl.get(ctx, "/v1/status", &s)
+	return s, err
+}
+
+// Lease asks for the next shard.
+func (cl *Client) Lease(ctx context.Context) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := cl.post(ctx, "/v1/lease", LeaseRequest{Worker: cl.Worker}, &resp)
+	return resp, err
+}
+
+// Heartbeat renews a lease; errors.Is(err, ErrFenced) means the lease is
+// lost and the shard must be abandoned.
+func (cl *Client) Heartbeat(ctx context.Context, shard int, fence uint64) error {
+	return cl.post(ctx, "/v1/heartbeat", HeartbeatRequest{Worker: cl.Worker, Shard: shard, Fence: fence}, nil)
+}
+
+// Complete uploads a finished shard journal.
+func (cl *Client) Complete(ctx context.Context, shard int, fence uint64, journal []byte) error {
+	return cl.post(ctx, "/v1/complete", CompleteRequest{Worker: cl.Worker, Shard: shard, Fence: fence, Journal: journal}, nil)
+}

@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hafi"
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+// CampaignRunner is the production Runner: it executes shards of the
+// campaign fault list on the batched HAFI engine, reusing one pool of
+// 64-lane device instances across every shard the worker leases (the
+// RunCampaignBatchedPoolWith path — device construction is paid once per
+// process, not once per shard).
+type CampaignRunner struct {
+	// Ctl is this worker's campaign controller. Not shareable between
+	// concurrent workers: each in-process worker needs its own.
+	Ctl *hafi.Controller
+	// Points is the full campaign fault list (shards slice into it).
+	Points []hafi.FaultPoint
+	// Runs is the 64-lane device pool, reused across shards.
+	Runs []hafi.Run64
+	// MATESet enables online pruning (nil = none). Fleet campaigns receive
+	// it serialized in the Spec so every worker prunes identically.
+	MATESet *core.MATESet
+	// DisableEarlyExit turns off the convergence early-exit.
+	DisableEarlyExit bool
+	// Obs receives the standard campaign metrics (nil disables).
+	Obs *obs.Registry
+}
+
+// Header returns the full-campaign journal identity for Spec.Check.
+func (r *CampaignRunner) Header() journal.Header {
+	return r.Ctl.JournalHeader(r.Points)
+}
+
+// RunShard runs fault-list range [lo, hi) and writes its journal to path.
+// The journal carries the shard-slice header (golden signature + slice
+// fingerprint) and local indexes 0..hi-lo-1; journal.Merge remaps them to
+// global indexes at merge time.
+func (r *CampaignRunner) RunShard(ctx context.Context, lo, hi int, path string) error {
+	if lo < 0 || hi > len(r.Points) || lo >= hi {
+		return fmt.Errorf("fleet: shard range [%d,%d) outside fault list of %d points", lo, hi, len(r.Points))
+	}
+	pts := r.Points[lo:hi]
+	w, err := journal.Create(path, r.Ctl.JournalHeader(pts))
+	if err != nil {
+		return err
+	}
+	cfg := hafi.CampaignConfig{
+		Points:           pts,
+		MATESet:          r.MATESet,
+		DisableEarlyExit: r.DisableEarlyExit,
+		Context:          ctx,
+		Journal:          w,
+		Obs:              r.Obs,
+	}
+	res, runErr := r.Ctl.RunCampaignBatchedPoolWith(cfg, r.Runs)
+	closeErr := w.Close()
+	if runErr != nil {
+		return runErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	if res.Interrupted {
+		// The journal covers only a prefix; the caller must not upload it.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("fleet: shard run interrupted")
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The coordinator's durable state is an append-only JSON-lines event log
+// (state.log in the coordinator directory), replayed on startup. Every
+// line is one complete JSON object; a torn final line (crash mid-append)
+// is tolerated and dropped, mirroring the campaign journal's torn-tail
+// contract. Lease *extensions* are deliberately not journaled: after a
+// restart every replayed lease is granted a fresh TTL, so a live worker
+// keeps its shard by simply heartbeating again, while a dead one expires.
+const (
+	evPlan     = "plan"     // campaign identity + shard plan fingerprint
+	evGrant    = "grant"    // lease granted (shard, fence, worker)
+	evComplete = "complete" // shard journal verified and spooled
+	evMerged   = "merged"   // campaign journal merged
+)
+
+// stateEvent is one line of the coordinator state log.
+type stateEvent struct {
+	Ev     string `json:"ev"`
+	Shard  int    `json:"shard,omitempty"`
+	Fence  uint64 `json:"fence,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	// File is the spool file of a completed shard's journal.
+	File string `json:"file,omitempty"`
+	// Campaign identity (plan event only).
+	Golden uint64 `json:"golden,omitempty"`
+	Points uint64 `json:"points,omitempty"`
+	Hash   uint64 `json:"hash,omitempty"`
+	Shards int    `json:"shards,omitempty"`
+}
+
+// stateLog appends coordinator events durably. Append is mutex-guarded so
+// concurrent HTTP handlers never interleave partial lines.
+type stateLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// replayStateLog reads the event log at path (no error if absent) and
+// returns the intact event prefix. A line that fails to parse — the torn
+// tail of a crashed append — ends the replay; everything before it stands.
+func replayStateLog(path string) ([]stateEvent, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: state log: %w", err)
+	}
+	defer f.Close()
+	var events []stateEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev stateEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			break // torn tail: keep the intact prefix
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: state log: %w", err)
+	}
+	return events, nil
+}
+
+// openStateLog opens (creating if needed) the event log for appending.
+func openStateLog(path string) (*stateLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: state log: %w", err)
+	}
+	return &stateLog{f: f}, nil
+}
+
+// append durably logs one event (write + fsync: a granted lease or a
+// completed shard must survive a coordinator crash, or a restart could
+// hand out conflicting fences).
+func (l *stateLog) append(ev stateEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("fleet: state log: %w", err)
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(data); err != nil {
+		return fmt.Errorf("fleet: state log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: state log: %w", err)
+	}
+	return nil
+}
+
+func (l *stateLog) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

@@ -1,0 +1,284 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+// Runner executes shards of the campaign fault list locally. Header must
+// return the full-campaign journal identity (the worker proves to itself,
+// via Spec.Check, that its local reconstruction matches the coordinator's
+// before touching a single shard); RunShard must write a complete shard
+// journal for [lo, hi) to path, or return an error (ctx.Err() when the
+// shard was cancelled mid-run and the journal is incomplete).
+type Runner interface {
+	Header() journal.Header
+	RunShard(ctx context.Context, lo, hi int, path string) error
+}
+
+// Worker is the fleet client loop: lease a shard, run it under a heartbeat,
+// upload the journal with retries, repeat until the coordinator says done.
+//
+// Failure behavior, by failure mode:
+//
+//   - coordinator down/restarting: every RPC retries with jittered
+//     exponential backoff (transient classification via HTTPError.Temporary);
+//   - lease lost (fencing 409 on heartbeat or completion): the shard is
+//     abandoned without error — some other worker owns it now — and the
+//     loop leases the next one;
+//   - SIGINT (via Drain): the current shard is finished and uploaded, then
+//     the loop exits cleanly; cancelling the context instead aborts the
+//     shard mid-run.
+type Worker struct {
+	Client *Client
+	Runner Runner
+	// Dir holds the in-progress shard journals (one file per lease).
+	Dir string
+	// Backoff is the RPC retry policy (zero value = library defaults).
+	Backoff Backoff
+	// PollInterval paces lease polling while every shard is leased elsewhere
+	// (default: the coordinator's advertised heartbeat interval).
+	PollInterval time.Duration
+	// Obs receives fleet_worker_* metrics (nil disables instrumentation).
+	Obs *obs.Registry
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...interface{})
+
+	draining atomic.Bool
+}
+
+// Drain requests a graceful exit: the worker finishes (and uploads) the
+// shard it is currently running, then leaves the lease loop. Safe to call
+// from any goroutine — the SIGINT handler's entry point.
+func (w *Worker) Drain() { w.draining.Store(true) }
+
+func (w *Worker) logf(format string, args ...interface{}) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// workerMetrics is the worker-side obs mirror (nil-safe like the rest).
+type workerMetrics struct {
+	shards, retries, lost *obs.Counter
+	busy                  *obs.Gauge
+}
+
+func newWorkerMetrics(reg *obs.Registry) *workerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &workerMetrics{
+		shards:  reg.Counter("fleet_worker_shards_total"),
+		retries: reg.Counter("fleet_worker_upload_retries_total"),
+		lost:    reg.Counter("fleet_worker_leases_lost_total"),
+		busy:    reg.Gauge("fleet_worker_busy"),
+	}
+}
+
+func (m *workerMetrics) shardDone() {
+	if m != nil {
+		m.shards.Inc()
+	}
+}
+func (m *workerMetrics) retry() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+func (m *workerMetrics) leaseLost() {
+	if m != nil {
+		m.lost.Inc()
+	}
+}
+func (m *workerMetrics) setBusy(b bool) {
+	if m != nil {
+		v := int64(0)
+		if b {
+			v = 1
+		}
+		m.busy.Set(v)
+	}
+}
+
+// Run executes the lease loop until the campaign is done, the context is
+// cancelled, or an unrecoverable local error occurs. Returns nil both on
+// campaign completion and on a drained exit.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Dir != "" {
+		if err := os.MkdirAll(w.Dir, 0o755); err != nil {
+			return fmt.Errorf("fleet: creating worker scratch dir: %w", err)
+		}
+	}
+	met := newWorkerMetrics(w.Obs)
+	bo := w.Backoff
+	userHook := bo.OnRetry
+	bo.OnRetry = func(attempt int, err error) {
+		met.retry()
+		w.logf("fleet: rpc failed (attempt %d, retrying): %v", attempt+1, err)
+		if userHook != nil {
+			userHook(attempt, err)
+		}
+	}
+
+	// Fetch the spec (bounded retries: a wrong address must fail, not hang)
+	// and refuse to join a fleet whose campaign we cannot reproduce.
+	var spec Spec
+	err := bo.Retry(ctx, 10, func() error {
+		var err error
+		spec, err = w.Client.Spec(ctx)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: fetching campaign spec: %w", err)
+	}
+	if err := spec.Check(w.Runner.Header()); err != nil {
+		return err
+	}
+	heartbeat := time.Duration(spec.HeartbeatMillis) * time.Millisecond
+	if heartbeat <= 0 {
+		heartbeat = time.Second
+	}
+	poll := w.PollInterval
+	if poll <= 0 {
+		poll = heartbeat
+	}
+
+	for {
+		if w.draining.Load() {
+			w.logf("fleet: drained: exiting before taking another lease")
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Bounded retries (~1 min at default backoff): a coordinator restart
+		// is waited out, a permanently gone coordinator ends the worker with
+		// an error instead of an infinite poll.
+		var resp LeaseResponse
+		err := bo.Retry(ctx, 12, func() error {
+			var err error
+			resp, err = w.Client.Lease(ctx)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("fleet: leasing: %w", err)
+		}
+		switch resp.Status {
+		case "done":
+			w.logf("fleet: campaign complete: worker exiting")
+			return nil
+		case "wait":
+			if err := sleepContext(ctx, poll); err != nil {
+				return err
+			}
+		case "lease":
+			if err := w.runShard(ctx, resp.Grant, heartbeat, bo, met); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("fleet: coordinator sent unknown lease status %q", resp.Status)
+		}
+	}
+}
+
+// runShard executes one granted shard under a heartbeat and uploads the
+// result. A lost lease (fenced heartbeat or completion) abandons the shard
+// and returns nil — the lease loop moves on.
+func (w *Worker) runShard(ctx context.Context, grant LeaseGrant, heartbeat time.Duration, bo Backoff, met *workerMetrics) error {
+	met.setBusy(true)
+	defer met.setBusy(false)
+	w.logf("fleet: running shard %d [%d,%d) under fence %d", grant.Shard, grant.Lo, grant.Hi, grant.Fence)
+	path := filepath.Join(w.Dir, fmt.Sprintf("shard-%04d-f%06d.journal", grant.Shard, grant.Fence))
+
+	// Heartbeat until the runner returns; a fencing rejection cancels the
+	// shard (running it to completion would only produce an unuploadable
+	// journal). Transient heartbeat failures are simply skipped — the lease
+	// TTL spans several intervals, so one missed renewal is survivable.
+	shardCtx, cancelShard := context.WithCancel(ctx)
+	defer cancelShard()
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	var fenced atomic.Bool
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				err := w.Client.Heartbeat(hbCtx, grant.Shard, grant.Fence)
+				if errors.Is(err, ErrFenced) {
+					fenced.Store(true)
+					cancelShard()
+					return
+				}
+				if err != nil && hbCtx.Err() == nil {
+					w.logf("fleet: heartbeat for shard %d failed (lease TTL absorbs it): %v", grant.Shard, err)
+				}
+			}
+		}
+	}()
+
+	runErr := w.Runner.RunShard(shardCtx, grant.Lo, grant.Hi, path)
+	stopHB()
+	<-hbDone
+
+	if fenced.Load() {
+		met.leaseLost()
+		w.logf("fleet: lost lease on shard %d (fence %d superseded): abandoning", grant.Shard, grant.Fence)
+		os.Remove(path)
+		return nil
+	}
+	if runErr != nil {
+		os.Remove(path)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("fleet: running shard %d: %w", grant.Shard, runErr)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("fleet: reading shard %d journal: %w", grant.Shard, err)
+	}
+	// Upload with generous transient retries (the journal is finished work;
+	// a restarting coordinator is worth waiting out) — permanent rejections
+	// (fencing 409, verification 422) stop immediately.
+	uploadErr := bo.Retry(ctx, 15, func() error {
+		err := w.Client.Complete(ctx, grant.Shard, grant.Fence, data)
+		if err == nil {
+			return nil
+		}
+		var herr *HTTPError
+		if errors.Is(err, ErrFenced) || (errors.As(err, &herr) && !herr.Temporary()) {
+			return Permanent(err)
+		}
+		return err
+	})
+	switch {
+	case uploadErr == nil:
+		met.shardDone()
+		w.logf("fleet: shard %d uploaded (%d bytes)", grant.Shard, len(data))
+		os.Remove(path)
+		return nil
+	case errors.Is(uploadErr, ErrFenced):
+		met.leaseLost()
+		w.logf("fleet: shard %d upload fenced off (another worker owns it): abandoning", grant.Shard)
+		os.Remove(path)
+		return nil
+	default:
+		return fmt.Errorf("fleet: uploading shard %d: %w", grant.Shard, uploadErr)
+	}
+}

@@ -75,6 +75,27 @@ func (c *Controller) RunCampaignBatched(cfg CampaignConfig, run64 Run64) (*Campa
 // unchanged. On cancellation, dispatch stops; in-flight batches finish and
 // are emitted, so the journal still covers a contiguous plan prefix.
 func (c *Controller) RunCampaignBatchedPool(cfg CampaignConfig, factory func() (Run64, error)) (*CampaignResult, error) {
+	return c.runCampaignPool(cfg, nil, factory)
+}
+
+// RunCampaignBatchedPoolWith is RunCampaignBatchedPool over caller-provided
+// device instances instead of a factory: the pool size is len(runs) and the
+// instances are reused as-is, so a long-lived process (a fleet worker
+// executing many shards of one campaign) pays the device construction cost
+// once, not once per shard. The instances must model the same netlist and
+// workload the golden reference was recorded from; they are handed back in
+// whatever state the last batch left them (every batch restores a golden
+// checkpoint before injecting, so reuse is safe by construction).
+func (c *Controller) RunCampaignBatchedPoolWith(cfg CampaignConfig, runs []Run64) (*CampaignResult, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("hafi: pool campaign needs at least one device instance")
+	}
+	return c.runCampaignPool(cfg, runs, nil)
+}
+
+// runCampaignPool is the shared pool engine: exactly one of runs/factory is
+// set, fixing the pool size or constructing it on demand.
+func (c *Controller) runCampaignPool(cfg CampaignConfig, runs []Run64, factory func() (Run64, error)) (*CampaignResult, error) {
 	timeout, err := c.prepareCampaign(&cfg)
 	if err != nil {
 		return nil, err
@@ -91,17 +112,24 @@ func (c *Controller) RunCampaignBatchedPool(cfg CampaignConfig, factory func() (
 	}
 
 	nw := cfg.Workers
+	if runs != nil {
+		nw = len(runs)
+	}
 	if nw < 1 {
 		nw = 1
 	}
 	if nw > len(specs) && len(specs) > 0 {
 		nw = len(specs)
 	}
-	runs := make([]Run64, nw)
-	for i := range runs {
-		if runs[i], err = factory(); err != nil {
-			return nil, fmt.Errorf("hafi: pool worker %d: %w", i, err)
+	if runs == nil {
+		runs = make([]Run64, nw)
+		for i := range runs {
+			if runs[i], err = factory(); err != nil {
+				return nil, fmt.Errorf("hafi: pool worker %d: %w", i, err)
+			}
 		}
+	} else {
+		runs = runs[:nw]
 	}
 	met.setWorkers(nw)
 

@@ -1,0 +1,169 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// MergeShard is one shard journal queued for merging into a campaign
+// journal: the recovered shard log, the shard's offset in the campaign
+// fault list, and the header the shard is REQUIRED to carry. The caller
+// (the fleet coordinator) computes Want from the campaign fault list —
+// golden signature plus the shard slice's length and FNV fingerprint — so
+// a journal recorded against a different workload, netlist or fault-list
+// slice is rejected before a single record is merged.
+type MergeShard struct {
+	Rec  *Recovered
+	Base uint64
+	Want Header
+}
+
+// MergeStats summarises one merge.
+type MergeStats struct {
+	// Shards is the number of shard journals merged.
+	Shards int
+	// Records is the number of experiment records written (distinct global
+	// fault-list indexes; a point a shard classified twice keeps its final
+	// verdict, exactly like single-journal recovery).
+	Records int
+	// MATEHits is the number of attribution records written.
+	MATEHits int
+}
+
+// Merge combines per-shard journals into one campaign journal at path,
+// written under the campaign header so the merged journal is
+// indistinguishable from (and diffable against) the journal of an
+// uninterrupted single-process run over the full fault list.
+//
+// Safety checks, in order, per shard:
+//
+//   - the shard journal must have an intact header;
+//   - the shard header must equal Want field for field — a mismatch is an
+//     error naming the offending field (golden signature, fault-list size,
+//     fault-list hash);
+//   - the shard's golden signature must equal the campaign's (implied by
+//     the Want check when the caller builds Want from the campaign golden,
+//     but verified independently so a bad Want cannot smuggle a foreign
+//     shard in);
+//   - the shard range [Base, Base+NumPoints) must lie inside the campaign
+//     fault list and must not overlap any other shard's range;
+//   - no global fault-list index may be claimed by two shards (duplicate
+//     point).
+//
+// The merge is crash-safe: records are written to a temporary file in
+// path's directory, synced, and atomically renamed over path — a crash
+// mid-merge leaves either the previous file or no file, never a
+// half-merged journal. Records are emitted in global fault-list order with
+// each pruned point's attribution hit immediately before its experiment
+// record, matching the invariant the campaign engines maintain.
+func Merge(path string, campaign Header, shards []MergeShard) (*MergeStats, error) {
+	ordered := append([]MergeShard(nil), shards...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Base < ordered[j].Base })
+
+	var prevEnd uint64
+	for i, s := range ordered {
+		if s.Rec == nil || !s.Rec.HasHeader {
+			return nil, fmt.Errorf("journal: merge: shard at base %d has no intact campaign header", s.Base)
+		}
+		if err := checkShardHeader(s.Rec.Header, s.Want, s.Base); err != nil {
+			return nil, err
+		}
+		if s.Rec.Header.GoldenSignature != campaign.GoldenSignature {
+			return nil, fmt.Errorf("journal: merge: shard at base %d golden signature %016x does not match campaign %016x",
+				s.Base, s.Rec.Header.GoldenSignature, campaign.GoldenSignature)
+		}
+		end := s.Base + s.Rec.Header.NumPoints
+		if end > campaign.NumPoints {
+			return nil, fmt.Errorf("journal: merge: shard [%d, %d) exceeds the campaign fault list (%d points)",
+				s.Base, end, campaign.NumPoints)
+		}
+		if i > 0 && s.Base < prevEnd {
+			return nil, fmt.Errorf("journal: merge: shard [%d, %d) overlaps shard ending at %d",
+				s.Base, end, prevEnd)
+		}
+		prevEnd = end
+	}
+
+	// Non-overlapping ranges already guarantee distinct global indexes
+	// between shards; the seen map additionally catches a record whose
+	// local index escapes its own shard (impossible for an intact journal,
+	// as recovery bounds Index by the header's NumPoints — this is a
+	// defence-in-depth assertion, not a reachable branch for valid input).
+	seen := make(map[uint64]bool)
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".merge-*")
+	if err != nil {
+		return nil, fmt.Errorf("journal: merge: %w", err)
+	}
+	tmpPath := tmp.Name()
+	defer func() {
+		tmp.Close()
+		os.Remove(tmpPath) // no-op after the successful rename
+	}()
+
+	frame := appendFrame([]byte(magic), headerBody(campaign))
+	if _, err := tmp.Write(frame); err != nil {
+		return nil, fmt.Errorf("journal: merge: write header: %w", err)
+	}
+
+	stats := &MergeStats{Shards: len(ordered)}
+	var buf []byte
+	for _, s := range ordered {
+		locals := make([]uint64, 0, len(s.Rec.ByIndex))
+		for idx := range s.Rec.ByIndex {
+			locals = append(locals, idx)
+		}
+		sort.Slice(locals, func(i, j int) bool { return locals[i] < locals[j] })
+		for _, local := range locals {
+			global := s.Base + local
+			if seen[global] {
+				return nil, fmt.Errorf("journal: merge: duplicate point %d (shard at base %d)", global, s.Base)
+			}
+			seen[global] = true
+			rec := s.Rec.ByIndex[local]
+			rec.Index = global
+			buf = buf[:0]
+			if hit, ok := s.Rec.HitByIndex[local]; ok && rec.Pruned {
+				hit.Index = global
+				buf = appendFrame(buf, mateHitBody(hit))
+				stats.MATEHits++
+			}
+			buf = appendFrame(buf, experimentBody(rec))
+			if _, err := tmp.Write(buf); err != nil {
+				return nil, fmt.Errorf("journal: merge: %w", err)
+			}
+			stats.Records++
+		}
+	}
+
+	if err := tmp.Sync(); err != nil {
+		return nil, fmt.Errorf("journal: merge: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, fmt.Errorf("journal: merge: %w", err)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return nil, fmt.Errorf("journal: merge: %w", err)
+	}
+	return stats, nil
+}
+
+// checkShardHeader compares a shard's recorded header against the expected
+// one, naming the first mismatched field — the error a fleet operator sees
+// when a stale or foreign shard journal is offered for merging.
+func checkShardHeader(got, want Header, base uint64) error {
+	switch {
+	case got.GoldenSignature != want.GoldenSignature:
+		return fmt.Errorf("journal: merge: shard at base %d: golden signature mismatch (journal %016x, want %016x)",
+			base, got.GoldenSignature, want.GoldenSignature)
+	case got.NumPoints != want.NumPoints:
+		return fmt.Errorf("journal: merge: shard at base %d: fault-list size mismatch (journal %d, want %d)",
+			base, got.NumPoints, want.NumPoints)
+	case got.FaultListHash != want.FaultListHash:
+		return fmt.Errorf("journal: merge: shard at base %d: fault-list hash mismatch (journal %016x, want %016x)",
+			base, got.FaultListHash, want.FaultListHash)
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeShard builds a shard journal on disk and recovers it — the shape a
+// fleet coordinator receives from a worker upload.
+func writeShard(t *testing.T, dir, name string, h Header, recs []Record, hits []MATEHit) *Recovered {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	w, err := Create(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitByIndex := map[uint64]MATEHit{}
+	for _, hit := range hits {
+		hitByIndex[hit.Index] = hit
+	}
+	for _, rec := range recs {
+		if hit, ok := hitByIndex[rec.Index]; ok && rec.Pruned {
+			if err := w.AppendMATEHit(hit); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestMergeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	campaign := Header{GoldenSignature: 0xfeed, NumPoints: 6, FaultListHash: 0xabcd}
+	h0 := Header{GoldenSignature: 0xfeed, NumPoints: 3, FaultListHash: 0x1111}
+	h1 := Header{GoldenSignature: 0xfeed, NumPoints: 3, FaultListHash: 0x2222}
+
+	s0 := writeShard(t, dir, "s0.journal", h0, []Record{
+		{Index: 0, FF: 10, Cycle: 100, Duration: 1, Outcome: 1},
+		{Index: 1, FF: 11, Cycle: 100, Duration: 1, Pruned: true},
+		{Index: 2, FF: 12, Cycle: 100, Duration: 1, Outcome: 0},
+	}, []MATEHit{{Index: 1, FF: 11, MATE: 7, Width: 3}})
+	s1 := writeShard(t, dir, "s1.journal", h1, []Record{
+		{Index: 0, FF: 10, Cycle: 200, Duration: 1, Outcome: 2},
+		{Index: 1, FF: 11, Cycle: 200, Duration: 1, Outcome: 0},
+		{Index: 2, FF: 12, Cycle: 200, Duration: 1, Pruned: true},
+	}, []MATEHit{{Index: 2, FF: 12, MATE: 4, Width: 2}})
+
+	out := filepath.Join(dir, "merged.journal")
+	stats, err := Merge(out, campaign, []MergeShard{
+		{Rec: s1, Base: 3, Want: h1}, // out of order on purpose: Merge sorts by base
+		{Rec: s0, Base: 0, Want: h0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards != 2 || stats.Records != 6 || stats.MATEHits != 2 {
+		t.Fatalf("stats = %+v, want 2 shards, 6 records, 2 hits", stats)
+	}
+
+	m, err := Recover(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Torn || m.Corrupt {
+		t.Fatalf("merged journal damaged: torn=%v corrupt=%v", m.Torn, m.Corrupt)
+	}
+	if m.Header != campaign {
+		t.Fatalf("merged header = %+v, want %+v", m.Header, campaign)
+	}
+	if len(m.ByIndex) != 6 {
+		t.Fatalf("merged journal has %d points, want 6", len(m.ByIndex))
+	}
+	// Spot checks: global remapping and attribution pairing survived.
+	if rec := m.ByIndex[3]; rec.FF != 10 || rec.Cycle != 200 || rec.Outcome != 2 {
+		t.Fatalf("point 3 = %+v, want shard-1 local 0 (ff=10 cycle=200 hang)", rec)
+	}
+	if hit, ok := m.HitByIndex[5]; !ok || hit.MATE != 4 || hit.Width != 2 {
+		t.Fatalf("point 5 attribution = %+v (present=%v), want MATE 4 width 2", hit, ok)
+	}
+	if !m.ByIndex[1].Pruned || m.HitByIndex[1].MATE != 7 {
+		t.Fatalf("point 1 lost its pruned flag or attribution: %+v / %+v", m.ByIndex[1], m.HitByIndex[1])
+	}
+}
+
+func TestMergeKeepsFinalVerdictOfReclassifiedPoint(t *testing.T) {
+	dir := t.TempDir()
+	h := Header{GoldenSignature: 1, NumPoints: 2, FaultListHash: 2}
+	// A shard whose journal classified point 0 twice (crash + resume on the
+	// worker): the final verdict must win, exactly like plain recovery.
+	s := writeShard(t, dir, "s.journal", h, []Record{
+		{Index: 0, FF: 1, Cycle: 1, Duration: 1, Outcome: 1},
+		{Index: 1, FF: 2, Cycle: 1, Duration: 1, Outcome: 0},
+		{Index: 0, FF: 1, Cycle: 1, Duration: 1, Outcome: 0},
+	}, nil)
+	out := filepath.Join(dir, "merged.journal")
+	campaign := Header{GoldenSignature: 1, NumPoints: 2, FaultListHash: 9}
+	stats, err := Merge(out, campaign, []MergeShard{{Rec: s, Base: 0, Want: h}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 2 {
+		t.Fatalf("stats.Records = %d, want 2 (distinct points)", stats.Records)
+	}
+	m, err := Recover(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ByIndex[0].Outcome != 0 {
+		t.Fatalf("point 0 outcome = %d, want the final verdict 0", m.ByIndex[0].Outcome)
+	}
+}
+
+func TestMergeRejections(t *testing.T) {
+	dir := t.TempDir()
+	campaign := Header{GoldenSignature: 0xfeed, NumPoints: 6, FaultListHash: 0xabcd}
+	good := Header{GoldenSignature: 0xfeed, NumPoints: 3, FaultListHash: 0x1111}
+	shard := writeShard(t, dir, "good.journal", good, []Record{
+		{Index: 0, FF: 1, Cycle: 1, Duration: 1},
+	}, nil)
+
+	cases := []struct {
+		name   string
+		shards []MergeShard
+		want   string
+	}{
+		{
+			name:   "golden signature mismatch",
+			shards: []MergeShard{{Rec: shard, Base: 0, Want: Header{GoldenSignature: 0xdead, NumPoints: 3, FaultListHash: 0x1111}}},
+			want:   "golden signature mismatch",
+		},
+		{
+			name:   "fault-list size mismatch",
+			shards: []MergeShard{{Rec: shard, Base: 0, Want: Header{GoldenSignature: 0xfeed, NumPoints: 4, FaultListHash: 0x1111}}},
+			want:   "fault-list size mismatch",
+		},
+		{
+			name:   "fault-list hash mismatch",
+			shards: []MergeShard{{Rec: shard, Base: 0, Want: Header{GoldenSignature: 0xfeed, NumPoints: 3, FaultListHash: 0x9999}}},
+			want:   "fault-list hash mismatch",
+		},
+		{
+			name:   "shard beyond campaign fault list",
+			shards: []MergeShard{{Rec: shard, Base: 4, Want: good}},
+			want:   "exceeds the campaign fault list",
+		},
+		{
+			name: "overlapping shards",
+			shards: []MergeShard{
+				{Rec: shard, Base: 0, Want: good},
+				{Rec: shard, Base: 2, Want: good},
+			},
+			want: "overlaps",
+		},
+		{
+			name:   "missing header",
+			shards: []MergeShard{{Rec: &Recovered{}, Base: 0, Want: good}},
+			want:   "no intact campaign header",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := filepath.Join(dir, "rejected.journal")
+			_, err := Merge(out, campaign, tc.shards)
+			if err == nil {
+				t.Fatalf("merge succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the mismatch (%q)", err, tc.want)
+			}
+			if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
+				t.Fatalf("rejected merge left an output file behind (stat: %v)", statErr)
+			}
+		})
+	}
+}
+
+func TestMergeForeignGoldenRejectedEvenWithMatchingWant(t *testing.T) {
+	// A Want header that (wrongly) matches a foreign shard must not smuggle
+	// it past the campaign check: the shard/campaign golden comparison is
+	// independent of Want.
+	dir := t.TempDir()
+	foreign := Header{GoldenSignature: 0xbad, NumPoints: 1, FaultListHash: 0x1}
+	shard := writeShard(t, dir, "foreign.journal", foreign, []Record{
+		{Index: 0, FF: 1, Cycle: 1, Duration: 1},
+	}, nil)
+	campaign := Header{GoldenSignature: 0xfeed, NumPoints: 6, FaultListHash: 0xabcd}
+	_, err := Merge(filepath.Join(dir, "out.journal"), campaign, []MergeShard{
+		{Rec: shard, Base: 0, Want: foreign},
+	})
+	if err == nil || !strings.Contains(err.Error(), "does not match campaign") {
+		t.Fatalf("foreign golden signature not rejected: %v", err)
+	}
+}
+
+func TestMergeOverwritesAtomically(t *testing.T) {
+	// A successful merge replaces an existing file; a failed one leaves it
+	// untouched — the crash-safety contract the coordinator relies on when
+	// it re-merges after a restart.
+	dir := t.TempDir()
+	campaign := Header{GoldenSignature: 0xfeed, NumPoints: 3, FaultListHash: 0xabcd}
+	h := Header{GoldenSignature: 0xfeed, NumPoints: 3, FaultListHash: 0x1111}
+	shard := writeShard(t, dir, "s.journal", h, []Record{
+		{Index: 0, FF: 1, Cycle: 1, Duration: 1},
+		{Index: 1, FF: 2, Cycle: 1, Duration: 1},
+	}, nil)
+
+	out := filepath.Join(dir, "merged.journal")
+	if _, err := Merge(out, campaign, []MergeShard{{Rec: shard, Base: 0, Want: h}}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Failing merge (bad Want): the previous merged journal must survive.
+	_, err = Merge(out, campaign, []MergeShard{{Rec: shard, Base: 0, Want: Header{GoldenSignature: 0xdead}}})
+	if err == nil {
+		t.Fatal("bad merge succeeded")
+	}
+	after, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed merge modified the existing merged journal")
+	}
+
+	// Re-merge (the coordinator-restart path): idempotent, byte-identical.
+	if _, err := Merge(out, campaign, []MergeShard{{Rec: shard, Base: 0, Want: h}}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(again) {
+		t.Fatal("re-merge is not byte-identical")
+	}
+}

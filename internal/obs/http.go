@@ -25,10 +25,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = WritePrometheus(w, reg)
-	})
+	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -37,6 +34,17 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
+}
+
+// MetricsHandler returns the Prometheus text-format handler for reg, for
+// mounting on an external mux (the fleet coordinator serves its lease API
+// and /metrics on one listener this way). Nil-safe: a nil registry exports
+// the empty metric set.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, reg)
+	})
 }
 
 // Addr returns the bound listen address (useful with port 0).

@@ -89,6 +89,22 @@ func (d *Document) WriteText(w io.Writer) error {
 			}
 			fmt.Fprintln(w)
 		}
+		if n, ok := st.Counters["fleet_leases_granted_total"]; ok {
+			// A fleet-merged campaign: surface the coordinator's recovery
+			// counters (how contested the leases were, what fencing stopped).
+			fmt.Fprintf(w, "fleet:      %d leases granted, %d expired, %d re-leased", n,
+				st.Counters["fleet_lease_expiries_total"], st.Counters["fleet_lease_regrants_total"])
+			if s := st.Counters["fleet_completions_stale_total"]; s > 0 {
+				fmt.Fprintf(w, ", %d stale completions fenced off", s)
+			}
+			if s := st.Counters["fleet_completions_invalid_total"]; s > 0 {
+				fmt.Fprintf(w, ", %d invalid uploads rejected", s)
+			}
+			if m := st.Counters["fleet_merges_total"]; m > 0 {
+				fmt.Fprintf(w, ", merged %d×", m)
+			}
+			fmt.Fprintln(w)
+		}
 		terms, hasTerms := st.Counters["exact_terms_found_total"]
 		certs, hasCerts := st.Counters["exact_unmaskable_total"]
 		if hasTerms || hasCerts {
