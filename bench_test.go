@@ -198,6 +198,41 @@ func BenchmarkCampaignBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignMBU is BenchmarkCampaignBatched under the mbu:2 fault
+// model: adjacent-pair bursts enumerated over the same workload, executed
+// by the batched engine with pruning and early-exit enabled. Multi-flip
+// points are outside the MATE masking argument (never pruned) and inject
+// two flips per held cycle, so the delta against the SEU benchmark is the
+// model-diversity overhead of the injection hot path.
+func BenchmarkCampaignMBU(b *testing.B) {
+	c := experiments.PrepareAVR()
+	run := c.NewRun(c.FibProg)
+	golden, err := hafi.RecordGolden(run, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := core.Search(c.NL, c.FaultAll, core.DefaultSearchParams()).Set
+	ctl := hafi.NewController(run, golden)
+	points := hafi.ModelFaultList(c.NL, golden.HaltCycle, 500, hafi.ModelSpec{Model: hafi.ModelMBU, Span: 2})
+	run64, err := c.NewRun64(c.FibProg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ctl.RunCampaignBatched(hafi.CampaignConfig{
+			Points:  points,
+			MATESet: set,
+		}, run64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Total == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
 // BenchmarkCampaignPool measures the parallel batched scheduler with one
 // 64-lane device instance per logical CPU (same prepared inputs as
 // BenchmarkCampaignBatched; the delta is the multi-core scaling).

@@ -48,6 +48,7 @@ func main() {
 	cpu := flag.String("cpu", "avr", "processor: avr or msp430")
 	prog := flag.String("prog", "fib", "built-in workload: fib, conv or sort")
 	stride := flag.Int("stride", 25, "inject every FF at every stride-th cycle (>= 1)")
+	faultModel := flag.String("fault-model", "seu", "fault model: seu, mbu[:span], set, intermittent[:period[,window]], stuck0[:window] or stuck1[:window]")
 	noPrune := flag.Bool("noprune", false, "disable online MATE pruning")
 	validate := flag.Bool("validate", false, "re-execute pruned points and verify benignity")
 	noRF := flag.Bool("norf", false, "exclude the register file from the fault list")
@@ -88,6 +89,10 @@ func main() {
 	}
 	if *workers < 1 {
 		usage("-workers %d out of range (want >= 1)", *workers)
+	}
+	modelSpec, err := hafi.ParseModelSpec(*faultModel)
+	if err != nil {
+		usage("%v", err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -158,7 +163,7 @@ func main() {
 		fmt.Printf("MATE search: %d MATEs in %v\n", set.Size(), res.Elapsed.Round(time.Millisecond))
 	}
 
-	points := hafi.SampledFaultList(nl, golden.HaltCycle, *stride, groups...)
+	points := hafi.ModelFaultList(nl, golden.HaltCycle, *stride, modelSpec, groups...)
 	ctl := hafi.NewControllerPool(factory, golden)
 
 	var jw *journal.Writer
@@ -226,7 +231,7 @@ func main() {
 	if recovered != nil {
 		fmt.Printf("resumed:    %d points replayed from %s\n", len(recovered.ByIndex), *journalPath)
 	}
-	fmt.Printf("campaign:   %d injection points (stride %d)\n", res.Total, *stride)
+	fmt.Printf("campaign:   %d injection points (stride %d, model %s)\n", res.Total, *stride, modelSpec)
 	fmt.Printf("pruned:     %d (%.2f%%) proven benign online by MATEs\n",
 		res.Skipped, 100*res.PrunedFraction())
 	fmt.Printf("executed:   %d experiments in %v\n", res.Executed, time.Since(start).Round(time.Millisecond))

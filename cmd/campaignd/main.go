@@ -38,6 +38,7 @@ func main() {
 	cpu := flag.String("cpu", "avr", "processor: avr or msp430")
 	prog := flag.String("prog", "fib", "built-in workload: fib, conv or sort")
 	stride := flag.Int("stride", 25, "inject every FF at every stride-th cycle (>= 1)")
+	faultModel := flag.String("fault-model", "seu", "fault model: seu, mbu[:span], set, intermittent[:period[,window]], stuck0[:window] or stuck1[:window]")
 	noPrune := flag.Bool("noprune", false, "disable online MATE pruning")
 	noRF := flag.Bool("norf", false, "exclude the register file from the fault list")
 	noEarlyExit := flag.Bool("no-early-exit", false, "disable the golden-state convergence early-exit fleet-wide")
@@ -68,6 +69,10 @@ func main() {
 	}
 	if *shards < 1 {
 		usage("-shards %d out of range (want >= 1)", *shards)
+	}
+	modelSpec, err := hafi.ParseModelSpec(*faultModel)
+	if err != nil {
+		usage("%v", err)
 	}
 	if *leaseTTL <= 0 {
 		usage("-lease-ttl %v out of range (want > 0)", *leaseTTL)
@@ -135,7 +140,7 @@ func main() {
 		fmt.Printf("MATE search: %d MATEs in %v\n", res.Set.Size(), res.Elapsed.Round(time.Millisecond))
 	}
 
-	points := hafi.SampledFaultList(target.NL, golden.HaltCycle, *stride, groups...)
+	points := hafi.ModelFaultList(target.NL, golden.HaltCycle, *stride, modelSpec, groups...)
 	coord, err := fleet.NewCoordinator(points, golden.Signature, fleet.Options{
 		Shards:    *shards,
 		LeaseTTL:  *leaseTTL,
@@ -144,7 +149,8 @@ func main() {
 		Output:    *output,
 		Spec: fleet.Spec{
 			CPU: *cpu, Prog: *prog, Stride: *stride, NoRF: *noRF,
-			MATESet: mateSet, DisableEarlyExit: *noEarlyExit,
+			FaultModel: modelSpec.String(),
+			MATESet:    mateSet, DisableEarlyExit: *noEarlyExit,
 		},
 		Obs:  reg,
 		Logf: func(format string, args ...interface{}) { fmt.Fprintf(os.Stderr, format+"\n", args...) },

@@ -36,7 +36,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	statsA := fs.String("stats-json", "", "enrich the (first) journal with this -stats-json dump")
 	statsB := fs.String("stats-json-b", "", "enrich the second -diff journal with this -stats-json dump")
 	diff := fs.Bool("diff", false, "compare two journals point for point (baseline first)")
+	diffModels := fs.Bool("diff-models", false, "compare two journals of different fault models site by site (informational; reference first)")
 	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *diff && *diffModels {
+		fmt.Fprintln(stderr, "campaignreport: -diff and -diff-models are mutually exclusive")
 		return 1
 	}
 	switch *format {
@@ -47,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	want := 1
-	if *diff {
+	if *diff || *diffModels {
 		want = 2
 	}
 	if fs.NArg() != want {
@@ -60,6 +65,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "campaignreport: %v\n", err)
 		return 1
+	}
+
+	if *diffModels {
+		b, err := report.Load(fs.Arg(1), *statsB)
+		if err != nil {
+			fmt.Fprintf(stderr, "campaignreport: %v\n", err)
+			return 1
+		}
+		d, err := report.DiffModels(a, b)
+		if err != nil {
+			fmt.Fprintf(stderr, "campaignreport: %v\n", err)
+			return 1
+		}
+		switch *format {
+		case "text":
+			err = d.WriteModelDiffText(stdout, a.Path, b.Path)
+		case "json":
+			err = d.WriteModelDiffJSON(stdout)
+		case "csv":
+			err = d.WriteModelDiffCSV(stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "campaignreport: %v\n", err)
+			return 1
+		}
+		// Models are expected to disagree: site differences are
+		// informational, never a regression exit.
+		return 0
 	}
 
 	if !*diff {

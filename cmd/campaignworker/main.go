@@ -108,8 +108,12 @@ func main() {
 	if err != nil {
 		fail(fmt.Errorf("fetching campaign spec from %s: %w", *coordinator, err))
 	}
-	fmt.Printf("joining fleet: cpu=%s prog=%s stride=%d (%d points, golden %016x)\n",
-		spec.CPU, spec.Prog, spec.Stride, spec.NumPoints, spec.GoldenSignature)
+	modelSpec, err := hafi.ParseModelSpec(specModel(spec))
+	if err != nil {
+		fail(fmt.Errorf("coordinator advertises unknown fault model %q: %w", spec.FaultModel, err))
+	}
+	fmt.Printf("joining fleet: cpu=%s prog=%s stride=%d model=%s (%d points, golden %016x)\n",
+		spec.CPU, spec.Prog, spec.Stride, modelSpec, spec.NumPoints, spec.GoldenSignature)
 
 	target, err := fleet.NewTarget(spec.CPU, spec.Prog)
 	if err != nil {
@@ -130,7 +134,7 @@ func main() {
 			fail(fmt.Errorf("parsing coordinator MATE set: %w", err))
 		}
 	}
-	points := hafi.SampledFaultList(target.NL, golden.HaltCycle, spec.Stride, groups...)
+	points := hafi.ModelFaultList(target.NL, golden.HaltCycle, spec.Stride, modelSpec, groups...)
 	ctl := hafi.NewControllerPool(target.NewRun, golden)
 	runs := make([]hafi.Run64, *workers)
 	for i := range runs {
@@ -145,6 +149,7 @@ func main() {
 		Ctl:              ctl,
 		Points:           points,
 		Runs:             runs,
+		Model:            modelSpec.String(),
 		MATESet:          set,
 		DisableEarlyExit: spec.DisableEarlyExit,
 		Obs:              reg,
@@ -161,6 +166,15 @@ func main() {
 		}
 		fail(err)
 	}
+}
+
+// specModel returns the spec's fault model, defaulting to "seu" for specs
+// from coordinators that predate the field.
+func specModel(spec fleet.Spec) string {
+	if spec.FaultModel == "" {
+		return "seu"
+	}
+	return spec.FaultModel
 }
 
 func usage(format string, args ...interface{}) {

@@ -23,6 +23,9 @@ type CampaignRunner struct {
 	Points []hafi.FaultPoint
 	// Runs is the 64-lane device pool, reused across shards.
 	Runs []hafi.Run64
+	// Model is the fault model the fault list was enumerated under, in
+	// -fault-model syntax (empty = "seu").
+	Model string
 	// MATESet enables online pruning (nil = none). Fleet campaigns receive
 	// it serialized in the Spec so every worker prunes identically.
 	MATESet *core.MATESet
@@ -36,6 +39,9 @@ type CampaignRunner struct {
 func (r *CampaignRunner) Header() journal.Header {
 	return r.Ctl.JournalHeader(r.Points)
 }
+
+// FaultModel implements Runner.
+func (r *CampaignRunner) FaultModel() string { return r.Model }
 
 // RunShard runs fault-list range [lo, hi) and writes its journal to path.
 // The journal carries the shard-slice header (golden signature + slice

@@ -117,6 +117,12 @@ type Spec struct {
 	CPU    string `json:"cpu"`
 	Prog   string `json:"prog"`
 	Stride int    `json:"stride"`
+	// FaultModel is the campaign fault model in -fault-model syntax
+	// (hafi.ParseModelSpec); empty means "seu". Every worker must
+	// reconstruct the fault list under the same model — the fault-list
+	// hash would catch a mismatch too, but naming the model turns an
+	// opaque fingerprint error into an actionable one.
+	FaultModel string `json:"fault_model,omitempty"`
 	// NoRF excludes the register file from the fault list.
 	NoRF bool `json:"norf,omitempty"`
 	// MATESet is the campaign MATE set in the core mateio text format
@@ -145,11 +151,30 @@ func (s Spec) Header() journal.Header {
 	}
 }
 
+// canonicalModel normalises a fault-model string for comparison: empty
+// means "seu", and parseable specs compare in their canonical rendering
+// (so "mbu" and "mbu:2" are the same model).
+func canonicalModel(s string) string {
+	if s == "" {
+		s = "seu"
+	}
+	if spec, err := hafi.ParseModelSpec(s); err == nil {
+		return spec.String()
+	}
+	return s
+}
+
 // Check verifies a worker's local reconstruction against the coordinator's
-// fingerprints, naming the first mismatched field.
-func (s Spec) Check(local journal.Header) error {
+// fingerprints, naming the first mismatched field. localModel is the fault
+// model the worker enumerated its fault list under; a model mismatch is
+// rejected by name, before the fingerprint comparison would flag it as an
+// opaque hash difference.
+func (s Spec) Check(local journal.Header, localModel string) error {
 	want := s.Header()
 	switch {
+	case canonicalModel(localModel) != canonicalModel(s.FaultModel):
+		return fmt.Errorf("fleet: fault-model mismatch: local campaign uses %q, coordinator %q",
+			canonicalModel(localModel), canonicalModel(s.FaultModel))
 	case local.GoldenSignature != want.GoldenSignature:
 		return fmt.Errorf("fleet: golden signature mismatch: local run %016x, coordinator %016x (different binary or workload?)",
 			local.GoldenSignature, want.GoldenSignature)

@@ -21,6 +21,10 @@ import (
 // shard was cancelled mid-run and the journal is incomplete).
 type Runner interface {
 	Header() journal.Header
+	// FaultModel names the model the fault list was enumerated under, in
+	// -fault-model syntax (empty = "seu"); Spec.Check rejects a worker
+	// whose model disagrees with the coordinator's.
+	FaultModel() string
 	RunShard(ctx context.Context, lo, hi int, path string) error
 }
 
@@ -140,7 +144,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("fleet: fetching campaign spec: %w", err)
 	}
-	if err := spec.Check(w.Runner.Header()); err != nil {
+	if err := spec.Check(w.Runner.Header(), w.Runner.FaultModel()); err != nil {
 		return err
 	}
 	heartbeat := time.Duration(spec.HeartbeatMillis) * time.Millisecond

@@ -264,7 +264,7 @@ func (st *batchState) journalPoint(rec journal.Record, hit *journal.MATEHit) err
 }
 
 func record(idx uint64, p FaultPoint) journal.Record {
-	return journal.Record{Index: idx, FF: uint32(p.FF), Cycle: uint32(p.Cycle), Duration: uint32(p.duration())}
+	return pointRecord(idx, p)
 }
 
 // credit accounts one pruned point to its MATE and builds the journal
@@ -445,21 +445,26 @@ func (c *Controller) runBatchSafe(run64 Run64, batch []FaultPoint, cycle, timeou
 	return conv, sv, false
 }
 
-// runBatch loads the shared checkpoint, injects one upset per lane, runs
+// runBatch loads the shared checkpoint, injects one fault per lane (each
+// lane's fault model decides which flip-flops change on which cycle), runs
 // to halt/timeout and classifies every lane into outcomes (len(batch)
 // entries). All points share cycle.
 //
 // With early set, lanes retire individually: each cycle the lane-parallel
 // divergence mask (OR over all flip-flops of lane^golden) identifies lanes
 // whose flip-flop state equals the golden reference; those of them past
-// their hold window whose memory write digest also matches golden retire
-// benign on the spot. The batch ends once every lane has halted or
+// their fault's active window whose memory write digest also matches golden
+// retire benign on the spot. The batch ends once every lane has halted or
 // retired, which is what turns 64-lane batches with one slow lane from
 // worst-case into average-case runtime.
 func (c *Controller) runBatch(run64 Run64, batch []FaultPoint, cycle, timeout int, early bool, outcomes []Outcome) (converged int, saved int64) {
 	run64.LoadCheckpoint(c.golden.Checkpoints[cycle])
+	var lanes [64]laneFFs
+	var ends [64]int
 	for lane, p := range batch {
-		run64.FlipLane(p.FF, lane)
+		lanes[lane] = laneFFs{r: run64, lane: lane}
+		ends[lane] = Model(p.Model).ActiveEnd(p)
+		Model(p.Model).Inject(&lanes[lane], p, cycle)
 	}
 	used := uint64(1)<<uint(len(batch)) - 1
 	if len(batch) == 64 {
@@ -472,20 +477,20 @@ func (c *Controller) runBatch(run64 Run64, batch []FaultPoint, cycle, timeout in
 		if cyc > cycle {
 			haltedNow := run64.HaltedMask()
 			for lane, p := range batch {
-				if cyc < p.Cycle+p.duration() && (haltedNow|retired)>>uint(lane)&1 == 0 {
-					run64.FlipLane(p.FF, lane)
+				if cyc < ends[lane] && (haltedNow|retired)>>uint(lane)&1 == 0 {
+					Model(p.Model).Inject(&lanes[lane], p, cyc)
 				}
 			}
 		}
 		halted := run64.HaltedMask()
 		if early && cyc < len(digests) {
 			// Eligible for retirement: in use, not halted, not already
-			// retired, and past the upset's hold window (a held lane is
-			// re-flipped above and cannot match golden mid-hold anyway;
+			// retired, and past the fault's active window (an active lane is
+			// re-injected above and cannot match golden mid-window anyway;
 			// the explicit gate keeps the invariant local).
 			elig := used &^ (halted | retired)
-			for lane, p := range batch {
-				if cyc < p.Cycle+p.duration() {
+			for lane := range batch {
+				if cyc < ends[lane] {
 					elig &^= 1 << uint(lane)
 				}
 			}

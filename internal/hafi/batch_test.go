@@ -139,3 +139,35 @@ func TestBatchedCheckpointTypeMismatch(t *testing.T) {
 	}()
 	mrun64.LoadCheckpoint(cp)
 }
+
+// TestBatchedPoolMatchesSequential: the pooled 64-lane engine — factory
+// construction path, several device instances, reorder-buffer emission —
+// must match the sequential controller outcome for outcome. The fault
+// list is MBU so the pool is exercised under a non-SEU model (multi-FF
+// injection per lane, journal-v3 point shapes).
+func TestBatchedPoolMatchesSequential(t *testing.T) {
+	c, prog, g, r := goldenAVR(t)
+	ctl := NewController(r, g)
+	points := ModelFaultList(c.NL, g.HaltCycle, 6, ModelSpec{Model: ModelMBU, Span: 2})
+	if len(points) < 64 {
+		t.Fatalf("fault list too small to fill a lane batch: %d points", len(points))
+	}
+
+	seq, err := ctl.RunCampaign(CampaignConfig{Points: points})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := ctl.RunCampaignBatchedPool(CampaignConfig{Points: points, Workers: 3},
+		func() (Run64, error) { return NewAVRRun64(avr.NewCore(), prog) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Total != pool.Total || seq.Executed != pool.Executed || seq.Skipped != pool.Skipped {
+		t.Fatalf("accounting differs: sequential %+v, pooled %+v", seq, pool)
+	}
+	for _, o := range []Outcome{OutcomeBenign, OutcomeSDC, OutcomeHang} {
+		if seq.ByOutcome[o] != pool.ByOutcome[o] {
+			t.Errorf("%s: sequential %d, pooled %d", o, seq.ByOutcome[o], pool.ByOutcome[o])
+		}
+	}
+}

@@ -157,16 +157,32 @@ func stepEpilogue(r Run) {
 	}
 }
 
-// FaultPoint identifies one injection: invert the stored value of
-// flip-flop FF at the beginning of cycle Cycle. Duration generalises the
-// fault model to upsets that hold for several cycles (paper Section 6.2:
-// "our approach works out of the box also with upsets that hold more than
-// one cycle"): the flip-flop is re-inverted at the beginning of each of
-// the Duration cycles. Zero means 1 (a classic SEU).
+// FaultPoint identifies one injection under a fault model. In the zero
+// Model (SEU): invert the stored value of flip-flop FF at the beginning of
+// cycle Cycle. Duration generalises the fault model to upsets that hold for
+// several cycles (paper Section 6.2: "our approach works out of the box
+// also with upsets that hold more than one cycle"): the flip-flop is
+// re-inverted at the beginning of each of the Duration cycles. Zero means 1
+// (a classic SEU). The remaining operands belong to the non-SEU models (see
+// the ModelID constants) and must be zero for models that do not use them.
 type FaultPoint struct {
 	FF       int
 	Cycle    int
 	Duration int
+
+	// Model selects the fault model; the zero value is ModelSEU, so legacy
+	// fault points behave exactly as before.
+	Model ModelID
+	// Span is the MBU burst width (adjacent flip-flops upset together).
+	Span int
+	// Period is the intermittent re-flip period in cycles.
+	Period int
+	// StuckHigh selects stuck-at-1 over stuck-at-0.
+	StuckHigh bool
+	// Targets is the SET flip set: the flip-flops the struck gate's cone
+	// latches into, sorted ascending with Targets[0] == FF. Empty means
+	// {FF}.
+	Targets []int
 }
 
 func (p FaultPoint) duration() int {
@@ -174,6 +190,35 @@ func (p FaultPoint) duration() int {
 		return 1
 	}
 	return p.Duration
+}
+
+func (p FaultPoint) span() int {
+	if p.Span <= 0 {
+		return 1
+	}
+	return p.Span
+}
+
+func (p FaultPoint) period() int {
+	if p.Period <= 0 {
+		return 1
+	}
+	return p.Period
+}
+
+// targets returns the SET flip set ({FF} when the explicit list is empty).
+func (p FaultPoint) targets() []int {
+	if len(p.Targets) == 0 {
+		return []int{p.FF}
+	}
+	return p.Targets
+}
+
+// plainSEU reports the legacy point shape: the zero model with no foreign
+// operands. Plain-SEU points hash, journal and resume byte-identically to
+// every campaign recorded before fault-model diversity existed.
+func (p FaultPoint) plainSEU() bool {
+	return p.Model == ModelSEU && p.Span == 0 && p.Period == 0 && !p.StuckHigh && len(p.Targets) == 0
 }
 
 // CampaignConfig parameterises a fault-injection campaign.
@@ -381,17 +426,69 @@ func (c *Controller) JournalHeader(points []FaultPoint) journal.Header {
 	}
 }
 
-// FaultListHash fingerprints the exact injection-point sequence.
+// FaultListHash fingerprints the exact injection-point sequence. Plain-SEU
+// points hash exactly the legacy 12 bytes (FF, cycle, duration), so every
+// journal recorded before fault-model diversity still resumes; points of
+// other models append an extension block carrying the model tag and its
+// operands, so two fault lists differing only in model never collide.
 func FaultListHash(points []FaultPoint) uint64 {
 	h := fnv.New64a()
-	var b [12]byte
+	var b [20]byte
 	for _, p := range points {
 		binary.LittleEndian.PutUint32(b[0:], uint32(p.FF))
 		binary.LittleEndian.PutUint32(b[4:], uint32(p.Cycle))
 		binary.LittleEndian.PutUint32(b[8:], uint32(p.duration()))
-		h.Write(b[:])
+		if p.plainSEU() {
+			h.Write(b[:12])
+			continue
+		}
+		b[12] = uint8(p.Model)
+		b[13] = 0
+		if p.StuckHigh {
+			b[13] = 1
+		}
+		binary.LittleEndian.PutUint16(b[14:], uint16(p.span()))
+		binary.LittleEndian.PutUint16(b[16:], uint16(p.period()))
+		binary.LittleEndian.PutUint16(b[18:], uint16(len(p.targets())))
+		h.Write(b[:20])
+		for _, ff := range p.targets() {
+			binary.LittleEndian.PutUint32(b[0:], uint32(ff))
+			h.Write(b[:4])
+		}
 	}
 	return h.Sum64()
+}
+
+// targetsHash fingerprints a SET flip set for the fixed-width journal
+// record (FNV-1a over the little-endian u32 target indices).
+func targetsHash(targets []int) uint64 {
+	h := sigOffset64
+	for _, ff := range targets {
+		for shift := 0; shift < 32; shift += 8 {
+			h = (h ^ uint64(uint8(uint32(ff)>>shift))) * sigPrime64
+		}
+	}
+	return h
+}
+
+// pointRecord builds the journal record of one classified point. Plain-SEU
+// points leave the model fields zero, keeping their journal encoding
+// byte-identical to the v2 format; other models stamp the record with the
+// model tag and normalised operands (journal format v3).
+func pointRecord(idx uint64, p FaultPoint) journal.Record {
+	rec := journal.Record{Index: idx, FF: uint32(p.FF), Cycle: uint32(p.Cycle), Duration: uint32(p.duration())}
+	if !p.plainSEU() {
+		rec.Model = uint8(p.Model)
+		rec.Span = uint16(p.span())
+		rec.Period = uint16(p.period())
+		rec.StuckHigh = p.StuckHigh
+		if p.Model == ModelSET {
+			ts := p.targets()
+			rec.NumTargets = uint16(len(ts))
+			rec.TargetsHash = targetsHash(ts)
+		}
+	}
+	return rec
 }
 
 // prepareCampaign validates the configuration (shared by the sequential
@@ -416,9 +513,16 @@ func (c *Controller) prepareCampaign(cfg *CampaignConfig) (timeout int, err erro
 	if timeout <= c.golden.HaltCycle {
 		timeout = c.golden.HaltCycle + 1
 	}
-	for _, p := range cfg.Points {
+	for i, p := range cfg.Points {
 		if p.Cycle >= len(c.golden.Checkpoints) {
 			return 0, fmt.Errorf("hafi: injection cycle %d beyond golden run (%d)", p.Cycle, len(c.golden.Checkpoints))
+		}
+		fm := Model(p.Model)
+		if fm == nil {
+			return 0, fmt.Errorf("hafi: point %d uses unknown fault model %d", i, p.Model)
+		}
+		if err := fm.Validate(c.nl, p); err != nil {
+			return 0, fmt.Errorf("hafi: point %d: %w", i, err)
 		}
 	}
 	if err := c.checkResume(cfg); err != nil {
@@ -446,9 +550,15 @@ func (c *Controller) checkResume(cfg *CampaignConfig) error {
 			return fmt.Errorf("hafi: journal record for point %d beyond fault list (%d points)", idx, len(cfg.Points))
 		}
 		p := cfg.Points[idx]
-		if rec.FF != uint32(p.FF) || rec.Cycle != uint32(p.Cycle) || rec.Duration != uint32(p.duration()) {
+		want := pointRecord(idx, p)
+		if rec.FF != want.FF || rec.Cycle != want.Cycle || rec.Duration != want.Duration {
 			return fmt.Errorf("hafi: journal record %d (ff=%d cycle=%d dur=%d) does not match fault list point (ff=%d cycle=%d dur=%d)",
 				idx, rec.FF, rec.Cycle, rec.Duration, p.FF, p.Cycle, p.duration())
+		}
+		if rec.Model != want.Model || rec.Span != want.Span || rec.Period != want.Period ||
+			rec.StuckHigh != want.StuckHigh || rec.NumTargets != want.NumTargets || rec.TargetsHash != want.TargetsHash {
+			return fmt.Errorf("hafi: journal record %d (model=%s span=%d period=%d) does not match fault list point (model=%s span=%d period=%d)",
+				idx, ModelID(rec.Model), rec.Span, rec.Period, p.Model, want.Span, want.Period)
 		}
 	}
 	return nil
@@ -524,7 +634,7 @@ func (c *Controller) runShard(cfg CampaignConfig, base int, points []FaultPoint,
 		if ctx.Err() != nil {
 			return nil // graceful drain: stop starting new experiments
 		}
-		rec := journal.Record{Index: idx, FF: uint32(p.FF), Cycle: uint32(p.Cycle), Duration: uint32(p.duration())}
+		rec := pointRecord(idx, p)
 		res.Total++
 		var hit *journal.MATEHit
 		mate, pruned := -1, false
@@ -663,14 +773,26 @@ func (c *Controller) indexMATEs(set *core.MATESet) {
 // the golden state (inductively, because the previous cycle was masked) and
 // the triggered MATE masks that cycle's inversion too.
 //
+// The argument covers exactly one fault shape: a single flip-flop inverted
+// for a contiguous run of cycles. Points of other models are therefore only
+// prunable when they degenerate to that shape (FaultModel.SEUEquivalent):
+// a span-1 MBU, a single-target SET, an intermittent window holding at most
+// one flip. Multi-flip sets, periodic re-flips from re-diverged state and
+// data-dependent stuck-at forces return ok=false unconditionally — those
+// faults always execute.
+//
 // When the point is proven benign, mate is the set index of the MATE that
 // fired first: the lowest-index MATE triggering on the upset's first cycle.
 // Each pruned point is credited to exactly one MATE, so the per-MATE credits
 // of a campaign sum exactly to its skipped-point count.
 func (c *Controller) provedBenign(p FaultPoint) (mate int, ok bool) {
-	q := c.nl.FFs[p.FF].Q
+	ff, dur, ok := Model(p.Model).SEUEquivalent(p)
+	if !ok {
+		return 0, false
+	}
+	q := c.nl.FFs[ff].Q
 	credit := -1
-	for cyc := p.Cycle; cyc < p.Cycle+p.duration(); cyc++ {
+	for cyc := p.Cycle; cyc < p.Cycle+dur; cyc++ {
 		if cyc >= c.golden.Trace.NumCycles() {
 			return 0, false
 		}
@@ -691,13 +813,15 @@ func (c *Controller) provedBenign(p FaultPoint) (mate int, ok bool) {
 	return credit, true
 }
 
-// execute restores the checkpoint, injects the upset and runs the workload
-// to completion or timeout on the given device instance. For multi-cycle
-// upsets the flip-flop is re-inverted at the beginning of every held
-// cycle.
+// execute restores the checkpoint, injects the fault and runs the workload
+// to completion or timeout on the given device instance. The fault model
+// decides what changes on which cycle: its Inject is called at the
+// injection cycle and then at the beginning of every further non-halted
+// cycle of its active window (for an SEU that re-inverts the held
+// flip-flop, byte for byte the behavior before fault models existed).
 //
 // With early set, the controller applies the convergence early-exit: once
-// the upset's hold window is over, a cycle whose flip-flop state equals
+// the fault's active window is over, a cycle whose flip-flop state equals
 // the golden reference AND whose memory write digest equals the golden
 // digest proves the remaining execution identical to the fault-free run
 // (the two-pass Settle contract makes the environment a function of
@@ -707,12 +831,14 @@ func (c *Controller) provedBenign(p FaultPoint) (mate int, ok bool) {
 // run). The classification is exactly the one a full run would produce.
 func (c *Controller) execute(run Run, p FaultPoint, timeout int, early bool) (out Outcome, saved int) {
 	run.Restore(c.golden.Checkpoints[p.Cycle])
-	run.Machine().FlipFF(p.FF)
-	holdEnd := p.Cycle + p.duration()
+	fm := Model(p.Model)
+	ffs := &machineFFs{run.Machine()}
+	fm.Inject(ffs, p, p.Cycle)
+	holdEnd := fm.ActiveEnd(p)
 	digests := c.golden.MemDigests
 	for cyc := p.Cycle; cyc < timeout; cyc++ {
 		if cyc > p.Cycle && cyc < holdEnd && !run.Halted() {
-			run.Machine().FlipFF(p.FF)
+			fm.Inject(ffs, p, cyc)
 		}
 		if run.Halted() {
 			if run.Signature() == c.golden.Signature {
@@ -764,21 +890,11 @@ func FullFaultList(nl *netlist.Netlist, maxCycle int) []FaultPoint {
 
 // SampledFaultList enumerates every FF at every strideth cycle — the
 // sampling a campaign planner would apply when the full space is too
-// large.
+// large. It is ModelFaultList for the SEU model; the group exclusion is
+// the shared model-aware filter (a point is excluded when any flip-flop it
+// upsets is in an excluded group).
 func SampledFaultList(nl *netlist.Netlist, maxCycle, stride int, excludeGroups ...string) []FaultPoint {
-	skip := map[string]bool{}
-	for _, g := range excludeGroups {
-		skip[g] = true
-	}
-	var out []FaultPoint
-	for cyc := 0; cyc < maxCycle; cyc += stride {
-		for ff := range nl.FFs {
-			if !skip[nl.FFs[ff].Group] {
-				out = append(out, FaultPoint{FF: ff, Cycle: cyc})
-			}
-		}
-	}
-	return out
+	return ModelFaultList(nl, maxCycle, stride, ModelSpec{Model: ModelSEU}, excludeGroups...)
 }
 
 // FNV-1a parameters of the signature stream (identical to hash/fnv, inlined

@@ -1,0 +1,265 @@
+package hafi
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// randomCampaignNetlist grows a seeded random datapath (like the core
+// property suite) wrapped in a halting harness: a cycle counter raises a
+// sticky halt flag after a seed-dependent number of cycles, and the inputs
+// follow a precomputed schedule so checkpoint restore replays them exactly.
+// Returns the netlist and a factory for fresh reset-state runs.
+func randomCampaignNetlist(t *testing.T, seed int64) (*netlist.Netlist, func() *NetlistRun) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := netlist.NewBuilder(fmt.Sprintf("model-sound-%d", seed))
+	c := synth.New(b)
+	width := 2 + rng.Intn(3)
+	a := c.InputBus("a", width)
+	d := c.InputBus("b", width)
+	state := c.RegisterPlaceholder("acc", width, uint64(rng.Intn(1<<width)), "data")
+
+	buses := []synth.Bus{a, d, state}
+	for i, n := 0, 3+rng.Intn(5); i < n; i++ {
+		x := buses[rng.Intn(len(buses))]
+		y := buses[rng.Intn(len(buses))]
+		var out synth.Bus
+		switch rng.Intn(6) {
+		case 0:
+			out = c.And(x, y)
+		case 1:
+			out = c.Or(x, y)
+		case 2:
+			out = c.Xor(x, y)
+		case 3:
+			out = c.Not(x)
+		case 4:
+			out = c.Adder(x, y, c.B.Const(false)).Sum
+		case 5:
+			out = c.Mux2(c.Equal(x, y), x, y)
+		}
+		buses = append(buses, out)
+	}
+	c.ConnectRegisterAlways(state, buses[len(buses)-1])
+	c.OutputBus(buses[rng.Intn(len(buses))])
+
+	cnt := c.RegisterPlaceholder("cnt", 6, 0, "ctrl")
+	c.ConnectRegisterAlways(cnt, c.Inc(cnt).Sum)
+	haltNow := c.EqualConst(cnt, uint64(18+rng.Intn(10)))
+	hlt := c.RegisterPlaceholder("halt", 1, 0, "ctrl")
+	c.ConnectRegisterAlways(hlt, synth.Bus{b.Gate(cell.OR2, hlt[0], haltNow)})
+	b.MarkOutput(hlt[0])
+	nl := b.MustNetlist()
+
+	const maxCycles = 256
+	sched := make([][]bool, maxCycles)
+	for cyc := range sched {
+		row := make([]bool, len(nl.Inputs))
+		for i := range row {
+			row[i] = rng.Intn(2) == 1
+		}
+		sched[cyc] = row
+	}
+	mk := func() *NetlistRun {
+		return NewNetlistRun(nl, hlt[0], func(cycle int, m *sim.Machine) {
+			if cycle >= len(sched) {
+				cycle = len(sched) - 1
+			}
+			for i, w := range nl.Inputs {
+				m.SetValue(w, sched[cycle][i])
+			}
+		})
+	}
+	return nl, mk
+}
+
+// injectIndependent classifies one fault point by full-machine injection,
+// sharing no code with the campaign controller or the FaultModel registry:
+// a fresh run is stepped from reset to the injection cycle, the model's
+// semantics are re-implemented inline, and the outcome is read off the halt
+// flag and result signature. This is the oracle the campaign's verdicts —
+// pruned, early-exited or fully executed — are checked against.
+func injectIndependent(nl *netlist.Netlist, mk func() *NetlistRun, golden *Golden, p FaultPoint, timeout int) Outcome {
+	run := mk()
+	for i := 0; i < p.Cycle; i++ {
+		run.Step()
+	}
+	m := run.Machine()
+	span, period, dur := p.Span, p.Period, p.Duration
+	if span < 1 {
+		span = 1
+	}
+	if period < 1 {
+		period = 1
+	}
+	if dur < 1 {
+		dur = 1
+	}
+	end := p.Cycle + dur
+	if p.Model == ModelSET {
+		end = p.Cycle + 1
+	}
+	upset := func(cyc int) {
+		switch p.Model {
+		case ModelSEU:
+			m.FlipFF(p.FF)
+		case ModelMBU:
+			for ff := p.FF; ff < p.FF+span; ff++ {
+				m.FlipFF(ff)
+			}
+		case ModelSET:
+			if cyc == p.Cycle {
+				ts := p.Targets
+				if len(ts) == 0 {
+					ts = []int{p.FF}
+				}
+				for _, ff := range ts {
+					m.FlipFF(ff)
+				}
+			}
+		case ModelIntermittent:
+			if (cyc-p.Cycle)%period == 0 {
+				m.FlipFF(p.FF)
+			}
+		case ModelStuckAt:
+			if m.Value(nl.FFs[p.FF].Q) != p.StuckHigh {
+				m.FlipFF(p.FF)
+			}
+		}
+	}
+	classify := func() Outcome {
+		if run.Signature() == golden.Signature {
+			return OutcomeBenign
+		}
+		return OutcomeSDC
+	}
+	for cyc := p.Cycle; cyc < timeout; cyc++ {
+		if cyc == p.Cycle || (cyc < end && !run.Halted()) {
+			upset(cyc)
+		}
+		if run.Halted() {
+			return classify()
+		}
+		run.Step()
+	}
+	if run.Halted() {
+		return classify()
+	}
+	return OutcomeHang
+}
+
+// TestModelSoundnessRandomNetlists is the property-based per-model soundness
+// suite: on 12 seeded random netlists, run a pruning + early-exit campaign
+// under every fault model, journal it, and re-verify every journaled verdict
+// by independent full-machine injection. Additionally asserts the pruning
+// boundary: only SEU-equivalent degenerate shapes may ever be pruned, so
+// multi-flip MBUs and data-dependent stuck-at points always execute.
+func TestModelSoundnessRandomNetlists(t *testing.T) {
+	specs := []ModelSpec{
+		{Model: ModelSEU},
+		{Model: ModelMBU, Span: 2},
+		{Model: ModelSET},
+		{Model: ModelIntermittent, Period: 2, Window: 6},
+		{Model: ModelStuckAt, Window: 3, StuckHigh: true},
+	}
+	var prunedSEU, verified int
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			nl, mk := randomCampaignNetlist(t, seed)
+			golden, err := RecordGolden(mk(), 1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := core.Search(nl, nl.FFQWires(), core.DefaultSearchParams()).Set
+			// The campaign's hang verdict is a policy cutoff (default
+			// TimeoutFactor 2 × golden halt); the oracle must apply the
+			// identical cutoff or a fault that merely delays the halt past
+			// the timeout would read as a disagreement.
+			timeout := 2 * golden.HaltCycle
+			if timeout <= golden.HaltCycle {
+				timeout = golden.HaltCycle + 1
+			}
+
+			for _, spec := range specs {
+				spec := spec
+				t.Run(spec.String(), func(t *testing.T) {
+					points := ModelFaultList(nl, golden.HaltCycle, 2, spec)
+					if len(points) == 0 {
+						t.Skip("model enumerates no points on this netlist")
+					}
+					ctl := NewController(mk(), golden)
+					path := filepath.Join(t.TempDir(), "campaign.journal")
+					jw, err := journal.Create(path, ctl.JournalHeader(points))
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := ctl.RunCampaign(CampaignConfig{Points: points, MATESet: set, Journal: jw})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := jw.Close(); err != nil {
+						t.Fatal(err)
+					}
+					rec, err := journal.Recover(path)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(rec.ByIndex) != len(points) {
+						t.Fatalf("journal has %d records for %d points", len(rec.ByIndex), len(points))
+					}
+
+					switch spec.Model {
+					case ModelSEU:
+						prunedSEU += res.Skipped
+					case ModelMBU, ModelStuckAt:
+						// Span-2 bursts and data-dependent stuck-at forces are
+						// never SEU-equivalent: pruning one is unsound by
+						// construction.
+						if res.Skipped != 0 {
+							t.Fatalf("%d %s points pruned; the MATE argument does not cover them", res.Skipped, spec)
+						}
+					}
+
+					for idx, r := range rec.ByIndex {
+						p := points[idx]
+						if r.Pruned {
+							if _, _, ok := Model(p.Model).SEUEquivalent(p); !ok {
+								t.Errorf("point %d (%s) pruned but not SEU-equivalent", idx, p.Model)
+							}
+						}
+						want := injectIndependent(nl, mk, golden, p, timeout)
+						verified++
+						if r.Pruned {
+							if want != OutcomeBenign {
+								t.Errorf("point %d (%s ff=%d cycle=%d) pruned but independent injection says %s",
+									idx, p.Model, p.FF, p.Cycle, want)
+							}
+							continue
+						}
+						if got := Outcome(r.Outcome); got != want {
+							t.Errorf("point %d (%s ff=%d cycle=%d): campaign %s, independent injection %s",
+								idx, p.Model, p.FF, p.Cycle, got, want)
+						}
+					}
+				})
+			}
+		})
+	}
+	if prunedSEU == 0 {
+		t.Error("no SEU point pruned across any seed — the positive pruning case is untested")
+	}
+	if testing.Verbose() {
+		t.Logf("independently verified %d journaled verdicts, %d SEU points pruned", verified, prunedSEU)
+	}
+}

@@ -1,0 +1,546 @@
+package hafi
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// twoGroupNetlist builds a small netlist with two placement groups of three
+// flip-flops each ("ga" = FFs 0-2, "gb" = FFs 3-5) and enough combinational
+// logic for SET enumeration to find cones.
+func twoGroupNetlist(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("two-group")
+	c := synth.New(b)
+	a := c.InputBus("a", 3)
+	ra := c.RegisterPlaceholder("ra", 3, 0, "ga")
+	rb := c.RegisterPlaceholder("rb", 3, 0, "gb")
+	c.ConnectRegisterAlways(ra, c.Xor(ra, a))
+	c.ConnectRegisterAlways(rb, c.And(ra, rb))
+	c.OutputBus(rb)
+	nl := b.MustNetlist()
+	if len(nl.FFs) != 6 {
+		t.Fatalf("expected 6 FFs, got %d", len(nl.FFs))
+	}
+	for ff := 0; ff < 6; ff++ {
+		want := "ga"
+		if ff >= 3 {
+			want = "gb"
+		}
+		if g := nl.FFs[ff].Group; g != want {
+			t.Fatalf("ff %d in group %q, want %q", ff, g, want)
+		}
+	}
+	return nl
+}
+
+func TestParseModelSpec(t *testing.T) {
+	valid := []struct {
+		in   string
+		want ModelSpec
+	}{
+		{"seu", ModelSpec{Model: ModelSEU}},
+		{"mbu", ModelSpec{Model: ModelMBU, Span: 2}},
+		{"mbu:4", ModelSpec{Model: ModelMBU, Span: 4}},
+		{"set", ModelSpec{Model: ModelSET}},
+		{"intermittent", ModelSpec{Model: ModelIntermittent, Period: 2, Window: 8}},
+		{"intermittent:3", ModelSpec{Model: ModelIntermittent, Period: 3, Window: 8}},
+		{"intermittent:3,12", ModelSpec{Model: ModelIntermittent, Period: 3, Window: 12}},
+		{"stuck0", ModelSpec{Model: ModelStuckAt, Window: 4}},
+		{"stuck1", ModelSpec{Model: ModelStuckAt, Window: 4, StuckHigh: true}},
+		{"stuck0:7", ModelSpec{Model: ModelStuckAt, Window: 7}},
+		{"stuck1:2", ModelSpec{Model: ModelStuckAt, Window: 2, StuckHigh: true}},
+	}
+	for _, tc := range valid {
+		got, err := ParseModelSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseModelSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseModelSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		// The canonical rendering must parse back to the same spec.
+		back, err := ParseModelSpec(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip %q -> %q -> %+v (%v)", tc.in, got.String(), back, err)
+		}
+	}
+
+	invalid := []string{
+		"", "sev", "SEU", "seu:1", "set:2",
+		"mbu:1", "mbu:0", "mbu:-2", "mbu:x", "mbu:",
+		"intermittent:0", "intermittent:2,0", "intermittent:2,x", "intermittent:,",
+		"stuck0:0", "stuck1:x", "stuck2", "stuck",
+	}
+	for _, in := range invalid {
+		if spec, err := ParseModelSpec(in); err == nil {
+			t.Errorf("ParseModelSpec(%q) = %+v, want error", in, spec)
+		}
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	for id := ModelID(0); id < numModels; id++ {
+		got, ok := ModelByName(id.String())
+		if !ok || got != id {
+			t.Errorf("ModelByName(%q) = %v, %v", id.String(), got, ok)
+		}
+		if m := Model(id); m == nil || m.ID() != id || m.Name() != id.String() {
+			t.Errorf("Model(%d) registry entry inconsistent", id)
+		}
+	}
+	if _, ok := ModelByName("nope"); ok {
+		t.Error("ModelByName accepted an unknown name")
+	}
+	if Model(numModels) != nil {
+		t.Error("Model accepted an out-of-range ID")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	nl := twoGroupNetlist(t)
+	cases := []struct {
+		name string
+		p    FaultPoint
+		ok   bool
+	}{
+		{"seu ok", FaultPoint{FF: 0, Cycle: 3}, true},
+		{"seu held ok", FaultPoint{FF: 5, Cycle: 0, Duration: 4}, true},
+		{"seu ff out of range", FaultPoint{FF: 6}, false},
+		{"seu negative ff", FaultPoint{FF: -1}, false},
+		{"seu negative cycle", FaultPoint{FF: 0, Cycle: -1}, false},
+		{"seu foreign span", FaultPoint{FF: 0, Span: 2}, false},
+		{"seu foreign period", FaultPoint{FF: 0, Period: 2}, false},
+		{"seu foreign targets", FaultPoint{FF: 0, Targets: []int{0, 1}}, false},
+		{"seu foreign stuck level", FaultPoint{FF: 0, StuckHigh: true}, false},
+
+		{"mbu ok", FaultPoint{FF: 0, Model: ModelMBU, Span: 2}, true},
+		{"mbu whole group", FaultPoint{FF: 3, Model: ModelMBU, Span: 3}, true},
+		{"mbu crosses groups", FaultPoint{FF: 2, Model: ModelMBU, Span: 2}, false},
+		{"mbu past netlist end", FaultPoint{FF: 5, Model: ModelMBU, Span: 2}, false},
+		{"mbu foreign period", FaultPoint{FF: 0, Model: ModelMBU, Span: 2, Period: 2}, false},
+
+		{"set ok singleton", FaultPoint{FF: 1, Model: ModelSET}, true},
+		{"set ok pair", FaultPoint{FF: 1, Model: ModelSET, Targets: []int{1, 4}}, true},
+		{"set holds two cycles", FaultPoint{FF: 1, Model: ModelSET, Duration: 2}, false},
+		{"set anchor not first target", FaultPoint{FF: 1, Model: ModelSET, Targets: []int{2, 4}}, false},
+		{"set targets unsorted", FaultPoint{FF: 4, Model: ModelSET, Targets: []int{4, 1}}, false},
+		{"set duplicate target", FaultPoint{FF: 1, Model: ModelSET, Targets: []int{1, 1}}, false},
+		{"set target out of range", FaultPoint{FF: 1, Model: ModelSET, Targets: []int{1, 9}}, false},
+		{"set foreign span", FaultPoint{FF: 1, Model: ModelSET, Span: 2}, false},
+
+		{"intermittent ok", FaultPoint{FF: 2, Model: ModelIntermittent, Period: 2, Duration: 6}, true},
+		{"intermittent foreign span", FaultPoint{FF: 2, Model: ModelIntermittent, Period: 2, Span: 2}, false},
+		{"intermittent foreign targets", FaultPoint{FF: 2, Model: ModelIntermittent, Targets: []int{2}}, false},
+
+		{"stuck ok", FaultPoint{FF: 3, Model: ModelStuckAt, Duration: 3, StuckHigh: true}, true},
+		{"stuck at zero ok", FaultPoint{FF: 3, Model: ModelStuckAt, Duration: 3}, true},
+		{"stuck foreign period", FaultPoint{FF: 3, Model: ModelStuckAt, Period: 2}, false},
+		{"stuck ff out of range", FaultPoint{FF: 7, Model: ModelStuckAt}, false},
+	}
+	for _, tc := range cases {
+		err := Model(tc.p.Model).Validate(nl, tc.p)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation accepted a malformed point", tc.name)
+		}
+	}
+}
+
+func TestSEUEquivalentAndActiveEnd(t *testing.T) {
+	cases := []struct {
+		name    string
+		p       FaultPoint
+		end     int
+		ff, dur int
+		ok      bool
+	}{
+		{"seu", FaultPoint{FF: 5, Cycle: 10, Duration: 3}, 13, 5, 3, true},
+		{"seu default duration", FaultPoint{FF: 5, Cycle: 10}, 11, 5, 1, true},
+		{"mbu span 2", FaultPoint{FF: 5, Cycle: 10, Model: ModelMBU, Span: 2}, 11, 0, 0, false},
+		{"mbu degenerate span", FaultPoint{FF: 5, Cycle: 10, Duration: 2, Model: ModelMBU}, 12, 5, 2, true},
+		{"set singleton", FaultPoint{FF: 5, Cycle: 10, Model: ModelSET}, 11, 5, 1, true},
+		{"set pair", FaultPoint{FF: 2, Cycle: 10, Model: ModelSET, Targets: []int{2, 4}}, 11, 0, 0, false},
+		{"intermittent multi-flip", FaultPoint{FF: 5, Cycle: 10, Duration: 6, Model: ModelIntermittent, Period: 2}, 16, 0, 0, false},
+		{"intermittent one flip in window", FaultPoint{FF: 5, Cycle: 10, Duration: 2, Model: ModelIntermittent, Period: 4}, 12, 5, 1, true},
+		{"intermittent every cycle", FaultPoint{FF: 5, Cycle: 10, Duration: 5, Model: ModelIntermittent, Period: 1}, 15, 5, 5, true},
+		{"stuck-at", FaultPoint{FF: 5, Cycle: 10, Duration: 3, Model: ModelStuckAt, StuckHigh: true}, 13, 0, 0, false},
+	}
+	for _, tc := range cases {
+		m := Model(tc.p.Model)
+		if end := m.ActiveEnd(tc.p); end != tc.end {
+			t.Errorf("%s: ActiveEnd = %d, want %d", tc.name, end, tc.end)
+		}
+		ff, dur, ok := m.SEUEquivalent(tc.p)
+		if ok != tc.ok {
+			t.Errorf("%s: SEUEquivalent ok = %v, want %v", tc.name, ok, tc.ok)
+			continue
+		}
+		if ok && (ff != tc.ff || dur != tc.dur) {
+			t.Errorf("%s: SEUEquivalent = (%d, %d), want (%d, %d)", tc.name, ff, dur, tc.ff, tc.dur)
+		}
+	}
+}
+
+// TestModelFaultListEnumeration checks per-model point counts, operand
+// stamping, cycle-major order and validity of every enumerated point.
+func TestModelFaultListEnumeration(t *testing.T) {
+	nl := twoGroupNetlist(t)
+	const maxCycle, stride = 10, 3
+	cycles := 0
+	for c := 0; c < maxCycle; c += stride {
+		cycles++ // 0, 3, 6, 9
+	}
+
+	checkList := func(t *testing.T, points []FaultPoint, perCycle int) {
+		t.Helper()
+		if len(points) != perCycle*cycles {
+			t.Fatalf("got %d points, want %d sites x %d cycles", len(points), perCycle, cycles)
+		}
+		for i, p := range points {
+			if err := Model(p.Model).Validate(nl, p); err != nil {
+				t.Fatalf("point %d invalid: %v", i, err)
+			}
+			if want := (i / perCycle) * stride; p.Cycle != want {
+				t.Fatalf("point %d not cycle-major: cycle %d, want %d", i, p.Cycle, want)
+			}
+			// Within a cycle block the site sequence must repeat exactly.
+			if i >= perCycle {
+				prev := points[i-perCycle]
+				prev.Cycle = p.Cycle
+				if !reflect.DeepEqual(prev, p) {
+					t.Fatalf("point %d: site order differs between cycle blocks", i)
+				}
+			}
+		}
+	}
+
+	t.Run("seu", func(t *testing.T) {
+		points := ModelFaultList(nl, maxCycle, stride, ModelSpec{Model: ModelSEU})
+		checkList(t, points, len(nl.FFs))
+		if legacy := SampledFaultList(nl, maxCycle, stride); !reflect.DeepEqual(points, legacy) {
+			t.Error("ModelFaultList(seu) differs from SampledFaultList")
+		}
+		for _, p := range points {
+			if !p.plainSEU() {
+				t.Fatalf("seu enumeration produced a non-legacy point: %+v", p)
+			}
+		}
+	})
+
+	t.Run("mbu", func(t *testing.T) {
+		// Two groups of three FFs: bursts [0,1] [1,2] [3,4] [4,5].
+		points := ModelFaultList(nl, maxCycle, stride, ModelSpec{Model: ModelMBU, Span: 2})
+		checkList(t, points, 4)
+		for _, p := range points {
+			if p.Model != ModelMBU || p.Span != 2 {
+				t.Fatalf("mbu point missing operands: %+v", p)
+			}
+		}
+		// Span 3 leaves exactly one whole-group burst per group.
+		if pts := ModelFaultList(nl, maxCycle, stride, ModelSpec{Model: ModelMBU, Span: 3}); len(pts) != 2*cycles {
+			t.Errorf("span-3 enumeration: %d points, want %d", len(pts), 2*cycles)
+		}
+		// Span 7 exceeds every group: nothing to enumerate.
+		if pts := ModelFaultList(nl, maxCycle, stride, ModelSpec{Model: ModelMBU, Span: 7}); len(pts) != 0 {
+			t.Errorf("span-7 enumeration: %d points, want 0", len(pts))
+		}
+	})
+
+	t.Run("set", func(t *testing.T) {
+		points := ModelFaultList(nl, maxCycle, stride, ModelSpec{Model: ModelSET})
+		if len(points) == 0 {
+			t.Fatal("no SET points on a netlist with gates feeding FFs")
+		}
+		checkList(t, points, len(points)/cycles)
+		for _, p := range points {
+			if p.Model != ModelSET || len(p.Targets) == 0 || p.Targets[0] != p.FF {
+				t.Fatalf("malformed SET point: %+v", p)
+			}
+		}
+	})
+
+	t.Run("intermittent", func(t *testing.T) {
+		points := ModelFaultList(nl, maxCycle, stride, ModelSpec{Model: ModelIntermittent, Period: 3, Window: 9})
+		checkList(t, points, len(nl.FFs))
+		for _, p := range points {
+			if p.Model != ModelIntermittent || p.Period != 3 || p.Duration != 9 {
+				t.Fatalf("intermittent point missing operands: %+v", p)
+			}
+		}
+	})
+
+	t.Run("stuck", func(t *testing.T) {
+		points := ModelFaultList(nl, maxCycle, stride, ModelSpec{Model: ModelStuckAt, Window: 5, StuckHigh: true})
+		checkList(t, points, len(nl.FFs))
+		for _, p := range points {
+			if p.Model != ModelStuckAt || p.Duration != 5 || !p.StuckHigh {
+				t.Fatalf("stuck-at point missing operands: %+v", p)
+			}
+		}
+	})
+}
+
+// TestModelFaultListExcludeGroups: group exclusion must hold for every
+// model under a stride > 1 — no enumerated point may upset an excluded
+// flip-flop, whether it is the anchor, part of an MBU burst, or a member of
+// a SET flip set.
+func TestModelFaultListExcludeGroups(t *testing.T) {
+	nl := twoGroupNetlist(t)
+	const maxCycle, stride = 12, 5 // cycles 0, 5, 10
+	excluded := func(ff int) bool { return nl.FFs[ff].Group == "ga" }
+
+	specs := []ModelSpec{
+		{Model: ModelSEU},
+		{Model: ModelMBU, Span: 2},
+		{Model: ModelSET},
+		{Model: ModelIntermittent, Period: 2, Window: 4},
+		{Model: ModelStuckAt, Window: 3},
+	}
+	for _, spec := range specs {
+		t.Run(spec.String(), func(t *testing.T) {
+			points := ModelFaultList(nl, maxCycle, stride, spec, "ga")
+			for _, p := range points {
+				for ff := p.FF; ff < p.FF+p.span(); ff++ {
+					if excluded(ff) {
+						t.Fatalf("point %+v upsets excluded ff %d", p, ff)
+					}
+				}
+				for _, ff := range p.targets() {
+					if excluded(ff) {
+						t.Fatalf("point %+v targets excluded ff %d", p, ff)
+					}
+				}
+				if p.Cycle%stride != 0 || p.Cycle >= maxCycle {
+					t.Fatalf("point %+v off the stride grid", p)
+				}
+			}
+			full := ModelFaultList(nl, maxCycle, stride, spec)
+			if len(points) >= len(full) {
+				t.Fatalf("exclusion removed nothing: %d of %d points", len(points), len(full))
+			}
+			if spec.Model == ModelSEU {
+				if legacy := SampledFaultList(nl, maxCycle, stride, "ga"); !reflect.DeepEqual(points, legacy) {
+					t.Error("SampledFaultList exclusion differs from ModelFaultList(seu)")
+				}
+			}
+		})
+	}
+
+	// Excluding every group leaves nothing.
+	if pts := ModelFaultList(nl, maxCycle, stride, ModelSpec{Model: ModelSEU}, "ga", "gb"); len(pts) != 0 {
+		t.Errorf("excluding all groups left %d points", len(pts))
+	}
+}
+
+// legacyFaultListHash replicates the pre-fault-model hash algorithm: 12
+// little-endian bytes (FF, cycle, duration) per point, FNV-1a.
+func legacyFaultListHash(points []FaultPoint) uint64 {
+	h := fnv.New64a()
+	var b [12]byte
+	for _, p := range points {
+		binary.LittleEndian.PutUint32(b[0:], uint32(p.FF))
+		binary.LittleEndian.PutUint32(b[4:], uint32(p.Cycle))
+		d := p.Duration
+		if d <= 0 {
+			d = 1
+		}
+		binary.LittleEndian.PutUint32(b[8:], uint32(d))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+func TestFaultListHashLegacyCompat(t *testing.T) {
+	nl := twoGroupNetlist(t)
+	seu := ModelFaultList(nl, 20, 2, ModelSpec{Model: ModelSEU})
+	if got, want := FaultListHash(seu), legacyFaultListHash(seu); got != want {
+		t.Fatalf("plain-SEU hash %016x does not match the legacy algorithm (%016x): pre-existing journals would refuse to resume", got, want)
+	}
+
+	// A multi-cycle SEU list is still legacy-shaped.
+	held := []FaultPoint{{FF: 1, Cycle: 5, Duration: 4}}
+	if FaultListHash(held) != legacyFaultListHash(held) {
+		t.Fatal("held SEU point hashed with the extension block")
+	}
+
+	// Same (FF, cycle, duration) under a different model must not collide
+	// with the SEU list — a resume across models has to be refused.
+	mbu := make([]FaultPoint, len(seu))
+	for i, p := range seu {
+		p.Model = ModelMBU
+		p.Span = 2
+		mbu[i] = p
+	}
+	if FaultListHash(mbu) == FaultListHash(seu) {
+		t.Fatal("MBU list collides with the SEU list")
+	}
+
+	// Operands are part of the fingerprint.
+	a := []FaultPoint{{FF: 0, Cycle: 2, Model: ModelSET, Targets: []int{0, 3}}}
+	b := []FaultPoint{{FF: 0, Cycle: 2, Model: ModelSET, Targets: []int{0, 4}}}
+	if FaultListHash(a) == FaultListHash(b) {
+		t.Fatal("SET lists with different flip sets collide")
+	}
+	i1 := []FaultPoint{{FF: 0, Cycle: 2, Duration: 6, Model: ModelIntermittent, Period: 2}}
+	i2 := []FaultPoint{{FF: 0, Cycle: 2, Duration: 6, Model: ModelIntermittent, Period: 3}}
+	if FaultListHash(i1) == FaultListHash(i2) {
+		t.Fatal("intermittent lists with different periods collide")
+	}
+	s0 := []FaultPoint{{FF: 0, Cycle: 2, Duration: 3, Model: ModelStuckAt}}
+	s1 := []FaultPoint{{FF: 0, Cycle: 2, Duration: 3, Model: ModelStuckAt, StuckHigh: true}}
+	if FaultListHash(s0) == FaultListHash(s1) {
+		t.Fatal("stuck-at-0 and stuck-at-1 lists collide")
+	}
+}
+
+// scanJournalFrames walks the raw journal file and returns the record type
+// and payload length of every frame, verifying each CRC along the way.
+func scanJournalFrames(t *testing.T, path string) (types []uint8, lens []int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const magic = "HAFIWAL1"
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		t.Fatal("bad journal magic")
+	}
+	crcTable := crc32.MakeTable(crc32.Castagnoli)
+	off := len(magic)
+	for off < len(data) {
+		if len(data)-off < 4 {
+			t.Fatalf("torn frame length at offset %d", off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if len(data)-off < n+4 {
+			t.Fatalf("torn frame body at offset %d", off)
+		}
+		body := data[off : off+n]
+		off += n
+		if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(data[off:]) {
+			t.Fatalf("frame CRC mismatch at offset %d", off)
+		}
+		off += 4
+		if n == 0 {
+			t.Fatal("empty frame body")
+		}
+		types = append(types, body[0])
+		lens = append(lens, n-1)
+	}
+	return types, lens
+}
+
+// TestSEUJournalByteFormat asserts the acceptance criterion that plain-SEU
+// campaigns still write byte-identical v2 journals: a raw frame walk must
+// see only header (type 0, 24 bytes), v2 experiment (type 1, 22 bytes) and
+// MATE-hit (type 2, 18 bytes) frames — never a v3 frame. A single MBU point
+// in the list flips the experiment encoding to v3 (type 3, 38 bytes).
+func TestSEUJournalByteFormat(t *testing.T) {
+	nl, run, _ := buildWindowCircuit(t)
+	g, err := RecordGolden(run, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := core.Search(nl, nl.FFQWires(), core.DefaultSearchParams()).Set
+	ctl := NewController(run, g)
+
+	runJournaled := func(t *testing.T, points []FaultPoint) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "campaign.journal")
+		jw, err := journal.Create(path, ctl.JournalHeader(points))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctl.RunCampaign(CampaignConfig{Points: points, MATESet: set, Journal: jw}); err != nil {
+			t.Fatal(err)
+		}
+		if err := jw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	t.Run("seu stays v2", func(t *testing.T) {
+		points := SampledFaultList(nl, g.HaltCycle, 7)
+		types, lens := scanJournalFrames(t, runJournaled(t, points))
+		experiments := 0
+		for i, typ := range types {
+			switch typ {
+			case 0:
+				if lens[i] != 24 {
+					t.Fatalf("header frame payload %d bytes, want 24", lens[i])
+				}
+			case 1:
+				experiments++
+				if lens[i] != 22 {
+					t.Fatalf("v2 experiment frame payload %d bytes, want 22", lens[i])
+				}
+			case 2:
+				if lens[i] != 18 {
+					t.Fatalf("MATE-hit frame payload %d bytes, want 18", lens[i])
+				}
+			default:
+				t.Fatalf("frame %d has type %d: a plain-SEU campaign must not write v3 frames", i, typ)
+			}
+		}
+		if experiments != len(points) {
+			t.Fatalf("%d experiment frames for %d points", experiments, len(points))
+		}
+	})
+
+	t.Run("mbu writes v3", func(t *testing.T) {
+		points := ModelFaultList(nl, g.HaltCycle, 7, ModelSpec{Model: ModelMBU, Span: 2})
+		if len(points) == 0 {
+			t.Skip("no MBU points")
+		}
+		types, lens := scanJournalFrames(t, runJournaled(t, points))
+		v3 := 0
+		for i, typ := range types {
+			switch typ {
+			case 1:
+				t.Fatal("MBU campaign wrote a v2 experiment frame")
+			case 3:
+				v3++
+				if lens[i] != 38 {
+					t.Fatalf("v3 experiment frame payload %d bytes, want 38", lens[i])
+				}
+			}
+		}
+		if v3 != len(points) {
+			t.Fatalf("%d v3 frames for %d points", v3, len(points))
+		}
+	})
+}
+
+// TestCampaignRejectsInvalidModelPoint: campaign setup must refuse a fault
+// list containing a malformed point instead of injecting garbage.
+func TestCampaignRejectsInvalidModelPoint(t *testing.T) {
+	nl, run, _ := buildWindowCircuit(t)
+	g, err := RecordGolden(run, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewController(run, g)
+	bad := []FaultPoint{{FF: 0, Cycle: 1, Model: ModelMBU, Span: uint16Max(nl)}}
+	if _, err := ctl.RunCampaign(CampaignConfig{Points: bad}); err == nil {
+		t.Fatal("campaign accepted an MBU burst running past the netlist")
+	}
+}
+
+// uint16Max returns a span guaranteed to overrun the netlist.
+func uint16Max(nl *netlist.Netlist) int { return len(nl.FFs) + 1 }

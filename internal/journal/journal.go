@@ -16,7 +16,9 @@
 // hash — the campaign identity a resume is checked against), 1 = one
 // classified injection point, 2 = one MATE attribution hit (format v2:
 // which MATE pruned which point, written immediately before the point's
-// pruned experiment record). Recovery walks the log front to back and
+// pruned experiment record), 3 = one classified injection point of a
+// non-SEU fault model (format v3: the v2 payload plus the model tag and
+// its operands). Recovery walks the log front to back and
 // stops at the first frame that is incomplete (a torn tail from a crash
 // mid-write — tolerated, the tail is dropped) or fails its checksum (a
 // corrupt record — rejected, together with everything after it, since a
@@ -30,6 +32,10 @@
 // version accepts both, and a hit whose experiment record was lost to a
 // torn tail is an orphan that consumers ignore (the point re-runs on
 // resume and re-appends both records; the per-index maps keep the last).
+// v3 journals additionally interleave type-3 records for points of non-SEU
+// fault models; SEU points keep the v2 encoding even in a v3 journal, so a
+// campaign of classic single-bit upsets writes a byte-identical v2 journal
+// and every pre-v3 journal recovers, resumes and diffs exactly as before.
 package journal
 
 import (
@@ -45,20 +51,28 @@ import (
 const magic = "HAFIWAL1"
 
 const (
-	recHeader     = 0
-	recExperiment = 1
-	recMATEHit    = 2 // format v2: per-MATE pruning attribution
+	recHeader       = 0
+	recExperiment   = 1
+	recMATEHit      = 2 // format v2: per-MATE pruning attribution
+	recExperimentV3 = 3 // format v3: experiment record with a fault-model tag
 
 	headerPayloadLen     = 24 // 3 × u64
 	experimentPayloadLen = 22 // u64 index + 3 × u32 + outcome + flags
 	mateHitPayloadLen    = 18 // u64 index + 2 × u32 + u16 width
+	// experimentV3PayloadLen extends the v2 payload with the fault-model
+	// operands: u8 model + u8 model flags + u16 span + u16 period +
+	// u16 target count + u64 target-set hash.
+	experimentV3PayloadLen = experimentPayloadLen + 16
 
 	// maxBodyLen bounds the length prefix; anything larger is garbage, not
-	// a record (the largest real body is 1+headerPayloadLen bytes).
+	// a record (the largest real body is 1+experimentV3PayloadLen bytes).
 	maxBodyLen = 256
 
 	flagPruned       = 1 << 0
 	flagSkippedWrong = 1 << 1
+
+	// flags2StuckHigh lives in the v3 model-flags byte.
+	flags2StuckHigh = 1 << 0
 )
 
 // crcTable is Castagnoli — hardware-accelerated on amd64/arm64.
@@ -94,6 +108,32 @@ type Record struct {
 	// SkippedWrong marks a validated-skipped point that was NOT benign on
 	// re-execution (a MATE soundness violation).
 	SkippedWrong bool
+
+	// Fault-model fields (format v3). An all-zero set of model fields is a
+	// classic SEU and encodes as a v2 experiment record, so SEU campaigns
+	// keep writing byte-identical journals; any nonzero field selects the
+	// v3 encoding. Model uses the hafi.ModelID codes (seu=0, mbu=1, set=2,
+	// intermittent=3, stuck-at=4).
+	Model uint8
+	// Span is the MBU burst width, Period the intermittent re-flip period
+	// (both normalised to >= 1 for non-SEU records).
+	Span   uint16
+	Period uint16
+	// StuckHigh is the stuck-at level.
+	StuckHigh bool
+	// NumTargets and TargetsHash identify a SET record's flip set: the
+	// journal stays fixed-width by storing the set's size and FNV
+	// fingerprint rather than the member list (resume verifies them
+	// against the reconstructed fault list).
+	NumTargets  uint16
+	TargetsHash uint64
+}
+
+// legacySEU reports whether the record encodes as a v2 experiment frame
+// (all fault-model fields zero — the classic SEU shape).
+func (rec Record) legacySEU() bool {
+	return rec.Model == 0 && rec.Span == 0 && rec.Period == 0 && !rec.StuckHigh &&
+		rec.NumTargets == 0 && rec.TargetsHash == 0
 }
 
 // MATEHit is one per-MATE pruning attribution (record type 2, format v2):
@@ -164,9 +204,11 @@ func Create(path string, h Header) (*Writer, error) {
 	return w, nil
 }
 
-// Append durably logs one classified point.
+// Append durably logs one classified point. SEU records (all model fields
+// zero) are written as v2 frames, byte-identical to pre-fault-model
+// journals; records of other models are written as v3 frames.
 func (w *Writer) Append(rec Record) error {
-	return w.appendBody(experimentBody(rec))
+	return w.appendBody(recordBody(rec))
 }
 
 // AppendMATEHit durably logs one per-MATE pruning attribution. Callers
@@ -344,6 +386,35 @@ func (r *Recovered) decodeBody(body []byte) bool {
 		r.Records = append(r.Records, rec)
 		r.ByIndex[rec.Index] = rec
 		return true
+	case recExperimentV3:
+		if len(body) != 1+experimentV3PayloadLen || !r.HasHeader {
+			return false
+		}
+		p := body[1:]
+		rec := Record{
+			Index:        binary.LittleEndian.Uint64(p[0:]),
+			FF:           binary.LittleEndian.Uint32(p[8:]),
+			Cycle:        binary.LittleEndian.Uint32(p[12:]),
+			Duration:     binary.LittleEndian.Uint32(p[16:]),
+			Outcome:      p[20],
+			Pruned:       p[21]&flagPruned != 0,
+			SkippedWrong: p[21]&flagSkippedWrong != 0,
+			Model:        p[22],
+			StuckHigh:    p[23]&flags2StuckHigh != 0,
+			Span:         binary.LittleEndian.Uint16(p[24:]),
+			Period:       binary.LittleEndian.Uint16(p[26:]),
+			NumTargets:   binary.LittleEndian.Uint16(p[28:]),
+			TargetsHash:  binary.LittleEndian.Uint64(p[30:]),
+		}
+		if rec.Index >= r.Header.NumPoints {
+			return false // claims a point outside the recorded fault list
+		}
+		if rec.legacySEU() {
+			return false // an all-zero model block belongs in a v2 frame
+		}
+		r.Records = append(r.Records, rec)
+		r.ByIndex[rec.Index] = rec
+		return true
 	case recMATEHit:
 		if len(body) != 1+mateHitPayloadLen || !r.HasHeader {
 			return false
@@ -419,6 +490,16 @@ func headerBody(h Header) []byte {
 	return binary.LittleEndian.AppendUint64(b, h.FaultListHash)
 }
 
+// recordBody chooses the experiment encoding: v2 for legacy SEU records,
+// v3 for model-tagged records. Every writer path (Append, Merge) funnels
+// through it so the two-format invariant holds everywhere.
+func recordBody(rec Record) []byte {
+	if rec.legacySEU() {
+		return experimentBody(rec)
+	}
+	return experimentV3Body(rec)
+}
+
 func experimentBody(rec Record) []byte {
 	var flags byte
 	if rec.Pruned {
@@ -434,6 +515,31 @@ func experimentBody(rec Record) []byte {
 	b = binary.LittleEndian.AppendUint32(b, rec.Cycle)
 	b = binary.LittleEndian.AppendUint32(b, rec.Duration)
 	return append(b, rec.Outcome, flags)
+}
+
+func experimentV3Body(rec Record) []byte {
+	var flags byte
+	if rec.Pruned {
+		flags |= flagPruned
+	}
+	if rec.SkippedWrong {
+		flags |= flagSkippedWrong
+	}
+	var flags2 byte
+	if rec.StuckHigh {
+		flags2 |= flags2StuckHigh
+	}
+	b := make([]byte, 0, 1+experimentV3PayloadLen)
+	b = append(b, recExperimentV3)
+	b = binary.LittleEndian.AppendUint64(b, rec.Index)
+	b = binary.LittleEndian.AppendUint32(b, rec.FF)
+	b = binary.LittleEndian.AppendUint32(b, rec.Cycle)
+	b = binary.LittleEndian.AppendUint32(b, rec.Duration)
+	b = append(b, rec.Outcome, flags, rec.Model, flags2)
+	b = binary.LittleEndian.AppendUint16(b, rec.Span)
+	b = binary.LittleEndian.AppendUint16(b, rec.Period)
+	b = binary.LittleEndian.AppendUint16(b, rec.NumTargets)
+	return binary.LittleEndian.AppendUint64(b, rec.TargetsHash)
 }
 
 func mateHitBody(hit MATEHit) []byte {

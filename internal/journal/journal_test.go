@@ -313,6 +313,14 @@ func FuzzRecover(f *testing.F) {
 		f.Add(data[:len(data)-2])
 		f.Add(append(data, 0xff, 0x00, 0x17))
 	}
+	// Format v3 seeds: a journal mixing v2, v3 and MATE-hit frames, whole,
+	// torn and with a junk tail.
+	v3path, _ := writeModelJournal(f, 7)
+	if data, err := os.ReadFile(v3path); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)-5])
+		f.Add(append(data, 0x03, 0x00, 0x00, 0x00))
+	}
 	f.Add([]byte(magic))
 	f.Add([]byte("HAFIWAL1\x00\x00\x00\x00"))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -330,6 +338,25 @@ func FuzzRecover(f *testing.F) {
 			}
 			if rec.Index >= r.Header.NumPoints {
 				t.Fatalf("record index %d outside declared fault list %d", rec.Index, r.Header.NumPoints)
+			}
+			// The canonical-encoding rule: a record that decodes to the
+			// legacy SEU shape can only have come from a v2 frame, and its
+			// re-encoding is that same v2 frame — so every recovered record
+			// round-trips to exactly one byte encoding.
+			if got := len(recordBody(rec)); rec.legacySEU() {
+				if got != 1+experimentPayloadLen {
+					t.Fatalf("legacy record re-encodes to %d bytes", got)
+				}
+			} else if got != 1+experimentV3PayloadLen {
+				t.Fatalf("v3 record re-encodes to %d bytes", got)
+			}
+		}
+		for _, hit := range r.MATEHits {
+			if !r.HasHeader {
+				t.Fatal("MATE hit without a campaign header")
+			}
+			if hit.Index >= r.Header.NumPoints {
+				t.Fatalf("hit index %d outside declared fault list %d", hit.Index, r.Header.NumPoints)
 			}
 		}
 	})

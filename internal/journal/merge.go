@@ -130,7 +130,7 @@ func Merge(path string, campaign Header, shards []MergeShard) (*MergeStats, erro
 				buf = appendFrame(buf, mateHitBody(hit))
 				stats.MATEHits++
 			}
-			buf = appendFrame(buf, experimentBody(rec))
+			buf = appendFrame(buf, recordBody(rec))
 			if _, err := tmp.Write(buf); err != nil {
 				return nil, fmt.Errorf("journal: merge: %w", err)
 			}

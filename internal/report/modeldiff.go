@@ -1,0 +1,138 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/journal"
+)
+
+// Cross-model comparison. Two campaigns over the same workload but
+// different fault models enumerate DIFFERENT fault lists (an MBU burst or
+// a SET flip-set is not an SEU point), so the point-for-point Diff cannot
+// compare them. DiffModels instead aggregates each campaign to injection
+// sites — (FF, Cycle) pairs, using the anchor FF for multi-target points —
+// keeps the most severe verdict observed at each site, and compares sites.
+// The result is informational (which sites a harsher model escalates),
+// never a regression: models are expected to disagree.
+
+// verdictRank orders verdicts by severity for the per-site aggregation.
+// Unknown verdicts rank above everything: a verdict we cannot name should
+// surface, not vanish under a benign one.
+func verdictRank(v string) int {
+	switch v {
+	case "benign":
+		return 0
+	case "harness-error":
+		return 1
+	case "sdc":
+		return 2
+	case "hang":
+		return 3
+	case "skipped-wrong":
+		return 4
+	}
+	return 5
+}
+
+// SiteChange is one injection site whose most-severe verdict differs
+// between two campaigns.
+type SiteChange struct {
+	FF       uint32 `json:"ff"`
+	Cycle    uint32 `json:"cycle"`
+	VerdictA string `json:"verdict_a"`
+	VerdictB string `json:"verdict_b"`
+}
+
+// ModelDiffResult is the site-level comparison of two campaigns run under
+// different fault models. "A" is the reference (typically SEU), "B" the
+// model under study.
+type ModelDiffResult struct {
+	// ModelsA and ModelsB name the fault models seen in each journal.
+	ModelsA []string `json:"models_a"`
+	ModelsB []string `json:"models_b"`
+	// SitesA and SitesB count distinct (FF, Cycle) injection sites.
+	SitesA int `json:"sites_a"`
+	SitesB int `json:"sites_b"`
+	// Common counts sites present in both campaigns; Agree those whose
+	// most-severe verdicts match.
+	Common int `json:"common"`
+	Agree  int `json:"agree"`
+	// OnlyA/OnlyB count sites one model exercises and the other does not
+	// (e.g. SET points exist only where a gate's cone reaches a latch).
+	OnlyA int `json:"only_a"`
+	OnlyB int `json:"only_b"`
+	// Escalations counts common sites where B's verdict is MORE severe
+	// than A's; Downgrades the reverse. Changes lists every differing
+	// site, most severe B-verdict first.
+	Escalations int          `json:"escalations"`
+	Downgrades  int          `json:"downgrades"`
+	Changes     []SiteChange `json:"changes"`
+}
+
+type siteKey struct{ ff, cycle uint32 }
+
+// siteVerdicts reduces a campaign to its per-site most-severe verdict and
+// the set of model names it exercised.
+func siteVerdicts(rec *journal.Recovered) (map[siteKey]string, []string) {
+	sites := map[siteKey]string{}
+	models := map[uint8]bool{}
+	for _, r := range rec.ByIndex {
+		models[r.Model] = true
+		k := siteKey{r.FF, r.Cycle}
+		v := Verdict(r)
+		if prev, ok := sites[k]; !ok || verdictRank(v) > verdictRank(prev) {
+			sites[k] = v
+		}
+	}
+	names := make([]string, 0, len(models))
+	for code := range models {
+		names = append(names, ModelName(code))
+	}
+	sort.Strings(names)
+	return sites, names
+}
+
+// DiffModels compares two campaigns of the same workload run under
+// different fault models, site by site. Only the golden signature must
+// match (same binary and workload); fault-list length and hash are allowed
+// — expected — to differ.
+func DiffModels(a, b *Campaign) (*ModelDiffResult, error) {
+	if a.Rec.Header.GoldenSignature != b.Rec.Header.GoldenSignature {
+		return nil, fmt.Errorf("report: %s and %s describe different workloads (golden %016x vs %016x)",
+			a.Path, b.Path, a.Rec.Header.GoldenSignature, b.Rec.Header.GoldenSignature)
+	}
+	sa, ma := siteVerdicts(a.Rec)
+	sb, mb := siteVerdicts(b.Rec)
+	d := &ModelDiffResult{ModelsA: ma, ModelsB: mb, SitesA: len(sa), SitesB: len(sb)}
+	for k, va := range sa {
+		vb, ok := sb[k]
+		if !ok {
+			d.OnlyA++
+			continue
+		}
+		d.Common++
+		switch ra, rb := verdictRank(va), verdictRank(vb); {
+		case ra == rb && va == vb:
+			d.Agree++
+		case rb > ra:
+			d.Escalations++
+			d.Changes = append(d.Changes, SiteChange{FF: k.ff, Cycle: k.cycle, VerdictA: va, VerdictB: vb})
+		default:
+			d.Downgrades++
+			d.Changes = append(d.Changes, SiteChange{FF: k.ff, Cycle: k.cycle, VerdictA: va, VerdictB: vb})
+		}
+	}
+	d.OnlyB = len(sb) - d.Common
+	sort.Slice(d.Changes, func(i, j int) bool {
+		ci, cj := d.Changes[i], d.Changes[j]
+		if ri, rj := verdictRank(ci.VerdictB), verdictRank(cj.VerdictB); ri != rj {
+			return ri > rj
+		}
+		if ci.FF != cj.FF {
+			return ci.FF < cj.FF
+		}
+		return ci.Cycle < cj.Cycle
+	})
+	return d, nil
+}

@@ -1,0 +1,238 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+// buildRecordJournal writes raw journal records (model fields included) and
+// returns a loaded Campaign.
+func buildRecordJournal(t *testing.T, hdr journal.Header, recs []journal.Record) *Campaign {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.journal")
+	w, err := journal.Create(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestModelName(t *testing.T) {
+	for code, want := range map[uint8]string{0: "seu", 1: "mbu", 2: "set", 3: "intermittent", 4: "stuck-at"} {
+		if got := ModelName(code); got != want {
+			t.Errorf("ModelName(%d) = %q, want %q", code, got, want)
+		}
+	}
+	if got := ModelName(9); !strings.Contains(got, "9") {
+		t.Errorf("unknown model code rendered as %q", got)
+	}
+}
+
+// TestSummaryModelsBreakdown: the per-model map appears exactly when a
+// journal carries non-SEU records, and partitions the totals.
+func TestSummaryModelsBreakdown(t *testing.T) {
+	hdr := journal.Header{GoldenSignature: 0xfeed, NumPoints: 10, FaultListHash: 1}
+	c := buildRecordJournal(t, hdr, []journal.Record{
+		{Index: 0, FF: 1, Duration: 1, Outcome: 0},
+		{Index: 1, FF: 1, Cycle: 5, Duration: 1, Pruned: true},
+		{Index: 2, FF: 2, Cycle: 9, Duration: 1, Model: 1, Span: 2, Period: 1, Outcome: 1},
+		{Index: 3, FF: 3, Cycle: 9, Duration: 1, Model: 1, Span: 2, Period: 1, Outcome: 0},
+		{Index: 4, FF: 4, Cycle: 9, Duration: 4, Model: 4, Span: 1, Period: 1, StuckHigh: true, Outcome: 2},
+	})
+	s := c.Summary()
+	if len(s.Models) != 3 {
+		t.Fatalf("models = %v, want seu+mbu+stuck-at", s.Models)
+	}
+	if m := s.Models["seu"]; m.Classified != 2 || m.Pruned != 1 || m.Executed != 1 || m.Outcomes[0] != 1 {
+		t.Fatalf("seu summary = %+v", m)
+	}
+	if m := s.Models["mbu"]; m.Classified != 2 || m.Pruned != 0 || m.Outcomes[1] != 1 || m.Outcomes[0] != 1 {
+		t.Fatalf("mbu summary = %+v", m)
+	}
+	if m := s.Models["stuck-at"]; m.Classified != 1 || m.Outcomes[2] != 1 {
+		t.Fatalf("stuck-at summary = %+v", m)
+	}
+	total := 0
+	for _, m := range s.Models {
+		total += m.Classified
+	}
+	if total != s.Classified {
+		t.Fatalf("per-model classified sums to %d, campaign total %d", total, s.Classified)
+	}
+
+	// A pure-SEU campaign keeps the legacy document shape: no Models map.
+	legacy := buildRecordJournal(t, hdr, []journal.Record{
+		{Index: 0, FF: 1, Duration: 1, Outcome: 0},
+		{Index: 1, FF: 1, Cycle: 5, Duration: 1, Pruned: true},
+	})
+	if ls := legacy.Summary(); ls.Models != nil {
+		t.Fatalf("pure-SEU campaign grew a models map: %v", ls.Models)
+	}
+}
+
+// modelDiffFixtures builds an SEU reference campaign and an MBU campaign
+// over the same workload with controlled per-site verdicts.
+func modelDiffFixtures(t *testing.T) (*Campaign, *Campaign) {
+	t.Helper()
+	hdrA := journal.Header{GoldenSignature: 0xfeed, NumPoints: 4, FaultListHash: 0xa}
+	hdrB := journal.Header{GoldenSignature: 0xfeed, NumPoints: 4, FaultListHash: 0xb}
+	// Reference (SEU): site (1,10) benign, (2,10) sdc, (3,20) benign,
+	// (9,90) benign (not exercised by B).
+	a := buildRecordJournal(t, hdrA, []journal.Record{
+		{Index: 0, FF: 1, Cycle: 10, Duration: 1, Outcome: 0},
+		{Index: 1, FF: 2, Cycle: 10, Duration: 1, Outcome: 1},
+		{Index: 2, FF: 3, Cycle: 20, Duration: 1, Pruned: true},
+		{Index: 3, FF: 9, Cycle: 90, Duration: 1, Outcome: 0},
+	})
+	// Under study (MBU): (1,10) escalates to hang, (2,10) downgrades to
+	// benign, (3,20) agrees benign, (7,70) only-B.
+	b := buildRecordJournal(t, hdrB, []journal.Record{
+		{Index: 0, FF: 1, Cycle: 10, Duration: 1, Model: 1, Span: 2, Period: 1, Outcome: 2},
+		{Index: 1, FF: 2, Cycle: 10, Duration: 1, Model: 1, Span: 2, Period: 1, Outcome: 0},
+		{Index: 2, FF: 3, Cycle: 20, Duration: 1, Model: 1, Span: 2, Period: 1, Outcome: 0},
+		{Index: 3, FF: 7, Cycle: 70, Duration: 1, Model: 1, Span: 2, Period: 1, Outcome: 1},
+	})
+	return a, b
+}
+
+func TestDiffModels(t *testing.T) {
+	a, b := modelDiffFixtures(t)
+	d, err := DiffModels(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(d.ModelsA, "+"), "seu"; got != want {
+		t.Errorf("models A = %q, want %q", got, want)
+	}
+	if got, want := strings.Join(d.ModelsB, "+"), "mbu"; got != want {
+		t.Errorf("models B = %q, want %q", got, want)
+	}
+	if d.SitesA != 4 || d.SitesB != 4 || d.Common != 3 || d.OnlyA != 1 || d.OnlyB != 1 {
+		t.Fatalf("site counts: %+v", d)
+	}
+	if d.Agree != 1 || d.Escalations != 1 || d.Downgrades != 1 {
+		t.Fatalf("verdict counts: %+v", d)
+	}
+	if len(d.Changes) != 2 {
+		t.Fatalf("changes = %+v", d.Changes)
+	}
+	// Sorted by B-verdict severity: the hang escalation before the benign
+	// downgrade.
+	if d.Changes[0].VerdictB != "hang" || d.Changes[0].FF != 1 {
+		t.Fatalf("first change = %+v, want the hang escalation", d.Changes[0])
+	}
+	if d.Changes[1].VerdictA != "sdc" || d.Changes[1].VerdictB != "benign" {
+		t.Fatalf("second change = %+v, want the downgrade", d.Changes[1])
+	}
+
+	// A pruned point's site counts as benign: site (3,20) agreed above even
+	// though A pruned it and B executed it.
+
+	// Different workloads must be refused.
+	hdrC := journal.Header{GoldenSignature: 0xdead, NumPoints: 1, FaultListHash: 0xc}
+	c := buildRecordJournal(t, hdrC, []journal.Record{{Index: 0, FF: 1, Duration: 1}})
+	if _, err := DiffModels(a, c); err == nil {
+		t.Fatal("DiffModels accepted campaigns of different workloads")
+	}
+}
+
+// TestDiffModelsMostSeverePerSite: several records at one site aggregate
+// to the most severe verdict before comparison.
+func TestDiffModelsMostSeverePerSite(t *testing.T) {
+	hdrA := journal.Header{GoldenSignature: 0xfeed, NumPoints: 2, FaultListHash: 0xa}
+	hdrB := journal.Header{GoldenSignature: 0xfeed, NumPoints: 2, FaultListHash: 0xb}
+	a := buildRecordJournal(t, hdrA, []journal.Record{
+		{Index: 0, FF: 5, Cycle: 30, Duration: 1, Outcome: 0},
+		{Index: 1, FF: 5, Cycle: 30, Duration: 2, Outcome: 0},
+	})
+	// Two SET records anchored at the same site; the sdc one must win.
+	b := buildRecordJournal(t, hdrB, []journal.Record{
+		{Index: 0, FF: 5, Cycle: 30, Duration: 1, Model: 2, Span: 1, Period: 1, NumTargets: 2, TargetsHash: 7, Outcome: 0},
+		{Index: 1, FF: 5, Cycle: 30, Duration: 1, Model: 2, Span: 1, Period: 1, NumTargets: 3, TargetsHash: 8, Outcome: 1},
+	})
+	d, err := DiffModels(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SitesA != 1 || d.SitesB != 1 || d.Common != 1 || d.Escalations != 1 {
+		t.Fatalf("aggregation: %+v", d)
+	}
+	if d.Changes[0].VerdictB != "sdc" {
+		t.Fatalf("most severe verdict not kept: %+v", d.Changes[0])
+	}
+}
+
+func TestModelDiffRenderers(t *testing.T) {
+	a, b := modelDiffFixtures(t)
+	d, err := DiffModels(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var text bytes.Buffer
+	if err := d.WriteModelDiffText(&text, "a.journal", "b.journal"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"model diff:", "seu", "mbu", "escalation", "ff=1", "benign -> hang"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := d.WriteModelDiffJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var round ModelDiffResult
+	if err := json.Unmarshal(js.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Escalations != d.Escalations || len(round.Changes) != len(d.Changes) {
+		t.Fatalf("JSON round trip lost data: %+v", round)
+	}
+
+	var csvBuf bytes.Buffer
+	if err := d.WriteModelDiffCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&csvBuf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(d.Changes) {
+		t.Fatalf("CSV has %d rows, want header + %d changes", len(rows), len(d.Changes))
+	}
+	if got := strings.Join(rows[0], ","); got != "ff,cycle,verdict_a,verdict_b" {
+		t.Fatalf("CSV header = %q", got)
+	}
+}
+
+func TestVerdictRank(t *testing.T) {
+	order := []string{"benign", "harness-error", "sdc", "hang", "skipped-wrong"}
+	for i := 1; i < len(order); i++ {
+		if verdictRank(order[i-1]) >= verdictRank(order[i]) {
+			t.Errorf("verdictRank(%q) !< verdictRank(%q)", order[i-1], order[i])
+		}
+	}
+	if verdictRank("???") <= verdictRank("hang") {
+		t.Error("unknown verdicts must rank above named ones")
+	}
+}

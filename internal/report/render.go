@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 )
 
@@ -40,6 +41,20 @@ func (d *Document) WriteText(w io.Writer) error {
 		s.Pruned, 100*s.PrunedFraction(), s.Executed)
 	fmt.Fprintf(w, "outcomes:   benign=%d sdc=%d hang=%d harness-error=%d\n",
 		s.Outcomes[0], s.Outcomes[1], s.Outcomes[2], s.Outcomes[3])
+	if len(s.Models) > 0 {
+		names := make([]string, 0, len(s.Models))
+		for name := range s.Models {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w, "models:")
+		for _, name := range names {
+			m := s.Models[name]
+			fmt.Fprintf(w, "  %-12s %d classified, %d pruned, %d executed (benign=%d sdc=%d hang=%d harness-error=%d)\n",
+				name, m.Classified, m.Pruned, m.Executed,
+				m.Outcomes[0], m.Outcomes[1], m.Outcomes[2], m.Outcomes[3])
+		}
+	}
 	if s.SkippedWrong > 0 {
 		fmt.Fprintf(w, "UNSOUND:    %d validated-skipped points were NOT benign\n", s.SkippedWrong)
 	}
@@ -134,7 +149,7 @@ func (d *Document) WriteJSON(w io.Writer) error {
 // long form downstream tooling joins on.
 func WriteCSV(w io.Writer, c *Campaign) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"index", "ff", "cycle", "duration", "verdict", "pruned", "mate", "width"}); err != nil {
+	if err := cw.Write([]string{"index", "ff", "cycle", "duration", "model", "verdict", "pruned", "mate", "width"}); err != nil {
 		return err
 	}
 	for _, rec := range recordsInOrder(c.Rec) {
@@ -150,6 +165,7 @@ func WriteCSV(w io.Writer, c *Campaign) error {
 			strconv.Itoa(int(rec.FF)),
 			strconv.Itoa(int(rec.Cycle)),
 			strconv.Itoa(int(rec.Duration)),
+			ModelName(rec.Model),
 			Verdict(rec),
 			strconv.FormatBool(rec.Pruned),
 			mate, width,
@@ -201,6 +217,60 @@ func (d *DiffResult) WriteDiffJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(d)
+}
+
+// WriteModelDiffText renders a cross-model comparison for humans.
+func (d *ModelDiffResult) WriteModelDiffText(w io.Writer, pathA, pathB string) error {
+	fmt.Fprintf(w, "model diff: %s (%s) vs %s (%s)\n",
+		pathA, joinNames(d.ModelsA), pathB, joinNames(d.ModelsB))
+	fmt.Fprintf(w, "sites:      %d vs %d (%d common, %d only in A, %d only in B)\n",
+		d.SitesA, d.SitesB, d.Common, d.OnlyA, d.OnlyB)
+	fmt.Fprintf(w, "verdicts:   %d agree, %d escalations, %d downgrades\n",
+		d.Agree, d.Escalations, d.Downgrades)
+	for i, ch := range d.Changes {
+		if i == 20 {
+			fmt.Fprintf(w, "  ... %d more\n", len(d.Changes)-20)
+			break
+		}
+		fmt.Fprintf(w, "  site (ff=%d cycle=%d): %s -> %s\n", ch.FF, ch.Cycle, ch.VerdictA, ch.VerdictB)
+	}
+	return nil
+}
+
+// WriteModelDiffJSON renders a cross-model comparison as one JSON document.
+func (d *ModelDiffResult) WriteModelDiffJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteModelDiffCSV renders the differing sites as CSV.
+func (d *ModelDiffResult) WriteModelDiffCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ff", "cycle", "verdict_a", "verdict_b"}); err != nil {
+		return err
+	}
+	for _, ch := range d.Changes {
+		err := cw.Write([]string{
+			strconv.Itoa(int(ch.FF)), strconv.Itoa(int(ch.Cycle)), ch.VerdictA, ch.VerdictB,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func joinNames(names []string) string {
+	if len(names) == 0 {
+		return "no records"
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += "+" + n
+	}
+	return out
 }
 
 // WriteDiffCSV renders the regression lists as CSV (kind =

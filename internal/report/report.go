@@ -28,6 +28,20 @@ func OutcomeName(code uint8) string {
 	return fmt.Sprintf("outcome(%d)", code)
 }
 
+// modelNames mirrors the hafi fault-model codes v3 journal records carry
+// (seu=0, mbu=1, set=2, intermittent=3, stuck-at=4). The report works from
+// the journal alone, so the table is duplicated here rather than imported
+// from the engine.
+var modelNames = [...]string{"seu", "mbu", "set", "intermittent", "stuck-at"}
+
+// ModelName returns the symbolic name of a journal fault-model code.
+func ModelName(code uint8) string {
+	if int(code) < len(modelNames) {
+		return modelNames[code]
+	}
+	return fmt.Sprintf("model(%d)", code)
+}
+
 // Verdict classifies one journal record for comparison purposes: "benign"
 // for pruned or executed-benign points (so pruning a point a fresh run
 // executed is not a classification change), "skipped-wrong" for validated
@@ -104,6 +118,19 @@ type Summary struct {
 	Torn         bool  `json:"torn"`
 	Corrupt      bool  `json:"corrupt"`
 	DroppedBytes int64 `json:"dropped_bytes"`
+	// Models breaks classification down per fault model, keyed by model
+	// name. Nil for pure-SEU campaigns (every v1/v2-era journal), so
+	// reports over legacy journals render unchanged.
+	Models map[string]ModelSummary `json:"models,omitempty"`
+}
+
+// ModelSummary is the per-fault-model slice of a campaign summary.
+type ModelSummary struct {
+	Classified int `json:"classified"`
+	Pruned     int `json:"pruned"`
+	Executed   int `json:"executed"`
+	// Outcomes indexes the model's executed points by outcome code.
+	Outcomes [4]int `json:"outcomes"`
 }
 
 // Coverage returns the classified share of the fault list (0..1).
@@ -131,10 +158,18 @@ func (c *Campaign) Summary() Summary {
 		Corrupt:      c.Rec.Corrupt,
 		DroppedBytes: c.Rec.DroppedBytes,
 	}
+	perModel := map[uint8]*ModelSummary{}
 	for idx, rec := range c.Rec.ByIndex {
 		s.Classified++
+		m, ok := perModel[rec.Model]
+		if !ok {
+			m = &ModelSummary{}
+			perModel[rec.Model] = m
+		}
+		m.Classified++
 		if rec.Pruned {
 			s.Pruned++
+			m.Pruned++
 			if rec.SkippedWrong {
 				s.SkippedWrong++
 			}
@@ -144,8 +179,18 @@ func (c *Campaign) Summary() Summary {
 			continue
 		}
 		s.Executed++
+		m.Executed++
 		if int(rec.Outcome) < len(s.Outcomes) {
 			s.Outcomes[rec.Outcome]++
+			m.Outcomes[rec.Outcome]++
+		}
+	}
+	// A pure-SEU campaign (the only kind pre-v3 journals can describe)
+	// reports no per-model breakdown: the totals already tell the story.
+	if _, seuOnly := perModel[0]; !(seuOnly && len(perModel) == 1) && len(perModel) > 0 {
+		s.Models = make(map[string]ModelSummary, len(perModel))
+		for code, m := range perModel {
+			s.Models[ModelName(code)] = *m
 		}
 	}
 	return s

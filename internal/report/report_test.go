@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -289,7 +290,7 @@ func TestRenderers(t *testing.T) {
 	if err := json.Unmarshal(js.Bytes(), &round); err != nil {
 		t.Fatalf("JSON report does not round-trip: %v", err)
 	}
-	if round.Summary != doc.Summary || len(round.MATEs) != len(doc.MATEs) {
+	if !reflect.DeepEqual(round.Summary, doc.Summary) || len(round.MATEs) != len(doc.MATEs) {
 		t.Fatalf("JSON round-trip = %+v", round)
 	}
 
@@ -306,12 +307,12 @@ func TestRenderers(t *testing.T) {
 	}
 	// Point 3 (first data row index 4): pruned with attribution.
 	r := rows[4]
-	if r[0] != "3" || r[4] != "benign" || r[5] != "true" || r[6] != "0" || r[7] != "2" {
+	if r[0] != "3" || r[4] != "seu" || r[5] != "benign" || r[6] != "true" || r[7] != "0" || r[8] != "2" {
 		t.Fatalf("CSV row = %v", r)
 	}
 	// Point 7: pruned without attribution leaves mate/width empty.
 	r = rows[8]
-	if r[0] != "7" || r[6] != "" || r[7] != "" {
+	if r[0] != "7" || r[7] != "" || r[8] != "" {
 		t.Fatalf("unattributed CSV row = %v", r)
 	}
 }

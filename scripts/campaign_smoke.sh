@@ -238,4 +238,75 @@ grep -q '"traceEvents"' "$tmp/clean.trace" || {
     exit 1
 }
 
+echo "== fault models: mbu crash-resume, intermittent, cross-model report"
+margs=(-cpu avr -prog fib -stride 1000 -fault-model mbu:2)
+
+"$tmp/campaign" "${margs[@]}" -journal "$tmp/mbu-clean.journal" > "$tmp/mbu-clean.out"
+grep -q 'model mbu:2' "$tmp/mbu-clean.out" || {
+    echo "FAIL: campaign output does not name the fault model" >&2
+    cat "$tmp/mbu-clean.out" >&2
+    exit 1
+}
+rc=0
+"$tmp/campaign" "${margs[@]}" -journal "$tmp/mbu-crash.journal" -interruptafter 3 \
+    > /dev/null || rc=$?
+if [ "$rc" -ne 130 ]; then
+    echo "FAIL: interrupted mbu run exited $rc, want 130" >&2
+    exit 1
+fi
+"$tmp/campaign" "${margs[@]}" -journal "$tmp/mbu-crash.journal" -resume > "$tmp/mbu-resumed.out"
+summary "$tmp/mbu-clean.out"   > "$tmp/mbu-clean.sum"
+summary "$tmp/mbu-resumed.out" > "$tmp/mbu-resumed.sum"
+diff -u "$tmp/mbu-clean.sum" "$tmp/mbu-resumed.sum" || {
+    echo "FAIL: resumed mbu result differs from uninterrupted run" >&2
+    exit 1
+}
+# Crash+resume must be point-for-point no worse than the clean mbu run.
+"$tmp/campaignreport" -diff "$tmp/mbu-clean.journal" "$tmp/mbu-crash.journal" \
+    > "$tmp/mbu-diff.out" || {
+    echo "FAIL: mbu clean-vs-resumed diff reported regressions" >&2
+    cat "$tmp/mbu-diff.out" >&2
+    exit 1
+}
+grep -q '^regressions: none' "$tmp/mbu-diff.out" || {
+    echo "FAIL: mbu clean-vs-resumed diff did not end clean" >&2
+    cat "$tmp/mbu-diff.out" >&2
+    exit 1
+}
+# The per-model breakdown must name the model in the report.
+"$tmp/campaignreport" "$tmp/mbu-clean.journal" > "$tmp/mbu-report.out"
+grep -q '^models:' "$tmp/mbu-report.out" && grep -q 'mbu' "$tmp/mbu-report.out" || {
+    echo "FAIL: campaignreport is missing the per-model breakdown" >&2
+    cat "$tmp/mbu-report.out" >&2
+    exit 1
+}
+
+# An intermittent-fault campaign end to end, journal recovered and reported.
+"$tmp/campaign" -cpu avr -prog fib -stride 1000 -fault-model intermittent:2,6 \
+    -journal "$tmp/int.journal" > "$tmp/int.out"
+grep -q 'model intermittent:2,6' "$tmp/int.out" || {
+    echo "FAIL: intermittent campaign did not echo its model" >&2
+    cat "$tmp/int.out" >&2
+    exit 1
+}
+"$tmp/campaignreport" "$tmp/int.journal" > "$tmp/int-report.out"
+grep -q 'intermittent' "$tmp/int-report.out" || {
+    echo "FAIL: intermittent journal report names no model" >&2
+    cat "$tmp/int-report.out" >&2
+    exit 1
+}
+
+# Cross-model site comparison (informational: always exit 0).
+"$tmp/campaignreport" -diff-models "$tmp/pruned-clean.journal" "$tmp/mbu-clean.journal" \
+    > "$tmp/models-diff.out" || {
+    echo "FAIL: -diff-models exited non-zero" >&2
+    cat "$tmp/models-diff.out" >&2
+    exit 1
+}
+grep -q '^model diff:' "$tmp/models-diff.out" || {
+    echo "FAIL: -diff-models produced no comparison" >&2
+    cat "$tmp/models-diff.out" >&2
+    exit 1
+}
+
 echo "campaign-smoke: OK"
