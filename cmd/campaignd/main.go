@@ -49,7 +49,9 @@ func main() {
 	dir := flag.String("dir", "", "durable coordinator directory (state log + spooled shard journals)")
 	output := flag.String("output", "", "merged campaign journal path (default <dir>/campaign.journal)")
 	strict := flag.Bool("strict", false, "preflight lint: treat warnings as failures")
+	stragglerFrac := flag.Float64("straggler-fraction", 0.35, "flag a worker as a straggler below this fraction of the fleet-median throughput (0 < f < 1)")
 	obsOpts := obs.RegisterFlags(flag.CommandLine)
+	obsOpts.Component = "campaignd"
 	flag.Parse()
 
 	// Argument hardening up front: a bad flag must be a usage error before
@@ -89,6 +91,9 @@ func main() {
 	}
 	if _, _, err := net.SplitHostPort(*addr); err != nil {
 		usage("bad -addr %q: %v", *addr, err)
+	}
+	if *stragglerFrac <= 0 || *stragglerFrac >= 1 {
+		usage("-straggler-fraction %v out of range (want 0 < f < 1)", *stragglerFrac)
 	}
 
 	reg, cleanup, err := obsOpts.Init(os.Stderr)
@@ -152,13 +157,27 @@ func main() {
 			FaultModel: modelSpec.String(),
 			MATESet:    mateSet, DisableEarlyExit: *noEarlyExit,
 		},
-		Obs:  reg,
-		Logf: func(format string, args ...interface{}) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		Obs:               reg,
+		Events:            obsOpts.Events,
+		Trace:             obsOpts.Trace,
+		StragglerFraction: *stragglerFrac,
+		Logf:              func(format string, args ...interface{}) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 	})
 	if err != nil {
 		fail(err)
 	}
 	defer coord.Close()
+
+	// The 1 Hz -progress line is driven by the heartbeat-aggregated fleet
+	// gauges: before the first telemetry-bearing heartbeat the done gauge
+	// stays 0 and the reporter degrades to "--:--" for the ETA.
+	stopProgress := obsOpts.StartProgress(reg, obs.ProgressConfig{
+		Label:     "fleet",
+		Unit:      "points",
+		DoneGauge: reg.Gauge("fleet_points_done"),
+		Total:     reg.Gauge("fleet_points_total"),
+	})
+	defer stopProgress()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -170,6 +189,7 @@ func main() {
 	st := coord.Status()
 	fmt.Printf("coordinator: %d points in %d shards on http://%s (lease TTL %v, heartbeat %v)\n",
 		len(points), st.Shards, ln.Addr(), *leaseTTL, hb)
+	fmt.Printf("dashboard:   http://%s/dashboard (JSON: /status, trace %s)\n", ln.Addr(), st.TraceID)
 
 	select {
 	case <-coord.MergedCh():

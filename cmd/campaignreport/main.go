@@ -10,16 +10,19 @@
 //	campaignreport -bins 0 fib.journal               # suppress the heatmap
 //	campaignreport -stats-json run.stats fib.journal # runtime enrichment
 //	campaignreport -diff base.journal new.journal    # compare campaigns
+//	campaignreport -check-trace fleet.trace          # validate a stitched trace
 //
 // Exit status: 0 clean, 1 usage or I/O error, 3 when -diff found coverage
 // or classification regressions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/report"
 )
@@ -37,8 +40,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	statsB := fs.String("stats-json-b", "", "enrich the second -diff journal with this -stats-json dump")
 	diff := fs.Bool("diff", false, "compare two journals point for point (baseline first)")
 	diffModels := fs.Bool("diff-models", false, "compare two journals of different fault models site by site (informational; reference first)")
+	checkTrace := fs.Bool("check-trace", false, "validate a stitched fleet trace file (argument is the trace, not a journal)")
 	if err := fs.Parse(args); err != nil {
 		return 1
+	}
+	if *checkTrace {
+		if fs.NArg() != 1 {
+			fmt.Fprintf(stderr, "campaignreport: -check-trace wants 1 trace file argument, got %d\n", fs.NArg())
+			return 1
+		}
+		chk, err := report.CheckTrace(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "campaignreport: %v\n", err)
+			return 1
+		}
+		if *format == "json" {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(chk); err != nil {
+				fmt.Fprintf(stderr, "campaignreport: %v\n", err)
+				return 1
+			}
+			return 0
+		}
+		fmt.Fprintf(stdout, "trace:      %s (trace id %s)\n", fs.Arg(0), chk.TraceID)
+		fmt.Fprintf(stdout, "events:     %d total, %d worker segment events properly nested\n",
+			chk.Events, chk.SegmentEvents)
+		fmt.Fprintf(stdout, "shards:     %d process groups, workers: %s\n",
+			chk.Shards, strings.Join(chk.Workers, ", "))
+		return 0
 	}
 	if *diff && *diffModels {
 		fmt.Fprintln(stderr, "campaignreport: -diff and -diff-models are mutually exclusive")

@@ -38,7 +38,9 @@ func main() {
 	name := flag.String("name", "", "worker name in coordinator logs (default host-pid)")
 	dir := flag.String("dir", "", "scratch directory for in-progress shard journals (default: a temp dir)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "local 64-lane device instances per shard (>= 1)")
+	throttle := flag.Duration("throttle", 0, "sleep this long after every classified point (testing lever for straggler detection)")
 	obsOpts := obs.RegisterFlags(flag.CommandLine)
+	obsOpts.Component = "campaignworker"
 	flag.Parse()
 
 	if *coordinator == "" {
@@ -73,12 +75,18 @@ func main() {
 	}
 	obsCleanup = cleanup
 	defer cleanup()
+	if reg == nil {
+		// The worker always runs with a registry: heartbeat telemetry is
+		// sampled from it even when no observability flag was given.
+		reg = obs.NewRegistry()
+	}
 
 	client := &fleet.Client{BaseURL: strings.TrimRight(*coordinator, "/"), Worker: *name}
 	worker := &fleet.Worker{
 		Client: client,
 		Dir:    *dir,
 		Obs:    reg,
+		Events: obsOpts.Events,
 		Logf:   func(format string, args ...interface{}) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 	}
 
@@ -153,6 +161,7 @@ func main() {
 		MATESet:          set,
 		DisableEarlyExit: spec.DisableEarlyExit,
 		Obs:              reg,
+		Throttle:         *throttle,
 	}
 
 	// Worker.Run re-fetches the spec and runs Spec.Check against the local

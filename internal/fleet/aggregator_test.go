@@ -1,0 +1,312 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestTelemetryDeltaClamped: a worker restart resets its cumulative
+// counters, so a snapshot below the previous one must fold as a zero
+// delta, never a negative one.
+func TestTelemetryDeltaClamped(t *testing.T) {
+	prev := &Telemetry{Done: 100, Injections: 500, Outcomes: map[string]int64{"sdc": 9}}
+	next := &Telemetry{Done: 10, Injections: 600, Outcomes: map[string]int64{"sdc": 2}}
+	d := next.sub(prev)
+	if d.Done != 0 {
+		t.Fatalf("regressed Done delta = %d, want clamped to 0", d.Done)
+	}
+	if d.Injections != 100 {
+		t.Fatalf("Injections delta = %d, want 100", d.Injections)
+	}
+	if d.Outcomes["sdc"] != 0 {
+		t.Fatalf("regressed outcome delta = %d, want clamped to 0", d.Outcomes["sdc"])
+	}
+}
+
+// heartbeatTel is a convenience cumulative snapshot.
+func heartbeatTel(done int64) *Telemetry {
+	return &Telemetry{ShardDone: done, Done: done, Injections: done * 3, Batches: done / 2, LaneSum: float64(done)}
+}
+
+// TestProgressFromHeartbeatTelemetry: before any telemetry the ETA is
+// unknown (-1); once heartbeats carry cumulative snapshots the progress
+// view folds live shard progress into points_done and converges the ETA
+// to remaining/rate.
+func TestProgressFromHeartbeatTelemetry(t *testing.T) {
+	clock := newFakeClock()
+	c := newTestCoordinator(t, t.TempDir(), clock, testPoints(100, 5), 2)
+
+	p := c.Status().Progress
+	if p.PointsTotal != 100 || p.PointsDone != 0 {
+		t.Fatalf("fresh progress = %d/%d, want 0/100", p.PointsDone, p.PointsTotal)
+	}
+	if p.ETASeconds != -1 {
+		t.Fatalf("fresh ETA = %v, want -1 (unknown)", p.ETASeconds)
+	}
+
+	g := mustLease(t, c, "w1")
+	// Two heartbeats one second apart, 10 points in between: rate 10/s.
+	clock.Advance(time.Second)
+	if err := c.Heartbeat("w1", g.Shard, g.Fence, heartbeatTel(10)); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Second)
+	if err := c.Heartbeat("w1", g.Shard, g.Fence, heartbeatTel(20)); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Status()
+	p = st.Progress
+	if p.PointsDone != 20 {
+		t.Fatalf("points done = %d, want 20 (live lease progress)", p.PointsDone)
+	}
+	if p.Rate != 10 {
+		t.Fatalf("rate = %v, want 10 points/s", p.Rate)
+	}
+	if want := float64(100-20) / 10; p.ETASeconds != want {
+		t.Fatalf("ETA = %v, want %v", p.ETASeconds, want)
+	}
+	// The first snapshot is the delta baseline (folding it whole would
+	// double-count a worker rejoining a restarted coordinator), so totals
+	// cover the second interval only: 60 cumulative - 30 baseline.
+	if p.Injections != 30 {
+		t.Fatalf("injections = %d, want 30", p.Injections)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].Worker != "w1" || st.Workers[0].Shard != g.Shard {
+		t.Fatalf("workers = %+v", st.Workers)
+	}
+	if len(st.ShardMap) != 2 {
+		t.Fatalf("shard map has %d rows, want 2", len(st.ShardMap))
+	}
+
+	// Completing the shard moves its points from lease-progress to done
+	// and detaches the worker from the shard in the status view.
+	if err := c.Complete("w1", g.Shard, g.Fence, grantJournal(t, g), nil); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Status()
+	if got := st.Progress.PointsDone; got != int64(g.Hi-g.Lo) {
+		t.Fatalf("points done after completion = %d, want %d", got, g.Hi-g.Lo)
+	}
+	if st.Workers[0].Shard != -1 {
+		t.Fatalf("worker still pinned to shard %d after completion", st.Workers[0].Shard)
+	}
+}
+
+// anomalyEvents counts JSONL event-log lines matching the given event name.
+func anomalyEvents(buf *bytes.Buffer, event string) int {
+	n := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, `"event":"`+event+`"`) {
+			n++
+		}
+	}
+	return n
+}
+
+// newAnomalyCoordinator builds a coordinator with an event log attached so
+// the tests can assert fire-once/clear-once behavior.
+func newAnomalyCoordinator(t *testing.T, clock *fakeClock, shards int, buf *bytes.Buffer) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(testPoints(1000, 5), testGolden, Options{
+		Shards:   shards,
+		LeaseTTL: 10 * time.Second, Heartbeat: 2 * time.Second,
+		Dir: t.TempDir(), Now: clock.Now,
+		Events: obs.NewEventLog(buf, "test", obs.LevelInfo),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestStragglerFiresOnceAndClears: a worker running far below the fleet
+// median raises exactly one straggler anomaly however often status is
+// polled, and the anomaly clears (once) when the worker recovers.
+func TestStragglerFiresOnceAndClears(t *testing.T) {
+	clock := newFakeClock()
+	var events bytes.Buffer
+	c := newAnomalyCoordinator(t, clock, 4, &events)
+
+	gFast := mustLease(t, c, "fast")
+	gSlow := mustLease(t, c, "slow")
+	// Establish rates: fast does 20 points/s, slow 1 point/s. The median of
+	// two is their mean (10.5); the 0.35 default threshold is ~3.7.
+	fast, slow := int64(0), int64(0)
+	hb := func() {
+		clock.Advance(time.Second)
+		fast += 20
+		slow++
+		if err := c.Heartbeat("fast", gFast.Shard, gFast.Fence, heartbeatTel(fast)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Heartbeat("slow", gSlow.Shard, gSlow.Fence, heartbeatTel(slow)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hb()
+	hb()
+
+	st := c.Status()
+	if len(st.Anomalies) != 1 || st.Anomalies[0].Type != AnomalyStraggler || st.Anomalies[0].Subject != "slow" {
+		t.Fatalf("anomalies = %+v, want one straggler on %q", st.Anomalies, "slow")
+	}
+	for _, w := range st.Workers {
+		if (w.Worker == "slow") != w.Straggler {
+			t.Fatalf("worker %s straggler flag = %v", w.Worker, w.Straggler)
+		}
+	}
+	// Fire-once: more heartbeats and more status polls while the condition
+	// holds must not emit a second raise event.
+	hb()
+	c.Status()
+	c.Status()
+	if n := anomalyEvents(&events, "anomaly.straggler"); n != 1 {
+		t.Fatalf("straggler raised %d times, want exactly 1\n%s", n, events.String())
+	}
+
+	// Recovery: the slow worker speeds up to fleet rate; the EWMA catches
+	// up within a few heartbeats and the anomaly clears exactly once.
+	for i := 0; i < 6; i++ {
+		clock.Advance(time.Second)
+		fast += 20
+		slow += 20
+		if err := c.Heartbeat("fast", gFast.Shard, gFast.Fence, heartbeatTel(fast)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Heartbeat("slow", gSlow.Shard, gSlow.Fence, heartbeatTel(slow)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = c.Status()
+	if len(st.Anomalies) != 0 {
+		t.Fatalf("anomalies after recovery = %+v, want none", st.Anomalies)
+	}
+	c.Status()
+	if n := anomalyEvents(&events, "anomaly.clear"); n != 1 {
+		t.Fatalf("anomaly cleared %d times, want exactly 1\n%s", n, events.String())
+	}
+}
+
+// TestLeaseDriftAnomaly: a lease whose heartbeats stop mid-run drifts
+// toward expiry; the anomaly fires once below 25%% remaining TTL and
+// clears when a heartbeat renews the lease.
+func TestLeaseDriftAnomaly(t *testing.T) {
+	clock := newFakeClock()
+	var events bytes.Buffer
+	c := newAnomalyCoordinator(t, clock, 2, &events)
+
+	g := mustLease(t, c, "w1")
+	// 8s into a 10s TTL: 2s remaining < 2.5s threshold.
+	clock.Advance(8 * time.Second)
+	st := c.Status()
+	if len(st.Anomalies) != 1 || st.Anomalies[0].Type != AnomalyLeaseDrift {
+		t.Fatalf("anomalies = %+v, want one lease-drift", st.Anomalies)
+	}
+	if want := fmt.Sprintf("shard %d", g.Shard); st.Anomalies[0].Subject != want {
+		t.Fatalf("drift subject = %q, want %q", st.Anomalies[0].Subject, want)
+	}
+	c.Status() // still drifting: must not raise again
+	if n := anomalyEvents(&events, "anomaly.lease-drift"); n != 1 {
+		t.Fatalf("lease-drift raised %d times, want exactly 1\n%s", n, events.String())
+	}
+
+	// A heartbeat renews the full TTL: the anomaly clears.
+	if err := c.Heartbeat("w1", g.Shard, g.Fence, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Status(); len(st.Anomalies) != 0 {
+		t.Fatalf("anomalies after renewal = %+v, want none", st.Anomalies)
+	}
+	if n := anomalyEvents(&events, "anomaly.clear"); n != 1 {
+		t.Fatalf("anomaly cleared %d times, want exactly 1\n%s", n, events.String())
+	}
+}
+
+// TestLeaseDriftClearsOnExpiry: if the lease actually expires (shard back
+// to pending), the drift anomaly must clear rather than stick to a lease
+// that no longer exists.
+func TestLeaseDriftClearsOnExpiry(t *testing.T) {
+	clock := newFakeClock()
+	var events bytes.Buffer
+	c := newAnomalyCoordinator(t, clock, 2, &events)
+
+	mustLease(t, c, "w1")
+	clock.Advance(8 * time.Second)
+	if st := c.Status(); len(st.Anomalies) != 1 {
+		t.Fatalf("anomalies = %+v, want the drifting lease", st.Anomalies)
+	}
+	clock.Advance(3 * time.Second) // past the 10s TTL: sweep expires the lease
+	if st := c.Status(); len(st.Anomalies) != 0 {
+		t.Fatalf("anomalies after expiry = %+v, want none", st.Anomalies)
+	}
+}
+
+// TestAggregatorConcurrentHeartbeats hammers the coordinator with
+// concurrent telemetry-bearing heartbeats, status polls and metric
+// scrapes. Run under -race this is the aggregator's data-race proof.
+func TestAggregatorConcurrentHeartbeats(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := NewCoordinator(testPoints(800, 5), testGolden, Options{
+		Shards:   8,
+		LeaseTTL: 10 * time.Second, Heartbeat: 2 * time.Second,
+		Dir: t.TempDir(), Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const workers, beats = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%d", i)
+			g, status, err := c.Lease(name)
+			if err != nil || status != "lease" {
+				t.Errorf("%s: lease status %q err %v", name, status, err)
+				return
+			}
+			for done := int64(1); done <= beats; done++ {
+				if err := c.Heartbeat(name, g.Shard, g.Fence, heartbeatTel(done)); err != nil {
+					t.Errorf("%s: heartbeat: %v", name, err)
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				st := c.Status()
+				if st.Progress.PointsDone < 0 || st.Progress.PointsDone > 800 {
+					t.Errorf("points done %d out of range", st.Progress.PointsDone)
+				}
+				var sink bytes.Buffer
+				if err := obs.WritePrometheus(&sink, reg); err != nil {
+					t.Errorf("scrape: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := c.Status()
+	if got := st.Progress.PointsDone; got != workers*beats {
+		t.Fatalf("points done = %d, want %d (8 workers × 50 beats)", got, workers*beats)
+	}
+	if len(st.Workers) != workers {
+		t.Fatalf("worker view has %d rows, want %d", len(st.Workers), workers)
+	}
+}

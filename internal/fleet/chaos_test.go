@@ -44,11 +44,11 @@ type crashRunner struct {
 	n       int32
 }
 
-func (r *crashRunner) RunShard(ctx context.Context, lo, hi int, path string) error {
+func (r *crashRunner) RunShard(ctx context.Context, lo, hi int, path string, obsv *ShardObs) error {
 	if atomic.AddInt32(&r.n, 1) >= r.crashAt {
 		r.cancel()
 	}
-	return r.Runner.RunShard(ctx, lo, hi, path)
+	return r.Runner.RunShard(ctx, lo, hi, path, obsv)
 }
 
 // TestFleetChaos is the end-to-end fault-tolerance proof: a campaign runs
@@ -205,7 +205,7 @@ func TestFleetChaos(t *testing.T) {
 	}
 
 	// --- zombie wakes up: its stale-fence upload must bounce -------------
-	zerr := zombie2(ts2.URL).Complete(ctx, zresp.Grant.Shard, zresp.Grant.Fence, grantJournal(t, zresp.Grant))
+	zerr := zombie2(ts2.URL).Complete(ctx, zresp.Grant.Shard, zresp.Grant.Fence, grantJournal(t, zresp.Grant), nil)
 	if !errors.Is(zerr, ErrFenced) {
 		t.Fatalf("zombie upload after re-lease and completion: %v, want ErrFenced", zerr)
 	}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/hafi"
 	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/obs/tracefile"
 )
 
 // ShardState is the lease state machine of one shard:
@@ -82,6 +84,17 @@ type Options struct {
 	Now func() time.Time
 	// Logf receives operator progress lines (nil = silent).
 	Logf func(format string, args ...interface{})
+	// Events receives the structured operational event stream (nil
+	// disables; nil-safe like every obs handle).
+	Events *obs.EventLog
+	// Trace, when set, receives the stitched campaign timeline at merge
+	// time: the campaign root span, one process group per shard, and every
+	// worker-uploaded trace segment nested inside its shard span.
+	Trace *tracefile.Writer
+	// StragglerFraction flags a worker as a straggler when its throughput
+	// falls below this fraction of the active-fleet median (default 0.35;
+	// must be in (0,1)).
+	StragglerFraction float64
 }
 
 // Counters are the coordinator's lifetime event counts, exposed in
@@ -101,23 +114,65 @@ type Counters struct {
 // shardSlot is one shard plus its lease state.
 type shardSlot struct {
 	Shard
-	state    ShardState
-	worker   string
-	fence    uint64
-	deadline time.Time
-	grants   int
-	file     string // spool file name once done
+	state       ShardState
+	worker      string
+	fence       uint64
+	deadline    time.Time
+	grants      int
+	file        string // spool file name once done
+	traceFile   string // spooled trace segment, if the worker sent one
+	grantedAt   time.Time
+	completedAt time.Time
+	leaseDone   int64 // live points-done inside the current lease
 }
 
-// Status is the coordinator snapshot served on /v1/status.
+// Progress is the fleet-wide campaign progress view, folded from
+// heartbeat telemetry plus the lease table.
+type Progress struct {
+	PointsTotal int64 `json:"points_total"`
+	// PointsDone counts points in accepted shards plus live heartbeat
+	// progress inside leased shards; it may briefly regress when a lease
+	// expires and its in-flight progress is discarded.
+	PointsDone int64 `json:"points_done"`
+	// Rate is the summed EWMA throughput of the active workers (points/s).
+	Rate float64 `json:"rate"`
+	// ETASeconds estimates time to campaign completion; -1 until the
+	// first heartbeat telemetry establishes a throughput.
+	ETASeconds    float64          `json:"eta_seconds"`
+	Injections    int64            `json:"injections"`
+	Pruned        int64            `json:"pruned"`
+	Converged     int64            `json:"converged"`
+	CyclesSaved   int64            `json:"cycles_saved"`
+	LaneOccupancy float64          `json:"lane_occupancy"`
+	Outcomes      map[string]int64 `json:"outcomes,omitempty"`
+}
+
+// ShardStatus is one row of the live shard map in /status.
+type ShardStatus struct {
+	ID         int    `json:"id"`
+	Lo         int    `json:"lo"`
+	Hi         int    `json:"hi"`
+	State      string `json:"state"`
+	Worker     string `json:"worker,omitempty"`
+	Done       int64  `json:"done"`
+	Grants     int    `json:"grants"`
+	DeadlineMS int64  `json:"lease_deadline_unix_ms,omitempty"`
+}
+
+// Status is the coordinator snapshot served on /v1/status and /status.
 type Status struct {
-	Shards   int      `json:"shards"`
-	Pending  int      `json:"pending"`
-	Leased   int      `json:"leased"`
-	Done     int      `json:"done"`
-	Merged   bool     `json:"merged"`
-	Output   string   `json:"output"`
-	Counters Counters `json:"counters"`
+	Shards    int            `json:"shards"`
+	Pending   int            `json:"pending"`
+	Leased    int            `json:"leased"`
+	Done      int            `json:"done"`
+	Merged    bool           `json:"merged"`
+	Output    string         `json:"output"`
+	TraceID   string         `json:"trace_id"`
+	Counters  Counters       `json:"counters"`
+	Progress  Progress       `json:"progress"`
+	Workers   []WorkerStatus `json:"workers,omitempty"`
+	ShardMap  []ShardStatus  `json:"shard_map,omitempty"`
+	Anomalies []Anomaly      `json:"anomalies,omitempty"`
 }
 
 // Coordinator owns a campaign's shard plan and lease table. All methods
@@ -136,6 +191,9 @@ type Coordinator struct {
 	log      *stateLog
 	counters Counters
 	met      *fleetMetrics
+	agg      *aggregator
+	traceID  string
+	started  time.Time
 }
 
 // NewCoordinator plans the fault space, replays any durable state found in
@@ -172,18 +230,26 @@ func NewCoordinator(points []hafi.FaultPoint, goldenSignature uint64, opts Optio
 		header:   journal.Header{GoldenSignature: goldenSignature, NumPoints: uint64(len(points)), FaultListHash: hafi.FaultListHash(points)},
 		mergedCh: make(chan struct{}),
 		met:      newFleetMetrics(opts.Obs),
+		agg:      newAggregator(opts),
 	}
+	// The campaign trace ID derives deterministically from the campaign
+	// identity, so a restarted coordinator keeps stitching segments into
+	// the same logical trace its workers were minted into.
+	c.traceID = fmt.Sprintf("%016x", c.header.GoldenSignature^c.header.FaultListHash^(c.header.NumPoints*0x9e3779b97f4a7c15))
 	c.spec = opts.Spec
 	c.spec.GoldenSignature = c.header.GoldenSignature
 	c.spec.NumPoints = c.header.NumPoints
 	c.spec.FaultListHash = c.header.FaultListHash
 	c.spec.LeaseTTLMillis = opts.LeaseTTL.Milliseconds()
 	c.spec.HeartbeatMillis = opts.Heartbeat.Milliseconds()
+	c.spec.TraceID = c.traceID
 
 	for _, sh := range PlanShards(points, opts.Shards) {
 		c.shards = append(c.shards, &shardSlot{Shard: sh})
 	}
+	c.started = c.now()
 	c.met.setShards(len(c.shards))
+	c.met.setPointsTotal(int64(c.header.NumPoints))
 
 	if err := c.restore(); err != nil {
 		return nil, err
@@ -266,6 +332,9 @@ func (c *Coordinator) restore() error {
 				}
 				sh.state = ShardDone
 				sh.file = ev.File
+				if name := fmt.Sprintf("shard-%04d.trace", sh.ID); fileExists(c.spoolPath(name)) {
+					sh.traceFile = name
+				}
 			case evMerged:
 				mergedClaimed = true
 			}
@@ -281,6 +350,7 @@ func (c *Coordinator) restore() error {
 		}
 	}
 	c.met.setDone(c.done)
+	c.met.setPointsDone(c.pointsDoneLocked())
 
 	c.log, err = openStateLog(c.statePath())
 	if err != nil {
@@ -340,9 +410,14 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 	for _, sh := range c.shards {
 		if sh.state == ShardLeased && now.After(sh.deadline) {
 			sh.state = ShardPending
+			sh.leaseDone = 0
 			c.counters.LeaseExpiries++
 			c.met.leaseExpired()
+			c.agg.workerDone(sh.worker)
 			c.logf("fleet: lease of shard %d expired (worker %s, fence %d): re-leasing", sh.ID, sh.worker, sh.fence)
+			c.opts.Events.Event(obs.LevelWarn, "lease.expire",
+				fmt.Sprintf("lease of shard %d expired", sh.ID),
+				"shard", sh.ID, "worker", sh.worker, "fence", sh.fence)
 		}
 	}
 }
@@ -355,6 +430,9 @@ type LeaseGrant struct {
 	Hi        int    `json:"hi"`
 	Fence     uint64 `json:"fence"`
 	ShardHash uint64 `json:"shard_hash"`
+	// TraceID is the campaign trace the worker should stamp on the trace
+	// segment it uploads with the finished shard.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Lease hands the next pending shard to worker. The second return is
@@ -379,6 +457,8 @@ func (c *Coordinator) Lease(worker string) (LeaseGrant, string, error) {
 		sh.fence = c.fence
 		sh.deadline = now.Add(c.opts.LeaseTTL)
 		sh.grants++
+		sh.grantedAt = now
+		sh.leaseDone = 0
 		err := c.log.append(stateEvent{Ev: evGrant, Shard: sh.ID, Fence: sh.fence, Worker: worker})
 		if err != nil {
 			sh.state = ShardPending // the fence stays burned; harmless
@@ -391,14 +471,19 @@ func (c *Coordinator) Lease(worker string) (LeaseGrant, string, error) {
 			c.met.leaseRegranted()
 		}
 		c.logf("fleet: shard %d [%d,%d) leased to %s (fence %d, grant #%d)", sh.ID, sh.Lo, sh.Hi, worker, sh.fence, sh.grants)
-		return LeaseGrant{Shard: sh.ID, Lo: sh.Lo, Hi: sh.Hi, Fence: sh.fence, ShardHash: sh.Hash}, "lease", nil
+		c.opts.Events.Event(obs.LevelInfo, "lease.grant",
+			fmt.Sprintf("shard %d [%d,%d) leased to %s", sh.ID, sh.Lo, sh.Hi, worker),
+			"shard", sh.ID, "worker", worker, "fence", sh.fence, "grant", sh.grants, "trace_id", c.traceID)
+		return LeaseGrant{Shard: sh.ID, Lo: sh.Lo, Hi: sh.Hi, Fence: sh.fence, ShardHash: sh.Hash, TraceID: c.traceID}, "lease", nil
 	}
 	return LeaseGrant{}, "wait", nil
 }
 
-// Heartbeat renews the lease identified by (shard, fence). A stale fence
-// returns ErrFenced: the caller has lost the shard and must abandon it.
-func (c *Coordinator) Heartbeat(worker string, shard int, fence uint64) error {
+// Heartbeat renews the lease identified by (shard, fence) and folds the
+// heartbeat's telemetry snapshot (nil is a bare renewal) into the fleet
+// aggregate. A stale fence returns ErrFenced: the caller has lost the
+// shard and must abandon it — its telemetry is discarded with it.
+func (c *Coordinator) Heartbeat(worker string, shard int, fence uint64, tel *Telemetry) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.now()
@@ -416,6 +501,12 @@ func (c *Coordinator) Heartbeat(worker string, shard int, fence uint64) error {
 	sh.worker = worker
 	c.counters.Heartbeats++
 	c.met.heartbeat()
+	c.agg.fold(worker, shard, tel, now)
+	if tel != nil {
+		sh.leaseDone = tel.ShardDone
+	}
+	c.agg.detect(now, c.shards, c.opts.LeaseTTL)
+	c.met.setPointsDone(c.pointsDoneLocked())
 	return nil
 }
 
@@ -427,7 +518,12 @@ func (c *Coordinator) Heartbeat(worker string, shard int, fence uint64) error {
 // failure returns an *InvalidJournalError and re-opens the shard.
 // Re-uploading an already-accepted shard under the same fence is
 // idempotent (the worker may retry a completion whose response was lost).
-func (c *Coordinator) Complete(worker string, shard int, fence uint64, data []byte) error {
+//
+// trace is the shard's optional trace segment (JSON-encoded TraceSegment);
+// it is spooled best-effort next to the journal and stitched into the
+// campaign timeline at merge time. A bad segment never rejects a good
+// journal.
+func (c *Coordinator) Complete(worker string, shard int, fence uint64, data, trace []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.now()
@@ -458,6 +554,9 @@ func (c *Coordinator) Complete(worker string, shard int, fence uint64, data []by
 		c.counters.CompletionsInvalid++
 		c.met.completionInvalid()
 		c.logf("fleet: shard %d upload from %s rejected: %v", sh.ID, worker, err)
+		c.opts.Events.Event(obs.LevelWarn, "shard.reject",
+			fmt.Sprintf("shard %d upload from %s rejected: %v", sh.ID, worker, err),
+			"shard", sh.ID, "worker", worker)
 		return err
 	}
 	if err := c.log.append(stateEvent{Ev: evComplete, Shard: sh.ID, Fence: fence, File: name}); err != nil {
@@ -465,13 +564,65 @@ func (c *Coordinator) Complete(worker string, shard int, fence uint64, data []by
 	}
 	sh.state = ShardDone
 	sh.file = name
+	sh.completedAt = now
+	sh.leaseDone = int64(sh.Hi - sh.Lo)
+	c.spoolTrace(sh, trace)
+	c.agg.workerDone(worker)
 	c.done++
 	c.counters.Completions++
 	c.met.completion()
 	c.met.setDone(c.done)
+	c.met.setPointsDone(c.pointsDoneLocked())
 	c.logf("fleet: shard %d completed by %s (%d/%d shards done)", sh.ID, worker, c.done, len(c.shards))
+	c.opts.Events.Event(obs.LevelInfo, "shard.complete",
+		fmt.Sprintf("shard %d completed by %s", sh.ID, worker),
+		"shard", sh.ID, "worker", worker, "done", c.done, "shards", len(c.shards))
 	c.tryMergeLocked()
 	return nil
+}
+
+// spoolTrace saves a worker's uploaded trace segment next to the shard
+// journal, best-effort: trace loss degrades the stitched timeline, never
+// the campaign. Segments minted for a different trace ID (e.g. by a
+// worker pointed at the wrong coordinator) are dropped.
+func (c *Coordinator) spoolTrace(sh *shardSlot, trace []byte) {
+	if len(trace) == 0 {
+		return
+	}
+	var seg TraceSegment
+	if err := json.Unmarshal(trace, &seg); err != nil {
+		c.logf("fleet: shard %d trace segment unparseable: %v", sh.ID, err)
+		return
+	}
+	if seg.TraceID != c.traceID {
+		c.logf("fleet: shard %d trace segment carries foreign trace id %s (want %s): dropped", sh.ID, seg.TraceID, c.traceID)
+		return
+	}
+	name := fmt.Sprintf("shard-%04d.trace", sh.ID)
+	if err := os.WriteFile(c.spoolPath(name)+".tmp", trace, 0o644); err != nil {
+		c.logf("fleet: shard %d trace spool: %v", sh.ID, err)
+		return
+	}
+	if err := os.Rename(c.spoolPath(name)+".tmp", c.spoolPath(name)); err != nil {
+		c.logf("fleet: shard %d trace spool: %v", sh.ID, err)
+		return
+	}
+	sh.traceFile = name
+}
+
+// pointsDoneLocked is the fleet-wide classified-point count: full credit
+// for accepted shards plus live heartbeat progress inside leased ones.
+func (c *Coordinator) pointsDoneLocked() int64 {
+	var done int64
+	for _, sh := range c.shards {
+		switch sh.state {
+		case ShardDone:
+			done += int64(sh.Hi - sh.Lo)
+		case ShardLeased:
+			done += sh.leaseDone
+		}
+	}
+	return done
 }
 
 // spoolShard writes an uploaded journal next to the state log and verifies
@@ -575,8 +726,77 @@ func (c *Coordinator) mergeLocked() error {
 	c.counters.Merges++
 	c.met.merge()
 	c.logf("fleet: merged %d shards (%d records, %d attribution hits) into %s", stats.Shards, stats.Records, stats.MATEHits, c.opts.Output)
+	c.opts.Events.Event(obs.LevelInfo, "merge.done",
+		fmt.Sprintf("merged %d shards (%d records) into %s", stats.Shards, stats.Records, c.opts.Output),
+		"shards", stats.Shards, "records", stats.Records, "output", c.opts.Output, "trace_id", c.traceID)
+	c.stitchTraceLocked()
 	c.setMergedLocked()
 	return nil
+}
+
+// stitchTraceLocked assembles the cross-process campaign timeline on the
+// coordinator's trace writer: a campaign root span (pid 1), one process
+// group per shard labelled with the worker that finished it, a
+// coordinator-side shard span covering grant→complete on the group's tid
+// 0, and every event of the shard's uploaded segment nested inside that
+// window on tid lane+1.
+func (c *Coordinator) stitchTraceLocked() {
+	tw := c.opts.Trace
+	if tw == nil {
+		return
+	}
+	now := c.now()
+	tw.ProcessName(1, "campaignd")
+	tw.CompleteOn(1, 0, "campaign", "trace "+c.traceID, c.started, now.Sub(c.started))
+	for _, sh := range c.shards {
+		pid := shardPID(sh.ID)
+		granted, completed := sh.grantedAt, sh.completedAt
+		// A coordinator restarted after shards completed has no grant
+		// timestamps; degrade to the campaign window rather than drop rows.
+		if granted.IsZero() {
+			granted = c.started
+		}
+		if completed.IsZero() {
+			completed = now
+		}
+		tw.ProcessName(pid, fmt.Sprintf("shard %02d · %s", sh.ID, sh.worker))
+		tw.ThreadName(pid, 0, "lease")
+		tw.CompleteOn(pid, 0, "shard", fmt.Sprintf("[%d,%d) worker %s grants %d", sh.Lo, sh.Hi, sh.worker, sh.grants),
+			granted, completed.Sub(granted))
+		if sh.traceFile == "" {
+			continue
+		}
+		data, err := os.ReadFile(c.spoolPath(sh.traceFile))
+		if err != nil {
+			c.logf("fleet: stitch: shard %d: %v", sh.ID, err)
+			continue
+		}
+		var seg TraceSegment
+		if err := json.Unmarshal(data, &seg); err != nil {
+			c.logf("fleet: stitch: shard %d: %v", sh.ID, err)
+			continue
+		}
+		for lane := int32(0); lane < segmentLanes(&seg); lane++ {
+			tw.ThreadName(pid, lane+1, fmt.Sprintf("lane %d", lane))
+		}
+		stitchSegment(tw, &seg, granted, completed)
+	}
+}
+
+// segmentLanes counts the distinct (compacted) lanes in a segment.
+func segmentLanes(seg *TraceSegment) int32 {
+	var max int32 = -1
+	for _, ev := range seg.Events {
+		if ev.Lane > max {
+			max = ev.Lane
+		}
+	}
+	return max + 1
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // verifyMergedOutput re-validates the merged campaign journal after a
@@ -605,13 +825,24 @@ func (c *Coordinator) setMergedLocked() {
 	}
 }
 
-// Status snapshots the lease table and counters.
+// Status snapshots the lease table, counters, folded fleet telemetry,
+// the per-worker and per-shard views, and the active anomalies.
 func (c *Coordinator) Status() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.sweepLocked(c.now())
+	now := c.now()
+	c.sweepLocked(now)
 	c.tryMergeLocked()
-	st := Status{Shards: len(c.shards), Merged: c.merged, Output: c.opts.Output, Counters: c.counters}
+	c.agg.detect(now, c.shards, c.opts.LeaseTTL)
+	st := Status{
+		Shards:   len(c.shards),
+		Merged:   c.merged,
+		Output:   c.opts.Output,
+		TraceID:  c.traceID,
+		Counters: c.counters,
+		Progress: c.progressLocked(now),
+		Workers:  c.agg.workerStatuses(),
+	}
 	for _, sh := range c.shards {
 		switch sh.state {
 		case ShardPending:
@@ -621,8 +852,52 @@ func (c *Coordinator) Status() Status {
 		case ShardDone:
 			st.Done++
 		}
+		row := ShardStatus{
+			ID: sh.ID, Lo: sh.Lo, Hi: sh.Hi,
+			State: sh.state.String(), Done: sh.leaseDone, Grants: sh.grants,
+		}
+		if sh.state != ShardPending {
+			row.Worker = sh.worker
+		}
+		if sh.state == ShardDone {
+			row.Done = int64(sh.Hi - sh.Lo)
+		}
+		if sh.state == ShardLeased {
+			row.DeadlineMS = sh.deadline.UnixMilli()
+		}
+		st.ShardMap = append(st.ShardMap, row)
 	}
+	st.Anomalies = c.agg.anomalyList()
 	return st
+}
+
+// progressLocked folds the lease table and aggregated telemetry into the
+// fleet progress view (mu held).
+func (c *Coordinator) progressLocked(now time.Time) Progress {
+	p := Progress{
+		PointsTotal:   int64(c.header.NumPoints),
+		PointsDone:    c.pointsDoneLocked(),
+		Rate:          c.agg.fleetRate(now),
+		ETASeconds:    -1,
+		Injections:    c.agg.totals.Injections,
+		Pruned:        c.agg.totals.Pruned,
+		Converged:     c.agg.totals.Converged,
+		CyclesSaved:   c.agg.totals.CyclesSaved,
+		LaneOccupancy: c.agg.laneOccupancy(),
+	}
+	if len(c.agg.outcomes) > 0 {
+		p.Outcomes = make(map[string]int64, len(c.agg.outcomes))
+		for k, v := range c.agg.outcomes {
+			p.Outcomes[k] = v
+		}
+	}
+	if remaining := p.PointsTotal - p.PointsDone; remaining <= 0 {
+		p.ETASeconds = 0
+	} else if p.Rate > 0 {
+		p.ETASeconds = float64(remaining) / p.Rate
+	}
+	c.met.setPointsDone(p.PointsDone)
+	return p
 }
 
 // fleetMetrics mirrors the coordinator counters into an obs registry
@@ -633,6 +908,7 @@ type fleetMetrics struct {
 	completions, completionsStale *obs.Counter
 	completionsInvalid, merges    *obs.Counter
 	shards, shardsDone            *obs.Gauge
+	pointsTotal, pointsDone       *obs.Gauge
 }
 
 func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
@@ -651,6 +927,19 @@ func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
 		merges:             reg.Counter("fleet_merges_total"),
 		shards:             reg.Gauge("fleet_shards"),
 		shardsDone:         reg.Gauge("fleet_shards_done"),
+		pointsTotal:        reg.Gauge("fleet_points_total"),
+		pointsDone:         reg.Gauge("fleet_points_done"),
+	}
+}
+
+func (m *fleetMetrics) setPointsTotal(n int64) {
+	if m != nil {
+		m.pointsTotal.Set(n)
+	}
+}
+func (m *fleetMetrics) setPointsDone(n int64) {
+	if m != nil {
+		m.pointsDone.Set(n)
 	}
 }
 

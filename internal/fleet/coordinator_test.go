@@ -134,7 +134,7 @@ func TestLeaseExpiryAndRegrant(t *testing.T) {
 	// Heartbeats keep the lease alive across several TTLs.
 	for i := 0; i < 4; i++ {
 		clock.Advance(8 * time.Second)
-		if err := c.Heartbeat("w1", g1.Shard, g1.Fence); err != nil {
+		if err := c.Heartbeat("w1", g1.Shard, g1.Fence, nil); err != nil {
 			t.Fatalf("heartbeat %d: %v", i, err)
 		}
 	}
@@ -158,10 +158,10 @@ func TestLeaseExpiryAndRegrant(t *testing.T) {
 		t.Fatalf("counters = %+v, want 1 expiry and 1 regrant", st.Counters)
 	}
 	// The expired worker's heartbeat and completion are both fenced off.
-	if err := c.Heartbeat("w1", g1.Shard, g1.Fence); !errors.Is(err, ErrFenced) {
+	if err := c.Heartbeat("w1", g1.Shard, g1.Fence, nil); !errors.Is(err, ErrFenced) {
 		t.Fatalf("stale heartbeat: %v, want ErrFenced", err)
 	}
-	if err := c.Complete("w1", g1.Shard, g1.Fence, grantJournal(t, g1)); !errors.Is(err, ErrFenced) {
+	if err := c.Complete("w1", g1.Shard, g1.Fence, grantJournal(t, g1), nil); !errors.Is(err, ErrFenced) {
 		t.Fatalf("zombie completion: %v, want ErrFenced", err)
 	}
 	if st := c.Status(); st.Counters.CompletionsStale != 1 || st.Done != 0 {
@@ -178,11 +178,11 @@ func TestCompleteIdempotentAndExpiredButUnregrantedAccepted(t *testing.T) {
 	// Lease silently expired, but nobody re-leased the shard: the upload is
 	// valid finished work and must be accepted.
 	clock.Advance(11 * time.Second)
-	if err := c.Complete("w1", g.Shard, g.Fence, data); err != nil {
+	if err := c.Complete("w1", g.Shard, g.Fence, data, nil); err != nil {
 		t.Fatalf("expired-but-unregranted completion rejected: %v", err)
 	}
 	// Retrying the accepted upload (lost HTTP response) is idempotent.
-	if err := c.Complete("w1", g.Shard, g.Fence, data); err != nil {
+	if err := c.Complete("w1", g.Shard, g.Fence, data, nil); err != nil {
 		t.Fatalf("idempotent re-upload rejected: %v", err)
 	}
 	if st := c.Status(); st.Done != 1 || st.Counters.Completions != 1 {
@@ -197,7 +197,7 @@ func TestCompleteRejectsBadJournals(t *testing.T) {
 
 	var inv *InvalidJournalError
 	// Garbage bytes.
-	if err := c.Complete("w1", g.Shard, g.Fence, []byte("not a journal")); !errors.As(err, &inv) {
+	if err := c.Complete("w1", g.Shard, g.Fence, []byte("not a journal"), nil); !errors.As(err, &inv) {
 		t.Fatalf("garbage upload: %v, want InvalidJournalError", err)
 	}
 	// The shard went back to pending; lease it again (fresh fence).
@@ -207,7 +207,7 @@ func TestCompleteRejectsBadJournals(t *testing.T) {
 	}
 	// Incomplete coverage: one record short.
 	short := LeaseGrant{Shard: g2.Shard, Lo: g2.Lo, Hi: g2.Hi - 1, Fence: g2.Fence, ShardHash: g2.ShardHash}
-	err := c.Complete("w1", g2.Shard, g2.Fence, grantJournal(t, short))
+	err := c.Complete("w1", g2.Shard, g2.Fence, grantJournal(t, short), nil)
 	if !errors.As(err, &inv) || !strings.Contains(err.Error(), "mismatch") {
 		t.Fatalf("short upload: %v, want a header mismatch rejection", err)
 	}
@@ -230,7 +230,7 @@ func driveToMerge(t *testing.T, c *Coordinator) {
 		if status != "lease" {
 			t.Fatalf("unexpected lease status %q", status)
 		}
-		if err := c.Complete("driver", g.Shard, g.Fence, grantJournal(t, g)); err != nil {
+		if err := c.Complete("driver", g.Shard, g.Fence, grantJournal(t, g), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -278,7 +278,7 @@ func TestCoordinatorRestartResumes(t *testing.T) {
 		t.Fatal(err)
 	}
 	gDone := mustLease(t, c1, "w1")
-	if err := c1.Complete("w1", gDone.Shard, gDone.Fence, grantJournal(t, gDone)); err != nil {
+	if err := c1.Complete("w1", gDone.Shard, gDone.Fence, grantJournal(t, gDone), nil); err != nil {
 		t.Fatal(err)
 	}
 	gLive := mustLease(t, c1, "w2")
@@ -294,10 +294,10 @@ func TestCoordinatorRestartResumes(t *testing.T) {
 	if st.Done != 1 || st.Leased != 1 || st.Pending != 1 {
 		t.Fatalf("restarted status = %+v, want 1 done / 1 leased / 1 pending", st)
 	}
-	if err := c2.Heartbeat("w2", gLive.Shard, gLive.Fence); err != nil {
+	if err := c2.Heartbeat("w2", gLive.Shard, gLive.Fence, nil); err != nil {
 		t.Fatalf("live worker's heartbeat rejected after restart: %v", err)
 	}
-	if err := c2.Complete("w2", gLive.Shard, gLive.Fence, grantJournal(t, gLive)); err != nil {
+	if err := c2.Complete("w2", gLive.Shard, gLive.Fence, grantJournal(t, gLive), nil); err != nil {
 		t.Fatalf("live worker's completion rejected after restart: %v", err)
 	}
 	// New fences must rise above everything granted in the first life.
@@ -305,7 +305,7 @@ func TestCoordinatorRestartResumes(t *testing.T) {
 	if gNext.Fence <= gLive.Fence {
 		t.Fatalf("post-restart fence %d not above pre-restart fence %d", gNext.Fence, gLive.Fence)
 	}
-	if err := c2.Complete("w3", gNext.Shard, gNext.Fence, grantJournal(t, gNext)); err != nil {
+	if err := c2.Complete("w3", gNext.Shard, gNext.Fence, grantJournal(t, gNext), nil); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -352,7 +352,7 @@ func TestCoordinatorRestartReverifiesSpooledShards(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := mustLease(t, c1, "w1")
-	if err := c1.Complete("w1", g.Shard, g.Fence, grantJournal(t, g)); err != nil {
+	if err := c1.Complete("w1", g.Shard, g.Fence, grantJournal(t, g), nil); err != nil {
 		t.Fatal(err)
 	}
 	c1.Close()

@@ -1,0 +1,104 @@
+package fleet
+
+// dashboardHTML is the live campaign dashboard served on /dashboard: a
+// single self-contained page (no external assets, frameworks or fonts —
+// it must render on an air-gapped lab network) that polls /status every
+// two seconds and draws the shard map, per-worker throughput table, the
+// fleet progress bar with ETA, and the anomaly feed.
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>campaignd dashboard</title>
+<style>
+  body { font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace;
+         margin: 1.5em auto; max-width: 70em; padding: 0 1em;
+         background: #101418; color: #d8dee6; }
+  h1 { font-size: 16px; } h2 { font-size: 13px; margin: 1.4em 0 .4em; color: #9ab; }
+  small, .dim { color: #7a8694; }
+  #bar { height: 14px; background: #222a33; border-radius: 3px; overflow: hidden; }
+  #bar div { height: 100%; background: #3fa96b; width: 0; transition: width .5s; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: 2px 10px 2px 0; border-bottom: 1px solid #222a33; }
+  th { color: #7a8694; font-weight: normal; }
+  #shards { display: flex; flex-wrap: wrap; gap: 3px; }
+  #shards span { width: 22px; height: 22px; border-radius: 3px; display: inline-flex;
+                 align-items: center; justify-content: center; font-size: 9px;
+                 background: #222a33; color: #7a8694; }
+  #shards .leased { background: #2b5d8a; color: #cfe3f5; }
+  #shards .done   { background: #2f7d4f; color: #d9f2e3; }
+  .warn { color: #e2b340; } .bad { color: #e25d4f; }
+  #err { color: #e25d4f; }
+</style>
+</head>
+<body>
+<h1>campaignd <small id="trace"></small></h1>
+<div id="bar"><div></div></div>
+<p><span id="points"></span> · <span id="rate"></span> · ETA <span id="eta"></span>
+   · lanes <span id="lanes"></span> <span id="err"></span></p>
+<h2>shards</h2>
+<div id="shards"></div>
+<h2>workers</h2>
+<table id="workers"><thead>
+<tr><th>worker</th><th>shard</th><th>done</th><th>points/s</th><th>last seen</th><th></th></tr>
+</thead><tbody></tbody></table>
+<h2>anomalies</h2>
+<table id="anomalies"><thead>
+<tr><th>since</th><th>type</th><th>subject</th><th>detail</th></tr>
+</thead><tbody></tbody></table>
+<script>
+function fmtETA(s) {
+  if (s < 0) return "--:--";
+  s = Math.round(s);
+  var m = Math.floor(s / 60), sec = s % 60;
+  return (m < 10 ? "0" : "") + m + ":" + (sec < 10 ? "0" : "") + sec;
+}
+function esc(s) {
+  var d = document.createElement("span"); d.textContent = String(s); return d.innerHTML;
+}
+async function tick() {
+  try {
+    var r = await fetch("/status"), st = await r.json();
+    document.getElementById("err").textContent = "";
+    document.getElementById("trace").textContent = "trace " + st.trace_id +
+      (st.merged ? " · merged" : "");
+    var p = st.progress, frac = p.points_total ? p.points_done / p.points_total : 0;
+    document.querySelector("#bar div").style.width = (100 * frac).toFixed(1) + "%";
+    document.getElementById("points").textContent =
+      p.points_done + "/" + p.points_total + " points (" + (100 * frac).toFixed(1) + "%)";
+    document.getElementById("rate").textContent = p.rate.toFixed(1) + " points/s";
+    document.getElementById("eta").textContent = fmtETA(p.eta_seconds);
+    document.getElementById("lanes").textContent = (100 * p.lane_occupancy).toFixed(0) + "%";
+    var sh = document.getElementById("shards"); sh.innerHTML = "";
+    (st.shard_map || []).forEach(function (s) {
+      var el = document.createElement("span");
+      el.className = s.state; el.textContent = s.id;
+      el.title = "shard " + s.id + " [" + s.lo + "," + s.hi + ") " + s.state +
+        (s.worker ? " · " + s.worker : "") + " · " + s.done + " done";
+      sh.appendChild(el);
+    });
+    var wb = document.querySelector("#workers tbody"); wb.innerHTML = "";
+    (st.workers || []).forEach(function (w) {
+      var age = ((Date.now() - w.last_seen_unix_ms) / 1000).toFixed(1) + "s ago";
+      wb.insertAdjacentHTML("beforeend", "<tr><td>" + esc(w.worker) + "</td><td>" +
+        (w.shard >= 0 ? w.shard : "·") + "</td><td>" + w.done + "</td><td>" +
+        w.rate.toFixed(1) + "</td><td class=dim>" + esc(age) + "</td><td class=warn>" +
+        (w.straggler ? "straggler" : "") + "</td></tr>");
+    });
+    var ab = document.querySelector("#anomalies tbody"); ab.innerHTML = "";
+    (st.anomalies || []).forEach(function (a) {
+      ab.insertAdjacentHTML("beforeend", "<tr><td class=dim>" +
+        esc(new Date(a.since_unix_ms).toLocaleTimeString()) + "</td><td class=" +
+        (a.type === "straggler" ? "warn" : "bad") + ">" + esc(a.type) + "</td><td>" +
+        esc(a.subject) + "</td><td>" + esc(a.msg) + "</td></tr>");
+    });
+  } catch (e) {
+    document.getElementById("err").textContent = "status fetch failed: " + e;
+  }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+`

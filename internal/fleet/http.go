@@ -12,13 +12,16 @@ import (
 	"repro/internal/obs"
 )
 
-// The coordinator API is five JSON-over-HTTP endpoints:
+// The coordinator API is five JSON-over-HTTP endpoints plus the live
+// status surface:
 //
 //	POST /v1/lease      {worker}                → {status, grant?}
-//	POST /v1/heartbeat  {worker, shard, fence}  → {} | 409
-//	POST /v1/complete   {worker, shard, fence, journal} → {} | 409 | 422
+//	POST /v1/heartbeat  {worker, shard, fence, telemetry?}  → {} | 409
+//	POST /v1/complete   {worker, shard, fence, journal, trace?} → {} | 409 | 422
 //	GET  /v1/spec                               → Spec
 //	GET  /v1/status                             → Status
+//	GET  /status                                → Status (operator alias)
+//	GET  /dashboard                             → live HTML dashboard
 //
 // 409 Conflict is the fencing rejection (the lease moved on — permanent
 // from the caller's point of view); 422 Unprocessable Entity rejects a
@@ -38,20 +41,25 @@ type LeaseResponse struct {
 	Grant  LeaseGrant `json:"grant"`
 }
 
-// HeartbeatRequest renews a lease.
+// HeartbeatRequest renews a lease. Telemetry piggybacks the worker's
+// cumulative campaign counters on the renewal (nil = bare renewal from
+// an old worker; the lease logic is unchanged either way).
 type HeartbeatRequest struct {
-	Worker string `json:"worker"`
-	Shard  int    `json:"shard"`
-	Fence  uint64 `json:"fence"`
+	Worker    string     `json:"worker"`
+	Shard     int        `json:"shard"`
+	Fence     uint64     `json:"fence"`
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
 }
 
 // CompleteRequest uploads a finished shard journal (Journal is the raw
-// journal file; encoding/json transports it base64-encoded).
+// journal file; encoding/json transports it base64-encoded) plus the
+// shard's optional trace segment (a JSON-encoded TraceSegment).
 type CompleteRequest struct {
 	Worker  string `json:"worker"`
 	Shard   int    `json:"shard"`
 	Fence   uint64 `json:"fence"`
 	Journal []byte `json:"journal"`
+	Trace   []byte `json:"trace,omitempty"`
 }
 
 // HTTPError is a non-2xx coordinator reply as seen by the client.
@@ -100,7 +108,7 @@ func NewHandler(c *Coordinator, reg *obs.Registry) http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		if err := c.Heartbeat(req.Worker, req.Shard, req.Fence); err != nil {
+		if err := c.Heartbeat(req.Worker, req.Shard, req.Fence, req.Telemetry); err != nil {
 			writeError(w, errStatus(err), err)
 			return
 		}
@@ -111,11 +119,21 @@ func NewHandler(c *Coordinator, reg *obs.Registry) http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		if err := c.Complete(req.Worker, req.Shard, req.Fence, req.Journal); err != nil {
+		if err := c.Complete(req.Worker, req.Shard, req.Fence, req.Journal, req.Trace); err != nil {
 			writeError(w, errStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	// Operator-facing status surface: /status is the same snapshot as
+	// /v1/status under the address humans guess first, and /dashboard is a
+	// zero-dependency HTML view polling it.
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Status())
+	})
+	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(dashboardHTML))
 	})
 	if reg != nil {
 		mux.Handle("/metrics", obs.MetricsHandler(reg))
@@ -260,13 +278,15 @@ func (cl *Client) Lease(ctx context.Context) (LeaseResponse, error) {
 	return resp, err
 }
 
-// Heartbeat renews a lease; errors.Is(err, ErrFenced) means the lease is
+// Heartbeat renews a lease, piggybacking the worker's telemetry snapshot
+// (nil = bare renewal); errors.Is(err, ErrFenced) means the lease is
 // lost and the shard must be abandoned.
-func (cl *Client) Heartbeat(ctx context.Context, shard int, fence uint64) error {
-	return cl.post(ctx, "/v1/heartbeat", HeartbeatRequest{Worker: cl.Worker, Shard: shard, Fence: fence}, nil)
+func (cl *Client) Heartbeat(ctx context.Context, shard int, fence uint64, tel *Telemetry) error {
+	return cl.post(ctx, "/v1/heartbeat", HeartbeatRequest{Worker: cl.Worker, Shard: shard, Fence: fence, Telemetry: tel}, nil)
 }
 
-// Complete uploads a finished shard journal.
-func (cl *Client) Complete(ctx context.Context, shard int, fence uint64, journal []byte) error {
-	return cl.post(ctx, "/v1/complete", CompleteRequest{Worker: cl.Worker, Shard: shard, Fence: fence, Journal: journal}, nil)
+// Complete uploads a finished shard journal plus its optional trace
+// segment.
+func (cl *Client) Complete(ctx context.Context, shard int, fence uint64, journal, trace []byte) error {
+	return cl.post(ctx, "/v1/complete", CompleteRequest{Worker: cl.Worker, Shard: shard, Fence: fence, Journal: journal, Trace: trace}, nil)
 }

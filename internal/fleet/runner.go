@@ -3,12 +3,53 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hafi"
 	"repro/internal/journal"
 	"repro/internal/obs"
 )
+
+// ShardObs is the per-shard observability context a Worker hands its
+// Runner: a live progress counter (read by the heartbeat telemetry
+// sampler while the shard runs) and a bounded trace recorder whose
+// snapshot becomes the trace segment uploaded with the shard journal.
+// Nil-safe throughout, so a Runner can ignore it entirely.
+type ShardObs struct {
+	done atomic.Int64
+	rec  *SegmentRecorder
+}
+
+// NewShardObs returns a fresh per-shard observability context.
+func NewShardObs() *ShardObs {
+	return &ShardObs{rec: NewSegmentRecorder(0)}
+}
+
+// SetDone publishes the shard's classified-point count (monotonic within
+// one shard run).
+func (o *ShardObs) SetDone(n int) {
+	if o != nil {
+		o.done.Store(int64(n))
+	}
+}
+
+// Done reads the live classified-point count.
+func (o *ShardObs) Done() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.done.Load()
+}
+
+// Recorder returns the shard's trace recorder (nil on a nil receiver).
+func (o *ShardObs) Recorder() *SegmentRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.rec
+}
 
 // CampaignRunner is the production Runner: it executes shards of the
 // campaign fault list on the batched HAFI engine, reusing one pool of
@@ -33,6 +74,10 @@ type CampaignRunner struct {
 	DisableEarlyExit bool
 	// Obs receives the standard campaign metrics (nil disables).
 	Obs *obs.Registry
+	// Throttle sleeps this long after every classified point — a test
+	// lever (campaignworker -throttle) for demonstrating straggler
+	// detection against a deliberately slow worker. Zero in production.
+	Throttle time.Duration
 }
 
 // Header returns the full-campaign journal identity for Spec.Check.
@@ -47,7 +92,12 @@ func (r *CampaignRunner) FaultModel() string { return r.Model }
 // The journal carries the shard-slice header (golden signature + slice
 // fingerprint) and local indexes 0..hi-lo-1; journal.Merge remaps them to
 // global indexes at merge time.
-func (r *CampaignRunner) RunShard(ctx context.Context, lo, hi int, path string) error {
+//
+// While the shard runs, obsv (optional) receives the live classified
+// count via the engine's Progress callback, and the engine's spans are
+// teed into obsv's segment recorder — alongside, not instead of, any
+// tracer the operator attached with -trace.
+func (r *CampaignRunner) RunShard(ctx context.Context, lo, hi int, path string, obsv *ShardObs) error {
 	if lo < 0 || hi > len(r.Points) || lo >= hi {
 		return fmt.Errorf("fleet: shard range [%d,%d) outside fault list of %d points", lo, hi, len(r.Points))
 	}
@@ -63,6 +113,23 @@ func (r *CampaignRunner) RunShard(ctx context.Context, lo, hi int, path string) 
 		Context:          ctx,
 		Journal:          w,
 		Obs:              r.Obs,
+	}
+	if obsv != nil || r.Throttle > 0 {
+		throttle := r.Throttle
+		cfg.Progress = func(done int) {
+			obsv.SetDone(done)
+			if throttle > 0 {
+				time.Sleep(throttle)
+			}
+		}
+	}
+	if r.Obs != nil && obsv != nil {
+		// Tee the engine's spans into the shard's segment recorder for the
+		// duration of this run; the operator's own tracer (if any) keeps
+		// receiving everything.
+		prev := r.Obs.Tracer()
+		r.Obs.AttachTracer(obs.TeeTracer(prev, obsv.Recorder()))
+		defer r.Obs.AttachTracer(prev)
 	}
 	res, runErr := r.Ctl.RunCampaignBatchedPoolWith(cfg, r.Runs)
 	closeErr := w.Close()

@@ -140,6 +140,9 @@ type Spec struct {
 	// LeaseTTLMillis and HeartbeatMillis advertise the lease discipline.
 	LeaseTTLMillis  int64 `json:"lease_ttl_ms"`
 	HeartbeatMillis int64 `json:"heartbeat_ms"`
+	// TraceID identifies the campaign's distributed trace; every shard
+	// trace segment a worker uploads must be minted under it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Header returns the campaign journal header the spec fingerprints.

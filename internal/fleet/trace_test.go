@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs/tracefile"
+	"repro/internal/report"
+)
+
+// TestSegmentRecorderCompactsLanes: snapshots renumber whatever lanes the
+// worker's primary tracer handed out into a gap-free 0..n-1 range, and the
+// event cap converts overflow into a drop count instead of growth.
+func TestSegmentRecorderCompactsLanes(t *testing.T) {
+	base := time.Unix(1000, 0)
+	rec := NewSegmentRecorder(3)
+	rec.Complete("batch", "", base, time.Second, 5)
+	rec.Complete("batch", "", base.Add(time.Second), time.Second, 2)
+	rec.Instant("converged", "", base.Add(2*time.Second))
+	rec.Complete("batch", "", base.Add(3*time.Second), time.Second, 5) // over cap
+
+	seg := rec.Snapshot("cafe", 3, "w1")
+	if seg.TraceID != "cafe" || seg.Shard != 3 || seg.Worker != "w1" {
+		t.Fatalf("segment identity = %+v", seg)
+	}
+	if len(seg.Events) != 3 || seg.Dropped != 1 {
+		t.Fatalf("got %d events, %d dropped; want 3 events, 1 dropped", len(seg.Events), seg.Dropped)
+	}
+	if lanes := []int32{seg.Events[0].Lane, seg.Events[1].Lane, seg.Events[2].Lane}; lanes[0] != 0 || lanes[1] != 1 || lanes[2] != 2 {
+		t.Fatalf("compacted lanes = %v, want [0 1 2] (first-appearance order)", lanes)
+	}
+	if seg.Events[0].StartUS != base.UnixMicro() || seg.Events[0].DurUS != time.Second.Microseconds() {
+		t.Fatalf("event timestamps = %+v", seg.Events[0])
+	}
+}
+
+// TestSegmentRecorderLaneReuse: the recorder's own allocator (used when it
+// is the only tracer) hands back the lowest freed lane.
+func TestSegmentRecorderLaneReuse(t *testing.T) {
+	rec := NewSegmentRecorder(0)
+	if a, b := rec.BeginLane(), rec.BeginLane(); a != 0 || b != 1 {
+		t.Fatalf("lanes = %d,%d, want 0,1", a, b)
+	}
+	rec.EndLane(0)
+	if got := rec.BeginLane(); got != 0 {
+		t.Fatalf("reused lane = %d, want 0", got)
+	}
+}
+
+// TestStitchedTraceValidates runs a two-shard campaign through the
+// coordinator with a trace writer attached, uploading one well-formed
+// segment (with an event deliberately timestamped before its grant, as a
+// skewed worker clock would) and one segment carrying a foreign trace ID.
+// The stitched file must parse, nest — the skewed event clamped into its
+// shard window — and carry only the verified segment's events.
+func TestStitchedTraceValidates(t *testing.T) {
+	clock := newFakeClock()
+	path := filepath.Join(t.TempDir(), "fleet.trace")
+	tw, err := tracefile.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator(testPoints(100, 5), testGolden, Options{
+		Shards:   2,
+		LeaseTTL: 10 * time.Second, Heartbeat: 2 * time.Second,
+		Dir: t.TempDir(), Now: clock.Now, Trace: tw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	traceID := c.Spec().TraceID
+
+	// Shard 1: a good segment whose first event starts an hour before the
+	// grant (worker clock skew) — the stitcher must clamp it inside.
+	g1 := mustLease(t, c, "w1")
+	granted := clock.Now()
+	clock.Advance(2 * time.Second)
+	seg := &TraceSegment{TraceID: traceID, Shard: g1.Shard, Worker: "w1", Events: []SegmentEvent{
+		{Name: "campaign/batch", StartUS: granted.Add(-time.Hour).UnixMicro(), DurUS: 100, Lane: 0},
+		{Name: "campaign/batch", StartUS: granted.Add(500 * time.Millisecond).UnixMicro(), DurUS: 1e6, Lane: 0},
+		{Name: "campaign/converged", StartUS: granted.Add(time.Second).UnixMicro(), Instant: true},
+	}}
+	segData, err := json.Marshal(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete("w1", g1.Shard, g1.Fence, grantJournal(t, g1), segData); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard 2: a segment minted for some other campaign — verified and
+	// dropped without rejecting the (valid) journal.
+	g2 := mustLease(t, c, "w2")
+	clock.Advance(time.Second)
+	foreign, err := json.Marshal(&TraceSegment{TraceID: "ffffffffffffffff", Shard: g2.Shard, Worker: "w2", Events: []SegmentEvent{
+		{Name: "campaign/batch", StartUS: clock.Now().UnixMicro(), DurUS: 100},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete("w2", g2.Shard, g2.Fence, grantJournal(t, g2), foreign); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Status()
+	if !st.Merged {
+		t.Fatalf("campaign not merged: %+v", st)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	chk, err := report.CheckTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.TraceID != traceID {
+		t.Fatalf("stitched trace id = %q, want %q", chk.TraceID, traceID)
+	}
+	if chk.Shards != 2 {
+		t.Fatalf("stitched shards = %d, want 2", chk.Shards)
+	}
+	if chk.SegmentEvents != 3 {
+		t.Fatalf("segment events = %d, want 3 (foreign segment must be dropped)", chk.SegmentEvents)
+	}
+	if len(chk.Workers) != 2 || chk.Workers[0] != "w1" || chk.Workers[1] != "w2" {
+		t.Fatalf("workers = %v, want [w1 w2]", chk.Workers)
+	}
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -25,7 +26,12 @@ type Runner interface {
 	// -fault-model syntax (empty = "seu"); Spec.Check rejects a worker
 	// whose model disagrees with the coordinator's.
 	FaultModel() string
-	RunShard(ctx context.Context, lo, hi int, path string) error
+	// RunShard executes [lo, hi) into the journal at path. obsv (may be
+	// nil) is the shard's observability context: runners that support it
+	// publish live progress through obsv.SetDone and record their spans
+	// into obsv.Recorder() so the worker can heartbeat telemetry and
+	// upload a trace segment.
+	RunShard(ctx context.Context, lo, hi int, path string, obsv *ShardObs) error
 }
 
 // Worker is the fleet client loop: lease a shard, run it under a heartbeat,
@@ -51,10 +57,13 @@ type Worker struct {
 	// PollInterval paces lease polling while every shard is leased elsewhere
 	// (default: the coordinator's advertised heartbeat interval).
 	PollInterval time.Duration
-	// Obs receives fleet_worker_* metrics (nil disables instrumentation).
+	// Obs receives fleet_worker_* metrics and is sampled for the heartbeat
+	// telemetry snapshots (nil disables both).
 	Obs *obs.Registry
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...interface{})
+	// Events receives the worker's structured event stream (nil disables).
+	Events *obs.EventLog
 
 	draining atomic.Bool
 }
@@ -151,6 +160,10 @@ func (w *Worker) Run(ctx context.Context) error {
 	if heartbeat <= 0 {
 		heartbeat = time.Second
 	}
+	sampler := newTelemetrySampler(w.Obs)
+	w.Events.Event(obs.LevelInfo, "worker.join",
+		fmt.Sprintf("joined fleet (campaign trace %s)", spec.TraceID),
+		"worker", w.Client.Worker, "trace_id", spec.TraceID)
 	poll := w.PollInterval
 	if poll <= 0 {
 		poll = heartbeat
@@ -185,7 +198,7 @@ func (w *Worker) Run(ctx context.Context) error {
 				return err
 			}
 		case "lease":
-			if err := w.runShard(ctx, resp.Grant, heartbeat, bo, met); err != nil {
+			if err := w.runShard(ctx, resp.Grant, heartbeat, bo, met, sampler); err != nil {
 				return err
 			}
 		default:
@@ -197,11 +210,15 @@ func (w *Worker) Run(ctx context.Context) error {
 // runShard executes one granted shard under a heartbeat and uploads the
 // result. A lost lease (fenced heartbeat or completion) abandons the shard
 // and returns nil — the lease loop moves on.
-func (w *Worker) runShard(ctx context.Context, grant LeaseGrant, heartbeat time.Duration, bo Backoff, met *workerMetrics) error {
+func (w *Worker) runShard(ctx context.Context, grant LeaseGrant, heartbeat time.Duration, bo Backoff, met *workerMetrics, sampler *telemetrySampler) error {
 	met.setBusy(true)
 	defer met.setBusy(false)
 	w.logf("fleet: running shard %d [%d,%d) under fence %d", grant.Shard, grant.Lo, grant.Hi, grant.Fence)
+	w.Events.Event(obs.LevelInfo, "shard.start",
+		fmt.Sprintf("running shard %d [%d,%d)", grant.Shard, grant.Lo, grant.Hi),
+		"shard", grant.Shard, "fence", grant.Fence, "trace_id", grant.TraceID)
 	path := filepath.Join(w.Dir, fmt.Sprintf("shard-%04d-f%06d.journal", grant.Shard, grant.Fence))
+	obsv := NewShardObs()
 
 	// Heartbeat until the runner returns; a fencing rejection cancels the
 	// shard (running it to completion would only produce an unuploadable
@@ -222,7 +239,7 @@ func (w *Worker) runShard(ctx context.Context, grant LeaseGrant, heartbeat time.
 			case <-hbCtx.Done():
 				return
 			case <-t.C:
-				err := w.Client.Heartbeat(hbCtx, grant.Shard, grant.Fence)
+				err := w.Client.Heartbeat(hbCtx, grant.Shard, grant.Fence, sampler.sample(obsv.Done()))
 				if errors.Is(err, ErrFenced) {
 					fenced.Store(true)
 					cancelShard()
@@ -235,13 +252,16 @@ func (w *Worker) runShard(ctx context.Context, grant LeaseGrant, heartbeat time.
 		}
 	}()
 
-	runErr := w.Runner.RunShard(shardCtx, grant.Lo, grant.Hi, path)
+	runErr := w.Runner.RunShard(shardCtx, grant.Lo, grant.Hi, path, obsv)
 	stopHB()
 	<-hbDone
 
 	if fenced.Load() {
 		met.leaseLost()
 		w.logf("fleet: lost lease on shard %d (fence %d superseded): abandoning", grant.Shard, grant.Fence)
+		w.Events.Event(obs.LevelWarn, "lease.lost",
+			fmt.Sprintf("lost lease on shard %d", grant.Shard),
+			"shard", grant.Shard, "fence", grant.Fence)
 		os.Remove(path)
 		return nil
 	}
@@ -257,11 +277,18 @@ func (w *Worker) runShard(ctx context.Context, grant LeaseGrant, heartbeat time.
 	if err != nil {
 		return fmt.Errorf("fleet: reading shard %d journal: %w", grant.Shard, err)
 	}
+	// The shard's trace segment rides along with the completion. Failure
+	// to encode it (never expected) degrades the stitched timeline, not
+	// the upload.
+	var traceData []byte
+	if seg := obsv.Recorder().Snapshot(grant.TraceID, grant.Shard, w.Client.Worker); len(seg.Events) > 0 {
+		traceData, _ = json.Marshal(seg)
+	}
 	// Upload with generous transient retries (the journal is finished work;
 	// a restarting coordinator is worth waiting out) — permanent rejections
 	// (fencing 409, verification 422) stop immediately.
 	uploadErr := bo.Retry(ctx, 15, func() error {
-		err := w.Client.Complete(ctx, grant.Shard, grant.Fence, data)
+		err := w.Client.Complete(ctx, grant.Shard, grant.Fence, data, traceData)
 		if err == nil {
 			return nil
 		}
@@ -275,6 +302,9 @@ func (w *Worker) runShard(ctx context.Context, grant LeaseGrant, heartbeat time.
 	case uploadErr == nil:
 		met.shardDone()
 		w.logf("fleet: shard %d uploaded (%d bytes)", grant.Shard, len(data))
+		w.Events.Event(obs.LevelInfo, "shard.upload",
+			fmt.Sprintf("shard %d uploaded", grant.Shard),
+			"shard", grant.Shard, "bytes", len(data), "trace_bytes", len(traceData))
 		os.Remove(path)
 		return nil
 	case errors.Is(uploadErr, ErrFenced):

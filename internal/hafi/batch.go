@@ -430,7 +430,7 @@ func (c *Controller) runSpec(cfg *CampaignConfig, run64 Run64, spec batchSpec, t
 	}
 	met.convergedN(conv, sv)
 	bsp.Detail("cycle %d, %d lanes, %d converged", spec.cycle, n, conv)
-	bsp.End()
+	met.batchDone(bsp.End(), n)
 	return conv, sv, outcomes
 }
 

@@ -3,6 +3,7 @@ package hafi
 import (
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/journal"
 	"repro/internal/obs"
@@ -21,6 +22,8 @@ type campaignMetrics struct {
 	outcomes     [4]*obs.Counter
 	batches      *obs.Counter   // campaign_batches_total
 	lanes        *obs.Histogram // campaign_batch_lanes
+	batchSecs    *obs.Histogram // campaign_batch_seconds
+	expSecs      *obs.Histogram // campaign_experiment_seconds
 	workers      *obs.Gauge     // campaign_workers
 	workersBusy  *obs.Gauge     // campaign_workers_busy
 	converged    *obs.Counter   // campaign_converged_total
@@ -48,6 +51,8 @@ func newCampaignMetrics(reg *obs.Registry, totalPoints int) *campaignMetrics {
 		skippedWrong: reg.Counter("campaign_skipped_wrong_total"),
 		batches:      reg.Counter("campaign_batches_total"),
 		lanes:        reg.Histogram("campaign_batch_lanes", obs.LinearBuckets(8, 8, 8)),
+		batchSecs:    reg.Histogram("campaign_batch_seconds", obs.ExpBuckets(1e-4, 2, 16)),
+		expSecs:      reg.Histogram("campaign_experiment_seconds", obs.ExpBuckets(1e-6, 2, 18)),
 		workers:      reg.Gauge("campaign_workers"),
 		workersBusy:  reg.Gauge("campaign_workers_busy"),
 		converged:    reg.Counter("campaign_converged_total"),
@@ -123,6 +128,19 @@ func (m *campaignMetrics) batch(lanesUsed int) {
 	}
 	m.batches.Inc()
 	m.lanes.Observe(float64(lanesUsed))
+}
+
+// batchDone accounts one batch's wall-clock and the estimated
+// per-experiment latency (batch wall-clock amortized over its lanes) —
+// the histograms behind campaignreport's latency percentiles. Two
+// Observe calls per ~64-experiment batch, so the hot-path budget holds.
+func (m *campaignMetrics) batchDone(d time.Duration, lanesUsed int) {
+	if m == nil || lanesUsed <= 0 {
+		return
+	}
+	secs := d.Seconds()
+	m.batchSecs.Observe(secs)
+	m.expSecs.Observe(secs / float64(lanesUsed))
 }
 
 // setWorkers records the shard count of a parallel campaign.

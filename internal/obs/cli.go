@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/obs/tracefile"
 )
@@ -15,6 +16,8 @@ import (
 //	-progress                 periodic progress line on stderr
 //	-stats-json file          end-of-run JSON metrics dump ("-" = stdout)
 //	-trace file               Chrome trace-event timeline (Perfetto-loadable)
+//	-log-json file            structured JSONL event log ("-" = stderr)
+//	-log-level level          event-log floor: debug, info, warn or error
 //
 // When none is given, Init returns a nil registry and instrumentation
 // stays disabled (nil-safe no-ops on every hot path).
@@ -23,6 +26,19 @@ type CLIOptions struct {
 	Progress    bool
 	StatsJSON   string
 	TraceFile   string
+	LogJSON     string
+	LogLevel    string
+
+	// Component stamps event-log lines (default: the process name). CLIs
+	// that care set it before Init.
+	Component string
+	// Events is the structured event log, populated by Init when -log-json
+	// was given (nil otherwise — nil-safe like every obs handle).
+	Events *EventLog
+	// Trace is the -trace timeline writer, populated by Init so callers
+	// that stitch extra (cross-process) events into the timeline can reach
+	// it; nil when -trace was not given.
+	Trace *tracefile.Writer
 }
 
 // RegisterFlags registers the observability flags on fs. Every CLI calls
@@ -34,12 +50,14 @@ func RegisterFlags(fs *flag.FlagSet) *CLIOptions {
 	fs.BoolVar(&o.Progress, "progress", false, "print a progress line to stderr every second")
 	fs.StringVar(&o.StatsJSON, "stats-json", "", "write all collected metrics as JSON to this file at exit ('-' = stdout)")
 	fs.StringVar(&o.TraceFile, "trace", "", "write an execution timeline (Chrome trace-event JSON, Perfetto-loadable) to this file")
+	fs.StringVar(&o.LogJSON, "log-json", "", "write a structured JSONL event log to this file ('-' = stderr)")
+	fs.StringVar(&o.LogLevel, "log-level", "info", "event-log level floor: debug, info, warn or error")
 	return o
 }
 
 // Enabled reports whether any observability flag was set.
 func (o *CLIOptions) Enabled() bool {
-	return o.MetricsAddr != "" || o.Progress || o.StatsJSON != "" || o.TraceFile != ""
+	return o.MetricsAddr != "" || o.Progress || o.StatsJSON != "" || o.TraceFile != "" || o.LogJSON != ""
 }
 
 // Init materialises the selected observability features: it creates the
@@ -71,6 +89,32 @@ func (o *CLIOptions) Init(errw io.Writer) (*Registry, func(), error) {
 			return nil, nil, err
 		}
 		reg.AttachTracer(tw)
+		o.Trace = tw
+	}
+	var logClose func() error
+	if o.LogJSON != "" {
+		level, err := ParseLevel(o.LogLevel)
+		if err != nil {
+			srv.Close()
+			tw.Close()
+			return nil, nil, err
+		}
+		component := o.Component
+		if component == "" {
+			component = filepath.Base(os.Args[0])
+		}
+		w := io.Writer(os.Stderr)
+		if o.LogJSON != "-" {
+			f, err := os.Create(o.LogJSON)
+			if err != nil {
+				srv.Close()
+				tw.Close()
+				return nil, nil, fmt.Errorf("log-json: %w", err)
+			}
+			w = f
+			logClose = f.Close
+		}
+		o.Events = NewEventLog(w, component, level)
 	}
 	done := false
 	cleanup := func() {
@@ -81,6 +125,11 @@ func (o *CLIOptions) Init(errw io.Writer) (*Registry, func(), error) {
 		if o.StatsJSON != "" {
 			if err := writeStatsFile(o.StatsJSON, reg); err != nil {
 				fmt.Fprintf(errw, "stats-json: %v\n", err)
+			}
+		}
+		if logClose != nil {
+			if err := logClose(); err != nil {
+				fmt.Fprintf(errw, "log-json: %v\n", err)
 			}
 		}
 		if tw != nil {

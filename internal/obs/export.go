@@ -24,11 +24,12 @@ type kv struct {
 }
 
 type histEntry struct {
-	id     metricID
-	bounds []float64
-	counts []int64
-	count  int64
-	sum    float64
+	id            metricID
+	bounds        []float64
+	counts        []int64
+	count         int64
+	sum           float64
+	p50, p95, p99 float64
 }
 
 type spanEntry struct {
@@ -48,7 +49,8 @@ func (r *Registry) snap() *snapshot {
 	}
 	for id, h := range r.histograms {
 		bounds, counts := h.Buckets()
-		s.histograms = append(s.histograms, histEntry{id, bounds, counts, h.Count(), h.Sum()})
+		p50, p95, p99 := h.BucketQuantiles()
+		s.histograms = append(s.histograms, histEntry{id, bounds, counts, h.Count(), h.Sum(), p50, p95, p99})
 	}
 	for path, st := range r.spans {
 		s.spans = append(s.spans, spanEntry{path, st.count.Load(), float64(st.nanos.Load()) / 1e9})
@@ -125,6 +127,20 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 		fmt.Fprintf(&b, "%s_sum%s %g\n", h.id.name, promLabels(h.id.labels), h.sum)
 		fmt.Fprintf(&b, "%s_count%s %d\n", h.id.name, promLabels(h.id.labels), h.count)
 	}
+	// Bucket-interpolated quantile estimates as a companion gauge, so a
+	// dashboard without recording rules still gets p50/p95/p99 lines.
+	for _, h := range s.histograms {
+		if h.count == 0 {
+			continue
+		}
+		typeLine(h.id.name+"_quantile", "gauge")
+		for _, q := range [...]struct {
+			label string
+			v     float64
+		}{{"0.5", h.p50}, {"0.95", h.p95}, {"0.99", h.p99}} {
+			fmt.Fprintf(&b, "%s_quantile%s %g\n", h.id.name, promLabels(h.id.labels, "quantile", q.label), q.v)
+		}
+	}
 	for _, sp := range s.spans {
 		typeLine("span_seconds_total", "counter")
 		fmt.Fprintf(&b, "span_seconds_total%s %g\n", promLabels("", "span", sp.path), sp.seconds)
@@ -141,12 +157,17 @@ func trimFloat(f float64) string {
 	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", f), "0"), ".")
 }
 
-// jsonHistogram is the JSON shape of one histogram.
+// jsonHistogram is the JSON shape of one histogram. P50/P95/P99 are the
+// bucket-interpolated quantile estimates (Histogram.Quantile), zero when
+// the histogram is empty.
 type jsonHistogram struct {
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
 }
 
 // jsonSpan is the JSON shape of one span path.
@@ -186,7 +207,10 @@ func WriteJSON(w io.Writer, r *Registry) error {
 		doc.Gauges[g.id.String()] = g.v
 	}
 	for _, h := range s.histograms {
-		doc.Histograms[h.id.String()] = jsonHistogram{Bounds: h.bounds, Counts: h.counts, Count: h.count, Sum: h.sum}
+		doc.Histograms[h.id.String()] = jsonHistogram{
+			Bounds: h.bounds, Counts: h.counts, Count: h.count, Sum: h.sum,
+			P50: h.p50, P95: h.p95, P99: h.p99,
+		}
 	}
 	for _, sp := range s.spans {
 		doc.Spans[sp.path] = jsonSpan{Runs: sp.count, Seconds: sp.seconds}

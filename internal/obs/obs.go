@@ -142,6 +142,65 @@ func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
 	return h.bounds, counts
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket
+// counts by linear interpolation inside the bucket the quantile falls
+// into, the same estimate promQL's histogram_quantile computes. Samples
+// in the +Inf bucket are attributed to the last finite bound (the
+// histogram cannot resolve beyond it). Returns 0 on a nil receiver or an
+// empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	bounds, counts := h.Buckets()
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}
+
+// BucketQuantiles returns the conventional (p50, p95, p99) estimates
+// shared by the Prometheus and JSON exporters. Zero-valued on a nil
+// receiver or an empty histogram.
+func (h *Histogram) BucketQuantiles() (p50, p95, p99 float64) {
+	if h == nil || h.Count() == 0 {
+		return 0, 0, 0
+	}
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+}
+
 // LinearBuckets returns n bounds start, start+width, ...
 func LinearBuckets(start, width float64, n int) []float64 {
 	out := make([]float64, n)

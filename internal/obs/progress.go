@@ -23,6 +23,10 @@ type ProgressConfig struct {
 	Interval time.Duration
 	// Done counts completed items.
 	Done *Counter
+	// DoneGauge is an alternative done source for reporters whose count
+	// can be reconciled downward (the fleet coordinator resets a
+	// re-leased shard's progress). Used when Done is nil.
+	DoneGauge *Gauge
 	// Total holds the number of items to process (0 = unknown, no ETA).
 	Total *Gauge
 	// Masked, when set, adds a masked-rate column (Masked/Done).
@@ -64,6 +68,9 @@ func StartProgress(cfg ProgressConfig) (stop func()) {
 		mu.Lock()
 		defer mu.Unlock()
 		d := cfg.Done.Value()
+		if cfg.Done == nil {
+			d = cfg.DoneGauge.Value()
+		}
 		t := cfg.Total.Value()
 		var sb strings.Builder
 		fmt.Fprintf(&sb, "%s: %d", cfg.Label, d)
@@ -81,6 +88,11 @@ func StartProgress(cfg ProgressConfig) (stop func()) {
 		}
 		if rate == 0 && now.Sub(start).Seconds() > 0 {
 			rate = float64(d) / now.Sub(start).Seconds()
+		}
+		if rate < 0 {
+			// A gauge-backed done count reconciled downward (re-leased
+			// shard): report a stalled tick, never a negative rate.
+			rate = 0
 		}
 		fmt.Fprintf(&sb, " | %.0f %s/s", rate, cfg.Unit)
 		if cfg.Masked != nil && d > 0 {

@@ -30,13 +30,58 @@ type Tracer interface {
 type tracerHolder struct{ t Tracer }
 
 // AttachTracer starts mirroring every span into t (a tracefile.Writer).
-// Metrics accounting is unchanged; tracing is strictly additive. Safe on a
-// nil registry (no-op).
+// Metrics accounting is unchanged; tracing is strictly additive. Attaching
+// nil detaches the current tracer. Safe on a nil registry (no-op).
 func (r *Registry) AttachTracer(t Tracer) {
 	if r == nil {
 		return
 	}
+	if t == nil {
+		r.tracer.Store(nil)
+		return
+	}
 	r.tracer.Store(&tracerHolder{t: t})
+}
+
+// Tracer returns the currently attached tracer (nil when none). The fleet
+// worker uses it to tee a bounded per-shard trace segment alongside an
+// operator's own -trace file. Safe on a nil registry.
+func (r *Registry) Tracer() Tracer {
+	if r == nil {
+		return nil
+	}
+	if h := r.tracer.Load(); h != nil {
+		return h.t
+	}
+	return nil
+}
+
+// teeTracer fans one span stream out to two tracers. Lanes are allocated
+// on the primary (its lane numbers drive any tracefile rows); the
+// secondary sees every completion on the primary's lane.
+type teeTracer struct{ a, b Tracer }
+
+// TeeTracer returns a tracer feeding both a and b; either may be nil, in
+// which case the other is returned unchanged (nil when both are).
+func TeeTracer(a, b Tracer) Tracer {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &teeTracer{a: a, b: b}
+}
+
+func (t *teeTracer) BeginLane() int32 { return t.a.BeginLane() }
+func (t *teeTracer) EndLane(l int32)  { t.a.EndLane(l) }
+func (t *teeTracer) Complete(name, detail string, start time.Time, dur time.Duration, lane int32) {
+	t.a.Complete(name, detail, start, dur, lane)
+	t.b.Complete(name, detail, start, dur, lane)
+}
+func (t *teeTracer) Instant(name, detail string, at time.Time) {
+	t.a.Instant(name, detail, at)
+	t.b.Instant(name, detail, at)
 }
 
 // Instant emits a zero-duration timeline marker (no metrics accounting).

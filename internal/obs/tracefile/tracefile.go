@@ -39,10 +39,12 @@ const DefaultBufferEvents = 16384
 type event struct {
 	name   string
 	detail string
-	ph     byte  // 'X' complete, 'i' instant
+	ph     byte  // 'X' complete, 'i' instant, 'M' metadata
 	ts     int64 // µs since writer start
 	dur    int64 // µs ('X' only)
-	lane   int32
+	lane   int32 // trace tid
+	pid    int32 // trace pid (0 = the default process 1)
+	meta   string
 }
 
 // Writer emits one Chrome trace-event JSON document. All methods are safe
@@ -149,6 +151,53 @@ func (w *Writer) Instant(name, detail string, at time.Time) {
 	w.add(event{name: name, detail: detail, ph: 'i', ts: at.Sub(w.start).Microseconds()})
 }
 
+// CompleteOn records one complete ("X") event on an explicit (pid, tid)
+// pair — the raw emission the fleet coordinator uses to stitch worker
+// trace segments into one timeline (one process group per shard, one
+// thread per worker lane). pid <= 0 falls back to the default process 1.
+// Safe on a nil receiver.
+func (w *Writer) CompleteOn(pid, tid int32, name, detail string, start time.Time, dur time.Duration) {
+	if w == nil {
+		return
+	}
+	w.add(event{
+		name:   name,
+		detail: detail,
+		ph:     'X',
+		ts:     start.Sub(w.start).Microseconds(),
+		dur:    dur.Microseconds(),
+		lane:   tid,
+		pid:    pid,
+	})
+}
+
+// InstantOn records a zero-duration marker on an explicit (pid, tid)
+// pair. Safe on a nil receiver.
+func (w *Writer) InstantOn(pid, tid int32, name, detail string, at time.Time) {
+	if w == nil {
+		return
+	}
+	w.add(event{name: name, detail: detail, ph: 'i', ts: at.Sub(w.start).Microseconds(), lane: tid, pid: pid})
+}
+
+// ProcessName emits the process_name metadata event labelling pid's row
+// group in the viewer. Safe on a nil receiver.
+func (w *Writer) ProcessName(pid int32, name string) {
+	if w == nil {
+		return
+	}
+	w.add(event{name: "process_name", ph: 'M', pid: pid, meta: name})
+}
+
+// ThreadName emits the thread_name metadata event labelling (pid, tid)'s
+// row in the viewer. Safe on a nil receiver.
+func (w *Writer) ThreadName(pid, tid int32, name string) {
+	if w == nil {
+		return
+	}
+	w.add(event{name: "thread_name", ph: 'M', pid: pid, lane: tid, meta: name})
+}
+
 func (w *Writer) add(ev event) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -177,15 +226,22 @@ func (w *Writer) flushLocked() {
 			sb.WriteString(",\n")
 		}
 		w.wrote++
-		fmt.Fprintf(&sb, `{"name":%s,"ph":"%c","ts":%d,"pid":1,"tid":%d`,
-			quote(ev.name), ev.ph, ev.ts, ev.lane)
+		pid := ev.pid
+		if pid <= 0 {
+			pid = 1
+		}
+		fmt.Fprintf(&sb, `{"name":%s,"ph":"%c","ts":%d,"pid":%d,"tid":%d`,
+			quote(ev.name), ev.ph, ev.ts, pid, ev.lane)
 		if ev.ph == 'X' {
 			fmt.Fprintf(&sb, `,"dur":%d`, ev.dur)
 		}
 		if ev.ph == 'i' {
 			sb.WriteString(`,"s":"g"`)
 		}
-		if ev.detail != "" {
+		switch {
+		case ev.ph == 'M':
+			fmt.Fprintf(&sb, `,"args":{"name":%s}`, quote(ev.meta))
+		case ev.detail != "":
 			fmt.Fprintf(&sb, `,"args":{"detail":%s}`, quote(ev.detail))
 		}
 		sb.WriteString("}")

@@ -104,6 +104,16 @@ func (d *Document) WriteText(w io.Writer) error {
 			}
 			fmt.Fprintln(w)
 		}
+		// Per-experiment and per-batch latency percentiles, bucket-estimated
+		// by the exporter from the engine's duration histograms.
+		if h, ok := st.Histograms["campaign_experiment_seconds"]; ok && h.Count > 0 {
+			fmt.Fprintf(w, "latency:    experiment p50=%s p95=%s p99=%s (%d samples)\n",
+				fmtSeconds(h.P50), fmtSeconds(h.P95), fmtSeconds(h.P99), h.Count)
+		}
+		if h, ok := st.Histograms["campaign_batch_seconds"]; ok && h.Count > 0 {
+			fmt.Fprintf(w, "            batch      p50=%s p95=%s p99=%s (%d samples)\n",
+				fmtSeconds(h.P50), fmtSeconds(h.P95), fmtSeconds(h.P99), h.Count)
+		}
 		if n, ok := st.Counters["fleet_leases_granted_total"]; ok {
 			// A fleet-merged campaign: surface the coordinator's recovery
 			// counters (how contested the leases were, what fencing stopped).
@@ -120,6 +130,30 @@ func (d *Document) WriteText(w io.Writer) error {
 			}
 			fmt.Fprintln(w)
 		}
+		// A coordinator dump carries per-worker point counters folded from
+		// heartbeat telemetry: render the fleet's workload split.
+		if byWorker := st.LabeledCounters("fleet_worker_points_total", "worker"); len(byWorker) > 0 {
+			names := make([]string, 0, len(byWorker))
+			var total int64
+			for name, n := range byWorker {
+				names = append(names, name)
+				total += n
+			}
+			sort.Slice(names, func(i, j int) bool {
+				if byWorker[names[i]] != byWorker[names[j]] {
+					return byWorker[names[i]] > byWorker[names[j]]
+				}
+				return names[i] < names[j]
+			})
+			fmt.Fprintf(w, "workers:    %d contributed points\n", len(names))
+			for _, name := range names {
+				share := 0.0
+				if total > 0 {
+					share = 100 * float64(byWorker[name]) / float64(total)
+				}
+				fmt.Fprintf(w, "  %-24s %8d points (%.1f%%)\n", name, byWorker[name], share)
+			}
+		}
 		terms, hasTerms := st.Counters["exact_terms_found_total"]
 		certs, hasCerts := st.Counters["exact_unmaskable_total"]
 		if hasTerms || hasCerts {
@@ -135,6 +169,19 @@ func (d *Document) WriteText(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// fmtSeconds renders a duration in seconds with a unit that keeps small
+// latencies readable (µs/ms below a second).
+func fmtSeconds(s float64) string {
+	switch {
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
 }
 
 // WriteJSON renders the report as one JSON document.

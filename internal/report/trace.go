@@ -1,0 +1,131 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// traceEvent is the subset of a Chrome trace-event JSON entry the checker
+// inspects (see obs/tracefile for the writer side).
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	PID  int32  `json:"pid"`
+	TID  int32  `json:"tid"`
+	Args struct {
+		Name   string `json:"name"`
+		Detail string `json:"detail"`
+	} `json:"args"`
+}
+
+// traceDoc is the object form the tracefile writer emits.
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// TraceCheck summarizes a validated stitched campaign trace.
+type TraceCheck struct {
+	// TraceID is the campaign trace id parsed from the root span's detail.
+	TraceID string `json:"trace_id"`
+	// Events counts every event in the document (including metadata).
+	Events int `json:"events"`
+	// Shards counts the shard process groups (pid > 1 with a shard span).
+	Shards int `json:"shards"`
+	// SegmentEvents counts worker-recorded events nested inside shard spans.
+	SegmentEvents int `json:"segment_events"`
+	// Workers lists the distinct worker names from the shard group labels.
+	Workers []string `json:"workers"`
+}
+
+// CheckTrace parses the stitched campaign trace at path and verifies its
+// structure: the document is well-formed trace-event JSON, it carries
+// exactly one campaign root span on the coordinator process (pid 1), every
+// shard process group has a grant→complete shard span nested inside the
+// root, and every worker segment event nests inside its shard's span.
+// These are the invariants the coordinator's timestamp clamping is supposed
+// to guarantee regardless of worker clock skew — a violation means the
+// stitcher regressed, not the worker.
+func CheckTrace(path string) (*TraceCheck, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("report: %s is not valid trace JSON: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return nil, fmt.Errorf("report: %s has no trace events", path)
+	}
+
+	chk := &TraceCheck{Events: len(doc.TraceEvents)}
+	var root *traceEvent
+	shardSpans := map[int32]traceEvent{}
+	workers := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "X" && ev.PID == 1 && ev.Name == "campaign":
+			if root != nil {
+				return nil, fmt.Errorf("report: %s has multiple campaign root spans (want 1)", path)
+			}
+			root = &doc.TraceEvents[i]
+			chk.TraceID = strings.TrimPrefix(ev.Args.Detail, "trace ")
+		case ev.Ph == "X" && ev.PID > 1 && ev.Name == "shard":
+			if _, dup := shardSpans[ev.PID]; dup {
+				return nil, fmt.Errorf("report: %s: pid %d has two shard spans", path, ev.PID)
+			}
+			shardSpans[ev.PID] = ev
+		case ev.Ph == "M" && ev.Name == "process_name" && ev.PID > 1:
+			// "shard NN · worker" — the worker label the stitcher attached.
+			if _, worker, ok := strings.Cut(ev.Args.Name, " · "); ok && worker != "" {
+				workers[worker] = true
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("report: %s has no campaign root span (pid 1)", path)
+	}
+	if len(shardSpans) == 0 {
+		return nil, fmt.Errorf("report: %s has no shard spans", path)
+	}
+	chk.Shards = len(shardSpans)
+
+	within := func(ev traceEvent, lo, hi int64) bool {
+		return ev.TS >= lo && ev.TS+ev.Dur <= hi
+	}
+	for pid, sh := range shardSpans {
+		if !within(sh, root.TS, root.TS+root.Dur) {
+			return nil, fmt.Errorf("report: %s: shard span on pid %d [%d,%d)µs escapes the campaign root [%d,%d)µs",
+				path, pid, sh.TS, sh.TS+sh.Dur, root.TS, root.TS+root.Dur)
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.PID <= 1 || ev.Ph == "M" || (ev.Ph == "X" && ev.Name == "shard") {
+			continue
+		}
+		if ev.Ph != "X" && ev.Ph != "i" {
+			continue
+		}
+		sh, ok := shardSpans[ev.PID]
+		if !ok {
+			return nil, fmt.Errorf("report: %s: event %q on pid %d has no shard span", path, ev.Name, ev.PID)
+		}
+		if !within(ev, sh.TS, sh.TS+sh.Dur) {
+			return nil, fmt.Errorf("report: %s: event %q at %dµs (+%dµs) on pid %d escapes its shard span [%d,%d)µs",
+				path, ev.Name, ev.TS, ev.Dur, ev.PID, sh.TS, sh.TS+sh.Dur)
+		}
+		chk.SegmentEvents++
+	}
+
+	for w := range workers {
+		chk.Workers = append(chk.Workers, w)
+	}
+	sort.Strings(chk.Workers)
+	return chk, nil
+}

@@ -9,6 +9,12 @@
 # finish, the coordinator's recovery counters must show the expiry and the
 # re-lease actually happened, and the merged journal must be diff-clean
 # against the single-process reference (campaignreport -diff exits 0).
+#
+# The drill also exercises the fleet observability surface: campaignd runs
+# with -trace and -log-json, one worker is throttled so the coordinator
+# must flag it as a straggler, /status is scraped mid-run (per-worker
+# throughput, ETA, anomaly feed), and the stitched Perfetto trace is
+# validated with campaignreport -check-trace after the merge.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +39,7 @@ echo "== reference: uninterrupted single-process campaign"
 echo "== coordinator (8 shards, 2s lease TTL)"
 "$tmp/campaignd" "${args[@]}" -shards 8 -lease-ttl 2s -heartbeat 400ms \
     -addr 127.0.0.1:0 -dir "$tmp/fleet" \
+    -trace "$tmp/fleet.trace" -log-json "$tmp/campaignd.events" \
     > "$tmp/campaignd.out" 2> "$tmp/campaignd.err" &
 dpid=$!
 pids+=("$dpid")
@@ -73,12 +80,41 @@ sleep 1.5
 kill -KILL "$vpid" 2>/dev/null || true
 wait "$vpid" 2>/dev/null || true
 
-echo "== honest workers finish the campaign"
+echo "== honest workers finish the campaign (slowpoke throttled to force a straggler)"
+"$tmp/campaignworker" -coordinator "$base" -name slowpoke -dir "$tmp/slowpoke" \
+    -throttle 5ms > "$tmp/slowpoke.out" 2>&1 &
+pids+=("$!")
+sleep 0.3
 for w in w2 w3; do
     "$tmp/campaignworker" -coordinator "$base" -name "$w" -dir "$tmp/$w" \
         > "$tmp/$w.out" 2>&1 &
     pids+=("$!")
 done
+
+echo "== scraping /status mid-run"
+saw_rate=0 saw_eta=0 saw_straggler=0
+for _ in $(seq 1 300); do
+    kill -0 "$dpid" 2>/dev/null || break
+    status=$(curl -fsS "$base/status" 2>/dev/null) || { sleep 0.2; continue; }
+    if printf '%s' "$status" | jq -e '[.workers[]? | select(.rate > 0)] | length >= 2' > /dev/null; then
+        saw_rate=1
+    fi
+    if printf '%s' "$status" | jq -e '.progress.eta_seconds >= 0 and .progress.points_done > 0' > /dev/null; then
+        saw_eta=1
+    fi
+    if printf '%s' "$status" | jq -e 'any(.anomalies[]?; .type == "straggler" and .subject == "slowpoke")' > /dev/null; then
+        saw_straggler=1
+    fi
+    [ "$saw_rate$saw_eta$saw_straggler" = "111" ] && break
+    sleep 0.2
+done
+if [ "$saw_rate$saw_eta$saw_straggler" != "111" ]; then
+    echo "FAIL: /status never showed live fleet telemetry (rates=$saw_rate eta=$saw_eta straggler=$saw_straggler)" >&2
+    curl -fsS "$base/status" >&2 || true
+    cat "$tmp/campaignd.events" >&2 || true
+    exit 1
+fi
+echo "live /status OK: per-worker rates, converging ETA, slowpoke flagged as straggler"
 
 # The coordinator exits 0 on its own once every shard is merged.
 for _ in $(seq 1 1200); do
@@ -116,6 +152,28 @@ if [ "${expired:-0}" -le 0 ] || [ "${regrants:-0}" -le 0 ]; then
     cat "$tmp/campaignd.out" "$tmp/campaignd.err" >&2
     exit 1
 fi
+
+echo "== straggler anomaly hit the structured event log"
+grep -q '"event":"anomaly.straggler"' "$tmp/campaignd.events" || {
+    echo "FAIL: no anomaly.straggler event logged" >&2
+    cat "$tmp/campaignd.events" >&2
+    exit 1
+}
+
+echo "== stitched trace parses and its spans nest"
+"$tmp/campaignreport" -check-trace "$tmp/fleet.trace" > "$tmp/trace-check.out" || {
+    echo "FAIL: stitched trace failed validation" >&2
+    cat "$tmp/trace-check.out" >&2
+    exit 1
+}
+cat "$tmp/trace-check.out"
+# The planner may cut fewer shards than requested (cycle-boundary
+# rounding); the stitched trace must cover exactly the planned count.
+planned=$(sed -n 's/^coordinator: .* in \([0-9][0-9]*\) shards .*/\1/p' "$tmp/campaignd.out" | head -n1)
+grep -q "${planned:-8} process groups" "$tmp/trace-check.out" || {
+    echo "FAIL: stitched trace does not cover all $planned shards" >&2
+    exit 1
+}
 
 echo "== merged journal is diff-clean against the single-process reference"
 merged="$tmp/fleet/campaign.journal"
