@@ -56,12 +56,14 @@ bench-snapshot:
 
 # Snapshot the current tree and compare it against the newest committed
 # baseline (highest-numbered BENCH_N.json, so benchmarks added after
-# BENCH_0 are compared too), warning on >15% ns/op regressions (advisory;
-# STRICT=1 to fail instead).
+# BENCH_0 are compared too), warning on >15% ns/op regressions. The
+# campaign hot-path benchmarks (BENCH_STRICT_RE) fail the run outright on
+# regression; everything else stays advisory (STRICT=1 fails on any).
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+BENCH_STRICT_RE ?= ^BenchmarkCampaign
 bench-compare:
 	./scripts/bench_snapshot.sh /tmp/bench_now.json
-	./scripts/bench_compare.sh $(BENCH_BASELINE) /tmp/bench_now.json
+	STRICT_RE='$(BENCH_STRICT_RE)' ./scripts/bench_compare.sh $(BENCH_BASELINE) /tmp/bench_now.json
 
 # Short native-fuzzing smoke: each target gets a few seconds on top of its
 # seeded corpus. Full fuzzing sessions use `go test -fuzz ... -fuzztime 5m`.
@@ -70,6 +72,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMATESetRoundTrip -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzRecover -fuzztime 10s ./internal/journal
 	$(GO) test -run '^$$' -fuzz FuzzBDDEval -fuzztime 10s ./internal/exact
+	$(GO) test -run '^$$' -fuzz FuzzGatherScatterW -fuzztime 10s ./internal/sim
 
 # Coverage over the library packages (the cmd/ mains are exercised by the
 # smoke scripts, not unit tests).

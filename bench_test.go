@@ -144,6 +144,7 @@ func BenchmarkLUTCost(b *testing.B) {
 func BenchmarkCampaign(b *testing.B) {
 	c := experiments.PrepareAVR()
 	params := core.DefaultSearchParams()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		row, err := experiments.Campaign(context.Background(), c, "fib", 500, params, false)
@@ -180,6 +181,7 @@ func BenchmarkCampaignBatched(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := ctl.RunCampaignBatched(hafi.CampaignConfig{
@@ -187,6 +189,56 @@ func BenchmarkCampaignBatched(b *testing.B) {
 					MATESet:          set,
 					DisableEarlyExit: bc.disable,
 				}, run64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Total == 0 {
+					b.Fatal("empty campaign")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignWide sweeps the wide-engine configuration matrix on the
+// prepared inputs of BenchmarkCampaignBatched: lane width × evaluation
+// mode (sparse cone-delta vs dense dispatch). The lanes=64/delta and
+// lanes=256/delta rows are the W ablation EXPERIMENTS.md tracks; the
+// dense rows isolate the cone-delta payoff at fixed width.
+func BenchmarkCampaignWide(b *testing.B) {
+	c := experiments.PrepareAVR()
+	run := c.NewRun(c.FibProg)
+	golden, err := hafi.RecordGolden(run, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := core.Search(c.NL, c.FaultAll, core.DefaultSearchParams()).Set
+	ctl := hafi.NewController(run, golden)
+	points := hafi.SampledFaultList(c.NL, golden.HaltCycle, 500)
+	for _, bc := range []struct {
+		name  string
+		lanes int
+		dense bool
+	}{
+		{"lanes=64/delta", 64, false},
+		{"lanes=128/delta", 128, false},
+		{"lanes=256/delta", 256, false},
+		{"lanes=64/dense", 64, true},
+		{"lanes=256/dense", 256, true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			runw, err := c.NewRunW(c.FibProg, bc.lanes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := ctl.RunCampaignBatchedW(hafi.CampaignConfig{
+					Points:       points,
+					MATESet:      set,
+					DisableDelta: bc.dense,
+				}, runw)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -218,6 +270,7 @@ func BenchmarkCampaignMBU(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := ctl.RunCampaignBatched(hafi.CampaignConfig{
@@ -246,6 +299,7 @@ func BenchmarkCampaignPool(b *testing.B) {
 	set := core.Search(c.NL, c.FaultAll, core.DefaultSearchParams()).Set
 	ctl := hafi.NewController(run, golden)
 	points := hafi.SampledFaultList(c.NL, golden.HaltCycle, 500)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := ctl.RunCampaignBatchedPool(hafi.CampaignConfig{
@@ -271,6 +325,7 @@ func BenchmarkCampaignJournal(b *testing.B) {
 	c := experiments.PrepareAVR()
 	params := core.DefaultSearchParams()
 	dir := b.TempDir()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		run := c.NewRun(c.FibProg)

@@ -52,9 +52,11 @@ func main() {
 	noPrune := flag.Bool("noprune", false, "disable online MATE pruning")
 	validate := flag.Bool("validate", false, "re-execute pruned points and verify benignity")
 	noRF := flag.Bool("norf", false, "exclude the register file from the fault list")
-	sequential := flag.Bool("sequential", false, "use the sequential controller instead of the 64-lane batched engine")
+	sequential := flag.Bool("sequential", false, "use the sequential controller instead of the lane-parallel batched engine")
+	lanes := flag.Int("lanes", hafi.DefaultCampaignLanes, "lanes per batched device instance (positive multiple of 64)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "shard the campaign over this many device instances (>= 1)")
 	noEarlyExit := flag.Bool("no-early-exit", false, "disable the golden-state convergence early-exit (every experiment runs to halt or timeout)")
+	noDelta := flag.Bool("no-delta", false, "disable the sparse cone-delta evaluator (batches always run dense dispatch)")
 	strict := flag.Bool("strict", false, "preflight lint: treat warnings as failures")
 	journalPath := flag.String("journal", "", "durably log every classified point to this file")
 	resume := flag.Bool("resume", false, "resume from the -journal file: replay classified points, run only the rest")
@@ -90,6 +92,9 @@ func main() {
 	if *workers < 1 {
 		usage("-workers %d out of range (want >= 1)", *workers)
 	}
+	if *lanes < 64 || *lanes%64 != 0 {
+		usage("-lanes %d out of range (want a positive multiple of 64)", *lanes)
+	}
 	modelSpec, err := hafi.ParseModelSpec(*faultModel)
 	if err != nil {
 		usage("%v", err)
@@ -99,7 +104,7 @@ func main() {
 	defer stop()
 
 	var factory func() hafi.Run
-	var factory64 func() (hafi.Run64, error)
+	var factoryW func() (hafi.RunW, error)
 	var nl *netlist.Netlist
 	var groups []string
 	switch *cpu {
@@ -114,7 +119,7 @@ func main() {
 			p = progs.AVRSort()
 		}
 		factory = func() hafi.Run { return hafi.NewAVRRun(avr.NewCore(), p) }
-		factory64 = func() (hafi.Run64, error) { return hafi.NewAVRRun64(avr.NewCore(), p) }
+		factoryW = func() (hafi.RunW, error) { return hafi.NewAVRRunW(avr.NewCore(), p, *lanes) }
 		groups = []string{avr.GroupRegFile}
 	case "msp430":
 		c := msp430.NewCore()
@@ -127,7 +132,7 @@ func main() {
 			p = progs.MSP430Sort()
 		}
 		factory = func() hafi.Run { return hafi.NewMSP430Run(msp430.NewCore(), p) }
-		factory64 = func() (hafi.Run64, error) { return hafi.NewMSP430Run64(msp430.NewCore(), p) }
+		factoryW = func() (hafi.RunW, error) { return hafi.NewMSP430RunW(msp430.NewCore(), p, *lanes) }
 		groups = []string{msp430.GroupRegFile}
 	}
 	if err := lint.Preflight(os.Stderr, nl, *strict); err != nil {
@@ -191,6 +196,7 @@ func main() {
 		MATESet:          set,
 		ValidateSkipped:  *validate,
 		DisableEarlyExit: *noEarlyExit,
+		DisableDelta:     *noDelta,
 		Context:          ctx,
 		Journal:          jw,
 		Resume:           recovered,
@@ -205,6 +211,7 @@ func main() {
 		Converged:   reg.Counter("campaign_converged_total"),
 		Workers:     reg.Gauge("campaign_workers"),
 		WorkersBusy: reg.Gauge("campaign_workers_busy"),
+		Lanes:       reg.Gauge("campaign_lanes"),
 	})()
 	if *interruptAfter > 0 {
 		cctx, cancel := context.WithCancel(ctx)
@@ -223,7 +230,7 @@ func main() {
 	if *sequential {
 		res, err = ctl.RunCampaign(cfg)
 	} else {
-		res, err = ctl.RunCampaignBatchedPool(cfg, factory64)
+		res, err = ctl.RunCampaignBatchedPoolW(cfg, factoryW)
 	}
 	if err != nil {
 		fail(err)

@@ -37,7 +37,8 @@ func main() {
 	coordinator := flag.String("coordinator", "", "coordinator base URL, e.g. http://127.0.0.1:9200 (required)")
 	name := flag.String("name", "", "worker name in coordinator logs (default host-pid)")
 	dir := flag.String("dir", "", "scratch directory for in-progress shard journals (default: a temp dir)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "local 64-lane device instances per shard (>= 1)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "local lane-parallel device instances per shard (>= 1)")
+	lanes := flag.Int("lanes", hafi.DefaultCampaignLanes, "lanes per device instance (positive multiple of 64)")
 	throttle := flag.Duration("throttle", 0, "sleep this long after every classified point (testing lever for straggler detection)")
 	obsOpts := obs.RegisterFlags(flag.CommandLine)
 	obsOpts.Component = "campaignworker"
@@ -144,9 +145,9 @@ func main() {
 	}
 	points := hafi.ModelFaultList(target.NL, golden.HaltCycle, spec.Stride, modelSpec, groups...)
 	ctl := hafi.NewControllerPool(target.NewRun, golden)
-	runs := make([]hafi.Run64, *workers)
+	runs := make([]hafi.RunW, *workers)
 	for i := range runs {
-		if runs[i], err = target.NewRun64(); err != nil {
+		if runs[i], err = target.NewRunW(*lanes); err != nil {
 			fail(err)
 		}
 	}
@@ -156,7 +157,7 @@ func main() {
 	worker.Runner = &fleet.CampaignRunner{
 		Ctl:              ctl,
 		Points:           points,
-		Runs:             runs,
+		RunsW:            runs,
 		Model:            modelSpec.String(),
 		MATESet:          set,
 		DisableEarlyExit: spec.DisableEarlyExit,

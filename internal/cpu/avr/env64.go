@@ -1,123 +1,280 @@
 package avr
 
 import (
+	"fmt"
+
+	"repro/internal/netlist"
 	"repro/internal/sim"
 )
 
-// System64 couples the core with 64 lane-parallel behavioural memories:
+// SystemW couples the core with 64·W lane-parallel behavioural memories:
 // each lane simulates an independent instance of the same program, so a
-// fault-injection campaign can run 64 experiments per gate-evaluation
-// pass (see sim.Machine64).
-type System64 struct {
+// fault-injection campaign can run 64·W experiments per gate-evaluation
+// pass (see sim.MachineW). W=1 is the classic 64-lane system; the batched
+// campaign engine runs W=4 (256 lanes) by default.
+type SystemW struct {
 	Core *Core
-	M    *sim.Machine64
+	M    *sim.MachineW
 	IMem []uint16
-	// DMem is lane-major: DMem[lane][address].
-	DMem [64][1 << DMemBits]uint8
+	// DMem is lane-major: DMem[lane][address], lane < 64·W.
+	DMem [][1 << DMemBits]uint8
 	// WriteDigest chains each lane's data-memory write events, mirroring
 	// the scalar System.WriteDigest lane for lane.
-	WriteDigest [64]uint64
+	WriteDigest []uint64
 
-	envFn sim.Env64 // cached: Step runs every cycle, a per-call closure is pure garbage
+	envFn sim.EnvW // cached: Step runs every cycle, a per-call closure is pure garbage
+
+	// Per-call transpose scratch, lane-major. Kept on the system so the
+	// per-cycle environment is allocation-free at any width.
+	pc, instr, addr, rdata, wdata []uint16
+	weMask                        []uint64
 }
 
-// NewSystem64 builds the lane-parallel machine with the program loaded.
-func NewSystem64(core *Core, prog []uint16) (*System64, error) {
-	m, err := sim.NewMachine64(core.NL)
+// NewSystemW builds the lane-parallel machine at width w (64·w lanes) with
+// the program loaded.
+func NewSystemW(core *Core, prog []uint16, w int) (*SystemW, error) {
+	m, err := sim.NewMachineW(core.NL, w)
 	if err != nil {
 		return nil, err
 	}
-	s := &System64{Core: core, M: m, IMem: prog}
+	lanes := m.NumLanes()
+	s := &SystemW{
+		Core:        core,
+		M:           m,
+		IMem:        prog,
+		DMem:        make([][1 << DMemBits]uint8, lanes),
+		WriteDigest: make([]uint64, lanes),
+		pc:          make([]uint16, lanes),
+		instr:       make([]uint16, lanes),
+		addr:        make([]uint16, lanes),
+		rdata:       make([]uint16, lanes),
+		wdata:       make([]uint16, lanes),
+		weMask:      make([]uint64, w),
+	}
 	for l := range s.WriteDigest {
 		s.WriteDigest[l] = sim.WriteDigestSeed
 	}
 	// The environment only ever drives the instruction and read-data buses,
 	// so Settle's second pass can be restricted to their downstream cone.
 	m.SetEnvWrites(core.IMemData, core.DMemRData)
-	s.envFn = sim.Env64Func(s.env)
+	s.envFn = sim.EnvWFunc(s.env)
 	return s, nil
 }
 
 // Env returns the lane-parallel memory environment.
-func (s *System64) Env() sim.Env64 { return s.envFn }
+func (s *SystemW) Env() sim.EnvW { return s.envFn }
 
-func (s *System64) env(m *sim.Machine64) {
+// Lanes returns the total lane count (64·W).
+func (s *SystemW) Lanes() int { return len(s.WriteDigest) }
+
+func (s *SystemW) env(m *sim.MachineW) {
 	core := s.Core
+	// Only the active lanes are simulated: after the campaign engine
+	// compacts retired lanes out of a batch, the per-lane memory loops and
+	// the bus transposes shrink with the machine.
+	w := m.ActiveGroups()
+	lanes := m.ActiveLanes()
 
 	// Instruction fetch. When every lane agrees on the PC (benign lanes
 	// track the golden control flow, so this is the common case before the
 	// batch diverges) a single fetch is broadcast to all lanes; otherwise
 	// the address bus is transposed to lane-major and fetched per lane.
 	uniform := true
-	for _, w := range core.IMemAddr {
-		if p := m.Lanes(w); p != 0 && p != ^uint64(0) {
+	for _, wire := range core.IMemAddr {
+		first := m.LaneWord(wire, 0)
+		if first != 0 && first != ^uint64(0) {
 			uniform = false
+			break
+		}
+		for g := 1; g < w; g++ {
+			if m.LaneWord(wire, g) != first {
+				uniform = false
+				break
+			}
+		}
+		if !uniform {
 			break
 		}
 	}
 	if uniform {
 		var pc uint64
-		for i, w := range core.IMemAddr {
-			pc |= (m.Lanes(w) & 1) << uint(i)
+		for i, wire := range core.IMemAddr {
+			pc |= (m.LaneWord(wire, 0) & 1) << uint(i)
 		}
 		var instr uint16
 		if int(pc) < len(s.IMem) {
 			instr = s.IMem[pc]
 		}
-		for i, w := range core.IMemData {
-			m.Broadcast(w, instr>>uint(i)&1 == 1)
+		for i, wire := range core.IMemData {
+			m.Broadcast(wire, instr>>uint(i)&1 == 1)
 		}
 	} else {
-		var pc, instr [64]uint16
-		m.GatherBus(core.IMemAddr, &pc)
-		for l := 0; l < 64; l++ {
-			if int(pc[l]) < len(s.IMem) {
-				instr[l] = s.IMem[pc[l]]
-			}
+		m.GatherLanes(core.IMemAddr, s.pc)
+		// Lanes at different PCs can still fetch the same word — runaway
+		// lanes sweeping past the end of IMem all read zero for thousands of
+		// cycles — so the 16-wire scatter transpose is skipped whenever the
+		// fetched instructions agree.
+		same := true
+		first := uint16(0)
+		if int(s.pc[0]) < len(s.IMem) {
+			first = s.IMem[s.pc[0]]
 		}
-		m.ScatterBus(core.IMemData, &instr)
+		s.instr[0] = first
+		for l := 1; l < lanes; l++ {
+			var ins uint16
+			if int(s.pc[l]) < len(s.IMem) {
+				ins = s.IMem[s.pc[l]]
+			}
+			s.instr[l] = ins
+			same = same && ins == first
+		}
+		if same {
+			for i, wire := range core.IMemData {
+				m.Broadcast(wire, first>>uint(i)&1 == 1)
+			}
+		} else {
+			m.ScatterLanes(core.IMemData, s.instr)
+		}
 	}
 
 	// Data memory: the contents are lane-private, so the access itself is
-	// always per lane, but the bus crossings are bit-matrix transposes.
-	var addr, rdata [64]uint16
-	m.GatherBus(core.DMemAddr, &addr)
-	weMask := m.Lanes(core.DMemWE)
-	if weMask == 0 {
-		for l := 0; l < 64; l++ {
-			rdata[l] = uint16(s.DMem[l][addr[l]])
+	// always per lane, but the bus crossings are bit-matrix transposes —
+	// skipped, like the fetch above, whenever the bus is uniform (runaway
+	// lanes executing the all-zero instruction agree on the address, and
+	// their reads mostly return the shared golden memory image).
+	uaddr := true
+	for _, wire := range core.DMemAddr {
+		first := m.LaneWord(wire, 0)
+		if first != 0 && first != ^uint64(0) {
+			uaddr = false
+			break
+		}
+		for g := 1; g < w; g++ {
+			if m.LaneWord(wire, g) != first {
+				uaddr = false
+				break
+			}
+		}
+		if !uaddr {
+			break
+		}
+	}
+	if uaddr {
+		var a uint16
+		for i, wire := range core.DMemAddr {
+			a |= uint16(m.LaneWord(wire, 0)&1) << uint(i)
+		}
+		for l := 0; l < lanes; l++ {
+			s.addr[l] = a
 		}
 	} else {
-		var wdata [64]uint16
-		m.GatherBus(core.DMemWData, &wdata)
-		for l := 0; l < 64; l++ {
-			a := addr[l]
-			rdata[l] = uint16(s.DMem[l][a])
-			if weMask>>uint(l)&1 == 1 {
-				s.DMem[l][a] = uint8(wdata[l])
-				s.WriteDigest[l] = sim.UpdateWriteDigest(s.WriteDigest[l], uint64(a), uint64(wdata[l]))
+		m.GatherLanes(core.DMemAddr, s.addr)
+	}
+	anyWE := false
+	for g := 0; g < w; g++ {
+		s.weMask[g] = m.LaneWord(core.DMemWE, g)
+		if s.weMask[g] != 0 {
+			anyWE = true
+		}
+	}
+	if !anyWE {
+		for l := 0; l < lanes; l++ {
+			s.rdata[l] = uint16(s.DMem[l][s.addr[l]])
+		}
+	} else {
+		m.GatherLanes(core.DMemWData, s.wdata)
+		for l := 0; l < lanes; l++ {
+			a := s.addr[l]
+			s.rdata[l] = uint16(s.DMem[l][a])
+			if s.weMask[l>>6]>>(uint(l)&63)&1 == 1 {
+				s.DMem[l][a] = uint8(s.wdata[l])
+				s.WriteDigest[l] = sim.UpdateWriteDigest(s.WriteDigest[l], uint64(a), uint64(s.wdata[l]))
 			}
 		}
 	}
-	m.ScatterBus(core.DMemRData, &rdata)
+	urdata := true
+	for l := 1; l < lanes; l++ {
+		if s.rdata[l] != s.rdata[0] {
+			urdata = false
+			break
+		}
+	}
+	if urdata {
+		for i, wire := range core.DMemRData {
+			m.Broadcast(wire, s.rdata[0]>>uint(i)&1 == 1)
+		}
+	} else {
+		m.ScatterLanes(core.DMemRData, s.rdata)
+	}
 }
 
-// Step advances all 64 lanes one clock cycle.
-func (s *System64) Step() { s.M.Step(s.envFn) }
+// Step advances all lanes one clock cycle.
+func (s *SystemW) Step() { s.M.Step(s.envFn) }
 
-// HaltedMask returns the lanes whose core has halted.
-func (s *System64) HaltedMask() uint64 { return s.M.Lanes(s.Core.Halted) }
+// CompactLanes packs the listed source lanes into lanes 0..len(src)-1,
+// keeping the lane-private data memories and write digests aligned with
+// the machine's lane permutation. src must be strictly increasing, which
+// makes the in-place forward copy safe.
+func (s *SystemW) CompactLanes(src []uint16) {
+	s.M.CompactLanes(src)
+	for i, l := range src {
+		if int(l) != i {
+			s.DMem[i] = s.DMem[l]
+			s.WriteDigest[i] = s.WriteDigest[l]
+		}
+	}
+}
+
+// LaneState is one lane's complete suspended state: the packed wire bits
+// of the machine (ExportLane) plus the lane-private memory image and write
+// digest. It is target-specific; the campaign engine treats it as opaque.
+type LaneState struct {
+	Wires  []uint64
+	DMem   [1 << DMemBits]uint8
+	Digest uint64
+}
+
+// ExportLane snapshots one lane for migration to another SystemW of the
+// same core and program (see MachineW.ExportLane).
+func (s *SystemW) ExportLane(l int) *LaneState {
+	st := &LaneState{Wires: make([]uint64, s.M.LaneWireWords()), DMem: s.DMem[l], Digest: s.WriteDigest[l]}
+	s.M.ExportLane(l, st.Wires)
+	return st
+}
+
+// ImportLane restores an ExportLane snapshot into one lane of this system.
+func (s *SystemW) ImportLane(l int, st *LaneState) {
+	s.M.ImportLane(l, st.Wires)
+	s.DMem[l] = st.DMem
+	s.WriteDigest[l] = st.Digest
+}
+
+// HaltedMaskG returns lane group g's halted lanes.
+func (s *SystemW) HaltedMaskG(g int) uint64 { return s.M.LaneWord(s.Core.Halted, g) }
 
 // LoadScalarState broadcasts a scalar checkpoint (flip-flop state, primary
 // inputs, data memory, write digest) into every lane.
-func (s *System64) LoadScalarState(ffs, inputs []bool, dmem [1 << DMemBits]uint8, digest uint64) {
+func (s *SystemW) LoadScalarState(ffs, inputs []bool, dmem [1 << DMemBits]uint8, digest uint64) {
 	s.M.LoadState(ffs)
 	s.M.LoadInputs(inputs)
-	for l := 0; l < 64; l++ {
+	for l := range s.DMem {
 		s.DMem[l] = dmem
 		s.WriteDigest[l] = digest
 	}
 }
 
 // PortLane reads the output port register of one lane.
-func (s *System64) PortLane(l int) uint8 { return uint8(s.M.ReadBusLane(s.Core.Port, l)) }
+func (s *SystemW) PortLane(l int) uint8 { return uint8(s.M.ReadBusLane(s.Core.Port, l)) }
+
+// NewDelta builds the cone-delta evaluator for this system against a
+// golden trace (nil error only when the netlist satisfies the engine's
+// env-cone contract; see sim.NewDeltaState).
+func (s *SystemW) NewDelta(tr *sim.Trace) (*sim.DeltaState, error) {
+	core := s.Core
+	d, err := sim.NewDeltaState(s.M, tr, s.envFn,
+		core.IMemAddr, core.DMemAddr, []netlist.WireID{core.DMemWE}, core.DMemWData)
+	if err != nil {
+		return nil, fmt.Errorf("avr: %w", err)
+	}
+	return d, nil
+}

@@ -39,6 +39,7 @@ type CPUCase struct {
 	TraceConv  *sim.Trace
 	NewRun     func(prog []uint16) hafi.Run
 	NewRun64   func(prog []uint16) (hafi.Run64, error)
+	NewRunW    func(prog []uint16, lanes int) (hafi.RunW, error)
 	FibProg    []uint16
 	ConvProg   []uint16
 	RegGroup   string
@@ -80,6 +81,7 @@ func prepare() {
 			TraceConv: avr.NewSystem(avr.NewCore(), conv).Record(progs.TraceCycles),
 			NewRun:    func(p []uint16) hafi.Run { return hafi.NewAVRRun(avr.NewCore(), p) },
 			NewRun64:  func(p []uint16) (hafi.Run64, error) { return hafi.NewAVRRun64(avr.NewCore(), p) },
+			NewRunW:   func(p []uint16, lanes int) (hafi.RunW, error) { return hafi.NewAVRRunW(avr.NewCore(), p, lanes) },
 			FibProg:   fib, ConvProg: conv,
 			RegGroup: avr.GroupRegFile,
 		}
@@ -98,6 +100,7 @@ func prepare() {
 			TraceConv: msp430.NewSystem(msp430.NewCore(), mconv).Record(progs.TraceCycles),
 			NewRun:    func(p []uint16) hafi.Run { return hafi.NewMSP430Run(msp430.NewCore(), p) },
 			NewRun64:  func(p []uint16) (hafi.Run64, error) { return hafi.NewMSP430Run64(msp430.NewCore(), p) },
+			NewRunW:   func(p []uint16, lanes int) (hafi.RunW, error) { return hafi.NewMSP430RunW(msp430.NewCore(), p, lanes) },
 			FibProg:   mfib, ConvProg: mconv,
 			RegGroup: msp430.GroupRegFile,
 		}
@@ -429,17 +432,24 @@ type CampaignRow struct {
 // workload, with MATE-based online pruning, and (optionally) validates
 // every skipped point. The context cancels both the MATE search and the
 // campaign gracefully (the row then carries a partial, Interrupted
-// result). The campaign runs on the pooled 64-lane engine with one worker
-// per available CPU; the result is identical to the single-instance
-// engine's.
+// result). The campaign runs on the pooled wide engine (256 lanes per
+// device, cone-delta evaluation) with one worker per available CPU; the
+// result is identical to the single-instance engine's.
 func Campaign(ctx context.Context, c *CPUCase, workload string, stride int, params core.SearchParams, validate bool) (*CampaignRow, error) {
 	prog := c.FibProg
 	if workload == "conv" {
 		prog = c.ConvProg
 	}
 	run := c.NewRun(prog)
+	// The golden reference is recorded on a 64-lane wide device (lane 0
+	// carries the run): identical Golden, an order of magnitude cheaper
+	// than the scalar gate walk.
+	grun, err := c.NewRunW(prog, 64)
+	if err != nil {
+		return nil, err
+	}
 	gsp := params.Obs.StartSpan("golden")
-	golden, err := hafi.RecordGolden(run, 1<<20)
+	golden, err := hafi.RecordGoldenW(grun, 1<<20)
 	gsp.End()
 	if err != nil {
 		return nil, err
@@ -447,14 +457,14 @@ func Campaign(ctx context.Context, c *CPUCase, workload string, stride int, para
 	params.Context = ctx
 	set := core.Search(c.NL, c.FaultAll, params).Set
 	ctl := hafi.NewController(run, golden)
-	res, err := ctl.RunCampaignBatchedPool(hafi.CampaignConfig{
+	res, err := ctl.RunCampaignBatchedPoolW(hafi.CampaignConfig{
 		Points:          hafi.SampledFaultList(c.NL, golden.HaltCycle, stride),
 		MATESet:         set,
 		ValidateSkipped: validate,
 		Context:         ctx,
 		Obs:             params.Obs,
 		Workers:         runtime.GOMAXPROCS(0),
-	}, func() (hafi.Run64, error) { return c.NewRun64(prog) })
+	}, func() (hafi.RunW, error) { return c.NewRunW(prog, hafi.DefaultCampaignLanes) })
 	if err != nil {
 		return nil, err
 	}

@@ -62,8 +62,13 @@ type CampaignRunner struct {
 	Ctl *hafi.Controller
 	// Points is the full campaign fault list (shards slice into it).
 	Points []hafi.FaultPoint
-	// Runs is the 64-lane device pool, reused across shards.
+	// Runs is the 64-lane device pool, reused across shards. Superseded by
+	// RunsW when that is non-nil; kept for callers (and tests) that build
+	// classic 64-lane devices.
 	Runs []hafi.Run64
+	// RunsW is the wide device pool (e.g. 256-lane cone-delta devices),
+	// preferred over Runs when non-nil.
+	RunsW []hafi.RunW
 	// Model is the fault model the fault list was enumerated under, in
 	// -fault-model syntax (empty = "seu").
 	Model string
@@ -131,7 +136,13 @@ func (r *CampaignRunner) RunShard(ctx context.Context, lo, hi int, path string, 
 		r.Obs.AttachTracer(obs.TeeTracer(prev, obsv.Recorder()))
 		defer r.Obs.AttachTracer(prev)
 	}
-	res, runErr := r.Ctl.RunCampaignBatchedPoolWith(cfg, r.Runs)
+	var res *hafi.CampaignResult
+	var runErr error
+	if r.RunsW != nil {
+		res, runErr = r.Ctl.RunCampaignBatchedPoolWithW(cfg, r.RunsW)
+	} else {
+		res, runErr = r.Ctl.RunCampaignBatchedPoolWith(cfg, r.Runs)
+	}
 	closeErr := w.Close()
 	if runErr != nil {
 		return runErr

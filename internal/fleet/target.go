@@ -13,15 +13,18 @@ import (
 // Target bundles everything the coordinator and worker binaries need to
 // instantiate one (cpu, workload) pair: the netlist, the register-file
 // group names (for -norf fault lists), and run factories for the golden
-// reference and the 64-lane campaign engine. Centralised here so the two
-// fleet binaries and cmd/campaign cannot drift apart on what "avr"/"fib"
-// mean.
+// reference and the lane-parallel campaign engine. Centralised here so the
+// two fleet binaries and cmd/campaign cannot drift apart on what
+// "avr"/"fib" mean.
 type Target struct {
 	NL *netlist.Netlist
 	// RFGroups are the register-file FF groups, excluded when NoRF is set.
 	RFGroups []string
 	NewRun   func() hafi.Run
 	NewRun64 func() (hafi.Run64, error)
+	// NewRunW builds a wide device with the given lane count (a positive
+	// multiple of 64); fleet workers default to hafi.DefaultCampaignLanes.
+	NewRunW func(lanes int) (hafi.RunW, error)
 }
 
 // NewTarget resolves a cpu ("avr", "msp430") and workload ("fib", "conv",
@@ -45,6 +48,7 @@ func NewTarget(cpuName, progName string) (*Target, error) {
 			RFGroups: []string{avr.GroupRegFile},
 			NewRun:   func() hafi.Run { return hafi.NewAVRRun(avr.NewCore(), p) },
 			NewRun64: func() (hafi.Run64, error) { return hafi.NewAVRRun64(avr.NewCore(), p) },
+			NewRunW:  func(lanes int) (hafi.RunW, error) { return hafi.NewAVRRunW(avr.NewCore(), p, lanes) },
 		}, nil
 	case "msp430":
 		var p []uint16
@@ -63,6 +67,7 @@ func NewTarget(cpuName, progName string) (*Target, error) {
 			RFGroups: []string{msp430.GroupRegFile},
 			NewRun:   func() hafi.Run { return hafi.NewMSP430Run(msp430.NewCore(), p) },
 			NewRun64: func() (hafi.Run64, error) { return hafi.NewMSP430Run64(msp430.NewCore(), p) },
+			NewRunW:  func(lanes int) (hafi.RunW, error) { return hafi.NewMSP430RunW(msp430.NewCore(), p, lanes) },
 		}, nil
 	}
 	return nil, fmt.Errorf("fleet: unknown cpu %q (want avr or msp430)", cpuName)

@@ -70,10 +70,10 @@ func clampDelta(cur, prev int64) int64 {
 // Nil when the worker runs without a registry — sampling then reports
 // only the shard progress counter.
 type telemetrySampler struct {
-	done, executed, pruned      *obs.Counter
-	converged, cycles, batches  *obs.Counter
-	lanes                       *obs.Histogram
-	outcomes                    map[string]*obs.Counter
+	done, executed, pruned     *obs.Counter
+	converged, cycles, batches *obs.Counter
+	lanes                      *obs.Histogram
+	outcomes                   map[string]*obs.Counter
 }
 
 func newTelemetrySampler(reg *obs.Registry) *telemetrySampler {

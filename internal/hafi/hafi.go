@@ -247,6 +247,18 @@ type CampaignConfig struct {
 	// identical either way; this is an escape hatch for differential
 	// testing and debugging.
 	DisableEarlyExit bool
+	// DisableDelta forces the batched engines onto dense gate dispatch even
+	// when the device supports the cone-delta evaluator. Classification is
+	// identical either way; like DisableEarlyExit this is an escape hatch
+	// for differential testing, debugging and perf ablations.
+	DisableDelta bool
+	// DeltaFallbackPercent overrides the frontier-occupancy threshold at
+	// which a cone-delta batch falls back to dense dispatch, as a percent
+	// of the dense per-cycle gate-evaluation cost. Zero selects the
+	// measured default (DefaultDeltaFallbackPercent); 100 disables the
+	// occupancy fallback (the engine still leaves delta mode when the
+	// golden trace ends).
+	DeltaFallbackPercent int
 	// Context, when non-nil, cancels the campaign gracefully: in-flight
 	// experiments (and the current 64-lane batch) finish and are recorded,
 	// no new ones start, and the partial result carries Interrupted=true.

@@ -26,8 +26,11 @@ type campaignMetrics struct {
 	expSecs      *obs.Histogram // campaign_experiment_seconds
 	workers      *obs.Gauge     // campaign_workers
 	workersBusy  *obs.Gauge     // campaign_workers_busy
+	laneWidth    *obs.Gauge     // campaign_lanes
 	converged    *obs.Counter   // campaign_converged_total
 	cyclesSaved  *obs.Counter   // campaign_cycles_saved_total
+	deltaSkip    *obs.Counter   // sim_delta_gates_skipped_total
+	deltaFall    *obs.Counter   // sim_frontier_fallback_total
 	// reg backs the labeled per-MATE attribution counters, which cannot be
 	// hoisted statically (one counter per MATE). mateCounters caches the
 	// registry lookup per MATE index: crediting a pruned point is a hot
@@ -50,13 +53,16 @@ func newCampaignMetrics(reg *obs.Registry, totalPoints int) *campaignMetrics {
 		replayed:     reg.Counter("campaign_replayed_total"),
 		skippedWrong: reg.Counter("campaign_skipped_wrong_total"),
 		batches:      reg.Counter("campaign_batches_total"),
-		lanes:        reg.Histogram("campaign_batch_lanes", obs.LinearBuckets(8, 8, 8)),
+		lanes:        reg.Histogram("campaign_batch_lanes", obs.LinearBuckets(32, 32, 8)),
 		batchSecs:    reg.Histogram("campaign_batch_seconds", obs.ExpBuckets(1e-4, 2, 16)),
 		expSecs:      reg.Histogram("campaign_experiment_seconds", obs.ExpBuckets(1e-6, 2, 18)),
 		workers:      reg.Gauge("campaign_workers"),
 		workersBusy:  reg.Gauge("campaign_workers_busy"),
+		laneWidth:    reg.Gauge("campaign_lanes"),
 		converged:    reg.Counter("campaign_converged_total"),
 		cyclesSaved:  reg.Counter("campaign_cycles_saved_total"),
+		deltaSkip:    reg.Counter("sim_delta_gates_skipped_total"),
+		deltaFall:    reg.Counter("sim_frontier_fallback_total"),
 		reg:          reg,
 		mateCounters: map[int]*obs.Counter{},
 	}
@@ -157,4 +163,30 @@ func (m *campaignMetrics) workerBusy(delta int64) {
 		return
 	}
 	m.workersBusy.Add(delta)
+}
+
+// setLanes records the device lane width of the campaign's batched engine.
+func (m *campaignMetrics) setLanes(n int) {
+	if m == nil {
+		return
+	}
+	m.laneWidth.Set(int64(n))
+}
+
+// deltaSkipped accounts gate evaluations the cone-delta engine avoided
+// relative to dense stepping (accumulated per batch, not per cycle).
+func (m *campaignMetrics) deltaSkipped(n uint64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.deltaSkip.Add(int64(n))
+}
+
+// frontierFallback accounts one mid-batch switch from cone-delta to dense
+// dispatch (frontier occupancy over threshold or golden trace exhausted).
+func (m *campaignMetrics) frontierFallback() {
+	if m == nil {
+		return
+	}
+	m.deltaFall.Inc()
 }

@@ -238,9 +238,11 @@ func TestProgressReporter(t *testing.T) {
 	done := r.Counter("done")
 	total := r.Gauge("total")
 	masked := r.Counter("masked")
+	lanes := r.Gauge("lanes")
 	total.Set(100)
 	done.Add(40)
 	masked.Add(10)
+	lanes.Set(256)
 
 	var mu sync.Mutex
 	var buf bytes.Buffer
@@ -252,7 +254,7 @@ func TestProgressReporter(t *testing.T) {
 	stop := StartProgress(ProgressConfig{
 		Label: "campaign", Unit: "points", Out: w,
 		Interval: 10 * time.Millisecond,
-		Done:     done, Total: total, Masked: masked,
+		Done:     done, Total: total, Masked: masked, Lanes: lanes,
 	})
 	time.Sleep(35 * time.Millisecond)
 	stop()
@@ -266,6 +268,39 @@ func TestProgressReporter(t *testing.T) {
 	}
 	if !strings.Contains(out, "masked 25.0%") {
 		t.Fatalf("progress output missing masked rate: %q", out)
+	}
+	if !strings.Contains(out, "lanes 256") {
+		t.Fatalf("progress output missing lane width: %q", out)
+	}
+}
+
+// TestProgressLanesColumnAbsent: an unset lanes gauge (64-lane journals,
+// older binaries) must leave the column out rather than print "lanes 0".
+func TestProgressLanesColumnAbsent(t *testing.T) {
+	r := NewRegistry()
+	done := r.Counter("done")
+	total := r.Gauge("total")
+	total.Set(10)
+	done.Add(5)
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	stop := StartProgress(ProgressConfig{
+		Label: "campaign", Unit: "points", Out: w,
+		Interval: 10 * time.Millisecond,
+		Done:     done, Total: total, Lanes: r.Gauge("lanes"),
+	})
+	time.Sleep(15 * time.Millisecond)
+	stop()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if strings.Contains(out, "lanes") {
+		t.Fatalf("lanes column rendered with unset gauge: %q", out)
 	}
 }
 

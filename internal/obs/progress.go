@@ -38,6 +38,10 @@ type ProgressConfig struct {
 	// WorkersBusy/Workers, when set, add a worker-utilization column.
 	WorkersBusy *Gauge
 	Workers     *Gauge
+	// Lanes, when set and nonzero, adds the device lane width — the wide
+	// engine publishes it once at campaign start; 64-lane runs and older
+	// binaries leave the gauge unset and the column absent.
+	Lanes *Gauge
 }
 
 // StartProgress launches the stderr ticker and returns its stop function.
@@ -103,6 +107,9 @@ func StartProgress(cfg ProgressConfig) (stop func()) {
 		}
 		if cfg.Workers != nil && cfg.Workers.Value() > 0 {
 			fmt.Fprintf(&sb, " | workers %d/%d", cfg.WorkersBusy.Value(), cfg.Workers.Value())
+		}
+		if cfg.Lanes != nil && cfg.Lanes.Value() > 0 {
+			fmt.Fprintf(&sb, " | lanes %d", cfg.Lanes.Value())
 		}
 		// The ETA column is always present so lines stay aligned tick to
 		// tick; "--:--" covers an unknown total, a rate of zero (first tick

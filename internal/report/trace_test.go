@@ -118,4 +118,65 @@ func TestStatsLatencyAndWorkerRendering(t *testing.T) {
 	if len(byWorker) != 2 || byWorker["w1"] != 300 || byWorker["w2"] != 100 {
 		t.Fatalf("LabeledCounters = %v", byWorker)
 	}
+
+	// A pre-wide-engine dump carries no simulation telemetry: the line must
+	// be absent entirely, not rendered with zeros.
+	if strings.Contains(out, "simulation:") {
+		t.Fatalf("simulation line rendered without wide-engine stats:\n%s", out)
+	}
+}
+
+// TestStatsWideEngineRendering: the lane-width gauge and the cone-delta
+// work counters render on one line, and each piece degrades independently
+// when absent from the dump.
+func TestStatsWideEngineRendering(t *testing.T) {
+	statsPath := filepath.Join(t.TempDir(), "wide.stats")
+	stats := `{
+	  "uptime_seconds": 2.0,
+	  "counters": {
+	    "sim_delta_gates_skipped_total": 123456,
+	    "sim_frontier_fallback_total": 7
+	  },
+	  "gauges": {
+	    "campaign_lanes": 256
+	  }
+	}`
+	if err := os.WriteFile(statsPath, []byte(stats), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(buildJournal(t, testHeader, basePoints()), statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text strings.Builder
+	if err := BuildDocument(c, 0).WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	want := "simulation: 256 lanes, 123456 gate evaluations skipped by cone-delta, 7 dense-dispatch fallbacks"
+	if !strings.Contains(out, want) {
+		t.Fatalf("wide-engine stats rendering missing %q:\n%s", want, out)
+	}
+
+	// Counters without the gauge (a 64-lane run on a wide-aware binary
+	// whose lanes gauge was never set): still rendered, no lanes column.
+	noLanes := filepath.Join(t.TempDir(), "nolanes.stats")
+	if err := os.WriteFile(noLanes, []byte(`{
+	  "uptime_seconds": 1.0,
+	  "counters": {"sim_delta_gates_skipped_total": 9}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Load(buildJournal(t, testHeader, basePoints()), noLanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text.Reset()
+	if err := BuildDocument(c2, 0).WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if out := text.String(); !strings.Contains(out, "simulation: 9 gate evaluations skipped by cone-delta") ||
+		strings.Contains(out, "lanes") {
+		t.Fatalf("gauge-less stats rendering wrong:\n%s", out)
+	}
 }

@@ -1,0 +1,440 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// DeltaState is the sparse-lane-aware cone-delta evaluator (ROADMAP item
+// 2(c)): instead of re-evaluating every gate every cycle, it tracks each
+// wire's XOR difference against the recorded golden trace and re-evaluates
+// a gate only while one of its input deltas is nonzero or just changed.
+// Faulty lanes differ from the golden run only inside the fanout cones of
+// the injected flip-flops, so the per-level frontier worklists stay small
+// — and as lanes reconverge the frontier empties gate by gate, which is
+// the fine-grained counterpart of the campaign engine's whole-lane
+// convergence early-exit.
+//
+// Representation: for every wire w and lane group g,
+//
+//	actual(w, g) = broadcast(golden(w, cyc)) ^ delta[w*W+g]
+//
+// where golden(w, cyc) is the recorded trace bit for the cycle being
+// settled. A zero delta word means "all 64 lanes of this group match the
+// golden run". PR 5 recorded that a naive per-wire dirty bitset under the
+// 64-lane activity union was 36% slower than dense dispatch; the delta set
+// here is therefore tracked per lane group word (zero-testable in one
+// compare) and the engine is expected to be abandoned for dense dispatch
+// when frontier occupancy crosses a measured threshold (the caller polls
+// LastEvaluated against its threshold and calls Materialize).
+//
+// Because gates are nonlinear, a gate with a nonzero input delta must be
+// re-evaluated every cycle (its golden inputs keep moving underneath the
+// delta); the worklist discipline is therefore: after evaluating a gate,
+// push its consumers iff the output delta is nonzero or changed. Combined
+// with the commit scan (which re-pushes every flip-flop whose Q delta is
+// nonzero or changed) and the environment diff (same rule for env-written
+// wires), induction over levels gives exactly the dense fixpoint.
+type DeltaState struct {
+	m   *MachineW
+	tr  *Trace
+	env EnvW
+	w   int
+
+	// Per-op static data. ops aliases the machine program (indices
+	// pre-scaled by W); outWire/inWire hold the unscaled wire ids for
+	// golden-row lookups; envOp marks ops inside the environment cone.
+	ops     []op64
+	outWire []int32
+	inWire  [][4]int32
+	envOp   []bool
+	nLevels int
+
+	// consOff/cons is a CSR adjacency: consumers (op indices) of each
+	// unscaled wire.
+	consOff []int32
+	cons    []int32
+
+	qToD      []int32 // per wire: driving D wire if FF Q, else -1
+	envWires  []int32 // env-written wires (unscaled)
+	readWires []int32 // env-read wires, refreshed before the env call
+
+	delta []uint64 // NumWires*W lane-group delta words
+
+	// Two-bucket per-level frontier: bucketA holds pure ops (settle pass
+	// 1), bucketB ops inside the environment cone (evaluated only after
+	// the environment ran). stamp/gen deduplicate pushes; gen increments
+	// once per completed settle, so pushes from commit, injection and the
+	// env diff all land exactly once in the next settle.
+	bucketA [][]int32
+	bucketB [][]int32
+	stamp   []uint32
+	gen     uint32
+
+	qOr   []uint64 // per group: OR over FFs of the Q deltas (divergence)
+	dNext []uint64 // commit staging: one FF's D can be another FF's Q wire
+
+	cyc       int  // cycle the next Step will settle
+	stepped   bool // at least one Step since Reset
+	lastEval  int  // ops evaluated by the most recent Step
+	skipped   uint64
+	denseCost int // gate evaluations one dense Step costs (both passes)
+}
+
+// NewDeltaState builds a cone-delta evaluator for machine m against golden
+// trace tr, driven by env. reads lists every wire the environment READS
+// (it is refreshed to actual lane values before each env call); the write
+// set is taken from the machine's SetEnvWrites declaration. It returns an
+// error when the netlist/environment combination violates the engine's
+// contract — callers then stay on the dense path:
+//
+//   - SetEnvWrites must have been called (otherwise the env write set is
+//     unknown), and
+//   - no env-read wire may lie inside the env-written cone (the engine
+//     refreshes read wires from their settle-pass-1 values, which only
+//     equals the final value outside that cone). Both CPU cores satisfy
+//     this by construction: their memory address/data/WE buses are
+//     functions of registered state only.
+func NewDeltaState(m *MachineW, tr *Trace, env EnvW, reads ...[]netlist.WireID) (*DeltaState, error) {
+	if m.envOps == nil || m.envCone == nil {
+		return nil, fmt.Errorf("sim: delta engine requires SetEnvWrites")
+	}
+	if tr.NumWires != m.NL.NumWires() {
+		return nil, fmt.Errorf("sim: delta engine trace has %d wires, machine %d", tr.NumWires, m.NL.NumWires())
+	}
+	d := &DeltaState{m: m, tr: tr, env: env, w: m.W, ops: m.ops}
+	for _, ws := range reads {
+		for _, w := range ws {
+			if m.envCone[int(w)*m.W] {
+				return nil, fmt.Errorf("sim: delta engine unsupported: env-read wire %d is inside the env-written cone", w)
+			}
+			d.readWires = append(d.readWires, int32(w))
+		}
+	}
+	nw := m.NL.NumWires()
+	d.outWire = make([]int32, len(m.ops))
+	d.inWire = make([][4]int32, len(m.ops))
+	d.envOp = m.envOpFlag
+	counts := make([]int32, nw+1)
+	for i := range m.ops {
+		o := &m.ops[i]
+		d.outWire[i] = o.out / int32(m.W)
+		if int(o.level) >= d.nLevels {
+			d.nLevels = int(o.level) + 1
+		}
+		for p := 0; p < int(o.numPins); p++ {
+			w := o.in[p] / int32(m.W)
+			d.inWire[i][p] = w
+			counts[w+1]++
+		}
+	}
+	d.consOff = make([]int32, nw+1)
+	for w := 0; w < nw; w++ {
+		d.consOff[w+1] = d.consOff[w] + counts[w+1]
+	}
+	d.cons = make([]int32, d.consOff[nw])
+	fill := make([]int32, nw)
+	copy(fill, d.consOff[:nw])
+	for i := range m.ops {
+		o := &m.ops[i]
+		for p := 0; p < int(o.numPins); p++ {
+			w := d.inWire[i][p]
+			d.cons[fill[w]] = int32(i)
+			fill[w]++
+		}
+	}
+	d.qToD = make([]int32, nw)
+	for i := range d.qToD {
+		d.qToD[i] = -1
+	}
+	for i := range m.ffQ {
+		d.qToD[m.ffQ[i]] = m.ffD[i]
+	}
+	for _, w := range m.envWrites {
+		d.envWires = append(d.envWires, int32(w))
+	}
+	d.delta = make([]uint64, nw*m.W)
+	d.bucketA = make([][]int32, d.nLevels)
+	d.bucketB = make([][]int32, d.nLevels)
+	d.stamp = make([]uint32, len(m.ops))
+	d.gen = 1
+	d.qOr = make([]uint64, m.W)
+	d.dNext = make([]uint64, len(m.ffD)*m.W)
+	d.denseCost = len(m.ops) + len(m.envOps)
+	return d, nil
+}
+
+// Trace returns the golden trace this evaluator was built against.
+func (d *DeltaState) Trace() *Trace { return d.tr }
+
+// NumOps returns the gate evaluations one dense Step would cost (both
+// settle passes) — the baseline for the skipped-gates accounting and the
+// dense-fallback occupancy threshold.
+func (d *DeltaState) NumOps() int { return d.denseCost }
+
+// LastEvaluated returns the number of gate evaluations the most recent
+// Step performed.
+func (d *DeltaState) LastEvaluated() int { return d.lastEval }
+
+// TakeSkipped returns the cumulative count of gate evaluations avoided
+// relative to dense stepping since the last call, and resets it.
+func (d *DeltaState) TakeSkipped() uint64 {
+	s := d.skipped
+	d.skipped = 0
+	return s
+}
+
+// Cycle returns the cycle the next Step will settle.
+func (d *DeltaState) Cycle() int { return d.cyc }
+
+// Reset clears every delta (all lanes match the golden run) and positions
+// the evaluator at the given cycle. The caller must have loaded the
+// matching golden checkpoint into the machine.
+func (d *DeltaState) Reset(cycle int) {
+	for i := range d.delta {
+		d.delta[i] = 0
+	}
+	for l := 0; l < d.nLevels; l++ {
+		d.bucketA[l] = d.bucketA[l][:0]
+		d.bucketB[l] = d.bucketB[l][:0]
+	}
+	d.gen++ // invalidate all stamps
+	for g := range d.qOr {
+		d.qOr[g] = 0
+	}
+	d.cyc = cycle
+	d.stepped = false
+	d.lastEval = 0
+}
+
+// rowMask expands a golden trace bit into a full lane word.
+func rowMask(row []uint64, w int32) uint64 {
+	return -(row[w>>6] >> (uint(w) & 63) & 1)
+}
+
+// touch pushes every consumer of a wire into the frontier for the next
+// (or current) settle.
+func (d *DeltaState) touch(wire int32) {
+	for _, opi := range d.cons[d.consOff[wire]:d.consOff[wire+1]] {
+		if d.stamp[opi] == d.gen {
+			continue
+		}
+		d.stamp[opi] = d.gen
+		lvl := d.ops[opi].level
+		if d.envOp[opi] {
+			d.bucketB[lvl] = append(d.bucketB[lvl], opi)
+		} else {
+			d.bucketA[lvl] = append(d.bucketA[lvl], opi)
+		}
+	}
+}
+
+// FlipLane flips flip-flop ffIndex in one lane, delta-space: the injection
+// primitive while the evaluator owns the machine state.
+func (d *DeltaState) FlipLane(ffIndex, lane int) {
+	q := d.m.ffQ[ffIndex]
+	d.delta[int(d.m.ffQs[ffIndex])+lane>>6] ^= 1 << (uint(lane) & 63)
+	// qOr may now over-report this lane until the next commit recomputes it
+	// exactly; that is harmless, because a lane inside its injection window
+	// is never eligible for convergence retirement.
+	d.qOr[lane>>6] |= 1 << (uint(lane) & 63)
+	d.touch(q)
+}
+
+// FFLane reads the actual value of flip-flop ffIndex in one lane
+// (golden ^ delta at the current cycle).
+func (d *DeltaState) FFLane(ffIndex, lane int) bool {
+	q := d.m.ffQ[ffIndex]
+	row := d.tr.Row(d.cyc)
+	gb := row[q>>6]>>(uint(q)&63)&1 == 1
+	db := d.delta[int(d.m.ffQs[ffIndex])+lane>>6]>>(uint(lane)&63)&1 == 1
+	return gb != db
+}
+
+// WireLanesG reconstructs the actual lane word of a flip-flop-driven wire
+// for group g at the current cycle (golden ^ delta). Valid at the top of a
+// cycle for registered wires (e.g. the core's Halted flag).
+func (d *DeltaState) WireLanesG(w netlist.WireID, g int) uint64 {
+	return rowMask(d.tr.Row(d.cyc), int32(w)) ^ d.delta[int(w)*d.w+g]
+}
+
+// DivergenceMaskG returns, for lane group g, the lanes whose flip-flop
+// state differs from the golden run at the current cycle — the delta-space
+// equivalent of MachineW.DivergenceMaskG, maintained incrementally by the
+// commit scan instead of an O(FFs) compare.
+func (d *DeltaState) DivergenceMaskG(g int) uint64 { return d.qOr[g] }
+
+// evalOp re-evaluates one gate in delta space against the golden row.
+func (d *DeltaState) evalOp(opi int32, row []uint64) {
+	o := &d.ops[opi]
+	w := d.w
+	np := int(o.numPins)
+	var im [4]uint64
+	for p := 0; p < np; p++ {
+		im[p] = rowMask(row, d.inWire[opi][p])
+	}
+	ob := rowMask(row, d.outWire[opi])
+	outBase := int(o.out)
+	changed, nonzero := false, false
+	var in [4]uint64
+	for g := 0; g < w; g++ {
+		for p := 0; p < np; p++ {
+			in[p] = im[p] ^ d.delta[int(o.in[p])+g]
+		}
+		nd := evalOpWords(o, &in) ^ ob
+		if nd != d.delta[outBase+g] {
+			d.delta[outBase+g] = nd
+			changed = true
+		}
+		if nd != 0 {
+			nonzero = true
+		}
+	}
+	if changed || nonzero {
+		d.touch(d.outWire[opi])
+	}
+}
+
+// Step settles and commits one cycle in delta space: frontier pass over
+// pure gates, environment refresh/call/diff, frontier pass over env-cone
+// gates, then the flip-flop commit scan. Whole levels with no frontier
+// entries are skipped outright.
+func (d *DeltaState) Step() {
+	row := d.tr.Row(d.cyc)
+	w := d.w
+	evaluated := 0
+	// Pass A: pure gates. Levels ascend and a gate only ever pushes
+	// consumers at strictly higher levels, so one sweep reaches the
+	// fixpoint.
+	for lvl := 0; lvl < d.nLevels; lvl++ {
+		bucket := d.bucketA[lvl]
+		if len(bucket) == 0 {
+			continue
+		}
+		for _, opi := range bucket {
+			d.evalOp(opi, row)
+		}
+		evaluated += len(bucket)
+		d.bucketA[lvl] = bucket[:0]
+	}
+	// Refresh the env-read wires to actual lane values (these wires are
+	// outside the env cone, so their pass-A value is final), run the real
+	// environment — per-lane memories and write digests update exactly as
+	// in dense mode — then convert its writes back into deltas, seeding
+	// pass B.
+	for _, wire := range d.readWires {
+		b := rowMask(row, wire)
+		base := int(wire) * w
+		for g := 0; g < w; g++ {
+			d.m.values[base+g] = b ^ d.delta[base+g]
+		}
+	}
+	d.env.SetInputsW(d.m)
+	for _, wire := range d.envWires {
+		b := rowMask(row, wire)
+		base := int(wire) * w
+		changed, nonzero := false, false
+		for g := 0; g < w; g++ {
+			nd := d.m.values[base+g] ^ b
+			if nd != d.delta[base+g] {
+				d.delta[base+g] = nd
+				changed = true
+			}
+			if nd != 0 {
+				nonzero = true
+			}
+		}
+		if changed || nonzero {
+			d.touch(wire)
+		}
+	}
+	// Pass B: gates inside the env cone.
+	for lvl := 0; lvl < d.nLevels; lvl++ {
+		bucket := d.bucketB[lvl]
+		if len(bucket) == 0 {
+			continue
+		}
+		for _, opi := range bucket {
+			d.evalOp(opi, row)
+		}
+		evaluated += len(bucket)
+		d.bucketB[lvl] = bucket[:0]
+	}
+	d.lastEval = evaluated
+	if evaluated < d.denseCost {
+		d.skipped += uint64(d.denseCost - evaluated)
+	}
+	d.gen++ // settle done: subsequent pushes belong to the next settle
+	// Commit scan: delta_Q <- delta_D for every flip-flop (the golden rows
+	// obey row(cyc+1)[Q] == row(cyc)[D], so the delta convention is
+	// preserved), re-pushing consumers of live Q wires and accumulating the
+	// per-group divergence word. Staged through dNext exactly like the
+	// dense CommitFFs: one FF's D wire can be another FF's Q wire, and an
+	// in-place scan would hand it the already-committed value.
+	for g := range d.qOr {
+		d.qOr[g] = 0
+	}
+	for i := range d.m.ffDs {
+		copy(d.dNext[i*w:(i+1)*w], d.delta[int(d.m.ffDs[i]):int(d.m.ffDs[i])+w])
+	}
+	for i := range d.m.ffQs {
+		qbase := int(d.m.ffQs[i])
+		changed, nonzero := false, false
+		for g := 0; g < w; g++ {
+			nd := d.dNext[i*w+g]
+			if nd != d.delta[qbase+g] {
+				d.delta[qbase+g] = nd
+				changed = true
+			}
+			if nd != 0 {
+				nonzero = true
+				d.qOr[g] |= nd
+			}
+		}
+		if changed || nonzero {
+			d.touch(d.m.ffQ[i])
+		}
+	}
+	d.cyc++
+	d.m.Cycle++
+	d.stepped = true
+}
+
+// Materialize writes every wire's actual lane values into the machine,
+// converting the delta representation back to dense state. Valid
+// immediately after a Step (the machine then matches what dense stepping
+// would hold entering cycle Cycle()); flip-flop Q wires are reconstructed
+// through their D wires because the trace row records pre-commit values.
+// The delta state is stale afterwards — Reset before reusing it.
+//
+// Materialize is also valid before the first Step after Reset: the machine
+// then still holds the exact dense state the checkpoint load produced, and
+// the only live deltas are flip-flop Q flips from FlipLane — which dense
+// injection applies by the same XOR. This covers batches that terminate at
+// their start cycle (e.g. a fault flipping the halt flag itself).
+func (d *DeltaState) Materialize() {
+	if !d.stepped {
+		for i := range d.m.ffQs {
+			qbase := int(d.m.ffQs[i])
+			for g := 0; g < d.w; g++ {
+				d.m.values[qbase+g] ^= d.delta[qbase+g]
+			}
+		}
+		return
+	}
+	row := d.tr.Row(d.cyc - 1)
+	w := d.w
+	nw := d.m.NL.NumWires()
+	for wid := 0; wid < nw; wid++ {
+		src := int32(wid)
+		if dw := d.qToD[wid]; dw >= 0 {
+			src = dw
+		}
+		b := rowMask(row, src)
+		base := wid * w
+		for g := 0; g < w; g++ {
+			d.m.values[base+g] = b ^ d.delta[base+g]
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// deltaTestBench builds a random synchronous circuit with a one-wire
+// environment loop: the env reads FF Q wire rd and writes its inverse into
+// input wire wr — a deterministic per-lane environment exercising the delta
+// engine's refresh/call/diff path exactly like the CPU memory buses do.
+type deltaTestBench struct {
+	nl *netlist.Netlist
+	rd netlist.WireID // env-read wire (an FF Q, outside the env cone)
+	wr netlist.WireID // env-written wire
+}
+
+func newDeltaTestBench(rng *rand.Rand) *deltaTestBench {
+	b := netlist.NewBuilder("delta")
+	wr := b.Input("envin")
+	pool := []netlist.WireID{wr}
+	for i := 0; i < 4; i++ {
+		pool = append(pool, b.Input(""))
+	}
+	var qs []netlist.WireID
+	for i := 0; i < 6; i++ {
+		q := b.FFPlaceholder("", rng.Intn(2) == 0, "ff")
+		pool = append(pool, q)
+		qs = append(qs, q)
+	}
+	kinds := []cell.Kind{
+		cell.BUF, cell.INV, cell.AND2, cell.NAND2, cell.OR2, cell.NOR2,
+		cell.XOR2, cell.XNOR2, cell.MUX2, cell.AOI21, cell.OAI21, cell.MAJ3,
+	}
+	for i := 0; i < 50; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		c := cell.Lookup(k)
+		inputs := make([]netlist.WireID, c.NumInputs())
+		for p := range inputs {
+			inputs[p] = pool[rng.Intn(len(pool))]
+		}
+		pool = append(pool, b.Gate(k, inputs...))
+	}
+	for _, q := range qs {
+		b.SetFFD(q, pool[rng.Intn(len(pool))])
+	}
+	b.MarkOutput(pool[len(pool)-1])
+	return &deltaTestBench{nl: b.MustNetlist(), rd: qs[0], wr: wr}
+}
+
+func (tb *deltaTestBench) scalarEnv() Env {
+	return EnvFunc(func(m *Machine) { m.SetValue(tb.wr, !m.Value(tb.rd)) })
+}
+
+func (tb *deltaTestBench) wideEnv() EnvW {
+	return EnvWFunc(func(m *MachineW) {
+		for g := 0; g < m.W; g++ {
+			m.SetLaneWord(tb.wr, g, ^m.LaneWord(tb.rd, g))
+		}
+	})
+}
+
+// TestDeltaMatchesDense: for W in {1,2,4}, a delta-driven machine with
+// random per-lane flip-flop injections must agree with an identically
+// injected dense machine every cycle — on the incremental divergence mask,
+// on per-lane FF reads, and (after Materialize) on every wire of every
+// lane group. The golden trace comes from an undisturbed scalar run.
+func TestDeltaMatchesDense(t *testing.T) {
+	for _, w := range testWidths {
+		rng := rand.New(rand.NewSource(int64(900 + w)))
+		for trial := 0; trial < 4; trial++ {
+			tb := newDeltaTestBench(rng)
+			nl := tb.nl
+			const cycles = 30
+
+			// Golden trace: scalar machine, no faults.
+			sc := New(nl)
+			tr := NewTrace(nl.NumWires())
+			senv := tb.scalarEnv()
+			for c := 0; c < cycles; c++ {
+				sc.Settle(senv)
+				tr.Append(sc.Values())
+				sc.CommitFFs()
+			}
+
+			newWide := func() *MachineW {
+				m, err := NewMachineW(nl, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.SetEnvWrites([]netlist.WireID{tb.wr})
+				return m
+			}
+			dense := newWide()
+			mdelta := newWide()
+			d, err := NewDeltaState(mdelta, tr, tb.wideEnv(), []netlist.WireID{tb.rd})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Reset(0)
+
+			wenv := tb.wideEnv()
+			stepTo := rng.Intn(cycles-2) + 1
+			for c := 0; c < stepTo; c++ {
+				// Inject the same random flips into both machines at the top
+				// of a few cycles.
+				if c == 0 || rng.Intn(3) == 0 {
+					for k := 0; k < 2; k++ {
+						ff := rng.Intn(len(nl.FFs))
+						lane := rng.Intn(64 * w)
+						dense.FlipLane(ff, lane)
+						d.FlipLane(ff, lane)
+					}
+				}
+				// Per-lane FF reads must agree before stepping.
+				for k := 0; k < 8; k++ {
+					ff := rng.Intn(len(nl.FFs))
+					lane := rng.Intn(64 * w)
+					if got, want := d.FFLane(ff, lane), dense.FFLane(ff, lane); got != want {
+						t.Fatalf("W=%d trial %d cycle %d: FFLane(%d,%d) delta %v, dense %v", w, trial, c, ff, lane, got, want)
+					}
+				}
+				dense.Step(wenv)
+				d.Step()
+				// After the commit, the incremental divergence mask must be
+				// exact (the conservative FlipLane smear lasts only until the
+				// next commit recomputes it).
+				row := tr.Row(c + 1)
+				for g := 0; g < w; g++ {
+					got := d.DivergenceMaskG(g)
+					want := dense.DivergenceMaskG(row, ^uint64(0), g)
+					if got != want {
+						t.Fatalf("W=%d trial %d cycle %d group %d: delta divergence %016x, dense %016x",
+							w, trial, c, g, got, want)
+					}
+				}
+			}
+			gates := d.TakeSkipped()
+			d.Materialize()
+			for wid := 0; wid < nl.NumWires(); wid++ {
+				for g := 0; g < w; g++ {
+					got := mdelta.LaneWord(netlist.WireID(wid), g)
+					want := dense.LaneWord(netlist.WireID(wid), g)
+					if got != want {
+						t.Fatalf("W=%d trial %d wire %d group %d after Materialize: delta %016x, dense %016x",
+							w, trial, wid, g, got, want)
+					}
+				}
+			}
+			if d.Cycle() != stepTo {
+				t.Fatalf("W=%d: delta cycle %d, want %d", w, d.Cycle(), stepTo)
+			}
+			_ = gates
+		}
+	}
+}
+
+// TestDeltaMaterializeBeforeStep: Materialize without any Step since Reset
+// must reproduce exactly what dense FlipLane injection would have done —
+// the path taken by a batch that terminates at its start cycle.
+func TestDeltaMaterializeBeforeStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tb := newDeltaTestBench(rng)
+	nl := tb.nl
+	sc := New(nl)
+	tr := NewTrace(nl.NumWires())
+	senv := tb.scalarEnv()
+	for c := 0; c < 4; c++ {
+		sc.Settle(senv)
+		tr.Append(sc.Values())
+		sc.CommitFFs()
+	}
+	const w = 4
+	mk := func() *MachineW {
+		m, err := NewMachineW(nl, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetEnvWrites([]netlist.WireID{tb.wr})
+		return m
+	}
+	dense, mdelta := mk(), mk()
+	d, err := NewDeltaState(mdelta, tr, tb.wideEnv(), []netlist.WireID{tb.rd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Reset(0)
+	for k := 0; k < 5; k++ {
+		ff := rng.Intn(len(nl.FFs))
+		lane := rng.Intn(64 * w)
+		dense.FlipLane(ff, lane)
+		d.FlipLane(ff, lane)
+	}
+	d.Materialize()
+	for wid := 0; wid < nl.NumWires(); wid++ {
+		for g := 0; g < w; g++ {
+			if got, want := mdelta.LaneWord(netlist.WireID(wid), g), dense.LaneWord(netlist.WireID(wid), g); got != want {
+				t.Fatalf("wire %d group %d: delta %016x, dense %016x", wid, g, got, want)
+			}
+		}
+	}
+}
+
+// TestDeltaRejectsEnvReadInCone: an environment that reads a wire inside
+// its own written cone violates the refresh contract; the constructor must
+// refuse (callers then stay dense) rather than silently missimulate.
+func TestDeltaRejectsEnvReadInCone(t *testing.T) {
+	b := netlist.NewBuilder("cone")
+	wr := b.Input("envin")
+	inCone := b.Gate(cell.INV, wr)
+	q := b.FF("q", inCone, false, "ff")
+	b.MarkOutput(q)
+	nl := b.MustNetlist()
+	m, err := NewMachineW(nl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetEnvWrites([]netlist.WireID{wr})
+	tr := NewTrace(nl.NumWires())
+	tr.Append(make([]bool, nl.NumWires()))
+	env := EnvWFunc(func(*MachineW) {})
+	if _, err := NewDeltaState(m, tr, env, []netlist.WireID{inCone}); err == nil {
+		t.Fatal("NewDeltaState accepted an env-read wire inside the env cone")
+	}
+	if _, err := NewDeltaState(m, tr, env, []netlist.WireID{q}); err != nil {
+		t.Fatalf("NewDeltaState rejected a legal read set: %v", err)
+	}
+}
+
+// TestDeltaSkippedAccounting: a single-lane-group disturbance on a large
+// mostly-idle circuit must evaluate far fewer gates than dense stepping,
+// and the skipped counter must account the difference.
+func TestDeltaSkippedAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tb := newDeltaTestBench(rng)
+	nl := tb.nl
+	sc := New(nl)
+	tr := NewTrace(nl.NumWires())
+	senv := tb.scalarEnv()
+	for c := 0; c < 10; c++ {
+		sc.Settle(senv)
+		tr.Append(sc.Values())
+		sc.CommitFFs()
+	}
+	m, err := NewMachineW(nl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetEnvWrites([]netlist.WireID{tb.wr})
+	d, err := NewDeltaState(m, tr, tb.wideEnv(), []netlist.WireID{tb.rd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Reset(0)
+	// No injection at all: every cycle must evaluate zero gates.
+	for c := 0; c < 5; c++ {
+		d.Step()
+		if d.LastEvaluated() != 0 {
+			t.Fatalf("cycle %d: undisturbed delta step evaluated %d gates", c, d.LastEvaluated())
+		}
+	}
+	if got, want := d.TakeSkipped(), uint64(5*d.NumOps()); got != want {
+		t.Fatalf("skipped counter %d, want %d", got, want)
+	}
+	if d.TakeSkipped() != 0 {
+		t.Fatal("TakeSkipped did not reset")
+	}
+}

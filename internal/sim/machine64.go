@@ -1,9 +1,6 @@
 package sim
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/cell"
 	"repro/internal/netlist"
 )
@@ -13,35 +10,27 @@ import (
 // circuit instances advance per evaluation pass. This is the classic
 // parallel fault-simulation technique, and it plays the role of the
 // paper's hardware parallelism ("one FI controller distributes the FI
-// campaign over several FPGAs"): the HAFI campaign controller batches up
-// to 64 injection experiments that share a start checkpoint into one
-// Machine64 run.
+// campaign over several FPGAs"): the HAFI campaign controller batches
+// injection experiments that share a start checkpoint into one machine
+// run.
+//
+// Machine64 is the W=1 instantiation of the width-parameterized MachineW
+// (see machinew.go): it embeds the wide machine by pointer, so every
+// MachineW field and method is promoted, state is shared with any wide
+// view of the same device, and the W=1 evaluation program is bit-for-bit
+// the classic 64-lane program. The wrapper adds only the historical
+// single-word signatures (Lanes, DivergenceMask, Env64 Settle/Step, ...)
+// so existing callers and journals are untouched.
 //
 // All lanes share the same netlist; they diverge only through per-lane
 // state (flip-flops, primary inputs) — exactly what a fault injection
 // needs.
-//
-// The evaluation program is level-ordered and kind-grouped: gates are
-// sorted by logic level (so dependencies always precede their consumers)
-// and, within a level, by cell kind, so EvalComb dispatches one switch per
-// run of same-kind gates instead of per gate — the inner loops are tight,
-// branch-predictable and bounds-check friendly. An optional second-pass
-// subprogram (SetEnvWrites) restricts the post-environment settle to the
-// gates actually downstream of environment-written wires.
 type Machine64 struct {
-	NL     *netlist.Netlist
-	Cycle  int
-	values []uint64
-
-	ops      []op64
-	runs     []opRun
-	envOps   []op64 // subprogram: gates downstream of env-written wires
-	envRuns  []opRun
-	ffD, ffQ []int32
-	ffNext   []uint64
+	*MachineW
 }
 
-// op64 is one gate in the flattened bitwise evaluation program.
+// op64 is one gate in the flattened bitwise evaluation program. In a
+// width-W program the out/in indices are pre-scaled by W.
 type op64 struct {
 	kind    cell.Kind
 	tt      uint32
@@ -59,41 +48,11 @@ type opRun struct {
 
 // NewMachine64 creates a 64-lane machine and resets it.
 func NewMachine64(nl *netlist.Netlist) (*Machine64, error) {
-	m := &Machine64{NL: nl, values: make([]uint64, nl.NumWires())}
-	level := make([]int32, nl.NumWires())
-	for _, gi := range nl.EvalOrder() {
-		g := &nl.Gates[gi]
-		if g.Cell.NumInputs() > 4 {
-			return nil, fmt.Errorf("sim: cell %s has more than 4 inputs; not supported by the 64-lane evaluator", g.Cell.Name)
-		}
-		o := op64{kind: g.Cell.Kind, tt: g.Cell.TruthTable(), out: int32(g.Output), numPins: int8(len(g.Inputs))}
-		for p, w := range g.Inputs {
-			o.in[p] = int32(w)
-			if level[w] >= o.level {
-				o.level = level[w] + 1
-			}
-		}
-		level[g.Output] = o.level
-		m.ops = append(m.ops, o)
+	mw, err := NewMachineW(nl, 1)
+	if err != nil {
+		return nil, err
 	}
-	// Level-major, kind-minor order: equal-level gates are independent, so
-	// grouping them by kind is a legal reordering of the topological sort.
-	sort.SliceStable(m.ops, func(a, b int) bool {
-		if m.ops[a].level != m.ops[b].level {
-			return m.ops[a].level < m.ops[b].level
-		}
-		return m.ops[a].kind < m.ops[b].kind
-	})
-	m.runs = buildRuns(m.ops)
-	m.ffD = make([]int32, len(nl.FFs))
-	m.ffQ = make([]int32, len(nl.FFs))
-	m.ffNext = make([]uint64, len(nl.FFs))
-	for i := range nl.FFs {
-		m.ffD[i] = int32(nl.FFs[i].D)
-		m.ffQ[i] = int32(nl.FFs[i].Q)
-	}
-	m.Reset()
-	return m, nil
+	return &Machine64{MachineW: mw}, nil
 }
 
 // buildRuns splits an ordered op program into contiguous same-kind spans.
@@ -112,104 +71,15 @@ func buildRuns(ops []op64) []opRun {
 	return runs
 }
 
-// SetEnvWrites declares the complete set of wires the lane environment may
-// drive between the two settle passes. The machine precomputes the cone of
-// gates downstream of those wires; Settle's second pass then evaluates
-// only that subprogram — every other gate's inputs are untouched by the
-// environment, so its pass-one output is already final. Calling this with
-// an incomplete wire list yields stale simulations; leave it unset to keep
-// the safe full second pass.
-func (m *Machine64) SetEnvWrites(wires ...[]netlist.WireID) {
-	inCone := make([]bool, m.NL.NumWires())
-	for _, ws := range wires {
-		for _, w := range ws {
-			inCone[w] = true
-		}
-	}
-	m.envOps = nil
-	for _, o := range m.ops {
-		hit := false
-		for p := 0; p < int(o.numPins); p++ {
-			if inCone[o.in[p]] {
-				hit = true
-				break
-			}
-		}
-		if hit {
-			inCone[o.out] = true
-			m.envOps = append(m.envOps, o)
-		}
-	}
-	m.envRuns = buildRuns(m.envOps)
-}
-
-// EnvConeSize reports how many gates the restricted second settle pass
-// evaluates (0 when SetEnvWrites was never called).
-func (m *Machine64) EnvConeSize() int { return len(m.envOps) }
-
-// Reset initialises every lane with the flip-flop reset state.
-func (m *Machine64) Reset() {
-	for i := range m.values {
-		m.values[i] = 0
-	}
-	for i := range m.NL.FFs {
-		if m.NL.FFs[i].Init {
-			m.values[m.NL.FFs[i].Q] = ^uint64(0)
-		}
-	}
-	m.Cycle = 0
-}
-
 // Lanes returns the lane word of a wire (bit l = lane l).
 func (m *Machine64) Lanes(w netlist.WireID) uint64 { return m.values[w] }
 
 // SetLanes drives a wire in all lanes at once.
 func (m *Machine64) SetLanes(w netlist.WireID, v uint64) { m.values[w] = v }
 
-// Broadcast drives a wire to the same value in every lane.
-func (m *Machine64) Broadcast(w netlist.WireID, v bool) {
-	if v {
-		m.values[w] = ^uint64(0)
-	} else {
-		m.values[w] = 0
-	}
-}
-
-// FlipLane flips the stored value of flip-flop ffIndex in one lane only —
-// the 64-lane SEU injection primitive.
-func (m *Machine64) FlipLane(ffIndex, lane int) {
-	m.values[m.NL.FFs[ffIndex].Q] ^= 1 << uint(lane)
-}
-
-// LoadState broadcasts a scalar flip-flop snapshot (from Machine.FFState)
-// into every lane.
-func (m *Machine64) LoadState(ffs []bool) {
-	for i, v := range ffs {
-		if v {
-			m.values[m.ffQ[i]] = ^uint64(0)
-		} else {
-			m.values[m.ffQ[i]] = 0
-		}
-	}
-}
-
-// LoadInputs broadcasts scalar primary-input values into every lane.
-func (m *Machine64) LoadInputs(ins []bool) {
-	for i, w := range m.NL.Inputs {
-		if ins[i] {
-			m.values[w] = ^uint64(0)
-		} else {
-			m.values[w] = 0
-		}
-	}
-}
-
-// EvalComb evaluates all gates once, 64 lanes wide.
-func (m *Machine64) EvalComb() { evalProgram(m.ops, m.runs, m.values) }
-
-// evalProgram executes one kind-grouped op program: one switch dispatch
-// per run, then a tight specialized loop over the span — the hot path of
-// the whole batched campaign engine.
+// evalProgram executes one kind-grouped W=1 op program: one switch
+// dispatch per run, then a tight specialized loop over the span — the hot
+// path of the 64-lane engine (evalProgram4 is its 256-lane sibling).
 func evalProgram(ops []op64, runs []opRun, v []uint64) {
 	for _, r := range runs {
 		seg := ops[r.start:r.end]
@@ -303,10 +173,12 @@ func evalProgram(ops []op64, runs []opRun, v []uint64) {
 				v[o.out] = ^(v[o.in[0]] ^ v[o.in[1]])
 			}
 		case cell.MUX2:
+			// a ^ (s & (a^b)): one op fewer than (^s&a)|(s&b), and MUX2 is
+			// the most common cell on both cores.
 			for i := range seg {
 				o := &seg[i]
-				s := v[o.in[2]]
-				v[o.out] = (^s & v[o.in[0]]) | (s & v[o.in[1]])
+				a := v[o.in[0]]
+				v[o.out] = a ^ (v[o.in[2]] & (a ^ v[o.in[1]]))
 			}
 		case cell.AOI21:
 			for i := range seg {
@@ -374,27 +246,7 @@ func evalGeneric(o *op64, v []uint64) uint64 {
 // the scan stops as soon as every interesting lane has diverged — the
 // common case for freshly injected faults.
 func (m *Machine64) DivergenceMask(goldenRow []uint64, interest uint64) uint64 {
-	var div uint64
-	v := m.values
-	for _, q := range m.ffQ {
-		g := goldenRow[q>>6] >> (uint(q) & 63) & 1
-		div |= v[q] ^ -g
-		if div&interest == interest {
-			break
-		}
-	}
-	return div & interest
-}
-
-// CommitFFs clocks every flip-flop in all lanes.
-func (m *Machine64) CommitFFs() {
-	for i, d := range m.ffD {
-		m.ffNext[i] = m.values[d]
-	}
-	for i, q := range m.ffQ {
-		m.values[q] = m.ffNext[i]
-	}
-	m.Cycle++
+	return m.DivergenceMaskG(goldenRow, interest, 0)
 }
 
 // Env64 services the environment of all 64 lanes between the two
@@ -428,16 +280,4 @@ func (m *Machine64) Settle(env Env64) {
 func (m *Machine64) Step(env Env64) {
 	m.Settle(env)
 	m.CommitFFs()
-}
-
-// ReadBusLane assembles the value of a bus in one lane.
-func (m *Machine64) ReadBusLane(bus []netlist.WireID, lane int) uint64 {
-	var v uint64
-	bit := uint64(1) << uint(lane)
-	for i, w := range bus {
-		if m.values[w]&bit != 0 {
-			v |= 1 << uint(i)
-		}
-	}
-	return v
 }

@@ -42,6 +42,18 @@ func (t *Trace) Append(values []bool) {
 	t.cycles++
 }
 
+// AppendRow records one cycle from an already-packed row in the same
+// layout Row returns (bit w%64 of word w/64 = wire w). The wide golden
+// recorder uses it to move one lane of a MachineW straight into the trace
+// without a bool round-trip; the row is copied, not retained.
+func (t *Trace) AppendRow(row []uint64) {
+	if len(row) != t.words {
+		panic(fmt.Sprintf("trace: got %d row words, want %d", len(row), t.words))
+	}
+	t.data = append(t.data, row...)
+	t.cycles++
+}
+
 // Set overwrites a single bit; used by the VCD reader.
 func (t *Trace) Set(cycle int, w netlist.WireID, v bool) {
 	idx := cycle*t.words + int(w)/64

@@ -4,11 +4,15 @@
 #
 #   ./scripts/bench_compare.sh BENCH_0.json BENCH_1.json
 #   THRESHOLD=25 ./scripts/bench_compare.sh old.json new.json
-#   STRICT=1 ./scripts/bench_compare.sh old.json new.json   # exit 1 on warn
+#   STRICT=1 ./scripts/bench_compare.sh old.json new.json   # exit 1 on any warn
+#   STRICT_RE='^BenchmarkCampaign' ./scripts/bench_compare.sh old.json new.json
 #
 # The comparison is advisory by default (exit 0 even with warnings):
 # single-run 1x snapshots are noisy, so CI surfaces regressions without
-# failing the build. Set STRICT=1 to turn warnings into failures.
+# failing the build. Set STRICT=1 to turn every warning into a failure, or
+# STRICT_RE to a grep -E pattern to fail only when a matching benchmark
+# regresses (CI guards the campaign hot path strictly and leaves the noisier
+# microbenches advisory).
 set -euo pipefail
 
 if [ $# -ne 2 ]; then
@@ -19,6 +23,7 @@ base=$1
 cand=$2
 threshold=${THRESHOLD:-15}
 strict=${STRICT:-0}
+strict_re=${STRICT_RE:-}
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -37,14 +42,14 @@ if ! [ -s "$tmp/base" ] || ! [ -s "$tmp/cand" ]; then
     exit 2
 fi
 
-join "$tmp/base" "$tmp/cand" | awk -v thr="$threshold" '
+join "$tmp/base" "$tmp/cand" | awk -v thr="$threshold" -v out="$tmp/regressed" '
 {
     name = $1; old = $2; new = $3
     if (old <= 0) next
     delta = 100 * (new - old) / old
     printf "  %-44s %12.0f -> %12.0f ns/op  %+6.1f%%%s\n",
         name, old, new, delta, (delta > thr) ? "  <-- REGRESSION" : ""
-    if (delta > thr) n++
+    if (delta > thr) { n++; print name > out }
 }
 END { exit (n > 200) ? 200 : n }' && regressions=0 || regressions=$?
 
@@ -57,6 +62,11 @@ fi
 if [ "$regressions" -gt 0 ]; then
     echo "bench-compare: WARNING: $regressions benchmark(s) regressed more than ${threshold}% vs $base" >&2
     if [ "$strict" = "1" ]; then
+        exit 1
+    fi
+    if [ -n "$strict_re" ] && grep -qE "$strict_re" "$tmp/regressed"; then
+        echo "bench-compare: FAIL: strict benchmark(s) regressed (pattern: $strict_re):" >&2
+        grep -E "$strict_re" "$tmp/regressed" | sed 's/^/  /' >&2
         exit 1
     fi
 else

@@ -1,0 +1,170 @@
+package repro
+
+// Wide-engine differential matrix: for every fault model, the campaign must
+// journal byte-identical streams across
+//
+//   - device width: 64-lane and 256-lane devices,
+//   - evaluation mode: dense dispatch and the sparse cone-delta engine,
+//   - scheduling: single-instance batched and pooled batched,
+//   - early-exit: convergence retirement on and off,
+//
+// with the sequential scalar controller as the semantic anchor. The batch
+// planner packs points identically regardless of lane count (stable
+// cycle-major order, per-point record emission), so the journals are
+// compared as raw bytes — any divergence in planning, packing, delta
+// evaluation or classification breaks the equality.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/hafi"
+	"repro/internal/journal"
+)
+
+func TestDifferentialWideDeltaMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential campaign comparison is not short")
+	}
+	c := experiments.PrepareAVR()
+	prog := c.FibProg
+
+	golden, err := hafi.RecordGolden(c.NewRun(prog), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := []hafi.ModelSpec{
+		{Model: hafi.ModelSEU},
+		{Model: hafi.ModelMBU, Span: 2},
+		{Model: hafi.ModelSET},
+		{Model: hafi.ModelIntermittent, Period: 2, Window: 6},
+		{Model: hafi.ModelStuckAt, Window: 3, StuckHigh: true},
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			const stride = 3000
+			full := hafi.ModelFaultList(c.NL, golden.HaltCycle, stride, spec)
+			var points []hafi.FaultPoint
+			for i := 0; i < len(full); i += 3 {
+				points = append(points, full[i])
+			}
+			if len(points) < 60 {
+				t.Fatalf("fault list too small for a meaningful comparison: %d points", len(points))
+			}
+
+			dir := t.TempDir()
+			runJournaled := func(name string, exec func(cfg hafi.CampaignConfig) (*hafi.CampaignResult, error)) ([]byte, []journal.Record) {
+				t.Helper()
+				path := filepath.Join(dir, name+".journal")
+				ctl := hafi.NewControllerPool(func() hafi.Run { return c.NewRun(prog) }, golden)
+				jw, err := journal.Create(path, ctl.JournalHeader(points))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := exec(hafi.CampaignConfig{Points: points, Journal: jw}); err != nil {
+					t.Fatalf("%s campaign: %v", name, err)
+				}
+				if err := jw.Close(); err != nil {
+					t.Fatal(err)
+				}
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := journal.Recover(path)
+				if err != nil {
+					t.Fatalf("%s journal recovery: %v", name, err)
+				}
+				if len(rec.ByIndex) != len(points) {
+					t.Fatalf("%s journal has %d records, want %d", name, len(rec.ByIndex), len(points))
+				}
+				out := make([]journal.Record, len(points))
+				for idx, r := range rec.ByIndex {
+					out[idx] = r
+				}
+				return raw, out
+			}
+
+			batched := func(lanes int, disableDelta, disableEarly bool) func(cfg hafi.CampaignConfig) (*hafi.CampaignResult, error) {
+				return func(cfg hafi.CampaignConfig) (*hafi.CampaignResult, error) {
+					cfg.DisableDelta = disableDelta
+					cfg.DisableEarlyExit = disableEarly
+					ctl := hafi.NewControllerPool(func() hafi.Run { return c.NewRun(prog) }, golden)
+					run, err := c.NewRunW(prog, lanes)
+					if err != nil {
+						return nil, err
+					}
+					return ctl.RunCampaignBatchedW(cfg, run)
+				}
+			}
+			pooled := func(lanes int, disableDelta, disableEarly bool) func(cfg hafi.CampaignConfig) (*hafi.CampaignResult, error) {
+				return func(cfg hafi.CampaignConfig) (*hafi.CampaignResult, error) {
+					cfg.DisableDelta = disableDelta
+					cfg.DisableEarlyExit = disableEarly
+					cfg.Workers = runtime.NumCPU()
+					ctl := hafi.NewControllerPool(func() hafi.Run { return c.NewRun(prog) }, golden)
+					return ctl.RunCampaignBatchedPoolW(cfg, func() (hafi.RunW, error) { return c.NewRunW(prog, lanes) })
+				}
+			}
+
+			variants := []struct {
+				name string
+				exec func(cfg hafi.CampaignConfig) (*hafi.CampaignResult, error)
+			}{
+				{"64-dense-early", batched(64, true, false)},
+				{"256-dense-early", batched(256, true, false)},
+				{"256-delta-early", batched(256, false, false)},
+				{"64-delta-early", batched(64, false, false)},
+				{"256-delta-full", batched(256, false, true)},
+				{"256-dense-full", batched(256, true, true)},
+				{"pooled-256-delta-early", pooled(256, false, false)},
+				{"pooled-256-dense-full", pooled(256, true, true)},
+			}
+
+			var firstRaw []byte
+			var firstRecs []journal.Record
+			for _, v := range variants {
+				raw, recs := runJournaled(v.name, v.exec)
+				if firstRaw == nil {
+					firstRaw, firstRecs = raw, recs
+					continue
+				}
+				if !bytes.Equal(raw, firstRaw) {
+					// Locate the first diverging record for a useful message.
+					for i := range recs {
+						if recs[i] != firstRecs[i] {
+							t.Fatalf("%s journal diverges from %s at point %d (ff=%d cycle=%d): %+v != %+v",
+								v.name, variants[0].name, i, points[i].FF, points[i].Cycle, recs[i], firstRecs[i])
+						}
+					}
+					t.Fatalf("%s journal bytes differ from %s but records agree — header or framing drift", v.name, variants[0].name)
+				}
+			}
+
+			// Semantic anchor: the sequential scalar controller (dense by
+			// construction) must classify every point identically.
+			ctl := hafi.NewController(c.NewRun(prog), golden)
+			seq, err := ctl.RunCampaign(hafi.CampaignConfig{Points: points, DisableEarlyExit: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			byOutcome := map[uint8]int{}
+			for _, r := range firstRecs {
+				byOutcome[r.Outcome]++
+			}
+			for o, n := range seq.ByOutcome {
+				if byOutcome[uint8(o)] != int(n) {
+					t.Errorf("outcome %s: batched matrix %d, sequential scalar %d", o, byOutcome[uint8(o)], n)
+				}
+			}
+			t.Logf("%s: %d points, outcomes %v", spec, len(points), fmt.Sprint(byOutcome))
+		})
+	}
+}
